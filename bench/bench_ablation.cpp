@@ -1,0 +1,179 @@
+// Ablations of Lumiere's design choices (Section 3.5 / DESIGN.md):
+//
+//   1. Success criterion (full Lumiere) vs none (Basic Lumiere): heavy
+//      epoch-synchronization traffic after GST, eventual communication.
+//   2. QC-production deadline on/off: the deadline exists to *shrink* the
+//      honest gap (Lemma 5.12); without it steady-state liveness is
+//      unaffected in benign runs (it is a worst-case device).
+//   3. Delta-wait before epoch-view messages on/off: without the wait,
+//      in-flight tail QCs can trigger spurious heavy synchronizations.
+//   4. Gamma multiplier sweep: larger Gamma = more slack, higher latency
+//      under faults.
+#include <cstdio>
+#include <map>
+
+#include "core/lumiere.h"
+#include "pacemaker/fever.h"
+#include "pacemaker/messages.h"
+
+#include "bench_util.h"
+
+namespace lumiere::bench {
+namespace {
+
+struct AblationResult {
+  std::uint64_t epoch_msgs = 0;  // heavy-sync traffic by honest processes
+  std::optional<std::uint64_t> ev_comm;
+  std::optional<Duration> ev_lat;
+  std::size_t decisions = 0;
+};
+
+AblationResult run_case(PacemakerKind kind, bool deadline, bool delta_wait,
+                        Duration gamma_override, std::uint32_t f_a) {
+  ClusterOptions options = base_options(kind, 7, 4001);
+  options.delay = std::make_shared<sim::FixedDelay>(Duration::micros(500));
+  options.lumiere_enforce_qc_deadline = deadline;
+  options.lumiere_delta_wait = delta_wait;
+  options.gamma = gamma_override;
+  with_silent_leaders(options, f_a);
+  Cluster cluster(options);
+  cluster.run_for(Duration::seconds(90));
+  AblationResult result;
+  result.epoch_msgs = cluster.metrics().count_for_type(pacemaker::kEpochViewMsg);
+  result.ev_comm = cluster.metrics().max_msg_gap(TimePoint::origin(), 30);
+  result.ev_lat = cluster.metrics().max_decision_gap(TimePoint::origin(), 30);
+  result.decisions = cluster.metrics().decisions().size();
+  return result;
+}
+
+void print_row(const char* label, const AblationResult& result) {
+  std::printf("%-34s | %10llu | %12s | %12s | %9zu\n", label,
+              static_cast<unsigned long long>(result.epoch_msgs),
+              fmt_count(result.ev_comm).c_str(), fmt_ms(result.ev_lat).c_str(),
+              result.decisions);
+}
+
+}  // namespace
+}  // namespace lumiere::bench
+
+int main() {
+  using namespace lumiere::bench;
+  using lumiere::Duration;
+  using lumiere::TimePoint;
+  std::printf("bench_ablation: Lumiere design-choice ablations (n = 7, f_a = 2 silent "
+              "leaders unless noted)\n\n");
+  std::printf("%-34s | %10s | %12s | %12s | %9s\n", "variant", "epoch msgs", "ev comm",
+              "ev lat (ms)", "decisions");
+  std::printf("-----------------------------------+------------+--------------+--------------+-"
+              "---------\n");
+
+  print_row("lumiere (full)",
+            run_case(PacemakerKind::kLumiere, true, true, Duration::zero(), 2));
+  print_row("basic-lumiere (no success crit.)",
+            run_case(PacemakerKind::kBasicLumiere, true, true, Duration::zero(), 2));
+  print_row("lumiere, no QC deadline",
+            run_case(PacemakerKind::kLumiere, false, true, Duration::zero(), 2));
+  print_row("lumiere, no Delta-wait",
+            run_case(PacemakerKind::kLumiere, true, false, Duration::zero(), 2));
+  print_row("lumiere, Gamma x1.5",
+            run_case(PacemakerKind::kLumiere, true, true, Duration::millis(150), 2));
+  print_row("lumiere, Gamma x2",
+            run_case(PacemakerKind::kLumiere, true, true, Duration::millis(200), 2));
+  print_row("lumiere (full), f_a = 0",
+            run_case(PacemakerKind::kLumiere, true, true, Duration::zero(), 0));
+  print_row("basic-lumiere, f_a = 0",
+            run_case(PacemakerKind::kBasicLumiere, true, true, Duration::zero(), 0));
+
+  // --- Section 3.3 "Reducing Gamma": Fever leader-tenure sweep ---------
+  std::printf("\n--- Fever leader-tenure sweep (Section 3.3 remark), f_a = 2 ---\n");
+  std::printf("%-10s | %12s | %12s | %9s\n", "tenure", "Gamma (ms)", "ev lat (ms)",
+              "decisions");
+  for (const std::uint32_t tenure : {2U, 3U, 4U, 6U}) {
+    ClusterOptions options = base_options(PacemakerKind::kFever, 7, 4002);
+    options.delay = std::make_shared<lumiere::sim::FixedDelay>(Duration::micros(500));
+    options.fever_tenure = tenure;
+    with_silent_leaders(options, 2);
+    Cluster cluster(options);
+    cluster.run_for(Duration::seconds(90));
+    const auto gamma = lumiere::pacemaker::FeverPacemaker::default_gamma(
+        options.params, tenure);
+    std::printf("%-10u | %12.0f | %12s | %9zu\n", tenure,
+                static_cast<double>(gamma.ticks()) / 1000.0,
+                fmt_ms(cluster.metrics().max_decision_gap(TimePoint::origin(), 30)).c_str(),
+                cluster.metrics().decisions().size());
+  }
+  std::printf("(expected: Gamma falls toward (x+1) Delta as tenure grows; worst\n"
+              " faulty-leader stalls track tenure * Gamma — the paper's trade-off)\n");
+
+  // --- Bounded clock drift sweep (Section 2/4 remark) ------------------
+  // The analysis assumes drift-free clocks after GST "for simplicity" and
+  // claims easy extension to bounded drift. Sweep the per-processor rate
+  // skew: liveness and the steady state must be insensitive until skew
+  // becomes a meaningful fraction of the Gamma slack.
+  std::printf("\n--- Clock-drift sweep (Section 2/4 remark), lumiere, n = 7, f_a = 2 ---\n");
+  std::printf("%-12s | %10s | %12s | %9s\n", "drift (ppm)", "epoch msgs", "ev lat (ms)",
+              "decisions");
+  for (const std::int64_t ppm : {0LL, 200LL, 2'000LL, 20'000LL, 50'000LL}) {
+    ClusterOptions options = base_options(PacemakerKind::kLumiere, 7, 4004);
+    options.delay = std::make_shared<lumiere::sim::FixedDelay>(Duration::micros(500));
+    options.drift_ppm_max = ppm;
+    with_silent_leaders(options, 2);
+    Cluster cluster(options);
+    cluster.run_for(Duration::seconds(90));
+    std::printf("%-12lld | %10llu | %12s | %9zu\n", static_cast<long long>(ppm),
+                static_cast<unsigned long long>(
+                    cluster.metrics().count_for_type(lumiere::pacemaker::kEpochViewMsg)),
+                fmt_ms(cluster.metrics().max_decision_gap(TimePoint::origin(), 30)).c_str(),
+                cluster.metrics().decisions().size());
+  }
+  std::printf("(expected: flat across realistic skews — QC/VC clock bumps re-anchor\n"
+              " drifted clocks constantly, so only stall windows accumulate error)\n");
+
+  // --- Underlying-protocol ablation: 2-phase vs 3-phase commit rule ----
+  // Reference [14] (HotStuff-2): the two-phase rule commits each block on
+  // the *next* consecutive QC instead of two QCs later. Same pacemaker,
+  // same network, same seed — only the chain rule differs.
+  std::printf("\n--- Underlying protocol: HotStuff-2 (2-chain) vs chained HotStuff "
+              "(3-chain), Lumiere pacemaker, n = 7 ---\n");
+  std::printf("%-18s | %9s | %14s | %18s\n", "core", "commits", "frontier (view)",
+              "mean QC->commit ms");
+  for (const CoreKind core : {CoreKind::kHotStuff2, CoreKind::kChainedHotStuff}) {
+    ClusterOptions options = base_options(PacemakerKind::kLumiere, 7, 4003);
+    options.core = core;
+    options.params = lumiere::ProtocolParams::for_n(7, bench_delta_cap(), /*x=*/4);
+    options.delay = std::make_shared<lumiere::sim::FixedDelay>(Duration::micros(500));
+    Cluster cluster(options);
+    cluster.run_for(Duration::seconds(30));
+
+    const auto& entries = cluster.node(0).ledger().entries();
+    // Join each committed block with the decision that certified its view
+    // to get the QC -> commit lag the chain rule imposes.
+    std::map<lumiere::View, TimePoint> qc_at;
+    for (const auto& decision : cluster.metrics().decisions()) {
+      qc_at.emplace(decision.view, decision.at);
+    }
+    double total_lag_ms = 0;
+    std::size_t joined = 0;
+    for (const auto& entry : entries) {
+      const auto it = qc_at.find(entry.view);
+      if (it == qc_at.end()) continue;
+      total_lag_ms += static_cast<double>((entry.committed_at - it->second).ticks()) / 1000.0;
+      ++joined;
+    }
+    std::printf("%-18s | %9zu | %14lld | %18.2f\n", lumiere::runtime::to_string(core),
+                entries.size(), entries.empty() ? -1LL
+                                                : static_cast<long long>(entries.back().view),
+                joined == 0 ? 0.0 : total_lag_ms / static_cast<double>(joined));
+  }
+  std::printf("(expected: HotStuff-2 completes views faster — its responsive path\n"
+              " proposes on QC(v-1) alone instead of awaiting a NewView quorum — and\n"
+              " its QC->commit lag is one pipeline round lower: the [14] saving,\n"
+              " orthogonal to the pacemaker)\n");
+
+  std::printf(
+      "\nReading guide: the success criterion is the whole difference in the\n"
+      "'epoch msgs' column — Basic Lumiere pays heavy synchronization every\n"
+      "epoch forever, full Lumiere only at bootstrap. Gamma scaling trades\n"
+      "fault-stall latency (ev lat) against slack.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Growth-order fits for Theorem 1.1: how the measured quantities scale
+// with n. Empirical counterpart of the asymptotic columns of Table 1.
+//
+//   * worst-case communication: Cogsworth ~ n^3 vs LP22/Lumiere ~ n^2
+//   * eventual communication at f_a = f: LP22 ~ n^2 (epoch syncs) vs
+//     Lumiere ~ n (f_a * n per window, f_a proportional to n here, so
+//     Lumiere's fitted slope lands near 2 as well — the separating
+//     measure is eventual comm at fixed f_a, also printed)
+//   * eventual latency at fixed f_a = 1: LP22 ~ n, Lumiere ~ 1.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace lumiere::bench {
+namespace {
+
+const std::vector<std::uint32_t> kSizes = {4, 7, 13, 19};
+
+struct SeriesPoint {
+  std::uint32_t n;
+  double worst_comm = 0;
+  double ev_comm_full_faults = 0;   // f_a = f (grows with n)
+  double ev_comm_one_fault = 0;     // f_a = 1 (fixed)
+  double ev_lat_one_fault_ms = 0;   // f_a = 1 (fixed)
+};
+
+SeriesPoint measure(PacemakerKind kind, std::uint32_t n) {
+  SeriesPoint point;
+  point.n = n;
+  const std::uint32_t f = (n - 1) / 3;
+
+  if (const WorstCaseSample sample = worst_case_sample(kind, n, 2001); sample.comm) {
+    point.worst_comm = static_cast<double>(*sample.comm);
+  }
+
+  const auto eventual = [&](std::uint32_t f_a) {
+    ClusterOptions options = base_options(kind, n, 2002);
+    options.delay = std::make_shared<sim::FixedDelay>(Duration::micros(500));
+    with_silent_leaders(options, f_a);
+    Cluster cluster(options);
+    cluster.run_for(Duration::seconds(60));
+    return std::make_pair(cluster.metrics().max_msg_gap(TimePoint::origin(), 25),
+                          cluster.metrics().max_decision_gap(TimePoint::origin(), 25));
+  };
+  if (const auto [comm, lat] = eventual(f); comm) {
+    point.ev_comm_full_faults = static_cast<double>(*comm);
+    (void)lat;
+  }
+  if (const auto [comm, lat] = eventual(1); comm && lat) {
+    point.ev_comm_one_fault = static_cast<double>(*comm);
+    point.ev_lat_one_fault_ms = static_cast<double>(lat->ticks()) / 1000.0;
+  }
+  return point;
+}
+
+void run_protocol(PacemakerKind kind) {
+  std::printf("\n--- %s ---\n", runtime::to_string(kind));
+  std::printf("%-5s | %12s | %16s | %15s | %15s\n", "n", "worst comm", "ev comm (fa=f)",
+              "ev comm (fa=1)", "ev lat (fa=1) ms");
+  std::vector<double> ns;
+  std::vector<double> worst;
+  std::vector<double> ev_full;
+  std::vector<double> ev_one;
+  std::vector<double> lat_one;
+  for (const std::uint32_t n : kSizes) {
+    const SeriesPoint p = measure(kind, n);
+    std::printf("%-5u | %12.0f | %16.0f | %15.0f | %15.1f\n", p.n, p.worst_comm,
+                p.ev_comm_full_faults, p.ev_comm_one_fault, p.ev_lat_one_fault_ms);
+    ns.push_back(p.n);
+    worst.push_back(p.worst_comm);
+    ev_full.push_back(p.ev_comm_full_faults);
+    ev_one.push_back(p.ev_comm_one_fault);
+    lat_one.push_back(p.ev_lat_one_fault_ms);
+  }
+  std::printf("fitted n-exponents: worst comm %.2f | ev comm fa=f %.2f | ev comm fa=1 %.2f | "
+              "ev lat fa=1 %.2f\n",
+              loglog_slope(ns, worst), loglog_slope(ns, ev_full), loglog_slope(ns, ev_one),
+              loglog_slope(ns, lat_one));
+}
+
+}  // namespace
+}  // namespace lumiere::bench
+
+int main() {
+  using namespace lumiere::bench;
+  std::printf("bench_scaling: empirical growth orders vs n (Theorem 1.1 shapes)\n");
+  for (const PacemakerKind kind :
+       {PacemakerKind::kCogsworth, PacemakerKind::kLp22, PacemakerKind::kBasicLumiere,
+        PacemakerKind::kLumiere}) {
+    run_protocol(kind);
+  }
+  std::printf(
+      "\nReading guide: Cogsworth's worst-comm exponent should exceed LP22's and\n"
+      "Lumiere's (n^3 vs n^2); Lumiere's fa=1 columns should be ~flat in n\n"
+      "(exponent near 0 up to noise) while LP22's eventual latency grows ~n.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// End-to-end SMR throughput: chained HotStuff commits per second under
+// each pacemaker, on a fast network, all honest and with f_a = f silent
+// leaders. Not a paper artifact per se, but the practical consequence of
+// Table 1's asymptotics: the pacemaker's synchronization overhead and
+// fault-stalls translate directly into committed blocks per second.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace lumiere::bench {
+namespace {
+
+struct Throughput {
+  double commits_per_sec = 0;
+  double decisions_per_sec = 0;
+  double honest_msgs_per_commit = 0;
+};
+
+Throughput measure(PacemakerKind kind, std::uint32_t n, std::uint32_t f_a) {
+  ClusterOptions options = base_options(kind, n, 5001);
+  options.params = ProtocolParams::for_n(n, bench_delta_cap(), /*x=*/4);
+  options.core = CoreKind::kChainedHotStuff;
+  options.delay = std::make_shared<lumiere::sim::FixedDelay>(lumiere::Duration::micros(500));
+  with_silent_leaders(options, f_a);
+  Cluster cluster(options);
+  const auto seconds = lumiere::Duration::seconds(30);
+  cluster.run_for(seconds);
+  Throughput out;
+  std::size_t commits = 0;
+  for (const ProcessId id : cluster.honest_ids()) {
+    commits = std::max(commits, cluster.node(id).ledger().size());
+  }
+  out.commits_per_sec = static_cast<double>(commits) / seconds.to_seconds();
+  out.decisions_per_sec =
+      static_cast<double>(cluster.metrics().decisions().size()) / seconds.to_seconds();
+  if (commits > 0) {
+    out.honest_msgs_per_commit =
+        static_cast<double>(cluster.metrics().total_honest_msgs()) /
+        static_cast<double>(commits);
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace lumiere::bench
+
+int main() {
+  using namespace lumiere::bench;
+  std::printf("bench_throughput: chained HotStuff commits/sec by pacemaker\n"
+              "(delta = 0.5ms, Delta = 10ms, x = 4, 30s simulated)\n\n");
+  for (const std::uint32_t n : {4U, 13U}) {
+    const std::uint32_t f = (n - 1) / 3;
+    std::printf("--- n = %u ---\n", n);
+    std::printf("%-16s | %14s | %14s | %16s | %14s\n", "protocol", "commits/s fa=0",
+                "commits/s fa=f", "decisions/s fa=0", "msgs/commit");
+    for (const PacemakerKind kind : table1_protocols()) {
+      const Throughput clean = measure(kind, n, 0);
+      const Throughput faulty = measure(kind, n, f);
+      std::printf("%-16s | %14.1f | %14.1f | %16.1f | %14.1f\n",
+                  lumiere::runtime::to_string(kind), clean.commits_per_sec,
+                  faulty.commits_per_sec, clean.decisions_per_sec,
+                  clean.honest_msgs_per_commit);
+    }
+    std::printf("\n");
+  }
+  std::printf("Reading guide: the responsive protocols (Fever/Basic/Lumiere) commit at\n"
+              "network speed; RareSync is Gamma-paced (lowest clean throughput); LP22\n"
+              "sits between (responsive within epochs only). Under faults the bumping\n"
+              "protocols degrade gracefully; message cost per commit stays O(n).\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary runs argument-free, bounded-time, and prints the
+// rows/series of the paper artifact it regenerates (Table 1, Figure 1)
+// plus the supporting sweeps. Absolute values are simulator time; the
+// claims under test are *shapes* (who wins, growth order, crossover) —
+// see EXPERIMENTS.md.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adversary/behaviors.h"
+#include "adversary/delay_adversary.h"
+#include "runtime/cluster.h"
+#include "runtime/experiment.h"
+
+namespace lumiere::bench {
+
+using runtime::Cluster;
+using runtime::ClusterOptions;
+using runtime::CoreKind;
+using runtime::PacemakerKind;
+
+/// The protocols compared in Table 1, plus RareSync (the other
+/// quadratic-optimal synchronizer the paper discusses in §6).
+inline std::vector<PacemakerKind> table1_protocols() {
+  return {PacemakerKind::kCogsworth, PacemakerKind::kNaorKeidar,
+          PacemakerKind::kRareSync,  PacemakerKind::kLp22,
+          PacemakerKind::kFever,     PacemakerKind::kBasicLumiere,
+          PacemakerKind::kLumiere};
+}
+
+/// Known post-GST delivery bound used by all benches.
+inline Duration bench_delta_cap() { return Duration::millis(10); }
+
+/// First `count` process ids.
+inline std::vector<ProcessId> first_ids(std::uint32_t count) {
+  std::vector<ProcessId> ids;
+  for (ProcessId id = 0; id < count; ++id) ids.push_back(id);
+  return ids;
+}
+
+/// Baseline options for a protocol at size n.
+inline ClusterOptions base_options(PacemakerKind kind, std::uint32_t n, std::uint64_t seed) {
+  ClusterOptions options;
+  options.params = ProtocolParams::for_n(n, bench_delta_cap());
+  options.pacemaker = kind;
+  options.core = CoreKind::kSimpleView;
+  options.seed = seed;
+  return options;
+}
+
+/// Attaches f_a silent-leader Byzantine processes.
+inline void with_silent_leaders(ClusterOptions& options, std::uint32_t f_a) {
+  if (f_a == 0) return;
+  options.behavior_for = adversary::byzantine_set(first_ids(f_a), [](ProcessId) {
+    return std::make_unique<adversary::SilentLeaderBehavior>();
+  });
+}
+
+/// Formats an optional duration in milliseconds.
+inline std::string fmt_ms(std::optional<Duration> d) {
+  if (!d) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(d->ticks()) / 1000.0);
+  return buf;
+}
+
+inline std::string fmt_count(std::optional<std::uint64_t> v) {
+  if (!v) return "-";
+  return std::to_string(*v);
+}
+
+/// Worst-case window measurement: with GST at the origin, a synchronized
+/// start, the worst permitted network (every message at the Delta bound)
+/// and f_a silent leaders, the costliest communication window between
+/// consecutive decisions lies in the warmup (it contains the heavy epoch
+/// synchronization and the longest faulty-leader stretches). Returns
+/// {max messages in any of the first `windows` inter-decision windows
+/// (including start -> first decision), max latency of those windows}.
+struct WorstCaseSample {
+  std::optional<std::uint64_t> comm;
+  std::optional<Duration> latency;
+};
+
+inline WorstCaseSample worst_case_sample(PacemakerKind kind, std::uint32_t n,
+                                         std::uint64_t seed, std::size_t windows = 10) {
+  const std::uint32_t f = (n - 1) / 3;
+  ClusterOptions options = base_options(kind, n, seed);
+  options.gst = TimePoint::origin();
+  options.delay = nullptr;  // worst permitted: max(GST, t) + Delta
+  with_silent_leaders(options, f);
+  Cluster cluster(options);
+  cluster.run_for(Duration::seconds(240));
+  const auto& decisions = cluster.metrics().decisions();
+  WorstCaseSample sample;
+  if (decisions.empty()) return sample;
+  std::uint64_t worst_comm = decisions.front().msgs_before;
+  Duration worst_latency = decisions.front().at - TimePoint::origin();
+  for (std::size_t i = 1; i < decisions.size() && i <= windows; ++i) {
+    worst_comm = std::max(worst_comm, decisions[i].msgs_before - decisions[i - 1].msgs_before);
+    worst_latency = std::max(worst_latency, decisions[i].at - decisions[i - 1].at);
+  }
+  sample.comm = worst_comm;
+  sample.latency = worst_latency;
+  return sample;
+}
+
+/// Least-squares slope of log(y) against log(x): the empirical growth
+/// order of y(x) ~ x^slope.
+inline double loglog_slope(const std::vector<double>& x, const std::vector<double>& y) {
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double sxy = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < x.size() && i < y.size(); ++i) {
+    if (x[i] <= 0 || y[i] <= 0) continue;
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++count;
+  }
+  if (count < 2) return 0.0;
+  const double denominator = static_cast<double>(count) * sxx - sx * sx;
+  if (denominator == 0) return 0.0;
+  return (static_cast<double>(count) * sxy - sx * sy) / denominator;
+}
+
+}  // namespace lumiere::bench

@@ -1,0 +1,78 @@
+// Byzantine storm: a 10-processor deployment (f = 3) weathering the full
+// fault budget with *mixed* adversarial behavior — one leader-shirker,
+// one QC-withholder, one equivocator — on a jittery network with a late
+// GST. The scenario the paper's introduction motivates: view
+// synchronization must keep honest leaders deciding despite everything
+// the adversary is permitted.
+#include <cstdio>
+
+#include "adversary/behaviors.h"
+#include "core/lumiere.h"
+#include "runtime/cluster.h"
+
+using namespace lumiere;
+
+int main() {
+  const TimePoint gst(Duration::seconds(1).ticks());
+
+  runtime::ClusterOptions options;
+  options.params = ProtocolParams::for_n(10, Duration::millis(10), /*x=*/4);
+  options.pacemaker = runtime::PacemakerKind::kLumiere;
+  options.core = runtime::CoreKind::kChainedHotStuff;
+  options.seed = 99;
+  options.gst = gst;
+  options.join_stagger = Duration::millis(400);  // desynchronized starts
+  options.delay = std::make_shared<sim::PreGstChaosDelay>(
+      gst, Duration::micros(300), Duration::millis(4), Duration::seconds(2));
+  options.behavior_for = [](ProcessId id) -> std::unique_ptr<adversary::Behavior> {
+    switch (id) {
+      case 0:
+        return std::make_unique<adversary::SilentLeaderBehavior>();
+      case 1:
+        return std::make_unique<adversary::QcWithholderBehavior>();
+      case 2:
+        return std::make_unique<adversary::EquivocatorBehavior>();
+      default:
+        return std::make_unique<adversary::HonestBehavior>();
+    }
+  };
+
+  runtime::Cluster cluster(options);
+  std::printf("byzantine_storm: n = 10, f = 3 Byzantine (silent-leader, qc-withholder,\n"
+              "equivocator), chaotic network until GST = 1s, then delta in [0.3, 4] ms\n\n");
+  cluster.run_for(Duration::seconds(61));
+
+  const auto& metrics = cluster.metrics();
+  const auto first = metrics.latency_to_first_decision(gst);
+  std::printf("first decision after GST: %s ms\n",
+              first ? std::to_string(static_cast<double>(first->ticks()) / 1000.0).c_str()
+                    : "none (!)");
+  std::printf("decisions after GST: %zu\n",
+              metrics.decisions().size() - metrics.first_decision_index_after(gst));
+
+  std::size_t shortest = SIZE_MAX;
+  std::size_t longest = 0;
+  bool consistent = true;
+  const auto honest = cluster.honest_ids();
+  for (const ProcessId id : honest) {
+    const auto& ledger = cluster.node(id).ledger();
+    shortest = std::min(shortest, ledger.size());
+    longest = std::max(longest, ledger.size());
+    consistent =
+        consistent && ledger.prefix_consistent_with(cluster.node(honest.front()).ledger());
+  }
+  std::printf("honest ledgers: %zu-%zu blocks, prefix-consistent: %s\n", shortest, longest,
+              consistent ? "yes" : "NO (safety bug!)");
+
+  // Lumiere's steady state: despite 3 Byzantine processes the heavy
+  // epoch synchronization stays off after warmup.
+  std::uint64_t heavy = 0;
+  for (const ProcessId id : honest) {
+    heavy += static_cast<const core::LumierePacemaker&>(cluster.node(id).pacemaker())
+                 .epoch_msgs_sent();
+  }
+  std::printf("heavy epoch-view broadcasts by honest nodes over the whole run: %llu\n",
+              static_cast<unsigned long long>(heavy));
+  std::printf("(bounded warmup only — the Section 3.5 mechanism at work)\n");
+  return 0;
+}

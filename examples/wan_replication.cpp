@@ -1,0 +1,91 @@
+// WAN replication: a geo-distributed 7-replica state machine. Replicas
+// live in three "regions"; intra-region links are fast (0.5ms),
+// cross-region links slow (jittery 15-35ms), and Delta must be set
+// conservatively (100ms). The paper's pitch in practice: a pacemaker
+// that is *smoothly optimistically responsive* runs at actual network
+// speed, not at Delta — and a KV store on top commits accordingly.
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "consensus/kv_store.h"
+#include "consensus/mempool.h"
+#include "runtime/cluster.h"
+
+using namespace lumiere;
+
+namespace {
+
+/// Cross-region delay model: region(id) = id % 3.
+class WanDelay final : public sim::DelayPolicy {
+ public:
+  Duration propose_delay(ProcessId from, ProcessId to, const Message&, TimePoint,
+                         Rng& rng) override {
+    if (from % 3 == to % 3) return Duration::micros(500);
+    return Duration(rng.next_in(Duration::millis(15).ticks(), Duration::millis(35).ticks()));
+  }
+};
+
+}  // namespace
+
+int main() {
+  runtime::ClusterOptions options;
+  options.params = ProtocolParams::for_n(7, Duration::millis(100), /*x=*/4);  // WAN Delta
+  options.pacemaker = runtime::PacemakerKind::kLumiere;
+  options.core = runtime::CoreKind::kChainedHotStuff;
+  options.delay = std::make_shared<WanDelay>();
+  options.seed = 7;
+
+  // Client workload: each proposed block carries a batch of SET commands
+  // (deterministic in the view so all proposers are equivalent).
+  consensus::Mempool batcher(1 << 20);
+  options.workload = [](View v) {
+    consensus::Mempool pool(1 << 20);
+    for (int i = 0; i < 4; ++i) {
+      pool.add(consensus::KvStore::set_command(
+          "key" + std::to_string((static_cast<long long>(v) * 4 + i) % 1000),
+          "value@view" + std::to_string(v)));
+    }
+    return pool.next_batch();
+  };
+
+  runtime::Cluster cluster(options);
+  std::printf("wan_replication: 7 replicas across 3 regions; intra-region 0.5ms,\n"
+              "cross-region 15-35ms, Delta = 100ms (conservative WAN bound)\n\n");
+  cluster.run_for(Duration::seconds(30));
+
+  // Replay each replica's committed log through the library KV state
+  // machine; equal-length prefixes must produce identical state digests.
+  consensus::KvStore machine;
+  const auto& ledger = cluster.node(0).ledger();
+  for (const auto& entry : ledger.entries()) machine.apply(entry.payload);
+  consensus::KvStore replica1;
+  const std::size_t common = std::min(ledger.size(), cluster.node(1).ledger().size());
+  for (std::size_t i = 0; i < common; ++i) {
+    replica1.apply(cluster.node(1).ledger().entries()[i].payload);
+  }
+  consensus::KvStore reference_prefix;
+  for (std::size_t i = 0; i < common; ++i) reference_prefix.apply(ledger.entries()[i].payload);
+  std::printf("KV state: %zu keys, %llu commands applied; replica digests match: %s\n",
+              machine.size(), static_cast<unsigned long long>(machine.applied_commands()),
+              reference_prefix.state_digest() == replica1.state_digest() ? "yes"
+                                                                         : "NO (bug!)");
+
+  std::printf("committed blocks at node 0: %zu\n", ledger.size());
+  if (const auto gap = cluster.metrics().max_decision_gap(TimePoint::origin(), 10)) {
+    std::printf("worst steady-state decision gap: %.1f ms\n",
+                static_cast<double>(gap->ticks()) / 1000.0);
+    std::printf("  -> with Gamma = 2(x+2)Delta = 1200 ms, a Delta-paced pacemaker would\n"
+                "     decide ~25x slower; responsiveness keeps it at cross-region RTT.\n");
+  }
+  const double mean_commit_spacing =
+      ledger.size() > 1
+          ? static_cast<double>((ledger.entries().back().committed_at -
+                                 ledger.entries().front().committed_at)
+                                    .ticks()) /
+                1000.0 / static_cast<double>(ledger.size() - 1)
+          : 0.0;
+  std::printf("mean commit spacing: %.1f ms (cross-region delay is 15-35 ms)\n",
+              mean_commit_spacing);
+  return 0;
+}

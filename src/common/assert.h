@@ -1,0 +1,31 @@
+// Internal invariant checking.
+//
+// LUMIERE_ASSERT is active in all build types: the protocols in this
+// repository are the artifact under study, so silently continuing past a
+// broken invariant would invalidate every measurement taken afterwards
+// (Core Guidelines P.7: catch run-time errors early).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lumiere::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "LUMIERE_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace lumiere::detail
+
+#define LUMIERE_ASSERT(expr)                                                  \
+  do {                                                                        \
+    if (!(expr)) ::lumiere::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define LUMIERE_ASSERT_MSG(expr, msg)                                           \
+  do {                                                                          \
+    if (!(expr)) ::lumiere::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

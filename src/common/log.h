@@ -1,0 +1,46 @@
+// Minimal leveled logging.
+//
+// Logging is compiled in but disabled by default; tests and examples that
+// want a protocol trace raise the level. No global mutable state other
+// than the level itself (kept as a function-local to honour I.2/I.22 —
+// no complex global initialization, no ODR hazards).
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace lumiere {
+
+enum class LogLevel : int { kNone = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+namespace detail {
+inline LogLevel& log_level_ref() noexcept {
+  static LogLevel level = LogLevel::kNone;
+  return level;
+}
+}  // namespace detail
+
+inline void set_log_level(LogLevel level) noexcept { detail::log_level_ref() = level; }
+inline LogLevel log_level() noexcept { return detail::log_level_ref(); }
+
+namespace detail {
+inline void log_line(const char* tag, const std::string& line) {
+  std::fprintf(stderr, "[%s] %s\n", tag, line.c_str());
+}
+}  // namespace detail
+
+}  // namespace lumiere
+
+#define LUMIERE_LOG_AT(lvl, tag, expr)                          \
+  do {                                                          \
+    if (::lumiere::log_level() >= (lvl)) {                      \
+      std::ostringstream lumiere_log_os;                        \
+      lumiere_log_os << expr;                                   \
+      ::lumiere::detail::log_line(tag, lumiere_log_os.str());   \
+    }                                                           \
+  } while (false)
+
+#define LOG_INFO(expr) LUMIERE_LOG_AT(::lumiere::LogLevel::kInfo, "info", expr)
+#define LOG_DEBUG(expr) LUMIERE_LOG_AT(::lumiere::LogLevel::kDebug, "debug", expr)
+#define LOG_TRACE(expr) LUMIERE_LOG_AT(::lumiere::LogLevel::kTrace, "trace", expr)

@@ -1,0 +1,50 @@
+// Protocol-wide parameters (Section 2 of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.h"
+#include "common/time.h"
+#include "common/types.h"
+
+namespace lumiere {
+
+/// The static parameters every protocol component is configured with.
+///
+/// * `n = 3f + 1` processors, at most `f` Byzantine (optimal resilience).
+/// * `delta_cap` is the *known* post-GST delivery bound Delta.
+/// * `x` is the view-completion constant of the underlying protocol
+///   ((diamond-1) in Section 2): with an honest leader and 2f+1 honest
+///   processors synchronized in the view, a QC is produced and received
+///   within `x * delta_actual`. Our SimpleViewCore has x = 3
+///   (propose, vote, QC dissemination).
+struct ProtocolParams {
+  std::uint32_t n = 4;
+  std::uint32_t f = 1;
+  Duration delta_cap = Duration::millis(100);  ///< Delta, the known bound.
+  std::uint32_t x = 3;                         ///< view-completion constant.
+
+  [[nodiscard]] std::uint32_t quorum() const noexcept { return 2 * f + 1; }      ///< 2f+1
+  [[nodiscard]] std::uint32_t small_quorum() const noexcept { return f + 1; }    ///< f+1
+
+  /// Validates n = 3f + 1 and basic sanity. Throws nothing; aborts on
+  /// misconfiguration (a configuration bug, not a runtime condition).
+  void validate() const {
+    LUMIERE_ASSERT_MSG(n == 3 * f + 1, "ProtocolParams requires n == 3f + 1");
+    LUMIERE_ASSERT(delta_cap > Duration::zero());
+    LUMIERE_ASSERT(x >= 2);
+  }
+
+  /// Convenience factory from n (must satisfy n = 3f + 1).
+  static ProtocolParams for_n(std::uint32_t n, Duration delta_cap, std::uint32_t x = 3) {
+    ProtocolParams p;
+    p.n = n;
+    p.f = (n - 1) / 3;
+    p.delta_cap = delta_cap;
+    p.x = x;
+    p.validate();
+    return p;
+  }
+};
+
+}  // namespace lumiere

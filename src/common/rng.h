@@ -1,0 +1,104 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything random in the library (leader-schedule permutations,
+// adversarial delay draws, workload generation) flows through this
+// splitmix64/xoshiro256** generator so that every experiment is exactly
+// reproducible from a single 64-bit seed. std::mt19937 is avoided because
+// its distributions are not guaranteed identical across standard-library
+// implementations.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace lumiere {
+
+/// splitmix64: used for seeding and for cheap hash mixing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    LUMIERE_ASSERT(bound > 0);
+    // Lemire's nearly-divisionless method with rejection for exactness.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    LUMIERE_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// true with probability p.
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// A uniformly random permutation of {0, ..., n-1} (Fisher-Yates).
+  std::vector<std::uint32_t> permutation(std::uint32_t n) noexcept {
+    std::vector<std::uint32_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0U);
+    for (std::uint32_t i = n; i > 1; --i) {
+      const auto j = static_cast<std::uint32_t>(next_below(i));
+      std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+  }
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng fork() noexcept { return Rng(next() ^ 0xd3833e804f4c574bULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace lumiere

@@ -1,0 +1,98 @@
+// Strong time types for the simulation and the protocols.
+//
+// All protocol logic is expressed over `TimePoint`/`Duration` rather than
+// raw integers so that units cannot be accidentally mixed (Core Guidelines
+// I.4: make interfaces precisely and strongly typed). One tick is one
+// simulated microsecond; the choice is arbitrary — every protocol bound in
+// the paper is expressed relative to Delta and delta, never in wall time.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+
+namespace lumiere {
+
+/// A signed span of simulated time. One tick == 1 simulated microsecond.
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+  constexpr explicit Duration(std::int64_t ticks) noexcept : ticks_(ticks) {}
+
+  /// Convenience factories.
+  static constexpr Duration micros(std::int64_t us) noexcept { return Duration(us); }
+  static constexpr Duration millis(std::int64_t ms) noexcept { return Duration(ms * 1000); }
+  static constexpr Duration seconds(std::int64_t s) noexcept { return Duration(s * 1'000'000); }
+  static constexpr Duration zero() noexcept { return Duration(0); }
+  static constexpr Duration max() noexcept {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t ticks() const noexcept { return ticks_; }
+  [[nodiscard]] constexpr double to_seconds() const noexcept {
+    return static_cast<double>(ticks_) / 1e6;
+  }
+
+  constexpr auto operator<=>(const Duration&) const noexcept = default;
+
+  constexpr Duration operator+(Duration o) const noexcept { return Duration(ticks_ + o.ticks_); }
+  constexpr Duration operator-(Duration o) const noexcept { return Duration(ticks_ - o.ticks_); }
+  constexpr Duration operator-() const noexcept { return Duration(-ticks_); }
+  constexpr Duration operator*(std::int64_t k) const noexcept { return Duration(ticks_ * k); }
+  constexpr Duration operator/(std::int64_t k) const noexcept { return Duration(ticks_ / k); }
+  constexpr Duration& operator+=(Duration o) noexcept {
+    ticks_ += o.ticks_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) noexcept {
+    ticks_ -= o.ticks_;
+    return *this;
+  }
+
+ private:
+  std::int64_t ticks_ = 0;
+};
+
+constexpr Duration operator*(std::int64_t k, Duration d) noexcept { return d * k; }
+
+/// An absolute instant of simulated time (ticks since simulation start).
+class TimePoint {
+ public:
+  constexpr TimePoint() noexcept = default;
+  constexpr explicit TimePoint(std::int64_t ticks) noexcept : ticks_(ticks) {}
+
+  static constexpr TimePoint origin() noexcept { return TimePoint(0); }
+  static constexpr TimePoint max() noexcept {
+    return TimePoint(std::numeric_limits<std::int64_t>::max());
+  }
+
+  [[nodiscard]] constexpr std::int64_t ticks() const noexcept { return ticks_; }
+  [[nodiscard]] constexpr double to_seconds() const noexcept {
+    return static_cast<double>(ticks_) / 1e6;
+  }
+  /// Time elapsed since the simulation origin, as a Duration.
+  [[nodiscard]] constexpr Duration since_origin() const noexcept { return Duration(ticks_); }
+
+  constexpr auto operator<=>(const TimePoint&) const noexcept = default;
+
+  constexpr TimePoint operator+(Duration d) const noexcept {
+    return TimePoint(ticks_ + d.ticks());
+  }
+  constexpr TimePoint operator-(Duration d) const noexcept {
+    return TimePoint(ticks_ - d.ticks());
+  }
+  constexpr Duration operator-(TimePoint o) const noexcept { return Duration(ticks_ - o.ticks_); }
+  constexpr TimePoint& operator+=(Duration d) noexcept {
+    ticks_ += d.ticks();
+    return *this;
+  }
+
+ private:
+  std::int64_t ticks_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) { return os << d.ticks() << "us"; }
+inline std::ostream& operator<<(std::ostream& os, TimePoint t) { return os << "t+" << t.ticks(); }
+
+}  // namespace lumiere

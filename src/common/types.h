@@ -1,0 +1,42 @@
+// Fundamental protocol identifiers shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace lumiere {
+
+/// Index of a processor in Pi = {p_0, ..., p_{n-1}}.
+using ProcessId = std::uint32_t;
+
+/// Sentinel for "no processor".
+inline constexpr ProcessId kNoProcess = static_cast<ProcessId>(-1);
+
+/// A view number. Views may be negative: every processor starts in view -1
+/// (Algorithm 1, line 3). Signed 64-bit so that clock arithmetic
+/// (c_v = Gamma * v) cannot overflow in any realistic run.
+using View = std::int64_t;
+
+/// An epoch number; processors start in epoch -1 (Algorithm 1, line 4).
+using Epoch = std::int64_t;
+
+/// Security parameter kappa, in bytes: the modeled size of hashes,
+/// signatures and threshold signatures. Every certificate is O(kappa) on
+/// the wire regardless of how many signers it aggregates (Section 2).
+inline constexpr std::size_t kKappaBytes = 32;
+
+/// The role a message plays, used by the metrics layer to attribute
+/// communication cost to the pacemaker vs. the underlying protocol.
+enum class MsgClass : std::uint8_t {
+  kPacemaker,  ///< view/epoch-view messages, VC/EC/TC dissemination
+  kConsensus,  ///< proposals, votes, QC dissemination
+};
+
+inline std::ostream& operator<<(std::ostream& os, MsgClass c) {
+  return os << (c == MsgClass::kPacemaker ? "pacemaker" : "consensus");
+}
+
+}  // namespace lumiere

@@ -1,0 +1,99 @@
+#include "consensus/block.h"
+
+namespace lumiere::consensus {
+
+Block::Block(crypto::Digest parent, View view, std::vector<std::uint8_t> payload,
+             QuorumCert justify)
+    : parent_(parent), view_(view), payload_(std::move(payload)), justify_(std::move(justify)) {
+  compute_hash();
+}
+
+void Block::compute_hash() {
+  ser::Writer w;
+  w.str("lumiere.block");
+  w.digest(parent_);
+  w.view(view_);
+  w.bytes(std::span<const std::uint8_t>(payload_.data(), payload_.size()));
+  w.view(justify_.view());
+  w.digest(justify_.block_hash());
+  hash_ = crypto::Sha256::hash(std::span<const std::uint8_t>(w.data().data(), w.size()));
+}
+
+const Block& Block::genesis() {
+  static const Block g = [] {
+    Block b;
+    b.parent_ = crypto::Digest{};
+    b.view_ = -1;
+    b.justify_ = QuorumCert();  // overwritten below to self-certify
+    b.compute_hash();
+    Block with_qc;
+    with_qc.parent_ = b.parent_;
+    with_qc.view_ = b.view_;
+    with_qc.justify_ = QuorumCert::genesis(b.hash());
+    with_qc.hash_ = b.hash();  // genesis identity excludes its own QC
+    return with_qc;
+  }();
+  return g;
+}
+
+void Block::serialize(ser::Writer& w) const {
+  w.digest(parent_);
+  w.view(view_);
+  w.bytes(std::span<const std::uint8_t>(payload_.data(), payload_.size()));
+  justify_.serialize(w);
+}
+
+std::optional<Block> Block::deserialize(ser::Reader& r) {
+  Block b;
+  if (!r.digest(b.parent_)) return std::nullopt;
+  if (!r.view(b.view_)) return std::nullopt;
+  if (!r.bytes(b.payload_)) return std::nullopt;
+  auto justify = QuorumCert::deserialize(r);
+  if (!justify) return std::nullopt;
+  b.justify_ = std::move(*justify);
+  b.compute_hash();
+  return b;
+}
+
+BlockStore::BlockStore() {
+  auto g = std::make_shared<const Block>(Block::genesis());
+  blocks_.emplace(g->hash(), std::move(g));
+}
+
+std::shared_ptr<const Block> BlockStore::insert(Block block) {
+  const auto it = blocks_.find(block.hash());
+  if (it != blocks_.end()) return it->second;
+  auto ptr = std::make_shared<const Block>(std::move(block));
+  blocks_.emplace(ptr->hash(), ptr);
+  return ptr;
+}
+
+std::shared_ptr<const Block> BlockStore::get(const crypto::Digest& hash) const {
+  const auto it = blocks_.find(hash);
+  return it == blocks_.end() ? nullptr : it->second;
+}
+
+bool BlockStore::contains(const crypto::Digest& hash) const {
+  return blocks_.find(hash) != blocks_.end();
+}
+
+std::shared_ptr<const Block> BlockStore::ancestor(const crypto::Digest& hash,
+                                                  std::uint32_t steps) const {
+  auto current = get(hash);
+  for (std::uint32_t i = 0; i < steps && current != nullptr; ++i) {
+    current = get(current->parent());
+  }
+  return current;
+}
+
+bool BlockStore::extends(const crypto::Digest& descendant, const crypto::Digest& ancestor) const {
+  auto current = get(descendant);
+  while (current != nullptr) {
+    if (current->hash() == ancestor) return true;
+    if (current->view() <= Block::genesis().view()) break;
+    current = get(current->parent());
+  }
+  return current != nullptr && current->hash() == ancestor;
+}
+
+}  // namespace lumiere::consensus

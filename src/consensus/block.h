@@ -1,0 +1,75 @@
+// Blocks: the units the underlying SMR protocol chains and commits.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "consensus/quorum_cert.h"
+#include "crypto/sha256.h"
+#include "ser/serializer.h"
+
+namespace lumiere::consensus {
+
+/// An immutable proposed block. `justify` is the QC the proposer extends
+/// (chained-HotStuff style); SimpleViewCore also carries it so that every
+/// block is self-certifying about its parent's quorum.
+class Block {
+ public:
+  Block(crypto::Digest parent, View view, std::vector<std::uint8_t> payload, QuorumCert justify);
+
+  /// The deterministic genesis block (view -1, no payload).
+  static const Block& genesis();
+
+  [[nodiscard]] const crypto::Digest& hash() const noexcept { return hash_; }
+  [[nodiscard]] const crypto::Digest& parent() const noexcept { return parent_; }
+  [[nodiscard]] View view() const noexcept { return view_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& payload() const noexcept { return payload_; }
+  [[nodiscard]] const QuorumCert& justify() const noexcept { return justify_; }
+
+  void serialize(ser::Writer& w) const;
+  [[nodiscard]] static std::optional<Block> deserialize(ser::Reader& r);
+
+  bool operator==(const Block& other) const noexcept { return hash_ == other.hash_; }
+
+ private:
+  Block() = default;
+  void compute_hash();
+
+  crypto::Digest parent_;
+  View view_ = -1;
+  std::vector<std::uint8_t> payload_;
+  QuorumCert justify_;
+  crypto::Digest hash_;
+};
+
+/// Content-addressed block storage per node. Blocks are kept by shared
+/// pointer so different indices share one allocation.
+class BlockStore {
+ public:
+  BlockStore();
+
+  /// Inserts a block (idempotent); returns the stored pointer.
+  std::shared_ptr<const Block> insert(Block block);
+
+  [[nodiscard]] std::shared_ptr<const Block> get(const crypto::Digest& hash) const;
+  [[nodiscard]] bool contains(const crypto::Digest& hash) const;
+
+  /// Walks the parent chain: returns the ancestor `steps` levels above, or
+  /// nullptr if the chain is not locally complete.
+  [[nodiscard]] std::shared_ptr<const Block> ancestor(const crypto::Digest& hash,
+                                                      std::uint32_t steps) const;
+
+  /// True if `descendant` extends (or equals) `ancestor` within the
+  /// locally known chain.
+  [[nodiscard]] bool extends(const crypto::Digest& descendant, const crypto::Digest& ancestor) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return blocks_.size(); }
+
+ private:
+  std::unordered_map<crypto::Digest, std::shared_ptr<const Block>> blocks_;
+};
+
+}  // namespace lumiere::consensus

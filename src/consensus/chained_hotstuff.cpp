@@ -1,0 +1,197 @@
+#include "consensus/chained_hotstuff.h"
+
+#include "common/log.h"
+
+namespace lumiere::consensus {
+
+ChainedHotStuff::ChainedHotStuff(const ProtocolParams& params, const crypto::Pki* pki,
+                                 crypto::Signer signer, CoreCallbacks callbacks,
+                                 PacemakerHooks hooks, PayloadProvider payload_provider)
+    : params_(params),
+      pki_(pki),
+      signer_(signer),
+      cb_(std::move(callbacks)),
+      hooks_(std::move(hooks)),
+      payload_provider_(std::move(payload_provider)),
+      high_qc_(QuorumCert::genesis(Block::genesis().hash())),
+      locked_qc_(high_qc_),
+      last_committed_hash_(Block::genesis().hash()) {
+  LUMIERE_ASSERT(pki != nullptr);
+  params_.validate();
+}
+
+void ChainedHotStuff::on_enter_view(View v) {
+  if (v <= cur_view_) return;
+  cur_view_ = v;
+  pending_proposals_.erase(pending_proposals_.begin(), pending_proposals_.lower_bound(v));
+  // Report the highest QC to the new leader so its proposal extends at
+  // least one QC held by every 2f+1 quorum (liveness after view change).
+  cb_.send(hooks_.leader_of(v), std::make_shared<NewViewMsg>(v, high_qc_));
+  maybe_propose();
+  maybe_vote();
+}
+
+void ChainedHotStuff::handle_new_view(ProcessId from, const NewViewMsg& msg) {
+  const View v = msg.view();
+  if (hooks_.leader_of(v) != signer_.id()) return;
+  if (v < cur_view_) return;  // stale
+  if (msg.high_qc().verify(*pki_, params_)) {
+    process_qc(msg.high_qc());
+  }
+  auto [it, inserted] = new_view_senders_.try_emplace(v, SignerSet(params_.n));
+  (void)inserted;
+  it->second.add(from);
+  maybe_propose();
+}
+
+void ChainedHotStuff::on_propose_allowed(View /*v*/) { maybe_propose(); }
+
+void ChainedHotStuff::maybe_propose() {
+  const View v = cur_view_;
+  if (v < 0) return;
+  if (hooks_.leader_of(v) != signer_.id()) return;
+  if (proposed_.contains(v)) return;
+  if (hooks_.may_propose && !hooks_.may_propose(v)) return;
+  const auto it = new_view_senders_.find(v);
+  if (it == new_view_senders_.end() || it->second.count() < params_.quorum()) return;
+
+  proposed_.insert(v);
+  std::vector<std::uint8_t> payload;
+  if (payload_provider_) payload = payload_provider_(v);
+  Block block(high_qc_.block_hash(), v, std::move(payload), high_qc_);
+  my_proposal_hash_[v] = block.hash();
+  store_.insert(block);
+  LOG_TRACE("p" << signer_.id() << " HS-proposes view " << v);
+  cb_.broadcast(std::make_shared<ProposalMsg>(std::move(block)));
+}
+
+bool ChainedHotStuff::safe_to_vote(const Block& block) const {
+  if (block.view() <= last_voted_view_) return false;
+  // safeNode: extends the locked block, or carries a newer justify than
+  // our lock (the standard HotStuff disjunction).
+  if (block.justify().view() > locked_qc_.view()) return true;
+  return store_.extends(block.hash(), locked_qc_.block_hash());
+}
+
+void ChainedHotStuff::maybe_vote() {
+  const auto it = pending_proposals_.find(cur_view_);
+  if (it == pending_proposals_.end()) return;
+  const Block& block = it->second;
+  if (!safe_to_vote(block)) return;
+  last_voted_view_ = block.view();
+  const crypto::Digest statement = QuorumCert::statement(block.view(), block.hash());
+  cb_.send(hooks_.leader_of(block.view()),
+           std::make_shared<VoteMsg>(block.view(), block.hash(),
+                                     crypto::threshold_share(signer_, statement)));
+}
+
+void ChainedHotStuff::handle_proposal(ProcessId from, const ProposalMsg& msg) {
+  const Block& block = msg.block();
+  const View v = block.view();
+  if (v < cur_view_) return;
+  if (hooks_.leader_of(v) != from) return;
+  if (!block.justify().verify(*pki_, params_)) return;
+  store_.insert(block);
+  process_qc(block.justify());  // a proposal piggybacks the QC it extends
+  if (!pending_proposals_.contains(v)) pending_proposals_.emplace(v, block);
+  maybe_vote();
+}
+
+void ChainedHotStuff::handle_vote(ProcessId /*from*/, const VoteMsg& msg) {
+  const View v = msg.view();
+  if (hooks_.leader_of(v) != signer_.id()) return;
+  // Leaders that moved past v stop assembling its QC — see (diamond-2):
+  // a QC must come from 2f+1 processors in view v over a shared interval,
+  // not from stragglers passing through v at disjoint times.
+  if (v < cur_view_) return;
+  if (closed_views_.contains(v)) return;
+  const auto proposed = my_proposal_hash_.find(v);
+  if (proposed == my_proposal_hash_.end() || proposed->second != msg.block_hash()) return;
+  auto [it, inserted] = aggregators_.try_emplace(
+      v, pki_, QuorumCert::statement(v, msg.block_hash()), params_.quorum(), params_.n);
+  (void)inserted;
+  if (!it->second.add(msg.share())) return;
+  if (!it->second.complete()) return;
+
+  closed_views_.insert(v);
+  if (hooks_.may_form_qc && !hooks_.may_form_qc(v)) {
+    aggregators_.erase(v);
+    return;
+  }
+  QuorumCert qc(v, msg.block_hash(), it->second.aggregate());
+  aggregators_.erase(v);
+  if (cb_.qc_formed) cb_.qc_formed(qc);
+  cb_.broadcast(std::make_shared<QcMsg>(std::move(qc)));
+}
+
+void ChainedHotStuff::handle_qc_msg(const QcMsg& msg) {
+  if (!msg.qc().verify(*pki_, params_)) return;
+  process_qc(msg.qc());
+}
+
+void ChainedHotStuff::process_qc(const QuorumCert& qc) {
+  if (qc.view() > high_qc_.view()) high_qc_ = qc;
+  const bool fresh = !seen_qc_views_.contains(qc.view());
+  if (fresh) {
+    seen_qc_views_.insert(qc.view());
+    if (cb_.qc_seen) cb_.qc_seen(qc);
+  }
+
+  // Chain rules. b0 is the block this QC certifies.
+  const auto b0 = store_.get(qc.block_hash());
+  if (b0 == nullptr) return;
+  const QuorumCert& qc1 = b0->justify();
+  // 2-chain lock: qc -> b0 --parent--> b1 certified by qc1.
+  if (b0->parent() != qc1.block_hash()) return;
+  if (qc1.view() > locked_qc_.view()) locked_qc_ = qc1;
+
+  const auto b1 = store_.get(qc1.block_hash());
+  if (b1 == nullptr) return;
+  const QuorumCert& qc2 = b1->justify();
+  if (b1->parent() != qc2.block_hash()) return;
+  // 3-chain commit with consecutive views.
+  if (qc.view() == qc1.view() + 1 && qc1.view() == qc2.view() + 1) {
+    const auto b2 = store_.get(qc2.block_hash());
+    if (b2 != nullptr && b2->view() > last_committed_view_) commit_chain(*b2);
+  }
+}
+
+void ChainedHotStuff::commit_chain(const Block& tip) {
+  // Commit every uncommitted ancestor of `tip` (inclusive), oldest first.
+  std::vector<std::shared_ptr<const Block>> chain;
+  auto current = store_.get(tip.hash());
+  while (current != nullptr && current->view() > last_committed_view_) {
+    chain.push_back(current);
+    current = store_.get(current->parent());
+  }
+  // The chain must reconnect to the last committed block — a break would
+  // mean a safety violation or missing ancestors; commit nothing rather
+  // than commit a fork.
+  if (current == nullptr || current->hash() != last_committed_hash_) return;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    last_committed_view_ = (*it)->view();
+    last_committed_hash_ = (*it)->hash();
+    if (cb_.decided) cb_.decided(**it);
+  }
+}
+
+void ChainedHotStuff::on_message(ProcessId from, const MessagePtr& msg) {
+  switch (msg->type_id()) {
+    case kNewView:
+      handle_new_view(from, static_cast<const NewViewMsg&>(*msg));
+      break;
+    case kProposal:
+      handle_proposal(from, static_cast<const ProposalMsg&>(*msg));
+      break;
+    case kVote:
+      handle_vote(from, static_cast<const VoteMsg&>(*msg));
+      break;
+    case kQcAnnounce:
+      handle_qc_msg(static_cast<const QcMsg&>(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace lumiere::consensus

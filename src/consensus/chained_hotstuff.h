@@ -1,0 +1,90 @@
+// Chained HotStuff (Yin et al., PODC 2019) as the full SMR layer.
+//
+// One block per view, pipelined phases, 3-chain commit rule with
+// consecutive views. The pacemaker is external (that is the whole point
+// of this repository); this core only:
+//
+//   * sends NewView(high_qc) to lead(v) on entering view v,
+//   * as leader: proposes once 2f+1 NewView messages arrive, extending
+//     the highest reported QC,
+//   * votes under the safeNode rule (extends locked block, or justify
+//     newer than lock),
+//   * aggregates votes into QCs, broadcasts them,
+//   * locks on 2-chains and commits on 3-chains with consecutive views.
+//
+// x = 4 for (diamond-1): new-view + proposal + vote + QC dissemination.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "consensus/block.h"
+#include "consensus/core.h"
+#include "consensus/messages.h"
+#include "crypto/pki.h"
+#include "crypto/threshold.h"
+
+namespace lumiere::consensus {
+
+class ChainedHotStuff final : public ConsensusCore {
+ public:
+  using PayloadProvider = std::function<std::vector<std::uint8_t>(View)>;
+
+  ChainedHotStuff(const ProtocolParams& params, const crypto::Pki* pki, crypto::Signer signer,
+                  CoreCallbacks callbacks, PacemakerHooks hooks,
+                  PayloadProvider payload_provider = nullptr);
+
+  [[nodiscard]] std::uint32_t x() const override { return 4; }
+  void on_enter_view(View v) override;
+  void on_message(ProcessId from, const MessagePtr& msg) override;
+  void on_propose_allowed(View v) override;
+  [[nodiscard]] const QuorumCert& high_qc() const override { return high_qc_; }
+
+  [[nodiscard]] View current_view() const noexcept { return cur_view_; }
+  [[nodiscard]] const QuorumCert& locked_qc() const noexcept { return locked_qc_; }
+  [[nodiscard]] const BlockStore& block_store() const noexcept { return store_; }
+  [[nodiscard]] View last_committed_view() const noexcept { return last_committed_view_; }
+
+ private:
+  void handle_new_view(ProcessId from, const NewViewMsg& msg);
+  void handle_proposal(ProcessId from, const ProposalMsg& msg);
+  void handle_vote(ProcessId from, const VoteMsg& msg);
+  void handle_qc_msg(const QcMsg& msg);
+  void maybe_propose();
+  void maybe_vote();
+  /// Chain bookkeeping for any newly observed QC: high-qc update, 2-chain
+  /// lock, 3-chain commit.
+  void process_qc(const QuorumCert& qc);
+  void commit_chain(const Block& tip);
+  [[nodiscard]] bool safe_to_vote(const Block& block) const;
+
+  ProtocolParams params_;
+  const crypto::Pki* pki_;
+  crypto::Signer signer_;
+  CoreCallbacks cb_;
+  PacemakerHooks hooks_;
+  PayloadProvider payload_provider_;
+
+  View cur_view_ = -1;
+  View last_voted_view_ = -1;
+  QuorumCert high_qc_;
+  QuorumCert locked_qc_;
+  View last_committed_view_ = -1;
+  crypto::Digest last_committed_hash_;
+
+  BlockStore store_;
+  /// NewView bookkeeping for the view this node currently leads:
+  /// distinct senders seen and the highest valid QC they reported.
+  std::map<View, SignerSet> new_view_senders_;
+  std::set<View> proposed_;
+  std::map<View, crypto::Digest> my_proposal_hash_;
+  std::map<View, crypto::ThresholdAggregator> aggregators_;
+  std::set<View> closed_views_;
+  std::map<View, Block> pending_proposals_;
+  std::set<View> seen_qc_views_;
+};
+
+}  // namespace lumiere::consensus

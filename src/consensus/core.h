@@ -1,0 +1,83 @@
+// The abstract "underlying protocol" of Section 2.
+//
+// A ConsensusCore is the view-scoped consensus logic the pacemaker
+// synchronizes. The contract mirrors the paper's assumptions:
+//
+//  (diamond-1) There is a known x >= 2 such that, post-GST, if lead(v) is
+//      honest and 2f+1 honest processors stay in view v, all honest
+//      processors receive a QC for v within x * delta.
+//  (diamond-2) No view produces a QC unless 2f+1 processors act as if
+//      honest and in the view over a non-empty interval.
+//
+// Each implementation documents its x. The pacemaker is consulted through
+// `PacemakerHooks` before a leader finalizes a QC (Lumiere's
+// Gamma/2 - 2*Delta production deadline, Section 4).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/params.h"
+#include "common/time.h"
+#include "common/types.h"
+#include "consensus/quorum_cert.h"
+#include "ser/message.h"
+
+namespace lumiere::consensus {
+
+class Block;
+
+/// Callbacks a ConsensusCore uses to reach the outside world. Provided by
+/// the runtime Node; plain std::function so tests can wire cores directly.
+struct CoreCallbacks {
+  std::function<void(ProcessId to, MessagePtr msg)> send;
+  std::function<void(MessagePtr msg)> broadcast;
+  /// Fired when *this node*, as leader, forms a QC (before broadcasting).
+  std::function<void(const QuorumCert& qc)> qc_formed;
+  /// Fired when any valid QC is observed (own or received); the pacemaker
+  /// consumes these to bump clocks / advance views.
+  std::function<void(const QuorumCert& qc)> qc_seen;
+  /// SMR commit (chained HotStuff / HotStuff-2).
+  std::function<void(const Block& block)> decided;
+  /// Runs `fn` after `delay` of real (simulated) time. Cores that need
+  /// timers (HotStuff-2's Delta-wait before a non-responsive proposal)
+  /// use this; may be null for cores that never schedule.
+  std::function<void(Duration delay, std::function<void()> fn)> schedule;
+};
+
+/// The pacemaker-side hooks consulted by cores.
+struct PacemakerHooks {
+  /// Leader schedule: lead(v).
+  std::function<ProcessId(View)> leader_of;
+  /// May this node, as lead(v), produce a QC for v right now? Lumiere
+  /// enforces its production deadline here; other pacemakers say yes.
+  std::function<bool(View v)> may_form_qc;
+  /// May this node, as lead(v), broadcast its proposal for v right now?
+  /// Lumiere holds initial-view proposals until the leader has sent the
+  /// VC for v, which anchors the QC-production deadline (Section 4); the
+  /// pacemaker later calls ConsensusCore::on_propose_allowed(v).
+  std::function<bool(View v)> may_propose;
+};
+
+class ConsensusCore {
+ public:
+  virtual ~ConsensusCore() = default;
+
+  /// The view-completion constant x of (diamond-1) for this core.
+  [[nodiscard]] virtual std::uint32_t x() const = 0;
+
+  /// The pacemaker moved this node into view v (monotonically increasing).
+  virtual void on_enter_view(View v) = 0;
+
+  /// A message arrived from `from` (possibly Byzantine — validate).
+  virtual void on_message(ProcessId from, const MessagePtr& msg) = 0;
+
+  /// The pacemaker lifted a may_propose() gate for view v (see
+  /// PacemakerHooks::may_propose). Default: retry proposing.
+  virtual void on_propose_allowed(View v) = 0;
+
+  /// Highest QC this node knows (for proposals and new-view reporting).
+  [[nodiscard]] virtual const QuorumCert& high_qc() const = 0;
+};
+
+}  // namespace lumiere::consensus

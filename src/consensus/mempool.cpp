@@ -1,0 +1,40 @@
+#include "consensus/mempool.h"
+
+#include <string_view>
+
+#include "ser/serializer.h"
+
+namespace lumiere::consensus {
+
+void Mempool::add(std::vector<std::uint8_t> command) { queue_.push_back(std::move(command)); }
+
+void Mempool::add(std::string_view command) {
+  queue_.emplace_back(command.begin(), command.end());
+}
+
+std::vector<std::uint8_t> Mempool::next_batch() {
+  ser::Writer w;
+  std::size_t used = 0;
+  while (!queue_.empty()) {
+    const auto& cmd = queue_.front();
+    const std::size_t cost = cmd.size() + 4;
+    if (used > 0 && used + cost > max_batch_bytes_) break;
+    w.bytes(std::span<const std::uint8_t>(cmd.data(), cmd.size()));
+    used += cost;
+    queue_.pop_front();
+  }
+  return std::move(w).take();
+}
+
+std::vector<std::vector<std::uint8_t>> Mempool::split_batch(
+    const std::vector<std::uint8_t>& payload) {
+  std::vector<std::vector<std::uint8_t>> out;
+  ser::Reader r(std::span<const std::uint8_t>(payload.data(), payload.size()));
+  std::vector<std::uint8_t> cmd;
+  while (!r.exhausted() && r.bytes(cmd)) {
+    out.push_back(cmd);
+  }
+  return out;
+}
+
+}  // namespace lumiere::consensus

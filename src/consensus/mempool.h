@@ -1,0 +1,35 @@
+// A minimal client-command pool feeding block payloads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string_view>
+#include <vector>
+
+namespace lumiere::consensus {
+
+/// FIFO command pool. Commands are opaque byte strings; `next_batch`
+/// drains up to `max_batch_bytes` worth into one payload (length-prefixed
+/// concatenation so the examples can split them back out).
+class Mempool {
+ public:
+  explicit Mempool(std::size_t max_batch_bytes = 4096) : max_batch_bytes_(max_batch_bytes) {}
+
+  void add(std::vector<std::uint8_t> command);
+  void add(std::string_view command);
+
+  /// Builds the next payload, removing the included commands.
+  [[nodiscard]] std::vector<std::uint8_t> next_batch();
+
+  /// Splits a payload built by next_batch back into commands.
+  [[nodiscard]] static std::vector<std::vector<std::uint8_t>> split_batch(
+      const std::vector<std::uint8_t>& payload);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  std::size_t max_batch_bytes_;
+  std::deque<std::vector<std::uint8_t>> queue_;
+};
+
+}  // namespace lumiere::consensus

@@ -1,0 +1,44 @@
+#include "consensus/quorum_cert.h"
+
+namespace lumiere::consensus {
+
+crypto::Digest QuorumCert::statement(View view, const crypto::Digest& block_hash) {
+  ser::Writer w;
+  w.str("lumiere.qc");
+  w.view(view);
+  w.digest(block_hash);
+  return crypto::Sha256::hash(std::span<const std::uint8_t>(w.data().data(), w.size()));
+}
+
+QuorumCert QuorumCert::genesis(const crypto::Digest& genesis_hash) {
+  QuorumCert qc;
+  qc.view_ = -1;
+  qc.block_hash_ = genesis_hash;
+  return qc;
+}
+
+bool QuorumCert::verify(const crypto::Pki& pki, const ProtocolParams& params) const {
+  if (is_genesis()) return true;
+  if (sig_.message != statement(view_, block_hash_)) return false;
+  return crypto::verify_threshold(pki, sig_, params.quorum());
+}
+
+void QuorumCert::serialize(ser::Writer& w) const {
+  w.view(view_);
+  w.digest(block_hash_);
+  w.digest(sig_.message);
+  w.signer_set(sig_.signers);
+  w.digest(sig_.tag);
+}
+
+std::optional<QuorumCert> QuorumCert::deserialize(ser::Reader& r) {
+  QuorumCert qc;
+  if (!r.view(qc.view_)) return std::nullopt;
+  if (!r.digest(qc.block_hash_)) return std::nullopt;
+  if (!r.digest(qc.sig_.message)) return std::nullopt;
+  if (!r.signer_set(qc.sig_.signers)) return std::nullopt;
+  if (!r.digest(qc.sig_.tag)) return std::nullopt;
+  return qc;
+}
+
+}  // namespace lumiere::consensus

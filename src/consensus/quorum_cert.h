@@ -1,0 +1,53 @@
+// Quorum certificates (Section 2, "The underlying protocol").
+//
+// A QC for view v is a threshold signature by 2f+1 distinct processors
+// testifying that they completed the instructions for view v on a given
+// block. Its wire size is O(kappa), independent of n.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/params.h"
+#include "common/types.h"
+#include "crypto/sha256.h"
+#include "crypto/threshold.h"
+#include "ser/serializer.h"
+
+namespace lumiere::consensus {
+
+class QuorumCert {
+ public:
+  QuorumCert() = default;
+  QuorumCert(View view, crypto::Digest block_hash, crypto::ThresholdSig sig)
+      : view_(view), block_hash_(block_hash), sig_(std::move(sig)) {}
+
+  /// The statement that vote shares sign: binds view and block.
+  static crypto::Digest statement(View view, const crypto::Digest& block_hash);
+
+  /// The genesis QC: certifies the genesis block at view -1. Trusted by
+  /// construction (all processors are initialized with it), never
+  /// verified cryptographically.
+  static QuorumCert genesis(const crypto::Digest& genesis_hash);
+
+  [[nodiscard]] View view() const noexcept { return view_; }
+  [[nodiscard]] const crypto::Digest& block_hash() const noexcept { return block_hash_; }
+  [[nodiscard]] const crypto::ThresholdSig& sig() const noexcept { return sig_; }
+  [[nodiscard]] bool is_genesis() const noexcept { return view_ == -1; }
+
+  /// Full verification: 2f+1 distinct valid signers over the right
+  /// statement. Genesis QCs verify trivially.
+  [[nodiscard]] bool verify(const crypto::Pki& pki, const ProtocolParams& params) const;
+
+  void serialize(ser::Writer& w) const;
+  [[nodiscard]] static std::optional<QuorumCert> deserialize(ser::Reader& r);
+
+  bool operator==(const QuorumCert&) const = default;
+
+ private:
+  View view_ = -1;
+  crypto::Digest block_hash_;
+  crypto::ThresholdSig sig_;
+};
+
+}  // namespace lumiere::consensus

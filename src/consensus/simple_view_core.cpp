@@ -1,0 +1,125 @@
+#include "consensus/simple_view_core.h"
+
+#include "common/log.h"
+
+namespace lumiere::consensus {
+
+SimpleViewCore::SimpleViewCore(const ProtocolParams& params, const crypto::Pki* pki,
+                               crypto::Signer signer, CoreCallbacks callbacks,
+                               PacemakerHooks hooks, PayloadProvider payload_provider)
+    : params_(params),
+      pki_(pki),
+      signer_(signer),
+      cb_(std::move(callbacks)),
+      hooks_(std::move(hooks)),
+      payload_provider_(std::move(payload_provider)),
+      high_qc_(QuorumCert::genesis(Block::genesis().hash())) {
+  LUMIERE_ASSERT(pki != nullptr);
+  params_.validate();
+}
+
+void SimpleViewCore::on_enter_view(View v) {
+  if (v <= cur_view_) return;  // monotone; duplicate notifications are no-ops
+  cur_view_ = v;
+  // Old buffered proposals can never be voted again.
+  proposals_.erase(proposals_.begin(), proposals_.lower_bound(v));
+  maybe_propose(v);
+  maybe_vote(v);
+}
+
+void SimpleViewCore::on_propose_allowed(View v) {
+  if (v == cur_view_) maybe_propose(v);
+}
+
+void SimpleViewCore::maybe_propose(View v) {
+  if (hooks_.leader_of(v) != signer_.id()) return;
+  if (proposed_.contains(v)) return;
+  if (hooks_.may_propose && !hooks_.may_propose(v)) return;
+  proposed_.insert(v);
+  std::vector<std::uint8_t> payload;
+  if (payload_provider_) payload = payload_provider_(v);
+  Block block(high_qc_.block_hash(), v, std::move(payload), high_qc_);
+  my_proposal_hash_[v] = block.hash();
+  LOG_TRACE("p" << signer_.id() << " proposes view " << v);
+  cb_.broadcast(std::make_shared<ProposalMsg>(std::move(block)));
+}
+
+void SimpleViewCore::maybe_vote(View v) {
+  if (v != cur_view_ || v <= last_voted_view_) return;
+  const auto it = proposals_.find(v);
+  if (it == proposals_.end()) return;
+  const Block& block = it->second;
+  last_voted_view_ = v;
+  const crypto::Digest statement = QuorumCert::statement(v, block.hash());
+  cb_.send(hooks_.leader_of(v),
+           std::make_shared<VoteMsg>(v, block.hash(), crypto::threshold_share(signer_, statement)));
+}
+
+void SimpleViewCore::on_message(ProcessId from, const MessagePtr& msg) {
+  switch (msg->type_id()) {
+    case kProposal:
+      handle_proposal(from, static_cast<const ProposalMsg&>(*msg));
+      break;
+    case kVote:
+      handle_vote(from, static_cast<const VoteMsg&>(*msg));
+      break;
+    case kQcAnnounce:
+      handle_qc(static_cast<const QcMsg&>(*msg));
+      break;
+    default:
+      break;  // not a consensus message; the Node routes, but be tolerant
+  }
+}
+
+void SimpleViewCore::handle_proposal(ProcessId from, const ProposalMsg& msg) {
+  const View v = msg.block().view();
+  if (v < cur_view_) return;
+  if (hooks_.leader_of(v) != from) return;  // not the legitimate proposer
+  // Keep only the first proposal per view; an equivocating leader simply
+  // fails to gather a quorum on either copy.
+  if (!proposals_.contains(v)) proposals_.emplace(v, msg.block());
+  maybe_vote(v);
+}
+
+void SimpleViewCore::handle_vote(ProcessId /*from*/, const VoteMsg& msg) {
+  const View v = msg.view();
+  if (hooks_.leader_of(v) != signer_.id()) return;  // not our view to lead
+  // A leader that moved past v no longer assembles its QC. Without this,
+  // votes cast by processors passing through v at *disjoint* times could
+  // combine into a QC, violating the spirit of (diamond-2) — which
+  // requires 2f+1 processors acting in view v over a non-empty interval.
+  if (v < cur_view_) return;
+  if (closed_views_.contains(v)) return;
+  const auto proposed = my_proposal_hash_.find(v);
+  if (proposed == my_proposal_hash_.end()) return;       // haven't proposed yet
+  if (proposed->second != msg.block_hash()) return;      // vote for foreign block
+  auto [it, inserted] = aggregators_.try_emplace(
+      v, pki_, QuorumCert::statement(v, msg.block_hash()), params_.quorum(), params_.n);
+  (void)inserted;
+  if (!it->second.add(msg.share())) return;
+  if (!it->second.complete()) return;
+
+  closed_views_.insert(v);
+  if (hooks_.may_form_qc && !hooks_.may_form_qc(v)) {
+    // Production deadline missed (Section 4): the view is forfeited.
+    LOG_TRACE("p" << signer_.id() << " forfeits QC for view " << v << " (deadline)");
+    aggregators_.erase(v);
+    return;
+  }
+  QuorumCert qc(v, msg.block_hash(), it->second.aggregate());
+  aggregators_.erase(v);
+  if (cb_.qc_formed) cb_.qc_formed(qc);
+  LOG_TRACE("p" << signer_.id() << " forms QC for view " << v);
+  cb_.broadcast(std::make_shared<QcMsg>(std::move(qc)));
+}
+
+void SimpleViewCore::handle_qc(const QcMsg& msg) {
+  const QuorumCert& qc = msg.qc();
+  if (seen_qc_views_.contains(qc.view())) return;
+  if (!qc.verify(*pki_, params_)) return;
+  seen_qc_views_.insert(qc.view());
+  if (qc.view() > high_qc_.view()) high_qc_ = qc;
+  if (cb_.qc_seen) cb_.qc_seen(qc);
+}
+
+}  // namespace lumiere::consensus

@@ -1,0 +1,156 @@
+#include "core/basic_lumiere.h"
+
+#include "common/log.h"
+
+namespace lumiere::core {
+
+using pacemaker::EcMsg;
+using pacemaker::EpochViewMsg;
+using pacemaker::SyncCert;
+using pacemaker::VcMsg;
+using pacemaker::ViewMsg;
+
+BasicLumierePacemaker::BasicLumierePacemaker(const ProtocolParams& params, ProcessId self,
+                                             crypto::Signer signer,
+                                             pacemaker::PacemakerWiring wiring, Options options)
+    : Pacemaker(params, self, signer, std::move(wiring)),
+      options_(options),
+      schedule_(params.n, 2),
+      gamma_(options.gamma > Duration::zero() ? options.gamma
+                                              : params.delta_cap * (2 * (params.x + 1))) {}
+
+void BasicLumierePacemaker::start() { process_clock(); }
+
+void BasicLumierePacemaker::arm_boundary_alarm() {
+  clock().cancel_alarm(boundary_alarm_);
+  const Duration r = clock().reading();
+  View next = r.ticks() / gamma_.ticks() + 1;
+  if (next % 2 != 0) ++next;  // only initial (even) views are clock-entered
+  boundary_alarm_ = clock().set_alarm(view_time(next), [this] { process_clock(); });
+}
+
+void BasicLumierePacemaker::process_clock() {
+  const Duration r = clock().reading();
+  const View w = r.ticks() / gamma_.ticks();
+  if (r == view_time(w) && is_initial(w) && w > view_) {
+    if (is_epoch_view(w)) {
+      begin_epoch_sync(w);
+    } else {
+      enter_view(w);
+      send_view_msg(w);
+    }
+  }
+  arm_boundary_alarm();
+}
+
+void BasicLumierePacemaker::begin_epoch_sync(View epoch_view) {
+  clock().pause();
+  if (!epoch_msg_sent_.contains(epoch_view)) {
+    epoch_msg_sent_.insert(epoch_view);
+    broadcast(std::make_shared<EpochViewMsg>(
+        epoch_view,
+        crypto::threshold_share(signer_, pacemaker::epoch_msg_statement(epoch_view))));
+  }
+}
+
+void BasicLumierePacemaker::enter_view(View v) {
+  if (v <= view_) return;
+  view_ = v;
+  notify_enter_view(v);
+}
+
+void BasicLumierePacemaker::send_view_msg(View v) {
+  if (view_msg_sent_.contains(v)) return;
+  view_msg_sent_.insert(v);
+  send_to(leader_of(v), std::make_shared<ViewMsg>(
+                            v, crypto::threshold_share(signer_,
+                                                       pacemaker::view_msg_statement(v))));
+}
+
+void BasicLumierePacemaker::handle_view_share(const ViewMsg& msg) {
+  const View v = msg.view();
+  // VCs exist only for initial non-epoch views (Section 3.4).
+  if (!is_initial(v) || is_epoch_view(v) || leader_of(v) != self_) return;
+  if (vc_sent_.contains(v) || v < view_) return;
+  auto [it, inserted] = view_aggs_.try_emplace(v, &pki(), pacemaker::view_msg_statement(v),
+                                               params_.small_quorum(), params_.n);
+  (void)inserted;
+  if (!it->second.add(msg.share())) return;
+  if (it->second.complete()) {
+    vc_sent_.insert(v);
+    broadcast(std::make_shared<VcMsg>(SyncCert(v, it->second.aggregate())));
+  }
+}
+
+void BasicLumierePacemaker::handle_vc(const VcMsg& msg) {
+  const SyncCert& cert = msg.cert();
+  const View v = cert.view();
+  if (!is_initial(v) || is_epoch_view(v) || v <= view_) return;
+  if (!cert.verify(pki(), params_.small_quorum(), &pacemaker::view_msg_statement)) return;
+  if (clock().reading() < view_time(v)) {
+    clock().bump_to(view_time(v));
+    process_clock();  // exact landing enters the view
+  }
+}
+
+void BasicLumierePacemaker::handle_epoch_share(const EpochViewMsg& msg) {
+  const View v = msg.view();
+  if (!is_epoch_view(v)) return;
+  if (v <= view_ || ec_sent_.contains(v)) return;
+  auto [it, inserted] = epoch_aggs_.try_emplace(v, &pki(), pacemaker::epoch_msg_statement(v),
+                                                params_.quorum(), params_.n);
+  (void)inserted;
+  if (!it->second.add(msg.share())) return;
+  if (it->second.complete()) {
+    ec_sent_.insert(v);
+    broadcast(std::make_shared<EcMsg>(SyncCert(v, it->second.aggregate())));
+  }
+}
+
+void BasicLumierePacemaker::handle_ec(const EcMsg& msg) {
+  const SyncCert& cert = msg.cert();
+  const View v = cert.view();
+  if (!is_epoch_view(v) || v <= view_) return;
+  if (!cert.verify(pki(), params_.quorum(), &pacemaker::epoch_msg_statement)) return;
+  clock().bump_to(view_time(v));
+  clock().unpause();
+  enter_view(v);
+  process_clock();
+}
+
+void BasicLumierePacemaker::on_message(ProcessId /*from*/, const MessagePtr& msg) {
+  switch (msg->type_id()) {
+    case pacemaker::kViewMsg:
+      handle_view_share(static_cast<const ViewMsg&>(*msg));
+      break;
+    case pacemaker::kVcMsg:
+      handle_vc(static_cast<const VcMsg&>(*msg));
+      break;
+    case pacemaker::kEpochViewMsg:
+      handle_epoch_share(static_cast<const EpochViewMsg&>(*msg));
+      break;
+    case pacemaker::kEcMsg:
+      handle_ec(static_cast<const EcMsg&>(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void BasicLumierePacemaker::on_qc(const consensus::QuorumCert& qc) {
+  const View next = qc.view() + 1;
+  // "if a correct processor p receives a QC for view v-1 ... and if
+  // lc(p) < c_v, then p instantaneously bumps their local clock to c_v."
+  // When v is an epoch view the landing triggers the heavy sync; when v
+  // is initial non-epoch the landing enters the view; when v is
+  // non-initial we also enter it directly.
+  if (clock().reading() < view_time(next)) {
+    clock().bump_to(view_time(next));
+  }
+  if (!is_initial(next) && next > view_) {
+    enter_view(next);
+  }
+  process_clock();
+}
+
+}  // namespace lumiere::core

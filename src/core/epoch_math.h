@@ -1,0 +1,75 @@
+// Epoch/view arithmetic for Lumiere (Section 4).
+//
+// Epoch e consists of the 10n views [10n*e, 10n*(e+1)). Views come in
+// leader pairs (tenure 2): even views are initial, odd views are
+// non-initial grace periods. Each epoch is 5 "segments" of 2n views; one
+// segment gives every processor exactly one pair of consecutive views, so
+// each processor leads exactly 10 views per epoch.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.h"
+#include "common/time.h"
+#include "common/types.h"
+
+namespace lumiere::core {
+
+class EpochMath {
+ public:
+  /// Segments per epoch (the paper's factor 5: 10n views / 2n per segment).
+  static constexpr std::int64_t kSegmentsPerEpoch = 5;
+  /// Views each leader leads per epoch (the success criterion's "10 QCs").
+  static constexpr std::int64_t kViewsPerLeaderPerEpoch = 2 * kSegmentsPerEpoch;
+
+  EpochMath(std::uint32_t n, Duration gamma) : n_(n), gamma_(gamma) {
+    LUMIERE_ASSERT(n > 0);
+    LUMIERE_ASSERT(gamma > Duration::zero());
+  }
+
+  [[nodiscard]] std::int64_t views_per_epoch() const noexcept {
+    return kSegmentsPerEpoch * 2 * static_cast<std::int64_t>(n_);
+  }
+  [[nodiscard]] std::int64_t views_per_segment() const noexcept {
+    return 2 * static_cast<std::int64_t>(n_);
+  }
+
+  /// V(e): the first view (the epoch view) of epoch e.
+  [[nodiscard]] View epoch_first_view(Epoch e) const noexcept { return e * views_per_epoch(); }
+
+  /// E(v): the epoch view v belongs to (E(-1) = -1).
+  [[nodiscard]] Epoch epoch_of(View v) const noexcept {
+    if (v < 0) return -1;
+    return v / views_per_epoch();
+  }
+
+  [[nodiscard]] bool is_epoch_view(View v) const noexcept {
+    return v >= 0 && v % views_per_epoch() == 0;
+  }
+  [[nodiscard]] static bool is_initial(View v) noexcept { return v >= 0 && v % 2 == 0; }
+
+  /// c_v = Gamma * v: the local-clock time corresponding to view v.
+  [[nodiscard]] Duration view_time(View v) const noexcept { return gamma_ * v; }
+
+  /// The view whose window contains clock value `r` (floor(r / Gamma)).
+  [[nodiscard]] View view_at(Duration r) const noexcept { return r.ticks() / gamma_.ticks(); }
+
+  /// True iff clock value `r` is exactly a view boundary c_v.
+  [[nodiscard]] bool at_boundary(Duration r) const noexcept {
+    return r.ticks() % gamma_.ticks() == 0;
+  }
+
+  /// Segment index of view v (permutation window for the leader schedule).
+  [[nodiscard]] std::int64_t segment_of(View v) const noexcept {
+    return v >= 0 ? v / views_per_segment() : -1;
+  }
+
+  [[nodiscard]] Duration gamma() const noexcept { return gamma_; }
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+
+ private:
+  std::uint32_t n_;
+  Duration gamma_;
+};
+
+}  // namespace lumiere::core

@@ -1,0 +1,49 @@
+// Honest-gap instrumentation (Definition 3.1).
+//
+// hg_{i,t} is the difference between the most advanced honest local clock
+// and the i-th most advanced at time t. Lumiere's analysis revolves
+// around hg_{f+1} (Lemmas 5.9-5.15); this tracker lets tests and benches
+// observe it directly. Pure observer — protocols never read it.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/time.h"
+#include "sim/local_clock.h"
+
+namespace lumiere::core {
+
+class HonestGapTracker {
+ public:
+  /// `clocks` are the honest processors' clocks (borrowed; must outlive).
+  explicit HonestGapTracker(std::vector<const sim::LocalClock*> clocks)
+      : clocks_(std::move(clocks)) {
+    LUMIERE_ASSERT(!clocks_.empty());
+  }
+
+  /// Sorted clock readings, most advanced first.
+  [[nodiscard]] std::vector<Duration> sorted_readings() const {
+    std::vector<Duration> values;
+    values.reserve(clocks_.size());
+    for (const auto* clock : clocks_) values.push_back(clock->reading());
+    std::sort(values.begin(), values.end(), std::greater<>());
+    return values;
+  }
+
+  /// hg_{i}: gap between the most advanced and the i-th most advanced
+  /// honest clock (1-based, per the paper; hg_1 == 0).
+  [[nodiscard]] Duration gap(std::uint32_t i) const {
+    const auto values = sorted_readings();
+    LUMIERE_ASSERT(i >= 1 && i <= values.size());
+    return values.front() - values[i - 1];
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return clocks_.size(); }
+
+ private:
+  std::vector<const sim::LocalClock*> clocks_;
+};
+
+}  // namespace lumiere::core

@@ -1,0 +1,66 @@
+// Lumiere's leader schedule (Section 4).
+//
+// Leaders get two consecutive views. Each 2n-view segment is ordered by a
+// permutation; the paper requires that the last leader of epoch e equal
+// the first leader of epoch e+1 (so one honest leader can bridge the
+// epoch change, Lemma 5.13). The paper phrases this with a random family
+// (g_0, ..., g_{z-1}) where odd-indexed permutations are followed by
+// their reverses; with 5 segments per epoch that stipulation does not
+// land a reverse-pair on every epoch boundary, so we implement the
+// footnote's *intent* directly: the first segment of each epoch e >= 1
+// uses the reverse of the last segment of epoch e-1, and every other
+// segment draws a fresh seeded random permutation. This satisfies
+// exactly the property the proof uses. (Documented as a deviation in
+// DESIGN.md.)
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/epoch_math.h"
+#include "pacemaker/leader_schedule.h"
+
+namespace lumiere::core {
+
+class ReversePermutationSchedule final : public pacemaker::LeaderSchedule {
+ public:
+  ReversePermutationSchedule(std::uint32_t n, std::uint64_t seed)
+      : n_(n), seed_(seed) {
+    LUMIERE_ASSERT(n > 0);
+  }
+
+  [[nodiscard]] ProcessId leader_of(View v) const override {
+    if (v < 0) return 0;
+    const auto segment = v / (2 * static_cast<std::int64_t>(n_));
+    const auto slot = static_cast<std::uint32_t>((v / 2) % n_);
+    return permutation_for(segment)[slot];
+  }
+
+  /// The permutation ordering leaders within `segment` (exposed for tests).
+  [[nodiscard]] const std::vector<std::uint32_t>& permutation_for(std::int64_t segment) const {
+    const auto it = cache_.find(segment);
+    if (it != cache_.end()) return it->second;
+    std::vector<std::uint32_t> perm;
+    if (segment > 0 && segment % EpochMath::kSegmentsPerEpoch == 0) {
+      // Epoch boundary: reverse of the previous segment's ordering, so
+      // perm[0] == prev[n-1] (same leader bridges the boundary).
+      const auto& prev = permutation_for(segment - 1);
+      perm.assign(prev.rbegin(), prev.rend());
+    } else {
+      Rng rng(seed_ ^ (static_cast<std::uint64_t>(segment) * 0x9e3779b97f4a7c15ULL) ^
+              0x1ead5c8edULL);
+      perm = rng.permutation(n_);
+    }
+    return cache_.emplace(segment, std::move(perm)).first->second;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t seed_;
+  mutable std::unordered_map<std::int64_t, std::vector<std::uint32_t>> cache_;
+};
+
+}  // namespace lumiere::core

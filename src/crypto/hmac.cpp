@@ -1,0 +1,36 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace lumiere::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message) noexcept {
+  constexpr std::size_t kBlock = 64;
+  std::uint8_t key_block[kBlock] = {};
+  if (key.size() > kBlock) {
+    const Digest kd = Sha256::hash(key);
+    std::memcpy(key_block, kd.bytes().data(), Digest::kSize);
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[kBlock];
+  std::uint8_t opad[kBlock];
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(std::span<const std::uint8_t>(ipad, kBlock));
+  inner.update(message);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(std::span<const std::uint8_t>(opad, kBlock));
+  outer.update(inner_digest.as_span());
+  return outer.finish();
+}
+
+}  // namespace lumiere::crypto

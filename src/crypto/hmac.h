@@ -1,0 +1,36 @@
+// HMAC-SHA256 (RFC 2104).
+//
+// Used as the MAC underlying the simulation's signature scheme: the paper
+// assumes perfect signatures, and in a closed simulation a keyed MAC whose
+// key is held by the trusted Pki gives exactly that (unforgeable by any
+// process that does not hold the key). Verified against RFC 4231 vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "crypto/sha256.h"
+
+namespace lumiere::crypto {
+
+/// A 32-byte symmetric key.
+using SecretKey = std::array<std::uint8_t, 32>;
+
+/// One-shot HMAC-SHA256.
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> message) noexcept;
+
+[[nodiscard]] inline Digest hmac_sha256(const SecretKey& key,
+                                        std::span<const std::uint8_t> message) noexcept {
+  return hmac_sha256(std::span<const std::uint8_t>(key.data(), key.size()), message);
+}
+
+[[nodiscard]] inline Digest hmac_sha256(const SecretKey& key, std::string_view message) noexcept {
+  return hmac_sha256(key, std::span<const std::uint8_t>(
+                              reinterpret_cast<const std::uint8_t*>(message.data()),
+                              message.size()));
+}
+
+}  // namespace lumiere::crypto

@@ -1,0 +1,34 @@
+#include "crypto/pki.h"
+
+namespace lumiere::crypto {
+
+Pki::Pki(std::uint32_t n, std::uint64_t seed) {
+  keys_.reserve(n);
+  Rng rng(seed ^ 0x9d2c5680cafef00dULL);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SecretKey key{};
+    for (std::size_t w = 0; w < key.size(); w += 8) {
+      const std::uint64_t word = rng.next();
+      for (std::size_t b = 0; b < 8; ++b) {
+        key[w + b] = static_cast<std::uint8_t>(word >> (8 * b));
+      }
+    }
+    keys_.push_back(key);
+  }
+}
+
+Digest Pki::mac_for(ProcessId id, const Digest& message) const {
+  LUMIERE_ASSERT(id < n());
+  return hmac_sha256(keys_[id], message.as_span());
+}
+
+bool Pki::verify(const Digest& message, const Signature& sig) const {
+  if (sig.signer >= n()) return false;
+  return mac_for(sig.signer, message) == sig.mac;
+}
+
+Signature Signer::sign(const Digest& message) const {
+  return Signature{id_, pki_->mac_for(id_, message)};
+}
+
+}  // namespace lumiere::crypto

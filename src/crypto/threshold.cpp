@@ -1,0 +1,84 @@
+#include "crypto/threshold.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace lumiere::crypto {
+
+namespace {
+
+/// Domain separation: threshold shares sign H("lumiere.ts" || message) so a
+/// share can never be replayed as a standalone signature or vice versa.
+Digest share_statement(const Digest& message) {
+  Sha256 h;
+  h.update("lumiere.ts");
+  h.update(message.as_span());
+  return h.finish();
+}
+
+/// Aggregation tag: binds the message, the ordered signer set, and the
+/// ordered share MACs.
+Digest aggregation_tag(const Digest& message, const std::vector<PartialSig>& sorted_shares) {
+  Sha256 h;
+  h.update("lumiere.agg");
+  h.update(message.as_span());
+  for (const auto& share : sorted_shares) {
+    const std::uint8_t id_bytes[4] = {
+        static_cast<std::uint8_t>(share.signer),
+        static_cast<std::uint8_t>(share.signer >> 8),
+        static_cast<std::uint8_t>(share.signer >> 16),
+        static_cast<std::uint8_t>(share.signer >> 24),
+    };
+    h.update(std::span<const std::uint8_t>(id_bytes, 4));
+    h.update(share.mac.as_span());
+  }
+  return h.finish();
+}
+
+}  // namespace
+
+PartialSig threshold_share(const Signer& signer, const Digest& message) {
+  const Signature sig = signer.sign(share_statement(message));
+  return PartialSig{sig.signer, sig.mac};
+}
+
+ThresholdAggregator::ThresholdAggregator(const Pki* pki, Digest message, std::uint32_t m,
+                                         std::uint32_t n)
+    : pki_(pki), message_(message), m_(m), signers_(n) {
+  LUMIERE_ASSERT(pki != nullptr);
+  LUMIERE_ASSERT(m >= 1 && m <= n);
+}
+
+bool ThresholdAggregator::add(const PartialSig& share) {
+  if (share.signer >= signers_.universe_size()) return false;
+  if (signers_.contains(share.signer)) return false;
+  if (!pki_->verify(share_statement(message_), Signature{share.signer, share.mac})) {
+    return false;
+  }
+  signers_.add(share.signer);
+  const auto pos = std::lower_bound(
+      shares_.begin(), shares_.end(), share,
+      [](const PartialSig& a, const PartialSig& b) { return a.signer < b.signer; });
+  shares_.insert(pos, share);
+  return true;
+}
+
+ThresholdSig ThresholdAggregator::aggregate() const {
+  LUMIERE_ASSERT_MSG(complete(), "aggregate() before threshold reached");
+  return ThresholdSig{message_, signers_, aggregation_tag(message_, shares_)};
+}
+
+bool verify_threshold(const Pki& pki, const ThresholdSig& sig, std::uint32_t min_signers) {
+  if (sig.signers.count() < min_signers) return false;
+  if (sig.signers.universe_size() != pki.n()) return false;
+  const Digest statement = share_statement(sig.message);
+  std::vector<PartialSig> shares;
+  shares.reserve(sig.signers.count());
+  for (const ProcessId id : sig.signers.members()) {
+    shares.push_back(PartialSig{id, pki.mac_for(id, statement)});
+  }
+  return aggregation_tag(sig.message, shares) == sig.tag;
+}
+
+}  // namespace lumiere::crypto

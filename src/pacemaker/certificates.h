@@ -1,0 +1,65 @@
+// View-synchronization certificates (VC / EC / wish certificates).
+#pragma once
+
+#include <optional>
+
+#include "common/params.h"
+#include "crypto/threshold.h"
+#include "ser/serializer.h"
+
+namespace lumiere::pacemaker {
+
+/// The statement signed by a "view v message": just the view number,
+/// domain-separated (Section 3.3: "This message is just the value v
+/// signed by p").
+[[nodiscard]] crypto::Digest view_msg_statement(View v);
+
+/// The statement signed by an "epoch view v message".
+[[nodiscard]] crypto::Digest epoch_msg_statement(View v);
+
+/// The statement signed by a relay wish (Cogsworth / NK20).
+[[nodiscard]] crypto::Digest wish_statement(View v);
+
+/// A generic certificate: a threshold signature by `threshold` distinct
+/// processors over one of the statements above. VC = f+1 view messages;
+/// EC = 2f+1 epoch-view messages; Cogsworth's view-change cert = f+1
+/// wishes. Wire size O(kappa).
+class SyncCert {
+ public:
+  SyncCert() = default;
+  SyncCert(View view, crypto::ThresholdSig sig) : view_(view), sig_(std::move(sig)) {}
+
+  [[nodiscard]] View view() const noexcept { return view_; }
+  [[nodiscard]] const crypto::ThresholdSig& sig() const noexcept { return sig_; }
+
+  /// Verifies signer threshold and statement binding. `statement` must be
+  /// the statement function the certificate was built over.
+  [[nodiscard]] bool verify(const crypto::Pki& pki, std::uint32_t min_signers,
+                            crypto::Digest (*statement)(View)) const {
+    if (sig_.message != statement(view_)) return false;
+    return crypto::verify_threshold(pki, sig_, min_signers);
+  }
+
+  void serialize(ser::Writer& w) const {
+    w.view(view_);
+    w.digest(sig_.message);
+    w.signer_set(sig_.signers);
+    w.digest(sig_.tag);
+  }
+  [[nodiscard]] static std::optional<SyncCert> deserialize(ser::Reader& r) {
+    SyncCert c;
+    if (!r.view(c.view_)) return std::nullopt;
+    if (!r.digest(c.sig_.message)) return std::nullopt;
+    if (!r.signer_set(c.sig_.signers)) return std::nullopt;
+    if (!r.digest(c.sig_.tag)) return std::nullopt;
+    return c;
+  }
+
+  bool operator==(const SyncCert&) const = default;
+
+ private:
+  View view_ = -1;
+  crypto::ThresholdSig sig_;
+};
+
+}  // namespace lumiere::pacemaker

@@ -1,0 +1,117 @@
+#include "pacemaker/fever.h"
+
+#include "common/log.h"
+
+namespace lumiere::pacemaker {
+
+Duration FeverPacemaker::default_gamma(const ProtocolParams& params, std::uint32_t tenure) {
+  LUMIERE_ASSERT(tenure >= 2);
+  // Gamma >= (2 + tenure * x) * Delta / (tenure - 1), rounded up to keep
+  // the liveness budget intact with integer ticks.
+  const std::int64_t numerator =
+      (2 + static_cast<std::int64_t>(tenure) * params.x) * params.delta_cap.ticks();
+  const std::int64_t denominator = tenure - 1;
+  return Duration((numerator + denominator - 1) / denominator);
+}
+
+FeverPacemaker::FeverPacemaker(const ProtocolParams& params, ProcessId self,
+                               crypto::Signer signer, PacemakerWiring wiring, Options options)
+    : Pacemaker(params, self, signer, std::move(wiring)),
+      options_(options),
+      tenure_(options.tenure),
+      schedule_(params.n, options.tenure),
+      gamma_(options.gamma > Duration::zero() ? options.gamma
+                                              : default_gamma(params, options.tenure)) {
+  LUMIERE_ASSERT_MSG(tenure_ >= 2, "Fever needs at least one grace view per tenure");
+}
+
+void FeverPacemaker::start() { process_clock(); }
+
+void FeverPacemaker::arm_boundary_alarm() {
+  clock().cancel_alarm(boundary_alarm_);
+  const Duration r = clock().reading();
+  // Next *initial* view boundary strictly above the current value.
+  View next = r.ticks() / gamma_.ticks() + 1;
+  if (next % tenure_ != 0) next += tenure_ - (next % tenure_);
+  boundary_alarm_ = clock().set_alarm(view_time(next), [this] { process_clock(); });
+}
+
+void FeverPacemaker::process_clock() {
+  const Duration r = clock().reading();
+  const View w = r.ticks() / gamma_.ticks();
+  // "If v is initial, then p enters view v when lc(p) = c_v" — which can
+  // happen by real-time advance or by a bump landing exactly on c_v.
+  if (r == view_time(w) && is_initial(w) && w > view_) enter_initial(w);
+  arm_boundary_alarm();
+}
+
+void FeverPacemaker::enter_initial(View v) {
+  view_ = v;
+  notify_enter_view(v);
+  send_view_msg(v);
+}
+
+void FeverPacemaker::send_view_msg(View v) {
+  if (view_msg_sent_.contains(v)) return;
+  view_msg_sent_.insert(v);
+  send_to(leader_of(v),
+          std::make_shared<ViewMsg>(v, crypto::threshold_share(signer_, view_msg_statement(v))));
+}
+
+void FeverPacemaker::handle_view_share(const ViewMsg& msg) {
+  const View v = msg.view();
+  if (!is_initial(v) || leader_of(v) != self_) return;
+  if (vc_sent_.contains(v) || v < view_) return;
+  auto [it, inserted] = view_aggs_.try_emplace(v, &pki(), view_msg_statement(v),
+                                               params_.small_quorum(), params_.n);
+  (void)inserted;
+  if (!it->second.add(msg.share())) return;
+  if (it->second.complete()) {
+    vc_sent_.insert(v);
+    broadcast(std::make_shared<VcMsg>(SyncCert(v, it->second.aggregate())));
+  }
+}
+
+void FeverPacemaker::handle_vc(const VcMsg& msg) {
+  const SyncCert& cert = msg.cert();
+  const View v = cert.view();
+  if (!is_initial(v) || v <= view_) return;
+  if (!cert.verify(pki(), params_.small_quorum(), &view_msg_statement)) return;
+  // "receives ... a VC for view v, and if lc(p) < c_v, then p
+  // instantaneously bumps their local clock to c_v" — the exact landing
+  // then triggers the initial-view entry rule.
+  if (clock().reading() < view_time(v)) {
+    clock().bump_to(view_time(v));
+    process_clock();
+  }
+}
+
+void FeverPacemaker::on_message(ProcessId /*from*/, const MessagePtr& msg) {
+  switch (msg->type_id()) {
+    case kViewMsg:
+      handle_view_share(static_cast<const ViewMsg&>(*msg));
+      break;
+    case kVcMsg:
+      handle_vc(static_cast<const VcMsg&>(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void FeverPacemaker::on_qc(const consensus::QuorumCert& qc) {
+  const View next = qc.view() + 1;
+  // Bump: "receives a QC for view v-1 ... bumps their local clock to c_v".
+  if (clock().reading() < view_time(next)) {
+    clock().bump_to(view_time(next));
+  }
+  // "If v is not initial, then p enters view v if it is presently in a
+  // view < v and it receives a QC for view v-1."
+  if (!is_initial(next) && next > view_) {
+    view_ = next;
+    notify_enter_view(next);
+  }
+  process_clock();
+}
+
+}  // namespace lumiere::pacemaker

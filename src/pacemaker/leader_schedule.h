@@ -1,0 +1,65 @@
+// Leader schedules: lead(v) assignments used by the pacemakers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace lumiere::pacemaker {
+
+class LeaderSchedule {
+ public:
+  virtual ~LeaderSchedule() = default;
+  [[nodiscard]] virtual ProcessId leader_of(View v) const = 0;
+};
+
+/// lead(v) = floor(v / tenure) mod n. tenure = 1 reproduces LP22's
+/// "v mod n"; tenure = 2 reproduces Fever's "floor(v/2) mod n". Larger
+/// tenures implement the Section 3.3 remark on reducing Gamma by giving
+/// each leader more consecutive views.
+class RoundRobinSchedule final : public LeaderSchedule {
+ public:
+  RoundRobinSchedule(std::uint32_t n, std::uint32_t tenure = 1) : n_(n), tenure_(tenure) {
+    LUMIERE_ASSERT(n > 0 && tenure > 0);
+  }
+
+  [[nodiscard]] ProcessId leader_of(View v) const override {
+    if (v < 0) return 0;
+    return static_cast<ProcessId>((static_cast<std::uint64_t>(v) / tenure_) % n_);
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t tenure_;
+};
+
+/// A seeded random permutation per window of `n * tenure` views (NK20's
+/// randomized leader ordering). Deterministic in the seed.
+class SeededPermutationSchedule final : public LeaderSchedule {
+ public:
+  SeededPermutationSchedule(std::uint32_t n, std::uint64_t seed, std::uint32_t tenure = 1)
+      : n_(n), seed_(seed), tenure_(tenure) {
+    LUMIERE_ASSERT(n > 0 && tenure > 0);
+  }
+
+  [[nodiscard]] ProcessId leader_of(View v) const override {
+    if (v < 0) return 0;
+    const std::uint64_t window = static_cast<std::uint64_t>(v) / (static_cast<std::uint64_t>(n_) * tenure_);
+    const auto slot =
+        static_cast<std::uint32_t>((static_cast<std::uint64_t>(v) / tenure_) % n_);
+    Rng rng(seed_ ^ (window * 0x9e3779b97f4a7c15ULL) ^ 0x5eedab1eULL);
+    const auto perm = rng.permutation(n_);
+    return perm[slot];
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t seed_;
+  std::uint32_t tenure_;
+};
+
+}  // namespace lumiere::pacemaker

@@ -1,0 +1,107 @@
+#include "pacemaker/lp22.h"
+
+#include "common/log.h"
+
+namespace lumiere::pacemaker {
+
+Lp22Pacemaker::Lp22Pacemaker(const ProtocolParams& params, ProcessId self, crypto::Signer signer,
+                             PacemakerWiring wiring, Options options)
+    : Pacemaker(params, self, signer, std::move(wiring)),
+      options_(options),
+      schedule_(params.n, 1),
+      gamma_(options.gamma > Duration::zero() ? options.gamma
+                                              : params.delta_cap * (params.x + 1)) {}
+
+void Lp22Pacemaker::start() { process_clock(); }
+
+void Lp22Pacemaker::arm_boundary_alarm() {
+  clock().cancel_alarm(boundary_alarm_);
+  const Duration r = clock().reading();
+  const View next = r.ticks() / gamma_.ticks() + 1;
+  boundary_alarm_ = clock().set_alarm(view_time(next), [this] { process_clock(); });
+}
+
+void Lp22Pacemaker::process_clock() {
+  const Duration r = clock().reading();
+  const View w = r.ticks() / gamma_.ticks();
+  if (r == view_time(w) && w > view_) {
+    if (is_epoch_view(w)) {
+      begin_epoch_sync(w);
+    } else {
+      // "Processor p enters non-epoch view v when its local clock
+      // reaches c_v."
+      enter_view(w);
+    }
+  }
+  arm_boundary_alarm();
+}
+
+void Lp22Pacemaker::begin_epoch_sync(View epoch_view) {
+  // "At this point, it pauses its local clock and sends an epoch view v
+  // message to all processors."
+  clock().pause();
+  if (!epoch_msg_sent_.contains(epoch_view)) {
+    epoch_msg_sent_.insert(epoch_view);
+    broadcast(std::make_shared<EpochViewMsg>(
+        epoch_view, crypto::threshold_share(signer_, epoch_msg_statement(epoch_view))));
+  }
+}
+
+void Lp22Pacemaker::enter_view(View v) {
+  if (v <= view_) return;
+  view_ = v;
+  notify_enter_view(v);
+}
+
+void Lp22Pacemaker::handle_epoch_share(const EpochViewMsg& msg) {
+  const View v = msg.view();
+  if (!is_epoch_view(v)) return;
+  // "Upon receiving epoch view v messages from 2f+1 distinct processors
+  // while in a view < v, any honest processor combines these into an EC
+  // and sends the EC to all processors."
+  if (v <= view_ || ec_sent_.contains(v)) return;
+  auto [it, inserted] =
+      epoch_aggs_.try_emplace(v, &pki(), epoch_msg_statement(v), params_.quorum(), params_.n);
+  (void)inserted;
+  if (!it->second.add(msg.share())) return;
+  if (it->second.complete()) {
+    ec_sent_.insert(v);
+    broadcast(std::make_shared<EcMsg>(SyncCert(v, it->second.aggregate())));
+  }
+}
+
+void Lp22Pacemaker::handle_ec(const EcMsg& msg) {
+  const SyncCert& cert = msg.cert();
+  const View v = cert.view();
+  if (!is_epoch_view(v) || v <= view_) return;
+  if (!cert.verify(pki(), params_.quorum(), &epoch_msg_statement)) return;
+  // "Upon seeing an EC for view v while in any lower view, any honest
+  // processor sets lc(p) := c_v, unpauses its local clock if paused, and
+  // then enters epoch e and view v."
+  clock().bump_to(view_time(v));
+  clock().unpause();
+  enter_view(v);
+  process_clock();  // re-arm the boundary alarm from the new clock value
+}
+
+void Lp22Pacemaker::on_message(ProcessId /*from*/, const MessagePtr& msg) {
+  switch (msg->type_id()) {
+    case kEpochViewMsg:
+      handle_epoch_share(static_cast<const EpochViewMsg&>(*msg));
+      break;
+    case kEcMsg:
+      handle_ec(static_cast<const EcMsg&>(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void Lp22Pacemaker::on_qc(const consensus::QuorumCert& qc) {
+  // "Processor p enters non-epoch view v when ... p sees a QC for view
+  // v-1." No clock bump — the defining weakness of LP22.
+  const View next = qc.view() + 1;
+  if (!is_epoch_view(next) && next > view_) enter_view(next);
+}
+
+}  // namespace lumiere::pacemaker

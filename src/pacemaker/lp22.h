@@ -1,0 +1,78 @@
+// LP22 (Lewis-Pye 2022 [12]), as described in Section 3.2 of the paper.
+//
+// Views are batched into epochs of f+1 views. Entering an epoch requires
+// a heavy all-to-all synchronization: at local-clock time c_{V(e)} a
+// processor pauses its clock and broadcasts an epoch-view message; 2f+1
+// such messages aggregate into an Epoch Certificate (EC), which is
+// broadcast and admits everyone (setting lc := c_{V(e)}). Within the
+// epoch, views are entered when the local clock reaches c_v, or early
+// when a QC for v-1 arrives — but the local clock is never advanced on
+// QCs, which is exactly why:
+//
+//  (i)  a single Byzantine leader late in the epoch costs Omega(n*Delta)
+//       between decisions infinitely often (Figure 1), and
+//  (ii) every epoch requires Theta(n^2) messages forever.
+//
+// Lumiere exists to remove both. Gamma defaults to (x+1) * Delta.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "crypto/threshold.h"
+#include "pacemaker/leader_schedule.h"
+#include "pacemaker/messages.h"
+#include "pacemaker/pacemaker.h"
+
+namespace lumiere::pacemaker {
+
+class Lp22Pacemaker final : public Pacemaker {
+ public:
+  struct Options {
+    /// Per-view time budget Gamma; zero means the paper default (x+1)*Delta.
+    Duration gamma = Duration::zero();
+  };
+
+  Lp22Pacemaker(const ProtocolParams& params, ProcessId self, crypto::Signer signer,
+                PacemakerWiring wiring, Options options);
+
+  void start() override;
+  void on_message(ProcessId from, const MessagePtr& msg) override;
+  void on_qc(const consensus::QuorumCert& qc) override;
+  [[nodiscard]] ProcessId leader_of(View v) const override { return schedule_.leader_of(v); }
+  [[nodiscard]] View current_view() const override { return view_; }
+  [[nodiscard]] const char* name() const override { return "lp22"; }
+
+  [[nodiscard]] Duration gamma() const noexcept { return gamma_; }
+  /// First view of epoch e (= e * (f+1)).
+  [[nodiscard]] View epoch_first_view(Epoch e) const noexcept {
+    return e * static_cast<View>(params_.f + 1);
+  }
+  [[nodiscard]] Epoch epoch_of(View v) const noexcept {
+    return v >= 0 ? v / static_cast<View>(params_.f + 1) : -1;
+  }
+  [[nodiscard]] bool is_epoch_view(View v) const noexcept {
+    return v >= 0 && v % static_cast<View>(params_.f + 1) == 0;
+  }
+  [[nodiscard]] Duration view_time(View v) const noexcept { return gamma_ * v; }
+
+ private:
+  void process_clock();
+  void arm_boundary_alarm();
+  void enter_view(View v);
+  void begin_epoch_sync(View epoch_view);
+  void handle_epoch_share(const EpochViewMsg& msg);
+  void handle_ec(const EcMsg& msg);
+
+  Options options_;
+  RoundRobinSchedule schedule_;  // lead(v) = v mod n (Section 3.2)
+  Duration gamma_;
+  View view_ = -1;
+  sim::AlarmId boundary_alarm_ = 0;
+  std::set<View> epoch_msg_sent_;
+  std::map<View, crypto::ThresholdAggregator> epoch_aggs_;
+  std::set<View> ec_sent_;
+};
+
+}  // namespace lumiere::pacemaker

@@ -1,0 +1,116 @@
+// Wire messages shared by the view-synchronization protocols.
+#pragma once
+
+#include <memory>
+
+#include "pacemaker/certificates.h"
+#include "ser/message.h"
+
+namespace lumiere::pacemaker {
+
+/// Message type tags (0x2000 range).
+enum MsgType : std::uint32_t {
+  kViewMsg = 0x2001,       ///< "view v" share, processor -> lead(v)
+  kVcMsg = 0x2002,         ///< VC broadcast, lead(v) -> all
+  kEpochViewMsg = 0x2003,  ///< "epoch view v" share, broadcast all-to-all
+  kEcMsg = 0x2004,         ///< aggregated EC broadcast (LP22 / Basic Lumiere)
+  kWishMsg = 0x2101,       ///< Cogsworth/NK20 relay wish, processor -> relay leader
+  kWishCertMsg = 0x2102,   ///< Cogsworth/NK20 view-change certificate broadcast
+};
+
+/// Carries one threshold share over a per-view statement. Used for view
+/// messages, epoch-view messages and wishes (distinguished by type tag;
+/// the share is domain-separated per statement so tags cannot be
+/// cross-replayed).
+template <std::uint32_t TypeId, typename Tag>
+class ShareMsg final : public Message {
+ public:
+  ShareMsg(View view, crypto::PartialSig share) : view_(view), share_(share) {}
+
+  [[nodiscard]] View view() const noexcept { return view_; }
+  [[nodiscard]] const crypto::PartialSig& share() const noexcept { return share_; }
+
+  std::uint32_t type_id() const override { return TypeId; }
+  const char* type_name() const override { return Tag::kName; }
+  MsgClass msg_class() const override { return MsgClass::kPacemaker; }
+  std::size_t wire_size() const override { return 8 + crypto::PartialSig::wire_size(); }
+  void serialize(ser::Writer& w) const override {
+    w.view(view_);
+    w.process(share_.signer);
+    w.digest(share_.mac);
+  }
+  static MessagePtr deserialize(ser::Reader& r) {
+    View view = -1;
+    crypto::PartialSig share;
+    if (!r.view(view) || !r.process(share.signer) || !r.digest(share.mac)) return nullptr;
+    return std::make_shared<ShareMsg>(view, share);
+  }
+
+ private:
+  View view_;
+  crypto::PartialSig share_;
+};
+
+/// Carries an aggregated certificate. VC/EC/wish-cert (by type tag).
+template <std::uint32_t TypeId, typename Tag>
+class CertMsg final : public Message {
+ public:
+  explicit CertMsg(SyncCert cert) : cert_(std::move(cert)) {}
+
+  [[nodiscard]] const SyncCert& cert() const noexcept { return cert_; }
+  [[nodiscard]] View view() const noexcept { return cert_.view(); }
+
+  std::uint32_t type_id() const override { return TypeId; }
+  const char* type_name() const override { return Tag::kName; }
+  MsgClass msg_class() const override { return MsgClass::kPacemaker; }
+  std::size_t wire_size() const override { return 8 + crypto::ThresholdSig::wire_size(); }
+  void serialize(ser::Writer& w) const override { cert_.serialize(w); }
+  static MessagePtr deserialize(ser::Reader& r) {
+    auto cert = SyncCert::deserialize(r);
+    if (!cert) return nullptr;
+    return std::make_shared<CertMsg>(std::move(*cert));
+  }
+
+ private:
+  SyncCert cert_;
+};
+
+namespace detail {
+struct ViewTag {
+  static constexpr const char* kName = "view";
+};
+struct VcTag {
+  static constexpr const char* kName = "vc";
+};
+struct EpochViewTag {
+  static constexpr const char* kName = "epoch-view";
+};
+struct EcTag {
+  static constexpr const char* kName = "ec";
+};
+struct WishTag {
+  static constexpr const char* kName = "wish";
+};
+struct WishCertTag {
+  static constexpr const char* kName = "wish-cert";
+};
+}  // namespace detail
+
+using ViewMsg = ShareMsg<kViewMsg, detail::ViewTag>;
+using EpochViewMsg = ShareMsg<kEpochViewMsg, detail::EpochViewTag>;
+using WishMsg = ShareMsg<kWishMsg, detail::WishTag>;
+using VcMsg = CertMsg<kVcMsg, detail::VcTag>;
+using EcMsg = CertMsg<kEcMsg, detail::EcTag>;
+using WishCertMsg = CertMsg<kWishCertMsg, detail::WishCertTag>;
+
+/// Registers all pacemaker message types with a codec.
+inline void register_pacemaker_messages(MessageCodec& codec) {
+  codec.register_type(kViewMsg, &ViewMsg::deserialize);
+  codec.register_type(kVcMsg, &VcMsg::deserialize);
+  codec.register_type(kEpochViewMsg, &EpochViewMsg::deserialize);
+  codec.register_type(kEcMsg, &EcMsg::deserialize);
+  codec.register_type(kWishMsg, &WishMsg::deserialize);
+  codec.register_type(kWishCertMsg, &WishCertMsg::deserialize);
+}
+
+}  // namespace lumiere::pacemaker

@@ -1,0 +1,29 @@
+// NK20 (Naor & Keidar, DISC 2020 [16]): expected-linear round
+// synchronization.
+//
+// Mechanically this is the Cogsworth relay scheme; the improvement that
+// yields *expected* linear communication per view change in the presence
+// of Byzantine faults is (a) a randomized leader/relay ordering, so a
+// faulty relay chain is left after expected O(1) hops, and (b) relays
+// answer for the certificate once formed. We inherit the relay machinery
+// from CogsworthPacemaker and swap in the seeded random schedule; the
+// benchmark harness measures the resulting expected-vs-worst-case split.
+#pragma once
+
+#include <memory>
+
+#include "pacemaker/cogsworth.h"
+
+namespace lumiere::pacemaker {
+
+class NaorKeidarPacemaker final : public CogsworthPacemaker {
+ public:
+  NaorKeidarPacemaker(const ProtocolParams& params, ProcessId self, crypto::Signer signer,
+                      PacemakerWiring wiring, Options options, std::uint64_t seed)
+      : CogsworthPacemaker(params, self, signer, std::move(wiring), options,
+                           std::make_unique<SeededPermutationSchedule>(params.n, seed)) {}
+
+  [[nodiscard]] const char* name() const override { return "nk20"; }
+};
+
+}  // namespace lumiere::pacemaker

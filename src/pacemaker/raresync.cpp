@@ -1,0 +1,95 @@
+#include "pacemaker/raresync.h"
+
+namespace lumiere::pacemaker {
+
+RareSyncPacemaker::RareSyncPacemaker(const ProtocolParams& params, ProcessId self,
+                                     crypto::Signer signer, PacemakerWiring wiring,
+                                     Options options)
+    : Pacemaker(params, self, signer, std::move(wiring)),
+      options_(options),
+      schedule_(params.n, 1),
+      gamma_(options.gamma > Duration::zero() ? options.gamma
+                                              : params.delta_cap * (params.x + 1)) {}
+
+void RareSyncPacemaker::start() { process_clock(); }
+
+void RareSyncPacemaker::arm_boundary_alarm() {
+  clock().cancel_alarm(boundary_alarm_);
+  const Duration r = clock().reading();
+  const View next = r.ticks() / gamma_.ticks() + 1;
+  boundary_alarm_ = clock().set_alarm(view_time(next), [this] { process_clock(); });
+}
+
+void RareSyncPacemaker::process_clock() {
+  const Duration r = clock().reading();
+  const View w = r.ticks() / gamma_.ticks();
+  if (r == view_time(w) && w > view_) {
+    if (is_epoch_view(w)) {
+      begin_epoch_sync(w);
+    } else {
+      // Views advance purely by local clock — no responsiveness.
+      enter_view(w);
+    }
+  }
+  arm_boundary_alarm();
+}
+
+void RareSyncPacemaker::begin_epoch_sync(View epoch_view) {
+  clock().pause();
+  if (!epoch_msg_sent_.contains(epoch_view)) {
+    epoch_msg_sent_.insert(epoch_view);
+    broadcast(std::make_shared<EpochViewMsg>(
+        epoch_view, crypto::threshold_share(signer_, epoch_msg_statement(epoch_view))));
+  }
+}
+
+void RareSyncPacemaker::enter_view(View v) {
+  if (v <= view_) return;
+  view_ = v;
+  notify_enter_view(v);
+}
+
+void RareSyncPacemaker::handle_epoch_share(const EpochViewMsg& msg) {
+  const View v = msg.view();
+  if (!is_epoch_view(v)) return;
+  if (v <= view_ || ec_sent_.contains(v)) return;
+  auto [it, inserted] =
+      epoch_aggs_.try_emplace(v, &pki(), epoch_msg_statement(v), params_.quorum(), params_.n);
+  (void)inserted;
+  if (!it->second.add(msg.share())) return;
+  if (it->second.complete()) {
+    ec_sent_.insert(v);
+    broadcast(std::make_shared<EcMsg>(SyncCert(v, it->second.aggregate())));
+  }
+}
+
+void RareSyncPacemaker::handle_ec(const EcMsg& msg) {
+  const SyncCert& cert = msg.cert();
+  const View v = cert.view();
+  if (!is_epoch_view(v) || v <= view_) return;
+  if (!cert.verify(pki(), params_.quorum(), &epoch_msg_statement)) return;
+  clock().bump_to(view_time(v));
+  clock().unpause();
+  enter_view(v);
+  process_clock();
+}
+
+void RareSyncPacemaker::on_message(ProcessId /*from*/, const MessagePtr& msg) {
+  switch (msg->type_id()) {
+    case kEpochViewMsg:
+      handle_epoch_share(static_cast<const EpochViewMsg&>(*msg));
+      break;
+    case kEcMsg:
+      handle_ec(static_cast<const EcMsg&>(*msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void RareSyncPacemaker::on_qc(const consensus::QuorumCert& /*qc*/) {
+  // Deliberately empty: RareSync has no responsive fast path. QCs only
+  // matter to the underlying protocol.
+}
+
+}  // namespace lumiere::pacemaker

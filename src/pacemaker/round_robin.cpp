@@ -1,0 +1,69 @@
+#include "pacemaker/round_robin.h"
+
+#include "common/log.h"
+
+namespace lumiere::pacemaker {
+
+RoundRobinPacemaker::RoundRobinPacemaker(const ProtocolParams& params, ProcessId self,
+                                         crypto::Signer signer, PacemakerWiring wiring,
+                                         Options options)
+    : Pacemaker(params, self, signer, std::move(wiring)),
+      options_(options),
+      schedule_(params.n, 1) {
+  LUMIERE_ASSERT(options_.base_timeout > Duration::zero());
+}
+
+void RoundRobinPacemaker::start() { enter_view(0, /*via_timeout=*/false); }
+
+void RoundRobinPacemaker::enter_view(View v, bool via_timeout) {
+  if (v <= view_) return;
+  view_ = v;
+  consecutive_timeouts_ = via_timeout ? consecutive_timeouts_ + 1 : 0;
+  notify_enter_view(v);
+  arm_timer();
+}
+
+void RoundRobinPacemaker::arm_timer() {
+  timer_.cancel();
+  const std::uint32_t exp =
+      std::min(consecutive_timeouts_, options_.max_backoff_exponent);
+  const Duration timeout = options_.base_timeout * (std::int64_t{1} << exp);
+  timer_ = sim().schedule_after(timeout, [this] { on_timeout(); });
+}
+
+void RoundRobinPacemaker::on_timeout() { send_wish(view_ + 1); }
+
+void RoundRobinPacemaker::send_wish(View v) {
+  if (wished_.contains(v)) return;
+  wished_.insert(v);
+  broadcast(std::make_shared<WishMsg>(v, crypto::threshold_share(signer_, wish_statement(v))));
+}
+
+void RoundRobinPacemaker::handle_wish(const WishMsg& msg) {
+  const View v = msg.view();
+  if (v <= view_) return;
+  auto [it, inserted] =
+      wish_aggs_.try_emplace(v, &pki(), wish_statement(v), params_.quorum(), params_.n);
+  (void)inserted;
+  if (!it->second.add(msg.share())) return;
+  // f+1 wishes prove at least one honest processor timed out: join in
+  // (amplification keeps the protocol live when timeouts are staggered).
+  if (it->second.count() >= params_.small_quorum() && !amplified_.contains(v)) {
+    amplified_.insert(v);
+    send_wish(v);
+  }
+  if (it->second.count() >= params_.quorum()) {
+    enter_view(v, /*via_timeout=*/true);
+  }
+}
+
+void RoundRobinPacemaker::on_message(ProcessId /*from*/, const MessagePtr& msg) {
+  if (msg->type_id() == kWishMsg) handle_wish(static_cast<const WishMsg&>(*msg));
+}
+
+void RoundRobinPacemaker::on_qc(const consensus::QuorumCert& qc) {
+  // Responsive advance: a QC for view v completes v; move to v+1.
+  if (qc.view() + 1 > view_) enter_view(qc.view() + 1, /*via_timeout=*/false);
+}
+
+}  // namespace lumiere::pacemaker

@@ -1,0 +1,121 @@
+#include "runtime/cluster.h"
+
+#include <algorithm>
+
+namespace lumiere::runtime {
+
+Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
+  options_.params.validate();
+  const std::uint32_t n = options_.params.n;
+  pki_ = std::make_unique<crypto::Pki>(n, options_.seed);
+  network_ = std::make_unique<sim::Network>(&sim_, n, options_.gst, options_.params.delta_cap,
+                                            options_.delay, options_.seed);
+
+  if (!options_.behavior_for) options_.behavior_for = adversary::honest_cluster();
+
+  // Behaviors first, so the metrics collector knows who is Byzantine.
+  std::vector<std::unique_ptr<adversary::Behavior>> behaviors;
+  std::vector<bool> byz(n, false);
+  behaviors.reserve(n);
+  for (ProcessId id = 0; id < n; ++id) {
+    behaviors.push_back(options_.behavior_for(id));
+    byz[id] = std::strcmp(behaviors.back()->name(), "honest") != 0;
+  }
+  metrics_ = std::make_unique<MetricsCollector>(n, byz);
+  network_->set_observer(metrics_.get());
+
+  Rng join_rng(options_.seed ^ 0x4a4f494eULL);
+  Rng drift_rng(options_.seed ^ 0x44524946ULL);
+  NodeObservers observers;
+  observers.on_qc_formed = [this](TimePoint at, View view, ProcessId node) {
+    metrics_->record_qc_formed(at, view, node);
+    trace_.record(at, sim::TraceKind::kQcFormed, node, view);
+  };
+  observers.on_view_entered = [this](TimePoint at, View view, ProcessId node) {
+    trace_.record(at, sim::TraceKind::kViewEntered, node, view);
+  };
+  observers.on_commit = [this](TimePoint at, const consensus::Block& block, ProcessId node) {
+    trace_.record(at, sim::TraceKind::kCommitted, node, block.view());
+  };
+
+  nodes_.reserve(n);
+  for (ProcessId id = 0; id < n; ++id) {
+    NodeOptions node_options;
+    node_options.pacemaker = options_.pacemaker;
+    node_options.core = options_.core;
+    node_options.gamma = options_.gamma;
+    node_options.shared_seed = options_.seed;
+    node_options.lumiere_enforce_qc_deadline = options_.lumiere_enforce_qc_deadline;
+    node_options.lumiere_delta_wait = options_.lumiere_delta_wait;
+    node_options.view_timeout = options_.view_timeout;
+    node_options.fever_tenure = options_.fever_tenure;
+    node_options.payload_provider = options_.workload;
+    node_options.join_time =
+        options_.join_stagger > Duration::zero()
+            ? TimePoint(join_rng.next_in(0, options_.join_stagger.ticks()))
+            : TimePoint::origin();
+    node_options.clock_drift_ppm =
+        options_.drift_ppm_max > 0
+            ? drift_rng.next_in(-options_.drift_ppm_max, options_.drift_ppm_max)
+            : 0;
+    nodes_.push_back(std::make_unique<Node>(options_.params, id, &sim_, network_.get(),
+                                            pki_.get(), node_options, observers,
+                                            std::move(behaviors[id])));
+  }
+}
+
+void Cluster::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& node : nodes_) node->start();
+}
+
+void Cluster::run_for(Duration d) {
+  start();
+  sim_.run_for(d);
+}
+
+void Cluster::run_until(TimePoint t) {
+  start();
+  sim_.run_until(t);
+}
+
+std::vector<ProcessId> Cluster::honest_ids() const {
+  std::vector<ProcessId> out;
+  for (const auto& node : nodes_) {
+    if (!node->is_byzantine()) out.push_back(node->id());
+  }
+  return out;
+}
+
+std::vector<bool> Cluster::byzantine_mask() const {
+  std::vector<bool> mask(nodes_.size(), false);
+  for (const auto& node : nodes_) mask[node->id()] = node->is_byzantine();
+  return mask;
+}
+
+core::HonestGapTracker Cluster::honest_gap_tracker() const {
+  std::vector<const sim::LocalClock*> clocks;
+  for (const auto& node : nodes_) {
+    if (!node->is_byzantine()) clocks.push_back(&node->local_clock());
+  }
+  return core::HonestGapTracker(std::move(clocks));
+}
+
+View Cluster::min_honest_view() const {
+  View lo = std::numeric_limits<View>::max();
+  for (const auto& node : nodes_) {
+    if (!node->is_byzantine()) lo = std::min(lo, node->current_view());
+  }
+  return lo;
+}
+
+View Cluster::max_honest_view() const {
+  View hi = -1;
+  for (const auto& node : nodes_) {
+    if (!node->is_byzantine()) hi = std::max(hi, node->current_view());
+  }
+  return hi;
+}
+
+}  // namespace lumiere::runtime

@@ -1,0 +1,119 @@
+// Cluster: builds and runs a full n-processor deployment in the
+// deterministic simulator. This is the library's main entry point for
+// examples, tests and benchmarks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "adversary/behaviors.h"
+#include "core/honest_gap_tracker.h"
+#include "crypto/pki.h"
+#include "runtime/metrics.h"
+#include "runtime/node.h"
+#include "sim/delay_policy.h"
+#include "sim/trace.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace lumiere::runtime {
+
+struct ClusterOptions {
+  ProtocolParams params = ProtocolParams::for_n(4, Duration::millis(10));
+  PacemakerKind pacemaker = PacemakerKind::kLumiere;
+  CoreKind core = CoreKind::kSimpleView;
+
+  /// Global Stabilization Time: before it the adversary's proposed delays
+  /// apply unclamped up to GST + Delta; after it every message obeys the
+  /// Delta bound.
+  TimePoint gst = TimePoint::origin();
+
+  /// The adversary's delay policy (nullptr = worst permitted: every
+  /// message arrives exactly at max(GST, t) + Delta).
+  std::shared_ptr<sim::DelayPolicy> delay;
+
+  /// Everything-determining seed (leader schedules, keys, delay draws).
+  std::uint64_t seed = 1;
+
+  /// Gamma override (zero = protocol default).
+  Duration gamma = Duration::zero();
+
+  /// Processors join (lc = 0) at uniform random times in
+  /// [origin, join_stagger] — the paper's arbitrary pre-GST
+  /// desynchronization. Zero = synchronized start (required by Fever).
+  Duration join_stagger = Duration::zero();
+
+  /// Bounded clock drift (the paper's Section 2/4 remark): each processor
+  /// gets a deterministic rate skew uniform in [-drift_ppm_max,
+  /// +drift_ppm_max] parts-per-million. Zero = perfect clocks.
+  std::int64_t drift_ppm_max = 0;
+
+  /// Behavior assignment; default all-honest.
+  adversary::BehaviorFactory behavior_for;
+
+  /// Lumiere ablation switches.
+  bool lumiere_enforce_qc_deadline = true;
+  bool lumiere_delta_wait = true;
+
+  /// RoundRobin/Cogsworth view timeout override (zero = (x+2)*Delta).
+  Duration view_timeout = Duration::zero();
+
+  /// Fever leader tenure (Section 3.3 "Reducing Gamma").
+  std::uint32_t fever_tenure = 2;
+
+  /// Client workload: payload for the block a node proposes in `view`
+  /// (same function cluster-wide; providers can vary output by view).
+  /// Null = empty payloads (pure view-synchronization measurements).
+  std::function<std::vector<std::uint8_t>(View)> workload;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Starts every node (idempotent guard inside) — run_* call it lazily.
+  void start();
+
+  void run_for(Duration d);
+  void run_until(TimePoint t);
+
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] sim::Network& network() noexcept { return *network_; }
+  [[nodiscard]] MetricsCollector& metrics() noexcept { return *metrics_; }
+  [[nodiscard]] const MetricsCollector& metrics() const noexcept { return *metrics_; }
+  [[nodiscard]] Node& node(ProcessId id) { return *nodes_.at(id); }
+  [[nodiscard]] const Node& node(ProcessId id) const { return *nodes_.at(id); }
+  [[nodiscard]] std::uint32_t n() const noexcept { return options_.params.n; }
+  [[nodiscard]] const ClusterOptions& options() const noexcept { return options_; }
+  [[nodiscard]] const crypto::Pki& pki() const noexcept { return *pki_; }
+
+  [[nodiscard]] std::vector<ProcessId> honest_ids() const;
+  [[nodiscard]] std::vector<bool> byzantine_mask() const;
+
+  /// Honest-gap instrumentation over the honest processors' clocks.
+  [[nodiscard]] core::HonestGapTracker honest_gap_tracker() const;
+
+  /// Structured event trace (view entries, decisions, commits).
+  [[nodiscard]] const sim::TraceLog& trace() const noexcept { return trace_; }
+  [[nodiscard]] sim::TraceLog& trace() noexcept { return trace_; }
+
+  /// Smallest current view among honest processors (progress probe).
+  [[nodiscard]] View min_honest_view() const;
+  /// Largest current view among honest processors.
+  [[nodiscard]] View max_honest_view() const;
+
+ private:
+  ClusterOptions options_;
+  sim::Simulator sim_;
+  std::unique_ptr<crypto::Pki> pki_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<MetricsCollector> metrics_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  sim::TraceLog trace_;
+  bool started_ = false;
+};
+
+}  // namespace lumiere::runtime

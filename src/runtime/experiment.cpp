@@ -1,0 +1,53 @@
+#include "runtime/experiment.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "pacemaker/messages.h"
+
+namespace lumiere::runtime {
+
+RunMeasures run_experiment(const ExperimentConfig& config) {
+  Cluster cluster(config.cluster);
+
+  // Count epoch-view messages sent before GST so the after-GST component
+  // can be isolated.
+  cluster.start();
+  cluster.run_until(config.cluster.gst);
+  const std::uint64_t epoch_msgs_pre_gst =
+      cluster.metrics().count_for_type(pacemaker::kEpochViewMsg);
+
+  cluster.run_until(config.cluster.gst + config.run_for);
+
+  const MetricsCollector& metrics = cluster.metrics();
+  const TimePoint gst = config.cluster.gst;
+
+  RunMeasures out;
+  out.protocol = to_string(config.cluster.pacemaker);
+  out.n = cluster.n();
+  out.f_actual = 0;
+  for (const bool b : cluster.byzantine_mask()) out.f_actual += b ? 1 : 0;
+
+  out.decisions_after_gst =
+      metrics.decisions().size() - metrics.first_decision_index_after(gst) > 0
+          ? metrics.decisions().size() - metrics.first_decision_index_after(gst)
+          : 0;
+  out.latency_first = metrics.latency_to_first_decision(gst);
+  out.latency_eventual = metrics.max_decision_gap(gst, config.warmup_decisions);
+  out.comm_first = metrics.msgs_to_first_decision(gst);
+  out.comm_eventual = metrics.max_msg_gap(gst, config.warmup_decisions);
+  out.epoch_view_msgs_after_gst =
+      metrics.count_for_type(pacemaker::kEpochViewMsg) - epoch_msgs_pre_gst;
+  out.total_honest_msgs = metrics.total_honest_msgs();
+  return out;
+}
+
+std::string in_delta_units(std::optional<Duration> d, Duration delta_cap) {
+  if (!d) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f",
+                static_cast<double>(d->ticks()) / static_cast<double>(delta_cap.ticks()));
+  return std::string(buf) + " D";
+}
+
+}  // namespace lumiere::runtime

@@ -1,0 +1,57 @@
+// Experiment harness: runs a configured cluster and extracts the paper's
+// measures (Section 2 / Table 1).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "runtime/cluster.h"
+
+namespace lumiere::runtime {
+
+/// One run's extracted measures.
+struct RunMeasures {
+  std::string protocol;
+  std::uint32_t n = 0;
+  std::uint32_t f_actual = 0;
+
+  /// Honest-leader QCs after GST.
+  std::uint64_t decisions_after_gst = 0;
+
+  /// Worst-case latency sample: GST to first decision.
+  std::optional<Duration> latency_first;
+  /// Eventual worst-case latency sample: max inter-decision gap after the
+  /// warmup prefix.
+  std::optional<Duration> latency_eventual;
+
+  /// Worst-case communication sample: honest msgs from GST to first
+  /// decision.
+  std::optional<std::uint64_t> comm_first;
+  /// Eventual worst-case communication: max honest msgs between
+  /// consecutive decisions after warmup.
+  std::optional<std::uint64_t> comm_eventual;
+
+  /// Heavy synchronization traffic after GST: honest epoch-view messages
+  /// (the Theta(n^2) component Lumiere's success criterion removes).
+  std::uint64_t epoch_view_msgs_after_gst = 0;
+
+  std::uint64_t total_honest_msgs = 0;
+};
+
+struct ExperimentConfig {
+  ClusterOptions cluster;
+  /// Total simulated run time.
+  Duration run_for = Duration::seconds(60);
+  /// Decisions to skip after GST before "eventual" measures begin
+  /// (the paper's lim sup discards any finite warmup; we skip a prefix).
+  std::size_t warmup_decisions = 8;
+};
+
+/// Builds, runs, measures. Deterministic in config.cluster.seed.
+[[nodiscard]] RunMeasures run_experiment(const ExperimentConfig& config);
+
+/// Formats a duration as a multiple of Delta (e.g. "12.3 Delta") — the
+/// unit the paper's bounds are stated in.
+[[nodiscard]] std::string in_delta_units(std::optional<Duration> d, Duration delta_cap);
+
+}  // namespace lumiere::runtime

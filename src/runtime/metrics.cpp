@@ -1,0 +1,81 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+
+namespace lumiere::runtime {
+
+void MetricsCollector::on_send(TimePoint at, ProcessId from, ProcessId to, const Message& msg) {
+  if (from >= n_ || byzantine_[from]) return;  // paper counts correct senders only
+  if (from == to) return;                      // self-delivery is not network traffic
+  ++total_msgs_;
+  total_bytes_ += msg.wire_size();
+  ++by_type_[msg.type_id()];
+  if (msg.msg_class() == MsgClass::kPacemaker) {
+    ++pacemaker_msgs_;
+  } else {
+    ++consensus_msgs_;
+  }
+  send_log_.emplace_back(at, total_msgs_);
+}
+
+void MetricsCollector::record_qc_formed(TimePoint at, View view, ProcessId leader) {
+  if (leader >= n_ || byzantine_[leader]) return;
+  decisions_.push_back(Decision{at, view, leader, total_msgs_});
+}
+
+std::size_t MetricsCollector::first_decision_index_after(TimePoint from) const {
+  const auto it = std::lower_bound(
+      decisions_.begin(), decisions_.end(), from,
+      [](const Decision& d, TimePoint t) { return d.at < t; });
+  return static_cast<std::size_t>(it - decisions_.begin());
+}
+
+std::optional<Duration> MetricsCollector::latency_to_first_decision(TimePoint gst) const {
+  const std::size_t i = first_decision_index_after(gst);
+  if (i >= decisions_.size()) return std::nullopt;
+  return decisions_[i].at - gst;
+}
+
+std::optional<Duration> MetricsCollector::max_decision_gap(TimePoint from,
+                                                           std::size_t warmup) const {
+  const std::size_t start = first_decision_index_after(from) + warmup;
+  if (start + 1 >= decisions_.size()) return std::nullopt;
+  Duration worst = Duration::zero();
+  for (std::size_t i = start + 1; i < decisions_.size(); ++i) {
+    worst = std::max(worst, decisions_[i].at - decisions_[i - 1].at);
+  }
+  return worst;
+}
+
+std::optional<std::uint64_t> MetricsCollector::max_msg_gap(TimePoint from,
+                                                           std::size_t warmup) const {
+  const std::size_t start = first_decision_index_after(from) + warmup;
+  if (start + 1 >= decisions_.size()) return std::nullopt;
+  std::uint64_t worst = 0;
+  for (std::size_t i = start + 1; i < decisions_.size(); ++i) {
+    worst = std::max(worst, decisions_[i].msgs_before - decisions_[i - 1].msgs_before);
+  }
+  return worst;
+}
+
+std::optional<std::uint64_t> MetricsCollector::msgs_to_first_decision(TimePoint gst) const {
+  const std::size_t i = first_decision_index_after(gst);
+  if (i >= decisions_.size()) return std::nullopt;
+  return decisions_[i].msgs_before - msgs_between(TimePoint::origin(), gst);
+}
+
+std::uint64_t MetricsCollector::msgs_between(TimePoint from, TimePoint to) const {
+  const auto count_until = [this](TimePoint t) -> std::uint64_t {
+    // Largest cumulative count with send time < t.
+    const auto it = std::lower_bound(
+        send_log_.begin(), send_log_.end(), t,
+        [](const std::pair<TimePoint, std::uint64_t>& e, TimePoint tp) { return e.first < tp; });
+    if (it == send_log_.begin()) return 0;
+    return std::prev(it)->second;
+  };
+  const std::uint64_t upto = count_until(to);
+  const std::uint64_t before = count_until(from);
+  return upto - before;
+}
+
+}  // namespace lumiere::runtime

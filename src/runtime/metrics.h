@@ -1,0 +1,98 @@
+// Communication and latency accounting, matching Section 2's measures.
+//
+// The paper counts messages *sent by correct processors* and defines
+// decision points t*_T as moments when some honest lead(v) produces a QC
+// for view v. This collector:
+//   * counts every honest-to-other send (self-delivery is not traffic),
+//     bucketed by message type and by MsgClass;
+//   * logs decisions (honest-leader QC formations) with the cumulative
+//     message count at that instant, so any inter-decision window's cost
+//     is a subtraction;
+//   * derives the four Table 1 measures over a run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "sim/network.h"
+
+namespace lumiere::runtime {
+
+class MetricsCollector final : public sim::NetworkObserver {
+ public:
+  MetricsCollector(std::uint32_t n, std::vector<bool> byzantine)
+      : n_(n), byzantine_(std::move(byzantine)) {
+    LUMIERE_ASSERT(byzantine_.size() == n_);
+  }
+
+  // -- NetworkObserver -------------------------------------------------
+  void on_send(TimePoint at, ProcessId from, ProcessId to, const Message& msg) override;
+  void on_deliver(TimePoint, ProcessId, ProcessId, const Message&) override {}
+
+  // -- decision log ------------------------------------------------------
+  /// Called when node `leader` (as leader) produced a QC for `view`.
+  /// Byzantine nodes' QCs are not decisions in the paper's sense.
+  void record_qc_formed(TimePoint at, View view, ProcessId leader);
+
+  struct Decision {
+    TimePoint at;
+    View view = -1;
+    ProcessId leader = kNoProcess;
+    std::uint64_t msgs_before = 0;  ///< cumulative honest sends at `at`
+  };
+
+  [[nodiscard]] const std::vector<Decision>& decisions() const noexcept { return decisions_; }
+  [[nodiscard]] std::uint64_t total_honest_msgs() const noexcept { return total_msgs_; }
+  [[nodiscard]] std::uint64_t total_honest_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] std::uint64_t count_for_type(std::uint32_t type_id) const {
+    const auto it = by_type_.find(type_id);
+    return it == by_type_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t pacemaker_msgs() const noexcept { return pacemaker_msgs_; }
+  [[nodiscard]] std::uint64_t consensus_msgs() const noexcept { return consensus_msgs_; }
+
+  // -- derived measures ----------------------------------------------------
+  /// Decisions at or after `from` (index into decisions()).
+  [[nodiscard]] std::size_t first_decision_index_after(TimePoint from) const;
+
+  /// Time from `gst` to the first decision after it (worst-case latency
+  /// sample); nullopt if none.
+  [[nodiscard]] std::optional<Duration> latency_to_first_decision(TimePoint gst) const;
+
+  /// Max time between consecutive decisions, over decisions after `from`,
+  /// skipping the first `warmup` gaps (eventual worst-case latency
+  /// sample). nullopt if fewer than warmup+2 decisions.
+  [[nodiscard]] std::optional<Duration> max_decision_gap(TimePoint from,
+                                                         std::size_t warmup = 0) const;
+
+  /// Max honest messages between consecutive decisions after `from`,
+  /// skipping `warmup` gaps (communication-per-decision sample).
+  [[nodiscard]] std::optional<std::uint64_t> max_msg_gap(TimePoint from,
+                                                         std::size_t warmup = 0) const;
+
+  /// Honest messages sent from `gst` until the first decision after it
+  /// (worst-case communication sample).
+  [[nodiscard]] std::optional<std::uint64_t> msgs_to_first_decision(TimePoint gst) const;
+
+  /// Honest messages sent in [from, to).
+  [[nodiscard]] std::uint64_t msgs_between(TimePoint from, TimePoint to) const;
+
+ private:
+  std::uint32_t n_;
+  std::vector<bool> byzantine_;
+  std::uint64_t total_msgs_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t pacemaker_msgs_ = 0;
+  std::uint64_t consensus_msgs_ = 0;
+  std::map<std::uint32_t, std::uint64_t> by_type_;
+  std::vector<Decision> decisions_;
+  /// (time, cumulative count) checkpoints for msgs_between; one entry per
+  /// send keeps memory bounded via coarse bucketing.
+  std::vector<std::pair<TimePoint, std::uint64_t>> send_log_;
+};
+
+}  // namespace lumiere::runtime

@@ -1,0 +1,251 @@
+#include "runtime/node.h"
+
+#include <cstring>
+
+#include "core/basic_lumiere.h"
+#include "core/lumiere.h"
+#include "pacemaker/cogsworth.h"
+#include "pacemaker/fever.h"
+#include "pacemaker/lp22.h"
+#include "pacemaker/naor_keidar.h"
+#include "pacemaker/raresync.h"
+#include "pacemaker/round_robin.h"
+
+namespace lumiere::runtime {
+
+const char* to_string(PacemakerKind kind) {
+  switch (kind) {
+    case PacemakerKind::kRoundRobin:
+      return "round-robin";
+    case PacemakerKind::kCogsworth:
+      return "cogsworth";
+    case PacemakerKind::kNaorKeidar:
+      return "nk20";
+    case PacemakerKind::kRareSync:
+      return "raresync";
+    case PacemakerKind::kLp22:
+      return "lp22";
+    case PacemakerKind::kFever:
+      return "fever";
+    case PacemakerKind::kBasicLumiere:
+      return "basic-lumiere";
+    case PacemakerKind::kLumiere:
+      return "lumiere";
+  }
+  return "?";
+}
+
+const char* to_string(CoreKind kind) {
+  switch (kind) {
+    case CoreKind::kSimpleView:
+      return "simple-view";
+    case CoreKind::kChainedHotStuff:
+      return "chained-hotstuff";
+    case CoreKind::kHotStuff2:
+      return "hotstuff-2";
+  }
+  return "?";
+}
+
+Node::Node(const ProtocolParams& params, ProcessId id, sim::Simulator* sim,
+           MessageTransport* network, const crypto::Pki* pki, NodeOptions options,
+           NodeObservers observers, std::unique_ptr<adversary::Behavior> behavior)
+    : params_(params),
+      id_(id),
+      sim_(sim),
+      network_(network),
+      pki_(pki),
+      signer_(pki->signer_for(id)),
+      observers_(std::move(observers)),
+      behavior_(std::move(behavior)),
+      join_time_(options.join_time) {
+  LUMIERE_ASSERT(sim != nullptr && network != nullptr && pki != nullptr);
+  LUMIERE_ASSERT(behavior_ != nullptr);
+  clock_ = std::make_unique<sim::LocalClock>(sim_, options.join_time, options.clock_drift_ppm);
+  build_pacemaker(options);
+  build_core(options);
+}
+
+bool Node::is_byzantine() const noexcept {
+  return std::strcmp(behavior_->name(), "honest") != 0;
+}
+
+adversary::Toolkit Node::toolkit() {
+  adversary::Toolkit tk;
+  tk.self = id_;
+  tk.params = &params_;
+  tk.pki = pki_;
+  tk.signer = &signer_;
+  tk.leader_of = [this](View v) { return pacemaker_->leader_of(v); };
+  tk.high_qc = [this]() -> const consensus::QuorumCert& { return core_->high_qc(); };
+  tk.raw_send = [this](ProcessId to, MessagePtr msg) { network_->send(id_, to, std::move(msg)); };
+  return tk;
+}
+
+void Node::build_pacemaker(const NodeOptions& options) {
+  pacemaker::PacemakerWiring wiring;
+  wiring.sim = sim_;
+  wiring.clock = clock_.get();
+  wiring.pki = pki_;
+  wiring.send = [this](ProcessId to, MessagePtr msg) { outbound(to, std::move(msg)); };
+  wiring.broadcast = [this](MessagePtr msg) { outbound_broadcast(msg); };
+  wiring.enter_view = [this](View v) {
+    if (core_) core_->on_enter_view(v);
+    if (observers_.on_view_entered) observers_.on_view_entered(sim_->now(), v, id_);
+    behavior_->on_view_entered(sim_->now(), v, toolkit());
+  };
+  wiring.propose_poke = [this](View v) {
+    if (core_) core_->on_propose_allowed(v);
+  };
+
+  const Duration default_timeout = params_.delta_cap * (params_.x + 2);
+  const Duration timeout =
+      options.view_timeout > Duration::zero() ? options.view_timeout : default_timeout;
+
+  switch (options.pacemaker) {
+    case PacemakerKind::kRoundRobin: {
+      pacemaker::RoundRobinPacemaker::Options opt;
+      opt.base_timeout = timeout;
+      pacemaker_ = std::make_unique<pacemaker::RoundRobinPacemaker>(params_, id_, signer_,
+                                                                    std::move(wiring), opt);
+      break;
+    }
+    case PacemakerKind::kCogsworth: {
+      pacemaker::CogsworthPacemaker::Options opt;
+      opt.view_timeout = timeout;
+      opt.relay_timeout = params_.delta_cap * 2;
+      pacemaker_ = std::make_unique<pacemaker::CogsworthPacemaker>(
+          params_, id_, signer_, std::move(wiring), opt,
+          std::make_unique<pacemaker::RoundRobinSchedule>(params_.n, 1));
+      break;
+    }
+    case PacemakerKind::kNaorKeidar: {
+      pacemaker::CogsworthPacemaker::Options opt;
+      opt.view_timeout = timeout;
+      opt.relay_timeout = params_.delta_cap * 2;
+      pacemaker_ = std::make_unique<pacemaker::NaorKeidarPacemaker>(
+          params_, id_, signer_, std::move(wiring), opt, options.shared_seed);
+      break;
+    }
+    case PacemakerKind::kRareSync: {
+      pacemaker::RareSyncPacemaker::Options opt;
+      opt.gamma = options.gamma;
+      pacemaker_ = std::make_unique<pacemaker::RareSyncPacemaker>(params_, id_, signer_,
+                                                                  std::move(wiring), opt);
+      break;
+    }
+    case PacemakerKind::kLp22: {
+      pacemaker::Lp22Pacemaker::Options opt;
+      opt.gamma = options.gamma;
+      pacemaker_ = std::make_unique<pacemaker::Lp22Pacemaker>(params_, id_, signer_,
+                                                              std::move(wiring), opt);
+      break;
+    }
+    case PacemakerKind::kFever: {
+      pacemaker::FeverPacemaker::Options opt;
+      opt.gamma = options.gamma;
+      opt.tenure = options.fever_tenure;
+      pacemaker_ = std::make_unique<pacemaker::FeverPacemaker>(params_, id_, signer_,
+                                                               std::move(wiring), opt);
+      break;
+    }
+    case PacemakerKind::kBasicLumiere: {
+      core::BasicLumierePacemaker::Options opt;
+      opt.gamma = options.gamma;
+      pacemaker_ = std::make_unique<core::BasicLumierePacemaker>(params_, id_, signer_,
+                                                                 std::move(wiring), opt);
+      break;
+    }
+    case PacemakerKind::kLumiere: {
+      core::LumierePacemaker::Options opt;
+      opt.gamma = options.gamma;
+      opt.schedule_seed = options.shared_seed;
+      opt.enforce_qc_deadline = options.lumiere_enforce_qc_deadline;
+      opt.delta_wait_before_epoch_msg = options.lumiere_delta_wait;
+      pacemaker_ = std::make_unique<core::LumierePacemaker>(params_, id_, signer_,
+                                                            std::move(wiring), opt);
+      break;
+    }
+  }
+}
+
+void Node::build_core(const NodeOptions& options) {
+  consensus::CoreCallbacks callbacks;
+  callbacks.send = [this](ProcessId to, MessagePtr msg) { outbound(to, std::move(msg)); };
+  callbacks.broadcast = [this](MessagePtr msg) { outbound_broadcast(msg); };
+  callbacks.qc_formed = [this](const consensus::QuorumCert& qc) {
+    pacemaker_->on_local_qc_formed(qc);
+    if (observers_.on_qc_formed) observers_.on_qc_formed(sim_->now(), qc.view(), id_);
+  };
+  callbacks.qc_seen = [this](const consensus::QuorumCert& qc) { pacemaker_->on_qc(qc); };
+  callbacks.decided = [this](const consensus::Block& block) {
+    ledger_.commit(block, sim_->now());
+    if (observers_.on_commit) observers_.on_commit(sim_->now(), block, id_);
+  };
+  callbacks.schedule = [this](Duration delay, std::function<void()> fn) {
+    sim_->schedule_after(delay, std::move(fn));
+  };
+
+  consensus::PacemakerHooks hooks;
+  hooks.leader_of = [this](View v) { return pacemaker_->leader_of(v); };
+  hooks.may_form_qc = [this](View v) { return pacemaker_->may_form_qc(v); };
+  hooks.may_propose = [this](View v) { return pacemaker_->may_propose(v); };
+
+  switch (options.core) {
+    case CoreKind::kSimpleView:
+      core_ = std::make_unique<consensus::SimpleViewCore>(params_, pki_, signer_,
+                                                          std::move(callbacks), std::move(hooks),
+                                                          options.payload_provider);
+      break;
+    case CoreKind::kChainedHotStuff:
+      core_ = std::make_unique<consensus::ChainedHotStuff>(params_, pki_, signer_,
+                                                           std::move(callbacks), std::move(hooks),
+                                                           options.payload_provider);
+      break;
+    case CoreKind::kHotStuff2:
+      core_ = std::make_unique<consensus::HotStuff2>(params_, pki_, signer_,
+                                                     std::move(callbacks), std::move(hooks),
+                                                     options.payload_provider);
+      break;
+  }
+}
+
+void Node::start() {
+  LUMIERE_ASSERT_MSG(!started_, "Node::start called twice");
+  started_ = true;
+  network_->register_endpoint(id_,
+                              [this](ProcessId from, const MessagePtr& msg) {
+                                route_inbound(from, msg);
+                              });
+  sim_->schedule_at(join_time_, [this] {
+    protocol_running_ = true;
+    pacemaker_->start();
+    for (auto& [from, msg] : pre_join_inbox_) route_inbound(from, msg);
+    pre_join_inbox_.clear();
+  });
+}
+
+void Node::route_inbound(ProcessId from, const MessagePtr& msg) {
+  if (!protocol_running_) {
+    pre_join_inbox_.emplace_back(from, msg);
+    return;
+  }
+  if (msg->msg_class() == MsgClass::kConsensus) {
+    core_->on_message(from, msg);
+  } else {
+    pacemaker_->on_message(from, msg);
+  }
+}
+
+void Node::outbound(ProcessId to, MessagePtr msg) {
+  if (!behavior_->allow_send(sim_->now(), to, *msg)) return;
+  network_->send(id_, to, std::move(msg));
+}
+
+void Node::outbound_broadcast(const MessagePtr& msg) {
+  // Per-recipient so the Byzantine filter can act per destination; the
+  // paper's broadcast convention (include self) is preserved.
+  for (ProcessId to = 0; to < params_.n; ++to) outbound(to, msg);
+}
+
+}  // namespace lumiere::runtime

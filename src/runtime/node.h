@@ -1,0 +1,134 @@
+// A Node: one processor's full protocol stack, wired together.
+//
+//          +-----------------------------------------------+
+//          |                    Node                        |
+//          |  LocalClock <---- Pacemaker ----> enter_view   |
+//          |                     ^  |              |        |
+//          |        QCs observed |  | leader_of,   v        |
+//          |                     |  | deadlines  ConsensusCore
+//          |                     +--+---------------+       |
+//          |        outbound (via Behavior filter)  |       |
+//          +----------------------|-----------------|-------+
+//                                 v                 v
+//                              Network (partial synchrony)
+#pragma once
+
+#include <memory>
+
+#include "adversary/behaviors.h"
+#include "common/params.h"
+#include "consensus/chained_hotstuff.h"
+#include "consensus/hotstuff2.h"
+#include "consensus/ledger.h"
+#include "consensus/simple_view_core.h"
+#include "pacemaker/pacemaker.h"
+#include "sim/local_clock.h"
+#include "sim/network.h"
+
+namespace lumiere::runtime {
+
+enum class PacemakerKind {
+  kRoundRobin,
+  kCogsworth,
+  kNaorKeidar,
+  kRareSync,
+  kLp22,
+  kFever,
+  kBasicLumiere,
+  kLumiere,
+};
+
+[[nodiscard]] const char* to_string(PacemakerKind kind);
+
+enum class CoreKind { kSimpleView, kChainedHotStuff, kHotStuff2 };
+
+[[nodiscard]] const char* to_string(CoreKind kind);
+
+/// Per-node construction options.
+struct NodeOptions {
+  PacemakerKind pacemaker = PacemakerKind::kLumiere;
+  CoreKind core = CoreKind::kSimpleView;
+  /// Override the protocol's default Gamma (zero = default).
+  Duration gamma = Duration::zero();
+  /// Leader-schedule / randomness seed (must be identical cluster-wide).
+  std::uint64_t shared_seed = 1;
+  /// When this processor joins (its lc reads 0 at this instant).
+  TimePoint join_time = TimePoint::origin();
+  /// Rate skew of this processor's local clock in parts-per-million (the
+  /// paper's bounded-drift remark); 0 = perfect rate.
+  std::int64_t clock_drift_ppm = 0;
+  /// Lumiere ablations (see LumierePacemaker::Options).
+  bool lumiere_enforce_qc_deadline = true;
+  bool lumiere_delta_wait = true;
+  /// RoundRobin / Cogsworth timeouts (zero = (x+2)*Delta).
+  Duration view_timeout = Duration::zero();
+  /// Fever leader tenure (Section 3.3 "Reducing Gamma" remark).
+  std::uint32_t fever_tenure = 2;
+  /// Block payload source consulted when this node proposes (the client
+  /// workload); null = empty payloads.
+  std::function<std::vector<std::uint8_t>(View)> payload_provider;
+};
+
+/// Events the node reports to the harness (metrics, tests).
+struct NodeObservers {
+  /// This node, as leader, produced a QC for `view` (a consensus
+  /// decision in the paper's accounting when the node is honest).
+  std::function<void(TimePoint at, View view, ProcessId node)> on_qc_formed;
+  /// This node entered `view`.
+  std::function<void(TimePoint at, View view, ProcessId node)> on_view_entered;
+  /// This node committed a block (chained HotStuff only).
+  std::function<void(TimePoint at, const consensus::Block& block, ProcessId node)> on_commit;
+};
+
+class Node {
+ public:
+  Node(const ProtocolParams& params, ProcessId id, sim::Simulator* sim, MessageTransport* network,
+       const crypto::Pki* pki, NodeOptions options, NodeObservers observers,
+       std::unique_ptr<adversary::Behavior> behavior);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Registers the network endpoint and schedules protocol start at the
+  /// join time. Call exactly once.
+  void start();
+
+  [[nodiscard]] ProcessId id() const noexcept { return id_; }
+  [[nodiscard]] bool is_byzantine() const noexcept;
+  [[nodiscard]] const sim::LocalClock& local_clock() const noexcept { return *clock_; }
+  [[nodiscard]] sim::LocalClock& local_clock() noexcept { return *clock_; }
+  [[nodiscard]] pacemaker::Pacemaker& pacemaker() noexcept { return *pacemaker_; }
+  [[nodiscard]] const pacemaker::Pacemaker& pacemaker() const noexcept { return *pacemaker_; }
+  [[nodiscard]] consensus::ConsensusCore& core() noexcept { return *core_; }
+  [[nodiscard]] const consensus::Ledger& ledger() const noexcept { return ledger_; }
+  [[nodiscard]] consensus::Ledger& ledger() noexcept { return ledger_; }
+  [[nodiscard]] View current_view() const { return pacemaker_->current_view(); }
+
+ private:
+  void build_pacemaker(const NodeOptions& options);
+  void build_core(const NodeOptions& options);
+  void route_inbound(ProcessId from, const MessagePtr& msg);
+  void outbound(ProcessId to, MessagePtr msg);
+  void outbound_broadcast(const MessagePtr& msg);
+  [[nodiscard]] adversary::Toolkit toolkit();
+
+  ProtocolParams params_;
+  ProcessId id_;
+  sim::Simulator* sim_;
+  MessageTransport* network_;
+  const crypto::Pki* pki_;
+  crypto::Signer signer_;
+  NodeObservers observers_;
+  std::unique_ptr<adversary::Behavior> behavior_;
+  TimePoint join_time_;
+
+  std::unique_ptr<sim::LocalClock> clock_;
+  std::unique_ptr<pacemaker::Pacemaker> pacemaker_;
+  std::unique_ptr<consensus::ConsensusCore> core_;
+  consensus::Ledger ledger_;
+  bool started_ = false;
+  bool protocol_running_ = false;
+  std::vector<std::pair<ProcessId, MessagePtr>> pre_join_inbox_;
+};
+
+}  // namespace lumiere::runtime

@@ -1,0 +1,74 @@
+// The abstract protocol message.
+//
+// The deterministic simulator passes messages by shared pointer (no
+// serialization on the hot path); the metrics layer charges each send by
+// `wire_size()`, and the TCP transport uses `serialize()` plus a
+// `MessageCodec` for real framing. Concrete message types live with the
+// protocol that owns them (consensus/ and pacemaker/ / core/).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "ser/serializer.h"
+
+namespace lumiere {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Globally unique wire tag. Ranges: 0x1000 consensus, 0x2000 generic
+  /// pacemaker, 0x2100 Cogsworth/NK20, 0x2200 LP22, 0x2300 Fever,
+  /// 0x2400 Lumiere, 0x3000 adversary/test.
+  [[nodiscard]] virtual std::uint32_t type_id() const = 0;
+  [[nodiscard]] virtual const char* type_name() const = 0;
+  [[nodiscard]] virtual MsgClass msg_class() const = 0;
+
+  /// Modeled wire size in bytes; all protocol messages are O(kappa)
+  /// (Section 2). Used for byte-level communication accounting.
+  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+
+  /// Writes the body (not the type tag) to `w`.
+  virtual void serialize(ser::Writer& w) const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// Decoder registry for transports that move real bytes. Codecs are plain
+/// objects owned by whoever needs them (no global registry; I.3).
+class MessageCodec {
+ public:
+  using DecodeFn = std::function<MessagePtr(ser::Reader&)>;
+
+  void register_type(std::uint32_t type_id, DecodeFn fn) {
+    decoders_[type_id] = std::move(fn);
+  }
+
+  /// Frames `msg` as [u32 type_id || body].
+  [[nodiscard]] static std::vector<std::uint8_t> encode(const Message& msg) {
+    ser::Writer w;
+    w.u32(msg.type_id());
+    msg.serialize(w);
+    return std::move(w).take();
+  }
+
+  /// Decodes one frame; nullptr on unknown type or malformed body.
+  [[nodiscard]] MessagePtr decode(std::span<const std::uint8_t> frame) const {
+    ser::Reader r(frame);
+    std::uint32_t type_id = 0;
+    if (!r.u32(type_id)) return nullptr;
+    const auto it = decoders_.find(type_id);
+    if (it == decoders_.end()) return nullptr;
+    return it->second(r);
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, DecodeFn> decoders_;
+};
+
+}  // namespace lumiere

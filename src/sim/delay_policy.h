@@ -1,0 +1,80 @@
+// Message-delay policies: the adversary's control over the network.
+//
+// In the partial synchrony model the adversary picks GST and all delivery
+// delays, subject to: a message sent at time t arrives by
+// max(GST, t) + Delta. A DelayPolicy expresses the adversary's *choice*;
+// the Network CLAMPS whatever the policy returns to the model bound, so no
+// policy — however adversarial — can violate partial synchrony.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "common/types.h"
+#include "ser/message.h"
+
+namespace lumiere::sim {
+
+class DelayPolicy {
+ public:
+  virtual ~DelayPolicy() = default;
+
+  /// Proposed one-way delay for this message. The network clamps the
+  /// result into [0, max(GST, send_time) + Delta - send_time].
+  [[nodiscard]] virtual Duration propose_delay(ProcessId from, ProcessId to, const Message& msg,
+                                               TimePoint send_time, Rng& rng) = 0;
+};
+
+/// Every message takes exactly `delay`.
+class FixedDelay final : public DelayPolicy {
+ public:
+  explicit FixedDelay(Duration delay) : delay_(delay) {}
+  Duration propose_delay(ProcessId, ProcessId, const Message&, TimePoint, Rng&) override {
+    return delay_;
+  }
+
+ private:
+  Duration delay_;
+};
+
+/// Uniform in [lo, hi] — a benign jittery network.
+class UniformDelay final : public DelayPolicy {
+ public:
+  UniformDelay(Duration lo, Duration hi) : lo_(lo), hi_(hi) {
+    LUMIERE_ASSERT(lo <= hi);
+  }
+  Duration propose_delay(ProcessId, ProcessId, const Message&, TimePoint, Rng& rng) override {
+    return Duration(rng.next_in(lo_.ticks(), hi_.ticks()));
+  }
+
+ private:
+  Duration lo_;
+  Duration hi_;
+};
+
+/// Chaotic before GST (huge proposed delays, clamped by the network to the
+/// model bound), uniform [lo, hi] after. This is the standard way to
+/// exercise pre-GST asynchrony.
+class PreGstChaosDelay final : public DelayPolicy {
+ public:
+  PreGstChaosDelay(TimePoint gst, Duration lo, Duration hi, Duration chaos_max)
+      : gst_(gst), lo_(lo), hi_(hi), chaos_max_(chaos_max) {
+    LUMIERE_ASSERT(lo <= hi);
+  }
+  Duration propose_delay(ProcessId, ProcessId, const Message&, TimePoint send_time,
+                         Rng& rng) override {
+    if (send_time < gst_) {
+      return Duration(rng.next_in(0, chaos_max_.ticks()));
+    }
+    return Duration(rng.next_in(lo_.ticks(), hi_.ticks()));
+  }
+
+ private:
+  TimePoint gst_;
+  Duration lo_;
+  Duration hi_;
+  Duration chaos_max_;
+};
+
+}  // namespace lumiere::sim

@@ -1,0 +1,46 @@
+#include "sim/event_queue.h"
+
+#include "common/assert.h"
+
+namespace lumiere::sim {
+
+EventHandle EventQueue::schedule(TimePoint at, EventFn fn) {
+  auto cancelled = std::make_shared<bool>(false);
+  EventHandle handle{std::weak_ptr<bool>(cancelled)};
+  heap_.push(Entry{at, seq_++, std::move(fn), std::move(cancelled)});
+  return handle;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+bool EventQueue::empty_at_or_before(TimePoint t) const {
+  drop_cancelled();
+  return heap_.empty() || heap_.top().at > t;
+}
+
+TimePoint EventQueue::next_time() const {
+  drop_cancelled();
+  LUMIERE_ASSERT_MSG(!heap_.empty(), "next_time() on empty queue");
+  return heap_.top().at;
+}
+
+bool EventQueue::pop(TimePoint& at_out, EventFn& fn_out) {
+  drop_cancelled();
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; moving the callback out requires a
+  // copy-free pop, so copy the (cheap, shared-state) entry then pop.
+  Entry entry = heap_.top();
+  heap_.pop();
+  at_out = entry.at;
+  fn_out = std::move(entry.fn);
+  return true;
+}
+
+}  // namespace lumiere::sim

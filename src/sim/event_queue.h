@@ -1,0 +1,79 @@
+// Discrete-event priority queue with stable ordering and O(1) cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace lumiere::sim {
+
+using EventFn = std::function<void()>;
+
+/// Cancellation handle for a scheduled event. Default-constructed handles
+/// are inert. Cancelling an already-fired or already-cancelled event is a
+/// harmless no-op (protocols cancel alarms liberally on clock bumps).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() noexcept {
+    if (auto flag = cancelled_.lock()) *flag = true;
+  }
+  [[nodiscard]] bool active() const noexcept {
+    const auto flag = cancelled_.lock();
+    return flag != nullptr && !*flag;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<bool> cancelled) noexcept
+      : cancelled_(std::move(cancelled)) {}
+
+  std::weak_ptr<bool> cancelled_;
+};
+
+/// Time-ordered event queue. Events at the same instant fire in
+/// scheduling order (FIFO), which keeps simulations deterministic.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  EventHandle schedule(TimePoint at, EventFn fn);
+
+  [[nodiscard]] bool empty_at_or_before(TimePoint t) const;
+  [[nodiscard]] bool empty() const;
+  /// Earliest pending (non-cancelled) event time.
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Pops the earliest pending event without running it; returns false if
+  /// none pending. The caller advances its clock to `at_out` *before*
+  /// invoking `fn_out` so that the callback observes a consistent now().
+  bool pop(TimePoint& at_out, EventFn& fn_out);
+
+  [[nodiscard]] std::uint64_t scheduled_count() const noexcept { return seq_; }
+
+ private:
+  struct Entry {
+    TimePoint at;
+    std::uint64_t seq = 0;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace lumiere::sim

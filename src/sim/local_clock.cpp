@@ -1,0 +1,129 @@
+#include "sim/local_clock.h"
+
+#include <vector>
+
+#include "common/assert.h"
+
+namespace lumiere::sim {
+
+LocalClock::LocalClock(Simulator* sim, TimePoint join_time, std::int64_t drift_ppm)
+    : sim_(sim), rate_num_(kPpmScale + drift_ppm), anchor_time_(join_time) {
+  LUMIERE_ASSERT(sim != nullptr);
+  LUMIERE_ASSERT_MSG(join_time >= sim->now(), "cannot join in the past");
+  LUMIERE_ASSERT_MSG(rate_num_ > 0, "drift must leave the clock moving forward");
+}
+
+Duration LocalClock::scale(Duration real) const {
+  return Duration((real.ticks() * rate_num_) / kPpmScale);
+}
+
+Duration LocalClock::unscale(Duration value) const {
+  // Ceiling division: the first real instant at which scale() has reached
+  // `value`. Guarantees scale(unscale(v)) >= v, so a wakeup scheduled at
+  // this offset always finds its alarm due (no rescheduling livelock).
+  return Duration((value.ticks() * kPpmScale + rate_num_ - 1) / rate_num_);
+}
+
+Duration LocalClock::reading() const {
+  if (paused_) return paused_value_;
+  const Duration elapsed = sim_->now() - anchor_time_;
+  if (elapsed < Duration::zero()) return Duration::zero();
+  return anchor_value_ + scale(elapsed);
+}
+
+void LocalClock::pause() {
+  if (paused_) return;
+  paused_value_ = reading();
+  paused_ = true;
+  resync();
+}
+
+void LocalClock::unpause() {
+  if (!paused_) return;
+  anchor_time_ = sim_->now();
+  anchor_value_ = paused_value_;
+  paused_ = false;
+  resync();
+}
+
+void LocalClock::bump_to(Duration value) {
+  if (value <= reading()) return;
+  if (paused_) {
+    paused_value_ = value;
+  } else {
+    // Re-anchor exactly at the bump target: bumps are protocol events
+    // (lines 19/39/47 of Algorithm 1) whose values must be hit exactly.
+    anchor_time_ = sim_->now();
+    anchor_value_ = value;
+  }
+  // Alarms strictly below the new value were jumped past and are
+  // discarded; alarms exactly at the new value have "seen lc == T" and
+  // fire now. Removing them from the map before the event runs makes the
+  // firing robust to further bumps within the same instant.
+  auto it = alarms_.begin();
+  while (it != alarms_.end() && it->first <= value) {
+    if (it->first == value) {
+      sim_->schedule_at(sim_->now(), std::move(it->second.fn));
+    }
+    it = alarms_.erase(it);
+  }
+  resync();
+}
+
+AlarmId LocalClock::set_alarm(Duration threshold, AlarmFn fn) {
+  const Duration r = reading();
+  if (threshold < r) return 0;  // "lc == T" can never be seen; inert.
+  const AlarmId id = next_id_++;
+  alarms_.emplace(threshold, Alarm{id, std::move(fn)});
+  if (threshold == r) {
+    // Fires immediately (even while paused): the condition holds now.
+    sim_->schedule_at(sim_->now(), [this] { fire_due(); });
+  } else {
+    resync();
+  }
+  return id;
+}
+
+void LocalClock::cancel_alarm(AlarmId id) {
+  if (id == 0) return;
+  for (auto it = alarms_.begin(); it != alarms_.end(); ++it) {
+    if (it->second.id == id) {
+      alarms_.erase(it);
+      resync();
+      return;
+    }
+  }
+}
+
+TimePoint LocalClock::time_for(Duration value) const {
+  LUMIERE_ASSERT(!paused_);
+  LUMIERE_ASSERT(value >= reading());
+  return anchor_time_ + unscale(value - anchor_value_);
+}
+
+void LocalClock::resync() {
+  pending_.cancel();
+  if (paused_ || alarms_.empty()) return;
+  const Duration earliest = alarms_.begin()->first;
+  // earliest >= reading() is an invariant: bump_to/fire_due drain anything
+  // at or below the current value before calling resync.
+  TimePoint wake = time_for(earliest);
+  // With a drifted rate the pre-join anchor may place the wakeup in the
+  // (relative) past; clamp to now.
+  if (wake < sim_->now()) wake = sim_->now();
+  pending_ = sim_->schedule_at(wake, [this] { fire_due(); });
+}
+
+void LocalClock::fire_due() {
+  const Duration r = reading();
+  std::vector<AlarmFn> due;
+  auto it = alarms_.begin();
+  while (it != alarms_.end() && it->first <= r) {
+    due.push_back(std::move(it->second.fn));
+    it = alarms_.erase(it);
+  }
+  resync();
+  for (auto& fn : due) fn();
+}
+
+}  // namespace lumiere::sim

@@ -1,0 +1,119 @@
+// The per-processor local clock lc(p) of Section 2 / Section 4.
+//
+// Semantics implemented exactly as the paper specifies:
+//  * lc(p) advances in real (simulated) time while running — optionally
+//    at a slightly wrong rate (see drift below);
+//  * the protocol may PAUSE the clock (it then holds its value) and later
+//    UNPAUSE it (it resumes advancing from the held value);
+//  * the protocol may BUMP the clock forward to a larger value; bumping
+//    never moves the clock backwards;
+//  * processors join with lc = 0 at arbitrary times (pre-GST
+//    desynchronization is induced by staggering join times, which for
+//    drift-free clocks is equivalent to the paper's arbitrary pre-GST
+//    drift).
+//
+// Bounded drift (Section 2 / Section 4 remark: "our analysis is easily
+// modified to deal with a scenario where local clocks have bounded drift
+// during any interval after GST in which they are not paused or bumped
+// forward"): a clock constructed with drift_ppm != 0 advances at rate
+// (1 + drift_ppm/1e6) of real time while running. Pauses and bumps
+// re-anchor the value exactly, so protocol-visible values (c_v
+// thresholds) stay exact; only the *rate between anchor points* drifts.
+//
+// Alarms model the paper's "upon first seeing lc(p) == c_v" triggers:
+// an alarm at threshold T fires exactly when the clock value *reaches* T —
+// either by real-time advance or by a bump landing exactly on T. A bump
+// that jumps strictly past T silently discards the alarm ("lc == T" is
+// never seen); protocols compensate with explicit catch-up logic
+// (Algorithm 1 lines 18, 38, 46).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace lumiere::sim {
+
+/// Identifies a registered alarm for cancellation.
+using AlarmId = std::uint64_t;
+
+class LocalClock {
+ public:
+  using AlarmFn = std::function<void()>;
+
+  /// The clock starts running at `join_time` with value zero. `join_time`
+  /// must not be in the simulator's past. `drift_ppm` skews the running
+  /// rate to (1 + drift_ppm/1e6); |drift_ppm| must be below 1e6.
+  LocalClock(Simulator* sim, TimePoint join_time, std::int64_t drift_ppm = 0);
+
+  LocalClock(const LocalClock&) = delete;
+  LocalClock& operator=(const LocalClock&) = delete;
+
+  /// Current clock value lc(p). Zero before the join time.
+  [[nodiscard]] Duration reading() const;
+
+  [[nodiscard]] bool paused() const noexcept { return paused_; }
+
+  /// The configured rate skew in parts-per-million.
+  [[nodiscard]] std::int64_t drift_ppm() const noexcept { return rate_num_ - kPpmScale; }
+
+  /// Holds the clock at its current value. No-op if already paused.
+  void pause();
+
+  /// Resumes advancing from the held value. No-op if not paused.
+  void unpause();
+
+  /// Moves the clock forward to `value` (Algorithm 1 lines 19/39/47).
+  /// No-op if `value <= reading()` — clocks never move backwards
+  /// (Lemma 5.2). Pausedness is preserved: a paused clock bumped forward
+  /// stays paused at the new value.
+  void bump_to(Duration value);
+
+  /// Registers `fn` to run when the clock value reaches `threshold`.
+  ///
+  ///  * threshold == reading(): fires immediately (as a simulator event at
+  ///    the current instant);
+  ///  * threshold <  reading(): never fires ("lc == T" cannot be seen);
+  ///  * otherwise: fires when real-time advance or an exact-landing bump
+  ///    brings the clock to `threshold`; discarded if a bump jumps past.
+  ///
+  /// Alarms fire at most once.
+  AlarmId set_alarm(Duration threshold, AlarmFn fn);
+
+  void cancel_alarm(AlarmId id);
+
+  /// Simulated instant at which the running clock would reach `value`
+  /// (for introspection/tests). Requires value >= reading() and !paused().
+  [[nodiscard]] TimePoint time_for(Duration value) const;
+
+ private:
+  struct Alarm {
+    AlarmId id;
+    AlarmFn fn;
+  };
+
+  void resync() /* reschedules the pending wakeup after any mutation */;
+  void fire_due();
+  /// Clock value gained over `real` elapsed time at the drifted rate.
+  [[nodiscard]] Duration scale(Duration real) const;
+  /// Least real elapsed time after which `scale` returns >= `value`.
+  [[nodiscard]] Duration unscale(Duration value) const;
+
+  static constexpr std::int64_t kPpmScale = 1'000'000;
+
+  Simulator* sim_;
+  std::int64_t rate_num_;       // clock ticks per kPpmScale real ticks
+  TimePoint anchor_time_;       // running: reading = anchor_value_ +
+  Duration anchor_value_{0};    //   scale(now - anchor_time_)
+  Duration paused_value_{0};    // valid while paused_
+  bool paused_ = false;
+  std::multimap<Duration, Alarm> alarms_;
+  AlarmId next_id_ = 1;
+  EventHandle pending_;
+};
+
+}  // namespace lumiere::sim

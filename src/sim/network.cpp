@@ -1,0 +1,75 @@
+#include "sim/network.h"
+
+#include "common/assert.h"
+
+namespace lumiere::sim {
+
+Network::Network(Simulator* sim, std::uint32_t n, TimePoint gst, Duration delta_cap,
+                 std::shared_ptr<DelayPolicy> policy, std::uint64_t seed)
+    : sim_(sim),
+      gst_(gst),
+      delta_cap_(delta_cap),
+      policy_(std::move(policy)),
+      rng_(seed ^ 0x6e657477726b2121ULL),
+      endpoints_(n),
+      disconnected_(n, false) {
+  LUMIERE_ASSERT(sim != nullptr);
+  LUMIERE_ASSERT(n > 0);
+  LUMIERE_ASSERT(delta_cap > Duration::zero());
+}
+
+void Network::register_endpoint(ProcessId id, DeliverFn fn) {
+  LUMIERE_ASSERT(id < endpoints_.size());
+  LUMIERE_ASSERT_MSG(!endpoints_[id], "endpoint registered twice");
+  endpoints_[id] = std::move(fn);
+}
+
+void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
+  LUMIERE_ASSERT(from < endpoints_.size() && to < endpoints_.size());
+  LUMIERE_ASSERT(msg != nullptr);
+  if (disconnected_[from]) return;
+
+  const TimePoint now = sim_->now();
+
+  if (from == to) {
+    // The paper's convention: a processor's message to itself is received
+    // immediately. Scheduled at the current instant (not called inline) so
+    // handlers never re-enter protocol code.
+    if (observer_ != nullptr) observer_->on_send(now, from, to, *msg);
+    sim_->schedule_at(now, [this, from, to, msg] { deliver(from, to, msg); });
+    return;
+  }
+
+  // The adversary proposes; the model clamps. `latest` is the hard bound
+  // max(GST, t) + Delta from Section 2.
+  const TimePoint latest = std::max(gst_, now) + delta_cap_;
+  Duration proposed =
+      policy_ != nullptr ? policy_->propose_delay(from, to, *msg, now, rng_) : Duration::max();
+  if (proposed < Duration::zero()) proposed = Duration::zero();
+  TimePoint delivery = (proposed == Duration::max()) ? latest : now + proposed;
+  if (delivery > latest) delivery = latest;
+
+  ++total_messages_;
+  if (observer_ != nullptr) observer_->on_send(now, from, to, *msg);
+  sim_->schedule_at(delivery, [this, from, to, msg] { deliver(from, to, msg); });
+}
+
+void Network::broadcast(ProcessId from, const MessagePtr& msg) {
+  for (ProcessId to = 0; to < endpoints_.size(); ++to) {
+    send(from, to, msg);
+  }
+}
+
+void Network::disconnect(ProcessId id) {
+  LUMIERE_ASSERT(id < disconnected_.size());
+  disconnected_[id] = true;
+}
+
+void Network::deliver(ProcessId from, ProcessId to, const MessagePtr& msg) {
+  if (disconnected_[to]) return;
+  if (!endpoints_[to]) return;  // endpoint never registered (inactive node)
+  if (observer_ != nullptr) observer_->on_deliver(sim_->now(), from, to, *msg);
+  endpoints_[to](from, msg);
+}
+
+}  // namespace lumiere::sim

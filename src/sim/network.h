@@ -1,0 +1,86 @@
+// The partial-synchrony message layer (Section 2).
+//
+// Point-to-point authenticated channels between n processors. The
+// adversary (a DelayPolicy) proposes per-message delays; the network
+// enforces the model guarantee that a message sent at time t is delivered
+// by max(GST, t) + Delta. Messages a processor sends to itself are
+// delivered immediately (the paper's convention, Section 4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/params.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "common/types.h"
+#include "ser/message.h"
+#include "sim/delay_policy.h"
+#include "sim/simulator.h"
+#include "sim/transport_iface.h"
+
+namespace lumiere::sim {
+
+/// Receives every send/delivery; used by the metrics layer and by tests.
+class NetworkObserver {
+ public:
+  virtual ~NetworkObserver() = default;
+  virtual void on_send(TimePoint at, ProcessId from, ProcessId to, const Message& msg) = 0;
+  virtual void on_deliver(TimePoint at, ProcessId from, ProcessId to, const Message& msg) = 0;
+};
+
+class Network final : public MessageTransport {
+ public:
+  /// `gst` and `delta_cap` define the partial-synchrony envelope;
+  /// `policy` is the adversary's delay choice (may be null => all
+  /// messages take the full allowed bound, the worst permitted case).
+  Network(Simulator* sim, std::uint32_t n, TimePoint gst, Duration delta_cap,
+          std::shared_ptr<DelayPolicy> policy, std::uint64_t seed);
+
+  using DeliverFn = MessageTransport::DeliverFn;
+
+  /// Binds the receive callback for processor `id`. Must be called once
+  /// per processor before any traffic flows to it.
+  void register_endpoint(ProcessId id, DeliverFn fn) override;
+
+  /// Point-to-point send. Self-sends deliver at the current instant.
+  void send(ProcessId from, ProcessId to, MessagePtr msg) override;
+
+  /// Sends to all n processors, including `from` itself (the paper's
+  /// broadcast convention).
+  void broadcast(ProcessId from, const MessagePtr& msg) override;
+
+  void set_observer(NetworkObserver* observer) noexcept { observer_ = observer; }
+
+  /// Cuts a processor off (crash simulation): all its future inbound
+  /// deliveries and outbound sends are dropped.
+  void disconnect(ProcessId id);
+  [[nodiscard]] bool disconnected(ProcessId id) const { return disconnected_[id]; }
+
+  [[nodiscard]] TimePoint gst() const noexcept { return gst_; }
+  [[nodiscard]] Duration delta_cap() const noexcept { return delta_cap_; }
+  [[nodiscard]] std::uint32_t n() const noexcept {
+    return static_cast<std::uint32_t>(endpoints_.size());
+  }
+
+  /// Total point-to-point messages accepted for delivery (excludes
+  /// self-sends, which are not network traffic).
+  [[nodiscard]] std::uint64_t total_messages() const noexcept { return total_messages_; }
+
+ private:
+  void deliver(ProcessId from, ProcessId to, const MessagePtr& msg);
+
+  Simulator* sim_;
+  TimePoint gst_;
+  Duration delta_cap_;
+  std::shared_ptr<DelayPolicy> policy_;
+  Rng rng_;
+  std::vector<DeliverFn> endpoints_;
+  std::vector<bool> disconnected_;
+  NetworkObserver* observer_ = nullptr;
+  std::uint64_t total_messages_ = 0;
+};
+
+}  // namespace lumiere::sim

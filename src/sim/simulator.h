@@ -1,0 +1,81 @@
+// The simulation driver: a virtual clock over an EventQueue.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/assert.h"
+#include "common/time.h"
+#include "sim/event_queue.h"
+
+namespace lumiere::sim {
+
+/// Owns simulated time. All protocol components hold a Simulator* and
+/// schedule work through it; nothing in the library reads wall-clock time.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+  EventHandle schedule_at(TimePoint at, EventFn fn) {
+    LUMIERE_ASSERT_MSG(at >= now_, "scheduling into the past");
+    return queue_.schedule(at, std::move(fn));
+  }
+  EventHandle schedule_after(Duration d, EventFn fn) {
+    LUMIERE_ASSERT(d >= Duration::zero());
+    return queue_.schedule(now_ + d, std::move(fn));
+  }
+
+  /// Runs a single event. Returns false when the queue is empty. The
+  /// clock advances to the event's time before its callback runs, so
+  /// now() is consistent inside handlers.
+  bool step() {
+    TimePoint at;
+    EventFn fn;
+    if (!queue_.pop(at, fn)) return false;
+    now_ = at;
+    fn();
+    return true;
+  }
+
+  /// Runs all events with time <= deadline, then advances now to deadline.
+  void run_until(TimePoint deadline) {
+    while (!queue_.empty_at_or_before(deadline)) {
+      const bool ran = step();
+      LUMIERE_ASSERT(ran);
+      ++executed_;
+    }
+    now_ = deadline;
+  }
+
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Runs until the queue drains or `deadline` (if given) is reached.
+  void run_until_idle(std::optional<TimePoint> deadline = std::nullopt) {
+    while (!queue_.empty()) {
+      if (deadline && queue_.next_time() > *deadline) break;
+      const bool ran = step();
+      LUMIERE_ASSERT(ran);
+      ++executed_;
+    }
+    if (deadline && *deadline > now_) now_ = *deadline;
+  }
+
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Time of the next pending event (for external drivers that pace the
+  /// simulator against wall-clock time). Undefined when idle().
+  [[nodiscard]] TimePoint next_event_time() const { return queue_.next_time(); }
+
+ private:
+  EventQueue queue_;
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace lumiere::sim

@@ -1,0 +1,55 @@
+#include "sim/trace.h"
+
+namespace lumiere::sim {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kViewEntered:
+      return "view-entered";
+    case TraceKind::kQcFormed:
+      return "qc-formed";
+    case TraceKind::kCommitted:
+      return "committed";
+    case TraceKind::kCustom:
+      return "custom";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> TraceLog::filtered(
+    const std::function<bool(const TraceEvent&)>& predicate) const {
+  std::vector<TraceEvent> out;
+  for (const auto& event : events_) {
+    if (predicate(event)) out.push_back(event);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceLog::of_kind(TraceKind kind, ProcessId node) const {
+  return filtered([kind, node](const TraceEvent& event) {
+    return event.kind == kind && (node == kNoProcess || event.node == node);
+  });
+}
+
+const TraceEvent* TraceLog::first_after(TraceKind kind, TimePoint from) const {
+  for (const auto& event : events_) {
+    if (event.kind == kind && event.at >= from) return &event;
+  }
+  return nullptr;
+}
+
+void TraceLog::dump(std::ostream& os, std::size_t max_events) const {
+  std::size_t count = 0;
+  for (const auto& event : events_) {
+    if (count++ >= max_events) {
+      os << "... (" << events_.size() - max_events << " more)\n";
+      return;
+    }
+    os << event.at << " " << to_string(event.kind) << " p" << event.node << " view "
+       << event.view;
+    if (!event.note.empty()) os << " [" << event.note << "]";
+    os << "\n";
+  }
+}
+
+}  // namespace lumiere::sim

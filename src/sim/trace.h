@@ -1,0 +1,68 @@
+// Structured execution traces.
+//
+// A TraceLog collects protocol-level events (view entries, QC formations,
+// commits) with timestamps. Used by tests to assert on event orderings
+// and by examples/benches to print timelines; cheap enough to stay on in
+// every Cluster run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "common/types.h"
+
+namespace lumiere::sim {
+
+enum class TraceKind : std::uint8_t {
+  kViewEntered,
+  kQcFormed,
+  kCommitted,
+  kCustom,
+};
+
+[[nodiscard]] const char* to_string(TraceKind kind);
+
+struct TraceEvent {
+  TimePoint at;
+  TraceKind kind = TraceKind::kCustom;
+  ProcessId node = kNoProcess;
+  View view = -1;
+  std::string note;
+};
+
+class TraceLog {
+ public:
+  void record(TraceEvent event) { events_.push_back(std::move(event)); }
+  void record(TimePoint at, TraceKind kind, ProcessId node, View view,
+              std::string note = {}) {
+    events_.push_back(TraceEvent{at, kind, node, view, std::move(note)});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Events matching a predicate, in order.
+  [[nodiscard]] std::vector<TraceEvent> filtered(
+      const std::function<bool(const TraceEvent&)>& predicate) const;
+
+  /// Events of one kind for one node (kNoProcess = any node).
+  [[nodiscard]] std::vector<TraceEvent> of_kind(TraceKind kind,
+                                                ProcessId node = kNoProcess) const;
+
+  /// First event of `kind` at or after `from`; nullptr if none.
+  [[nodiscard]] const TraceEvent* first_after(TraceKind kind, TimePoint from) const;
+
+  /// Human-readable dump (one line per event).
+  void dump(std::ostream& os, std::size_t max_events = SIZE_MAX) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace lumiere::sim

@@ -1,0 +1,70 @@
+#include "transport/realtime.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace lumiere::transport {
+
+TcpTransportAdapter::TcpTransportAdapter(ProcessId self, std::uint32_t n,
+                                         std::uint16_t base_port, MessageCodec codec)
+    : self_(self), n_(n) {
+  endpoint_ = std::make_unique<TcpEndpoint>(
+      self, n, base_port, std::move(codec),
+      [this](ProcessId from, const MessagePtr& msg) {
+        if (deliver_) deliver_(from, msg);
+      });
+}
+
+void TcpTransportAdapter::register_endpoint(ProcessId id, DeliverFn fn) {
+  LUMIERE_ASSERT_MSG(id == self_, "adapter hosts exactly one processor");
+  deliver_ = std::move(fn);
+}
+
+void TcpTransportAdapter::send(ProcessId from, ProcessId to, MessagePtr msg) {
+  LUMIERE_ASSERT(from == self_);
+  LUMIERE_ASSERT(to < n_);
+  endpoint_->send(to, *msg);
+}
+
+void TcpTransportAdapter::broadcast(ProcessId from, const MessagePtr& msg) {
+  LUMIERE_ASSERT(from == self_);
+  endpoint_->broadcast(*msg);
+}
+
+RealtimeDriver::RealtimeDriver(sim::Simulator* sim, TcpEndpoint* endpoint)
+    : sim_(sim), endpoint_(endpoint) {
+  LUMIERE_ASSERT(sim != nullptr && endpoint != nullptr);
+}
+
+void RealtimeDriver::run_for(std::chrono::milliseconds wall) {
+  using Clock = std::chrono::steady_clock;
+  if (!anchored_) {
+    // First run: the simulator's current instant corresponds to "now" on
+    // the wall. Subsequent runs continue the same mapping so LocalClock
+    // readings stay continuous across calls.
+    sim_anchor_ = sim_->now();
+    wall_anchor_ = Clock::now();
+    anchored_ = true;
+  }
+  const auto wall_deadline = Clock::now() + wall;
+  while (Clock::now() < wall_deadline) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        Clock::now() - wall_anchor_);
+    const TimePoint sim_target = sim_anchor_ + Duration(elapsed.count());
+    // Fire everything whose simulated instant the wall clock has passed.
+    sim_->run_until(sim_target);
+    // Pump the socket until the next simulator event is due (capped at
+    // 1ms so new inbound frames keep latency low and the wall deadline
+    // stays honored).
+    int timeout_ms = 1;
+    if (!sim_->idle()) {
+      const Duration until_next = sim_->next_event_time() - sim_target;
+      timeout_ms = static_cast<int>(
+          std::clamp<std::int64_t>(until_next.ticks() / 1000, 0, 1));
+    }
+    endpoint_->poll_once(timeout_ms);
+  }
+}
+
+}  // namespace lumiere::transport

@@ -1,0 +1,67 @@
+// Running the full protocol stack over real sockets in real time.
+//
+// The deterministic simulator is the primary harness — it is the only way
+// to control the partial-synchrony adversary. But a pacemaker that only
+// ever ran under a simulated clock would leave the paper's "Practical"
+// claim untested. This module closes the loop:
+//
+//   * TcpTransportAdapter — a MessageTransport whose sends travel as
+//     length-prefixed frames over localhost TCP (transport/tcp_transport);
+//   * RealtimeDriver — paces a node's private Simulator against the wall
+//     clock (1 simulated microsecond = 1 real microsecond) while pumping
+//     the socket, so LocalClock alarms, pacemaker timers and the Delta
+//     bound all refer to real time.
+//
+// One thread per node; the PKI is shared read-only. See
+// examples/tcp_lumiere.cpp and tests/transport/realtime_test.cpp.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "sim/simulator.h"
+#include "sim/transport_iface.h"
+#include "transport/tcp_transport.h"
+
+namespace lumiere::transport {
+
+/// Adapts one process's TcpEndpoint to the MessageTransport seam a Node
+/// expects. Hosts exactly one processor (`self`); `send` must originate
+/// from it.
+class TcpTransportAdapter final : public MessageTransport {
+ public:
+  TcpTransportAdapter(ProcessId self, std::uint32_t n, std::uint16_t base_port,
+                      MessageCodec codec);
+
+  void register_endpoint(ProcessId id, DeliverFn fn) override;
+  void send(ProcessId from, ProcessId to, MessagePtr msg) override;
+  void broadcast(ProcessId from, const MessagePtr& msg) override;
+
+  [[nodiscard]] TcpEndpoint& endpoint() noexcept { return *endpoint_; }
+
+ private:
+  ProcessId self_;
+  std::uint32_t n_;
+  DeliverFn deliver_;
+  std::unique_ptr<TcpEndpoint> endpoint_;
+};
+
+/// Paces a Simulator against the wall clock while pumping a TcpEndpoint.
+class RealtimeDriver {
+ public:
+  RealtimeDriver(sim::Simulator* sim, TcpEndpoint* endpoint);
+
+  /// Runs for `wall` of real time: simulator events fire when the wall
+  /// clock reaches their simulated instant; inbound frames dispatch as
+  /// they arrive.
+  void run_for(std::chrono::milliseconds wall);
+
+ private:
+  sim::Simulator* sim_;
+  TcpEndpoint* endpoint_;
+  TimePoint sim_anchor_;  ///< sim time corresponding to wall_anchor_
+  std::chrono::steady_clock::time_point wall_anchor_;
+  bool anchored_ = false;
+};
+
+}  // namespace lumiere::transport

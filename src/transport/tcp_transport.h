@@ -1,0 +1,81 @@
+// A minimal real-network transport: length-prefixed frames over localhost
+// TCP, single-threaded, poll(2)-driven.
+//
+// The protocol stack in this repository is transport-agnostic — nodes
+// talk through std::function send/broadcast closures. The deterministic
+// simulator is the primary harness (it is the only way to control the
+// partial-synchrony adversary); this transport exists to demonstrate the
+// same message types flowing over real sockets (examples/tcp_cluster) and
+// to keep the serialization layer honest end-to-end.
+//
+// Frame format: [u32 payload_len][u32 sender_id][payload bytes], where
+// payload = MessageCodec::encode(msg) = [u32 type_id][body].
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "ser/message.h"
+
+namespace lumiere::transport {
+
+/// One process's socket endpoint within a statically known cluster of n
+/// peers on 127.0.0.1 ports [base_port, base_port + n).
+class TcpEndpoint {
+ public:
+  using ReceiveFn = std::function<void(ProcessId from, const MessagePtr& msg)>;
+
+  /// Binds and listens on base_port + self. Throws std::runtime_error on
+  /// socket failures (configuration errors, not protocol conditions).
+  TcpEndpoint(ProcessId self, std::uint32_t n, std::uint16_t base_port, MessageCodec codec,
+              ReceiveFn on_receive);
+  ~TcpEndpoint();
+
+  TcpEndpoint(const TcpEndpoint&) = delete;
+  TcpEndpoint& operator=(const TcpEndpoint&) = delete;
+
+  /// Queues a message to `to`; connects lazily on first use. Send to self
+  /// dispatches synchronously.
+  void send(ProcessId to, const Message& msg);
+  void broadcast(const Message& msg);
+
+  /// Pumps the socket set once: accepts, flushes queued writes, reads and
+  /// dispatches complete frames. Returns the number of frames dispatched.
+  std::size_t poll_once(int timeout_ms);
+
+  [[nodiscard]] ProcessId self() const noexcept { return self_; }
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept { return frames_sent_; }
+  [[nodiscard]] std::uint64_t frames_received() const noexcept { return frames_received_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::vector<std::uint8_t> inbox;   // partial frame reassembly
+    std::vector<std::uint8_t> outbox;  // unflushed bytes
+    ProcessId peer = kNoProcess;       // known after hello / connect
+  };
+
+  void accept_pending();
+  [[nodiscard]] Conn* connection_to(ProcessId to);
+  void flush(Conn& conn);
+  void read_and_dispatch(Conn& conn);
+  void close_conn(Conn& conn);
+  void enqueue_frame(Conn& conn, const Message& msg);
+
+  ProcessId self_;
+  std::uint32_t n_;
+  std::uint16_t base_port_;
+  MessageCodec codec_;
+  ReceiveFn on_receive_;
+  int listen_fd_ = -1;
+  std::map<ProcessId, Conn> outgoing_;  // keyed by destination
+  std::vector<Conn> incoming_;          // accepted connections
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_received_ = 0;
+};
+
+}  // namespace lumiere::transport

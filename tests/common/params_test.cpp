@@ -1,0 +1,41 @@
+#include "common/params.h"
+
+#include <gtest/gtest.h>
+
+namespace lumiere {
+namespace {
+
+TEST(ProtocolParamsTest, ForNComputesF) {
+  const auto p4 = ProtocolParams::for_n(4, Duration::millis(10));
+  EXPECT_EQ(p4.f, 1U);
+  EXPECT_EQ(p4.quorum(), 3U);
+  EXPECT_EQ(p4.small_quorum(), 2U);
+
+  const auto p31 = ProtocolParams::for_n(31, Duration::millis(10));
+  EXPECT_EQ(p31.f, 10U);
+  EXPECT_EQ(p31.quorum(), 21U);
+  EXPECT_EQ(p31.small_quorum(), 11U);
+}
+
+TEST(ProtocolParamsTest, QuorumsOverlapInHonestProcess) {
+  // 2 * quorum() - n >= f + 1: two quorums share an honest processor.
+  for (std::uint32_t n : {4U, 7U, 10U, 31U, 64U}) {
+    const auto p = ProtocolParams::for_n(n, Duration::millis(1));
+    EXPECT_GE(2 * p.quorum(), p.n + p.f + 1);
+  }
+}
+
+TEST(ProtocolParamsDeathTest, RejectsBadN) {
+  EXPECT_DEATH(ProtocolParams::for_n(5, Duration::millis(1)).validate(), "3f");
+}
+
+TEST(ProtocolParamsDeathTest, RejectsZeroDelta) {
+  ProtocolParams p;
+  p.n = 4;
+  p.f = 1;
+  p.delta_cap = Duration::zero();
+  EXPECT_DEATH(p.validate(), "delta");
+}
+
+}  // namespace
+}  // namespace lumiere

@@ -1,0 +1,95 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace lumiere {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(RngTest, NextInInclusiveRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7U) << "all values in [-3,3] should appear";
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(13);
+  for (std::uint32_t n : {1U, 2U, 5U, 64U}) {
+    const auto perm = rng.permutation(n);
+    ASSERT_EQ(perm.size(), n);
+    std::set<std::uint32_t> values(perm.begin(), perm.end());
+    EXPECT_EQ(values.size(), n);
+    EXPECT_EQ(*values.begin(), 0U);
+    EXPECT_EQ(*values.rbegin(), n - 1);
+  }
+}
+
+TEST(RngTest, PermutationsVaryAcrossDraws) {
+  Rng rng(17);
+  const auto a = rng.permutation(32);
+  const auto b = rng.permutation(32);
+  EXPECT_NE(a, b);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  // The child stream should not replay the parent stream.
+  Rng parent2(21);
+  (void)parent2.next();  // same position as parent after fork
+  EXPECT_NE(child.next(), parent2.next());
+}
+
+TEST(RngTest, RoughUniformity) {
+  Rng rng(23);
+  std::vector<int> buckets(10, 0);
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.next_below(10)];
+  for (const int count : buckets) {
+    EXPECT_GT(count, kDraws / 10 - 400);
+    EXPECT_LT(count, kDraws / 10 + 400);
+  }
+}
+
+}  // namespace
+}  // namespace lumiere

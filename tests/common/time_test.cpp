@@ -1,0 +1,49 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace lumiere {
+namespace {
+
+TEST(DurationTest, ArithmeticAndComparison) {
+  const Duration a = Duration::millis(3);
+  const Duration b = Duration::micros(500);
+  EXPECT_EQ((a + b).ticks(), 3500);
+  EXPECT_EQ((a - b).ticks(), 2500);
+  EXPECT_EQ((a * 4).ticks(), 12000);
+  EXPECT_EQ((4 * a).ticks(), 12000);
+  EXPECT_EQ((a / 3).ticks(), 1000);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(Duration::seconds(2), Duration::millis(2000));
+  EXPECT_EQ((-a).ticks(), -3000);
+}
+
+TEST(DurationTest, CompoundAssignment) {
+  Duration d = Duration::zero();
+  d += Duration::micros(10);
+  d -= Duration::micros(4);
+  EXPECT_EQ(d.ticks(), 6);
+}
+
+TEST(DurationTest, Conversions) {
+  EXPECT_DOUBLE_EQ(Duration::seconds(2).to_seconds(), 2.0);
+  EXPECT_EQ(Duration::max().ticks(), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(TimePointTest, ArithmeticAndOrdering) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + Duration::millis(5);
+  EXPECT_EQ((t1 - t0), Duration::millis(5));
+  EXPECT_EQ((t1 - Duration::millis(5)), t0);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(t1.since_origin(), Duration::millis(5));
+}
+
+TEST(TimePointTest, CompoundAdvance) {
+  TimePoint t = TimePoint::origin();
+  t += Duration::micros(7);
+  EXPECT_EQ(t.ticks(), 7);
+}
+
+}  // namespace
+}  // namespace lumiere

@@ -1,0 +1,79 @@
+#include "consensus/kv_store.h"
+
+#include <gtest/gtest.h>
+
+#include "consensus/mempool.h"
+
+namespace lumiere::consensus {
+namespace {
+
+std::vector<std::uint8_t> batch_of(std::initializer_list<std::vector<std::uint8_t>> commands) {
+  Mempool pool(1 << 20);
+  for (const auto& cmd : commands) pool.add(cmd);
+  return pool.next_batch();
+}
+
+TEST(KvStoreTest, SetGetDel) {
+  KvStore store;
+  store.apply(batch_of({KvStore::set_command("a", "1"), KvStore::set_command("b", "2")}));
+  EXPECT_EQ(store.get("a"), "1");
+  EXPECT_EQ(store.get("b"), "2");
+  EXPECT_EQ(store.size(), 2U);
+  store.apply(batch_of({KvStore::del_command("a"), KvStore::set_command("b", "3")}));
+  EXPECT_FALSE(store.get("a").has_value());
+  EXPECT_EQ(store.get("b"), "3");
+  EXPECT_EQ(store.applied_commands(), 4U);
+}
+
+TEST(KvStoreTest, DeterministicDigest) {
+  KvStore a;
+  KvStore b;
+  // Different interleavings, same final state.
+  a.apply(batch_of({KvStore::set_command("x", "1"), KvStore::set_command("y", "2")}));
+  b.apply(batch_of({KvStore::set_command("y", "0")}));
+  b.apply(batch_of({KvStore::set_command("x", "1"), KvStore::set_command("y", "2")}));
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  b.apply(batch_of({KvStore::set_command("z", "3")}));
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+TEST(KvStoreTest, EmptyStateDigestStable) {
+  EXPECT_EQ(KvStore().state_digest(), KvStore().state_digest());
+}
+
+TEST(KvStoreTest, MalformedCommandsSkippedDeterministically) {
+  KvStore a;
+  KvStore b;
+  const std::vector<std::uint8_t> garbage = {0xFF, 0x00, 0x13};
+  const std::vector<std::uint8_t> truncated = {0x01, 0x05};  // SET with bad key length
+  const auto batch = batch_of({garbage, KvStore::set_command("k", "v"), truncated});
+  EXPECT_EQ(a.apply(batch), 1U);
+  EXPECT_EQ(b.apply(batch), 1U);
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  EXPECT_EQ(a.get("k"), "v");
+}
+
+TEST(KvStoreTest, TrailingBytesRejected) {
+  // A SET command with trailing junk must not apply (exhausted() check).
+  auto cmd = KvStore::set_command("k", "v");
+  cmd.push_back(0xAB);
+  KvStore store;
+  EXPECT_EQ(store.apply(batch_of({cmd})), 0U);
+}
+
+TEST(KvStoreTest, BinarySafeKeysAndValues) {
+  KvStore store;
+  const std::string key("\x00\x01\xFFkey", 6);
+  const std::string value("\n\r\t\x00", 4);
+  store.apply(batch_of({KvStore::set_command(key, value)}));
+  EXPECT_EQ(store.get(key), value);
+}
+
+TEST(KvStoreTest, DelOfMissingKeyIsFineAndCounted) {
+  KvStore store;
+  EXPECT_EQ(store.apply(batch_of({KvStore::del_command("ghost")})), 1U);
+  EXPECT_EQ(store.size(), 0U);
+}
+
+}  // namespace
+}  // namespace lumiere::consensus

@@ -1,0 +1,57 @@
+#include "consensus/ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace lumiere::consensus {
+namespace {
+
+QuorumCert genesis_qc() { return QuorumCert::genesis(Block::genesis().hash()); }
+
+TEST(LedgerTest, CommitsChainInOrder) {
+  Ledger ledger;
+  const Block b0(Block::genesis().hash(), 0, {0}, genesis_qc());
+  const Block b1(b0.hash(), 1, {1}, genesis_qc());
+  ledger.commit(b0, TimePoint(10));
+  ledger.commit(b1, TimePoint(20));
+  ASSERT_EQ(ledger.size(), 2U);
+  EXPECT_EQ(ledger.entries()[0].view, 0);
+  EXPECT_EQ(ledger.entries()[1].view, 1);
+  EXPECT_EQ(ledger.entries()[1].parent, b0.hash());
+  EXPECT_EQ(ledger.entries()[0].committed_at, TimePoint(10));
+}
+
+TEST(LedgerTest, PrefixConsistency) {
+  Ledger a;
+  Ledger b;
+  const Block b0(Block::genesis().hash(), 0, {0}, genesis_qc());
+  const Block b1(b0.hash(), 1, {1}, genesis_qc());
+  a.commit(b0, TimePoint(1));
+  a.commit(b1, TimePoint(2));
+  b.commit(b0, TimePoint(3));
+  EXPECT_TRUE(a.prefix_consistent_with(b));
+  EXPECT_TRUE(b.prefix_consistent_with(a));
+
+  Ledger c;
+  const Block fork(Block::genesis().hash(), 0, {9}, genesis_qc());
+  c.commit(fork, TimePoint(1));
+  EXPECT_FALSE(a.prefix_consistent_with(c));
+}
+
+TEST(LedgerDeathTest, RejectsBrokenChain) {
+  Ledger ledger;
+  const Block b0(Block::genesis().hash(), 0, {0}, genesis_qc());
+  const Block stranger(crypto::Sha256::hash("elsewhere"), 1, {1}, genesis_qc());
+  ledger.commit(b0, TimePoint(1));
+  EXPECT_DEATH(ledger.commit(stranger, TimePoint(2)), "chain");
+}
+
+TEST(LedgerDeathTest, RejectsNonMonotoneViews) {
+  Ledger ledger;
+  const Block b0(Block::genesis().hash(), 5, {0}, genesis_qc());
+  const Block b1(b0.hash(), 5, {1}, genesis_qc());
+  ledger.commit(b0, TimePoint(1));
+  EXPECT_DEATH(ledger.commit(b1, TimePoint(2)), "increase");
+}
+
+}  // namespace
+}  // namespace lumiere::consensus

@@ -1,0 +1,56 @@
+#include "consensus/mempool.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace lumiere::consensus {
+namespace {
+
+TEST(MempoolTest, BatchRoundTrip) {
+  Mempool pool;
+  pool.add("set x 1");
+  pool.add("set y 2");
+  const auto batch = pool.next_batch();
+  EXPECT_EQ(pool.pending(), 0U);
+  const auto cmds = Mempool::split_batch(batch);
+  ASSERT_EQ(cmds.size(), 2U);
+  EXPECT_EQ(std::string(cmds[0].begin(), cmds[0].end()), "set x 1");
+  EXPECT_EQ(std::string(cmds[1].begin(), cmds[1].end()), "set y 2");
+}
+
+TEST(MempoolTest, EmptyBatch) {
+  Mempool pool;
+  EXPECT_TRUE(pool.next_batch().empty());
+  EXPECT_TRUE(Mempool::split_batch({}).empty());
+}
+
+TEST(MempoolTest, RespectsBatchLimit) {
+  Mempool pool(32);
+  pool.add(std::string(20, 'a'));
+  pool.add(std::string(20, 'b'));
+  const auto first = pool.next_batch();
+  EXPECT_EQ(Mempool::split_batch(first).size(), 1U) << "second command exceeds the limit";
+  EXPECT_EQ(pool.pending(), 1U);
+  const auto second = pool.next_batch();
+  EXPECT_EQ(Mempool::split_batch(second).size(), 1U);
+}
+
+TEST(MempoolTest, OversizedCommandStillShipsAlone) {
+  Mempool pool(8);
+  pool.add(std::string(100, 'z'));
+  const auto batch = pool.next_batch();
+  EXPECT_EQ(Mempool::split_batch(batch).size(), 1U)
+      << "a command larger than the limit goes out alone rather than starving";
+}
+
+TEST(MempoolTest, Fifo) {
+  Mempool pool;
+  for (int i = 0; i < 10; ++i) pool.add(std::string(1, static_cast<char>('a' + i)));
+  const auto cmds = Mempool::split_batch(pool.next_batch());
+  ASSERT_EQ(cmds.size(), 10U);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(cmds[i][0], static_cast<std::uint8_t>('a' + i));
+}
+
+}  // namespace
+}  // namespace lumiere::consensus

@@ -1,0 +1,78 @@
+#include "consensus/quorum_cert.h"
+
+#include <gtest/gtest.h>
+
+namespace lumiere::consensus {
+namespace {
+
+class QuorumCertTest : public ::testing::Test {
+ protected:
+  QuorumCert make_qc(View view, const crypto::Digest& block_hash, std::uint32_t votes) {
+    crypto::ThresholdAggregator agg(&pki_, QuorumCert::statement(view, block_hash),
+                                    params_.quorum(), params_.n);
+    for (ProcessId id = 0; id < votes; ++id) {
+      agg.add(crypto::threshold_share(pki_.signer_for(id),
+                                      QuorumCert::statement(view, block_hash)));
+    }
+    return QuorumCert(view, block_hash, agg.aggregate());
+  }
+
+  ProtocolParams params_ = ProtocolParams::for_n(7, Duration::millis(10));
+  crypto::Pki pki_{7, 42};
+};
+
+TEST_F(QuorumCertTest, ValidQcVerifies) {
+  const crypto::Digest h = crypto::Sha256::hash("block");
+  const QuorumCert qc = make_qc(3, h, params_.quorum());
+  EXPECT_TRUE(qc.verify(pki_, params_));
+  EXPECT_EQ(qc.view(), 3);
+  EXPECT_FALSE(qc.is_genesis());
+}
+
+TEST_F(QuorumCertTest, StatementBindsViewAndBlock) {
+  const crypto::Digest h1 = crypto::Sha256::hash("a");
+  const crypto::Digest h2 = crypto::Sha256::hash("b");
+  EXPECT_NE(QuorumCert::statement(1, h1), QuorumCert::statement(2, h1));
+  EXPECT_NE(QuorumCert::statement(1, h1), QuorumCert::statement(1, h2));
+}
+
+TEST_F(QuorumCertTest, MismatchedStatementRejected) {
+  const crypto::Digest h = crypto::Sha256::hash("block");
+  QuorumCert qc = make_qc(3, h, params_.quorum());
+  // Tamper: claim it certifies a different view.
+  const QuorumCert tampered(4, h, qc.sig());
+  EXPECT_FALSE(tampered.verify(pki_, params_));
+}
+
+TEST_F(QuorumCertTest, GenesisVerifiesTrivially) {
+  const QuorumCert g = QuorumCert::genesis(crypto::Sha256::hash("genesis"));
+  EXPECT_TRUE(g.is_genesis());
+  EXPECT_TRUE(g.verify(pki_, params_));
+}
+
+TEST_F(QuorumCertTest, SerializeRoundTrip) {
+  const crypto::Digest h = crypto::Sha256::hash("block");
+  const QuorumCert qc = make_qc(5, h, params_.quorum());
+  ser::Writer w;
+  qc.serialize(w);
+  ser::Reader r(std::span<const std::uint8_t>(w.data().data(), w.size()));
+  const auto out = QuorumCert::deserialize(r);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, qc);
+  EXPECT_TRUE(out->verify(pki_, params_));
+}
+
+TEST_F(QuorumCertTest, DiamondTwoQuorumRequired) {
+  // (diamond-2): a QC must carry 2f+1 distinct signers; fewer fails.
+  const crypto::Digest h = crypto::Sha256::hash("block");
+  crypto::ThresholdAggregator agg(&pki_, QuorumCert::statement(1, h), params_.small_quorum(),
+                                  params_.n);
+  for (ProcessId id = 0; id < params_.small_quorum(); ++id) {
+    agg.add(crypto::threshold_share(pki_.signer_for(id), QuorumCert::statement(1, h)));
+  }
+  const QuorumCert thin(1, h, agg.aggregate());
+  EXPECT_FALSE(thin.verify(pki_, params_)) << "f+1 signatures are not a quorum";
+}
+
+}  // namespace
+}  // namespace lumiere::consensus

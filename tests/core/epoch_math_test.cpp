@@ -1,0 +1,66 @@
+#include "core/epoch_math.h"
+
+#include <gtest/gtest.h>
+
+namespace lumiere::core {
+namespace {
+
+TEST(EpochMathTest, Layout) {
+  const EpochMath math(4, Duration::millis(100));
+  EXPECT_EQ(math.views_per_epoch(), 40);  // 10n
+  EXPECT_EQ(math.views_per_segment(), 8);
+  EXPECT_EQ(math.epoch_first_view(0), 0);
+  EXPECT_EQ(math.epoch_first_view(3), 120);
+  EXPECT_EQ(math.epoch_of(0), 0);
+  EXPECT_EQ(math.epoch_of(39), 0);
+  EXPECT_EQ(math.epoch_of(40), 1);
+  EXPECT_EQ(math.epoch_of(-1), -1);
+}
+
+TEST(EpochMathTest, EpochViews) {
+  const EpochMath math(4, Duration::millis(100));
+  EXPECT_TRUE(math.is_epoch_view(0));
+  EXPECT_TRUE(math.is_epoch_view(40));
+  EXPECT_TRUE(math.is_epoch_view(80));
+  EXPECT_FALSE(math.is_epoch_view(1));
+  EXPECT_FALSE(math.is_epoch_view(39));
+  EXPECT_FALSE(math.is_epoch_view(-1));
+}
+
+TEST(EpochMathTest, InitialViews) {
+  EXPECT_TRUE(EpochMath::is_initial(0));
+  EXPECT_FALSE(EpochMath::is_initial(1));
+  EXPECT_TRUE(EpochMath::is_initial(38));
+  EXPECT_FALSE(EpochMath::is_initial(-1)) << "view -1 is not initial";
+}
+
+TEST(EpochMathTest, ViewTimesAndInverse) {
+  const EpochMath math(4, Duration::millis(100));
+  EXPECT_EQ(math.view_time(0), Duration::zero());
+  EXPECT_EQ(math.view_time(7), Duration::millis(700));
+  EXPECT_EQ(math.view_at(Duration::millis(700)), 7);
+  EXPECT_EQ(math.view_at(Duration::millis(750)), 7);
+  EXPECT_EQ(math.view_at(Duration::millis(799)), 7);
+  EXPECT_TRUE(math.at_boundary(Duration::millis(700)));
+  EXPECT_FALSE(math.at_boundary(Duration::millis(701)));
+}
+
+TEST(EpochMathTest, SegmentsAlignWithEpochs) {
+  const EpochMath math(7, Duration::millis(10));
+  // 5 segments per epoch, each 2n views.
+  EXPECT_EQ(math.segment_of(0), 0);
+  EXPECT_EQ(math.segment_of(13), 0);
+  EXPECT_EQ(math.segment_of(14), 1);
+  EXPECT_EQ(math.segment_of(math.epoch_first_view(1)), EpochMath::kSegmentsPerEpoch);
+  EXPECT_EQ(math.segment_of(math.epoch_first_view(1)) % EpochMath::kSegmentsPerEpoch, 0);
+}
+
+TEST(EpochMathTest, EachLeaderGetsTenViewsPerEpoch) {
+  EXPECT_EQ(EpochMath::kViewsPerLeaderPerEpoch, 10);
+  const EpochMath math(4, Duration::millis(10));
+  // views_per_epoch / n == views per leader (each slot pairs two views).
+  EXPECT_EQ(math.views_per_epoch() / 4, EpochMath::kViewsPerLeaderPerEpoch);
+}
+
+}  // namespace
+}  // namespace lumiere::core

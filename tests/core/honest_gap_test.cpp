@@ -1,0 +1,95 @@
+// Honest-gap properties (Definition 3.1 / Lemma 5.9): the (f+1)-st honest
+// gap never increases within an epoch except to a value <= Gamma, and in
+// the steady state it stays <= Gamma + Delta.
+#include "core/honest_gap_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/behaviors.h"
+#include "core/lumiere.h"
+#include "runtime/cluster.h"
+
+namespace lumiere::runtime {
+namespace {
+
+TEST(HonestGapTrackerTest, ComputesSortedGaps) {
+  sim::Simulator sim;
+  sim::LocalClock a(&sim, TimePoint::origin());
+  sim::LocalClock b(&sim, TimePoint::origin());
+  sim::LocalClock c(&sim, TimePoint::origin());
+  sim.run_until(TimePoint(100));
+  b.bump_to(Duration(250));
+  c.bump_to(Duration(150));
+  // Readings: a=100, b=250, c=150. Sorted desc: 250, 150, 100.
+  core::HonestGapTracker tracker({&a, &b, &c});
+  EXPECT_EQ(tracker.gap(1), Duration(0));
+  EXPECT_EQ(tracker.gap(2), Duration(100));
+  EXPECT_EQ(tracker.gap(3), Duration(150));
+}
+
+class GapSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GapSweep, SteadyStateGapBoundedUnderFaults) {
+  // With up to f silent leaders and jittery delays, once the first epoch
+  // completes the (f+1)-st honest gap should settle at <= Gamma + Delta
+  // (Lemma 5.15's consequence hg <= Gamma + Delta at epoch starts, and
+  // Lemma 5.9 within epochs).
+  ClusterOptions options;
+  options.params = ProtocolParams::for_n(7, Duration::millis(10));
+  options.pacemaker = PacemakerKind::kLumiere;
+  options.seed = GetParam();
+  options.delay = std::make_shared<sim::UniformDelay>(Duration::micros(100),
+                                                      Duration::millis(4));
+  options.behavior_for = adversary::byzantine_set(
+      {0, 1}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  Cluster cluster(options);
+  cluster.start();
+
+  const auto& pm =
+      static_cast<const core::LumierePacemaker&>(cluster.node(2).pacemaker());
+  const Duration gamma = pm.gamma();
+  const Duration bound = gamma + options.params.delta_cap;
+  const std::uint32_t k = options.params.f + 1;
+  const auto tracker = cluster.honest_gap_tracker();
+
+  // Warm up past the bootstrap epoch sync.
+  cluster.run_for(Duration::seconds(2));
+  Duration worst = Duration::zero();
+  const TimePoint deadline = cluster.sim().now() + Duration::seconds(10);
+  while (!cluster.sim().idle() && cluster.sim().now() < deadline) {
+    cluster.sim().step();
+    worst = std::max(worst, tracker.gap(k));
+  }
+  EXPECT_LE(worst, bound) << "hg_{f+1} exceeded Gamma + Delta in steady state";
+  EXPECT_GE(cluster.metrics().decisions().size(), 10U) << "run must be live to be meaningful";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GapSweep, ::testing::Values(1U, 2U, 3U, 4U, 5U));
+
+TEST(HonestGapTest, QcProductionShrinksLargeGap) {
+  // Section 3.5 claim (b): honest-leader QCs after GST shrink the
+  // (f+1)-st honest gap when it is large. Start desynchronized (staggered
+  // joins), then watch the gap fall below Gamma and stay there.
+  ClusterOptions options;
+  options.params = ProtocolParams::for_n(4, Duration::millis(10));
+  options.pacemaker = PacemakerKind::kLumiere;
+  options.seed = 17;
+  options.join_stagger = Duration::millis(700);
+  options.gst = TimePoint(Duration::millis(800).ticks());
+  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
+  Cluster cluster(options);
+  cluster.start();
+
+  const auto& pm = static_cast<const core::LumierePacemaker&>(cluster.node(0).pacemaker());
+  const Duration gamma = pm.gamma();
+  const auto tracker = cluster.honest_gap_tracker();
+  const std::uint32_t k = options.params.f + 1;
+
+  cluster.run_until(options.gst + Duration::seconds(30));
+  // By now synchronization must have brought the gap under Gamma + Delta.
+  EXPECT_LE(tracker.gap(k), gamma + options.params.delta_cap);
+  EXPECT_GE(cluster.metrics().decisions().size(), 10U);
+}
+
+}  // namespace
+}  // namespace lumiere::runtime

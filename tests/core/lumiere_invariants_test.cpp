@@ -1,0 +1,127 @@
+// Property tests for the Section 5 lemmas, checked after every simulator
+// event across seeds and adversaries (parameterized sweep).
+#include <gtest/gtest.h>
+
+#include "adversary/behaviors.h"
+#include "core/lumiere.h"
+#include "runtime/cluster.h"
+
+namespace lumiere::runtime {
+namespace {
+
+const core::LumierePacemaker& lumiere_of(const Cluster& cluster, ProcessId id) {
+  return static_cast<const core::LumierePacemaker&>(cluster.node(id).pacemaker());
+}
+
+struct SweepCase {
+  std::uint64_t seed;
+  std::uint32_t n;
+  std::uint32_t byzantine;  // count of silent-leader processes
+};
+
+class LumiereInvariantSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(LumiereInvariantSweep, Section5LemmasHoldEventwise) {
+  const SweepCase c = GetParam();
+  ClusterOptions options;
+  options.params = ProtocolParams::for_n(c.n, Duration::millis(10));
+  options.pacemaker = PacemakerKind::kLumiere;
+  options.seed = c.seed;
+  options.delay = std::make_shared<sim::UniformDelay>(Duration::micros(200),
+                                                      Duration::millis(5));
+  if (c.byzantine > 0) {
+    std::vector<ProcessId> byz;
+    for (ProcessId id = 0; id < c.byzantine; ++id) byz.push_back(id);
+    options.behavior_for = adversary::byzantine_set(
+        byz, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  }
+  Cluster cluster(options);
+  cluster.start();
+
+  const auto& math = lumiere_of(cluster, 0).math();
+  std::vector<View> last_view(c.n, -1);
+  std::vector<Epoch> last_epoch(c.n, -1);
+  std::vector<Duration> last_clock(c.n, Duration::zero());
+
+  const TimePoint deadline = TimePoint::origin() + Duration::seconds(15);
+  std::uint64_t checks = 0;
+  while (!cluster.sim().idle() && cluster.sim().now() < deadline) {
+    cluster.sim().step();
+    for (const ProcessId id : cluster.honest_ids()) {
+      const auto& pm = lumiere_of(cluster, id);
+      const View v = pm.current_view();
+      const Epoch e = pm.current_epoch();
+      const Duration lc = cluster.node(id).local_clock().reading();
+
+      // Lemma 5.1: E(view(p)) == epoch(p).
+      ASSERT_EQ(math.epoch_of(v), e) << "Lemma 5.1 violated at node " << id;
+
+      // Lemma 5.2: views, epochs and clocks are monotone.
+      ASSERT_GE(v, last_view[id]) << "view regressed at node " << id;
+      ASSERT_GE(e, last_epoch[id]) << "epoch regressed at node " << id;
+      ASSERT_GE(lc, last_clock[id]) << "clock regressed at node " << id;
+      last_view[id] = v;
+      last_epoch[id] = e;
+      last_clock[id] = lc;
+
+      // Lemma 5.3: while in view pair (v0, v0+1), lc in [c_v0, c_v0+2]
+      // (initial v0). Equivalently: view_at(lc) is within the pair span.
+      if (v >= 0) {
+        const View v0 = v - (v % 2);  // the initial view of p's pair
+        ASSERT_GE(lc, math.view_time(v0)) << "lc below its view at node " << id;
+        ASSERT_LE(lc, math.view_time(v0 + 2)) << "lc beyond view+2 at node " << id;
+      }
+      ++checks;
+    }
+  }
+  EXPECT_GT(checks, 1000U) << "sweep too short to be meaningful";
+
+  // The run must also be live (condition (2) of the view-sync task).
+  EXPECT_GE(cluster.metrics().decisions().size(), 5U);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndFaults, LumiereInvariantSweep,
+    ::testing::Values(SweepCase{1, 4, 0}, SweepCase{2, 4, 1}, SweepCase{3, 7, 0},
+                      SweepCase{4, 7, 2}, SweepCase{5, 10, 3}, SweepCase{6, 10, 0},
+                      SweepCase{7, 4, 1}, SweepCase{8, 7, 1}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" + std::to_string(info.param.n) +
+             "_byz" + std::to_string(info.param.byzantine);
+    });
+
+TEST(LumiereInvariantTest, Lemma54EpochEntryRequiresPredecessors) {
+  // Lemma 5.4: when any honest processor is in epoch e, at least f+1
+  // honest processors entered epoch e-1 before it. We check the global
+  // consequence: the maximum honest epoch never exceeds the count of
+  // honest processors in the previous epoch's reach.
+  ClusterOptions options;
+  options.params = ProtocolParams::for_n(4, Duration::millis(10));
+  options.pacemaker = PacemakerKind::kLumiere;
+  options.seed = 11;
+  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
+  Cluster cluster(options);
+  cluster.start();
+  const TimePoint deadline = TimePoint::origin() + Duration::seconds(20);
+  Epoch max_epoch_seen = -1;
+  while (!cluster.sim().idle() && cluster.sim().now() < deadline) {
+    cluster.sim().step();
+    Epoch hi = -1;
+    std::uint32_t at_or_above_prev = 0;
+    for (const ProcessId id : cluster.honest_ids()) {
+      hi = std::max(hi, lumiere_of(cluster, id).current_epoch());
+    }
+    if (hi > max_epoch_seen) {
+      max_epoch_seen = hi;
+      for (const ProcessId id : cluster.honest_ids()) {
+        if (lumiere_of(cluster, id).current_epoch() >= hi - 1) ++at_or_above_prev;
+      }
+      ASSERT_GE(at_or_above_prev, options.params.small_quorum())
+          << "epoch " << hi << " entered without f+1 predecessors in " << hi - 1;
+    }
+  }
+  EXPECT_GE(max_epoch_seen, 1) << "run never crossed an epoch boundary";
+}
+
+}  // namespace
+}  // namespace lumiere::runtime

@@ -1,0 +1,103 @@
+#include "core/success_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lumiere::core {
+namespace {
+
+class SuccessTrackerTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kN = 4;  // f = 1, quorum = 3
+  ProtocolParams params_ = ProtocolParams::for_n(kN, Duration::millis(10));
+  EpochMath math_{kN, Duration::millis(10)};
+  std::vector<Epoch> flips_;
+
+  SuccessTracker make_tracker() {
+    return SuccessTracker(
+        params_, &math_,
+        // Deterministic leader map: views pair up, leaders rotate.
+        [](View v) { return static_cast<ProcessId>((v / 2) % kN); },
+        [this](Epoch e) { flips_.push_back(e); });
+  }
+
+  /// Records QCs for all 10 views led by `leader` in epoch 0 under the
+  /// rotation above (slots leader, leader+4, leader+8, ... pairs).
+  void complete_leader(SuccessTracker& tracker, ProcessId leader) {
+    for (View v = 0; v < math_.views_per_epoch(); ++v) {
+      if ((v / 2) % kN == leader) tracker.record_qc(v);
+    }
+  }
+};
+
+TEST_F(SuccessTrackerTest, InitiallyZeroEverywhere) {
+  SuccessTracker tracker = make_tracker();
+  EXPECT_FALSE(tracker.success(-1));
+  EXPECT_FALSE(tracker.success(0));
+  EXPECT_FALSE(tracker.success(100));
+}
+
+TEST_F(SuccessTrackerTest, FlipsAtQuorumOfCompleteLeaders) {
+  SuccessTracker tracker = make_tracker();
+  complete_leader(tracker, 0);
+  EXPECT_FALSE(tracker.success(0));
+  EXPECT_EQ(tracker.leaders_done(0), 1U);
+  complete_leader(tracker, 1);
+  EXPECT_FALSE(tracker.success(0));
+  complete_leader(tracker, 2);
+  EXPECT_TRUE(tracker.success(0)) << "2f+1 = 3 complete leaders flip success";
+  ASSERT_EQ(flips_.size(), 1U);
+  EXPECT_EQ(flips_[0], 0);
+}
+
+TEST_F(SuccessTrackerTest, NineOutOfTenDoesNotCount) {
+  SuccessTracker tracker = make_tracker();
+  for (ProcessId leader = 0; leader < 3; ++leader) {
+    int recorded = 0;
+    for (View v = 0; v < math_.views_per_epoch() && recorded < 9; ++v) {
+      if ((v / 2) % kN == leader) {
+        tracker.record_qc(v);
+        ++recorded;
+      }
+    }
+  }
+  EXPECT_FALSE(tracker.success(0)) << "leaders need all 10 QCs, 9 is not enough";
+  EXPECT_EQ(tracker.leaders_done(0), 0U);
+}
+
+TEST_F(SuccessTrackerTest, DuplicateViewsIgnored) {
+  SuccessTracker tracker = make_tracker();
+  for (int rep = 0; rep < 20; ++rep) tracker.record_qc(0);
+  EXPECT_EQ(tracker.leaders_done(0), 0U) << "one view's QC counts once";
+}
+
+TEST_F(SuccessTrackerTest, EpochsIndependent) {
+  SuccessTracker tracker = make_tracker();
+  // Complete epoch 1's quorum; epoch 0 stays unsatisfied.
+  const View base = math_.epoch_first_view(1);
+  for (ProcessId leader = 0; leader < 3; ++leader) {
+    for (View v = base; v < math_.epoch_first_view(2); ++v) {
+      if ((v / 2) % kN == leader) tracker.record_qc(v);
+    }
+  }
+  EXPECT_TRUE(tracker.success(1));
+  EXPECT_FALSE(tracker.success(0));
+}
+
+TEST_F(SuccessTrackerTest, FlipFiresExactlyOnce) {
+  SuccessTracker tracker = make_tracker();
+  for (ProcessId leader = 0; leader < 4; ++leader) complete_leader(tracker, leader);
+  EXPECT_TRUE(tracker.success(0));
+  EXPECT_EQ(flips_.size(), 1U) << "the callback must not re-fire on extra QCs";
+}
+
+TEST_F(SuccessTrackerTest, NegativeViewsIgnored) {
+  SuccessTracker tracker = make_tracker();
+  tracker.record_qc(-1);
+  EXPECT_FALSE(tracker.success(-1));
+  EXPECT_TRUE(flips_.empty());
+}
+
+}  // namespace
+}  // namespace lumiere::core

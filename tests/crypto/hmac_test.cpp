@@ -1,0 +1,69 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace lumiere::crypto {
+namespace {
+
+// RFC 4231 test case 1.
+TEST(HmacTest, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const std::string msg = "Hi There";
+  const Digest mac = hmac_sha256(
+      std::span<const std::uint8_t>(key.data(), key.size()),
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(msg.data()),
+                                    msg.size()));
+  EXPECT_EQ(mac.hex(), "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacTest, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string msg = "what do ya want for nothing?";
+  const Digest mac = hmac_sha256(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(key.data()),
+                                    key.size()),
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(msg.data()),
+                                    msg.size()));
+  EXPECT_EQ(mac.hex(), "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: key 20x0xaa, data 50x0xdd.
+TEST(HmacTest, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> data(50, 0xdd);
+  const Digest mac = hmac_sha256(std::span<const std::uint8_t>(key.data(), key.size()),
+                                 std::span<const std::uint8_t>(data.data(), data.size()));
+  EXPECT_EQ(mac.hex(), "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: oversized key (131 bytes) must be hashed first.
+TEST(HmacTest, Rfc4231Case6OversizedKey) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const Digest mac = hmac_sha256(
+      std::span<const std::uint8_t>(key.data(), key.size()),
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(msg.data()),
+                                    msg.size()));
+  EXPECT_EQ(mac.hex(), "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, KeySensitivity) {
+  SecretKey k1{};
+  SecretKey k2{};
+  k2[0] = 1;
+  EXPECT_NE(hmac_sha256(k1, "message"), hmac_sha256(k2, "message"));
+}
+
+TEST(HmacTest, MessageSensitivity) {
+  SecretKey key{};
+  key[5] = 42;
+  EXPECT_NE(hmac_sha256(key, "message-a"), hmac_sha256(key, "message-b"));
+  EXPECT_EQ(hmac_sha256(key, "same"), hmac_sha256(key, "same"));
+}
+
+}  // namespace
+}  // namespace lumiere::crypto

@@ -1,0 +1,64 @@
+#include "crypto/pki.h"
+
+#include <gtest/gtest.h>
+
+namespace lumiere::crypto {
+namespace {
+
+TEST(PkiTest, SignVerifyRoundTrip) {
+  const Pki pki(4, 99);
+  const Signer signer = pki.signer_for(2);
+  const Digest msg = Sha256::hash("hello");
+  const Signature sig = signer.sign(msg);
+  EXPECT_EQ(sig.signer, 2U);
+  EXPECT_TRUE(pki.verify(msg, sig));
+}
+
+TEST(PkiTest, RejectsWrongMessage) {
+  const Pki pki(4, 99);
+  const Signature sig = pki.signer_for(1).sign(Sha256::hash("a"));
+  EXPECT_FALSE(pki.verify(Sha256::hash("b"), sig));
+}
+
+TEST(PkiTest, RejectsForgedSigner) {
+  const Pki pki(4, 99);
+  const Digest msg = Sha256::hash("m");
+  Signature sig = pki.signer_for(0).sign(msg);
+  sig.signer = 1;  // claim someone else signed it
+  EXPECT_FALSE(pki.verify(msg, sig));
+}
+
+TEST(PkiTest, RejectsOutOfRangeSigner) {
+  const Pki pki(4, 99);
+  Signature sig = pki.signer_for(0).sign(Sha256::hash("m"));
+  sig.signer = 7;
+  EXPECT_FALSE(pki.verify(Sha256::hash("m"), sig));
+}
+
+TEST(PkiTest, KeysDifferAcrossProcessesAndSeeds) {
+  const Pki pki_a(4, 1);
+  const Pki pki_b(4, 2);
+  const Digest msg = Sha256::hash("m");
+  // Same process id, different seed -> different signature.
+  EXPECT_NE(pki_a.signer_for(0).sign(msg).mac, pki_b.signer_for(0).sign(msg).mac);
+  // Different processes, same seed -> different signature.
+  EXPECT_NE(pki_a.signer_for(0).sign(msg).mac, pki_a.signer_for(1).sign(msg).mac);
+}
+
+TEST(PkiTest, DeterministicForSeed) {
+  const Pki pki_a(4, 5);
+  const Pki pki_b(4, 5);
+  const Digest msg = Sha256::hash("m");
+  EXPECT_EQ(pki_a.signer_for(3).sign(msg).mac, pki_b.signer_for(3).sign(msg).mac);
+}
+
+TEST(PkiTest, CrossPkiSignaturesDoNotVerify) {
+  const Pki pki_a(4, 1);
+  const Pki pki_b(4, 2);
+  const Digest msg = Sha256::hash("m");
+  const Signature sig = pki_a.signer_for(0).sign(msg);
+  EXPECT_FALSE(pki_b.verify(msg, sig));
+}
+
+}  // namespace
+}  // namespace lumiere::crypto

@@ -1,0 +1,88 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace lumiere::crypto {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256::hash("").hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256::hash("abc").hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  EXPECT_EQ(hasher.finish().hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 64 bytes: exercises the padding path where rem == 0 after a full block.
+  const std::string data(64, 'x');
+  EXPECT_EQ(Sha256::hash(data).hex(), Sha256::hash(data).hex());
+  EXPECT_NE(Sha256::hash(data), Sha256::hash(std::string(63, 'x')));
+}
+
+TEST(Sha256Test, PaddingBoundary55And56) {
+  // 55 bytes: length fits with padding in one block; 56: needs an extra.
+  const std::string a(55, 'y');
+  const std::string b(56, 'y');
+  EXPECT_NE(Sha256::hash(a), Sha256::hash(b));
+  // Regression values computed with coreutils sha256sum.
+  EXPECT_EQ(Sha256::hash(std::string(55, 'a')).hex(),
+            "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(Sha256::hash(std::string(56, 'a')).hex(),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  Sha256 hasher;
+  for (char c : data) hasher.update(std::string_view(&c, 1));
+  EXPECT_EQ(hasher.finish(), Sha256::hash(data));
+}
+
+TEST(Sha256Test, ResetReuses) {
+  Sha256 hasher;
+  hasher.update("abc");
+  (void)hasher.finish();
+  hasher.reset();
+  hasher.update("abc");
+  EXPECT_EQ(hasher.finish().hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(DigestTest, PrefixAndZero) {
+  const Digest d = Sha256::hash("abc");
+  EXPECT_EQ(d.prefix64(), 0xba7816bf8f01cfeaULL);
+  EXPECT_FALSE(d.is_zero());
+  EXPECT_TRUE(Digest().is_zero());
+}
+
+TEST(DigestTest, OrderingAndHashing) {
+  const Digest a = Sha256::hash("a");
+  const Digest b = Sha256::hash("b");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);
+  std::hash<Digest> hasher;
+  EXPECT_NE(hasher(a), hasher(b));
+}
+
+}  // namespace
+}  // namespace lumiere::crypto

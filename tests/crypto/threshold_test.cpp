@@ -1,0 +1,110 @@
+#include "crypto/threshold.h"
+
+#include <gtest/gtest.h>
+
+namespace lumiere::crypto {
+namespace {
+
+class ThresholdTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kN = 7;  // f = 2
+  Pki pki_{kN, 1234};
+  Digest msg_ = Sha256::hash("statement");
+};
+
+TEST_F(ThresholdTest, AggregatesAtThreshold) {
+  ThresholdAggregator agg(&pki_, msg_, 5, kN);
+  for (ProcessId id = 0; id < 5; ++id) {
+    EXPECT_FALSE(agg.complete());
+    EXPECT_TRUE(agg.add(threshold_share(pki_.signer_for(id), msg_)));
+  }
+  EXPECT_TRUE(agg.complete());
+  const ThresholdSig sig = agg.aggregate();
+  EXPECT_EQ(sig.signer_count(), 5U);
+  EXPECT_TRUE(verify_threshold(pki_, sig, 5));
+}
+
+TEST_F(ThresholdTest, RejectsDuplicates) {
+  ThresholdAggregator agg(&pki_, msg_, 3, kN);
+  const PartialSig share = threshold_share(pki_.signer_for(0), msg_);
+  EXPECT_TRUE(agg.add(share));
+  EXPECT_FALSE(agg.add(share));
+  EXPECT_EQ(agg.count(), 1U);
+}
+
+TEST_F(ThresholdTest, RejectsInvalidShare) {
+  ThresholdAggregator agg(&pki_, msg_, 3, kN);
+  PartialSig bogus = threshold_share(pki_.signer_for(0), msg_);
+  bogus.signer = 1;  // share not actually signed by 1
+  EXPECT_FALSE(agg.add(bogus));
+  PartialSig out_of_range = threshold_share(pki_.signer_for(0), msg_);
+  out_of_range.signer = 50;
+  EXPECT_FALSE(agg.add(out_of_range));
+}
+
+TEST_F(ThresholdTest, RejectsShareForOtherMessage) {
+  ThresholdAggregator agg(&pki_, msg_, 3, kN);
+  const PartialSig other = threshold_share(pki_.signer_for(0), Sha256::hash("other"));
+  EXPECT_FALSE(agg.add(other));
+}
+
+TEST_F(ThresholdTest, VerifyRejectsBelowThreshold) {
+  ThresholdAggregator agg(&pki_, msg_, 3, kN);
+  for (ProcessId id = 0; id < 3; ++id) agg.add(threshold_share(pki_.signer_for(id), msg_));
+  const ThresholdSig sig = agg.aggregate();
+  EXPECT_TRUE(verify_threshold(pki_, sig, 3));
+  EXPECT_FALSE(verify_threshold(pki_, sig, 4)) << "3 signers cannot satisfy a 4-threshold";
+}
+
+TEST_F(ThresholdTest, VerifyRejectsTamperedTag) {
+  ThresholdAggregator agg(&pki_, msg_, 3, kN);
+  for (ProcessId id = 0; id < 3; ++id) agg.add(threshold_share(pki_.signer_for(id), msg_));
+  ThresholdSig sig = agg.aggregate();
+  sig.tag = Sha256::hash("forged");
+  EXPECT_FALSE(verify_threshold(pki_, sig, 3));
+}
+
+TEST_F(ThresholdTest, VerifyRejectsTamperedSignerSet) {
+  ThresholdAggregator agg(&pki_, msg_, 3, kN);
+  for (ProcessId id = 0; id < 3; ++id) agg.add(threshold_share(pki_.signer_for(id), msg_));
+  ThresholdSig sig = agg.aggregate();
+  sig.signers.add(5);  // claim an extra signer
+  EXPECT_FALSE(verify_threshold(pki_, sig, 3));
+}
+
+TEST_F(ThresholdTest, SharesAreDomainSeparatedFromSignatures) {
+  // A threshold share must not verify as a standalone signature over the
+  // message (and vice versa): different statements.
+  const PartialSig share = threshold_share(pki_.signer_for(0), msg_);
+  EXPECT_FALSE(pki_.verify(msg_, Signature{share.signer, share.mac}));
+}
+
+TEST_F(ThresholdTest, WireSizeIsKappaIndependentOfSigners) {
+  EXPECT_EQ(ThresholdSig::wire_size(), 2 * kKappaBytes);
+}
+
+/// Property sweep: any f+1 / 2f+1 subset aggregates and verifies.
+class ThresholdSubsetTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ThresholdSubsetTest, AnySubsetOfThresholdSizeWorks) {
+  const std::uint32_t f = GetParam();
+  const std::uint32_t n = 3 * f + 1;
+  Pki pki(n, 77);
+  const Digest msg = Sha256::hash("sweep");
+  Rng rng(f * 31 + 7);
+  for (int round = 0; round < 5; ++round) {
+    const std::uint32_t m = (round % 2 == 0) ? f + 1 : 2 * f + 1;
+    ThresholdAggregator agg(&pki, msg, m, n);
+    const auto perm = rng.permutation(n);
+    for (std::uint32_t i = 0; i < m; ++i) {
+      ASSERT_TRUE(agg.add(threshold_share(pki.signer_for(perm[i]), msg)));
+    }
+    ASSERT_TRUE(agg.complete());
+    EXPECT_TRUE(verify_threshold(pki, agg.aggregate(), m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousF, ThresholdSubsetTest, ::testing::Values(1U, 2U, 3U, 5U, 10U));
+
+}  // namespace
+}  // namespace lumiere::crypto

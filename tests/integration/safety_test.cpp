@@ -1,0 +1,87 @@
+// SMR safety under active equivocation: no two honest ledgers diverge,
+// and view-synchronization conditions (1)-(2) of Section 2 hold.
+#include <gtest/gtest.h>
+
+#include "adversary/behaviors.h"
+#include "runtime/cluster.h"
+
+namespace lumiere::runtime {
+namespace {
+
+TEST(SafetyTest, EquivocatingLeadersCannotForkLedgers) {
+  ClusterOptions options;
+  options.params = ProtocolParams::for_n(7, Duration::millis(10), /*x=*/4);
+  options.pacemaker = PacemakerKind::kLumiere;
+  options.core = CoreKind::kChainedHotStuff;
+  options.seed = 61;
+  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
+  options.behavior_for = adversary::byzantine_set(
+      {0, 1}, [](ProcessId) { return std::make_unique<adversary::EquivocatorBehavior>(); });
+  Cluster cluster(options);
+  cluster.run_for(Duration::seconds(120));
+
+  const auto honest = cluster.honest_ids();
+  // Progress despite equivocators.
+  std::size_t longest = 0;
+  for (const ProcessId id : honest) {
+    longest = std::max(longest, cluster.node(id).ledger().size());
+  }
+  EXPECT_GE(longest, 3U) << "equivocators must not stall the honest majority";
+  // Safety: all honest ledgers prefix-consistent.
+  for (const ProcessId a : honest) {
+    for (const ProcessId b : honest) {
+      EXPECT_TRUE(cluster.node(a).ledger().prefix_consistent_with(cluster.node(b).ledger()))
+          << "ledger fork between " << a << " and " << b;
+    }
+  }
+}
+
+TEST(SafetyTest, EquivocationAcrossPacemakers) {
+  for (const PacemakerKind kind :
+       {PacemakerKind::kRoundRobin, PacemakerKind::kLp22, PacemakerKind::kBasicLumiere}) {
+    ClusterOptions options;
+    options.params = ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4);
+    options.pacemaker = kind;
+    options.core = CoreKind::kChainedHotStuff;
+    options.seed = 62;
+    options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
+    options.behavior_for = adversary::byzantine_set(
+        {3}, [](ProcessId) { return std::make_unique<adversary::EquivocatorBehavior>(); });
+    Cluster cluster(options);
+    cluster.run_for(Duration::seconds(60));
+    const auto honest = cluster.honest_ids();
+    for (const ProcessId a : honest) {
+      EXPECT_TRUE(cluster.node(a).ledger().prefix_consistent_with(cluster.node(honest[0]).ledger()))
+          << to_string(kind) << ": ledger fork at node " << a;
+    }
+  }
+}
+
+TEST(SafetyTest, ViewMonotonicityAcrossAllProtocols) {
+  // Condition (1) of the view-synchronization task, checked event-wise.
+  for (const PacemakerKind kind :
+       {PacemakerKind::kCogsworth, PacemakerKind::kLp22, PacemakerKind::kFever,
+        PacemakerKind::kBasicLumiere, PacemakerKind::kLumiere}) {
+    ClusterOptions options;
+    options.params = ProtocolParams::for_n(4, Duration::millis(10));
+    options.pacemaker = kind;
+    options.seed = 63;
+    options.delay =
+        std::make_shared<sim::UniformDelay>(Duration::micros(100), Duration::millis(5));
+    Cluster cluster(options);
+    cluster.start();
+    std::vector<View> last(4, -1);
+    const TimePoint deadline = TimePoint::origin() + Duration::seconds(10);
+    while (!cluster.sim().idle() && cluster.sim().now() < deadline) {
+      cluster.sim().step();
+      for (ProcessId id = 0; id < 4; ++id) {
+        const View v = cluster.node(id).current_view();
+        ASSERT_GE(v, last[id]) << to_string(kind) << ": view regressed at node " << id;
+        last[id] = v;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lumiere::runtime

@@ -1,0 +1,98 @@
+// Lemma 5.15 / Theorem 1.1 (4): once an epoch has a timely start, every
+// honest-leader view produces a QC, no epoch-view messages are sent, and
+// the next epoch starts timely too — heavy synchronization stops forever.
+#include <gtest/gtest.h>
+
+#include "adversary/behaviors.h"
+#include "core/lumiere.h"
+#include "pacemaker/messages.h"
+#include "runtime/cluster.h"
+
+namespace lumiere::runtime {
+namespace {
+
+const core::LumierePacemaker& lumiere_of(const Cluster& cluster, ProcessId id) {
+  return static_cast<const core::LumierePacemaker&>(cluster.node(id).pacemaker());
+}
+
+TEST(SteadyStateTest, HeavySyncStopsAfterWarmup) {
+  ClusterOptions options;
+  options.params = ProtocolParams::for_n(7, Duration::millis(10));
+  options.pacemaker = PacemakerKind::kLumiere;
+  options.seed = 51;
+  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
+  Cluster cluster(options);
+
+  // Warm up well past the bootstrap.
+  cluster.run_for(Duration::seconds(20));
+  const std::uint64_t heavy_after_warmup =
+      cluster.metrics().count_for_type(pacemaker::kEpochViewMsg);
+  ASSERT_GE(lumiere_of(cluster, 0).current_epoch(), 1);
+
+  // From here on, zero epoch-view messages — across several more epochs.
+  cluster.run_for(Duration::seconds(60));
+  ASSERT_GE(lumiere_of(cluster, 0).current_epoch(), 3);
+  EXPECT_EQ(cluster.metrics().count_for_type(pacemaker::kEpochViewMsg), heavy_after_warmup)
+      << "heavy synchronization re-appeared in the steady state";
+}
+
+TEST(SteadyStateTest, EveryHonestLeaderViewProducesQc) {
+  // All-honest steady state: count decisions per epoch; with n honest
+  // leaders x 10 views each, every view of a warmed-up epoch yields a QC.
+  ClusterOptions options;
+  options.params = ProtocolParams::for_n(4, Duration::millis(10));
+  options.pacemaker = PacemakerKind::kLumiere;
+  options.seed = 52;
+  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
+  Cluster cluster(options);
+  cluster.run_for(Duration::seconds(90));
+
+  const auto& math = lumiere_of(cluster, 0).math();
+  const Epoch current = lumiere_of(cluster, 0).current_epoch();
+  ASSERT_GE(current, 2);
+  // Examine one fully completed post-warmup epoch (epoch 1).
+  std::set<View> decided_views;
+  for (const auto& d : cluster.metrics().decisions()) {
+    if (math.epoch_of(d.view) == 1) decided_views.insert(d.view);
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(decided_views.size()), math.views_per_epoch())
+      << "every view of a timely epoch must produce a QC (Lemma 5.15 (1))";
+}
+
+TEST(SteadyStateTest, EventualCommLinearInFaults) {
+  // Theorem 1.1 (4): eventual worst-case communication O(n * f_a + n).
+  // Compare steady-state per-decision message cost at f_a = 0 vs
+  // f_a = f: both must be far below the n^2 of an epoch sync, and the
+  // f_a = 0 cost must not include any epoch-view traffic.
+  const std::uint32_t n = 10;  // f = 3
+  auto run = [&](std::uint32_t f_a) {
+    ClusterOptions options;
+    options.params = ProtocolParams::for_n(n, Duration::millis(10));
+    options.pacemaker = PacemakerKind::kLumiere;
+    options.seed = 53;
+    options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
+    if (f_a > 0) {
+      std::vector<ProcessId> byz;
+      for (ProcessId id = 0; id < f_a; ++id) byz.push_back(id);
+      options.behavior_for = adversary::byzantine_set(byz, [](ProcessId) {
+        return std::make_unique<adversary::SilentLeaderBehavior>();
+      });
+    }
+    Cluster cluster(options);
+    cluster.run_for(Duration::seconds(120));
+    return cluster.metrics().max_msg_gap(TimePoint::origin(), /*warmup=*/60);
+  };
+
+  const auto fault_free = run(0);
+  const auto with_faults = run(3);
+  ASSERT_TRUE(fault_free.has_value());
+  ASSERT_TRUE(with_faults.has_value());
+  // The quadratic epoch sync would cost >= n*(n-1) = 90 messages by
+  // itself; steady state must be well under that even with faults.
+  EXPECT_LT(*fault_free, 60U) << "fault-free steady state should be ~4n per decision";
+  EXPECT_LT(*with_faults, 200U) << "faulty steady state should be O(n * f_a)";
+  EXPECT_GE(*with_faults, *fault_free) << "faults cannot make it cheaper";
+}
+
+}  // namespace
+}  // namespace lumiere::runtime

@@ -1,0 +1,68 @@
+#include "pacemaker/certificates.h"
+
+#include <gtest/gtest.h>
+
+#include "pacemaker/messages.h"
+
+namespace lumiere::pacemaker {
+namespace {
+
+class CertificatesTest : public ::testing::Test {
+ protected:
+  SyncCert make_cert(View v, crypto::Digest (*stmt)(View), std::uint32_t m) {
+    crypto::ThresholdAggregator agg(&pki_, stmt(v), m, 7);
+    for (ProcessId id = 0; id < m; ++id) {
+      agg.add(crypto::threshold_share(pki_.signer_for(id), stmt(v)));
+    }
+    return SyncCert(v, agg.aggregate());
+  }
+
+  crypto::Pki pki_{7, 11};  // n = 7, f = 2
+};
+
+TEST_F(CertificatesTest, StatementsAreDomainSeparated) {
+  // The same view yields different statements per certificate family, so
+  // a view message cannot be replayed as an epoch-view message or a wish.
+  EXPECT_NE(view_msg_statement(5), epoch_msg_statement(5));
+  EXPECT_NE(view_msg_statement(5), wish_statement(5));
+  EXPECT_NE(epoch_msg_statement(5), wish_statement(5));
+  EXPECT_NE(view_msg_statement(5), view_msg_statement(6));
+}
+
+TEST_F(CertificatesTest, VcVerifies) {
+  const SyncCert vc = make_cert(4, &view_msg_statement, 3);  // f+1 = 3
+  EXPECT_TRUE(vc.verify(pki_, 3, &view_msg_statement));
+  EXPECT_FALSE(vc.verify(pki_, 5, &view_msg_statement)) << "threshold enforced";
+  EXPECT_FALSE(vc.verify(pki_, 3, &epoch_msg_statement)) << "wrong statement family";
+}
+
+TEST_F(CertificatesTest, EcNeedsQuorum) {
+  const SyncCert ec = make_cert(10, &epoch_msg_statement, 5);  // 2f+1 = 5
+  EXPECT_TRUE(ec.verify(pki_, 5, &epoch_msg_statement));
+  const SyncCert thin = make_cert(10, &epoch_msg_statement, 3);
+  EXPECT_FALSE(thin.verify(pki_, 5, &epoch_msg_statement))
+      << "f Byzantine + f honest cannot fake an EC";
+}
+
+TEST_F(CertificatesTest, FByzantineCannotFormTc) {
+  // f = 2 colluding signers cannot reach the f+1 = 3 TC threshold.
+  crypto::ThresholdAggregator agg(&pki_, epoch_msg_statement(20), 3, 7);
+  agg.add(crypto::threshold_share(pki_.signer_for(0), epoch_msg_statement(20)));
+  agg.add(crypto::threshold_share(pki_.signer_for(1), epoch_msg_statement(20)));
+  // Replaying one of their shares does not help.
+  EXPECT_FALSE(agg.add(crypto::threshold_share(pki_.signer_for(1), epoch_msg_statement(20))));
+  EXPECT_FALSE(agg.complete());
+}
+
+TEST_F(CertificatesTest, SerializeRoundTrip) {
+  const SyncCert vc = make_cert(4, &view_msg_statement, 3);
+  ser::Writer w;
+  vc.serialize(w);
+  ser::Reader r(std::span<const std::uint8_t>(w.data().data(), w.size()));
+  const auto out = SyncCert::deserialize(r);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, vc);
+}
+
+}  // namespace
+}  // namespace lumiere::pacemaker

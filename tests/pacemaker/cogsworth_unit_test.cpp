@@ -1,0 +1,125 @@
+// Unit-level Cogsworth relay mechanics via direct injection.
+#include "pacemaker/cogsworth.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil/pacemaker_harness.h"
+
+namespace lumiere::pacemaker {
+namespace {
+
+class CogsworthUnitTest : public ::testing::Test {
+ protected:
+  CogsworthUnitTest() : harness_(4, /*self=*/0) {
+    CogsworthPacemaker::Options options;
+    options.view_timeout = Duration::millis(50);
+    options.relay_timeout = Duration::millis(20);
+    pm_ = std::make_unique<CogsworthPacemaker>(harness_.params(), harness_.self(),
+                                               harness_.signer(), harness_.wiring(), options,
+                                               std::make_unique<RoundRobinSchedule>(4, 1));
+    harness_.attach(pm_.get());
+    pm_->start();
+    harness_.settle();
+  }
+
+  void inject_wish(ProcessId from, View v) {
+    pm_->on_message(from, std::make_shared<WishMsg>(
+                              v, crypto::threshold_share(harness_.pki().signer_for(from),
+                                                         wish_statement(v))));
+  }
+
+  void inject_cert(View v, std::uint32_t signers) {
+    // Aggregate with threshold == signers so thin (sub-quorum) certs can
+    // be crafted; the pacemaker must reject them at verification.
+    crypto::ThresholdAggregator agg(&harness_.pki(), wish_statement(v), signers, 4);
+    for (ProcessId id = 1; id <= signers; ++id) {
+      agg.add(crypto::threshold_share(harness_.pki().signer_for(id), wish_statement(v)));
+    }
+    pm_->on_message(1, std::make_shared<WishCertMsg>(SyncCert(v, agg.aggregate())));
+  }
+
+  testutil::PacemakerHarness harness_;
+  std::unique_ptr<CogsworthPacemaker> pm_;
+};
+
+TEST_F(CogsworthUnitTest, StartsInViewZero) { EXPECT_EQ(pm_->current_view(), 0); }
+
+TEST_F(CogsworthUnitTest, TimeoutSendsWishToNextLeader) {
+  harness_.run_to(TimePoint(Duration::millis(50).ticks()));
+  ASSERT_GE(harness_.sent_count(kWishMsg), 1U);
+  // The wish targets lead(1) = p1 (round robin).
+  for (const auto& sent : harness_.sent()) {
+    if (sent.msg->type_id() == kWishMsg) {
+      EXPECT_EQ(sent.to, 1U);
+      EXPECT_EQ(static_cast<const WishMsg&>(*sent.msg).view(), 1);
+      break;
+    }
+  }
+}
+
+TEST_F(CogsworthUnitTest, RelayWalksSuccessiveLeaders) {
+  // No response from lead(1): after each relay timeout the wish goes to
+  // the next leader in sequence.
+  harness_.run_to(TimePoint(Duration::millis(50 + 20 + 20).ticks()));
+  std::vector<ProcessId> targets;
+  for (const auto& sent : harness_.sent()) {
+    if (sent.msg->type_id() == kWishMsg) targets.push_back(sent.to);
+  }
+  ASSERT_GE(targets.size(), 3U);
+  EXPECT_EQ(targets[0], 1U);  // lead(1)
+  EXPECT_EQ(targets[1], 2U);  // lead(2) as relay for view 1
+  EXPECT_EQ(targets[2], 3U);  // lead(3)
+}
+
+TEST_F(CogsworthUnitTest, AggregatesWishesIntoCertificate) {
+  // This node acts as a relay: f+1 = 2 distinct wishes for view 1 make it
+  // broadcast a certificate.
+  inject_wish(1, 1);
+  EXPECT_EQ(harness_.sent_count(kWishCertMsg), 0U);
+  inject_wish(2, 1);
+  harness_.settle();
+  EXPECT_EQ(harness_.sent_count(kWishCertMsg), 1U);
+}
+
+TEST_F(CogsworthUnitTest, CertificateAdvancesView) {
+  inject_cert(5, 2);
+  harness_.settle();
+  EXPECT_EQ(pm_->current_view(), 5);
+}
+
+TEST_F(CogsworthUnitTest, ThinCertificateRejected) {
+  inject_cert(5, 1);  // only one signer: below f+1
+  harness_.settle();
+  EXPECT_EQ(pm_->current_view(), 0);
+}
+
+TEST_F(CogsworthUnitTest, DuplicateWishesDoNotCount) {
+  inject_wish(1, 1);
+  inject_wish(1, 1);
+  harness_.settle();
+  EXPECT_EQ(harness_.sent_count(kWishCertMsg), 0U)
+      << "one Byzantine processor cannot trigger a view change alone";
+}
+
+TEST_F(CogsworthUnitTest, QcAdvancesResponsively) {
+  harness_.inject_qc(0);
+  harness_.settle();
+  EXPECT_EQ(pm_->current_view(), 1);
+  harness_.inject_qc(1);
+  harness_.settle();
+  EXPECT_EQ(pm_->current_view(), 2);
+}
+
+TEST_F(CogsworthUnitTest, StaleWishesIgnored) {
+  inject_cert(5, 2);
+  harness_.settle();
+  ASSERT_EQ(pm_->current_view(), 5);
+  const auto certs_before = harness_.sent_count(kWishCertMsg);
+  inject_wish(1, 3);  // view 3 < current view 5
+  inject_wish(2, 3);
+  harness_.settle();
+  EXPECT_EQ(harness_.sent_count(kWishCertMsg), certs_before);
+}
+
+}  // namespace
+}  // namespace lumiere::pacemaker

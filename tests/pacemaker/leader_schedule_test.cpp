@@ -1,0 +1,68 @@
+#include "pacemaker/leader_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace lumiere::pacemaker {
+namespace {
+
+TEST(RoundRobinScheduleTest, Tenure1) {
+  RoundRobinSchedule s(4, 1);
+  EXPECT_EQ(s.leader_of(0), 0U);
+  EXPECT_EQ(s.leader_of(1), 1U);
+  EXPECT_EQ(s.leader_of(4), 0U);
+  EXPECT_EQ(s.leader_of(7), 3U);
+}
+
+TEST(RoundRobinScheduleTest, Tenure2PairsViews) {
+  RoundRobinSchedule s(4, 2);
+  EXPECT_EQ(s.leader_of(0), 0U);
+  EXPECT_EQ(s.leader_of(1), 0U);
+  EXPECT_EQ(s.leader_of(2), 1U);
+  EXPECT_EQ(s.leader_of(3), 1U);
+  EXPECT_EQ(s.leader_of(8), 0U);
+}
+
+TEST(RoundRobinScheduleTest, NegativeViewsSafe) {
+  RoundRobinSchedule s(4, 2);
+  EXPECT_EQ(s.leader_of(-1), 0U);
+}
+
+TEST(SeededPermutationScheduleTest, IsPermutationPerWindow) {
+  SeededPermutationSchedule s(7, 42, 1);
+  std::map<ProcessId, int> counts;
+  for (View v = 0; v < 7; ++v) ++counts[s.leader_of(v)];
+  EXPECT_EQ(counts.size(), 7U) << "each process leads exactly once per window";
+}
+
+TEST(SeededPermutationScheduleTest, DeterministicInSeed) {
+  SeededPermutationSchedule a(7, 42, 2);
+  SeededPermutationSchedule b(7, 42, 2);
+  SeededPermutationSchedule c(7, 43, 2);
+  bool any_diff = false;
+  for (View v = 0; v < 100; ++v) {
+    EXPECT_EQ(a.leader_of(v), b.leader_of(v));
+    any_diff |= a.leader_of(v) != c.leader_of(v);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SeededPermutationScheduleTest, TenureGroupsConsecutiveViews) {
+  SeededPermutationSchedule s(5, 9, 2);
+  for (View v = 0; v < 40; v += 2) {
+    EXPECT_EQ(s.leader_of(v), s.leader_of(v + 1)) << "leader pairs share a tenure";
+  }
+}
+
+TEST(SeededPermutationScheduleTest, WindowsDiffer) {
+  SeededPermutationSchedule s(16, 5, 1);
+  bool differs = false;
+  for (View v = 0; v < 16; ++v) {
+    if (s.leader_of(v) != s.leader_of(v + 16)) differs = true;
+  }
+  EXPECT_TRUE(differs) << "different windows should not repeat the permutation";
+}
+
+}  // namespace
+}  // namespace lumiere::pacemaker

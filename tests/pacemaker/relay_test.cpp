@@ -1,0 +1,79 @@
+// Cogsworth / NK20 relay mechanics under faulty leaders.
+#include <gtest/gtest.h>
+
+#include "adversary/behaviors.h"
+#include "pacemaker/messages.h"
+#include "runtime/cluster.h"
+
+namespace lumiere::runtime {
+namespace {
+
+ClusterOptions relay_options(PacemakerKind kind, std::uint32_t n) {
+  ClusterOptions options;
+  options.params = ProtocolParams::for_n(n, Duration::millis(10));
+  options.pacemaker = kind;
+  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
+  options.seed = 17;
+  return options;
+}
+
+TEST(RelayTest, CogsworthAdvancesPastSilentLeader) {
+  ClusterOptions options = relay_options(PacemakerKind::kCogsworth, 4);
+  options.behavior_for = adversary::byzantine_set(
+      {0}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  Cluster cluster(options);
+  cluster.run_for(Duration::seconds(20));
+  // p0 leads views 0, 4, 8, ... — those fail; wishes relay past them.
+  EXPECT_GE(cluster.metrics().decisions().size(), 6U);
+  EXPECT_GT(cluster.metrics().count_for_type(pacemaker::kWishMsg), 0U);
+  EXPECT_GT(cluster.metrics().count_for_type(pacemaker::kWishCertMsg), 0U);
+}
+
+TEST(RelayTest, Nk20AdvancesPastSilentLeader) {
+  ClusterOptions options = relay_options(PacemakerKind::kNaorKeidar, 4);
+  options.behavior_for = adversary::byzantine_set(
+      {0}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  Cluster cluster(options);
+  cluster.run_for(Duration::seconds(20));
+  EXPECT_GE(cluster.metrics().decisions().size(), 6U);
+}
+
+TEST(RelayTest, NoWishTrafficWhenAllHonestAndFast) {
+  // With honest leaders and a fast network, views advance on QCs before
+  // any timer fires: the relay machinery should stay quiet.
+  ClusterOptions options = relay_options(PacemakerKind::kCogsworth, 4);
+  options.delay = std::make_shared<sim::FixedDelay>(Duration::micros(200));
+  Cluster cluster(options);
+  cluster.run_for(Duration::seconds(5));
+  EXPECT_EQ(cluster.metrics().count_for_type(pacemaker::kWishMsg), 0U);
+  EXPECT_GE(cluster.metrics().decisions().size(), 20U);
+}
+
+TEST(RelayTest, RelayCostGrowsWithConsecutiveFaultyRelays) {
+  // Byzantine processes placed to be both the faulty leader and the next
+  // relay force extra relay hops; wish traffic should exceed the
+  // single-fault case.
+  ClusterOptions one_fault = relay_options(PacemakerKind::kCogsworth, 10);
+  one_fault.behavior_for = adversary::byzantine_set(
+      {0}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  Cluster a(one_fault);
+  a.run_for(Duration::seconds(20));
+
+  ClusterOptions three_faults = relay_options(PacemakerKind::kCogsworth, 10);
+  three_faults.behavior_for = adversary::byzantine_set(
+      {0, 1, 2}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  Cluster b(three_faults);
+  b.run_for(Duration::seconds(20));
+
+  const double wishes_per_decision_a =
+      static_cast<double>(a.metrics().count_for_type(pacemaker::kWishMsg)) /
+      static_cast<double>(std::max<std::size_t>(1, a.metrics().decisions().size()));
+  const double wishes_per_decision_b =
+      static_cast<double>(b.metrics().count_for_type(pacemaker::kWishMsg)) /
+      static_cast<double>(std::max<std::size_t>(1, b.metrics().decisions().size()));
+  EXPECT_GT(wishes_per_decision_b, wishes_per_decision_a)
+      << "f_a = 3 consecutive faulty relays must cost more than f_a = 1";
+}
+
+}  // namespace
+}  // namespace lumiere::runtime

@@ -1,0 +1,73 @@
+// RoundRobin (exponential backoff) pacemaker behavior.
+#include "pacemaker/round_robin.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/behaviors.h"
+#include "pacemaker/messages.h"
+#include "runtime/cluster.h"
+
+namespace lumiere::runtime {
+namespace {
+
+ClusterOptions rr_options(std::uint32_t n, Duration delta_actual, std::uint64_t seed = 91) {
+  ClusterOptions options;
+  options.params = ProtocolParams::for_n(n, Duration::millis(10));
+  options.pacemaker = PacemakerKind::kRoundRobin;
+  options.delay = std::make_shared<sim::FixedDelay>(delta_actual);
+  options.seed = seed;
+  return options;
+}
+
+TEST(RoundRobinTest, ResponsiveWhenHealthy) {
+  Cluster cluster(rr_options(4, Duration::micros(300)));
+  cluster.run_for(Duration::seconds(5));
+  EXPECT_GE(cluster.metrics().decisions().size(), 100U);
+  EXPECT_EQ(cluster.metrics().count_for_type(pacemaker::kWishMsg), 0U)
+      << "no timeouts fire on a healthy fast network";
+}
+
+TEST(RoundRobinTest, TimeoutsDriveViewChangesPastFaultyLeader) {
+  ClusterOptions options = rr_options(4, Duration::millis(1));
+  options.behavior_for = adversary::byzantine_set(
+      {2}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  Cluster cluster(options);
+  cluster.run_for(Duration::seconds(30));
+  EXPECT_GE(cluster.metrics().decisions().size(), 10U);
+  EXPECT_GT(cluster.metrics().count_for_type(pacemaker::kWishMsg), 0U);
+}
+
+TEST(RoundRobinTest, WishAmplificationBringsLaggardsAlong) {
+  // Even if timeouts fire at different moments (jittery delays), f+1
+  // wishes trigger amplification so everyone joins the view change.
+  ClusterOptions options = rr_options(7, Duration::millis(1), 93);
+  options.delay = std::make_shared<sim::UniformDelay>(Duration::micros(100),
+                                                      Duration::millis(9));
+  options.behavior_for = adversary::byzantine_set(
+      {0, 1}, [](ProcessId) { return std::make_unique<adversary::MuteBehavior>(); });
+  Cluster cluster(options);
+  cluster.run_for(Duration::seconds(40));
+  EXPECT_GE(cluster.metrics().decisions().size(), 5U);
+  // All honest nodes keep up (no one stuck more than a couple of views
+  // behind).
+  EXPECT_GE(cluster.min_honest_view() + 4, cluster.max_honest_view());
+}
+
+TEST(RoundRobinTest, EveryViewChangeCostsQuadratic) {
+  // The structural weakness: wishes are all-to-all. With a permanently
+  // silent leader, each failed view costs Theta(n^2) wish traffic.
+  ClusterOptions options = rr_options(7, Duration::millis(1), 94);
+  options.behavior_for = adversary::byzantine_set(
+      {0}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  Cluster cluster(options);
+  cluster.run_for(Duration::seconds(30));
+  const auto wishes = cluster.metrics().count_for_type(pacemaker::kWishMsg);
+  const View reached = cluster.max_honest_view();
+  const std::int64_t failed_views = reached / 7 + 1;  // p0 leads ~1/7 of views
+  // Each failed view: ~6 honest broadcasting wishes to 6 others = 36.
+  EXPECT_GE(wishes, static_cast<std::uint64_t>(failed_views) * 20)
+      << "all-to-all wish traffic must recur per failed view";
+}
+
+}  // namespace
+}  // namespace lumiere::runtime

@@ -1,0 +1,105 @@
+#include "runtime/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "pacemaker/messages.h"
+
+namespace lumiere::runtime {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  MetricsTest() : metrics_(4, {false, false, false, true}) {}  // p3 Byzantine
+
+  void send(TimePoint at, ProcessId from, ProcessId to) {
+    const pacemaker::ViewMsg msg(
+        1, crypto::threshold_share(pki_.signer_for(from), pacemaker::view_msg_statement(1)));
+    metrics_.on_send(at, from, to, msg);
+  }
+
+  crypto::Pki pki_{4, 3};
+  MetricsCollector metrics_;
+};
+
+TEST_F(MetricsTest, CountsHonestSendsOnly) {
+  send(TimePoint(10), 0, 1);
+  send(TimePoint(11), 3, 1);  // Byzantine sender: not counted
+  send(TimePoint(12), 1, 1);  // self-send: not counted
+  send(TimePoint(13), 2, 0);
+  EXPECT_EQ(metrics_.total_honest_msgs(), 2U);
+  EXPECT_EQ(metrics_.pacemaker_msgs(), 2U);
+  EXPECT_EQ(metrics_.consensus_msgs(), 0U);
+  EXPECT_EQ(metrics_.count_for_type(pacemaker::kViewMsg), 2U);
+  EXPECT_GT(metrics_.total_honest_bytes(), 0U);
+}
+
+TEST_F(MetricsTest, DecisionLogAndWindows) {
+  send(TimePoint(5), 0, 1);
+  send(TimePoint(6), 0, 2);
+  metrics_.record_qc_formed(TimePoint(10), 0, 0);  // decision 1 after 2 msgs
+  send(TimePoint(15), 1, 2);
+  send(TimePoint(16), 1, 0);
+  send(TimePoint(17), 2, 0);
+  metrics_.record_qc_formed(TimePoint(20), 1, 1);  // decision 2 after 3 more
+  send(TimePoint(25), 2, 1);
+  metrics_.record_qc_formed(TimePoint(40), 2, 2);  // decision 3 after 1 more
+
+  ASSERT_EQ(metrics_.decisions().size(), 3U);
+  EXPECT_EQ(metrics_.decisions()[0].msgs_before, 2U);
+  EXPECT_EQ(metrics_.decisions()[1].msgs_before, 5U);
+
+  // Latency to first decision from t=0: 10.
+  const auto lat = metrics_.latency_to_first_decision(TimePoint::origin());
+  ASSERT_TRUE(lat.has_value());
+  EXPECT_EQ(*lat, Duration(10));
+
+  // Max inter-decision gap: 40 - 20 = 20.
+  const auto gap = metrics_.max_decision_gap(TimePoint::origin());
+  ASSERT_TRUE(gap.has_value());
+  EXPECT_EQ(*gap, Duration(20));
+
+  // Max msg gap: decision2 - decision1 = 3 messages.
+  const auto msg_gap = metrics_.max_msg_gap(TimePoint::origin());
+  ASSERT_TRUE(msg_gap.has_value());
+  EXPECT_EQ(*msg_gap, 3U);
+
+  // Warmup skips the first window: max over remaining = 1.
+  EXPECT_EQ(metrics_.max_msg_gap(TimePoint::origin(), 1).value(), 1U);
+}
+
+TEST_F(MetricsTest, ByzantineLeaderQcIsNotADecision) {
+  metrics_.record_qc_formed(TimePoint(10), 5, 3);  // p3 is Byzantine
+  EXPECT_TRUE(metrics_.decisions().empty());
+}
+
+TEST_F(MetricsTest, MsgsBetween) {
+  send(TimePoint(10), 0, 1);
+  send(TimePoint(20), 0, 1);
+  send(TimePoint(30), 0, 1);
+  EXPECT_EQ(metrics_.msgs_between(TimePoint(0), TimePoint(15)), 1U);
+  EXPECT_EQ(metrics_.msgs_between(TimePoint(10), TimePoint(30)), 2U)
+      << "[10, 30): includes the sends at 10 and 20, excludes the one at 30";
+  EXPECT_EQ(metrics_.msgs_between(TimePoint(0), TimePoint(31)), 3U);
+  EXPECT_EQ(metrics_.msgs_between(TimePoint(40), TimePoint(50)), 0U);
+}
+
+TEST_F(MetricsTest, FirstDecisionIndexAfter) {
+  metrics_.record_qc_formed(TimePoint(10), 0, 0);
+  metrics_.record_qc_formed(TimePoint(20), 1, 1);
+  EXPECT_EQ(metrics_.first_decision_index_after(TimePoint(0)), 0U);
+  EXPECT_EQ(metrics_.first_decision_index_after(TimePoint(10)), 0U);
+  EXPECT_EQ(metrics_.first_decision_index_after(TimePoint(11)), 1U);
+  EXPECT_EQ(metrics_.first_decision_index_after(TimePoint(21)), 2U);
+  EXPECT_FALSE(metrics_.latency_to_first_decision(TimePoint(21)).has_value());
+}
+
+TEST_F(MetricsTest, EmptyCollectorEdgeCases) {
+  EXPECT_FALSE(metrics_.latency_to_first_decision(TimePoint::origin()).has_value());
+  EXPECT_FALSE(metrics_.max_decision_gap(TimePoint::origin()).has_value());
+  EXPECT_FALSE(metrics_.max_msg_gap(TimePoint::origin()).has_value());
+  EXPECT_FALSE(metrics_.msgs_to_first_decision(TimePoint::origin()).has_value());
+  EXPECT_EQ(metrics_.msgs_between(TimePoint(0), TimePoint(100)), 0U);
+}
+
+}  // namespace
+}  // namespace lumiere::runtime

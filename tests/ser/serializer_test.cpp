@@ -1,0 +1,148 @@
+#include "ser/serializer.h"
+
+#include <gtest/gtest.h>
+
+namespace lumiere::ser {
+namespace {
+
+TEST(SerializerTest, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.boolean(true);
+  w.view(-1);
+  w.process(7);
+  w.time_point(TimePoint(123456));
+  w.duration(Duration::millis(5));
+
+  Reader r(std::span<const std::uint8_t>(w.data().data(), w.size()));
+  std::uint8_t u8 = 0;
+  std::uint16_t u16 = 0;
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0;
+  std::int64_t i64 = 0;
+  bool b = false;
+  View v = 0;
+  ProcessId p = 0;
+  TimePoint tp;
+  Duration d;
+  ASSERT_TRUE(r.u8(u8));
+  ASSERT_TRUE(r.u16(u16));
+  ASSERT_TRUE(r.u32(u32));
+  ASSERT_TRUE(r.u64(u64));
+  ASSERT_TRUE(r.i64(i64));
+  ASSERT_TRUE(r.boolean(b));
+  ASSERT_TRUE(r.view(v));
+  ASSERT_TRUE(r.process(p));
+  ASSERT_TRUE(r.time_point(tp));
+  ASSERT_TRUE(r.duration(d));
+  EXPECT_TRUE(r.exhausted());
+
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xDEADBEEF);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(v, -1);
+  EXPECT_EQ(p, 7U);
+  EXPECT_EQ(tp, TimePoint(123456));
+  EXPECT_EQ(d, Duration::millis(5));
+}
+
+TEST(SerializerTest, BytesAndStrings) {
+  Writer w;
+  w.str("hello");
+  w.str("");
+  const std::vector<std::uint8_t> blob = {1, 2, 3, 255};
+  w.bytes(std::span<const std::uint8_t>(blob.data(), blob.size()));
+
+  Reader r(std::span<const std::uint8_t>(w.data().data(), w.size()));
+  std::string s1;
+  std::string s2;
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(r.str(s1));
+  ASSERT_TRUE(r.str(s2));
+  ASSERT_TRUE(r.bytes(out));
+  EXPECT_EQ(s1, "hello");
+  EXPECT_EQ(s2, "");
+  EXPECT_EQ(out, blob);
+}
+
+TEST(SerializerTest, DigestRoundTrip) {
+  const crypto::Digest d = crypto::Sha256::hash("x");
+  Writer w;
+  w.digest(d);
+  Reader r(std::span<const std::uint8_t>(w.data().data(), w.size()));
+  crypto::Digest out;
+  ASSERT_TRUE(r.digest(out));
+  EXPECT_EQ(out, d);
+}
+
+TEST(SerializerTest, SignerSetRoundTrip) {
+  SignerSet set(70);
+  set.add(0);
+  set.add(64);
+  set.add(69);
+  Writer w;
+  w.signer_set(set);
+  Reader r(std::span<const std::uint8_t>(w.data().data(), w.size()));
+  SignerSet out;
+  ASSERT_TRUE(r.signer_set(out));
+  EXPECT_EQ(out, set);
+}
+
+TEST(SerializerTest, TruncatedInputFailsCleanly) {
+  Writer w;
+  w.u64(12345);
+  w.str("payload");
+  const auto& bytes = w.data();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    Reader r(std::span<const std::uint8_t>(bytes.data(), cut));
+    std::uint64_t x = 0;
+    std::string s;
+    const bool ok = r.u64(x) && r.str(s);
+    EXPECT_FALSE(ok) << "cut at " << cut << " must fail";
+  }
+}
+
+TEST(SerializerTest, MalformedSignerSetRejected) {
+  // count > universe.
+  Writer w;
+  w.u32(4);
+  w.u32(5);
+  Reader r(std::span<const std::uint8_t>(w.data().data(), w.size()));
+  SignerSet out;
+  EXPECT_FALSE(r.signer_set(out));
+
+  // duplicate member.
+  Writer w2;
+  w2.u32(4);
+  w2.u32(2);
+  w2.u32(1);
+  w2.u32(1);
+  Reader r2(std::span<const std::uint8_t>(w2.data().data(), w2.size()));
+  EXPECT_FALSE(r2.signer_set(out));
+
+  // member out of universe.
+  Writer w3;
+  w3.u32(4);
+  w3.u32(1);
+  w3.u32(9);
+  Reader r3(std::span<const std::uint8_t>(w3.data().data(), w3.size()));
+  EXPECT_FALSE(r3.signer_set(out));
+}
+
+TEST(SerializerTest, BooleanRejectsGarbage) {
+  Writer w;
+  w.u8(2);
+  Reader r(std::span<const std::uint8_t>(w.data().data(), w.size()));
+  bool b = false;
+  EXPECT_FALSE(r.boolean(b));
+}
+
+}  // namespace
+}  // namespace lumiere::ser

@@ -1,0 +1,95 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lumiere::sim {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint(30), [&] { order.push_back(3); });
+  q.schedule(TimePoint(10), [&] { order.push_back(1); });
+  q.schedule(TimePoint(20), [&] { order.push_back(2); });
+  TimePoint at;
+  EventFn fn;
+  while (q.pop(at, fn)) fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoWithinSameInstant) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(TimePoint(7), [&order, i] { order.push_back(i); });
+  }
+  TimePoint at;
+  EventFn fn;
+  while (q.pop(at, fn)) fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CancellationSuppressesEvent) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle h = q.schedule(TimePoint(5), [&] { ++fired; });
+  q.schedule(TimePoint(6), [&] { ++fired; });
+  h.cancel();
+  TimePoint at;
+  EventFn fn;
+  while (q.pop(at, fn)) fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoop) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle h = q.schedule(TimePoint(1), [&] { ++fired; });
+  TimePoint at;
+  EventFn fn;
+  ASSERT_TRUE(q.pop(at, fn));
+  fn();
+  h.cancel();  // must not crash or corrupt
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.active());
+  h.cancel();  // no-op
+}
+
+TEST(EventQueueTest, ActiveReflectsState) {
+  EventQueue q;
+  EventHandle h = q.schedule(TimePoint(1), [] {});
+  EXPECT_TRUE(h.active());
+  h.cancel();
+  EXPECT_FALSE(h.active());
+}
+
+TEST(EventQueueTest, EmptyAtOrBefore) {
+  EventQueue q;
+  q.schedule(TimePoint(10), [] {});
+  EXPECT_TRUE(q.empty_at_or_before(TimePoint(9)));
+  EXPECT_FALSE(q.empty_at_or_before(TimePoint(10)));
+  EXPECT_EQ(q.next_time(), TimePoint(10));
+}
+
+TEST(EventQueueTest, EventsScheduledDuringRunExecute) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint(1), [&] {
+    order.push_back(1);
+    q.schedule(TimePoint(2), [&] { order.push_back(2); });
+  });
+  TimePoint at;
+  EventFn fn;
+  while (q.pop(at, fn)) fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace lumiere::sim

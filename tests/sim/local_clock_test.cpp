@@ -1,0 +1,272 @@
+// LocalClock implements the paper's lc(p) semantics; these tests pin the
+// exact behaviors the protocols rely on (pause/bump/exact-landing alarms).
+#include "sim/local_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace lumiere::sim {
+namespace {
+
+class LocalClockTest : public ::testing::Test {
+ protected:
+  Simulator sim_;
+};
+
+TEST_F(LocalClockTest, AdvancesInRealTime) {
+  LocalClock clock(&sim_, TimePoint::origin());
+  EXPECT_EQ(clock.reading(), Duration::zero());
+  sim_.run_until(TimePoint(500));
+  EXPECT_EQ(clock.reading(), Duration(500));
+}
+
+TEST_F(LocalClockTest, JoinTimeAnchorsZero) {
+  LocalClock clock(&sim_, TimePoint(100));
+  EXPECT_EQ(clock.reading(), Duration::zero());
+  sim_.run_until(TimePoint(150));
+  EXPECT_EQ(clock.reading(), Duration(50));
+}
+
+TEST_F(LocalClockTest, PauseHoldsValueAndUnpauseResumes) {
+  LocalClock clock(&sim_, TimePoint::origin());
+  sim_.run_until(TimePoint(100));
+  clock.pause();
+  EXPECT_TRUE(clock.paused());
+  sim_.run_until(TimePoint(300));
+  EXPECT_EQ(clock.reading(), Duration(100));
+  clock.unpause();
+  sim_.run_until(TimePoint(350));
+  EXPECT_EQ(clock.reading(), Duration(150));
+}
+
+TEST_F(LocalClockTest, BumpMovesForwardOnly) {
+  LocalClock clock(&sim_, TimePoint::origin());
+  sim_.run_until(TimePoint(100));
+  clock.bump_to(Duration(50));  // backwards: no-op (Lemma 5.2)
+  EXPECT_EQ(clock.reading(), Duration(100));
+  clock.bump_to(Duration(400));
+  EXPECT_EQ(clock.reading(), Duration(400));
+  sim_.run_until(TimePoint(150));
+  EXPECT_EQ(clock.reading(), Duration(450));
+}
+
+TEST_F(LocalClockTest, BumpWhilePausedKeepsPaused) {
+  LocalClock clock(&sim_, TimePoint::origin());
+  sim_.run_until(TimePoint(10));
+  clock.pause();
+  clock.bump_to(Duration(200));
+  EXPECT_TRUE(clock.paused());
+  EXPECT_EQ(clock.reading(), Duration(200));
+  sim_.run_until(TimePoint(500));
+  EXPECT_EQ(clock.reading(), Duration(200));
+  clock.unpause();
+  sim_.run_until(TimePoint(600));
+  EXPECT_EQ(clock.reading(), Duration(300));
+}
+
+TEST_F(LocalClockTest, AlarmFiresOnRealTimeArrival) {
+  LocalClock clock(&sim_, TimePoint::origin());
+  std::vector<Duration> fired;
+  clock.set_alarm(Duration(100), [&] { fired.push_back(clock.reading()); });
+  sim_.run_until(TimePoint(99));
+  EXPECT_TRUE(fired.empty());
+  sim_.run_until(TimePoint(100));
+  ASSERT_EQ(fired.size(), 1U);
+  EXPECT_EQ(fired[0], Duration(100)) << "alarm fires exactly at the threshold";
+}
+
+TEST_F(LocalClockTest, AlarmFiresOnExactLandingBump) {
+  LocalClock clock(&sim_, TimePoint::origin());
+  int fired = 0;
+  clock.set_alarm(Duration(100), [&] { ++fired; });
+  sim_.run_until(TimePoint(10));
+  clock.bump_to(Duration(100));  // lands exactly: "lc == c_v" is seen
+  sim_.run_until(TimePoint(10));  // drain same-instant events
+  sim_.run_until(TimePoint(11));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(LocalClockTest, AlarmSkippedWhenBumpJumpsPast) {
+  LocalClock clock(&sim_, TimePoint::origin());
+  int fired = 0;
+  clock.set_alarm(Duration(100), [&] { ++fired; });
+  clock.bump_to(Duration(150));  // jumps past: "lc == 100" never seen
+  sim_.run_until(TimePoint(500));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(LocalClockTest, AlarmAtCurrentReadingFiresImmediately) {
+  LocalClock clock(&sim_, TimePoint::origin());
+  sim_.run_until(TimePoint(40));
+  int fired = 0;
+  clock.set_alarm(Duration(40), [&] { ++fired; });
+  sim_.run_until(TimePoint(40));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(LocalClockTest, AlarmInPastNeverFires) {
+  LocalClock clock(&sim_, TimePoint::origin());
+  sim_.run_until(TimePoint(50));
+  int fired = 0;
+  const AlarmId id = clock.set_alarm(Duration(10), [&] { ++fired; });
+  EXPECT_EQ(id, 0U);
+  sim_.run_until(TimePoint(500));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(LocalClockTest, AlarmsDormantWhilePaused) {
+  LocalClock clock(&sim_, TimePoint::origin());
+  int fired = 0;
+  clock.set_alarm(Duration(100), [&] { ++fired; });
+  sim_.run_until(TimePoint(50));
+  clock.pause();
+  sim_.run_until(TimePoint(1000));
+  EXPECT_EQ(fired, 0) << "paused clock never reaches the threshold";
+  clock.unpause();  // resumes at 50; alarm due at sim time 1050
+  sim_.run_until(TimePoint(1049));
+  EXPECT_EQ(fired, 0);
+  sim_.run_until(TimePoint(1050));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(LocalClockTest, AlarmWhilePausedAtThresholdFires) {
+  LocalClock clock(&sim_, TimePoint::origin());
+  sim_.run_until(TimePoint(70));
+  clock.pause();
+  int fired = 0;
+  clock.set_alarm(Duration(70), [&] { ++fired; });
+  sim_.run_until(TimePoint(71));
+  EXPECT_EQ(fired, 1) << "lc == threshold holds now, even while paused";
+}
+
+TEST_F(LocalClockTest, CancelAlarm) {
+  LocalClock clock(&sim_, TimePoint::origin());
+  int fired = 0;
+  const AlarmId id = clock.set_alarm(Duration(100), [&] { ++fired; });
+  clock.cancel_alarm(id);
+  sim_.run_until(TimePoint(200));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(LocalClockTest, MultipleAlarmsFireInThresholdOrder) {
+  LocalClock clock(&sim_, TimePoint::origin());
+  std::vector<int> order;
+  clock.set_alarm(Duration(200), [&] { order.push_back(2); });
+  clock.set_alarm(Duration(100), [&] { order.push_back(1); });
+  clock.set_alarm(Duration(300), [&] { order.push_back(3); });
+  sim_.run_until(TimePoint(400));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(LocalClockTest, BumpLandingFiresOnlyThatThreshold) {
+  LocalClock clock(&sim_, TimePoint::origin());
+  std::vector<int> order;
+  clock.set_alarm(Duration(100), [&] { order.push_back(1); });
+  clock.set_alarm(Duration(200), [&] { order.push_back(2); });
+  clock.bump_to(Duration(200));  // jumps past 100, lands on 200
+  sim_.run_until(TimePoint(1));
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST_F(LocalClockTest, AlarmHandlerCanBumpSafely) {
+  LocalClock clock(&sim_, TimePoint::origin());
+  std::vector<Duration> readings;
+  clock.set_alarm(Duration(100), [&] {
+    readings.push_back(clock.reading());
+    clock.bump_to(Duration(500));
+  });
+  clock.set_alarm(Duration(300), [&] { readings.push_back(clock.reading()); });
+  sim_.run_until(TimePoint(1000));
+  ASSERT_EQ(readings.size(), 1U) << "300 was jumped past by the handler's bump";
+  EXPECT_EQ(readings[0], Duration(100));
+}
+
+TEST_F(LocalClockTest, TimeForInvertsReading) {
+  LocalClock clock(&sim_, TimePoint(25));
+  sim_.run_until(TimePoint(50));
+  EXPECT_EQ(clock.time_for(Duration(100)), TimePoint(125));
+}
+
+// ---- bounded drift (the Section 2/4 remark) --------------------------
+
+TEST_F(LocalClockTest, FastClockReadsAheadOfRealTime) {
+  LocalClock clock(&sim_, TimePoint::origin(), /*drift_ppm=*/100'000);  // +10%
+  sim_.run_until(TimePoint(1'000'000));
+  EXPECT_EQ(clock.reading(), Duration(1'100'000));
+}
+
+TEST_F(LocalClockTest, SlowClockReadsBehindRealTime) {
+  LocalClock clock(&sim_, TimePoint::origin(), /*drift_ppm=*/-100'000);  // -10%
+  sim_.run_until(TimePoint(1'000'000));
+  EXPECT_EQ(clock.reading(), Duration(900'000));
+}
+
+TEST_F(LocalClockTest, DriftedAlarmFiresWhenClockValueReachesThreshold) {
+  LocalClock fast(&sim_, TimePoint::origin(), 100'000);
+  LocalClock slow(&sim_, TimePoint::origin(), -100'000);
+  TimePoint fast_fired = TimePoint(-1);
+  TimePoint slow_fired = TimePoint(-1);
+  fast.set_alarm(Duration(1'100'000), [&] { fast_fired = sim_.now(); });
+  slow.set_alarm(Duration(900'000), [&] { slow_fired = sim_.now(); });
+  sim_.run_until(TimePoint(2'000'000));
+  // The +10% clock reaches 1.1s of clock value at 1.0s of real time; the
+  // -10% clock reaches 0.9s of clock value at the same real instant.
+  EXPECT_EQ(fast_fired, TimePoint(1'000'000));
+  EXPECT_EQ(slow_fired, TimePoint(1'000'000));
+}
+
+TEST_F(LocalClockTest, BumpReAnchorsExactlyUnderDrift) {
+  // Protocol thresholds (c_v) must be hit exactly even on drifted clocks:
+  // a bump to a value re-anchors the clock at that exact value.
+  LocalClock clock(&sim_, TimePoint::origin(), 333);  // awkward rate
+  sim_.run_until(TimePoint(777));
+  clock.bump_to(Duration(10'000));
+  EXPECT_EQ(clock.reading(), Duration(10'000));
+  int fired = 0;
+  clock.set_alarm(Duration(10'000), [&] { ++fired; });
+  sim_.run_until(sim_.now() + Duration(1));
+  EXPECT_EQ(fired, 1) << "lc == threshold holds at the re-anchored value";
+}
+
+TEST_F(LocalClockTest, PauseUnpausePreservesValueUnderDrift) {
+  LocalClock clock(&sim_, TimePoint::origin(), 50'000);  // +5%
+  sim_.run_until(TimePoint(1'000));
+  const Duration at_pause = clock.reading();
+  clock.pause();
+  sim_.run_until(TimePoint(5'000));
+  EXPECT_EQ(clock.reading(), at_pause);
+  clock.unpause();
+  sim_.run_until(TimePoint(6'000));
+  // Advances at the drifted rate from the held value.
+  EXPECT_EQ(clock.reading(), at_pause + Duration(1'050));
+}
+
+TEST_F(LocalClockTest, DriftedAlarmsNeverLivelock) {
+  // Rounding in the rate arithmetic must not reschedule a wakeup at its
+  // own instant forever: every alarm fires exactly once and the queue
+  // drains.
+  for (const std::int64_t ppm : {-99'999LL, -7LL, 1LL, 13LL, 99'999LL}) {
+    Simulator sim;
+    LocalClock clock(&sim, TimePoint::origin(), ppm);
+    int fired = 0;
+    for (int i = 1; i <= 50; ++i) {
+      clock.set_alarm(Duration(i * 997), [&] { ++fired; });
+    }
+    sim.run_until_idle(TimePoint(100'000'000));
+    EXPECT_EQ(fired, 50) << "ppm = " << ppm;
+    EXPECT_TRUE(sim.idle());
+  }
+}
+
+TEST_F(LocalClockTest, DriftAccessorsReportConfiguredRate) {
+  LocalClock clock(&sim_, TimePoint::origin(), -1234);
+  EXPECT_EQ(clock.drift_ppm(), -1234);
+  LocalClock perfect(&sim_, TimePoint::origin());
+  EXPECT_EQ(perfect.drift_ppm(), 0);
+}
+
+}  // namespace
+}  // namespace lumiere::sim

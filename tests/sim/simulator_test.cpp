@@ -1,0 +1,68 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace lumiere::sim {
+namespace {
+
+TEST(SimulatorTest, NowAdvancesWithEvents) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), TimePoint::origin());
+  TimePoint seen;
+  sim.schedule_at(TimePoint(100), [&] { seen = sim.now(); });
+  sim.run_until(TimePoint(200));
+  EXPECT_EQ(seen, TimePoint(100));
+  EXPECT_EQ(sim.now(), TimePoint(200));
+}
+
+TEST(SimulatorTest, ScheduleAfter) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(Duration::millis(5), [&] { ++fired; });
+  sim.run_for(Duration::millis(4));
+  EXPECT_EQ(fired, 0);
+  sim.run_for(Duration::millis(1));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, RunUntilExecutesBoundaryEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(TimePoint(10), [&] { ++fired; });
+  sim.run_until(TimePoint(10));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, RunUntilIdleWithDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(TimePoint(10), [&] { ++fired; });
+  sim.schedule_at(TimePoint(1000), [&] { ++fired; });
+  sim.run_until_idle(TimePoint(100));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), TimePoint(100));
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, CascadingEventsAtSameInstant) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_at(sim.now(), recurse);
+  };
+  sim.schedule_at(TimePoint(5), recurse);
+  sim.run_until(TimePoint(5));
+  EXPECT_EQ(depth, 10) << "same-instant chains must fully drain within run_until";
+}
+
+TEST(SimulatorDeathTest, RejectsSchedulingIntoPast) {
+  Simulator sim;
+  sim.schedule_at(TimePoint(10), [] {});
+  sim.run_until(TimePoint(20));
+  EXPECT_DEATH(sim.schedule_at(TimePoint(5), [] {}), "past");
+}
+
+}  // namespace
+}  // namespace lumiere::sim

@@ -1,0 +1,88 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/cluster.h"
+
+namespace lumiere::sim {
+namespace {
+
+TEST(TraceLogTest, RecordAndQuery) {
+  TraceLog log;
+  log.record(TimePoint(10), TraceKind::kViewEntered, 0, 1);
+  log.record(TimePoint(20), TraceKind::kQcFormed, 1, 1);
+  log.record(TimePoint(30), TraceKind::kViewEntered, 0, 2);
+  log.record(TimePoint(40), TraceKind::kCommitted, 2, 0, "genesis child");
+
+  EXPECT_EQ(log.size(), 4U);
+  EXPECT_EQ(log.of_kind(TraceKind::kViewEntered).size(), 2U);
+  EXPECT_EQ(log.of_kind(TraceKind::kViewEntered, 0).size(), 2U);
+  EXPECT_EQ(log.of_kind(TraceKind::kViewEntered, 1).size(), 0U);
+
+  const TraceEvent* qc = log.first_after(TraceKind::kQcFormed, TimePoint(15));
+  ASSERT_NE(qc, nullptr);
+  EXPECT_EQ(qc->at, TimePoint(20));
+  EXPECT_EQ(log.first_after(TraceKind::kQcFormed, TimePoint(21)), nullptr);
+
+  const auto early = log.filtered([](const TraceEvent& e) { return e.at < TimePoint(25); });
+  EXPECT_EQ(early.size(), 2U);
+}
+
+TEST(TraceLogTest, DumpFormatsAndTruncates) {
+  TraceLog log;
+  for (int i = 0; i < 5; ++i) {
+    log.record(TimePoint(i), TraceKind::kQcFormed, 0, i);
+  }
+  std::ostringstream os;
+  log.dump(os, 3);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("qc-formed"), std::string::npos);
+  EXPECT_NE(text.find("(2 more)"), std::string::npos);
+}
+
+TEST(TraceLogTest, ClusterRecordsProtocolEvents) {
+  runtime::ClusterOptions options;
+  options.params = ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4);
+  options.pacemaker = runtime::PacemakerKind::kLumiere;
+  options.core = runtime::CoreKind::kChainedHotStuff;
+  options.delay = std::make_shared<FixedDelay>(Duration::millis(1));
+  options.seed = 4;
+  runtime::Cluster cluster(options);
+  cluster.run_for(Duration::seconds(5));
+
+  const TraceLog& trace = cluster.trace();
+  EXPECT_FALSE(trace.of_kind(TraceKind::kViewEntered).empty());
+  EXPECT_FALSE(trace.of_kind(TraceKind::kQcFormed).empty());
+  EXPECT_FALSE(trace.of_kind(TraceKind::kCommitted).empty());
+
+  // Per-node view entries are strictly increasing (condition (1) of the
+  // view-synchronization task, read off the trace this time).
+  for (ProcessId id = 0; id < 4; ++id) {
+    View last = -1;
+    for (const auto& event : trace.of_kind(TraceKind::kViewEntered, id)) {
+      EXPECT_GT(event.view, last);
+      last = event.view;
+    }
+  }
+
+  // A node's QC for view v must come after it entered view v.
+  for (const auto& qc : trace.of_kind(TraceKind::kQcFormed, 0)) {
+    bool entered_before = false;
+    for (const auto& entry : trace.of_kind(TraceKind::kViewEntered, 0)) {
+      if (entry.view == qc.view && entry.at <= qc.at) entered_before = true;
+    }
+    EXPECT_TRUE(entered_before) << "QC for view " << qc.view << " without prior entry";
+  }
+}
+
+TEST(TraceLogTest, KindNames) {
+  EXPECT_STREQ(to_string(TraceKind::kViewEntered), "view-entered");
+  EXPECT_STREQ(to_string(TraceKind::kQcFormed), "qc-formed");
+  EXPECT_STREQ(to_string(TraceKind::kCommitted), "committed");
+  EXPECT_STREQ(to_string(TraceKind::kCustom), "custom");
+}
+
+}  // namespace
+}  // namespace lumiere::sim

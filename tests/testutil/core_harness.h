@@ -1,0 +1,106 @@
+// Test harness that wires N consensus cores through the simulated network
+// with a *manual* pacemaker: the test decides when each core enters each
+// view. Isolates the underlying-protocol logic from view synchronization.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "consensus/chained_hotstuff.h"
+#include "consensus/hotstuff2.h"
+#include "consensus/simple_view_core.h"
+#include "crypto/pki.h"
+#include "sim/delay_policy.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace lumiere::testutil {
+
+template <typename Core>
+class CoreHarness {
+ public:
+  struct NodeState {
+    std::unique_ptr<Core> core;
+    std::vector<consensus::QuorumCert> qcs_seen;
+    std::vector<consensus::QuorumCert> qcs_formed;
+    std::vector<crypto::Digest> committed;
+  };
+
+  explicit CoreHarness(std::uint32_t n, Duration delay = Duration::micros(10),
+                       std::function<bool(View)> may_form_qc = nullptr)
+      : params_(ProtocolParams::for_n(n, Duration::millis(10))),
+        pki_(n, 99),
+        network_(&sim_, n, TimePoint::origin(), params_.delta_cap,
+                 std::make_shared<sim::FixedDelay>(delay), 3) {
+    nodes_.resize(n);
+    for (ProcessId id = 0; id < n; ++id) {
+      consensus::CoreCallbacks cb;
+      cb.send = [this, id](ProcessId to, MessagePtr msg) {
+        network_.send(id, to, std::move(msg));
+      };
+      cb.broadcast = [this, id](MessagePtr msg) { network_.broadcast(id, msg); };
+      cb.qc_seen = [this, id](const consensus::QuorumCert& qc) {
+        nodes_[id].qcs_seen.push_back(qc);
+      };
+      cb.qc_formed = [this, id](const consensus::QuorumCert& qc) {
+        nodes_[id].qcs_formed.push_back(qc);
+      };
+      cb.decided = [this, id](const consensus::Block& b) {
+        nodes_[id].committed.push_back(b.hash());
+      };
+      cb.schedule = [this](Duration delay, std::function<void()> fn) {
+        sim_.schedule_after(delay, std::move(fn));
+      };
+      consensus::PacemakerHooks hooks;
+      hooks.leader_of = [n](View v) {
+        return static_cast<ProcessId>(v >= 0 ? v % n : 0);
+      };
+      hooks.may_form_qc = may_form_qc;
+      nodes_[id].core = std::make_unique<Core>(params_, &pki_, pki_.signer_for(id),
+                                               std::move(cb), std::move(hooks));
+      network_.register_endpoint(id, [this, id](ProcessId from, const MessagePtr& msg) {
+        nodes_[id].core->on_message(from, msg);
+      });
+    }
+  }
+
+  /// Moves every core into view v and drains the network.
+  void enter_view_all(View v) {
+    for (auto& node : nodes_) node.core->on_enter_view(v);
+    settle();
+  }
+
+  void enter_view(ProcessId id, View v) { nodes_[id].core->on_enter_view(v); }
+
+  void settle() { sim_.run_until_idle(); }
+
+  [[nodiscard]] NodeState& node(ProcessId id) { return nodes_[id]; }
+  [[nodiscard]] Core& core(ProcessId id) { return *nodes_[id].core; }
+  [[nodiscard]] const ProtocolParams& params() const { return params_; }
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] sim::Network& network() { return network_; }
+  [[nodiscard]] crypto::Pki& pki() { return pki_; }
+  [[nodiscard]] std::uint32_t n() const { return params_.n; }
+
+  /// True if every node saw a QC for view v.
+  [[nodiscard]] bool all_saw_qc(View v) const {
+    for (const auto& node : nodes_) {
+      bool found = false;
+      for (const auto& qc : node.qcs_seen) {
+        if (qc.view() == v) found = true;
+      }
+      if (!found) return false;
+    }
+    return true;
+  }
+
+ private:
+  ProtocolParams params_;
+  crypto::Pki pki_;
+  sim::Simulator sim_;
+  sim::Network network_;
+  std::vector<NodeState> nodes_;
+};
+
+}  // namespace lumiere::testutil
