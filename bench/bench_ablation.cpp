@@ -28,15 +28,14 @@ struct AblationResult {
   std::size_t decisions = 0;
 };
 
-AblationResult run_case(PacemakerKind kind, bool deadline, bool delta_wait,
+AblationResult run_case(const std::string& pacemaker, bool deadline, bool delta_wait,
                         Duration gamma_override, std::uint32_t f_a) {
-  ClusterOptions options = base_options(kind, 7, 4001);
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::micros(500));
-  options.lumiere_enforce_qc_deadline = deadline;
-  options.lumiere_delta_wait = delta_wait;
-  options.gamma = gamma_override;
-  with_silent_leaders(options, f_a);
-  Cluster cluster(options);
+  ScenarioBuilder builder = base_scenario(pacemaker, 7, 4001);
+  builder.delay(std::make_shared<sim::FixedDelay>(Duration::micros(500)));
+  builder.lumiere(runtime::LumiereOptions{deadline, delta_wait});
+  builder.gamma(gamma_override);
+  with_silent_leaders(builder, f_a);
+  Cluster cluster(builder);
   cluster.run_for(Duration::seconds(90));
   AblationResult result;
   result.epoch_msgs = cluster.metrics().count_for_type(pacemaker::kEpochViewMsg);
@@ -68,35 +67,35 @@ int main() {
               "---------\n");
 
   print_row("lumiere (full)",
-            run_case(PacemakerKind::kLumiere, true, true, Duration::zero(), 2));
+            run_case("lumiere", true, true, Duration::zero(), 2));
   print_row("basic-lumiere (no success crit.)",
-            run_case(PacemakerKind::kBasicLumiere, true, true, Duration::zero(), 2));
+            run_case("basic-lumiere", true, true, Duration::zero(), 2));
   print_row("lumiere, no QC deadline",
-            run_case(PacemakerKind::kLumiere, false, true, Duration::zero(), 2));
+            run_case("lumiere", false, true, Duration::zero(), 2));
   print_row("lumiere, no Delta-wait",
-            run_case(PacemakerKind::kLumiere, true, false, Duration::zero(), 2));
+            run_case("lumiere", true, false, Duration::zero(), 2));
   print_row("lumiere, Gamma x1.5",
-            run_case(PacemakerKind::kLumiere, true, true, Duration::millis(150), 2));
+            run_case("lumiere", true, true, Duration::millis(150), 2));
   print_row("lumiere, Gamma x2",
-            run_case(PacemakerKind::kLumiere, true, true, Duration::millis(200), 2));
+            run_case("lumiere", true, true, Duration::millis(200), 2));
   print_row("lumiere (full), f_a = 0",
-            run_case(PacemakerKind::kLumiere, true, true, Duration::zero(), 0));
+            run_case("lumiere", true, true, Duration::zero(), 0));
   print_row("basic-lumiere, f_a = 0",
-            run_case(PacemakerKind::kBasicLumiere, true, true, Duration::zero(), 0));
+            run_case("basic-lumiere", true, true, Duration::zero(), 0));
 
   // --- Section 3.3 "Reducing Gamma": Fever leader-tenure sweep ---------
   std::printf("\n--- Fever leader-tenure sweep (Section 3.3 remark), f_a = 2 ---\n");
   std::printf("%-10s | %12s | %12s | %9s\n", "tenure", "Gamma (ms)", "ev lat (ms)",
               "decisions");
   for (const std::uint32_t tenure : {2U, 3U, 4U, 6U}) {
-    ClusterOptions options = base_options(PacemakerKind::kFever, 7, 4002);
-    options.delay = std::make_shared<lumiere::sim::FixedDelay>(Duration::micros(500));
-    options.fever_tenure = tenure;
-    with_silent_leaders(options, 2);
-    Cluster cluster(options);
+    ScenarioBuilder builder = base_scenario("fever", 7, 4002);
+    builder.delay(std::make_shared<lumiere::sim::FixedDelay>(Duration::micros(500)));
+    builder.fever(lumiere::runtime::FeverOptions{tenure});
+    with_silent_leaders(builder, 2);
+    Cluster cluster(builder);
     cluster.run_for(Duration::seconds(90));
     const auto gamma = lumiere::pacemaker::FeverPacemaker::default_gamma(
-        options.params, tenure);
+        cluster.scenario().params, tenure);
     std::printf("%-10u | %12.0f | %12s | %9zu\n", tenure,
                 static_cast<double>(gamma.ticks()) / 1000.0,
                 fmt_ms(cluster.metrics().max_decision_gap(TimePoint::origin(), 30)).c_str(),
@@ -114,11 +113,11 @@ int main() {
   std::printf("%-12s | %10s | %12s | %9s\n", "drift (ppm)", "epoch msgs", "ev lat (ms)",
               "decisions");
   for (const std::int64_t ppm : {0LL, 200LL, 2'000LL, 20'000LL, 50'000LL}) {
-    ClusterOptions options = base_options(PacemakerKind::kLumiere, 7, 4004);
-    options.delay = std::make_shared<lumiere::sim::FixedDelay>(Duration::micros(500));
-    options.drift_ppm_max = ppm;
-    with_silent_leaders(options, 2);
-    Cluster cluster(options);
+    ScenarioBuilder builder = base_scenario("lumiere", 7, 4004);
+    builder.delay(std::make_shared<lumiere::sim::FixedDelay>(Duration::micros(500)));
+    builder.drift_ppm_max(ppm);
+    with_silent_leaders(builder, 2);
+    Cluster cluster(builder);
     cluster.run_for(Duration::seconds(90));
     std::printf("%-12lld | %10llu | %12s | %9zu\n", static_cast<long long>(ppm),
                 static_cast<unsigned long long>(
@@ -137,12 +136,12 @@ int main() {
               "(3-chain), Lumiere pacemaker, n = 7 ---\n");
   std::printf("%-18s | %9s | %14s | %18s\n", "core", "commits", "frontier (view)",
               "mean QC->commit ms");
-  for (const CoreKind core : {CoreKind::kHotStuff2, CoreKind::kChainedHotStuff}) {
-    ClusterOptions options = base_options(PacemakerKind::kLumiere, 7, 4003);
-    options.core = core;
-    options.params = lumiere::ProtocolParams::for_n(7, bench_delta_cap(), /*x=*/4);
-    options.delay = std::make_shared<lumiere::sim::FixedDelay>(Duration::micros(500));
-    Cluster cluster(options);
+  for (const char* core : {"hotstuff-2", "chained-hotstuff"}) {
+    ScenarioBuilder builder = base_scenario("lumiere", 7, 4003);
+    builder.core(core);
+    builder.params(lumiere::ProtocolParams::for_n(7, bench_delta_cap(), /*x=*/4));
+    builder.delay(std::make_shared<lumiere::sim::FixedDelay>(Duration::micros(500)));
+    Cluster cluster(builder);
     cluster.run_for(Duration::seconds(30));
 
     const auto& entries = cluster.node(0).ledger().entries();
@@ -160,7 +159,7 @@ int main() {
       total_lag_ms += static_cast<double>((entry.committed_at - it->second).ticks()) / 1000.0;
       ++joined;
     }
-    std::printf("%-18s | %9zu | %14lld | %18.2f\n", lumiere::runtime::to_string(core),
+    std::printf("%-18s | %9zu | %14lld | %18.2f\n", core,
                 entries.size(), entries.empty() ? -1LL
                                                 : static_cast<long long>(entries.back().view),
                 joined == 0 ? 0.0 : total_lag_ms / static_cast<double>(joined));

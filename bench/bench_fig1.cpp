@@ -25,26 +25,22 @@ struct Timeline {
   Duration gamma{0};
 };
 
-Timeline run_scenario(PacemakerKind kind, std::uint32_t n) {
-  ClusterOptions options = base_options(kind, n, 7001);
-  options.delay = std::make_shared<adversary::UniformFastDelay>(Duration::micros(200));
-  options.behavior_for = adversary::byzantine_set(
-      {3}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
-  Cluster cluster(options);
+Timeline run_scenario(const std::string& pacemaker, std::uint32_t n) {
+  ScenarioBuilder builder = base_scenario(pacemaker, n, 7001);
+  builder.delay(std::make_shared<adversary::UniformFastDelay>(Duration::micros(200)));
+  builder.behaviors(adversary::byzantine_set(
+      {3}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); }));
+  Cluster cluster(builder);
   cluster.run_for(Duration::seconds(45));
   Timeline timeline;
-  timeline.protocol = runtime::to_string(kind);
+  timeline.protocol = pacemaker;
   timeline.decisions = cluster.metrics().decisions();
-  switch (kind) {
-    case PacemakerKind::kLp22:
-      timeline.gamma = Duration::millis(40);  // (x+1) Delta
-      break;
-    case PacemakerKind::kBasicLumiere:
-      timeline.gamma = Duration::millis(80);  // 2(x+1) Delta
-      break;
-    default:
-      timeline.gamma = Duration::millis(100);  // 2(x+2) Delta
-      break;
+  if (pacemaker == "lp22") {
+    timeline.gamma = Duration::millis(40);  // (x+1) Delta
+  } else if (pacemaker == "basic-lumiere") {
+    timeline.gamma = Duration::millis(80);  // 2(x+1) Delta
+  } else {
+    timeline.gamma = Duration::millis(100);  // 2(x+2) Delta
   }
   return timeline;
 }
@@ -102,9 +98,8 @@ int main() {
   std::printf(
       "bench_fig1: Figure 1 scenario — one silent Byzantine leader, fast network\n"
       "(delta = 0.2ms << Delta = 10ms), n = 16 (f = 5; LP22 epochs have f+1 = 6 views).\n");
-  for (const PacemakerKind kind :
-       {PacemakerKind::kLp22, PacemakerKind::kBasicLumiere, PacemakerKind::kLumiere}) {
-    const Timeline timeline = run_scenario(kind, 16);
+  for (const char* pacemaker : {"lp22", "basic-lumiere", "lumiere"}) {
+    const Timeline timeline = run_scenario(pacemaker, 16);
     std::printf("\n--- %s (Gamma = %.0f ms, %zu decisions) ---\n", timeline.protocol.c_str(),
                 static_cast<double>(timeline.gamma.ticks()) / 1000.0,
                 timeline.decisions.size());

@@ -12,12 +12,12 @@
 namespace lumiere::bench {
 namespace {
 
-double mean_gap_ms(PacemakerKind kind, Duration delta_actual, std::uint32_t f_a,
+double mean_gap_ms(const std::string& pacemaker, Duration delta_actual, std::uint32_t f_a,
                    std::uint32_t n) {
-  ClusterOptions options = base_options(kind, n, 3001);
-  options.delay = std::make_shared<sim::FixedDelay>(delta_actual);
-  with_silent_leaders(options, f_a);
-  Cluster cluster(options);
+  ScenarioBuilder builder = base_scenario(pacemaker, n, 3001);
+  builder.delay(std::make_shared<sim::FixedDelay>(delta_actual));
+  with_silent_leaders(builder, f_a);
+  Cluster cluster(builder);
   cluster.run_for(Duration::seconds(60));
   const auto& decisions = cluster.metrics().decisions();
   if (decisions.size() < 40) return -1.0;
@@ -28,12 +28,12 @@ double mean_gap_ms(PacemakerKind kind, Duration delta_actual, std::uint32_t f_a,
          static_cast<double>(decisions.size() - 1 - start);
 }
 
-double worst_gap_ms(PacemakerKind kind, Duration delta_actual, std::uint32_t f_a,
+double worst_gap_ms(const std::string& pacemaker, Duration delta_actual, std::uint32_t f_a,
                     std::uint32_t n) {
-  ClusterOptions options = base_options(kind, n, 3002);
-  options.delay = std::make_shared<sim::FixedDelay>(delta_actual);
-  with_silent_leaders(options, f_a);
-  Cluster cluster(options);
+  ScenarioBuilder builder = base_scenario(pacemaker, n, 3002);
+  builder.delay(std::make_shared<sim::FixedDelay>(delta_actual));
+  with_silent_leaders(builder, f_a);
+  Cluster cluster(builder);
   cluster.run_for(Duration::seconds(90));
   const auto gap = cluster.metrics().max_decision_gap(TimePoint::origin(), 30);
   return gap ? static_cast<double>(gap->ticks()) / 1000.0 : -1.0;
@@ -58,12 +58,10 @@ int main() {
     std::printf(" | %8.1f", static_cast<double>(d.ticks()) / 1000.0);
   }
   std::printf("\n");
-  for (const PacemakerKind kind :
-       {PacemakerKind::kLp22, PacemakerKind::kFever, PacemakerKind::kBasicLumiere,
-        PacemakerKind::kLumiere}) {
-    std::printf("%-16s", lumiere::runtime::to_string(kind));
+  for (const char* pacemaker : {"lp22", "fever", "basic-lumiere", "lumiere"}) {
+    std::printf("%-16s", pacemaker);
     for (const Duration d : deltas) {
-      std::printf(" | %8.2f", mean_gap_ms(kind, d, 0, n));
+      std::printf(" | %8.2f", mean_gap_ms(pacemaker, d, 0, n));
     }
     std::printf("\n");
   }
@@ -78,12 +76,10 @@ int main() {
   std::printf("%-16s", "f_a");
   for (std::uint32_t f_a = 0; f_a <= 2; ++f_a) std::printf(" | %8u", f_a);
   std::printf("\n");
-  for (const PacemakerKind kind :
-       {PacemakerKind::kLp22, PacemakerKind::kFever, PacemakerKind::kBasicLumiere,
-        PacemakerKind::kLumiere}) {
-    std::printf("%-16s", lumiere::runtime::to_string(kind));
+  for (const char* pacemaker : {"lp22", "fever", "basic-lumiere", "lumiere"}) {
+    std::printf("%-16s", pacemaker);
     for (std::uint32_t f_a = 0; f_a <= 2; ++f_a) {
-      std::printf(" | %8.1f", worst_gap_ms(kind, Duration::micros(500), f_a, n));
+      std::printf(" | %8.1f", worst_gap_ms(pacemaker, Duration::micros(500), f_a, n));
     }
     std::printf("\n");
   }
@@ -102,18 +98,16 @@ int main() {
   std::printf("\n--- Section 3.5 selective-QC attack, n = 7, f = 2 attackers ---\n");
   std::printf("%-16s | %9s | %12s | %10s\n", "protocol", "decisions", "ev lat (ms)",
               "epoch msgs");
-  for (const PacemakerKind kind :
-       {PacemakerKind::kLp22, PacemakerKind::kFever, PacemakerKind::kBasicLumiere,
-        PacemakerKind::kLumiere}) {
-    ClusterOptions options = base_options(kind, n, 3003);
-    options.delay = std::make_shared<lumiere::sim::FixedDelay>(Duration::micros(200));
-    options.behavior_for = lumiere::adversary::byzantine_set(
+  for (const char* pacemaker : {"lp22", "fever", "basic-lumiere", "lumiere"}) {
+    ScenarioBuilder builder = base_scenario(pacemaker, n, 3003);
+    builder.delay(std::make_shared<lumiere::sim::FixedDelay>(Duration::micros(200)));
+    builder.behaviors(lumiere::adversary::byzantine_set(
         {5, 6}, [](lumiere::ProcessId) {
           return std::make_unique<lumiere::adversary::SelectiveQcBehavior>(4);
-        });
-    Cluster cluster(options);
+        }));
+    Cluster cluster(builder);
     cluster.run_for(Duration::seconds(90));
-    std::printf("%-16s | %9zu | %12s | %10llu\n", lumiere::runtime::to_string(kind),
+    std::printf("%-16s | %9zu | %12s | %10llu\n", pacemaker,
                 cluster.metrics().decisions().size(),
                 fmt_ms(cluster.metrics().max_decision_gap(lumiere::TimePoint::origin(),
                                                           30)).c_str(),

@@ -24,20 +24,20 @@ struct SeriesPoint {
   double ev_lat_one_fault_ms = 0;   // f_a = 1 (fixed)
 };
 
-SeriesPoint measure(PacemakerKind kind, std::uint32_t n) {
+SeriesPoint measure(const std::string& pacemaker, std::uint32_t n) {
   SeriesPoint point;
   point.n = n;
   const std::uint32_t f = (n - 1) / 3;
 
-  if (const WorstCaseSample sample = worst_case_sample(kind, n, 2001); sample.comm) {
+  if (const WorstCaseSample sample = worst_case_sample(pacemaker, n, 2001); sample.comm) {
     point.worst_comm = static_cast<double>(*sample.comm);
   }
 
   const auto eventual = [&](std::uint32_t f_a) {
-    ClusterOptions options = base_options(kind, n, 2002);
-    options.delay = std::make_shared<sim::FixedDelay>(Duration::micros(500));
-    with_silent_leaders(options, f_a);
-    Cluster cluster(options);
+    ScenarioBuilder builder = base_scenario(pacemaker, n, 2002);
+    builder.delay(std::make_shared<sim::FixedDelay>(Duration::micros(500)));
+    with_silent_leaders(builder, f_a);
+    Cluster cluster(builder);
     cluster.run_for(Duration::seconds(60));
     return std::make_pair(cluster.metrics().max_msg_gap(TimePoint::origin(), 25),
                           cluster.metrics().max_decision_gap(TimePoint::origin(), 25));
@@ -53,8 +53,8 @@ SeriesPoint measure(PacemakerKind kind, std::uint32_t n) {
   return point;
 }
 
-void run_protocol(PacemakerKind kind) {
-  std::printf("\n--- %s ---\n", runtime::to_string(kind));
+void run_protocol(const std::string& pacemaker) {
+  std::printf("\n--- %s ---\n", pacemaker.c_str());
   std::printf("%-5s | %12s | %16s | %15s | %15s\n", "n", "worst comm", "ev comm (fa=f)",
               "ev comm (fa=1)", "ev lat (fa=1) ms");
   std::vector<double> ns;
@@ -63,7 +63,7 @@ void run_protocol(PacemakerKind kind) {
   std::vector<double> ev_one;
   std::vector<double> lat_one;
   for (const std::uint32_t n : kSizes) {
-    const SeriesPoint p = measure(kind, n);
+    const SeriesPoint p = measure(pacemaker, n);
     std::printf("%-5u | %12.0f | %16.0f | %15.0f | %15.1f\n", p.n, p.worst_comm,
                 p.ev_comm_full_faults, p.ev_comm_one_fault, p.ev_lat_one_fault_ms);
     ns.push_back(p.n);
@@ -84,10 +84,8 @@ void run_protocol(PacemakerKind kind) {
 int main() {
   using namespace lumiere::bench;
   std::printf("bench_scaling: empirical growth orders vs n (Theorem 1.1 shapes)\n");
-  for (const PacemakerKind kind :
-       {PacemakerKind::kCogsworth, PacemakerKind::kLp22, PacemakerKind::kBasicLumiere,
-        PacemakerKind::kLumiere}) {
-    run_protocol(kind);
+  for (const char* pacemaker : {"cogsworth", "lp22", "basic-lumiere", "lumiere"}) {
+    run_protocol(pacemaker);
   }
   std::printf(
       "\nReading guide: Cogsworth's worst-comm exponent should exceed LP22's and\n"

@@ -37,9 +37,9 @@ struct Row {
   std::optional<Duration> ev_lat_clean;
 };
 
-Row measure(PacemakerKind kind, std::uint32_t n) {
+Row measure(const std::string& pacemaker, std::uint32_t n) {
   Row row;
-  row.protocol = runtime::to_string(kind);
+  row.protocol = pacemaker;
   const std::uint32_t f = (n - 1) / 3;
 
   // ---- worst-case run: GST at origin, worst permitted network, f
@@ -47,7 +47,7 @@ Row measure(PacemakerKind kind, std::uint32_t n) {
   // contains the heavy epoch synchronization and the longest runs of
   // faulty leaders). ----------------------------------------------------
   {
-    const WorstCaseSample sample = worst_case_sample(kind, n, 1001);
+    const WorstCaseSample sample = worst_case_sample(pacemaker, n, 1001);
     row.worst_comm = sample.comm;
     row.worst_lat = sample.latency;
   }
@@ -55,10 +55,10 @@ Row measure(PacemakerKind kind, std::uint32_t n) {
   // ---- eventual runs: benign delta << Delta ---------------------------
   const auto eventual = [&](std::uint32_t f_a)
       -> std::pair<std::optional<std::uint64_t>, std::optional<Duration>> {
-    ClusterOptions options = base_options(kind, n, 1002);
-    options.delay = std::make_shared<sim::FixedDelay>(Duration::micros(500));
-    with_silent_leaders(options, f_a);
-    Cluster cluster(options);
+    ScenarioBuilder builder = base_scenario(pacemaker, n, 1002);
+    builder.delay(std::make_shared<sim::FixedDelay>(Duration::micros(500)));
+    with_silent_leaders(builder, f_a);
+    Cluster cluster(builder);
     cluster.run_for(Duration::seconds(90));
     return {cluster.metrics().max_msg_gap(TimePoint::origin(), /*warmup=*/30),
             cluster.metrics().max_decision_gap(TimePoint::origin(), /*warmup=*/30)};
@@ -78,8 +78,8 @@ void run_table(std::uint32_t n) {
               "(msgs/dec)", "(ms)", "(ms)", "(ms)");
   std::printf("---------------+-------------+---------------+---------------+------------+--"
               "-------------+--------------\n");
-  for (const PacemakerKind kind : table1_protocols()) {
-    const Row row = measure(kind, n);
+  for (const std::string& pacemaker : table1_protocols()) {
+    const Row row = measure(pacemaker, n);
     std::printf("%-14s | %11s | %13s | %13s | %10s | %13s | %13s\n", row.protocol.c_str(),
                 fmt_count(row.worst_comm).c_str(), fmt_count(row.ev_comm_faults).c_str(),
                 fmt_count(row.ev_comm_clean).c_str(), fmt_ms(row.worst_lat).c_str(),

@@ -16,13 +16,13 @@ struct Throughput {
   double honest_msgs_per_commit = 0;
 };
 
-Throughput measure(PacemakerKind kind, std::uint32_t n, std::uint32_t f_a) {
-  ClusterOptions options = base_options(kind, n, 5001);
-  options.params = ProtocolParams::for_n(n, bench_delta_cap(), /*x=*/4);
-  options.core = CoreKind::kChainedHotStuff;
-  options.delay = std::make_shared<lumiere::sim::FixedDelay>(lumiere::Duration::micros(500));
-  with_silent_leaders(options, f_a);
-  Cluster cluster(options);
+Throughput measure(const std::string& pacemaker, std::uint32_t n, std::uint32_t f_a) {
+  ScenarioBuilder builder = base_scenario(pacemaker, n, 5001);
+  builder.params(ProtocolParams::for_n(n, bench_delta_cap(), /*x=*/4));
+  builder.core("chained-hotstuff");
+  builder.delay(std::make_shared<lumiere::sim::FixedDelay>(lumiere::Duration::micros(500)));
+  with_silent_leaders(builder, f_a);
+  Cluster cluster(builder);
   const auto seconds = lumiere::Duration::seconds(30);
   cluster.run_for(seconds);
   Throughput out;
@@ -53,11 +53,11 @@ int main() {
     std::printf("--- n = %u ---\n", n);
     std::printf("%-16s | %14s | %14s | %16s | %14s\n", "protocol", "commits/s fa=0",
                 "commits/s fa=f", "decisions/s fa=0", "msgs/commit");
-    for (const PacemakerKind kind : table1_protocols()) {
-      const Throughput clean = measure(kind, n, 0);
-      const Throughput faulty = measure(kind, n, f);
+    for (const std::string& pacemaker : table1_protocols()) {
+      const Throughput clean = measure(pacemaker, n, 0);
+      const Throughput faulty = measure(pacemaker, n, f);
       std::printf("%-16s | %14.1f | %14.1f | %16.1f | %14.1f\n",
-                  lumiere::runtime::to_string(kind), clean.commits_per_sec,
+                  pacemaker.c_str(), clean.commits_per_sec,
                   faulty.commits_per_sec, clean.decisions_per_sec,
                   clean.honest_msgs_per_commit);
     }

@@ -21,17 +21,13 @@
 namespace lumiere::bench {
 
 using runtime::Cluster;
-using runtime::ClusterOptions;
-using runtime::CoreKind;
-using runtime::PacemakerKind;
+using runtime::ScenarioBuilder;
 
 /// The protocols compared in Table 1, plus RareSync (the other
-/// quadratic-optimal synchronizer the paper discusses in §6).
-inline std::vector<PacemakerKind> table1_protocols() {
-  return {PacemakerKind::kCogsworth, PacemakerKind::kNaorKeidar,
-          PacemakerKind::kRareSync,  PacemakerKind::kLp22,
-          PacemakerKind::kFever,     PacemakerKind::kBasicLumiere,
-          PacemakerKind::kLumiere};
+/// quadratic-optimal synchronizer the paper discusses in §6), by
+/// ProtocolRegistry name.
+inline std::vector<std::string> table1_protocols() {
+  return {"cogsworth", "nk20", "raresync", "lp22", "fever", "basic-lumiere", "lumiere"};
 }
 
 /// Known post-GST delivery bound used by all benches.
@@ -44,22 +40,23 @@ inline std::vector<ProcessId> first_ids(std::uint32_t count) {
   return ids;
 }
 
-/// Baseline options for a protocol at size n.
-inline ClusterOptions base_options(PacemakerKind kind, std::uint32_t n, std::uint64_t seed) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(n, bench_delta_cap());
-  options.pacemaker = kind;
-  options.core = CoreKind::kSimpleView;
-  options.seed = seed;
-  return options;
+/// Baseline scenario for a protocol at size n.
+inline ScenarioBuilder base_scenario(const std::string& pacemaker, std::uint32_t n,
+                                     std::uint64_t seed) {
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(n, bench_delta_cap()))
+      .pacemaker(pacemaker)
+      .core("simple-view")
+      .seed(seed);
+  return builder;
 }
 
 /// Attaches f_a silent-leader Byzantine processes.
-inline void with_silent_leaders(ClusterOptions& options, std::uint32_t f_a) {
+inline void with_silent_leaders(ScenarioBuilder& builder, std::uint32_t f_a) {
   if (f_a == 0) return;
-  options.behavior_for = adversary::byzantine_set(first_ids(f_a), [](ProcessId) {
+  builder.behaviors(adversary::byzantine_set(first_ids(f_a), [](ProcessId) {
     return std::make_unique<adversary::SilentLeaderBehavior>();
-  });
+  }));
 }
 
 /// Formats an optional duration in milliseconds.
@@ -87,14 +84,14 @@ struct WorstCaseSample {
   std::optional<Duration> latency;
 };
 
-inline WorstCaseSample worst_case_sample(PacemakerKind kind, std::uint32_t n,
+inline WorstCaseSample worst_case_sample(const std::string& pacemaker, std::uint32_t n,
                                          std::uint64_t seed, std::size_t windows = 10) {
   const std::uint32_t f = (n - 1) / 3;
-  ClusterOptions options = base_options(kind, n, seed);
-  options.gst = TimePoint::origin();
-  options.delay = nullptr;  // worst permitted: max(GST, t) + Delta
-  with_silent_leaders(options, f);
-  Cluster cluster(options);
+  ScenarioBuilder builder = base_scenario(pacemaker, n, seed);
+  builder.gst(TimePoint::origin());
+  builder.delay(nullptr);  // worst permitted: max(GST, t) + Delta
+  with_silent_leaders(builder, f);
+  Cluster cluster(builder);
   cluster.run_for(Duration::seconds(240));
   const auto& decisions = cluster.metrics().decisions();
   WorstCaseSample sample;

@@ -31,16 +31,16 @@ struct WarmupSample {
 
 WarmupSample measure(std::uint32_t n, std::uint64_t seed, bool worst_network) {
   const TimePoint gst(Duration::seconds(1).ticks());
-  ClusterOptions options = base_options(PacemakerKind::kLumiere, n, seed);
-  options.gst = gst;
-  options.join_stagger = Duration::millis(300);
+  ScenarioBuilder builder = base_scenario("lumiere", n, seed);
+  builder.gst(gst);
+  builder.join_stagger(Duration::millis(300));
   if (worst_network) {
-    options.delay = nullptr;  // worst permitted: max(GST, t) + Delta
+    builder.delay(nullptr);  // worst permitted: max(GST, t) + Delta
   } else {
-    options.delay = std::make_shared<sim::PreGstChaosDelay>(
-        gst, Duration::micros(500), Duration::millis(2), Duration::seconds(2));
+    builder.delay(std::make_shared<sim::PreGstChaosDelay>(
+        gst, Duration::micros(500), Duration::millis(2), Duration::seconds(2)));
   }
-  Cluster cluster(options);
+  Cluster cluster(builder);
   cluster.start();
 
   WarmupSample sample;

@@ -59,19 +59,20 @@ class OutageDelay final : public sim::DelayPolicy {
 int main() {
   const TimePoint outage_start(Duration::seconds(2).ticks());
   const TimePoint gst(Duration::seconds(4).ticks());  // outage ends at GST
-  runtime::ClusterOptions options;
-  options.params = ProtocolParams::for_n(7, Duration::millis(10));
-  options.pacemaker = runtime::PacemakerKind::kLumiere;
-  options.gst = gst;
-  options.seed = 42;
-  options.drift_ppm_max = 2'000;  // clocks 0.2% off, each its own way
-  options.delay = std::make_shared<OutageDelay>(outage_start, gst, Duration::micros(800),
-                                                Duration::millis(1), Duration::seconds(3));
+  const ProtocolParams params = ProtocolParams::for_n(7, Duration::millis(10));
+  runtime::ScenarioBuilder builder;
+  builder.params(params)
+      .pacemaker("lumiere")
+      .gst(gst)
+      .seed(42)
+      .drift_ppm_max(2'000)  // clocks 0.2% off, each its own way
+      .delay(std::make_shared<OutageDelay>(outage_start, gst, Duration::micros(800),
+                                           Duration::millis(1), Duration::seconds(3)));
 
-  runtime::Cluster cluster(options);
+  runtime::Cluster cluster(builder);
   cluster.start();
 
-  const Duration gamma = options.params.delta_cap * 2 * (options.params.x + 2);
+  const Duration gamma = params.delta_cap * 2 * (params.x + 2);
   std::printf("asynchrony_recovery: n = 7, Delta = 10ms, Gamma = %.0fms,\n"
               "outage (delays up to 3s) in [2s, 4s), GST at 4.0s, drift <= 2000ppm\n\n",
               static_cast<double>(gamma.ticks()) / 1000.0);
@@ -96,7 +97,7 @@ int main() {
                 static_cast<long long>(cluster.min_honest_view()),
                 static_cast<long long>(cluster.max_honest_view()),
                 static_cast<unsigned long long>(heavy), cluster.metrics().decisions().size(),
-                static_cast<double>(tracker.gap(options.params.f + 1).ticks()) / 1000.0,
+                static_cast<double>(tracker.gap(params.f + 1).ticks()) / 1000.0,
                 marker);
   }
 

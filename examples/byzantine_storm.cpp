@@ -15,29 +15,21 @@ using namespace lumiere;
 int main() {
   const TimePoint gst(Duration::seconds(1).ticks());
 
-  runtime::ClusterOptions options;
-  options.params = ProtocolParams::for_n(10, Duration::millis(10), /*x=*/4);
-  options.pacemaker = runtime::PacemakerKind::kLumiere;
-  options.core = runtime::CoreKind::kChainedHotStuff;
-  options.seed = 99;
-  options.gst = gst;
-  options.join_stagger = Duration::millis(400);  // desynchronized starts
-  options.delay = std::make_shared<sim::PreGstChaosDelay>(
-      gst, Duration::micros(300), Duration::millis(4), Duration::seconds(2));
-  options.behavior_for = [](ProcessId id) -> std::unique_ptr<adversary::Behavior> {
-    switch (id) {
-      case 0:
-        return std::make_unique<adversary::SilentLeaderBehavior>();
-      case 1:
-        return std::make_unique<adversary::QcWithholderBehavior>();
-      case 2:
-        return std::make_unique<adversary::EquivocatorBehavior>();
-      default:
-        return std::make_unique<adversary::HonestBehavior>();
-    }
-  };
+  runtime::ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(10, Duration::millis(10), /*x=*/4))
+      .pacemaker("lumiere")
+      .core("chained-hotstuff")
+      .seed(99)
+      .gst(gst)
+      .join_stagger(Duration::millis(400))  // desynchronized starts
+      .delay(std::make_shared<sim::PreGstChaosDelay>(
+          gst, Duration::micros(300), Duration::millis(4), Duration::seconds(2)));
+  // The fault budget, assigned per node (everyone else defaults honest).
+  builder.node(0).behavior([] { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  builder.node(1).behavior([] { return std::make_unique<adversary::QcWithholderBehavior>(); });
+  builder.node(2).behavior([] { return std::make_unique<adversary::EquivocatorBehavior>(); });
 
-  runtime::Cluster cluster(options);
+  runtime::Cluster cluster(builder);
   std::printf("byzantine_storm: n = 10, f = 3 Byzantine (silent-leader, qc-withholder,\n"
               "equivocator), chaotic network until GST = 1s, then delta in [0.3, 4] ms\n\n");
   cluster.run_for(Duration::seconds(61));

@@ -42,20 +42,12 @@ struct Args {
   std::int64_t stagger_ms = 0;
 };
 
-std::optional<runtime::PacemakerKind> parse_protocol(const std::string& name) {
-  static const std::map<std::string, runtime::PacemakerKind> kinds = {
-      {"round-robin", runtime::PacemakerKind::kRoundRobin},
-      {"cogsworth", runtime::PacemakerKind::kCogsworth},
-      {"nk20", runtime::PacemakerKind::kNaorKeidar},
-      {"raresync", runtime::PacemakerKind::kRareSync},
-      {"lp22", runtime::PacemakerKind::kLp22},
-      {"fever", runtime::PacemakerKind::kFever},
-      {"basic-lumiere", runtime::PacemakerKind::kBasicLumiere},
-      {"lumiere", runtime::PacemakerKind::kLumiere},
-  };
-  const auto it = kinds.find(name);
-  if (it == kinds.end()) return std::nullopt;
-  return it->second;
+/// Accepts the lab's historical shorthands on top of the registry names.
+std::string parse_core(const std::string& name) {
+  if (name == "simple") return "simple-view";
+  if (name == "hotstuff") return "chained-hotstuff";
+  if (name == "hotstuff2") return "hotstuff-2";
+  return name;
 }
 
 std::unique_ptr<adversary::Behavior> make_behavior(const std::string& kind) {
@@ -129,9 +121,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto kind = parse_protocol(args.protocol);
-  if (!kind) {
-    std::fprintf(stderr, "unknown protocol '%s'\n", args.protocol.c_str());
+  const auto& registry = runtime::ProtocolRegistry::instance();
+  if (!registry.has_pacemaker(args.protocol)) {
+    std::fprintf(stderr, "unknown protocol '%s'; registered:", args.protocol.c_str());
+    for (const auto& name : registry.pacemaker_names()) std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
     return 2;
   }
   if (args.n % 3 != 1 || args.n < 4) {
@@ -144,24 +138,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  runtime::ClusterOptions options;
-  options.params = ProtocolParams::for_n(args.n, Duration::millis(10),
-                                         args.core == "simple" ? 3 : 4);
-  options.pacemaker = *kind;
-  options.core = args.core == "hotstuff"    ? runtime::CoreKind::kChainedHotStuff
-                 : args.core == "hotstuff2" ? runtime::CoreKind::kHotStuff2
-                                            : runtime::CoreKind::kSimpleView;
-  options.gst = TimePoint(Duration::millis(args.gst_ms).ticks());
-  options.seed = args.seed;
-  options.drift_ppm_max = args.drift_ppm;
-  options.join_stagger = Duration::millis(args.stagger_ms);
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::micros(args.delta_us));
+  const TimePoint gst(Duration::millis(args.gst_ms).ticks());
+  runtime::ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(args.n, Duration::millis(10),
+                                       args.core == "simple" ? 3 : 4))
+      .pacemaker(args.protocol)
+      .core(parse_core(args.core))
+      .gst(gst)
+      .seed(args.seed)
+      .drift_ppm_max(args.drift_ppm)
+      .join_stagger(Duration::millis(args.stagger_ms))
+      .delay(std::make_shared<sim::FixedDelay>(Duration::micros(args.delta_us)));
   if (args.faults > 0) {
     std::vector<ProcessId> byz;
     for (ProcessId id = 0; id < args.faults; ++id) byz.push_back(id);
     const std::string fault_kind = args.fault_kind;
-    options.behavior_for = adversary::byzantine_set(
-        byz, [fault_kind](ProcessId) { return make_behavior(fault_kind); });
+    builder.behaviors(adversary::byzantine_set(
+        byz, [fault_kind](ProcessId) { return make_behavior(fault_kind); }));
+  }
+  const auto errors = builder.validate();
+  if (!errors.empty()) {
+    for (const auto& error : errors) std::fprintf(stderr, "config error: %s\n", error.c_str());
+    return 2;
   }
 
   std::printf("lumiere_lab: %s, n=%u (f=%u), f_a=%u (%s), delta=%lldus, Delta=10ms, "
@@ -171,11 +169,10 @@ int main(int argc, char** argv) {
               static_cast<long long>(args.seconds),
               static_cast<unsigned long long>(args.seed), args.core.c_str());
 
-  runtime::Cluster cluster(options);
-  cluster.run_until(options.gst + Duration::seconds(args.seconds));
+  runtime::Cluster cluster(builder);
+  cluster.run_until(gst + Duration::seconds(args.seconds));
 
   const auto& metrics = cluster.metrics();
-  const TimePoint gst = options.gst;
   std::printf("\n-- measures (Section 2) --\n");
   std::printf("decisions after GST:       %zu\n",
               metrics.decisions().size() - metrics.first_decision_index_after(gst));

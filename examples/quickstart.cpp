@@ -4,7 +4,7 @@
 //   cmake --build build && ./build/examples/quickstart
 //
 // This is the 60-second tour of the public API:
-//   ClusterOptions -> Cluster -> run -> inspect ledgers & metrics.
+//   ScenarioBuilder -> Cluster -> run -> inspect ledgers & metrics.
 #include <cstdio>
 
 #include "runtime/cluster.h"
@@ -16,15 +16,15 @@ int main() {
   // 1. Configure: n = 3f+1 = 4 processors, known delay bound Delta = 10ms,
   //    actual network delay 1ms (partial synchrony: the protocol only
   //    knows Delta; responsiveness means it runs at the 1ms speed).
-  runtime::ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4);
-  options.pacemaker = runtime::PacemakerKind::kLumiere;
-  options.core = runtime::CoreKind::kChainedHotStuff;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
-  options.seed = 2024;
+  runtime::ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4))
+      .pacemaker("lumiere")
+      .core("chained-hotstuff")
+      .delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)))
+      .seed(2024);
 
   // 2. Build and run for 10 simulated seconds.
-  runtime::Cluster cluster(options);
+  runtime::Cluster cluster(builder);
   cluster.run_for(Duration::seconds(10));
 
   // 3. Inspect: every honest node committed the same chain.

@@ -7,101 +7,59 @@
 //
 // This is not the measurement harness (the deterministic simulator is —
 // only there can the partial-synchrony adversary be controlled); it is
-// the existence proof behind the title's "Practical": the same protocol
-// objects that run under the simulator reach consensus over a real
-// network with no code changes, via the MessageTransport seam.
-#include <chrono>
+// the existence proof behind the title's "Practical": the SAME
+// ScenarioBuilder call that configures a simulated cluster configures a
+// real one — transport_tcp() is the whole difference.
 #include <cstdio>
-#include <memory>
-#include <thread>
 #include <vector>
 
 #include "consensus/kv_store.h"
-#include "consensus/messages.h"
-#include "pacemaker/messages.h"
-#include "runtime/node.h"
-#include "transport/realtime.h"
+#include "runtime/cluster.h"
 
 using namespace lumiere;
-
-namespace {
-
-struct NodeReport {
-  View final_view = -1;
-  std::size_t commits = 0;
-  std::vector<crypto::Digest> chain;
-  std::uint64_t frames_sent = 0;
-};
-
-}  // namespace
 
 int main() {
   constexpr std::uint32_t kN = 4;
   constexpr std::uint16_t kBasePort = 24480;
-  constexpr auto kWall = std::chrono::milliseconds(1500);
-  const crypto::Pki pki(kN, 2024);
-  const ProtocolParams params = ProtocolParams::for_n(kN, Duration::millis(10), /*x=*/4);
+  const auto kWall = Duration::millis(1500);
+
+  runtime::ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(kN, Duration::millis(10), /*x=*/4))
+      .pacemaker("lumiere")
+      .core("chained-hotstuff")
+      .seed(2024)
+      .workload([](View v) {
+        return consensus::KvStore::set_command("view", std::to_string(v));
+      })
+      .transport_tcp(kBasePort);
 
   std::printf("tcp_lumiere: %u full Lumiere+HotStuff nodes over 127.0.0.1:%u-%u,\n"
               "one thread each, wall-clock timers, %lld ms of real time...\n\n",
               kN, kBasePort, kBasePort + kN - 1,
-              static_cast<long long>(kWall.count()));
+              static_cast<long long>(kWall.ticks() / 1000));
 
-  std::vector<NodeReport> reports(kN);
-  std::vector<std::thread> threads;
-  threads.reserve(kN);
-  for (ProcessId id = 0; id < kN; ++id) {
-    threads.emplace_back([&, id] {
-      MessageCodec codec;
-      consensus::register_consensus_messages(codec);
-      pacemaker::register_pacemaker_messages(codec);
+  runtime::Cluster cluster(builder);
+  cluster.run_for(kWall);  // wall-clock: 1 simulated us = 1 real us
 
-      sim::Simulator sim;
-      transport::TcpTransportAdapter transport(id, kN, kBasePort, std::move(codec));
-
-      runtime::NodeOptions options;
-      options.pacemaker = runtime::PacemakerKind::kLumiere;
-      options.core = runtime::CoreKind::kChainedHotStuff;
-      options.shared_seed = 2024;
-      options.payload_provider = [](View v) {
-        return consensus::KvStore::set_command("view", std::to_string(v));
-      };
-      runtime::Node node(params, id, &sim, &transport, &pki, options, {},
-                         std::make_unique<adversary::HonestBehavior>());
-      node.start();
-
-      transport::RealtimeDriver driver(&sim, &transport.endpoint());
-      driver.run_for(kWall);
-
-      NodeReport& report = reports[id];
-      report.final_view = node.current_view();
-      report.commits = node.ledger().size();
-      for (const auto& entry : node.ledger().entries()) report.chain.push_back(entry.hash);
-      report.frames_sent = transport.endpoint().frames_sent();
-    });
-  }
-  for (auto& thread : threads) thread.join();
-
-  std::uint64_t total_frames = 0;
   std::size_t shortest = SIZE_MAX;
   for (ProcessId id = 0; id < kN; ++id) {
-    std::printf("  node %u: view %lld, %zu blocks committed, %llu TCP frames sent\n", id,
-                static_cast<long long>(reports[id].final_view), reports[id].commits,
-                static_cast<unsigned long long>(reports[id].frames_sent));
-    total_frames += reports[id].frames_sent;
-    shortest = std::min(shortest, reports[id].commits);
+    const auto& node = cluster.node(id);
+    std::printf("  node %u: view %lld, %zu blocks committed\n", id,
+                static_cast<long long>(node.current_view()), node.ledger().size());
+    shortest = std::min(shortest, node.ledger().size());
   }
 
   bool consistent = shortest > 0;
   for (std::size_t i = 0; i < shortest; ++i) {
+    const auto& reference = cluster.node(0).ledger().entries()[i].hash;
     for (ProcessId id = 1; id < kN; ++id) {
-      if (reports[id].chain[i] != reports[0].chain[i]) consistent = false;
+      if (cluster.node(id).ledger().entries()[i].hash != reference) consistent = false;
     }
   }
   std::printf("\ncommitted prefixes identical across nodes: %s\n",
               consistent ? "yes" : "NO");
-  std::printf("total TCP frames: %llu\n", static_cast<unsigned long long>(total_frames));
   std::printf("\nThe same Pacemaker/ConsensusCore objects the simulator drives just ran\n"
-              "over a real network — the MessageTransport seam is the whole difference.\n");
+              "over a real network — swap transport_tcp() for the default sim transport\n"
+              "and the identical scenario becomes a deterministic experiment.\n");
   return consistent ? 0 : 1;
 }

@@ -29,17 +29,16 @@ class WanDelay final : public sim::DelayPolicy {
 }  // namespace
 
 int main() {
-  runtime::ClusterOptions options;
-  options.params = ProtocolParams::for_n(7, Duration::millis(100), /*x=*/4);  // WAN Delta
-  options.pacemaker = runtime::PacemakerKind::kLumiere;
-  options.core = runtime::CoreKind::kChainedHotStuff;
-  options.delay = std::make_shared<WanDelay>();
-  options.seed = 7;
+  runtime::ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(7, Duration::millis(100), /*x=*/4))  // WAN Delta
+      .pacemaker("lumiere")
+      .core("chained-hotstuff")
+      .delay(std::make_shared<WanDelay>())
+      .seed(7);
 
   // Client workload: each proposed block carries a batch of SET commands
   // (deterministic in the view so all proposers are equivalent).
-  consensus::Mempool batcher(1 << 20);
-  options.workload = [](View v) {
+  builder.workload([](View v) {
     consensus::Mempool pool(1 << 20);
     for (int i = 0; i < 4; ++i) {
       pool.add(consensus::KvStore::set_command(
@@ -47,9 +46,9 @@ int main() {
           "value@view" + std::to_string(v)));
     }
     return pool.next_batch();
-  };
+  });
 
-  runtime::Cluster cluster(options);
+  runtime::Cluster cluster(builder);
   std::printf("wan_replication: 7 replicas across 3 regions; intra-region 0.5ms,\n"
               "cross-region 15-35ms, Delta = 100ms (conservative WAN bound)\n\n");
   cluster.run_for(Duration::seconds(30));

@@ -79,6 +79,9 @@ class ChainedHotStuff final : public ConsensusCore {
   /// NewView bookkeeping for the view this node currently leads:
   /// distinct senders seen and the highest valid QC they reported.
   std::map<View, SignerSet> new_view_senders_;
+  /// Stale views whose late proposal was already stored (one block per
+  /// past view — bounds what an ex-leader can stuff into the store).
+  std::set<View> stale_stored_;
   std::set<View> proposed_;
   std::map<View, crypto::Digest> my_proposal_hash_;
   std::map<View, crypto::ThresholdAggregator> aggregators_;

@@ -105,11 +105,20 @@ void HotStuff2::maybe_vote() {
 void HotStuff2::handle_proposal(ProcessId from, const ProposalMsg& msg) {
   const Block& block = msg.block();
   const View v = block.view();
-  if (v < cur_view_) return;
   if (hooks_.leader_of(v) != from) return;
+  // Commit horizon: the commit walk never crosses below the committed
+  // block, so blocks at or under it are dead weight — and dropping them
+  // bounds what a past leader can stuff into the store.
+  if (v <= last_committed_view_) return;
   if (!block.justify().verify(*pki_, params_)) return;
+  // Store even when the view has passed: the commit walk refuses to cross
+  // a missing ancestor, so a verified block that arrives late (real
+  // networks reorder across senders) must still enter the store or this
+  // node's ledger stalls forever. Voting stays view-gated below.
+  if (v < cur_view_ && !stale_stored_.insert(v).second) return;  // one late block per view
   store_.insert(block);
   process_qc(block.justify());  // a proposal piggybacks the QC it extends
+  if (v < cur_view_) return;    // too late to vote
   if (!pending_proposals_.contains(v)) pending_proposals_.emplace(v, block);
   maybe_vote();
 }
@@ -185,6 +194,8 @@ void HotStuff2::commit_chain(const Block& tip) {
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
     last_committed_view_ = (*it)->view();
     last_committed_hash_ = (*it)->hash();
+    stale_stored_.erase(stale_stored_.begin(),
+                        stale_stored_.upper_bound(last_committed_view_));
     if (cb_.decided) cb_.decided(**it);
   }
 }

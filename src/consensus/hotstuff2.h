@@ -97,6 +97,9 @@ class HotStuff2 final : public ConsensusCore {
   BlockStore store_;
   /// Views whose Delta fallback timer has expired while this node led them.
   std::set<View> fallback_elapsed_;
+  /// Stale views whose late proposal was already stored (one block per
+  /// past view — bounds what an ex-leader can stuff into the store).
+  std::set<View> stale_stored_;
   std::set<View> proposed_;
   std::map<View, crypto::Digest> my_proposal_hash_;
   std::map<View, crypto::ThresholdAggregator> aggregators_;

@@ -1,31 +1,53 @@
 #include "runtime/cluster.h"
 
 #include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "consensus/messages.h"
+#include "pacemaker/messages.h"
 
 namespace lumiere::runtime {
 
-Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
-  options_.params.validate();
-  const std::uint32_t n = options_.params.n;
-  pki_ = std::make_unique<crypto::Pki>(n, options_.seed);
-  network_ = std::make_unique<sim::Network>(&sim_, n, options_.gst, options_.params.delta_cap,
-                                            options_.delay, options_.seed);
-
-  if (!options_.behavior_for) options_.behavior_for = adversary::honest_cluster();
+Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
+  scenario_.params.validate();
+  const std::uint32_t n = scenario_.params.n;
+  LUMIERE_ASSERT_MSG(scenario_.nodes.size() == n, "Scenario must carry one NodeSpec per node");
+  pki_ = std::make_unique<crypto::Pki>(n, scenario_.seed);
 
   // Behaviors first, so the metrics collector knows who is Byzantine.
   std::vector<std::unique_ptr<adversary::Behavior>> behaviors;
   std::vector<bool> byz(n, false);
   behaviors.reserve(n);
   for (ProcessId id = 0; id < n; ++id) {
-    behaviors.push_back(options_.behavior_for(id));
+    const BehaviorThunk& make = scenario_.nodes[id].behavior;
+    behaviors.push_back(make ? make() : std::make_unique<adversary::HonestBehavior>());
     byz[id] = std::strcmp(behaviors.back()->name(), "honest") != 0;
   }
   metrics_ = std::make_unique<MetricsCollector>(n, byz);
+
+  if (scenario_.transport == TransportKind::kSim) {
+    build_sim_cluster(std::move(behaviors));
+  } else {
+    build_tcp_cluster(std::move(behaviors));
+  }
+}
+
+NodeConfig Cluster::config_for(const NodeSpec& spec) const {
+  NodeConfig config;
+  config.protocol = spec.protocol;
+  config.join_time = spec.join_time;
+  config.clock_drift_ppm = spec.clock_drift_ppm;
+  config.payload_provider = spec.payload_provider;
+  return config;
+}
+
+void Cluster::build_sim_cluster(std::vector<std::unique_ptr<adversary::Behavior>> behaviors) {
+  const std::uint32_t n = scenario_.params.n;
+  network_ = std::make_unique<sim::Network>(&sim_, n, scenario_.gst, scenario_.params.delta_cap,
+                                            scenario_.delay, scenario_.seed);
   network_->set_observer(metrics_.get());
 
-  Rng join_rng(options_.seed ^ 0x4a4f494eULL);
-  Rng drift_rng(options_.seed ^ 0x44524946ULL);
   NodeObservers observers;
   observers.on_qc_formed = [this](TimePoint at, View view, ProcessId node) {
     metrics_->record_qc_formed(at, view, node);
@@ -40,27 +62,35 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
 
   nodes_.reserve(n);
   for (ProcessId id = 0; id < n; ++id) {
-    NodeOptions node_options;
-    node_options.pacemaker = options_.pacemaker;
-    node_options.core = options_.core;
-    node_options.gamma = options_.gamma;
-    node_options.shared_seed = options_.seed;
-    node_options.lumiere_enforce_qc_deadline = options_.lumiere_enforce_qc_deadline;
-    node_options.lumiere_delta_wait = options_.lumiere_delta_wait;
-    node_options.view_timeout = options_.view_timeout;
-    node_options.fever_tenure = options_.fever_tenure;
-    node_options.payload_provider = options_.workload;
-    node_options.join_time =
-        options_.join_stagger > Duration::zero()
-            ? TimePoint(join_rng.next_in(0, options_.join_stagger.ticks()))
-            : TimePoint::origin();
-    node_options.clock_drift_ppm =
-        options_.drift_ppm_max > 0
-            ? drift_rng.next_in(-options_.drift_ppm_max, options_.drift_ppm_max)
-            : 0;
-    nodes_.push_back(std::make_unique<Node>(options_.params, id, &sim_, network_.get(),
-                                            pki_.get(), node_options, observers,
+    nodes_.push_back(std::make_unique<Node>(scenario_.params, id, &sim_, network_.get(),
+                                            pki_.get(), config_for(scenario_.nodes[id]),
+                                            observers, std::move(behaviors[id])));
+  }
+}
+
+void Cluster::build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>> behaviors) {
+  const std::uint32_t n = scenario_.params.n;
+  nodes_.reserve(n);
+  node_sims_.reserve(n);
+  adapters_.reserve(n);
+  drivers_.reserve(n);
+  for (ProcessId id = 0; id < n; ++id) {
+    MessageCodec codec;
+    consensus::register_consensus_messages(codec);
+    pacemaker::register_pacemaker_messages(codec);
+    node_sims_.push_back(std::make_unique<sim::Simulator>());
+    adapters_.push_back(std::make_unique<transport::TcpTransportAdapter>(
+        id, n, scenario_.tcp_base_port, std::move(codec)));
+    // No shared observers: nodes run on separate threads here, and the
+    // metrics/trace collectors are single-threaded simulator
+    // instrumentation. Per-node state (ledger, views) remains inspectable
+    // after run_for joins the threads.
+    nodes_.push_back(std::make_unique<Node>(scenario_.params, id, node_sims_.back().get(),
+                                            adapters_.back().get(), pki_.get(),
+                                            config_for(scenario_.nodes[id]), NodeObservers{},
                                             std::move(behaviors[id])));
+    drivers_.push_back(std::make_unique<transport::RealtimeDriver>(
+        node_sims_.back().get(), &adapters_.back()->endpoint()));
   }
 }
 
@@ -72,12 +102,30 @@ void Cluster::start() {
 
 void Cluster::run_for(Duration d) {
   start();
-  sim_.run_for(d);
+  if (scenario_.transport == TransportKind::kSim) {
+    sim_.run_for(d);
+    return;
+  }
+  if (d <= Duration::zero()) return;
+  // TCP: one wall-clock driver thread per node (1 simulated us = 1 us);
+  // sub-millisecond remainders round up rather than silently vanish.
+  const auto wall = std::chrono::milliseconds((d.ticks() + 999) / 1000);
+  std::vector<std::thread> threads;
+  threads.reserve(drivers_.size());
+  for (auto& driver : drivers_) {
+    threads.emplace_back([&driver, wall] { driver->run_for(wall); });
+  }
+  for (auto& thread : threads) thread.join();
 }
 
 void Cluster::run_until(TimePoint t) {
-  start();
-  sim_.run_until(t);
+  if (scenario_.transport == TransportKind::kSim) {
+    start();
+    sim_.run_until(t);
+    return;
+  }
+  // Already-passed targets no-op, matching Simulator::run_until.
+  run_for(t - (node_sims_.empty() ? TimePoint::origin() : node_sims_.front()->now()));
 }
 
 std::vector<ProcessId> Cluster::honest_ids() const {

@@ -1,6 +1,16 @@
-// Cluster: builds and runs a full n-processor deployment in the
-// deterministic simulator. This is the library's main entry point for
-// examples, tests and benchmarks.
+// Cluster: builds and runs a full n-processor deployment from a resolved
+// Scenario (runtime/scenario.h). This is the library's main entry point
+// for examples, tests and benchmarks — construct one via ScenarioBuilder.
+//
+// Two transports behind the same MessageTransport seam:
+//   * TransportKind::kSim — every node shares one deterministic Simulator
+//     and one adversary-controlled sim::Network (metrics, traces and the
+//     partial-synchrony envelope all live here);
+//   * TransportKind::kTcp — every node gets a private Simulator paced
+//     against the wall clock on its own thread, exchanging real framed
+//     bytes over localhost TCP. Protocol objects are identical; metrics /
+//     traces / delay adversaries are simulator-only instrumentation and
+//     stay empty.
 #pragma once
 
 #include <memory>
@@ -11,65 +21,22 @@
 #include "crypto/pki.h"
 #include "runtime/metrics.h"
 #include "runtime/node.h"
+#include "runtime/scenario.h"
 #include "sim/delay_policy.h"
-#include "sim/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
+#include "sim/trace.h"
+#include "transport/realtime.h"
 
 namespace lumiere::runtime {
 
-struct ClusterOptions {
-  ProtocolParams params = ProtocolParams::for_n(4, Duration::millis(10));
-  PacemakerKind pacemaker = PacemakerKind::kLumiere;
-  CoreKind core = CoreKind::kSimpleView;
-
-  /// Global Stabilization Time: before it the adversary's proposed delays
-  /// apply unclamped up to GST + Delta; after it every message obeys the
-  /// Delta bound.
-  TimePoint gst = TimePoint::origin();
-
-  /// The adversary's delay policy (nullptr = worst permitted: every
-  /// message arrives exactly at max(GST, t) + Delta).
-  std::shared_ptr<sim::DelayPolicy> delay;
-
-  /// Everything-determining seed (leader schedules, keys, delay draws).
-  std::uint64_t seed = 1;
-
-  /// Gamma override (zero = protocol default).
-  Duration gamma = Duration::zero();
-
-  /// Processors join (lc = 0) at uniform random times in
-  /// [origin, join_stagger] — the paper's arbitrary pre-GST
-  /// desynchronization. Zero = synchronized start (required by Fever).
-  Duration join_stagger = Duration::zero();
-
-  /// Bounded clock drift (the paper's Section 2/4 remark): each processor
-  /// gets a deterministic rate skew uniform in [-drift_ppm_max,
-  /// +drift_ppm_max] parts-per-million. Zero = perfect clocks.
-  std::int64_t drift_ppm_max = 0;
-
-  /// Behavior assignment; default all-honest.
-  adversary::BehaviorFactory behavior_for;
-
-  /// Lumiere ablation switches.
-  bool lumiere_enforce_qc_deadline = true;
-  bool lumiere_delta_wait = true;
-
-  /// RoundRobin/Cogsworth view timeout override (zero = (x+2)*Delta).
-  Duration view_timeout = Duration::zero();
-
-  /// Fever leader tenure (Section 3.3 "Reducing Gamma").
-  std::uint32_t fever_tenure = 2;
-
-  /// Client workload: payload for the block a node proposes in `view`
-  /// (same function cluster-wide; providers can vary output by view).
-  /// Null = empty payloads (pure view-synchronization measurements).
-  std::function<std::vector<std::uint8_t>(View)> workload;
-};
-
 class Cluster {
  public:
-  explicit Cluster(ClusterOptions options);
+  /// Builds every node from `scenario` (normally produced by
+  /// ScenarioBuilder::scenario(), which validates first).
+  explicit Cluster(Scenario scenario);
+  /// Convenience: validate + resolve + build in one step.
+  explicit Cluster(const ScenarioBuilder& builder) : Cluster(builder.scenario()) {}
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -77,17 +44,26 @@ class Cluster {
   /// Starts every node (idempotent guard inside) — run_* call it lazily.
   void start();
 
+  /// Advances the deployment by `d`: simulated time on the sim transport,
+  /// wall-clock time (1 simulated us = 1 real us) on the TCP transport.
   void run_for(Duration d);
   void run_until(TimePoint t);
 
+  [[nodiscard]] TransportKind transport() const noexcept { return scenario_.transport; }
+  /// The shared simulator (sim transport only).
   [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
-  [[nodiscard]] sim::Network& network() noexcept { return *network_; }
+  /// The adversary-controlled network (sim transport only; aborts on a
+  /// TCP cluster rather than dereferencing null).
+  [[nodiscard]] sim::Network& network() noexcept {
+    LUMIERE_ASSERT_MSG(network_ != nullptr, "Cluster::network() is sim-transport-only");
+    return *network_;
+  }
   [[nodiscard]] MetricsCollector& metrics() noexcept { return *metrics_; }
   [[nodiscard]] const MetricsCollector& metrics() const noexcept { return *metrics_; }
   [[nodiscard]] Node& node(ProcessId id) { return *nodes_.at(id); }
   [[nodiscard]] const Node& node(ProcessId id) const { return *nodes_.at(id); }
-  [[nodiscard]] std::uint32_t n() const noexcept { return options_.params.n; }
-  [[nodiscard]] const ClusterOptions& options() const noexcept { return options_; }
+  [[nodiscard]] std::uint32_t n() const noexcept { return scenario_.params.n; }
+  [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
   [[nodiscard]] const crypto::Pki& pki() const noexcept { return *pki_; }
 
   [[nodiscard]] std::vector<ProcessId> honest_ids() const;
@@ -106,14 +82,24 @@ class Cluster {
   [[nodiscard]] View max_honest_view() const;
 
  private:
-  ClusterOptions options_;
-  sim::Simulator sim_;
+  void build_sim_cluster(std::vector<std::unique_ptr<adversary::Behavior>> behaviors);
+  void build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>> behaviors);
+  [[nodiscard]] NodeConfig config_for(const NodeSpec& spec) const;
+
+  Scenario scenario_;
+  sim::Simulator sim_;  ///< shared simulator (sim transport).
   std::unique_ptr<crypto::Pki> pki_;
   std::unique_ptr<sim::Network> network_;
   std::unique_ptr<MetricsCollector> metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
   sim::TraceLog trace_;
   bool started_ = false;
+
+  /// TCP transport: one private simulator + adapter + wall-clock driver
+  /// per node (each driven on its own thread during run_for).
+  std::vector<std::unique_ptr<sim::Simulator>> node_sims_;
+  std::vector<std::unique_ptr<transport::TcpTransportAdapter>> adapters_;
+  std::vector<std::unique_ptr<transport::RealtimeDriver>> drivers_;
 };
 
 }  // namespace lumiere::runtime

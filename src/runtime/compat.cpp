@@ -1,0 +1,61 @@
+#include "runtime/compat.h"
+
+namespace lumiere::runtime {
+
+const char* to_string(PacemakerKind kind) {
+  switch (kind) {
+    case PacemakerKind::kRoundRobin:
+      return "round-robin";
+    case PacemakerKind::kCogsworth:
+      return "cogsworth";
+    case PacemakerKind::kNaorKeidar:
+      return "nk20";
+    case PacemakerKind::kRareSync:
+      return "raresync";
+    case PacemakerKind::kLp22:
+      return "lp22";
+    case PacemakerKind::kFever:
+      return "fever";
+    case PacemakerKind::kBasicLumiere:
+      return "basic-lumiere";
+    case PacemakerKind::kLumiere:
+      return "lumiere";
+  }
+  return "?";
+}
+
+const char* to_string(CoreKind kind) {
+  switch (kind) {
+    case CoreKind::kSimpleView:
+      return "simple-view";
+    case CoreKind::kChainedHotStuff:
+      return "chained-hotstuff";
+    case CoreKind::kHotStuff2:
+      return "hotstuff-2";
+  }
+  return "?";
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+ScenarioBuilder to_builder(const ClusterOptions& options) {
+  ScenarioBuilder builder;
+  builder.params(options.params)
+      .pacemaker(to_string(options.pacemaker))
+      .core(to_string(options.core))
+      .gst(options.gst)
+      .delay(options.delay)
+      .seed(options.seed)
+      .gamma(options.gamma)
+      .join_stagger(options.join_stagger)
+      .drift_ppm_max(options.drift_ppm_max)
+      .lumiere(LumiereOptions{options.lumiere_enforce_qc_deadline, options.lumiere_delta_wait})
+      .fever(FeverOptions{options.fever_tenure})
+      .view_timeout(options.view_timeout)
+      .workload(options.workload);
+  if (options.behavior_for) builder.behaviors(options.behavior_for);
+  return builder;
+}
+#pragma GCC diagnostic pop
+
+}  // namespace lumiere::runtime

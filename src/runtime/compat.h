@@ -1,0 +1,62 @@
+// DEPRECATED construction shim — new code should use ScenarioBuilder
+// (runtime/scenario.h) and registry names (runtime/registry.h) directly.
+//
+// This header preserves the original flat ClusterOptions surface (with its
+// PacemakerKind/CoreKind enums) for downstream code written against the
+// pre-registry API. It is a thin forwarding layer: to_builder() maps every
+// legacy field onto the ScenarioBuilder equivalent, so the two construction
+// paths cannot drift apart. Nothing else in the library references these
+// types.
+#pragma once
+
+#include "runtime/scenario.h"
+
+namespace lumiere::runtime {
+
+/// Legacy protocol selectors. The registry names (to_string) are the
+/// canonical identifiers now.
+enum class PacemakerKind {
+  kRoundRobin,
+  kCogsworth,
+  kNaorKeidar,
+  kRareSync,
+  kLp22,
+  kFever,
+  kBasicLumiere,
+  kLumiere,
+};
+
+/// The ProtocolRegistry name for `kind`.
+[[nodiscard]] const char* to_string(PacemakerKind kind);
+
+enum class CoreKind { kSimpleView, kChainedHotStuff, kHotStuff2 };
+
+[[nodiscard]] const char* to_string(CoreKind kind);
+
+/// The original flat, homogeneous-cluster options struct.
+struct [[deprecated("use runtime::ScenarioBuilder")]] ClusterOptions {
+  ProtocolParams params = ProtocolParams::for_n(4, Duration::millis(10));
+  PacemakerKind pacemaker = PacemakerKind::kLumiere;
+  CoreKind core = CoreKind::kSimpleView;
+  TimePoint gst = TimePoint::origin();
+  std::shared_ptr<sim::DelayPolicy> delay;
+  std::uint64_t seed = 1;
+  Duration gamma = Duration::zero();
+  Duration join_stagger = Duration::zero();
+  std::int64_t drift_ppm_max = 0;
+  adversary::BehaviorFactory behavior_for;
+  bool lumiere_enforce_qc_deadline = true;
+  bool lumiere_delta_wait = true;
+  Duration view_timeout = Duration::zero();
+  std::uint32_t fever_tenure = 2;
+  PayloadProvider workload;
+};
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+/// Forwards the legacy options into the one construction API; build a
+/// cluster with `Cluster cluster(to_builder(options))`.
+[[nodiscard]] ScenarioBuilder to_builder(const ClusterOptions& options);
+#pragma GCC diagnostic pop
+
+}  // namespace lumiere::runtime

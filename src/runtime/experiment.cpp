@@ -2,28 +2,36 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <set>
 
 #include "pacemaker/messages.h"
 
 namespace lumiere::runtime {
 
 RunMeasures run_experiment(const ExperimentConfig& config) {
-  Cluster cluster(config.cluster);
+  Cluster cluster(config.scenario.scenario());
+  const TimePoint gst = cluster.scenario().gst;
 
   // Count epoch-view messages sent before GST so the after-GST component
   // can be isolated.
   cluster.start();
-  cluster.run_until(config.cluster.gst);
+  cluster.run_until(gst);
   const std::uint64_t epoch_msgs_pre_gst =
       cluster.metrics().count_for_type(pacemaker::kEpochViewMsg);
 
-  cluster.run_until(config.cluster.gst + config.run_for);
+  cluster.run_until(gst + config.run_for);
 
   const MetricsCollector& metrics = cluster.metrics();
-  const TimePoint gst = config.cluster.gst;
 
   RunMeasures out;
-  out.protocol = to_string(config.cluster.pacemaker);
+  // Label with every distinct pacemaker, first-seen order (heterogeneous
+  // scenarios would otherwise report node 0's protocol for the whole row).
+  std::set<std::string> seen;
+  for (const auto& spec : cluster.scenario().nodes) {
+    if (!seen.insert(spec.protocol.pacemaker).second) continue;
+    if (!out.protocol.empty()) out.protocol += "+";
+    out.protocol += spec.protocol.pacemaker;
+  }
   out.n = cluster.n();
   out.f_actual = 0;
   for (const bool b : cluster.byzantine_mask()) out.f_actual += b ? 1 : 0;

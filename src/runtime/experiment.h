@@ -39,7 +39,9 @@ struct RunMeasures {
 };
 
 struct ExperimentConfig {
-  ClusterOptions cluster;
+  /// The deployment under measurement (sim transport; the adversary is
+  /// only controllable there).
+  ScenarioBuilder scenario;
   /// Total simulated run time.
   Duration run_for = Duration::seconds(60);
   /// Decisions to skip after GST before "eventual" measures begin
@@ -47,7 +49,7 @@ struct ExperimentConfig {
   std::size_t warmup_decisions = 8;
 };
 
-/// Builds, runs, measures. Deterministic in config.cluster.seed.
+/// Builds, runs, measures. Deterministic in the scenario seed.
 [[nodiscard]] RunMeasures run_experiment(const ExperimentConfig& config);
 
 /// Formats a duration as a multiple of Delta (e.g. "12.3 Delta") — the

@@ -2,53 +2,10 @@
 
 #include <cstring>
 
-#include "core/basic_lumiere.h"
-#include "core/lumiere.h"
-#include "pacemaker/cogsworth.h"
-#include "pacemaker/fever.h"
-#include "pacemaker/lp22.h"
-#include "pacemaker/naor_keidar.h"
-#include "pacemaker/raresync.h"
-#include "pacemaker/round_robin.h"
-
 namespace lumiere::runtime {
 
-const char* to_string(PacemakerKind kind) {
-  switch (kind) {
-    case PacemakerKind::kRoundRobin:
-      return "round-robin";
-    case PacemakerKind::kCogsworth:
-      return "cogsworth";
-    case PacemakerKind::kNaorKeidar:
-      return "nk20";
-    case PacemakerKind::kRareSync:
-      return "raresync";
-    case PacemakerKind::kLp22:
-      return "lp22";
-    case PacemakerKind::kFever:
-      return "fever";
-    case PacemakerKind::kBasicLumiere:
-      return "basic-lumiere";
-    case PacemakerKind::kLumiere:
-      return "lumiere";
-  }
-  return "?";
-}
-
-const char* to_string(CoreKind kind) {
-  switch (kind) {
-    case CoreKind::kSimpleView:
-      return "simple-view";
-    case CoreKind::kChainedHotStuff:
-      return "chained-hotstuff";
-    case CoreKind::kHotStuff2:
-      return "hotstuff-2";
-  }
-  return "?";
-}
-
 Node::Node(const ProtocolParams& params, ProcessId id, sim::Simulator* sim,
-           MessageTransport* network, const crypto::Pki* pki, NodeOptions options,
+           MessageTransport* network, const crypto::Pki* pki, NodeConfig config,
            NodeObservers observers, std::unique_ptr<adversary::Behavior> behavior)
     : params_(params),
       id_(id),
@@ -58,12 +15,13 @@ Node::Node(const ProtocolParams& params, ProcessId id, sim::Simulator* sim,
       signer_(pki->signer_for(id)),
       observers_(std::move(observers)),
       behavior_(std::move(behavior)),
-      join_time_(options.join_time) {
+      join_time_(config.join_time),
+      protocol_(config.protocol) {
   LUMIERE_ASSERT(sim != nullptr && network != nullptr && pki != nullptr);
   LUMIERE_ASSERT(behavior_ != nullptr);
-  clock_ = std::make_unique<sim::LocalClock>(sim_, options.join_time, options.clock_drift_ppm);
-  build_pacemaker(options);
-  build_core(options);
+  clock_ = std::make_unique<sim::LocalClock>(sim_, config.join_time, config.clock_drift_ppm);
+  build_pacemaker(config);
+  build_core(config);
 }
 
 bool Node::is_byzantine() const noexcept {
@@ -82,7 +40,7 @@ adversary::Toolkit Node::toolkit() {
   return tk;
 }
 
-void Node::build_pacemaker(const NodeOptions& options) {
+void Node::build_pacemaker(const NodeConfig& config) {
   pacemaker::PacemakerWiring wiring;
   wiring.sim = sim_;
   wiring.clock = clock_.get();
@@ -98,78 +56,12 @@ void Node::build_pacemaker(const NodeOptions& options) {
     if (core_) core_->on_propose_allowed(v);
   };
 
-  const Duration default_timeout = params_.delta_cap * (params_.x + 2);
-  const Duration timeout =
-      options.view_timeout > Duration::zero() ? options.view_timeout : default_timeout;
-
-  switch (options.pacemaker) {
-    case PacemakerKind::kRoundRobin: {
-      pacemaker::RoundRobinPacemaker::Options opt;
-      opt.base_timeout = timeout;
-      pacemaker_ = std::make_unique<pacemaker::RoundRobinPacemaker>(params_, id_, signer_,
-                                                                    std::move(wiring), opt);
-      break;
-    }
-    case PacemakerKind::kCogsworth: {
-      pacemaker::CogsworthPacemaker::Options opt;
-      opt.view_timeout = timeout;
-      opt.relay_timeout = params_.delta_cap * 2;
-      pacemaker_ = std::make_unique<pacemaker::CogsworthPacemaker>(
-          params_, id_, signer_, std::move(wiring), opt,
-          std::make_unique<pacemaker::RoundRobinSchedule>(params_.n, 1));
-      break;
-    }
-    case PacemakerKind::kNaorKeidar: {
-      pacemaker::CogsworthPacemaker::Options opt;
-      opt.view_timeout = timeout;
-      opt.relay_timeout = params_.delta_cap * 2;
-      pacemaker_ = std::make_unique<pacemaker::NaorKeidarPacemaker>(
-          params_, id_, signer_, std::move(wiring), opt, options.shared_seed);
-      break;
-    }
-    case PacemakerKind::kRareSync: {
-      pacemaker::RareSyncPacemaker::Options opt;
-      opt.gamma = options.gamma;
-      pacemaker_ = std::make_unique<pacemaker::RareSyncPacemaker>(params_, id_, signer_,
-                                                                  std::move(wiring), opt);
-      break;
-    }
-    case PacemakerKind::kLp22: {
-      pacemaker::Lp22Pacemaker::Options opt;
-      opt.gamma = options.gamma;
-      pacemaker_ = std::make_unique<pacemaker::Lp22Pacemaker>(params_, id_, signer_,
-                                                              std::move(wiring), opt);
-      break;
-    }
-    case PacemakerKind::kFever: {
-      pacemaker::FeverPacemaker::Options opt;
-      opt.gamma = options.gamma;
-      opt.tenure = options.fever_tenure;
-      pacemaker_ = std::make_unique<pacemaker::FeverPacemaker>(params_, id_, signer_,
-                                                               std::move(wiring), opt);
-      break;
-    }
-    case PacemakerKind::kBasicLumiere: {
-      core::BasicLumierePacemaker::Options opt;
-      opt.gamma = options.gamma;
-      pacemaker_ = std::make_unique<core::BasicLumierePacemaker>(params_, id_, signer_,
-                                                                 std::move(wiring), opt);
-      break;
-    }
-    case PacemakerKind::kLumiere: {
-      core::LumierePacemaker::Options opt;
-      opt.gamma = options.gamma;
-      opt.schedule_seed = options.shared_seed;
-      opt.enforce_qc_deadline = options.lumiere_enforce_qc_deadline;
-      opt.delta_wait_before_epoch_msg = options.lumiere_delta_wait;
-      pacemaker_ = std::make_unique<core::LumierePacemaker>(params_, id_, signer_,
-                                                            std::move(wiring), opt);
-      break;
-    }
-  }
+  pacemaker_ = ProtocolRegistry::instance().make_pacemaker(
+      config.protocol.pacemaker,
+      PacemakerContext{params_, id_, signer_, std::move(wiring), config.protocol});
 }
 
-void Node::build_core(const NodeOptions& options) {
+void Node::build_core(const NodeConfig& config) {
   consensus::CoreCallbacks callbacks;
   callbacks.send = [this](ProcessId to, MessagePtr msg) { outbound(to, std::move(msg)); };
   callbacks.broadcast = [this](MessagePtr msg) { outbound_broadcast(msg); };
@@ -191,23 +83,10 @@ void Node::build_core(const NodeOptions& options) {
   hooks.may_form_qc = [this](View v) { return pacemaker_->may_form_qc(v); };
   hooks.may_propose = [this](View v) { return pacemaker_->may_propose(v); };
 
-  switch (options.core) {
-    case CoreKind::kSimpleView:
-      core_ = std::make_unique<consensus::SimpleViewCore>(params_, pki_, signer_,
-                                                          std::move(callbacks), std::move(hooks),
-                                                          options.payload_provider);
-      break;
-    case CoreKind::kChainedHotStuff:
-      core_ = std::make_unique<consensus::ChainedHotStuff>(params_, pki_, signer_,
-                                                           std::move(callbacks), std::move(hooks),
-                                                           options.payload_provider);
-      break;
-    case CoreKind::kHotStuff2:
-      core_ = std::make_unique<consensus::HotStuff2>(params_, pki_, signer_,
-                                                     std::move(callbacks), std::move(hooks),
-                                                     options.payload_provider);
-      break;
-  }
+  core_ = ProtocolRegistry::instance().make_core(
+      config.protocol.core,
+      CoreContext{params_, id_, pki_, signer_, std::move(callbacks), std::move(hooks),
+                  config.payload_provider, config.protocol});
 }
 
 void Node::start() {

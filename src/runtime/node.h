@@ -10,63 +10,38 @@
 //          |        outbound (via Behavior filter)  |       |
 //          +----------------------|-----------------|-------+
 //                                 v                 v
-//                              Network (partial synchrony)
+//                          MessageTransport (sim or TCP)
+//
+// The pacemaker and consensus core are looked up by name in the
+// ProtocolRegistry; most callers construct nodes indirectly through
+// runtime::ScenarioBuilder (runtime/scenario.h).
 #pragma once
 
 #include <memory>
 
 #include "adversary/behaviors.h"
 #include "common/params.h"
-#include "consensus/chained_hotstuff.h"
-#include "consensus/hotstuff2.h"
+#include "consensus/core.h"
 #include "consensus/ledger.h"
-#include "consensus/simple_view_core.h"
 #include "pacemaker/pacemaker.h"
+#include "runtime/registry.h"
 #include "sim/local_clock.h"
-#include "sim/network.h"
+#include "sim/transport_iface.h"
 
 namespace lumiere::runtime {
 
-enum class PacemakerKind {
-  kRoundRobin,
-  kCogsworth,
-  kNaorKeidar,
-  kRareSync,
-  kLp22,
-  kFever,
-  kBasicLumiere,
-  kLumiere,
-};
-
-[[nodiscard]] const char* to_string(PacemakerKind kind);
-
-enum class CoreKind { kSimpleView, kChainedHotStuff, kHotStuff2 };
-
-[[nodiscard]] const char* to_string(CoreKind kind);
-
-/// Per-node construction options.
-struct NodeOptions {
-  PacemakerKind pacemaker = PacemakerKind::kLumiere;
-  CoreKind core = CoreKind::kSimpleView;
-  /// Override the protocol's default Gamma (zero = default).
-  Duration gamma = Duration::zero();
-  /// Leader-schedule / randomness seed (must be identical cluster-wide).
-  std::uint64_t shared_seed = 1;
+/// Per-node construction config: which protocols to run (by registry
+/// name, with their typed knobs) plus this processor's local conditions.
+struct NodeConfig {
+  ProtocolConfig protocol;
   /// When this processor joins (its lc reads 0 at this instant).
   TimePoint join_time = TimePoint::origin();
   /// Rate skew of this processor's local clock in parts-per-million (the
   /// paper's bounded-drift remark); 0 = perfect rate.
   std::int64_t clock_drift_ppm = 0;
-  /// Lumiere ablations (see LumierePacemaker::Options).
-  bool lumiere_enforce_qc_deadline = true;
-  bool lumiere_delta_wait = true;
-  /// RoundRobin / Cogsworth timeouts (zero = (x+2)*Delta).
-  Duration view_timeout = Duration::zero();
-  /// Fever leader tenure (Section 3.3 "Reducing Gamma" remark).
-  std::uint32_t fever_tenure = 2;
   /// Block payload source consulted when this node proposes (the client
   /// workload); null = empty payloads.
-  std::function<std::vector<std::uint8_t>(View)> payload_provider;
+  PayloadProvider payload_provider;
 };
 
 /// Events the node reports to the harness (metrics, tests).
@@ -82,8 +57,11 @@ struct NodeObservers {
 
 class Node {
  public:
+  /// Builds the stack named by `config.protocol` via the registry; throws
+  /// std::invalid_argument on unknown protocol names (ScenarioBuilder
+  /// validates earlier and produces friendlier per-node errors).
   Node(const ProtocolParams& params, ProcessId id, sim::Simulator* sim, MessageTransport* network,
-       const crypto::Pki* pki, NodeOptions options, NodeObservers observers,
+       const crypto::Pki* pki, NodeConfig config, NodeObservers observers,
        std::unique_ptr<adversary::Behavior> behavior);
 
   Node(const Node&) = delete;
@@ -103,10 +81,12 @@ class Node {
   [[nodiscard]] const consensus::Ledger& ledger() const noexcept { return ledger_; }
   [[nodiscard]] consensus::Ledger& ledger() noexcept { return ledger_; }
   [[nodiscard]] View current_view() const { return pacemaker_->current_view(); }
+  /// The registry names this node was built from.
+  [[nodiscard]] const ProtocolConfig& protocol() const noexcept { return protocol_; }
 
  private:
-  void build_pacemaker(const NodeOptions& options);
-  void build_core(const NodeOptions& options);
+  void build_pacemaker(const NodeConfig& config);
+  void build_core(const NodeConfig& config);
   void route_inbound(ProcessId from, const MessagePtr& msg);
   void outbound(ProcessId to, MessagePtr msg);
   void outbound_broadcast(const MessagePtr& msg);
@@ -121,6 +101,7 @@ class Node {
   NodeObservers observers_;
   std::unique_ptr<adversary::Behavior> behavior_;
   TimePoint join_time_;
+  ProtocolConfig protocol_;
 
   std::unique_ptr<sim::LocalClock> clock_;
   std::unique_ptr<pacemaker::Pacemaker> pacemaker_;

@@ -1,0 +1,297 @@
+#include "runtime/scenario.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "runtime/cluster.h"
+
+namespace lumiere::runtime {
+
+const char* to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kSim:
+      return "sim";
+    case TransportKind::kTcp:
+      return "tcp";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- NodeTweak
+
+ScenarioBuilder::NodeTweak& ScenarioBuilder::NodeTweak::pacemaker(std::string name) {
+  pacemaker_ = std::move(name);
+  return *this;
+}
+
+ScenarioBuilder::NodeTweak& ScenarioBuilder::NodeTweak::core(std::string name) {
+  core_ = std::move(name);
+  return *this;
+}
+
+ScenarioBuilder::NodeTweak& ScenarioBuilder::NodeTweak::gamma(Duration gamma) {
+  gamma_ = gamma;
+  return *this;
+}
+
+ScenarioBuilder::NodeTweak& ScenarioBuilder::NodeTweak::lumiere(LumiereOptions options) {
+  lumiere_ = options;
+  return *this;
+}
+
+ScenarioBuilder::NodeTweak& ScenarioBuilder::NodeTweak::fever(FeverOptions options) {
+  fever_ = options;
+  return *this;
+}
+
+ScenarioBuilder::NodeTweak& ScenarioBuilder::NodeTweak::view_timeout(Duration timeout) {
+  view_timeout_ = timeout;
+  return *this;
+}
+
+ScenarioBuilder::NodeTweak& ScenarioBuilder::NodeTweak::join_time(TimePoint at) {
+  join_time_ = at;
+  return *this;
+}
+
+ScenarioBuilder::NodeTweak& ScenarioBuilder::NodeTweak::drift_ppm(std::int64_t ppm) {
+  drift_ppm_ = ppm;
+  return *this;
+}
+
+ScenarioBuilder::NodeTweak& ScenarioBuilder::NodeTweak::behavior(BehaviorThunk make) {
+  behavior_ = std::move(make);
+  return *this;
+}
+
+ScenarioBuilder::NodeTweak& ScenarioBuilder::NodeTweak::payload(PayloadProvider provider) {
+  payload_ = std::move(provider);
+  return *this;
+}
+
+// ----------------------------------------------------------- ScenarioBuilder
+
+ScenarioBuilder& ScenarioBuilder::params(ProtocolParams params) {
+  params_ = params;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::pacemaker(std::string name) {
+  protocol_.pacemaker = std::move(name);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::core(std::string name) {
+  protocol_.core = std::move(name);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::gamma(Duration gamma) {
+  protocol_.gamma = gamma;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::lumiere(LumiereOptions options) {
+  protocol_.lumiere = options;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::fever(FeverOptions options) {
+  protocol_.fever = options;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::view_timeout(Duration timeout) {
+  protocol_.timeout.view_timeout = timeout;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::relay_timeout(Duration timeout) {
+  protocol_.timeout.relay_timeout = timeout;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::workload(PayloadProvider provider) {
+  workload_ = std::move(provider);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::behaviors(adversary::BehaviorFactory factory) {
+  behavior_for_ = std::move(factory);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::gst(TimePoint gst) {
+  gst_ = gst;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::delay(std::shared_ptr<sim::DelayPolicy> policy) {
+  delay_ = std::move(policy);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::join_stagger(Duration stagger) {
+  join_stagger_ = stagger;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::drift_ppm_max(std::int64_t max) {
+  drift_ppm_max_ = max;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::transport_sim() {
+  transport_ = TransportKind::kSim;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::transport_tcp(std::uint16_t base_port) {
+  transport_ = TransportKind::kTcp;
+  tcp_base_port_ = base_port;
+  return *this;
+}
+
+ScenarioBuilder::NodeTweak& ScenarioBuilder::node(ProcessId id) { return tweaks_[id]; }
+
+std::vector<std::string> ScenarioBuilder::validate() const {
+  std::vector<std::string> errors;
+  const auto& registry = ProtocolRegistry::instance();
+
+  if (params_.n != 3 * params_.f + 1) {
+    errors.push_back("params: n must equal 3f + 1 (n = " + std::to_string(params_.n) +
+                     ", f = " + std::to_string(params_.f) + ")");
+  }
+  if (params_.delta_cap <= Duration::zero()) {
+    errors.push_back("params: delta_cap (Delta) must be positive");
+  }
+  if (params_.x < 2) {
+    errors.push_back("params: view-completion constant x must be >= 2");
+  }
+  if (protocol_.gamma < Duration::zero()) {
+    errors.push_back("gamma must be non-negative (zero selects the protocol default)");
+  }
+  if (drift_ppm_max_ < 0) {
+    errors.push_back("drift_ppm_max must be non-negative");
+  }
+  if (join_stagger_ < Duration::zero()) {
+    errors.push_back("join_stagger must be non-negative");
+  }
+
+  auto check_names = [&](const std::string& where, const std::string& pm,
+                         const std::string& core) {
+    if (!registry.has_pacemaker(pm)) {
+      errors.push_back(where + ": " + registry.unknown_pacemaker_message(pm));
+    }
+    if (!registry.has_core(core)) {
+      errors.push_back(where + ": " + registry.unknown_core_message(core));
+    }
+  };
+  check_names("defaults", protocol_.pacemaker, protocol_.core);
+
+  for (const auto& [id, tweak] : tweaks_) {
+    const std::string where = "node " + std::to_string(id);
+    if (id >= params_.n) {
+      errors.push_back(where + ": override targets a node outside 0.." +
+                       std::to_string(params_.n - 1));
+      continue;
+    }
+    check_names(where, tweak.pacemaker_.value_or(protocol_.pacemaker),
+                tweak.core_.value_or(protocol_.core));
+    if (tweak.gamma_ && *tweak.gamma_ < Duration::zero()) {
+      errors.push_back(where + ": gamma must be non-negative");
+    }
+  }
+
+  if (transport_ == TransportKind::kTcp) {
+    if (tcp_base_port_ == 0) {
+      errors.push_back("tcp transport: transport_tcp(base_port) requires a non-zero port");
+    } else if (static_cast<std::uint32_t>(tcp_base_port_) + params_.n - 1 > 65535) {
+      errors.push_back("tcp transport: ports " + std::to_string(tcp_base_port_) + ".." +
+                       std::to_string(tcp_base_port_ + params_.n - 1) + " exceed 65535");
+    }
+    if (delay_ != nullptr) {
+      errors.push_back(
+          "tcp transport: delay policies are simulator-only (the real network cannot be "
+          "adversary-controlled); use transport_sim() for delay experiments");
+    }
+    if (gst_ != TimePoint::origin()) {
+      errors.push_back(
+          "tcp transport: GST is simulator-only (wall-clock runs have no synchrony switch); "
+          "use transport_sim() for partial-synchrony experiments");
+    }
+  }
+  return errors;
+}
+
+Scenario ScenarioBuilder::scenario() const {
+  const std::vector<std::string> errors = validate();
+  if (!errors.empty()) {
+    std::ostringstream out;
+    out << "invalid scenario (" << errors.size() << " error" << (errors.size() == 1 ? "" : "s")
+        << "):";
+    for (const auto& error : errors) out << "\n  - " << error;
+    throw std::invalid_argument(out.str());
+  }
+
+  Scenario scenario;
+  scenario.params = params_;
+  scenario.seed = seed_;
+  scenario.transport = transport_;
+  scenario.gst = gst_;
+  scenario.delay = delay_;
+  scenario.tcp_base_port = tcp_base_port_;
+
+  Rng join_rng(seed_ ^ 0x4a4f494eULL);
+  Rng drift_rng(seed_ ^ 0x44524946ULL);
+  scenario.nodes.reserve(params_.n);
+  for (ProcessId id = 0; id < params_.n; ++id) {
+    NodeSpec spec;
+    spec.protocol = protocol_;
+    spec.protocol.shared_seed = seed_;
+    spec.payload_provider = workload_;
+    // The random draws are consumed for every node, override or not, so
+    // an override on node k never shifts the other nodes' draws.
+    const TimePoint drawn_join = join_stagger_ > Duration::zero()
+                                     ? TimePoint(join_rng.next_in(0, join_stagger_.ticks()))
+                                     : TimePoint::origin();
+    const std::int64_t drawn_drift =
+        drift_ppm_max_ > 0 ? drift_rng.next_in(-drift_ppm_max_, drift_ppm_max_) : 0;
+    spec.join_time = drawn_join;
+    spec.clock_drift_ppm = drawn_drift;
+    if (behavior_for_) {
+      spec.behavior = [factory = behavior_for_, id] { return factory(id); };
+    } else {
+      spec.behavior = [] { return std::make_unique<adversary::HonestBehavior>(); };
+    }
+
+    const auto it = tweaks_.find(id);
+    if (it != tweaks_.end()) {
+      const NodeTweak& tweak = it->second;
+      if (tweak.pacemaker_) spec.protocol.pacemaker = *tweak.pacemaker_;
+      if (tweak.core_) spec.protocol.core = *tweak.core_;
+      if (tweak.gamma_) spec.protocol.gamma = *tweak.gamma_;
+      if (tweak.lumiere_) spec.protocol.lumiere = *tweak.lumiere_;
+      if (tweak.fever_) spec.protocol.fever = *tweak.fever_;
+      if (tweak.view_timeout_) spec.protocol.timeout.view_timeout = *tweak.view_timeout_;
+      if (tweak.join_time_) spec.join_time = *tweak.join_time_;
+      if (tweak.drift_ppm_) spec.clock_drift_ppm = *tweak.drift_ppm_;
+      if (tweak.behavior_) spec.behavior = tweak.behavior_;
+      if (tweak.payload_) spec.payload_provider = tweak.payload_;
+    }
+    scenario.nodes.push_back(std::move(spec));
+  }
+  return scenario;
+}
+
+std::unique_ptr<Cluster> ScenarioBuilder::build() const {
+  return std::make_unique<Cluster>(scenario());
+}
+
+}  // namespace lumiere::runtime

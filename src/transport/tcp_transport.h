@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -73,7 +74,9 @@ class TcpEndpoint {
   ReceiveFn on_receive_;
   int listen_fd_ = -1;
   std::map<ProcessId, Conn> outgoing_;  // keyed by destination
-  std::vector<Conn> incoming_;          // accepted connections
+  // deque, not vector: poll_once holds Conn* across an accept_pending()
+  // push_back, which must not invalidate references to existing elements.
+  std::deque<Conn> incoming_;           // accepted connections
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;
 };

@@ -71,17 +71,16 @@ TEST(BehaviorTest, FactoryAssignsByzantineSet) {
 TEST(BehaviorIntegrationTest, EpochStormCannotForceHeavySync) {
   // f Byzantine epoch-stormers alone cannot form a TC (f+1 signers), so
   // Lumiere's steady state stays quiet and live despite the storm.
-  runtime::ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10));
-  options.pacemaker = runtime::PacemakerKind::kLumiere;
-  options.seed = 23;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
+  runtime::ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(4, Duration::millis(10)))
+      .pacemaker("lumiere")
+      .seed(23)
+      .delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
   const core::EpochMath math_probe(4, Duration::millis(100));
-  options.behavior_for =
-      byzantine_set({0}, [&](ProcessId) -> std::unique_ptr<Behavior> {
-        return std::make_unique<EpochStormBehavior>(math_probe.views_per_epoch());
-      });
-  runtime::Cluster cluster(options);
+  builder.behaviors(byzantine_set({0}, [&](ProcessId) -> std::unique_ptr<Behavior> {
+    return std::make_unique<EpochStormBehavior>(math_probe.views_per_epoch());
+  }));
+  runtime::Cluster cluster(builder);
   cluster.run_for(Duration::seconds(40));
   EXPECT_GE(cluster.metrics().decisions().size(), 20U);
   // The storm is visible on the wire (Byzantine traffic is free for the

@@ -12,8 +12,7 @@ namespace lumiere::core {
 namespace {
 
 using runtime::Cluster;
-using runtime::ClusterOptions;
-using runtime::PacemakerKind;
+using runtime::ScenarioBuilder;
 
 TEST(BasicLumiereTest, EpochLayout) {
   testutil::PacemakerHarness harness(7);  // f = 2 -> epochs of 2(f+1) = 6 views
@@ -59,11 +58,11 @@ TEST(BasicLumiereTest, EcAggregatorBroadcastsCert) {
 }
 
 TEST(BasicLumiereTest, EveryEpochPaysHeavySync) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kBasicLumiere;
-  options.seed = 81;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::micros(500));
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(4, Duration::millis(10)));
+  options.pacemaker("basic-lumiere");
+  options.seed(81);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::micros(500)));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(20));
   const auto& pm =
@@ -79,11 +78,11 @@ TEST(BasicLumiereTest, EveryEpochPaysHeavySync) {
 }
 
 TEST(BasicLumiereTest, ResponsiveWithinEpochs) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kBasicLumiere;
-  options.seed = 82;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::micros(300));
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(4, Duration::millis(10)));
+  options.pacemaker("basic-lumiere");
+  options.seed(82);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::micros(300)));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(10));
   const auto& decisions = cluster.metrics().decisions();

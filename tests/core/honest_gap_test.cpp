@@ -34,22 +34,23 @@ TEST_P(GapSweep, SteadyStateGapBoundedUnderFaults) {
   // completes the (f+1)-st honest gap should settle at <= Gamma + Delta
   // (Lemma 5.15's consequence hg <= Gamma + Delta at epoch starts, and
   // Lemma 5.9 within epochs).
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(7, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.seed = GetParam();
-  options.delay = std::make_shared<sim::UniformDelay>(Duration::micros(100),
-                                                      Duration::millis(4));
-  options.behavior_for = adversary::byzantine_set(
-      {0, 1}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  const ProtocolParams params = ProtocolParams::for_n(7, Duration::millis(10));
+  ScenarioBuilder options;
+  options.params(params);
+  options.pacemaker("lumiere");
+  options.seed(GetParam());
+  options.delay(std::make_shared<sim::UniformDelay>(Duration::micros(100),
+                                                      Duration::millis(4)));
+  options.behaviors(adversary::byzantine_set(
+      {0, 1}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); }));
   Cluster cluster(options);
   cluster.start();
 
   const auto& pm =
       static_cast<const core::LumierePacemaker&>(cluster.node(2).pacemaker());
   const Duration gamma = pm.gamma();
-  const Duration bound = gamma + options.params.delta_cap;
-  const std::uint32_t k = options.params.f + 1;
+  const Duration bound = gamma + params.delta_cap;
+  const std::uint32_t k = params.f + 1;
   const auto tracker = cluster.honest_gap_tracker();
 
   // Warm up past the bootstrap epoch sync.
@@ -70,24 +71,26 @@ TEST(HonestGapTest, QcProductionShrinksLargeGap) {
   // Section 3.5 claim (b): honest-leader QCs after GST shrink the
   // (f+1)-st honest gap when it is large. Start desynchronized (staggered
   // joins), then watch the gap fall below Gamma and stay there.
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.seed = 17;
-  options.join_stagger = Duration::millis(700);
-  options.gst = TimePoint(Duration::millis(800).ticks());
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
+  const ProtocolParams params = ProtocolParams::for_n(4, Duration::millis(10));
+  const TimePoint gst(Duration::millis(800).ticks());
+  ScenarioBuilder options;
+  options.params(params);
+  options.pacemaker("lumiere");
+  options.seed(17);
+  options.join_stagger(Duration::millis(700));
+  options.gst(gst);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
   Cluster cluster(options);
   cluster.start();
 
   const auto& pm = static_cast<const core::LumierePacemaker&>(cluster.node(0).pacemaker());
   const Duration gamma = pm.gamma();
   const auto tracker = cluster.honest_gap_tracker();
-  const std::uint32_t k = options.params.f + 1;
+  const std::uint32_t k = params.f + 1;
 
-  cluster.run_until(options.gst + Duration::seconds(30));
+  cluster.run_until(gst + Duration::seconds(30));
   // By now synchronization must have brought the gap under Gamma + Delta.
-  EXPECT_LE(tracker.gap(k), gamma + options.params.delta_cap);
+  EXPECT_LE(tracker.gap(k), gamma + params.delta_cap);
   EXPECT_GE(cluster.metrics().decisions().size(), 10U);
 }
 

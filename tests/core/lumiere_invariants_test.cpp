@@ -23,17 +23,17 @@ class LumiereInvariantSweep : public ::testing::TestWithParam<SweepCase> {};
 
 TEST_P(LumiereInvariantSweep, Section5LemmasHoldEventwise) {
   const SweepCase c = GetParam();
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(c.n, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.seed = c.seed;
-  options.delay = std::make_shared<sim::UniformDelay>(Duration::micros(200),
-                                                      Duration::millis(5));
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(c.n, Duration::millis(10)));
+  options.pacemaker("lumiere");
+  options.seed(c.seed);
+  options.delay(std::make_shared<sim::UniformDelay>(Duration::micros(200),
+                                                      Duration::millis(5)));
   if (c.byzantine > 0) {
     std::vector<ProcessId> byz;
     for (ProcessId id = 0; id < c.byzantine; ++id) byz.push_back(id);
-    options.behavior_for = adversary::byzantine_set(
-        byz, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+    options.behaviors(adversary::byzantine_set(
+        byz, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); }));
   }
   Cluster cluster(options);
   cluster.start();
@@ -95,11 +95,12 @@ TEST(LumiereInvariantTest, Lemma54EpochEntryRequiresPredecessors) {
   // honest processors entered epoch e-1 before it. We check the global
   // consequence: the maximum honest epoch never exceeds the count of
   // honest processors in the previous epoch's reach.
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.seed = 11;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
+  const ProtocolParams params = ProtocolParams::for_n(4, Duration::millis(10));
+  ScenarioBuilder options;
+  options.params(params);
+  options.pacemaker("lumiere");
+  options.seed(11);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
   Cluster cluster(options);
   cluster.start();
   const TimePoint deadline = TimePoint::origin() + Duration::seconds(20);
@@ -116,7 +117,7 @@ TEST(LumiereInvariantTest, Lemma54EpochEntryRequiresPredecessors) {
       for (const ProcessId id : cluster.honest_ids()) {
         if (lumiere_of(cluster, id).current_epoch() >= hi - 1) ++at_or_above_prev;
       }
-      ASSERT_GE(at_or_above_prev, options.params.small_quorum())
+      ASSERT_GE(at_or_above_prev, params.small_quorum())
           << "epoch " << hi << " entered without f+1 predecessors in " << hi - 1;
     }
   }

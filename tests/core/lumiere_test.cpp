@@ -10,12 +10,12 @@
 namespace lumiere::runtime {
 namespace {
 
-ClusterOptions lumiere_options(std::uint32_t n, Duration delta_actual) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(n, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.delay = std::make_shared<sim::FixedDelay>(delta_actual);
-  options.seed = 31;
+ScenarioBuilder lumiere_options(std::uint32_t n, Duration delta_actual) {
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(n, Duration::millis(10)));
+  options.pacemaker("lumiere");
+  options.delay(std::make_shared<sim::FixedDelay>(delta_actual));
+  options.seed(31);
   return options;
 }
 
@@ -49,7 +49,7 @@ TEST(LumiereTest, DecisionsFlowAndViewsAdvance) {
 TEST(LumiereTest, SuccessCriterionSilencesEpochSync) {
   // After the first successful epoch, no honest processor should send
   // epoch-view messages again (Lemma 5.15 (2)).
-  ClusterOptions options = lumiere_options(4, Duration::millis(1));
+  ScenarioBuilder options = lumiere_options(4, Duration::millis(1));
   Cluster cluster(options);
   const auto& math = lumiere_of(cluster, 0).math();
   // Run long enough to cross several epoch boundaries. Epoch 0 has 40
@@ -82,16 +82,16 @@ TEST(LumiereTest, QcDeadlineEnforced) {
   // With the deadline on, every QC is produced within Gamma/2 - 2 Delta
   // of its anchor; we verify indirectly: decisions still flow (the
   // deadline must not strangle liveness on a healthy network).
-  ClusterOptions options = lumiere_options(4, Duration::millis(1));
-  options.lumiere_enforce_qc_deadline = true;
+  ScenarioBuilder options = lumiere_options(4, Duration::millis(1));
+  options.lumiere(runtime::LumiereOptions{/*enforce_qc_deadline=*/true, /*delta_wait=*/true});
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(10));
   EXPECT_GE(cluster.metrics().decisions().size(), 15U);
 }
 
 TEST(LumiereTest, AblationWithoutDeadlineStillLive) {
-  ClusterOptions options = lumiere_options(4, Duration::millis(1));
-  options.lumiere_enforce_qc_deadline = false;
+  ScenarioBuilder options = lumiere_options(4, Duration::millis(1));
+  options.lumiere(runtime::LumiereOptions{/*enforce_qc_deadline=*/false, /*delta_wait=*/true});
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(10));
   EXPECT_GE(cluster.metrics().decisions().size(), 15U);
@@ -101,23 +101,24 @@ TEST(LumiereTest, StaggeredJoinsStillSynchronize) {
   // Processors join with lc = 0 at arbitrary times before GST
   // (Section 2). GST strikes after the last join; Lumiere must reach
   // infinitely many decisions after GST.
-  ClusterOptions options = lumiere_options(4, Duration::millis(2));
-  options.join_stagger = Duration::millis(500);
-  options.gst = TimePoint(Duration::millis(600).ticks());
+  ScenarioBuilder options = lumiere_options(4, Duration::millis(2));
+  const TimePoint gst(Duration::millis(600).ticks());
+  options.join_stagger(Duration::millis(500));
+  options.gst(gst);
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(60));
-  const auto first = cluster.metrics().latency_to_first_decision(options.gst);
+  const auto first = cluster.metrics().latency_to_first_decision(gst);
   ASSERT_TRUE(first.has_value()) << "no decision after GST";
   EXPECT_GE(cluster.metrics().decisions().size(), 20U);
 }
 
 TEST(LumiereTest, SurvivesPreGstChaos) {
-  ClusterOptions options = lumiere_options(7, Duration::millis(1));
+  ScenarioBuilder options = lumiere_options(7, Duration::millis(1));
   const TimePoint gst(Duration::seconds(1).ticks());
-  options.gst = gst;
-  options.join_stagger = Duration::millis(300);
-  options.delay = std::make_shared<sim::PreGstChaosDelay>(
-      gst, Duration::micros(500), Duration::millis(2), Duration::seconds(2));
+  options.gst(gst);
+  options.join_stagger(Duration::millis(300));
+  options.delay(std::make_shared<sim::PreGstChaosDelay>(
+      gst, Duration::micros(500), Duration::millis(2), Duration::seconds(2)));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(90));
   const auto first = cluster.metrics().latency_to_first_decision(gst);

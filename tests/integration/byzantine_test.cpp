@@ -8,12 +8,12 @@
 namespace lumiere::runtime {
 namespace {
 
-ClusterOptions base_options(PacemakerKind kind, std::uint32_t n, std::uint64_t seed) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(n, Duration::millis(10));
-  options.pacemaker = kind;
-  options.seed = seed;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
+ScenarioBuilder base_options(std::string kind, std::uint32_t n, std::uint64_t seed) {
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(n, Duration::millis(10)));
+  options.pacemaker(kind);
+  options.seed(seed);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
   return options;
 }
 
@@ -24,7 +24,7 @@ std::vector<ProcessId> first_f(std::uint32_t f) {
 }
 
 struct ByzCase {
-  PacemakerKind kind;
+  std::string kind;
   const char* flavor;
 };
 
@@ -33,9 +33,9 @@ class FullBudgetByzantine : public ::testing::TestWithParam<ByzCase> {};
 TEST_P(FullBudgetByzantine, LiveWithFFaults) {
   const ByzCase c = GetParam();
   const std::uint32_t n = 7;  // f = 2
-  ClusterOptions options = base_options(c.kind, n, 41);
+  ScenarioBuilder options = base_options(c.kind, n, 41);
   const std::string flavor = c.flavor;
-  options.behavior_for = adversary::byzantine_set(
+  options.behaviors(adversary::byzantine_set(
       first_f(2), [flavor](ProcessId) -> std::unique_ptr<adversary::Behavior> {
         if (flavor == "mute") return std::make_unique<adversary::MuteBehavior>();
         if (flavor == "silent-leader")
@@ -44,29 +44,29 @@ TEST_P(FullBudgetByzantine, LiveWithFFaults) {
           return std::make_unique<adversary::CrashBehavior>(
               TimePoint(Duration::seconds(2).ticks()));
         return std::make_unique<adversary::QcWithholderBehavior>();
-      });
+      }));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(120));
   EXPECT_GE(cluster.metrics().decisions().size(), 8U)
-      << to_string(c.kind) << " with " << c.flavor << " faults stalled";
+      << c.kind << " with " << c.flavor << " faults stalled";
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Matrix, FullBudgetByzantine,
-    ::testing::Values(ByzCase{PacemakerKind::kLumiere, "mute"},
-                      ByzCase{PacemakerKind::kLumiere, "silent-leader"},
-                      ByzCase{PacemakerKind::kLumiere, "crash"},
-                      ByzCase{PacemakerKind::kLumiere, "qc-withhold"},
-                      ByzCase{PacemakerKind::kBasicLumiere, "mute"},
-                      ByzCase{PacemakerKind::kBasicLumiere, "silent-leader"},
-                      ByzCase{PacemakerKind::kLp22, "mute"},
-                      ByzCase{PacemakerKind::kLp22, "silent-leader"},
-                      ByzCase{PacemakerKind::kFever, "silent-leader"},
-                      ByzCase{PacemakerKind::kCogsworth, "silent-leader"},
-                      ByzCase{PacemakerKind::kNaorKeidar, "silent-leader"},
-                      ByzCase{PacemakerKind::kRoundRobin, "mute"}),
+    ::testing::Values(ByzCase{"lumiere", "mute"},
+                      ByzCase{"lumiere", "silent-leader"},
+                      ByzCase{"lumiere", "crash"},
+                      ByzCase{"lumiere", "qc-withhold"},
+                      ByzCase{"basic-lumiere", "mute"},
+                      ByzCase{"basic-lumiere", "silent-leader"},
+                      ByzCase{"lp22", "mute"},
+                      ByzCase{"lp22", "silent-leader"},
+                      ByzCase{"fever", "silent-leader"},
+                      ByzCase{"cogsworth", "silent-leader"},
+                      ByzCase{"nk20", "silent-leader"},
+                      ByzCase{"round-robin", "mute"}),
     [](const ::testing::TestParamInfo<ByzCase>& info) {
-      std::string name = std::string(to_string(info.param.kind)) + "_" + info.param.flavor;
+      std::string name = info.param.kind + "_" + info.param.flavor;
       for (auto& ch : name) {
         if (ch == '-') ch = '_';
       }
@@ -81,11 +81,11 @@ TEST(ByzantineEdge, LumiereSilentLeaderDelayIsOfFaGammaNotN) {
   // permutation placement — and crucially *independent of n*.
   const std::uint32_t f_a = 2;
   auto worst_gap = [&](std::uint32_t n, std::uint64_t seed) {
-    ClusterOptions options = base_options(PacemakerKind::kLumiere, n, seed);
-    options.delay = std::make_shared<sim::FixedDelay>(Duration::micros(500));
-    options.behavior_for = adversary::byzantine_set(first_f(f_a), [](ProcessId) {
+    ScenarioBuilder options = base_options("lumiere", n, seed);
+    options.delay(std::make_shared<sim::FixedDelay>(Duration::micros(500)));
+    options.behaviors(adversary::byzantine_set(first_f(f_a), [](ProcessId) {
       return std::make_unique<adversary::SilentLeaderBehavior>();
-    });
+    }));
     Cluster cluster(options);
     cluster.run_for(Duration::seconds(120));
     const auto gap = cluster.metrics().max_decision_gap(TimePoint::origin(), /*warmup=*/40);

@@ -23,20 +23,20 @@ class DriftLiveness : public ::testing::TestWithParam<DriftCase> {};
 TEST_P(DriftLiveness, LumiereDecidesDespiteDrift) {
   const DriftCase c = GetParam();
   const TimePoint gst(Duration::millis(500).ticks());
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(7, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.gst = gst;
-  options.seed = 55;
-  options.join_stagger = Duration::millis(200);
-  options.drift_ppm_max = c.ppm_max;
-  options.delay = std::make_shared<sim::PreGstChaosDelay>(
-      gst, Duration::micros(500), Duration::millis(3), Duration::seconds(2));
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(7, Duration::millis(10)));
+  options.pacemaker("lumiere");
+  options.gst(gst);
+  options.seed(55);
+  options.join_stagger(Duration::millis(200));
+  options.drift_ppm_max(c.ppm_max);
+  options.delay(std::make_shared<sim::PreGstChaosDelay>(
+      gst, Duration::micros(500), Duration::millis(3), Duration::seconds(2)));
   if (c.f_a > 0) {
     std::vector<ProcessId> byz;
     for (ProcessId id = 0; id < c.f_a; ++id) byz.push_back(id);
-    options.behavior_for = adversary::byzantine_set(
-        byz, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+    options.behaviors(adversary::byzantine_set(
+        byz, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); }));
   }
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(90));
@@ -60,20 +60,21 @@ INSTANTIATE_TEST_SUITE_P(Rates, DriftLiveness,
 TEST(ClockDriftTest, SteadyStateHonestGapStaysBoundedUnderDrift) {
   // Lemma 5.9's conclusion (hg_{f+1} <= Gamma once synchronized) gains a
   // drift term; with 1% skews it must still sit far below 2*Gamma.
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(7, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.seed = 56;
-  options.drift_ppm_max = 10'000;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::micros(500));
+  const ProtocolParams params = ProtocolParams::for_n(7, Duration::millis(10));
+  ScenarioBuilder options;
+  options.params(params);
+  options.pacemaker("lumiere");
+  options.seed(56);
+  options.drift_ppm_max(10'000);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::micros(500)));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(5));  // well past warmup
 
-  const Duration gamma = options.params.delta_cap * 2 * (options.params.x + 2);
+  const Duration gamma = params.delta_cap * 2 * (params.x + 2);
   const auto tracker = cluster.honest_gap_tracker();
   for (int sample = 0; sample < 40; ++sample) {
     cluster.run_for(Duration::millis(250));
-    EXPECT_LE(tracker.gap(options.params.f + 1), gamma * 2)
+    EXPECT_LE(tracker.gap(params.f + 1), gamma * 2)
         << "honest gap exploded at sample " << sample;
   }
 }
@@ -81,12 +82,12 @@ TEST(ClockDriftTest, SteadyStateHonestGapStaysBoundedUnderDrift) {
 TEST(ClockDriftTest, HeavySyncStillQuiescesUnderDrift) {
   // The steady-state mechanism (Section 3.5) must keep working: after
   // warmup, drifted clocks do not reintroduce heavy epoch changes.
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(7, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.seed = 57;
-  options.drift_ppm_max = 5'000;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::micros(500));
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(7, Duration::millis(10)));
+  options.pacemaker("lumiere");
+  options.seed(57);
+  options.drift_ppm_max(5'000);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::micros(500)));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(20));
   const auto heavy_after_warmup = cluster.metrics().count_for_type(pacemaker::kEpochViewMsg);
@@ -96,11 +97,11 @@ TEST(ClockDriftTest, HeavySyncStillQuiescesUnderDrift) {
 }
 
 TEST(ClockDriftTest, DriftAssignmentIsDeterministicBySeed) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.seed = 58;
-  options.drift_ppm_max = 1'000;
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(4, Duration::millis(10)));
+  options.pacemaker("lumiere");
+  options.seed(58);
+  options.drift_ppm_max(1'000);
   Cluster a(options);
   Cluster b(options);
   for (ProcessId id = 0; id < 4; ++id) {

@@ -13,20 +13,20 @@
 namespace lumiere::runtime {
 namespace {
 
-Duration worst_steady_gap(PacemakerKind kind, std::uint32_t n, std::uint64_t seed) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(n, Duration::millis(10));
-  options.pacemaker = kind;
-  options.seed = seed;
+Duration worst_steady_gap(std::string kind, std::uint32_t n, std::uint64_t seed) {
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(n, Duration::millis(10)));
+  options.pacemaker(kind);
+  options.seed(seed);
   // delta << Delta: QCs race ahead of clocks.
-  options.delay = std::make_shared<adversary::UniformFastDelay>(Duration::micros(200));
+  options.delay(std::make_shared<adversary::UniformFastDelay>(Duration::micros(200)));
   // One silent-leader Byzantine process.
-  options.behavior_for = adversary::byzantine_set(
-      {3}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  options.behaviors(adversary::byzantine_set(
+      {3}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); }));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(60));
   const auto gap = cluster.metrics().max_decision_gap(TimePoint::origin(), /*warmup=*/10);
-  EXPECT_TRUE(gap.has_value()) << to_string(kind) << " n=" << n
+  EXPECT_TRUE(gap.has_value()) << kind << " n=" << n
                                << " produced too few decisions";
   return gap.value_or(Duration::zero());
 }
@@ -34,8 +34,8 @@ Duration worst_steady_gap(PacemakerKind kind, std::uint32_t n, std::uint64_t see
 TEST(Figure1Test, Lp22DeadTimeGrowsLinearlyWithN) {
   // Gamma_LP22 = (x+1) Delta = 40ms; the dead window after the failure is
   // ~(position+1) * Gamma, maximized at the epoch's last view: (f+1)*Gamma.
-  const Duration small = worst_steady_gap(PacemakerKind::kLp22, 4, 71);   // f+1 = 2
-  const Duration large = worst_steady_gap(PacemakerKind::kLp22, 31, 71);  // f+1 = 11
+  const Duration small = worst_steady_gap("lp22", 4, 71);   // f+1 = 2
+  const Duration large = worst_steady_gap("lp22", 31, 71);  // f+1 = 11
   // ~80ms vs ~440ms: assert clear growth.
   EXPECT_GE(large, small * 3) << "LP22's single-fault stall must grow with n "
                               << "(small=" << small << ", large=" << large << ")";
@@ -47,16 +47,16 @@ TEST(Figure1Test, LumiereDeadTimeBoundedInN) {
   // worst contiguous run is two adjacent pairs (segment bridge) = 4 views
   // = 4 * Gamma = 400ms, for every n.
   const Duration bound = Duration::millis(100) * 4 + Duration::millis(20);
-  const Duration small = worst_steady_gap(PacemakerKind::kLumiere, 4, 71);
-  const Duration large = worst_steady_gap(PacemakerKind::kLumiere, 31, 71);
+  const Duration small = worst_steady_gap("lumiere", 4, 71);
+  const Duration large = worst_steady_gap("lumiere", 31, 71);
   EXPECT_LE(small, bound);
   EXPECT_LE(large, bound) << "Lumiere's stall must not grow with n";
 }
 
 TEST(Figure1Test, AtScaleLumiereBeatsLp22) {
   // The paper's headline comparison at a size where the asymptotics bite.
-  const Duration lp22 = worst_steady_gap(PacemakerKind::kLp22, 31, 72);
-  const Duration lumiere = worst_steady_gap(PacemakerKind::kLumiere, 31, 72);
+  const Duration lp22 = worst_steady_gap("lp22", 31, 72);
+  const Duration lumiere = worst_steady_gap("lumiere", 31, 72);
   EXPECT_LT(lumiere, lp22)
       << "one Byzantine leader must hurt LP22 more than Lumiere at n=31";
 }

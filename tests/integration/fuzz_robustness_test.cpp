@@ -138,13 +138,13 @@ TEST(FuzzTest, ClusterSurvivesByzantineSpam) {
     [[nodiscard]] const char* name() const override { return "spam"; }
   };
 
-  runtime::ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10));
-  options.pacemaker = runtime::PacemakerKind::kLumiere;
-  options.seed = 303;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
-  options.behavior_for = adversary::byzantine_set(
-      {3}, [](ProcessId) { return std::make_unique<SpamBehavior>(); });
+  runtime::ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(4, Duration::millis(10)));
+  options.pacemaker("lumiere");
+  options.seed(303);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  options.behaviors(adversary::byzantine_set(
+      {3}, [](ProcessId) { return std::make_unique<SpamBehavior>(); }));
   runtime::Cluster cluster(options);
   cluster.run_for(Duration::seconds(30));
   EXPECT_GE(cluster.metrics().decisions().size(), 20U) << "spam must not stall the cluster";

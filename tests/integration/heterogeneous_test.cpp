@@ -1,0 +1,113 @@
+// Heterogeneous clusters — the deployment shapes ScenarioBuilder's
+// per-node overrides exist for. A node running a *different* view
+// synchronizer is, from the majority protocol's perspective, at worst
+// Byzantine: as long as deviants stay within the f budget, the majority's
+// honest nodes must keep synchronizing and deciding. (A full 50/50 split
+// of two incompatible synchronizers is NOT expected to work — that would
+// contradict the f-resilience bound, not confirm the harness.)
+#include <gtest/gtest.h>
+
+#include "adversary/behaviors.h"
+#include "runtime/cluster.h"
+
+namespace lumiere::runtime {
+namespace {
+
+TEST(HeterogeneousClusterTest, LumiereMajorityToleratesRoundRobinMinority) {
+  // n = 7, f = 2: five nodes run Lumiere, two run round-robin. The five
+  // Lumiere nodes are exactly a 2f+1 quorum and must stay synchronized.
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(7, Duration::millis(10)))
+      .pacemaker("lumiere")
+      .seed(301)
+      .delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  builder.node(5).pacemaker("round-robin");
+  builder.node(6).pacemaker("round-robin");
+  Cluster cluster(builder);
+  cluster.run_for(Duration::seconds(40));
+
+  View lumiere_min = std::numeric_limits<View>::max();
+  View lumiere_max = -1;
+  for (ProcessId id = 0; id < 5; ++id) {
+    lumiere_min = std::min(lumiere_min, cluster.node(id).current_view());
+    lumiere_max = std::max(lumiere_max, cluster.node(id).current_view());
+  }
+  EXPECT_GT(lumiere_min, 20) << "Lumiere quorum stalled against the round-robin minority";
+  // Synchronized: the Lumiere nodes stay within a couple of view pairs of
+  // each other (Gamma-bounded skew, not drift-apart).
+  EXPECT_LE(lumiere_max - lumiere_min, 8) << "Lumiere nodes drifted apart";
+  EXPECT_GE(cluster.metrics().decisions().size(), 10U);
+  // The per-node override is visible on the node itself.
+  EXPECT_EQ(cluster.node(6).protocol().pacemaker, "round-robin");
+  EXPECT_STREQ(cluster.node(6).pacemaker().name(), "round-robin");
+  EXPECT_EQ(cluster.node(0).protocol().pacemaker, "lumiere");
+}
+
+TEST(HeterogeneousClusterTest, MixedPacemakersPlusByzantineWithinBudget) {
+  // Heterogeneity composes with real faults: one fever deviant plus one
+  // mute Byzantine node still leaves 2f+1 = 5 Lumiere-honest processors.
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(7, Duration::millis(10)))
+      .pacemaker("lumiere")
+      .seed(302)
+      .delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  builder.node(5).pacemaker("fever");
+  builder.node(6).behavior([] { return std::make_unique<adversary::MuteBehavior>(); });
+  Cluster cluster(builder);
+  cluster.run_for(Duration::seconds(40));
+
+  View lumiere_min = std::numeric_limits<View>::max();
+  for (ProcessId id = 0; id < 5; ++id) {
+    lumiere_min = std::min(lumiere_min, cluster.node(id).current_view());
+  }
+  EXPECT_GT(lumiere_min, 20) << "mixed deviance within f stalled the quorum";
+  EXPECT_GE(cluster.metrics().decisions().size(), 10U);
+  EXPECT_TRUE(cluster.node(6).is_byzantine());
+  EXPECT_FALSE(cluster.node(5).is_byzantine()) << "protocol deviants are not flagged Byzantine";
+}
+
+TEST(HeterogeneousClusterTest, PerNodeDriftAndJoinOverrides) {
+  // Local conditions vary per node: one late joiner, one fast clock, one
+  // slow clock. Lumiere absorbs all three (clock bumps re-anchor drift,
+  // the pre-join inbox catches up the straggler).
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(4, Duration::millis(10)))
+      .pacemaker("lumiere")
+      .seed(303)
+      .gst(TimePoint(Duration::millis(500).ticks()))
+      .delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  builder.node(1).join_time(TimePoint(Duration::millis(400).ticks()));
+  builder.node(2).drift_ppm(20'000);
+  builder.node(3).drift_ppm(-20'000);
+  Cluster cluster(builder);
+  cluster.run_for(Duration::seconds(30));
+  EXPECT_GT(cluster.min_honest_view(), 20);
+  EXPECT_GE(cluster.metrics().decisions().size(), 10U);
+  EXPECT_EQ(cluster.node(2).local_clock().drift_ppm(), 20'000);
+  EXPECT_EQ(cluster.node(3).local_clock().drift_ppm(), -20'000);
+}
+
+TEST(HeterogeneousClusterTest, PerNodePayloadProviderFeedsOnlyThatProposer) {
+  // Per-node workload override: only node 0 proposes non-empty payloads.
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4))
+      .pacemaker("lumiere")
+      .core("chained-hotstuff")
+      .seed(304)
+      .delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  builder.node(0).payload([](View) { return std::vector<std::uint8_t>{1, 2, 3}; });
+  Cluster cluster(builder);
+  cluster.run_for(Duration::seconds(20));
+  const auto& entries = cluster.node(1).ledger().entries();
+  ASSERT_FALSE(entries.empty());
+  bool saw_payload = false;
+  bool saw_empty = false;
+  for (const auto& entry : entries) {
+    (entry.payload.empty() ? saw_empty : saw_payload) = true;
+  }
+  EXPECT_TRUE(saw_payload) << "node 0's payloads never committed";
+  EXPECT_TRUE(saw_empty) << "other proposers should commit empty blocks";
+}
+
+}  // namespace
+}  // namespace lumiere::runtime

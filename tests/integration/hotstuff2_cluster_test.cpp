@@ -25,14 +25,14 @@ crypto::Digest replay_all(const consensus::Ledger& ledger, std::size_t prefix) {
 }
 
 TEST(HotStuff2ClusterTest, ReplicasConvergeUnderLumiere) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4);
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.core = CoreKind::kHotStuff2;
-  options.seed = 77;
-  options.delay = std::make_shared<sim::UniformDelay>(Duration::micros(200),
-                                                      Duration::millis(3));
-  options.workload = tagged_workload();
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4));
+  options.pacemaker("lumiere");
+  options.core("hotstuff-2");
+  options.seed(77);
+  options.delay(std::make_shared<sim::UniformDelay>(Duration::micros(200),
+                                                      Duration::millis(3)));
+  options.workload(tagged_workload());
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(20));
 
@@ -50,15 +50,15 @@ TEST(HotStuff2ClusterTest, ReplicasConvergeUnderLumiere) {
 }
 
 TEST(HotStuff2ClusterTest, SurvivesByzantineSilentLeaders) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(7, Duration::millis(10), /*x=*/4);
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.core = CoreKind::kHotStuff2;
-  options.seed = 78;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
-  options.workload = tagged_workload();
-  options.behavior_for = adversary::byzantine_set(
-      {0, 1}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(7, Duration::millis(10), /*x=*/4));
+  options.pacemaker("lumiere");
+  options.core("hotstuff-2");
+  options.seed(78);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  options.workload(tagged_workload());
+  options.behaviors(adversary::byzantine_set(
+      {0, 1}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); }));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(60));
 
@@ -76,54 +76,54 @@ TEST(HotStuff2ClusterTest, CommitFrontierLeadsThreePhaseCore) {
   // Identical runs except for the core: the two-phase rule commits each
   // block one QC earlier, so over the same wall-clock window the HS2
   // ledger's committed frontier is ahead (and never behind).
-  auto run = [](CoreKind core) {
-    ClusterOptions options;
-    options.params = ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4);
-    options.pacemaker = PacemakerKind::kLumiere;
-    options.core = core;
-    options.seed = 79;
-    options.delay = std::make_shared<sim::FixedDelay>(Duration::micros(500));
-    options.workload = tagged_workload();
+  auto run = [](std::string core) {
+    ScenarioBuilder options;
+    options.params(ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4));
+    options.pacemaker("lumiere");
+    options.core(core);
+    options.seed(79);
+    options.delay(std::make_shared<sim::FixedDelay>(Duration::micros(500)));
+    options.workload(tagged_workload());
     auto cluster = std::make_unique<Cluster>(std::move(options));
     cluster->run_for(Duration::seconds(15));
     const auto& entries = cluster->node(0).ledger().entries();
     return entries.empty() ? View{-1} : entries.back().view;
   };
-  const View hs2_frontier = run(CoreKind::kHotStuff2);
-  const View hs3_frontier = run(CoreKind::kChainedHotStuff);
+  const View hs2_frontier = run("hotstuff-2");
+  const View hs3_frontier = run("chained-hotstuff");
   EXPECT_GT(hs2_frontier, 0);
   EXPECT_GE(hs2_frontier, hs3_frontier);
 }
 
 /// HotStuff-2 must stay live under every pacemaker, exactly like the
 /// 3-phase core (the pacemaker-core interface is core-agnostic).
-class Hs2AcrossPacemakers : public ::testing::TestWithParam<PacemakerKind> {};
+class Hs2AcrossPacemakers : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(Hs2AcrossPacemakers, CommitsUnderEveryPacemaker) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4);
-  options.pacemaker = GetParam();
-  options.core = CoreKind::kHotStuff2;
-  options.seed = 80;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
-  options.workload = tagged_workload();
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4));
+  options.pacemaker(GetParam());
+  options.core("hotstuff-2");
+  options.seed(80);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  options.workload(tagged_workload());
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(45));
   std::size_t shortest = SIZE_MAX;
   for (const ProcessId id : cluster.honest_ids()) {
     shortest = std::min(shortest, cluster.node(id).ledger().size());
   }
-  EXPECT_GE(shortest, 5U) << to_string(GetParam()) << " stalled HotStuff-2";
+  EXPECT_GE(shortest, 5U) << GetParam() << " stalled HotStuff-2";
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Protocols, Hs2AcrossPacemakers,
-    ::testing::Values(PacemakerKind::kRoundRobin, PacemakerKind::kCogsworth,
-                      PacemakerKind::kNaorKeidar, PacemakerKind::kRareSync,
-                      PacemakerKind::kLp22, PacemakerKind::kFever,
-                      PacemakerKind::kBasicLumiere, PacemakerKind::kLumiere),
-    [](const ::testing::TestParamInfo<PacemakerKind>& info) {
-      std::string name = to_string(info.param);
+    ::testing::Values("round-robin", "cogsworth",
+                      "nk20", "raresync",
+                      "lp22", "fever",
+                      "basic-lumiere", "lumiere"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
       for (auto& ch : name) {
         if (ch == '-') ch = '_';
       }

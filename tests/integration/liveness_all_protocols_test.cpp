@@ -11,7 +11,7 @@ namespace lumiere::runtime {
 namespace {
 
 struct HardCase {
-  PacemakerKind kind;
+  std::string kind;
   bool stagger_joins;
 };
 
@@ -20,35 +20,35 @@ class HardLiveness : public ::testing::TestWithParam<HardCase> {};
 TEST_P(HardLiveness, DecisionsAfterLateGst) {
   const HardCase c = GetParam();
   const TimePoint gst(Duration::seconds(1).ticks());
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10));
-  options.pacemaker = c.kind;
-  options.gst = gst;
-  options.seed = 29;
-  options.join_stagger = c.stagger_joins ? Duration::millis(400) : Duration::zero();
-  options.delay = std::make_shared<sim::PreGstChaosDelay>(
-      gst, Duration::micros(500), Duration::millis(3), Duration::seconds(3));
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(4, Duration::millis(10)));
+  options.pacemaker(c.kind);
+  options.gst(gst);
+  options.seed(29);
+  options.join_stagger(c.stagger_joins ? Duration::millis(400) : Duration::zero());
+  options.delay(std::make_shared<sim::PreGstChaosDelay>(
+      gst, Duration::micros(500), Duration::millis(3), Duration::seconds(3)));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(120));
 
   const auto first = cluster.metrics().latency_to_first_decision(gst);
-  ASSERT_TRUE(first.has_value()) << to_string(c.kind) << ": no decision after GST";
+  ASSERT_TRUE(first.has_value()) << c.kind << ": no decision after GST";
   const std::size_t after =
       cluster.metrics().decisions().size() - cluster.metrics().first_decision_index_after(gst);
-  EXPECT_GE(after, 10U) << to_string(c.kind) << ": too few decisions after GST";
+  EXPECT_GE(after, 10U) << c.kind << ": too few decisions after GST";
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Protocols, HardLiveness,
-    ::testing::Values(HardCase{PacemakerKind::kRoundRobin, true},
-                      HardCase{PacemakerKind::kCogsworth, true},
-                      HardCase{PacemakerKind::kNaorKeidar, true},
-                      HardCase{PacemakerKind::kLp22, true},
-                      HardCase{PacemakerKind::kFever, false},
-                      HardCase{PacemakerKind::kBasicLumiere, true},
-                      HardCase{PacemakerKind::kLumiere, true}),
+    ::testing::Values(HardCase{"round-robin", true},
+                      HardCase{"cogsworth", true},
+                      HardCase{"nk20", true},
+                      HardCase{"lp22", true},
+                      HardCase{"fever", false},
+                      HardCase{"basic-lumiere", true},
+                      HardCase{"lumiere", true}),
     [](const ::testing::TestParamInfo<HardCase>& info) {
-      std::string name = to_string(info.param.kind);
+      std::string name = info.param.kind;
       for (auto& ch : name) {
         if (ch == '-') ch = '_';
       }

@@ -23,33 +23,34 @@ namespace {
 
 /// f selective-QC Byzantine processes (they favor the low-id half of the
 /// cluster with QC/VC announcements and starve the rest).
-ClusterOptions attack_options(PacemakerKind kind, std::uint32_t n, std::uint64_t seed) {
+ScenarioBuilder attack_options(std::string kind, std::uint32_t n, std::uint64_t seed) {
   const std::uint32_t f = (n - 1) / 3;
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(n, Duration::millis(10));
-  options.pacemaker = kind;
-  options.seed = seed;
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(n, Duration::millis(10)));
+  options.pacemaker(kind);
+  options.seed(seed);
   // Fast network: bumps race ahead of clocks, maximizing the leverage of
   // selectively withholding them.
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::micros(200));
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::micros(200)));
   std::vector<ProcessId> byz;
   for (ProcessId id = n - f; id < n; ++id) byz.push_back(id);  // high ids
   const std::uint32_t favored = (n + 1) / 2;
-  options.behavior_for = adversary::byzantine_set(byz, [favored](ProcessId) {
+  options.behaviors(adversary::byzantine_set(byz, [favored](ProcessId) {
     return std::make_unique<adversary::SelectiveQcBehavior>(favored);
-  });
+  }));
   return options;
 }
 
 TEST(OverrepresentationTest, LumiereStaysLiveUnderSelectiveQcAttack) {
-  ClusterOptions options = attack_options(PacemakerKind::kLumiere, 7, 610);
+  ScenarioBuilder options = attack_options("lumiere", 7, 610);
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(120));
   ASSERT_GE(cluster.metrics().decisions().size(), 200U) << "attack starved the cluster";
   // Eventual latency must stay O(f_a * Gamma), never epoch-scale
   // (10n * Gamma = 7s here): the attack must not force heavy stalls
   // forever. 10 Gamma absorbs the f_a tenures plus boundary effects.
-  const Duration gamma = options.params.delta_cap * 2 * (options.params.x + 2);
+  const ProtocolParams& params = cluster.scenario().params;
+  const Duration gamma = params.delta_cap * 2 * (params.x + 2);
   const auto worst = cluster.metrics().max_decision_gap(TimePoint::origin(), 100);
   ASSERT_TRUE(worst.has_value());
   EXPECT_LE(*worst, gamma * 10)
@@ -61,7 +62,7 @@ TEST(OverrepresentationTest, HonestLeadersKeepProducingInSteadyState) {
   // initial views must produce QCs — i.e. the success criterion really
   // implies synchronization (hg_{f+1} <= Gamma), Byzantine QCs cannot
   // fake it.
-  ClusterOptions options = attack_options(PacemakerKind::kLumiere, 7, 611);
+  ScenarioBuilder options = attack_options("lumiere", 7, 611);
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(30));  // warmup
   const auto mask = cluster.byzantine_mask();
@@ -97,17 +98,18 @@ TEST(OverrepresentationTest, GapReturnsBelowGammaDespiteAttack) {
   // The (f+1)-st honest gap may spike while Byzantine leaders starve
   // half the cluster of bumps, but Lemma 5.12's shrinking plus the epoch
   // mechanism must pull it back below Gamma + 2*Delta recurrently.
-  ClusterOptions options = attack_options(PacemakerKind::kLumiere, 7, 612);
+  ScenarioBuilder options = attack_options("lumiere", 7, 612);
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(20));
-  const Duration gamma = options.params.delta_cap * 2 * (options.params.x + 2);
-  const Duration bound = gamma + options.params.delta_cap * 2;
+  const ProtocolParams& params = cluster.scenario().params;
+  const Duration gamma = params.delta_cap * 2 * (params.x + 2);
+  const Duration bound = gamma + params.delta_cap * 2;
   const auto tracker = cluster.honest_gap_tracker();
   int below = 0;
   int samples = 0;
   for (; samples < 200; ++samples) {
     cluster.run_for(Duration::millis(100));
-    if (tracker.gap(options.params.f + 1) <= bound) ++below;
+    if (tracker.gap(params.f + 1) <= bound) ++below;
   }
   // "Recurrently": a solid majority of samples must find the gap small —
   // the attack cannot hold it above Gamma.
@@ -186,10 +188,11 @@ TEST(OverrepresentationTest, AttackWidensGapTransientlyThenHonestQcsHeal) {
   // measure the longest *contiguous* stretch of 1ms samples with
   // gap(2f+1) > Gamma/2.
   auto longest_wide_run = [](bool attack, std::uint64_t seed) {
-    ClusterOptions options = attack_options(PacemakerKind::kLumiere, 7, seed);
-    if (!attack) options.behavior_for = adversary::honest_cluster();
-    const Duration gamma = options.params.delta_cap * 2 * (options.params.x + 2);
+    ScenarioBuilder options = attack_options("lumiere", 7, seed);
+    if (!attack) options.behaviors(adversary::honest_cluster());
     Cluster cluster(options);
+    const ProtocolParams& params = cluster.scenario().params;
+    const Duration gamma = params.delta_cap * 2 * (params.x + 2);
     cluster.run_for(Duration::seconds(10));
     const auto tracker = cluster.honest_gap_tracker();
     int run = 0;

@@ -54,7 +54,7 @@ std::unique_ptr<adversary::Behavior> make_attack(Attack a, const ProtocolParams&
 }
 
 struct GridCase {
-  PacemakerKind protocol;
+  std::string protocol;
   Attack attack;
   std::uint64_t seed;
 };
@@ -65,15 +65,15 @@ class ProtocolAttackGrid : public ::testing::TestWithParam<GridCase> {};
 /// under every attack, for every protocol, eventwise.
 TEST_P(ProtocolAttackGrid, ViewMonotonicityAndLiveness) {
   const GridCase c = GetParam();
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(7, Duration::millis(10));
-  options.pacemaker = c.protocol;
-  options.seed = c.seed;
-  options.delay = std::make_shared<sim::UniformDelay>(Duration::micros(200),
-                                                      Duration::millis(4));
-  const ProtocolParams params = options.params;
-  options.behavior_for = adversary::byzantine_set(
-      {5, 6}, [&, a = c.attack](ProcessId) { return make_attack(a, params); });
+  const ProtocolParams params = ProtocolParams::for_n(7, Duration::millis(10));
+  ScenarioBuilder options;
+  options.params(params);
+  options.pacemaker(c.protocol);
+  options.seed(c.seed);
+  options.delay(std::make_shared<sim::UniformDelay>(Duration::micros(200),
+                                                      Duration::millis(4)));
+  options.behaviors(adversary::byzantine_set(
+      {5, 6}, [&, a = c.attack](ProcessId) { return make_attack(a, params); }));
   Cluster cluster(options);
   cluster.start();
 
@@ -89,17 +89,17 @@ TEST_P(ProtocolAttackGrid, ViewMonotonicityAndLiveness) {
     }
   }
   EXPECT_GE(cluster.metrics().decisions().size(), 5U)
-      << ::lumiere::runtime::to_string(c.protocol) << " starved under "
+      << c.protocol << " starved under "
       << to_string(c.attack);
 }
 
 std::vector<GridCase> grid_cases() {
   std::vector<GridCase> cases;
   std::uint64_t seed = 500;
-  for (const PacemakerKind protocol :
-       {PacemakerKind::kCogsworth, PacemakerKind::kNaorKeidar, PacemakerKind::kRareSync,
-        PacemakerKind::kLp22, PacemakerKind::kFever, PacemakerKind::kBasicLumiere,
-        PacemakerKind::kLumiere}) {
+  for (const std::string protocol :
+       {"cogsworth", "nk20", "raresync",
+        "lp22", "fever", "basic-lumiere",
+        "lumiere"}) {
     for (const Attack attack :
          {Attack::kSilentLeader, Attack::kQcWithholder, Attack::kEquivocator,
           Attack::kEpochStorm, Attack::kSelectiveQc, Attack::kCrashMidway}) {
@@ -112,7 +112,7 @@ std::vector<GridCase> grid_cases() {
 INSTANTIATE_TEST_SUITE_P(Grid, ProtocolAttackGrid, ::testing::ValuesIn(grid_cases()),
                          [](const ::testing::TestParamInfo<GridCase>& info) {
                            std::string name =
-                               ::lumiere::runtime::to_string(info.param.protocol);
+                               info.param.protocol;
                            for (auto& ch : name) {
                              if (ch == '-') ch = '_';
                            }
@@ -136,24 +136,25 @@ class GapLemmaSweep : public ::testing::TestWithParam<GapCase> {};
 
 TEST_P(GapLemmaSweep, HonestGapNeverGrowsAboveItselfOrGamma) {
   const GapCase c = GetParam();
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(7, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.seed = c.seed;
-  options.delay = std::make_shared<sim::UniformDelay>(Duration::micros(100),
-                                                      Duration::millis(6));
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(7, Duration::millis(10)));
+  options.pacemaker("lumiere");
+  options.seed(c.seed);
+  options.delay(std::make_shared<sim::UniformDelay>(Duration::micros(100),
+                                                      Duration::millis(6)));
   if (c.byzantine > 0) {
     std::vector<ProcessId> byz;
     for (ProcessId id = 0; id < c.byzantine; ++id) byz.push_back(id);
-    options.behavior_for = adversary::byzantine_set(
-        byz, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+    options.behaviors(adversary::byzantine_set(
+        byz, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); }));
   }
   Cluster cluster(options);
   cluster.start();
 
-  const Duration gamma = options.params.delta_cap * 2 * (options.params.x + 2);
+  const ProtocolParams& params = cluster.scenario().params;
+  const Duration gamma = params.delta_cap * 2 * (params.x + 2);
   const auto tracker = cluster.honest_gap_tracker();
-  const std::uint32_t fplus1 = options.params.f + 1;
+  const std::uint32_t fplus1 = params.f + 1;
 
   auto honest_epoch_consensus = [&]() -> std::optional<Epoch> {
     std::optional<Epoch> common;
@@ -167,7 +168,8 @@ TEST_P(GapLemmaSweep, HonestGapNeverGrowsAboveItselfOrGamma) {
     return common;
   };
 
-  std::optional<Epoch> tracked_epoch;
+  bool tracking = false;
+  Epoch tracked_epoch = -1;
   Duration watermark = Duration::zero();
   std::uint64_t checks = 0;
   const TimePoint deadline = TimePoint::origin() + Duration::seconds(20);
@@ -175,12 +177,13 @@ TEST_P(GapLemmaSweep, HonestGapNeverGrowsAboveItselfOrGamma) {
     cluster.sim().step();
     const auto epoch = honest_epoch_consensus();
     if (!epoch) {
-      tracked_epoch.reset();
+      tracking = false;
       continue;
     }
     const Epoch current = *epoch;
     const Duration gap = tracker.gap(fplus1);
-    if (tracked_epoch != epoch) {
+    if (!tracking || tracked_epoch != current) {
+      tracking = true;
       tracked_epoch = current;
       watermark = gap;  // restart the within-epoch watermark
       continue;
@@ -212,12 +215,12 @@ INSTANTIATE_TEST_SUITE_P(SeedsAndFaults, GapLemmaSweep,
 class SteadyStateSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SteadyStateSweep, HeavySyncQuiescesAcrossSeeds) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.seed = GetParam();
-  options.delay = std::make_shared<sim::UniformDelay>(Duration::micros(300),
-                                                      Duration::millis(2));
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(4, Duration::millis(10)));
+  options.pacemaker("lumiere");
+  options.seed(GetParam());
+  options.delay(std::make_shared<sim::UniformDelay>(Duration::micros(300),
+                                                      Duration::millis(2)));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(15));
   std::uint64_t sent = 0;

@@ -9,14 +9,14 @@ namespace lumiere::runtime {
 namespace {
 
 TEST(SafetyTest, EquivocatingLeadersCannotForkLedgers) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(7, Duration::millis(10), /*x=*/4);
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.core = CoreKind::kChainedHotStuff;
-  options.seed = 61;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
-  options.behavior_for = adversary::byzantine_set(
-      {0, 1}, [](ProcessId) { return std::make_unique<adversary::EquivocatorBehavior>(); });
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(7, Duration::millis(10), /*x=*/4));
+  options.pacemaker("lumiere");
+  options.core("chained-hotstuff");
+  options.seed(61);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  options.behaviors(adversary::byzantine_set(
+      {0, 1}, [](ProcessId) { return std::make_unique<adversary::EquivocatorBehavior>(); }));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(120));
 
@@ -37,37 +37,36 @@ TEST(SafetyTest, EquivocatingLeadersCannotForkLedgers) {
 }
 
 TEST(SafetyTest, EquivocationAcrossPacemakers) {
-  for (const PacemakerKind kind :
-       {PacemakerKind::kRoundRobin, PacemakerKind::kLp22, PacemakerKind::kBasicLumiere}) {
-    ClusterOptions options;
-    options.params = ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4);
-    options.pacemaker = kind;
-    options.core = CoreKind::kChainedHotStuff;
-    options.seed = 62;
-    options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
-    options.behavior_for = adversary::byzantine_set(
-        {3}, [](ProcessId) { return std::make_unique<adversary::EquivocatorBehavior>(); });
+  for (const std::string kind :
+       {"round-robin", "lp22", "basic-lumiere"}) {
+    ScenarioBuilder options;
+    options.params(ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4));
+    options.pacemaker(kind);
+    options.core("chained-hotstuff");
+    options.seed(62);
+    options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+    options.behaviors(adversary::byzantine_set(
+        {3}, [](ProcessId) { return std::make_unique<adversary::EquivocatorBehavior>(); }));
     Cluster cluster(options);
     cluster.run_for(Duration::seconds(60));
     const auto honest = cluster.honest_ids();
     for (const ProcessId a : honest) {
       EXPECT_TRUE(cluster.node(a).ledger().prefix_consistent_with(cluster.node(honest[0]).ledger()))
-          << to_string(kind) << ": ledger fork at node " << a;
+          << kind << ": ledger fork at node " << a;
     }
   }
 }
 
 TEST(SafetyTest, ViewMonotonicityAcrossAllProtocols) {
   // Condition (1) of the view-synchronization task, checked event-wise.
-  for (const PacemakerKind kind :
-       {PacemakerKind::kCogsworth, PacemakerKind::kLp22, PacemakerKind::kFever,
-        PacemakerKind::kBasicLumiere, PacemakerKind::kLumiere}) {
-    ClusterOptions options;
-    options.params = ProtocolParams::for_n(4, Duration::millis(10));
-    options.pacemaker = kind;
-    options.seed = 63;
-    options.delay =
-        std::make_shared<sim::UniformDelay>(Duration::micros(100), Duration::millis(5));
+  for (const std::string kind :
+       {"cogsworth", "lp22", "fever",
+        "basic-lumiere", "lumiere"}) {
+    ScenarioBuilder options;
+    options.params(ProtocolParams::for_n(4, Duration::millis(10)));
+    options.pacemaker(kind);
+    options.seed(63);
+    options.delay(std::make_shared<sim::UniformDelay>(Duration::micros(100), Duration::millis(5)));
     Cluster cluster(options);
     cluster.start();
     std::vector<View> last(4, -1);
@@ -76,7 +75,7 @@ TEST(SafetyTest, ViewMonotonicityAcrossAllProtocols) {
       cluster.sim().step();
       for (ProcessId id = 0; id < 4; ++id) {
         const View v = cluster.node(id).current_view();
-        ASSERT_GE(v, last[id]) << to_string(kind) << ": view regressed at node " << id;
+        ASSERT_GE(v, last[id]) << kind << ": view regressed at node " << id;
         last[id] = v;
       }
     }

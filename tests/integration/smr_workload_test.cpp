@@ -37,14 +37,14 @@ crypto::Digest replay_prefix(const consensus::Ledger& ledger, std::size_t prefix
 }
 
 TEST(SmrWorkloadTest, ReplicasConvergeToIdenticalState) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4);
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.core = CoreKind::kChainedHotStuff;
-  options.seed = 121;
-  options.delay = std::make_shared<sim::UniformDelay>(Duration::micros(200),
-                                                      Duration::millis(3));
-  options.workload = kv_workload(3);
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4));
+  options.pacemaker("lumiere");
+  options.core("chained-hotstuff");
+  options.seed(121);
+  options.delay(std::make_shared<sim::UniformDelay>(Duration::micros(200),
+                                                      Duration::millis(3)));
+  options.workload(kv_workload(3));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(20));
 
@@ -62,15 +62,15 @@ TEST(SmrWorkloadTest, ReplicasConvergeToIdenticalState) {
 }
 
 TEST(SmrWorkloadTest, StateConvergesDespiteByzantineLeaders) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(7, Duration::millis(10), /*x=*/4);
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.core = CoreKind::kChainedHotStuff;
-  options.seed = 122;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
-  options.workload = kv_workload(2);
-  options.behavior_for = adversary::byzantine_set(
-      {0, 1}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(7, Duration::millis(10), /*x=*/4));
+  options.pacemaker("lumiere");
+  options.core("chained-hotstuff");
+  options.seed(122);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  options.workload(kv_workload(2));
+  options.behaviors(adversary::byzantine_set(
+      {0, 1}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); }));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(60));
 
@@ -87,13 +87,13 @@ TEST(SmrWorkloadTest, StateConvergesDespiteByzantineLeaders) {
 }
 
 TEST(SmrWorkloadTest, PayloadsActuallyCarryCommands) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4);
-  options.pacemaker = PacemakerKind::kBasicLumiere;
-  options.core = CoreKind::kChainedHotStuff;
-  options.seed = 123;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::micros(500));
-  options.workload = kv_workload(5);
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4));
+  options.pacemaker("basic-lumiere");
+  options.core("chained-hotstuff");
+  options.seed(123);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::micros(500)));
+  options.workload(kv_workload(5));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(10));
 

@@ -16,11 +16,11 @@ const core::LumierePacemaker& lumiere_of(const Cluster& cluster, ProcessId id) {
 }
 
 TEST(SteadyStateTest, HeavySyncStopsAfterWarmup) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(7, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.seed = 51;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(7, Duration::millis(10)));
+  options.pacemaker("lumiere");
+  options.seed(51);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
   Cluster cluster(options);
 
   // Warm up well past the bootstrap.
@@ -39,11 +39,11 @@ TEST(SteadyStateTest, HeavySyncStopsAfterWarmup) {
 TEST(SteadyStateTest, EveryHonestLeaderViewProducesQc) {
   // All-honest steady state: count decisions per epoch; with n honest
   // leaders x 10 views each, every view of a warmed-up epoch yields a QC.
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.seed = 52;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(4, Duration::millis(10)));
+  options.pacemaker("lumiere");
+  options.seed(52);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(90));
 
@@ -66,17 +66,17 @@ TEST(SteadyStateTest, EventualCommLinearInFaults) {
   // f_a = 0 cost must not include any epoch-view traffic.
   const std::uint32_t n = 10;  // f = 3
   auto run = [&](std::uint32_t f_a) {
-    ClusterOptions options;
-    options.params = ProtocolParams::for_n(n, Duration::millis(10));
-    options.pacemaker = PacemakerKind::kLumiere;
-    options.seed = 53;
-    options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
+    ScenarioBuilder options;
+    options.params(ProtocolParams::for_n(n, Duration::millis(10)));
+    options.pacemaker("lumiere");
+    options.seed(53);
+    options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
     if (f_a > 0) {
       std::vector<ProcessId> byz;
       for (ProcessId id = 0; id < f_a; ++id) byz.push_back(id);
-      options.behavior_for = adversary::byzantine_set(byz, [](ProcessId) {
+      options.behaviors(adversary::byzantine_set(byz, [](ProcessId) {
         return std::make_unique<adversary::SilentLeaderBehavior>();
-      });
+      }));
     }
     Cluster cluster(options);
     cluster.run_for(Duration::seconds(120));

@@ -11,12 +11,12 @@
 namespace lumiere::runtime {
 namespace {
 
-ClusterOptions fever_options(std::uint32_t n, Duration delta_actual) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(n, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kFever;
-  options.delay = std::make_shared<sim::FixedDelay>(delta_actual);
-  options.seed = 13;
+ScenarioBuilder fever_options(std::uint32_t n, Duration delta_actual) {
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(n, Duration::millis(10)));
+  options.pacemaker("fever");
+  options.delay(std::make_shared<sim::FixedDelay>(delta_actual));
+  options.seed(13);
   return options;
 }
 
@@ -46,8 +46,8 @@ TEST(FeverTest, TenureShrinksGammaTowardXDelta) {
 class FeverTenureSweep : public ::testing::TestWithParam<std::uint32_t> {};
 
 TEST_P(FeverTenureSweep, LiveAcrossTenures) {
-  ClusterOptions options = fever_options(4, Duration::millis(1));
-  options.fever_tenure = GetParam();
+  ScenarioBuilder options = fever_options(4, Duration::millis(1));
+  options.fever(runtime::FeverOptions{GetParam()});
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(20));
   EXPECT_GE(cluster.metrics().decisions().size(), 20U) << "tenure " << GetParam();
@@ -88,7 +88,7 @@ TEST(FeverTest, HonestGapStaysBoundedByGamma) {
   const TimePoint deadline = TimePoint::origin() + Duration::seconds(5);
   while (!cluster.sim().idle() && cluster.sim().now() < deadline) {
     cluster.sim().step();
-    EXPECT_LE(tracker.gap(cluster.options().params.f + 1), gamma)
+    EXPECT_LE(tracker.gap(cluster.scenario().params.f + 1), gamma)
         << "hg_{f+1} exceeded Gamma at " << cluster.sim().now();
   }
 }
@@ -104,17 +104,17 @@ TEST(FeverTest, ModelViolationWithFaultsBreaksLivenessForever) {
   // identical schedule resynchronizes with one heavy epoch exchange and
   // streams decisions. The model column of Table 1 is a real liveness
   // separation, not a formality.
-  ClusterOptions options = fever_options(7, Duration::millis(1));
-  options.join_stagger = Duration::seconds(2);  // >> Gamma
-  options.seed = 99;
-  options.behavior_for = adversary::byzantine_set(
-      {5, 6}, [](ProcessId) { return std::make_unique<adversary::MuteBehavior>(); });
+  ScenarioBuilder options = fever_options(7, Duration::millis(1));
+  options.join_stagger(Duration::seconds(2));  // >> Gamma
+  options.seed(99);
+  options.behaviors(adversary::byzantine_set(
+      {5, 6}, [](ProcessId) { return std::make_unique<adversary::MuteBehavior>(); }));
   Cluster fever(options);
   fever.run_for(Duration::seconds(60));
   EXPECT_EQ(fever.metrics().decisions().size(), 0U)
       << "Fever decided despite clock-assumption violation plus f faults";
 
-  options.pacemaker = PacemakerKind::kLumiere;
+  options.pacemaker("lumiere");
   Cluster lumiere(options);
   lumiere.run_for(Duration::seconds(60));
   EXPECT_GE(lumiere.metrics().decisions().size(), 100U)
@@ -126,9 +126,9 @@ TEST(FeverTest, FaultFreeDesyncSelfHealsThroughResponsiveBumps) {
   // form at the slowest honest processor's pace, and every QC bumps the
   // stragglers a full Gamma forward for only a few deltas of real time,
   // so the pack catches the most advanced clock and stays caught.
-  ClusterOptions options = fever_options(7, Duration::millis(1));
-  options.join_stagger = Duration::seconds(2);
-  options.seed = 99;
+  ScenarioBuilder options = fever_options(7, Duration::millis(1));
+  options.join_stagger(Duration::seconds(2));
+  options.seed(99);
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(60));
   EXPECT_GE(cluster.metrics().decisions().size(), 1000U);

@@ -10,7 +10,7 @@ namespace lumiere::runtime {
 namespace {
 
 struct Case {
-  PacemakerKind kind;
+  std::string kind;
   std::uint32_t n;
 };
 
@@ -18,33 +18,33 @@ class PacemakerLiveness : public ::testing::TestWithParam<Case> {};
 
 TEST_P(PacemakerLiveness, DecisionsFlowAllHonest) {
   const Case c = GetParam();
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(c.n, Duration::millis(10));
-  options.pacemaker = c.kind;
-  options.core = CoreKind::kSimpleView;
-  options.gst = TimePoint::origin();
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
-  options.seed = 7;
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(c.n, Duration::millis(10)));
+  options.pacemaker(c.kind);
+  options.core("simple-view");
+  options.gst(TimePoint::origin());
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  options.seed(7);
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(20));
 
   EXPECT_GE(cluster.metrics().decisions().size(), 10U)
-      << to_string(c.kind) << " n=" << c.n << " produced too few decisions";
+      << c.kind << " n=" << c.n << " produced too few decisions";
   // Views advance together: no honest processor is left behind forever.
   EXPECT_GT(cluster.min_honest_view(), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllProtocols, PacemakerLiveness,
-    ::testing::Values(Case{PacemakerKind::kRoundRobin, 4}, Case{PacemakerKind::kCogsworth, 4},
-                      Case{PacemakerKind::kNaorKeidar, 4}, Case{PacemakerKind::kLp22, 4},
-                      Case{PacemakerKind::kFever, 4}, Case{PacemakerKind::kBasicLumiere, 4},
-                      Case{PacemakerKind::kLumiere, 4}, Case{PacemakerKind::kRoundRobin, 7},
-                      Case{PacemakerKind::kCogsworth, 7}, Case{PacemakerKind::kNaorKeidar, 7},
-                      Case{PacemakerKind::kLp22, 7}, Case{PacemakerKind::kFever, 7},
-                      Case{PacemakerKind::kBasicLumiere, 7}, Case{PacemakerKind::kLumiere, 7}),
+    ::testing::Values(Case{"round-robin", 4}, Case{"cogsworth", 4},
+                      Case{"nk20", 4}, Case{"lp22", 4},
+                      Case{"fever", 4}, Case{"basic-lumiere", 4},
+                      Case{"lumiere", 4}, Case{"round-robin", 7},
+                      Case{"cogsworth", 7}, Case{"nk20", 7},
+                      Case{"lp22", 7}, Case{"fever", 7},
+                      Case{"basic-lumiere", 7}, Case{"lumiere", 7}),
     [](const ::testing::TestParamInfo<Case>& info) {
-      std::string name = to_string(info.param.kind);
+      std::string name = info.param.kind;
       for (auto& ch : name) {
         if (ch == '-') ch = '_';
       }
@@ -52,24 +52,23 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(PacemakerLivenessEdge, LumiereSurvivesJitteryNetwork) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.delay =
-      std::make_shared<sim::UniformDelay>(Duration::micros(100), Duration::millis(9));
-  options.seed = 21;
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(4, Duration::millis(10)));
+  options.pacemaker("lumiere");
+  options.delay(std::make_shared<sim::UniformDelay>(Duration::micros(100), Duration::millis(9)));
+  options.seed(21);
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(30));
   EXPECT_GE(cluster.metrics().decisions().size(), 10U);
 }
 
 TEST(PacemakerLivenessEdge, ChainedHotStuffUnderLumiereCommits) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4);
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.core = CoreKind::kChainedHotStuff;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
-  options.seed = 3;
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4));
+  options.pacemaker("lumiere");
+  options.core("chained-hotstuff");
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  options.seed(3);
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(30));
   for (const ProcessId id : cluster.honest_ids()) {

@@ -11,18 +11,18 @@
 namespace lumiere::runtime {
 namespace {
 
-ClusterOptions lp22_options(std::uint32_t n, Duration delta_actual) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(n, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLp22;
-  options.delay = std::make_shared<sim::FixedDelay>(delta_actual);
-  options.seed = 5;
+ScenarioBuilder lp22_options(std::uint32_t n, Duration delta_actual) {
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(n, Duration::millis(10)));
+  options.pacemaker("lp22");
+  options.delay(std::make_shared<sim::FixedDelay>(delta_actual));
+  options.seed(5);
   return options;
 }
 
 TEST(Lp22Test, EpochMath) {
   // Direct checks of the f+1-view epoch layout on a live pacemaker.
-  ClusterOptions options = lp22_options(7, Duration::millis(1));
+  ScenarioBuilder options = lp22_options(7, Duration::millis(1));
   Cluster cluster(options);
   const auto& pm = static_cast<const pacemaker::Lp22Pacemaker&>(cluster.node(0).pacemaker());
   EXPECT_EQ(pm.epoch_first_view(0), 0);
@@ -35,7 +35,7 @@ TEST(Lp22Test, EpochMath) {
 }
 
 TEST(Lp22Test, EveryEpochPaysHeavySync) {
-  ClusterOptions options = lp22_options(4, Duration::millis(1));
+  ScenarioBuilder options = lp22_options(4, Duration::millis(1));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(10));
   const auto epoch_msgs = cluster.metrics().count_for_type(pacemaker::kEpochViewMsg);
@@ -55,7 +55,7 @@ TEST(Lp22Test, EveryEpochPaysHeavySync) {
 TEST(Lp22Test, QcEntryIsResponsiveWithinEpoch) {
   // With a fast network, decisions inside an epoch come at network speed
   // (entering on QCs), far faster than Gamma pacing.
-  ClusterOptions options = lp22_options(4, Duration::micros(100));
+  ScenarioBuilder options = lp22_options(4, Duration::micros(100));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(5));
   const auto& decisions = cluster.metrics().decisions();
@@ -77,7 +77,7 @@ TEST(Lp22Test, ClocksNeverBumpOnQc) {
   // of the clock — there must be instants where the current view's clock
   // time c_v exceeds the clock reading (a bumping protocol would have
   // raised the clock to c_v on entry).
-  ClusterOptions options = lp22_options(7, Duration::micros(100));
+  ScenarioBuilder options = lp22_options(7, Duration::micros(100));
   Cluster cluster(options);
   cluster.start();
   const auto& node = cluster.node(0);

@@ -10,12 +10,12 @@
 namespace lumiere::runtime {
 namespace {
 
-ClusterOptions raresync_options(std::uint32_t n, Duration delta_actual) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(n, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kRareSync;
-  options.delay = std::make_shared<sim::FixedDelay>(delta_actual);
-  options.seed = 111;
+ScenarioBuilder raresync_options(std::uint32_t n, Duration delta_actual) {
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(n, Duration::millis(10)));
+  options.pacemaker("raresync");
+  options.delay(std::make_shared<sim::FixedDelay>(delta_actual));
+  options.seed(111);
   return options;
 }
 
@@ -62,9 +62,9 @@ TEST(RareSyncTest, QcsDoNotAdvanceViews) {
 }
 
 TEST(RareSyncTest, SurvivesFullFaultBudget) {
-  ClusterOptions options = raresync_options(7, Duration::millis(1));
-  options.behavior_for = adversary::byzantine_set(
-      {0, 1}, [](ProcessId) { return std::make_unique<adversary::MuteBehavior>(); });
+  ScenarioBuilder options = raresync_options(7, Duration::millis(1));
+  options.behaviors(adversary::byzantine_set(
+      {0, 1}, [](ProcessId) { return std::make_unique<adversary::MuteBehavior>(); }));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(40));
   EXPECT_GE(cluster.metrics().decisions().size(), 5U);

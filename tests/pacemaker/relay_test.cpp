@@ -8,19 +8,19 @@
 namespace lumiere::runtime {
 namespace {
 
-ClusterOptions relay_options(PacemakerKind kind, std::uint32_t n) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(n, Duration::millis(10));
-  options.pacemaker = kind;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
-  options.seed = 17;
+ScenarioBuilder relay_options(std::string kind, std::uint32_t n) {
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(n, Duration::millis(10)));
+  options.pacemaker(kind);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  options.seed(17);
   return options;
 }
 
 TEST(RelayTest, CogsworthAdvancesPastSilentLeader) {
-  ClusterOptions options = relay_options(PacemakerKind::kCogsworth, 4);
-  options.behavior_for = adversary::byzantine_set(
-      {0}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  ScenarioBuilder options = relay_options("cogsworth", 4);
+  options.behaviors(adversary::byzantine_set(
+      {0}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); }));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(20));
   // p0 leads views 0, 4, 8, ... — those fail; wishes relay past them.
@@ -30,9 +30,9 @@ TEST(RelayTest, CogsworthAdvancesPastSilentLeader) {
 }
 
 TEST(RelayTest, Nk20AdvancesPastSilentLeader) {
-  ClusterOptions options = relay_options(PacemakerKind::kNaorKeidar, 4);
-  options.behavior_for = adversary::byzantine_set(
-      {0}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  ScenarioBuilder options = relay_options("nk20", 4);
+  options.behaviors(adversary::byzantine_set(
+      {0}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); }));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(20));
   EXPECT_GE(cluster.metrics().decisions().size(), 6U);
@@ -41,8 +41,8 @@ TEST(RelayTest, Nk20AdvancesPastSilentLeader) {
 TEST(RelayTest, NoWishTrafficWhenAllHonestAndFast) {
   // With honest leaders and a fast network, views advance on QCs before
   // any timer fires: the relay machinery should stay quiet.
-  ClusterOptions options = relay_options(PacemakerKind::kCogsworth, 4);
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::micros(200));
+  ScenarioBuilder options = relay_options("cogsworth", 4);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::micros(200)));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(5));
   EXPECT_EQ(cluster.metrics().count_for_type(pacemaker::kWishMsg), 0U);
@@ -53,15 +53,15 @@ TEST(RelayTest, RelayCostGrowsWithConsecutiveFaultyRelays) {
   // Byzantine processes placed to be both the faulty leader and the next
   // relay force extra relay hops; wish traffic should exceed the
   // single-fault case.
-  ClusterOptions one_fault = relay_options(PacemakerKind::kCogsworth, 10);
-  one_fault.behavior_for = adversary::byzantine_set(
-      {0}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  ScenarioBuilder one_fault = relay_options("cogsworth", 10);
+  one_fault.behaviors(adversary::byzantine_set(
+      {0}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); }));
   Cluster a(one_fault);
   a.run_for(Duration::seconds(20));
 
-  ClusterOptions three_faults = relay_options(PacemakerKind::kCogsworth, 10);
-  three_faults.behavior_for = adversary::byzantine_set(
-      {0, 1, 2}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  ScenarioBuilder three_faults = relay_options("cogsworth", 10);
+  three_faults.behaviors(adversary::byzantine_set(
+      {0, 1, 2}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); }));
   Cluster b(three_faults);
   b.run_for(Duration::seconds(20));
 

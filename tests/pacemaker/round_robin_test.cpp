@@ -10,12 +10,12 @@
 namespace lumiere::runtime {
 namespace {
 
-ClusterOptions rr_options(std::uint32_t n, Duration delta_actual, std::uint64_t seed = 91) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(n, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kRoundRobin;
-  options.delay = std::make_shared<sim::FixedDelay>(delta_actual);
-  options.seed = seed;
+ScenarioBuilder rr_options(std::uint32_t n, Duration delta_actual, std::uint64_t seed = 91) {
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(n, Duration::millis(10)));
+  options.pacemaker("round-robin");
+  options.delay(std::make_shared<sim::FixedDelay>(delta_actual));
+  options.seed(seed);
   return options;
 }
 
@@ -28,9 +28,9 @@ TEST(RoundRobinTest, ResponsiveWhenHealthy) {
 }
 
 TEST(RoundRobinTest, TimeoutsDriveViewChangesPastFaultyLeader) {
-  ClusterOptions options = rr_options(4, Duration::millis(1));
-  options.behavior_for = adversary::byzantine_set(
-      {2}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  ScenarioBuilder options = rr_options(4, Duration::millis(1));
+  options.behaviors(adversary::byzantine_set(
+      {2}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); }));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(30));
   EXPECT_GE(cluster.metrics().decisions().size(), 10U);
@@ -40,11 +40,11 @@ TEST(RoundRobinTest, TimeoutsDriveViewChangesPastFaultyLeader) {
 TEST(RoundRobinTest, WishAmplificationBringsLaggardsAlong) {
   // Even if timeouts fire at different moments (jittery delays), f+1
   // wishes trigger amplification so everyone joins the view change.
-  ClusterOptions options = rr_options(7, Duration::millis(1), 93);
-  options.delay = std::make_shared<sim::UniformDelay>(Duration::micros(100),
-                                                      Duration::millis(9));
-  options.behavior_for = adversary::byzantine_set(
-      {0, 1}, [](ProcessId) { return std::make_unique<adversary::MuteBehavior>(); });
+  ScenarioBuilder options = rr_options(7, Duration::millis(1), 93);
+  options.delay(std::make_shared<sim::UniformDelay>(Duration::micros(100),
+                                                      Duration::millis(9)));
+  options.behaviors(adversary::byzantine_set(
+      {0, 1}, [](ProcessId) { return std::make_unique<adversary::MuteBehavior>(); }));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(40));
   EXPECT_GE(cluster.metrics().decisions().size(), 5U);
@@ -56,9 +56,9 @@ TEST(RoundRobinTest, WishAmplificationBringsLaggardsAlong) {
 TEST(RoundRobinTest, EveryViewChangeCostsQuadratic) {
   // The structural weakness: wishes are all-to-all. With a permanently
   // silent leader, each failed view costs Theta(n^2) wish traffic.
-  ClusterOptions options = rr_options(7, Duration::millis(1), 94);
-  options.behavior_for = adversary::byzantine_set(
-      {0}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+  ScenarioBuilder options = rr_options(7, Duration::millis(1), 94);
+  options.behaviors(adversary::byzantine_set(
+      {0}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); }));
   Cluster cluster(options);
   cluster.run_for(Duration::seconds(30));
   const auto wishes = cluster.metrics().count_for_type(pacemaker::kWishMsg);

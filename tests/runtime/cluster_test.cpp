@@ -8,12 +8,12 @@
 namespace lumiere::runtime {
 namespace {
 
-ClusterOptions small_options(std::uint64_t seed) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
-  options.seed = seed;
+ScenarioBuilder small_options(std::uint64_t seed) {
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(4, Duration::millis(10)));
+  options.pacemaker("lumiere");
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  options.seed(seed);
   return options;
 }
 
@@ -36,10 +36,9 @@ TEST(ClusterTest, DeterministicAcrossIdenticalRuns) {
 
 TEST(ClusterTest, DifferentSeedsDiverge) {
   auto decisions_at = [](std::uint64_t seed) {
-    ClusterOptions options = small_options(seed);
+    ScenarioBuilder options = small_options(seed);
     // Jittery delays so the seed matters.
-    options.delay =
-        std::make_shared<sim::UniformDelay>(Duration::micros(100), Duration::millis(5));
+    options.delay(std::make_shared<sim::UniformDelay>(Duration::micros(100), Duration::millis(5)));
     Cluster cluster(options);
     cluster.run_for(Duration::seconds(5));
     return cluster.metrics().total_honest_msgs();
@@ -48,9 +47,9 @@ TEST(ClusterTest, DifferentSeedsDiverge) {
 }
 
 TEST(ClusterTest, HonestIdsAndMask) {
-  ClusterOptions options = small_options(9);
-  options.behavior_for = adversary::byzantine_set(
-      {1}, [](ProcessId) { return std::make_unique<adversary::MuteBehavior>(); });
+  ScenarioBuilder options = small_options(9);
+  options.behaviors(adversary::byzantine_set(
+      {1}, [](ProcessId) { return std::make_unique<adversary::MuteBehavior>(); }));
   Cluster cluster(options);
   const auto honest = cluster.honest_ids();
   ASSERT_EQ(honest.size(), 3U);
@@ -63,16 +62,16 @@ TEST(ClusterTest, HonestIdsAndMask) {
 }
 
 TEST(ClusterTest, GapTrackerCoversHonestOnly) {
-  ClusterOptions options = small_options(10);
-  options.behavior_for = adversary::byzantine_set(
-      {3}, [](ProcessId) { return std::make_unique<adversary::MuteBehavior>(); });
+  ScenarioBuilder options = small_options(10);
+  options.behaviors(adversary::byzantine_set(
+      {3}, [](ProcessId) { return std::make_unique<adversary::MuteBehavior>(); }));
   Cluster cluster(options);
   EXPECT_EQ(cluster.honest_gap_tracker().count(), 3U);
 }
 
 TEST(ClusterTest, RunExperimentProducesMeasures) {
   ExperimentConfig config;
-  config.cluster = small_options(11);
+  config.scenario = small_options(11);
   config.run_for = Duration::seconds(20);
   config.warmup_decisions = 5;
   const RunMeasures measures = run_experiment(config);

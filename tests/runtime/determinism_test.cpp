@@ -11,19 +11,20 @@
 namespace lumiere::runtime {
 namespace {
 
-ClusterOptions busy_options(std::uint64_t seed) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(7, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.core = CoreKind::kChainedHotStuff;
-  options.seed = seed;
-  options.gst = TimePoint(Duration::millis(300).ticks());
-  options.join_stagger = Duration::millis(200);
-  options.drift_ppm_max = 1'000;
-  options.delay = std::make_shared<sim::PreGstChaosDelay>(
-      options.gst, Duration::micros(200), Duration::millis(4), Duration::seconds(1));
-  options.behavior_for = adversary::byzantine_set(
-      {6}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); });
+ScenarioBuilder busy_options(std::uint64_t seed) {
+  const TimePoint gst(Duration::millis(300).ticks());
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(7, Duration::millis(10)));
+  options.pacemaker("lumiere");
+  options.core("chained-hotstuff");
+  options.seed(seed);
+  options.gst(gst);
+  options.join_stagger(Duration::millis(200));
+  options.drift_ppm_max(1'000);
+  options.delay(std::make_shared<sim::PreGstChaosDelay>(
+      gst, Duration::micros(200), Duration::millis(4), Duration::seconds(1)));
+  options.behaviors(adversary::byzantine_set(
+      {6}, [](ProcessId) { return std::make_unique<adversary::SilentLeaderBehavior>(); }));
   return options;
 }
 

@@ -1,0 +1,155 @@
+// ProtocolRegistry: the string-keyed construction surface every
+// experiment goes through. Covers the error path (unknown names must
+// fail loudly and helpfully), the full pacemaker x core matrix (every
+// registered pair must boot and make view progress), and extensibility
+// (downstream code can register protocols under new names).
+#include "runtime/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pacemaker/round_robin.h"
+#include "runtime/cluster.h"
+
+namespace lumiere::runtime {
+namespace {
+
+TEST(ProtocolRegistryTest, BuiltinsAreRegistered) {
+  const auto& registry = ProtocolRegistry::instance();
+  for (const char* name : {"round-robin", "cogsworth", "nk20", "raresync", "lp22", "fever",
+                           "basic-lumiere", "lumiere"}) {
+    EXPECT_TRUE(registry.has_pacemaker(name)) << name;
+  }
+  for (const char* name : {"simple-view", "chained-hotstuff", "hotstuff-2"}) {
+    EXPECT_TRUE(registry.has_core(name)) << name;
+  }
+  EXPECT_FALSE(registry.has_pacemaker("simple-view")) << "cores are a separate namespace";
+  EXPECT_FALSE(registry.has_core("lumiere"));
+}
+
+TEST(ProtocolRegistryTest, NamesAreSortedAndDistinct) {
+  const auto& registry = ProtocolRegistry::instance();
+  const auto pacemakers = registry.pacemaker_names();
+  const auto cores = registry.core_names();
+  EXPECT_TRUE(std::is_sorted(pacemakers.begin(), pacemakers.end()));
+  EXPECT_TRUE(std::is_sorted(cores.begin(), cores.end()));
+  EXPECT_EQ(std::set<std::string>(pacemakers.begin(), pacemakers.end()).size(),
+            pacemakers.size());
+}
+
+TEST(ProtocolRegistryTest, UnknownPacemakerNameYieldsActionableError) {
+  ScenarioBuilder builder;
+  builder.pacemaker("lumiere-typo");
+  const auto errors = builder.validate();
+  ASSERT_EQ(errors.size(), 1U);
+  EXPECT_NE(errors[0].find("lumiere-typo"), std::string::npos) << errors[0];
+  EXPECT_NE(errors[0].find("lumiere"), std::string::npos)
+      << "error must list the registered names: " << errors[0];
+  try {
+    (void)builder.scenario();
+    FAIL() << "scenario() must throw on an unknown pacemaker";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("lumiere-typo"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ProtocolRegistryTest, UnknownCoreNameYieldsActionableError) {
+  ScenarioBuilder builder;
+  builder.core("hotstuff-9000");
+  const auto errors = builder.validate();
+  ASSERT_EQ(errors.size(), 1U);
+  EXPECT_NE(errors[0].find("hotstuff-9000"), std::string::npos) << errors[0];
+  EXPECT_NE(errors[0].find("chained-hotstuff"), std::string::npos) << errors[0];
+}
+
+TEST(ProtocolRegistryTest, UnknownPerNodeOverrideNamesTheNode) {
+  ScenarioBuilder builder;
+  builder.node(2).pacemaker("nope");
+  const auto errors = builder.validate();
+  ASSERT_EQ(errors.size(), 1U);
+  EXPECT_NE(errors[0].find("node 2"), std::string::npos) << errors[0];
+}
+
+TEST(ProtocolRegistryTest, MakePacemakerThrowsOnUnknownName) {
+  // The registry itself (not just the builder) must reject unknown names:
+  // Node construction can be reached without a ScenarioBuilder.
+  sim::Simulator sim;
+  sim::Network network(&sim, 4, TimePoint::origin(), Duration::millis(10), nullptr, 1);
+  crypto::Pki pki(4, 1);
+  NodeConfig config;
+  config.protocol.pacemaker = "bogus";
+  EXPECT_THROW(Node(ProtocolParams::for_n(4, Duration::millis(10)), 0, &sim, &network, &pki,
+                    config, {}, std::make_unique<adversary::HonestBehavior>()),
+               std::invalid_argument);
+}
+
+TEST(ProtocolRegistryTest, CustomRegistrationIsUsableByName) {
+  auto& registry = ProtocolRegistry::instance();
+  // Guard: the singleton outlives gtest repetitions within one process.
+  if (!registry.has_pacemaker("test-round-robin-alias")) {
+    registry.register_pacemaker("test-round-robin-alias", [](PacemakerContext&& ctx) {
+      pacemaker::RoundRobinPacemaker::Options opt;
+      opt.base_timeout = ctx.params.delta_cap * (ctx.params.x + 2);
+      return std::make_unique<pacemaker::RoundRobinPacemaker>(ctx.params, ctx.self, ctx.signer,
+                                                              std::move(ctx.wiring), opt);
+    });
+  }
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(4, Duration::millis(10)))
+      .pacemaker("test-round-robin-alias")
+      .delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)))
+      .seed(3);
+  Cluster cluster(builder);
+  cluster.run_for(Duration::seconds(5));
+  EXPECT_GT(cluster.min_honest_view(), 0) << "custom-registered pacemaker made no progress";
+}
+
+// ---------------------------------------------------------------------
+// Every registered pacemaker x core pair must boot a 4-node cluster and
+// make view progress — the matrix the paper's comparisons rely on.
+struct PairCase {
+  std::string pacemaker;
+  std::string core;
+};
+
+class ProtocolMatrix : public ::testing::TestWithParam<PairCase> {};
+
+TEST_P(ProtocolMatrix, FourNodeClusterMakesViewProgress) {
+  const PairCase c = GetParam();
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4))
+      .pacemaker(c.pacemaker)
+      .core(c.core)
+      .seed(17)
+      .delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  Cluster cluster(builder);
+  cluster.run_for(Duration::seconds(8));
+  EXPECT_GT(cluster.min_honest_view(), 0)
+      << c.pacemaker << " x " << c.core << " made no view progress";
+  EXPECT_GE(cluster.metrics().decisions().size(), 3U)
+      << c.pacemaker << " x " << c.core << " produced no decisions";
+}
+
+std::vector<PairCase> all_pairs() {
+  std::vector<PairCase> pairs;
+  const auto& registry = ProtocolRegistry::instance();
+  for (const auto& pm : registry.pacemaker_names()) {
+    if (pm.rfind("test-", 0) == 0) continue;  // skip test-registered ones
+    for (const auto& core : registry.core_names()) pairs.push_back({pm, core});
+  }
+  return pairs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, ProtocolMatrix, ::testing::ValuesIn(all_pairs()),
+                         [](const ::testing::TestParamInfo<PairCase>& info) {
+                           std::string name = info.param.pacemaker + "_" + info.param.core;
+                           for (auto& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace lumiere::runtime

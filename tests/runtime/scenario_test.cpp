@@ -1,0 +1,200 @@
+// ScenarioBuilder semantics: default/override composition, validation,
+// deterministic per-node draws, and the deprecated ClusterOptions shim.
+#include "runtime/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/behaviors.h"
+#include "runtime/cluster.h"
+#include "runtime/compat.h"
+
+namespace lumiere::runtime {
+namespace {
+
+TEST(ScenarioBuilderTest, DefaultsProduceHomogeneousLumiereCluster) {
+  const Scenario scenario = ScenarioBuilder().scenario();
+  ASSERT_EQ(scenario.nodes.size(), 4U);
+  EXPECT_EQ(scenario.transport, TransportKind::kSim);
+  for (const auto& spec : scenario.nodes) {
+    EXPECT_EQ(spec.protocol.pacemaker, "lumiere");
+    EXPECT_EQ(spec.protocol.core, "simple-view");
+    EXPECT_EQ(spec.join_time, TimePoint::origin());
+    EXPECT_EQ(spec.clock_drift_ppm, 0);
+    ASSERT_NE(spec.behavior, nullptr);
+    EXPECT_STREQ(spec.behavior()->name(), "honest");
+  }
+}
+
+TEST(ScenarioBuilderTest, PerNodeOverridesComposeWithDefaults) {
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(7, Duration::millis(10)))
+      .pacemaker("lp22")
+      .gamma(Duration::millis(50));
+  builder.node(2).pacemaker("fever").fever(FeverOptions{5});
+  builder.node(3).drift_ppm(123).join_time(TimePoint(42));
+  builder.node(4).behavior([] { return std::make_unique<adversary::MuteBehavior>(); });
+  const Scenario scenario = builder.scenario();
+
+  EXPECT_EQ(scenario.nodes[0].protocol.pacemaker, "lp22");
+  EXPECT_EQ(scenario.nodes[0].protocol.gamma, Duration::millis(50));
+  EXPECT_EQ(scenario.nodes[2].protocol.pacemaker, "fever");
+  EXPECT_EQ(scenario.nodes[2].protocol.fever.tenure, 5U);
+  EXPECT_EQ(scenario.nodes[2].protocol.gamma, Duration::millis(50))
+      << "unset tweak fields must inherit the cluster default";
+  EXPECT_EQ(scenario.nodes[3].clock_drift_ppm, 123);
+  EXPECT_EQ(scenario.nodes[3].join_time, TimePoint(42));
+  EXPECT_STREQ(scenario.nodes[4].behavior()->name(), "mute");
+  EXPECT_STREQ(scenario.nodes[5].behavior()->name(), "honest");
+}
+
+TEST(ScenarioBuilderTest, ValidateAggregatesEveryError) {
+  ScenarioBuilder builder;
+  ProtocolParams params;
+  params.n = 5;  // not 3f+1
+  params.f = 1;
+  builder.params(params).pacemaker("whoops").core("nope");
+  builder.node(9).core("also-bad");
+  const auto errors = builder.validate();
+  EXPECT_GE(errors.size(), 4U) << "every problem must be reported, not just the first";
+}
+
+TEST(ScenarioBuilderTest, TcpTransportRejectsSimOnlyFeatures) {
+  ScenarioBuilder builder;
+  builder.transport_tcp(26000)
+      .gst(TimePoint(Duration::seconds(1).ticks()))
+      .delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  const auto errors = builder.validate();
+  ASSERT_EQ(errors.size(), 2U);
+  EXPECT_NE(errors[0].find("delay"), std::string::npos) << errors[0];
+  EXPECT_NE(errors[1].find("GST"), std::string::npos) << errors[1];
+}
+
+TEST(ScenarioBuilderTest, TcpTransportRequiresUsablePortRange) {
+  ScenarioBuilder builder;
+  builder.transport_tcp(0);
+  EXPECT_EQ(builder.validate().size(), 1U);
+  builder.transport_tcp(65534);  // 4 nodes would need 65534..65537
+  EXPECT_EQ(builder.validate().size(), 1U);
+  builder.transport_tcp(65532);  // 65532..65535 — top port exactly 65535 is fine
+  EXPECT_TRUE(builder.validate().empty());
+  builder.transport_tcp(26000);
+  EXPECT_TRUE(builder.validate().empty());
+}
+
+TEST(ScenarioBuilderTest, StaggerAndDriftDrawsAreSeedDeterministic) {
+  auto draw = [](std::uint64_t seed) {
+    ScenarioBuilder builder;
+    builder.params(ProtocolParams::for_n(7, Duration::millis(10)))
+        .seed(seed)
+        .join_stagger(Duration::millis(500))
+        .drift_ppm_max(1000);
+    return builder.scenario();
+  };
+  const Scenario a = draw(5);
+  const Scenario b = draw(5);
+  const Scenario c = draw(6);
+  bool any_differs = false;
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].join_time, b.nodes[i].join_time);
+    EXPECT_EQ(a.nodes[i].clock_drift_ppm, b.nodes[i].clock_drift_ppm);
+    EXPECT_LE(std::abs(a.nodes[i].clock_drift_ppm), 1000);
+    any_differs = any_differs || a.nodes[i].join_time != c.nodes[i].join_time;
+  }
+  EXPECT_TRUE(any_differs) << "different seeds must draw different join times";
+}
+
+TEST(ScenarioBuilderTest, PerNodeOverrideDoesNotShiftOtherDraws) {
+  // Fixing node 1's join time must leave nodes 0/2/3... with exactly the
+  // draws they get without the override (the draw stream is consumed
+  // unconditionally).
+  ScenarioBuilder base;
+  base.params(ProtocolParams::for_n(7, Duration::millis(10)))
+      .seed(9)
+      .join_stagger(Duration::millis(500));
+  ScenarioBuilder tweaked = base;
+  tweaked.node(1).join_time(TimePoint::origin());
+  const Scenario a = base.scenario();
+  const Scenario b = tweaked.scenario();
+  EXPECT_EQ(b.nodes[1].join_time, TimePoint::origin());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    if (i == 1) continue;
+    EXPECT_EQ(a.nodes[i].join_time, b.nodes[i].join_time) << "draw shifted at node " << i;
+  }
+}
+
+TEST(ScenarioBuilderTest, BuilderIsCopyableAndReusable) {
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(4, Duration::millis(10)))
+      .pacemaker("round-robin")
+      .delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)))
+      .seed(12);
+  ScenarioBuilder copy = builder;
+  copy.pacemaker("lumiere");
+  EXPECT_EQ(builder.scenario().nodes[0].protocol.pacemaker, "round-robin");
+  EXPECT_EQ(copy.scenario().nodes[0].protocol.pacemaker, "lumiere");
+  // Two clusters from the same builder replay identically.
+  Cluster first(builder);
+  first.run_for(Duration::seconds(5));
+  Cluster second(builder);
+  second.run_for(Duration::seconds(5));
+  EXPECT_EQ(first.metrics().total_honest_msgs(), second.metrics().total_honest_msgs());
+}
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ClusterOptionsShimTest, ForwardsEveryLegacyField) {
+  ClusterOptions options;
+  options.params = ProtocolParams::for_n(7, Duration::millis(10), /*x=*/4);
+  options.pacemaker = PacemakerKind::kFever;
+  options.core = CoreKind::kHotStuff2;
+  options.gst = TimePoint(Duration::millis(200).ticks());
+  options.seed = 31;
+  options.gamma = Duration::millis(60);
+  options.join_stagger = Duration::millis(100);
+  options.drift_ppm_max = 500;
+  options.lumiere_enforce_qc_deadline = false;
+  options.lumiere_delta_wait = false;
+  options.view_timeout = Duration::millis(77);
+  options.fever_tenure = 4;
+  const Scenario scenario = to_builder(options).scenario();
+  EXPECT_EQ(scenario.params.n, 7U);
+  EXPECT_EQ(scenario.params.x, 4U);
+  EXPECT_EQ(scenario.gst, TimePoint(Duration::millis(200).ticks()));
+  EXPECT_EQ(scenario.seed, 31U);
+  for (const auto& spec : scenario.nodes) {
+    EXPECT_EQ(spec.protocol.pacemaker, "fever");
+    EXPECT_EQ(spec.protocol.core, "hotstuff-2");
+    EXPECT_EQ(spec.protocol.gamma, Duration::millis(60));
+    EXPECT_EQ(spec.protocol.shared_seed, 31U);
+    EXPECT_FALSE(spec.protocol.lumiere.enforce_qc_deadline);
+    EXPECT_FALSE(spec.protocol.lumiere.delta_wait);
+    EXPECT_EQ(spec.protocol.timeout.view_timeout, Duration::millis(77));
+    EXPECT_EQ(spec.protocol.fever.tenure, 4U);
+  }
+}
+
+TEST(ClusterOptionsShimTest, ShimRunMatchesDirectBuilderRun) {
+  ClusterOptions options;
+  options.params = ProtocolParams::for_n(4, Duration::millis(10));
+  options.pacemaker = PacemakerKind::kLumiere;
+  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
+  options.seed = 77;
+  Cluster legacy(to_builder(options));
+  legacy.run_for(Duration::seconds(5));
+
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(4, Duration::millis(10)))
+      .pacemaker("lumiere")
+      .delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)))
+      .seed(77);
+  Cluster direct(builder);
+  direct.run_for(Duration::seconds(5));
+
+  EXPECT_EQ(legacy.metrics().total_honest_msgs(), direct.metrics().total_honest_msgs());
+  EXPECT_EQ(legacy.metrics().decisions().size(), direct.metrics().decisions().size());
+  EXPECT_EQ(legacy.max_honest_view(), direct.max_honest_view());
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace lumiere::runtime

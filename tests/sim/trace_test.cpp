@@ -43,12 +43,12 @@ TEST(TraceLogTest, DumpFormatsAndTruncates) {
 }
 
 TEST(TraceLogTest, ClusterRecordsProtocolEvents) {
-  runtime::ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4);
-  options.pacemaker = runtime::PacemakerKind::kLumiere;
-  options.core = runtime::CoreKind::kChainedHotStuff;
-  options.delay = std::make_shared<FixedDelay>(Duration::millis(1));
-  options.seed = 4;
+  runtime::ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4));
+  options.pacemaker("lumiere");
+  options.core("chained-hotstuff");
+  options.delay(std::make_shared<FixedDelay>(Duration::millis(1)));
+  options.seed(4);
   runtime::Cluster cluster(options);
   cluster.run_for(Duration::seconds(5));
 

@@ -31,31 +31,43 @@ struct NodeOutcome {
 };
 
 /// Runs n full nodes over TCP for `wall` milliseconds; returns outcomes.
-std::vector<NodeOutcome> run_cluster(runtime::PacemakerKind pacemaker,
-                                     runtime::CoreKind core, std::uint16_t base_port,
-                                     int wall_ms) {
+std::vector<NodeOutcome> run_cluster(const std::string& pacemaker, const std::string& core,
+                                     std::uint16_t base_port, int wall_ms) {
   constexpr std::uint32_t kN = 4;
   const crypto::Pki pki(kN, 7);
   const ProtocolParams params = ProtocolParams::for_n(kN, Duration::millis(10), /*x=*/4);
   std::vector<NodeOutcome> outcomes(kN);
+
+  // Bind every listener before any node starts the protocol: one-shot
+  // bootstrap broadcasts (Lumiere's epoch-view message) must not race a
+  // peer's not-yet-bound socket. Real deployments bind before announcing
+  // themselves too; runtime::Cluster's TCP mode does the same.
+  std::vector<std::unique_ptr<sim::Simulator>> sims;
+  std::vector<std::unique_ptr<TcpTransportAdapter>> transports;
+  std::vector<std::unique_ptr<runtime::Node>> nodes;
+  for (ProcessId id = 0; id < kN; ++id) {
+    sims.push_back(std::make_unique<sim::Simulator>());
+    transports.push_back(std::make_unique<TcpTransportAdapter>(id, kN, base_port, full_codec()));
+    runtime::NodeConfig config;
+    config.protocol.pacemaker = pacemaker;
+    config.protocol.core = core;
+    config.protocol.shared_seed = 7;
+    nodes.push_back(std::make_unique<runtime::Node>(params, id, sims[id].get(),
+                                                    transports[id].get(), &pki, config,
+                                                    runtime::NodeObservers{},
+                                                    std::make_unique<adversary::HonestBehavior>()));
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(kN);
   for (ProcessId id = 0; id < kN; ++id) {
     threads.emplace_back([&, id] {
-      sim::Simulator sim;
-      TcpTransportAdapter transport(id, kN, base_port, full_codec());
-      runtime::NodeOptions options;
-      options.pacemaker = pacemaker;
-      options.core = core;
-      options.shared_seed = 7;
-      runtime::Node node(params, id, &sim, &transport, &pki, options, {},
-                         std::make_unique<adversary::HonestBehavior>());
-      node.start();
-      RealtimeDriver driver(&sim, &transport.endpoint());
+      nodes[id]->start();
+      RealtimeDriver driver(sims[id].get(), &transports[id]->endpoint());
       driver.run_for(std::chrono::milliseconds(wall_ms));
-      outcomes[id].final_view = node.current_view();
-      outcomes[id].commits = node.ledger().size();
-      for (const auto& entry : node.ledger().entries()) {
+      outcomes[id].final_view = nodes[id]->current_view();
+      outcomes[id].commits = nodes[id]->ledger().size();
+      for (const auto& entry : nodes[id]->ledger().entries()) {
         outcomes[id].chain.push_back(entry.hash);
       }
     });
@@ -65,8 +77,7 @@ std::vector<NodeOutcome> run_cluster(runtime::PacemakerKind pacemaker,
 }
 
 TEST(RealtimeTest, LumiereHotStuffReachesConsensusOverTcp) {
-  const auto outcomes = run_cluster(runtime::PacemakerKind::kLumiere,
-                                    runtime::CoreKind::kChainedHotStuff, 25480, 800);
+  const auto outcomes = run_cluster("lumiere", "chained-hotstuff", 25480, 800);
   std::size_t shortest = SIZE_MAX;
   for (const auto& outcome : outcomes) {
     // Localhost latency is far below Delta = 10ms; the thresholds are
@@ -89,8 +100,7 @@ TEST(RealtimeTest, LumiereHotStuffReachesConsensusOverTcp) {
 TEST(RealtimeTest, FeverHotStuff2AlsoRunsOverTcp) {
   // A different pacemaker/core pairing through the identical seam —
   // nothing in the realtime path is Lumiere-specific.
-  const auto outcomes = run_cluster(runtime::PacemakerKind::kFever,
-                                    runtime::CoreKind::kHotStuff2, 25500, 800);
+  const auto outcomes = run_cluster("fever", "hotstuff-2", 25500, 800);
   for (const auto& outcome : outcomes) {
     EXPECT_GE(outcome.final_view, 5);
     EXPECT_GE(outcome.commits, 3U);
