@@ -68,7 +68,7 @@ Row measure(const std::string& pacemaker, std::uint32_t n) {
   return row;
 }
 
-void run_table(std::uint32_t n) {
+void run_table(std::uint32_t n, JsonRows* json) {
   const std::uint32_t f = (n - 1) / 3;
   std::printf("\n=== Table 1 (measured), n = %u, f = f_a = %u, Delta = 10ms, delta = 0.5ms ===\n",
               n, f);
@@ -84,16 +84,35 @@ void run_table(std::uint32_t n) {
                 fmt_count(row.worst_comm).c_str(), fmt_count(row.ev_comm_faults).c_str(),
                 fmt_count(row.ev_comm_clean).c_str(), fmt_ms(row.worst_lat).c_str(),
                 fmt_ms(row.ev_lat_faults).c_str(), fmt_ms(row.ev_lat_clean).c_str());
+    if (json != nullptr) {
+      json->add_row()
+          .set("protocol", row.protocol)
+          .set("n", static_cast<std::uint64_t>(n))
+          .set("f", static_cast<std::uint64_t>(f))
+          .set_count("worst_comm_msgs", row.worst_comm)
+          .set_count("ev_comm_fa_f_msgs", row.ev_comm_faults)
+          .set_count("ev_comm_fa_0_msgs", row.ev_comm_clean)
+          .set_ms("worst_lat_ms", row.worst_lat)
+          .set_ms("ev_lat_fa_f_ms", row.ev_lat_faults)
+          .set_ms("ev_lat_fa_0_ms", row.ev_lat_clean);
+    }
   }
 }
 
 }  // namespace
 }  // namespace lumiere::bench
 
-int main() {
+int main(int argc, char** argv) {
+  using lumiere::bench::BenchArgs;
+  using lumiere::bench::JsonRows;
+  const BenchArgs args = lumiere::bench::parse_bench_args(argc, argv);
   std::printf("bench_table1: reproduction of Table 1 (see EXPERIMENTS.md for the mapping)\n");
-  lumiere::bench::run_table(7);
-  lumiere::bench::run_table(13);
+  JsonRows json;
+  // --quick (CI): the n = 7 table alone bounds the run; the growth-order
+  // story needs the second size and stays a local/full-run concern.
+  lumiere::bench::run_table(7, &json);
+  if (!args.quick) lumiere::bench::run_table(13, &json);
+  if (!args.json_path.empty() && !json.write(args.json_path, "table1")) return 1;
   std::printf(
       "\nReading guide: Cogsworth/NK20's worst-case columns blow up fastest;\n"
       "LP22's eventual comm stays quadratic-ish (epoch syncs) and its eventual\n"

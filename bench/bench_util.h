@@ -9,8 +9,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "adversary/behaviors.h"
@@ -22,6 +25,125 @@ namespace lumiere::bench {
 
 using runtime::Cluster;
 using runtime::ScenarioBuilder;
+
+/// Common bench flags. Every bench still runs argument-free; CI passes
+///   --quick          bound the iteration count / sweep size
+///   --json <path>    additionally write the measured rows as JSON
+struct BenchArgs {
+  bool quick = false;
+  std::string json_path;  ///< empty = no JSON artifact
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "%s: unknown argument \"%s\" (supported: --quick, --json <path>)\n",
+                   argv[0], argv[i]);
+    }
+  }
+  return args;
+}
+
+/// Machine-readable bench output: a flat array of row objects, written as
+///   {"bench": "<name>", "rows": [{...}, ...]}
+/// Values are numbers, strings, or null (from empty optionals), so the
+/// perf trajectory can be diffed across CI runs without parsing tables.
+class JsonRows {
+ public:
+  class Row {
+   public:
+    Row& set(const std::string& key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Row& set(const std::string& key, std::uint64_t value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Row& set(const std::string& key, const std::string& value) {
+      // Built with append rather than operator+ chains: GCC 12's
+      // -Wrestrict false-positives on the latter under -O2 (PR105651).
+      std::string quoted;
+      quoted.reserve(value.size() + 2);
+      quoted.push_back('"');
+      quoted.append(escape(value));
+      quoted.push_back('"');
+      fields_.emplace_back(key, std::move(quoted));
+      return *this;
+    }
+    Row& set(const std::string& key, const char* value) {
+      return set(key, std::string(value));
+    }
+    /// Optional duration in fractional milliseconds; empty -> null.
+    Row& set_ms(const std::string& key, std::optional<Duration> value) {
+      if (!value) {
+        fields_.emplace_back(key, "null");
+        return *this;
+      }
+      return set(key, static_cast<double>(value->ticks()) / 1000.0);
+    }
+    Row& set_count(const std::string& key, std::optional<std::uint64_t> value) {
+      if (!value) {
+        fields_.emplace_back(key, "null");
+        return *this;
+      }
+      return set(key, *value);
+    }
+
+   private:
+    friend class JsonRows;
+    static std::string escape(const std::string& raw) {
+      std::string out;
+      for (const char c : raw) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        if (c == '\n') {
+          out += "\\n";
+          continue;
+        }
+        out.push_back(c);
+      }
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;  // key -> encoded value
+  };
+
+  Row& add_row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Writes the artifact; returns false (with a note on stderr) on I/O
+  /// failure so CI fails visibly rather than uploading nothing.
+  [[nodiscard]] bool write(const std::string& path, const std::string& bench) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    out << "{\"bench\": \"" << Row::escape(bench) << "\", \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << (r == 0 ? "\n" : ",\n") << "  {";
+      const auto& fields = rows_[r].fields_;
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << "\"" << Row::escape(fields[i].first) << "\": " << fields[i].second;
+      }
+      out << "}";
+    }
+    out << "\n]}\n";
+    return out.good();
+  }
+
+ private:
+  std::vector<Row> rows_;
+};
 
 /// The protocols compared in Table 1, plus RareSync (the other
 /// quadratic-optimal synchronizer the paper discusses in §6), by

@@ -66,6 +66,72 @@ void Cluster::build_sim_cluster(std::vector<std::unique_ptr<adversary::Behavior>
                                             pki_.get(), config_for(scenario_.nodes[id]),
                                             observers, std::move(behaviors[id])));
   }
+  schedule_faults_sim();
+}
+
+void Cluster::schedule_faults_sim() {
+  // Scheduled at construction, before any node start()/join events, so a
+  // fault scripted at an instant fires before same-instant protocol
+  // activity (the event queue is FIFO within one timestamp).
+  for (const sim::FaultEvent& event : scenario_.schedule.events) {
+    sim_.schedule_at(event.at, [this, event] {
+      network_->apply(event);
+      const std::string note = sim::FaultSchedule::describe(event);
+      trace_.record(event.at, sim::TraceKind::kCustom, event.node, -1, note);
+      metrics_->mark_regime(event.at, note);
+    });
+  }
+}
+
+void Cluster::apply_fault_tcp(ProcessId id, const sim::FaultEvent& event) {
+  transport::TcpTransportAdapter& adapter = *adapters_[id];
+  switch (event.kind) {
+    case sim::FaultKind::kPartition: {
+      // Same group/cut rule as sim::Network (sim/fault_schedule.h), so
+      // the two transports cannot disagree on what a cut means.
+      const std::vector<std::uint32_t> group =
+          sim::partition_group_of(event.groups, scenario_.params.n);
+      for (ProcessId peer = 0; peer < scenario_.params.n; ++peer) {
+        adapter.set_partition_cut(peer, sim::partition_cuts(group, id, peer));
+      }
+      break;
+    }
+    case sim::FaultKind::kHeal:
+      adapter.clear_partition();
+      break;
+    case sim::FaultKind::kCrash:
+    case sim::FaultKind::kLeave:
+      if (id == event.node) {
+        adapter.set_self_down(true);
+      } else {
+        adapter.set_peer_down(event.node, true);
+      }
+      break;
+    case sim::FaultKind::kRecover:
+    case sim::FaultKind::kRejoin:
+      if (id == event.node) {
+        adapter.set_self_down(false);
+      } else {
+        adapter.set_peer_down(event.node, false);
+      }
+      break;
+    case sim::FaultKind::kDelayChange:
+    case sim::FaultKind::kLinkDelay:
+      break;  // simulator-only; ScenarioBuilder::validate() rejects these
+  }
+}
+
+void Cluster::schedule_faults_tcp() {
+  // Each node applies the transition on its own private simulator (and
+  // thus its own driver thread) when its wall clock reaches the event
+  // instant — best-effort: the nodes cut the link within one another's
+  // pacing jitter rather than atomically.
+  for (const sim::FaultEvent& event : scenario_.schedule.events) {
+    for (ProcessId id = 0; id < scenario_.params.n; ++id) {
+      node_sims_[id]->schedule_at(event.at,
+                                  [this, id, event] { apply_fault_tcp(id, event); });
+    }
+  }
 }
 
 void Cluster::build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>> behaviors) {
@@ -92,6 +158,7 @@ void Cluster::build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>
     drivers_.push_back(std::make_unique<transport::RealtimeDriver>(
         node_sims_.back().get(), &adapters_.back()->endpoint()));
   }
+  schedule_faults_tcp();
 }
 
 void Cluster::start() {

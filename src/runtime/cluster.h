@@ -84,6 +84,12 @@ class Cluster {
  private:
   void build_sim_cluster(std::vector<std::unique_ptr<adversary::Behavior>> behaviors);
   void build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>> behaviors);
+  /// Schedules the fault script on the shared simulator (sim transport).
+  void schedule_faults_sim();
+  /// Best-effort realtime analogue: schedules partition/crash/churn
+  /// transitions on every node's private simulator (TCP transport).
+  void schedule_faults_tcp();
+  void apply_fault_tcp(ProcessId id, const sim::FaultEvent& event);
   [[nodiscard]] NodeConfig config_for(const NodeSpec& spec) const;
 
   Scenario scenario_;

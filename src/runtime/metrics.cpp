@@ -64,6 +64,28 @@ std::optional<std::uint64_t> MetricsCollector::msgs_to_first_decision(TimePoint 
   return decisions_[i].msgs_before - msgs_between(TimePoint::origin(), gst);
 }
 
+void MetricsCollector::mark_regime(TimePoint at, std::string label) {
+  regime_marks_.emplace_back(at, std::move(label));
+}
+
+std::uint64_t MetricsCollector::decisions_between(TimePoint from, TimePoint to) const {
+  const std::size_t lo = first_decision_index_after(from);
+  const std::size_t hi = first_decision_index_after(to);
+  return hi - lo;
+}
+
+std::optional<Duration> MetricsCollector::max_decision_gap_between(TimePoint from,
+                                                                   TimePoint to) const {
+  const std::size_t lo = first_decision_index_after(from);
+  const std::size_t hi = first_decision_index_after(to);
+  if (lo + 1 >= hi) return std::nullopt;
+  Duration worst = Duration::zero();
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    worst = std::max(worst, decisions_[i].at - decisions_[i - 1].at);
+  }
+  return worst;
+}
+
 std::uint64_t MetricsCollector::msgs_between(TimePoint from, TimePoint to) const {
   const auto count_until = [this](TimePoint t) -> std::uint64_t {
     // Largest cumulative count with send time < t.

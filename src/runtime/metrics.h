@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/time.h"
@@ -81,6 +83,26 @@ class MetricsCollector final : public sim::NetworkObserver {
   /// Honest messages sent in [from, to).
   [[nodiscard]] std::uint64_t msgs_between(TimePoint from, TimePoint to) const;
 
+  // -- regime windows ------------------------------------------------------
+  // The fault-schedule executor marks each scripted event here, so a
+  // run's measures can be attributed to the network regime they occurred
+  // under (before / during / after a partition, per delay era, ...).
+
+  /// Records a regime boundary (a fault-schedule event) at `at`.
+  void mark_regime(TimePoint at, std::string label);
+  /// All boundaries in time order: (instant, event description).
+  [[nodiscard]] const std::vector<std::pair<TimePoint, std::string>>& regime_marks()
+      const noexcept {
+    return regime_marks_;
+  }
+
+  /// Decisions with `from <= at < to`.
+  [[nodiscard]] std::uint64_t decisions_between(TimePoint from, TimePoint to) const;
+  /// Max gap between consecutive decisions that both fall in [from, to);
+  /// nullopt with fewer than two decisions in the window.
+  [[nodiscard]] std::optional<Duration> max_decision_gap_between(TimePoint from,
+                                                                 TimePoint to) const;
+
  private:
   std::uint32_t n_;
   std::vector<bool> byzantine_;
@@ -93,6 +115,7 @@ class MetricsCollector final : public sim::NetworkObserver {
   /// (time, cumulative count) checkpoints for msgs_between; one entry per
   /// send keeps memory bounded via coarse bucketing.
   std::vector<std::pair<TimePoint, std::uint64_t>> send_log_;
+  std::vector<std::pair<TimePoint, std::string>> regime_marks_;
 };
 
 }  // namespace lumiere::runtime

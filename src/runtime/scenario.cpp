@@ -1,5 +1,6 @@
 #include "runtime/scenario.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -147,6 +148,93 @@ ScenarioBuilder& ScenarioBuilder::drift_ppm_max(std::int64_t max) {
   return *this;
 }
 
+void ScenarioBuilder::push_event(sim::FaultEvent event, TimePoint declared_at) {
+  declared_.emplace_back(declared_at, sim::FaultSchedule::describe(event));
+  schedule_.events.push_back(std::move(event));
+}
+
+ScenarioBuilder& ScenarioBuilder::partition(std::vector<std::vector<ProcessId>> groups,
+                                            TimePoint at) {
+  sim::FaultEvent event;
+  event.at = at;
+  event.kind = sim::FaultKind::kPartition;
+  event.groups = std::move(groups);
+  push_event(std::move(event), at);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::heal(TimePoint at) {
+  sim::FaultEvent event;
+  event.at = at;
+  event.kind = sim::FaultKind::kHeal;
+  push_event(std::move(event), at);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::crash(ProcessId node, TimePoint at) {
+  sim::FaultEvent event;
+  event.at = at;
+  event.kind = sim::FaultKind::kCrash;
+  event.node = node;
+  push_event(std::move(event), at);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::recover(ProcessId node, TimePoint at) {
+  sim::FaultEvent event;
+  event.at = at;
+  event.kind = sim::FaultKind::kRecover;
+  event.node = node;
+  push_event(std::move(event), at);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::churn(ProcessId node, TimePoint leave_at,
+                                        TimePoint rejoin_at) {
+  sim::FaultEvent leave;
+  leave.at = leave_at;
+  leave.kind = sim::FaultKind::kLeave;
+  leave.node = node;
+  push_event(std::move(leave), leave_at);
+  // The rejoin rides on the same declaration: it is checked against its
+  // own leave (rejoin_at > leave_at) rather than the declaration order,
+  // so a churn window may span later-declared events.
+  sim::FaultEvent rejoin;
+  rejoin.at = rejoin_at;
+  rejoin.kind = sim::FaultKind::kRejoin;
+  rejoin.node = node;
+  schedule_.events.push_back(std::move(rejoin));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::delay_change(std::shared_ptr<sim::DelayPolicy> policy,
+                                               TimePoint at) {
+  sim::FaultEvent event;
+  event.at = at;
+  event.kind = sim::FaultKind::kDelayChange;
+  event.delay = std::move(policy);
+  push_event(std::move(event), at);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::link_delay(ProcessId from, ProcessId to,
+                                             std::shared_ptr<sim::DelayPolicy> policy,
+                                             TimePoint at) {
+  sim::FaultEvent event;
+  event.at = at;
+  event.kind = sim::FaultKind::kLinkDelay;
+  event.node = from;
+  event.peer = to;
+  event.delay = std::move(policy);
+  push_event(std::move(event), at);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::topology(std::string preset) {
+  topology_ = std::move(preset);
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::transport_sim() {
   transport_ = TransportKind::kSim;
   return *this;
@@ -209,6 +297,97 @@ std::vector<std::string> ScenarioBuilder::validate() const {
     }
   }
 
+  // ---- fault schedule ---------------------------------------------------
+  const auto check_node_id = [&](const std::string& where, ProcessId id) {
+    if (id >= params_.n) {
+      errors.push_back(where + ": references node id " + std::to_string(id) +
+                       " but the cluster has nodes 0.." + std::to_string(params_.n - 1));
+      return false;
+    }
+    return true;
+  };
+  for (std::size_t i = 1; i < declared_.size(); ++i) {
+    if (declared_[i].first < declared_[i - 1].first) {
+      errors.push_back("fault schedule: \"" + declared_[i].second +
+                       "\" is declared after \"" + declared_[i - 1].second +
+                       "\" but happens earlier; declare events in timeline order");
+    }
+  }
+  for (const sim::FaultEvent& event : schedule_.events) {
+    const std::string where = "fault schedule: " + sim::FaultSchedule::describe(event);
+    if (event.at < TimePoint::origin()) {
+      errors.push_back(where + ": event time must not precede the origin");
+    }
+    switch (event.kind) {
+      case sim::FaultKind::kPartition: {
+        std::vector<bool> seen(params_.n, false);
+        for (const auto& group : event.groups) {
+          if (group.empty()) {
+            errors.push_back(where + ": partition groups must be non-empty");
+          }
+          for (const ProcessId id : group) {
+            if (!check_node_id(where, id)) continue;
+            if (seen[id]) {
+              errors.push_back(where + ": node " + std::to_string(id) +
+                               " appears in more than one group");
+            }
+            seen[id] = true;
+          }
+        }
+        break;
+      }
+      case sim::FaultKind::kCrash:
+      case sim::FaultKind::kRecover:
+      case sim::FaultKind::kLeave:
+      case sim::FaultKind::kRejoin:
+        check_node_id(where, event.node);
+        break;
+      case sim::FaultKind::kLinkDelay:
+        check_node_id(where, event.node);
+        check_node_id(where, event.peer);
+        break;
+      case sim::FaultKind::kHeal:
+      case sim::FaultKind::kDelayChange:
+        break;
+    }
+  }
+  // Churn windows: each rejoin must follow its leave. Leave/rejoin events
+  // are emitted pairwise by churn(), in order, per node.
+  {
+    std::map<ProcessId, TimePoint> leave_at;
+    for (const sim::FaultEvent& event : schedule_.events) {
+      if (event.kind == sim::FaultKind::kLeave) leave_at[event.node] = event.at;
+      if (event.kind == sim::FaultKind::kRejoin && leave_at.count(event.node) &&
+          event.at <= leave_at[event.node]) {
+        errors.push_back("fault schedule: churn of node " + std::to_string(event.node) +
+                         " must rejoin strictly after it leaves");
+      }
+    }
+  }
+
+  // ---- topology preset --------------------------------------------------
+  if (!topology_.empty()) {
+    if (!sim::has_topology_preset(topology_)) {
+      errors.push_back("topology: " + sim::unknown_topology_message(topology_));
+    } else {
+      const sim::TopologyPreset& preset = sim::topology_preset(topology_);
+      if (preset.max_delay() > params_.delta_cap) {
+        errors.push_back(
+            "topology \"" + topology_ + "\": worst link delay (" +
+            std::to_string(preset.max_delay().ticks() / 1000) + "ms) exceeds Delta (" +
+            std::to_string(params_.delta_cap.ticks() / 1000) +
+            "ms); the model would clamp it — raise params delta_cap above the preset's "
+            "max_delay()");
+      }
+      if (delay_ != nullptr) {
+        errors.push_back(
+            "topology \"" + topology_ +
+            "\" and delay() are mutually exclusive (the preset is the delay policy); use "
+            "delay_change() to switch policies mid-run");
+      }
+    }
+  }
+
   if (transport_ == TransportKind::kTcp) {
     if (tcp_base_port_ == 0) {
       errors.push_back("tcp transport: transport_tcp(base_port) requires a non-zero port");
@@ -225,6 +404,19 @@ std::vector<std::string> ScenarioBuilder::validate() const {
       errors.push_back(
           "tcp transport: GST is simulator-only (wall-clock runs have no synchrony switch); "
           "use transport_sim() for partial-synchrony experiments");
+    }
+    if (!topology_.empty()) {
+      errors.push_back(
+          "tcp transport: topology presets are simulator-only (the real network's delays "
+          "cannot be scripted); use transport_sim() for WAN experiments");
+    }
+    for (const sim::FaultEvent& event : schedule_.events) {
+      if (event.kind == sim::FaultKind::kDelayChange ||
+          event.kind == sim::FaultKind::kLinkDelay) {
+        errors.push_back("tcp transport: " + sim::FaultSchedule::describe(event) +
+                         " is simulator-only (delays cannot be scripted on real sockets); "
+                         "partitions, crashes and churn do have a best-effort TCP analogue");
+      }
     }
   }
   return errors;
@@ -247,6 +439,15 @@ Scenario ScenarioBuilder::scenario() const {
   scenario.gst = gst_;
   scenario.delay = delay_;
   scenario.tcp_base_port = tcp_base_port_;
+  scenario.schedule = schedule_;
+  scenario.topology = topology_;
+  if (!topology_.empty()) {
+    scenario.delay = sim::make_topology_delay(topology_, params_.n);
+  }
+  // Events executed in time order; the stable sort keeps same-instant
+  // events in declaration order (the determinism tests rely on it).
+  std::stable_sort(scenario.schedule.events.begin(), scenario.schedule.events.end(),
+                   [](const sim::FaultEvent& a, const sim::FaultEvent& b) { return a.at < b.at; });
 
   Rng join_rng(seed_ ^ 0x4a4f494eULL);
   Rng drift_rng(seed_ ^ 0x44524946ULL);

@@ -28,6 +28,8 @@
 #include "adversary/behaviors.h"
 #include "runtime/registry.h"
 #include "sim/delay_policy.h"
+#include "sim/fault_schedule.h"
+#include "sim/topology.h"
 
 namespace lumiere::runtime {
 
@@ -73,6 +75,15 @@ struct Scenario {
   /// First localhost port (TCP transport only); node i listens on
   /// tcp_base_port + i.
   std::uint16_t tcp_base_port = 0;
+
+  /// Scripted network/membership events, sorted by time (stable: events
+  /// declared at the same instant fire in declaration order). Executed by
+  /// the sim event loop; partitions and crashes also have a best-effort
+  /// realtime analogue on the TCP transport.
+  sim::FaultSchedule schedule;
+  /// The topology preset `delay` was resolved from (empty = none); kept
+  /// for display.
+  std::string topology;
 
   std::vector<NodeSpec> nodes;
 };
@@ -135,6 +146,38 @@ class ScenarioBuilder {
   /// uniform in [-max, +max] ppm. Zero = perfect clocks.
   ScenarioBuilder& drift_ppm_max(std::int64_t max);
 
+  // ---- the fault schedule (scripted network/membership events) ----
+  // Events must be declared in timeline order (non-decreasing times);
+  // validate() rejects out-of-order scripts so a scenario reads
+  // top-to-bottom as a timeline. Multiple events may share one instant
+  // (they fire in declaration order).
+
+  /// From `at`, links between distinct `groups` are cut; cross-cut
+  /// traffic parks until heal(). Nodes in no group keep all their links.
+  ScenarioBuilder& partition(std::vector<std::vector<ProcessId>> groups, TimePoint at);
+  /// Removes the active partition at `at` and releases parked traffic.
+  /// Healing with no active partition is a deterministic no-op.
+  ScenarioBuilder& heal(TimePoint at);
+  /// From `at`, `node`'s traffic is cut both ways and lost (the process
+  /// is down; local state persists — see sim/fault_schedule.h).
+  ScenarioBuilder& crash(ProcessId node, TimePoint at);
+  /// Readmits a crashed `node` at `at`; it catches up through the
+  /// protocol.
+  ScenarioBuilder& recover(ProcessId node, TimePoint at);
+  /// Churn: `node` leaves the cluster at `leave_at` and rejoins at
+  /// `rejoin_at` (crash/recover semantics, recorded distinctly in traces).
+  ScenarioBuilder& churn(ProcessId node, TimePoint leave_at, TimePoint rejoin_at);
+  /// Swaps the adversary's global delay policy at `at` (sim only;
+  /// nullptr = worst permitted).
+  ScenarioBuilder& delay_change(std::shared_ptr<sim::DelayPolicy> policy, TimePoint at);
+  /// Overrides the directed link from->to with `policy` at `at` (sim
+  /// only; nullptr restores the global policy for that link).
+  ScenarioBuilder& link_delay(ProcessId from, ProcessId to,
+                              std::shared_ptr<sim::DelayPolicy> policy, TimePoint at);
+  /// Named WAN topology preset ("lan", "wan3", "wan5"): per-link delays
+  /// from a region map (sim only; mutually exclusive with delay()).
+  ScenarioBuilder& topology(std::string preset);
+
   // ---- transport selection ----
   ScenarioBuilder& transport_sim();
   ScenarioBuilder& transport_tcp(std::uint16_t base_port);
@@ -166,6 +209,14 @@ class ScenarioBuilder {
   TransportKind transport_ = TransportKind::kSim;
   std::uint16_t tcp_base_port_ = 0;
   std::map<ProcessId, NodeTweak> tweaks_;
+
+  void push_event(sim::FaultEvent event, TimePoint declared_at);
+  sim::FaultSchedule schedule_;
+  /// One (time, description) per builder call, in call order — the
+  /// timeline validate() checks for monotonicity (churn spans a window,
+  /// so its rejoin event is exempt from the declaration-order rule).
+  std::vector<std::pair<TimePoint, std::string>> declared_;
+  std::string topology_;
 };
 
 }  // namespace lumiere::runtime

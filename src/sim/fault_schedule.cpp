@@ -1,0 +1,73 @@
+#include "sim/fault_schedule.h"
+
+#include <sstream>
+
+namespace lumiere::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeal:
+      return "heal";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRecover:
+      return "recover";
+    case FaultKind::kLeave:
+      return "leave";
+    case FaultKind::kRejoin:
+      return "rejoin";
+    case FaultKind::kDelayChange:
+      return "delay-change";
+    case FaultKind::kLinkDelay:
+      return "link-delay";
+  }
+  return "?";
+}
+
+std::vector<std::uint32_t> partition_group_of(const std::vector<std::vector<ProcessId>>& groups,
+                                              std::uint32_t n) {
+  std::vector<std::uint32_t> group_of(n, kUngrouped);
+  for (std::uint32_t g = 0; g < groups.size(); ++g) {
+    for (const ProcessId id : groups[g]) {
+      if (id < n) group_of[id] = g;
+    }
+  }
+  return group_of;
+}
+
+std::string FaultSchedule::describe(const FaultEvent& event) {
+  std::ostringstream out;
+  out << to_string(event.kind);
+  switch (event.kind) {
+    case FaultKind::kPartition: {
+      out << "{";
+      for (std::size_t g = 0; g < event.groups.size(); ++g) {
+        if (g > 0) out << "|";
+        for (std::size_t i = 0; i < event.groups[g].size(); ++i) {
+          if (i > 0) out << " ";
+          out << event.groups[g][i];
+        }
+      }
+      out << "}";
+      break;
+    }
+    case FaultKind::kCrash:
+    case FaultKind::kRecover:
+    case FaultKind::kLeave:
+    case FaultKind::kRejoin:
+      out << " p" << event.node;
+      break;
+    case FaultKind::kLinkDelay:
+      out << " p" << event.node << "->p" << event.peer;
+      break;
+    case FaultKind::kHeal:
+    case FaultKind::kDelayChange:
+      break;
+  }
+  out << " @" << event.at.ticks() << "us";
+  return out.str();
+}
+
+}  // namespace lumiere::sim

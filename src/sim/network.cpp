@@ -1,5 +1,7 @@
 #include "sim/network.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 
 namespace lumiere::sim {
@@ -12,7 +14,8 @@ Network::Network(Simulator* sim, std::uint32_t n, TimePoint gst, Duration delta_
       policy_(std::move(policy)),
       rng_(seed ^ 0x6e657477726b2121ULL),
       endpoints_(n),
-      disconnected_(n, false) {
+      down_(n, false),
+      group_(n, kUngrouped) {
   LUMIERE_ASSERT(sim != nullptr);
   LUMIERE_ASSERT(n > 0);
   LUMIERE_ASSERT(delta_cap > Duration::zero());
@@ -24,10 +27,14 @@ void Network::register_endpoint(ProcessId id, DeliverFn fn) {
   endpoints_[id] = std::move(fn);
 }
 
+bool Network::cut(ProcessId from, ProcessId to) const {
+  return partition_active_ && partition_cuts(group_, from, to);
+}
+
 void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
   LUMIERE_ASSERT(from < endpoints_.size() && to < endpoints_.size());
   LUMIERE_ASSERT(msg != nullptr);
-  if (disconnected_[from]) return;
+  if (down_[from]) return;
 
   const TimePoint now = sim_->now();
 
@@ -40,18 +47,38 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
     return;
   }
 
+  // A down receiver is NOT checked here: the send is real honest traffic
+  // (it must count in the metrics) and the message travels regardless —
+  // deliver() drops it iff the receiver is still down at arrival, exactly
+  // like any other in-flight message.
+  ++total_messages_;
+  if (observer_ != nullptr) observer_->on_send(now, from, to, *msg);
+
+  if (cut(from, to)) {
+    // The adversary may delay but never destroy: cross-partition traffic
+    // parks and is released by heal(). (Dropping instead would violate
+    // the reliable-channel assumption and permanently wedge the
+    // epoch-certificate protocols — a lost epoch cert never retransmits.)
+    parked_.push_back(Parked{from, to, std::move(msg)});
+    return;
+  }
+  schedule_delivery(from, to, std::move(msg));
+}
+
+void Network::schedule_delivery(ProcessId from, ProcessId to, MessagePtr msg) {
+  const TimePoint now = sim_->now();
   // The adversary proposes; the model clamps. `latest` is the hard bound
   // max(GST, t) + Delta from Section 2.
   const TimePoint latest = std::max(gst_, now) + delta_cap_;
+  const auto link = link_policy_.find({from, to});
+  DelayPolicy* policy = link != link_policy_.end() ? link->second.get() : policy_.get();
   Duration proposed =
-      policy_ != nullptr ? policy_->propose_delay(from, to, *msg, now, rng_) : Duration::max();
+      policy != nullptr ? policy->propose_delay(from, to, *msg, now, rng_) : Duration::max();
   if (proposed < Duration::zero()) proposed = Duration::zero();
   TimePoint delivery = (proposed == Duration::max()) ? latest : now + proposed;
   if (delivery > latest) delivery = latest;
 
-  ++total_messages_;
-  if (observer_ != nullptr) observer_->on_send(now, from, to, *msg);
-  sim_->schedule_at(delivery, [this, from, to, msg] { deliver(from, to, msg); });
+  sim_->schedule_at(delivery, [this, from, to, msg = std::move(msg)] { deliver(from, to, msg); });
 }
 
 void Network::broadcast(ProcessId from, const MessagePtr& msg) {
@@ -60,13 +87,77 @@ void Network::broadcast(ProcessId from, const MessagePtr& msg) {
   }
 }
 
-void Network::disconnect(ProcessId id) {
-  LUMIERE_ASSERT(id < disconnected_.size());
-  disconnected_[id] = true;
+void Network::apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kPartition:
+      set_partition(event.groups);
+      break;
+    case FaultKind::kHeal:
+      heal();
+      break;
+    case FaultKind::kCrash:
+    case FaultKind::kLeave:
+      set_down(event.node, true);
+      break;
+    case FaultKind::kRecover:
+    case FaultKind::kRejoin:
+      set_down(event.node, false);
+      break;
+    case FaultKind::kDelayChange:
+      set_delay_policy(event.delay);
+      break;
+    case FaultKind::kLinkDelay:
+      set_link_delay(event.node, event.peer, event.delay);
+      break;
+  }
 }
 
+void Network::set_partition(const std::vector<std::vector<ProcessId>>& groups) {
+  // A new partition replaces any active one; traffic parked under the old
+  // cut stays parked until heal() (the links are still down).
+  group_ = partition_group_of(groups, static_cast<std::uint32_t>(endpoints_.size()));
+  partition_active_ = true;
+}
+
+void Network::heal() {
+  if (!partition_active_) return;  // healing a healthy network is a no-op
+  partition_active_ = false;
+  std::fill(group_.begin(), group_.end(), kUngrouped);
+  // Release ALL parked traffic in send order, as if sent at the heal
+  // instant (the adversary delayed each message exactly until the cut
+  // lifted). Down endpoints are not special-cased here: deliver() drops a
+  // message iff the receiver is down at arrival, the same rule every
+  // in-flight message obeys — a crash window that ends before the heal
+  // must not destroy a never-retransmitted epoch certificate.
+  std::vector<Parked> parked = std::move(parked_);
+  parked_.clear();
+  for (Parked& p : parked) {
+    schedule_delivery(p.from, p.to, std::move(p.msg));
+  }
+}
+
+void Network::set_down(ProcessId id, bool down) {
+  LUMIERE_ASSERT(id < down_.size());
+  down_[id] = down;
+}
+
+void Network::set_delay_policy(std::shared_ptr<DelayPolicy> policy) {
+  policy_ = std::move(policy);
+}
+
+void Network::set_link_delay(ProcessId from, ProcessId to, std::shared_ptr<DelayPolicy> policy) {
+  LUMIERE_ASSERT(from < endpoints_.size() && to < endpoints_.size());
+  if (policy == nullptr) {
+    link_policy_.erase({from, to});
+  } else {
+    link_policy_[{from, to}] = std::move(policy);
+  }
+}
+
+void Network::disconnect(ProcessId id) { set_down(id, true); }
+
 void Network::deliver(ProcessId from, ProcessId to, const MessagePtr& msg) {
-  if (disconnected_[to]) return;
+  if (down_[to]) return;
   if (!endpoints_[to]) return;  // endpoint never registered (inactive node)
   if (observer_ != nullptr) observer_->on_deliver(sim_->now(), from, to, *msg);
   endpoints_[to](from, msg);

@@ -5,11 +5,21 @@
 // enforces the model guarantee that a message sent at time t is delivered
 // by max(GST, t) + Delta. Messages a processor sends to itself are
 // delivered immediately (the paper's convention, Section 4).
+//
+// Link state is scriptable over time (sim/fault_schedule.h): partitions
+// cut groups apart and PARK cross-cut traffic until heal (delayed, never
+// destroyed — the adversary's power in this model); crashes cut one
+// processor both ways and LOSE its traffic; the global delay policy and
+// individual directed links can be re-pointed mid-run. Clusters drive
+// these transitions from a FaultSchedule; tests may call the setters
+// directly.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/params.h"
@@ -18,6 +28,7 @@
 #include "common/types.h"
 #include "ser/message.h"
 #include "sim/delay_policy.h"
+#include "sim/fault_schedule.h"
 #include "sim/simulator.h"
 #include "sim/transport_iface.h"
 
@@ -54,10 +65,39 @@ class Network final : public MessageTransport {
 
   void set_observer(NetworkObserver* observer) noexcept { observer_ = observer; }
 
-  /// Cuts a processor off (crash simulation): all its future inbound
-  /// deliveries and outbound sends are dropped.
+  // ---- scriptable link state (the fault-schedule executor) -------------
+
+  /// Applies one scripted event at the current instant.
+  void apply(const FaultEvent& event);
+
+  /// Cuts links between distinct groups; cross-cut sends park until
+  /// heal(). Nodes appearing in no group keep all their links.
+  void set_partition(const std::vector<std::vector<ProcessId>>& groups);
+  /// Removes the active partition and releases parked traffic (delivered
+  /// from the current instant under the usual delay computation). No-op
+  /// when no partition is active.
+  void heal();
+  /// `down = true` takes `id` down (crash / churn-leave): it emits
+  /// nothing, and anything arriving while it is down is lost. `false`
+  /// readmits it. Local protocol state is untouched; down-ness is checked
+  /// at the sender on send and at the receiver on delivery, so a message
+  /// in flight (or parked) across a crash window that has ended by its
+  /// arrival is still delivered.
+  void set_down(ProcessId id, bool down);
+  /// Replaces the adversary's global delay policy from now on.
+  void set_delay_policy(std::shared_ptr<DelayPolicy> policy);
+  /// Overrides the directed link from->to (nullptr restores the global
+  /// policy for that link).
+  void set_link_delay(ProcessId from, ProcessId to, std::shared_ptr<DelayPolicy> policy);
+
+  /// Cuts a processor off permanently (legacy crash simulation; equals
+  /// set_down(id, true)).
   void disconnect(ProcessId id);
-  [[nodiscard]] bool disconnected(ProcessId id) const { return disconnected_[id]; }
+  [[nodiscard]] bool disconnected(ProcessId id) const { return down_[id]; }
+
+  [[nodiscard]] bool partition_active() const noexcept { return partition_active_; }
+  /// Cross-partition messages currently parked awaiting heal().
+  [[nodiscard]] std::size_t parked_count() const noexcept { return parked_.size(); }
 
   [[nodiscard]] TimePoint gst() const noexcept { return gst_; }
   [[nodiscard]] Duration delta_cap() const noexcept { return delta_cap_; }
@@ -70,6 +110,17 @@ class Network final : public MessageTransport {
   [[nodiscard]] std::uint64_t total_messages() const noexcept { return total_messages_; }
 
  private:
+  struct Parked {
+    ProcessId from;
+    ProcessId to;
+    MessagePtr msg;
+  };
+
+  /// True when an active partition separates `from` and `to`.
+  [[nodiscard]] bool cut(ProcessId from, ProcessId to) const;
+  /// Computes the clamped delivery instant for a message sent now and
+  /// schedules it.
+  void schedule_delivery(ProcessId from, ProcessId to, MessagePtr msg);
   void deliver(ProcessId from, ProcessId to, const MessagePtr& msg);
 
   Simulator* sim_;
@@ -78,7 +129,14 @@ class Network final : public MessageTransport {
   std::shared_ptr<DelayPolicy> policy_;
   Rng rng_;
   std::vector<DeliverFn> endpoints_;
-  std::vector<bool> disconnected_;
+  std::vector<bool> down_;
+  /// Partition group per node; kUngrouped = in no group (fully connected).
+  bool partition_active_ = false;
+  std::vector<std::uint32_t> group_;
+  /// Cross-partition traffic awaiting heal, in send order.
+  std::vector<Parked> parked_;
+  /// Directed per-link delay overrides (win over policy_).
+  std::map<std::pair<ProcessId, ProcessId>, std::shared_ptr<DelayPolicy>> link_policy_;
   NetworkObserver* observer_ = nullptr;
   std::uint64_t total_messages_ = 0;
 };

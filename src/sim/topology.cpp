@@ -1,0 +1,123 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace lumiere::sim {
+namespace {
+
+std::vector<std::vector<Duration>> symmetric(std::uint32_t regions,
+                                             std::vector<std::int64_t> upper_ms) {
+  // `upper_ms` lists the strict upper triangle row by row, in milliseconds.
+  std::vector<std::vector<Duration>> inter(regions,
+                                           std::vector<Duration>(regions, Duration::zero()));
+  std::size_t k = 0;
+  for (std::uint32_t a = 0; a < regions; ++a) {
+    for (std::uint32_t b = a + 1; b < regions; ++b) {
+      LUMIERE_ASSERT(k < upper_ms.size());
+      inter[a][b] = inter[b][a] = Duration::millis(upper_ms[k++]);
+    }
+  }
+  LUMIERE_ASSERT(k == upper_ms.size());
+  return inter;
+}
+
+const std::map<std::string, TopologyPreset>& presets() {
+  static const std::map<std::string, TopologyPreset> table = [] {
+    std::map<std::string, TopologyPreset> t;
+
+    TopologyPreset lan;
+    lan.name = "lan";
+    lan.regions = 1;
+    lan.intra_lo = Duration::micros(50);
+    lan.intra_hi = Duration::micros(200);
+    t[lan.name] = lan;
+
+    // Three regions, us-east / eu-west / ap-south flavored.
+    TopologyPreset wan3;
+    wan3.name = "wan3";
+    wan3.regions = 3;
+    wan3.intra_lo = Duration::micros(250);
+    wan3.intra_hi = Duration::millis(1);
+    wan3.inter = symmetric(3, {40, 60, 55});
+    wan3.jitter = Duration::millis(5);
+    t[wan3.name] = wan3;
+
+    // Five regions spanning the Pacific; worst pair ~150ms one-way.
+    TopologyPreset wan5;
+    wan5.name = "wan5";
+    wan5.regions = 5;
+    wan5.intra_lo = Duration::micros(250);
+    wan5.intra_hi = Duration::millis(1);
+    wan5.inter = symmetric(5, {40, 60, 75, 100,  //
+                               55, 90, 120,      //
+                               45, 130,          //
+                               150});
+    wan5.jitter = Duration::millis(5);
+    t[wan5.name] = wan5;
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+Duration TopologyPreset::max_delay() const {
+  Duration worst = intra_hi;
+  for (const auto& row : inter) {
+    for (const Duration d : row) worst = std::max(worst, d + jitter);
+  }
+  return worst;
+}
+
+bool has_topology_preset(const std::string& name) { return presets().count(name) > 0; }
+
+std::vector<std::string> topology_preset_names() {
+  std::vector<std::string> names;
+  for (const auto& [name, preset] : presets()) names.push_back(name);
+  return names;
+}
+
+std::string unknown_topology_message(const std::string& name) {
+  std::ostringstream out;
+  out << "unknown topology preset \"" << name << "\"; registered presets:";
+  for (const auto& known : topology_preset_names()) out << " " << known;
+  return out.str();
+}
+
+const TopologyPreset& topology_preset(const std::string& name) {
+  const auto it = presets().find(name);
+  LUMIERE_ASSERT_MSG(it != presets().end(), "unknown topology preset (validate first)");
+  return it->second;
+}
+
+RegionDelay::RegionDelay(TopologyPreset preset, std::uint32_t n)
+    : preset_(std::move(preset)), n_(n) {
+  LUMIERE_ASSERT(preset_.regions > 0);
+  LUMIERE_ASSERT(n > 0);
+}
+
+std::uint32_t RegionDelay::region_of(ProcessId id) const { return id % preset_.regions; }
+
+Duration RegionDelay::propose_delay(ProcessId from, ProcessId to, const Message&, TimePoint,
+                                    Rng& rng) {
+  const std::uint32_t a = region_of(from);
+  const std::uint32_t b = region_of(to);
+  if (a == b) {
+    return Duration(rng.next_in(preset_.intra_lo.ticks(), preset_.intra_hi.ticks()));
+  }
+  const Duration base = preset_.inter[a][b];
+  const Duration jitter = preset_.jitter > Duration::zero()
+                              ? Duration(rng.next_in(0, preset_.jitter.ticks()))
+                              : Duration::zero();
+  return base + jitter;
+}
+
+std::shared_ptr<DelayPolicy> make_topology_delay(const std::string& name, std::uint32_t n) {
+  return std::make_shared<RegionDelay>(topology_preset(name), n);
+}
+
+}  // namespace lumiere::sim

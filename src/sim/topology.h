@@ -1,0 +1,73 @@
+// Named WAN topology presets: per-link delay policies from a region map.
+//
+// A preset assigns the n processors round-robin to geographic regions and
+// draws each message's delay from the region pair's band: a short
+// intra-region range, or an inter-region base latency plus jitter. The
+// numbers are one-way delays modeled on public inter-region RTT tables
+// (intra-DC well under a millisecond; cross-continent tens of
+// milliseconds) — close enough for the shapes the benches measure.
+//
+// Presets are looked up by name the same way protocols are: unknown names
+// produce an error listing the registered alternatives, and
+// ScenarioBuilder::validate() additionally rejects a preset whose worst
+// link exceeds Delta (the model would clamp it and silently change the
+// experiment).
+//
+//   builder.topology("wan3");   // 3 regions, <= ~65ms one-way
+//   builder.topology("wan5");   // 5 regions, <= ~155ms one-way
+//   builder.topology("lan");    // one region, 50-200us
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/delay_policy.h"
+
+namespace lumiere::sim {
+
+/// The data behind one named topology.
+struct TopologyPreset {
+  std::string name;
+  std::uint32_t regions = 1;
+  /// Intra-region delay range (uniform).
+  Duration intra_lo = Duration::micros(50);
+  Duration intra_hi = Duration::micros(200);
+  /// One-way base delay between distinct regions, indexed [a][b] (= [b][a]).
+  std::vector<std::vector<Duration>> inter;
+  /// Additive uniform [0, jitter] on inter-region messages.
+  Duration jitter = Duration::zero();
+
+  /// Worst one-way delay any link of this preset can draw.
+  [[nodiscard]] Duration max_delay() const;
+};
+
+[[nodiscard]] bool has_topology_preset(const std::string& name);
+[[nodiscard]] std::vector<std::string> topology_preset_names();
+/// The diagnostic for an unknown preset name: names it and lists the
+/// registered ones (same style as ProtocolRegistry's unknown-name errors).
+[[nodiscard]] std::string unknown_topology_message(const std::string& name);
+/// Preset by name; aborts on unknown names (validate first).
+[[nodiscard]] const TopologyPreset& topology_preset(const std::string& name);
+
+/// DelayPolicy over a preset: node i lives in region i % regions.
+class RegionDelay final : public DelayPolicy {
+ public:
+  RegionDelay(TopologyPreset preset, std::uint32_t n);
+
+  Duration propose_delay(ProcessId from, ProcessId to, const Message& msg, TimePoint send_time,
+                         Rng& rng) override;
+
+  [[nodiscard]] std::uint32_t region_of(ProcessId id) const;
+  [[nodiscard]] const TopologyPreset& preset() const noexcept { return preset_; }
+
+ private:
+  TopologyPreset preset_;
+  std::uint32_t n_;
+};
+
+/// Convenience: preset name -> ready policy for an n-node cluster.
+[[nodiscard]] std::shared_ptr<DelayPolicy> make_topology_delay(const std::string& name,
+                                                               std::uint32_t n);
+
+}  // namespace lumiere::sim

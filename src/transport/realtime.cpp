@@ -8,10 +8,11 @@ namespace lumiere::transport {
 
 TcpTransportAdapter::TcpTransportAdapter(ProcessId self, std::uint32_t n,
                                          std::uint16_t base_port, MessageCodec codec)
-    : self_(self), n_(n) {
+    : self_(self), n_(n), partition_cut_(n, false), peer_down_(n, false) {
   endpoint_ = std::make_unique<TcpEndpoint>(
       self, n, base_port, std::move(codec),
       [this](ProcessId from, const MessagePtr& msg) {
+        if (from < n_ && from != self_ && blocked(from)) return;
         if (deliver_) deliver_(from, msg);
       });
 }
@@ -24,13 +25,32 @@ void TcpTransportAdapter::register_endpoint(ProcessId id, DeliverFn fn) {
 void TcpTransportAdapter::send(ProcessId from, ProcessId to, MessagePtr msg) {
   LUMIERE_ASSERT(from == self_);
   LUMIERE_ASSERT(to < n_);
+  if (to != self_ && blocked(to)) return;  // cut link: the frame is lost
+  if (self_down_) return;                  // even self-delivery: process is down
   endpoint_->send(to, *msg);
 }
 
 void TcpTransportAdapter::broadcast(ProcessId from, const MessagePtr& msg) {
   LUMIERE_ASSERT(from == self_);
-  endpoint_->broadcast(*msg);
+  // Per-recipient so cut links filter individually.
+  for (ProcessId to = 0; to < n_; ++to) send(from, to, msg);
 }
+
+void TcpTransportAdapter::set_partition_cut(ProcessId peer, bool cut) {
+  LUMIERE_ASSERT(peer < n_);
+  partition_cut_[peer] = cut;
+}
+
+void TcpTransportAdapter::clear_partition() {
+  std::fill(partition_cut_.begin(), partition_cut_.end(), false);
+}
+
+void TcpTransportAdapter::set_peer_down(ProcessId peer, bool down) {
+  LUMIERE_ASSERT(peer < n_);
+  peer_down_[peer] = down;
+}
+
+void TcpTransportAdapter::set_self_down(bool down) { self_down_ = down; }
 
 RealtimeDriver::RealtimeDriver(sim::Simulator* sim, TcpEndpoint* endpoint)
     : sim_(sim), endpoint_(endpoint) {

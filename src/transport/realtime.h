@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <memory>
+#include <vector>
 
 #include "sim/simulator.h"
 #include "sim/transport_iface.h"
@@ -37,12 +38,32 @@ class TcpTransportAdapter final : public MessageTransport {
   void send(ProcessId from, ProcessId to, MessagePtr msg) override;
   void broadcast(ProcessId from, const MessagePtr& msg) override;
 
+  // Best-effort fault-schedule analogue (runtime/cluster.cpp schedules
+  // these on the node's private simulator, so all calls happen on the
+  // node's own driver thread). Unlike the sim network, cut frames are
+  // LOST, not parked — a real network drops partitioned traffic.
+  /// Cuts (or restores) the link to `peer` for an active partition.
+  void set_partition_cut(ProcessId peer, bool cut);
+  /// Restores every link cut by set_partition_cut (heal).
+  void clear_partition();
+  /// Marks a remote peer down (its frames are dropped both ways).
+  void set_peer_down(ProcessId peer, bool down);
+  /// Takes this node itself down (every frame dropped) / back up.
+  void set_self_down(bool down);
+
   [[nodiscard]] TcpEndpoint& endpoint() noexcept { return *endpoint_; }
 
  private:
+  [[nodiscard]] bool blocked(ProcessId peer) const {
+    return self_down_ || partition_cut_[peer] || peer_down_[peer];
+  }
+
   ProcessId self_;
   std::uint32_t n_;
   DeliverFn deliver_;
+  std::vector<bool> partition_cut_;
+  std::vector<bool> peer_down_;
+  bool self_down_ = false;
   std::unique_ptr<TcpEndpoint> endpoint_;
 };
 

@@ -68,6 +68,71 @@ TEST(DeterminismTest, DifferentSeedsDiverge) {
   EXPECT_FALSE(traces_equal(first.trace(), second.trace()));
 }
 
+// ---- fault-schedule edge cases -------------------------------------------
+// Each scenario stresses one awkward corner of the schedule executor; all
+// must replay bit-for-bit from the seed, like every other run.
+
+ScenarioBuilder scheduled_options(std::uint64_t seed) {
+  ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(7, Duration::millis(10)));
+  options.pacemaker("lumiere");
+  options.core("chained-hotstuff");
+  options.seed(seed);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::micros(500)));
+  // Event at t = 0: the cluster boots already partitioned.
+  options.partition({{0, 1, 2, 3}, {4, 5, 6}}, TimePoint::origin());
+  // Two events at the same timestamp: heal + crash fire in declaration
+  // order within one instant.
+  options.heal(TimePoint(Duration::millis(400).ticks()));
+  options.crash(5, TimePoint(Duration::millis(400).ticks()));
+  options.recover(5, TimePoint(Duration::millis(900).ticks()));
+  // Churn spanning a partition: node 6 leaves, a new partition forms,
+  // and the node rejoins WHILE the partition is active.
+  options.churn(6, TimePoint(Duration::seconds(1).ticks()),
+                TimePoint(Duration::millis(2'400).ticks()));
+  options.partition({{0, 1, 2}, {3, 4, 5}}, TimePoint(Duration::seconds(2).ticks()));
+  options.heal(TimePoint(Duration::millis(2'800).ticks()));
+  // Heal with no active partition: a defensive no-op.
+  options.heal(TimePoint(Duration::seconds(3).ticks()));
+  return options;
+}
+
+TEST(DeterminismTest, FaultScheduleEdgeCasesReplayIdentically) {
+  Cluster first(scheduled_options(1337));
+  first.run_for(Duration::seconds(8));
+  Cluster second(scheduled_options(1337));
+  second.run_for(Duration::seconds(8));
+
+  EXPECT_TRUE(traces_equal(first.trace(), second.trace()))
+      << "same seed + same schedule produced different executions ("
+      << first.trace().size() << " vs " << second.trace().size() << " events)";
+  EXPECT_EQ(first.metrics().total_honest_msgs(), second.metrics().total_honest_msgs());
+  for (ProcessId id = 0; id < 7; ++id) {
+    EXPECT_EQ(first.node(id).ledger().size(), second.node(id).ledger().size());
+  }
+
+  // The run made progress despite booting partitioned, and every scripted
+  // event (2 from churn) is marked for regime attribution.
+  EXPECT_GT(first.metrics().decisions().size(), 0U);
+  EXPECT_EQ(first.metrics().regime_marks().size(), 9U);
+  // The network ends healed with everyone readmitted.
+  EXPECT_FALSE(first.network().partition_active());
+  EXPECT_EQ(first.network().parked_count(), 0U);
+  for (ProcessId id = 0; id < 7; ++id) EXPECT_FALSE(first.network().disconnected(id));
+}
+
+TEST(DeterminismTest, ChurnedNodeRejoinsDuringPartitionAndCatchesUp) {
+  // Node 6 rejoins at 2.4s while {0,1,2}|{3,4,5} is cut (6 is in no
+  // group, so it bridges nothing but talks to everyone); after the heal
+  // it must converge with the cluster.
+  Cluster cluster(scheduled_options(99));
+  cluster.run_for(Duration::seconds(8));
+  const View lo = cluster.min_honest_view();
+  const View hi = cluster.max_honest_view();
+  EXPECT_GT(lo, 0) << "cluster made no progress";
+  EXPECT_LE(hi - lo, 2) << "churned node failed to catch up after rejoining";
+}
+
 TEST(DeterminismTest, ReplayIsSplitInvariant) {
   // run_for(10s) and run_for(5s)+run_for(5s) must be the same execution:
   // nothing may depend on how the driver slices simulated time.

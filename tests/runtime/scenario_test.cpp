@@ -58,6 +58,114 @@ TEST(ScenarioBuilderTest, ValidateAggregatesEveryError) {
   EXPECT_GE(errors.size(), 4U) << "every problem must be reported, not just the first";
 }
 
+TEST(ScenarioBuilderTest, ScheduleRejectsOutOfRangeNodeIds) {
+  ScenarioBuilder builder;  // n = 4
+  builder.crash(7, TimePoint(1'000));
+  builder.recover(7, TimePoint(2'000));
+  builder.partition({{0, 1}, {2, 9}}, TimePoint(3'000));
+  builder.link_delay(0, 12, std::make_shared<sim::FixedDelay>(Duration(5)), TimePoint(4'000));
+  const auto errors = builder.validate();
+  EXPECT_EQ(errors.size(), 4U) << "every bad id reported, not just the first";
+  for (const auto& error : errors) {
+    EXPECT_NE(error.find("nodes 0..3"), std::string::npos)
+        << "error must name the valid range: " << error;
+  }
+}
+
+TEST(ScenarioBuilderTest, ScheduleRejectsNonMonotoneEventTimes) {
+  ScenarioBuilder builder;
+  builder.partition({{0, 1}, {2, 3}}, TimePoint(Duration::seconds(2).ticks()));
+  builder.heal(TimePoint(Duration::seconds(1).ticks()));  // declared after, happens before
+  const auto errors = builder.validate();
+  ASSERT_EQ(errors.size(), 1U);
+  EXPECT_NE(errors[0].find("timeline order"), std::string::npos) << errors[0];
+
+  // Same instant is fine (events fire in declaration order) ...
+  ScenarioBuilder same;
+  same.partition({{0, 1}, {2, 3}}, TimePoint(1'000));
+  same.heal(TimePoint(1'000));
+  EXPECT_TRUE(same.validate().empty());
+
+  // ... and a churn window may span later-declared events.
+  ScenarioBuilder churned;
+  churned.churn(2, TimePoint(1'000), TimePoint(9'000));
+  churned.crash(3, TimePoint(5'000));
+  churned.recover(3, TimePoint(6'000));
+  EXPECT_TRUE(churned.validate().empty());
+}
+
+TEST(ScenarioBuilderTest, ScheduleRejectsMalformedPartitionsAndChurn) {
+  ScenarioBuilder builder;
+  builder.partition({{0, 1}, {1, 2}}, TimePoint(1'000));  // overlapping groups
+  const auto overlap = builder.validate();
+  ASSERT_EQ(overlap.size(), 1U);
+  EXPECT_NE(overlap[0].find("more than one group"), std::string::npos) << overlap[0];
+
+  ScenarioBuilder backwards;
+  backwards.churn(1, TimePoint(5'000), TimePoint(5'000));  // rejoin not after leave
+  const auto churn_errors = backwards.validate();
+  ASSERT_EQ(churn_errors.size(), 1U);
+  EXPECT_NE(churn_errors[0].find("strictly after"), std::string::npos) << churn_errors[0];
+}
+
+TEST(ScenarioBuilderTest, TopologyPresetsValidateAndResolve) {
+  ScenarioBuilder builder;
+  builder.topology("wan9");
+  const auto unknown = builder.validate();
+  ASSERT_EQ(unknown.size(), 1U);
+  EXPECT_NE(unknown[0].find("wan3"), std::string::npos)
+      << "unknown preset must list the registered ones: " << unknown[0];
+
+  // A WAN preset under the default 10ms Delta would be clamped — rejected
+  // with a pointer at delta_cap.
+  ScenarioBuilder clamped;
+  clamped.topology("wan3");
+  const auto errors = clamped.validate();
+  ASSERT_EQ(errors.size(), 1U);
+  EXPECT_NE(errors[0].find("delta_cap"), std::string::npos) << errors[0];
+
+  // With a Delta above the preset's worst link it resolves into the
+  // scenario's delay policy.
+  ScenarioBuilder ok;
+  ok.params(ProtocolParams::for_n(7, Duration::millis(200))).topology("wan3");
+  const Scenario scenario = ok.scenario();
+  EXPECT_EQ(scenario.topology, "wan3");
+  EXPECT_NE(scenario.delay, nullptr);
+
+  ScenarioBuilder conflicted;
+  conflicted.params(ProtocolParams::for_n(4, Duration::millis(200)))
+      .topology("lan")
+      .delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  const auto conflict = conflicted.validate();
+  ASSERT_EQ(conflict.size(), 1U);
+  EXPECT_NE(conflict[0].find("mutually exclusive"), std::string::npos) << conflict[0];
+}
+
+TEST(ScenarioBuilderTest, ScheduleIsSortedStablyIntoTheScenario) {
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(7, Duration::millis(10)));
+  builder.churn(5, TimePoint(1'000), TimePoint(9'000));
+  builder.partition({{0, 1, 2}, {3, 4}}, TimePoint(4'000));
+  builder.heal(TimePoint(4'000));  // same instant: declaration order kept
+  const Scenario scenario = builder.scenario();
+  ASSERT_EQ(scenario.schedule.events.size(), 4U);
+  EXPECT_EQ(scenario.schedule.events[0].kind, sim::FaultKind::kLeave);
+  EXPECT_EQ(scenario.schedule.events[1].kind, sim::FaultKind::kPartition);
+  EXPECT_EQ(scenario.schedule.events[2].kind, sim::FaultKind::kHeal);
+  EXPECT_EQ(scenario.schedule.events[3].kind, sim::FaultKind::kRejoin)
+      << "churn's rejoin sorts into place after later-declared events";
+}
+
+TEST(ScenarioBuilderTest, TcpTransportRejectsScheduledDelayEvents) {
+  ScenarioBuilder builder;
+  builder.transport_tcp(26000);
+  builder.partition({{0, 1}, {2, 3}}, TimePoint(1'000));  // fine: TCP analogue exists
+  builder.delay_change(std::make_shared<sim::FixedDelay>(Duration(5)), TimePoint(2'000));
+  const auto errors = builder.validate();
+  ASSERT_EQ(errors.size(), 1U);
+  EXPECT_NE(errors[0].find("simulator-only"), std::string::npos) << errors[0];
+}
+
 TEST(ScenarioBuilderTest, TcpTransportRejectsSimOnlyFeatures) {
   ScenarioBuilder builder;
   builder.transport_tcp(26000)

@@ -1,0 +1,260 @@
+// The fault-schedule executor at the network layer: partitions park (and
+// heal releases), crashes lose, per-link and global delay policies swap
+// mid-run, and topology presets draw region-shaped delays.
+#include "sim/fault_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/topology.h"
+
+namespace lumiere::sim {
+namespace {
+
+class PingMsg final : public Message {
+ public:
+  explicit PingMsg(std::uint32_t value) : value_(value) {}
+  std::uint32_t type_id() const override { return 0x3001; }
+  const char* type_name() const override { return "ping"; }
+  MsgClass msg_class() const override { return MsgClass::kPacemaker; }
+  std::size_t wire_size() const override { return 4; }
+  void serialize(ser::Writer& w) const override { w.u32(value_); }
+
+ private:
+  std::uint32_t value_;
+};
+
+struct Delivery {
+  TimePoint at;
+  ProcessId from;
+  ProcessId to;
+};
+
+class FaultScheduleTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kNodes = 5;
+
+  void build(std::shared_ptr<DelayPolicy> policy) {
+    net_ = std::make_unique<Network>(&sim_, kNodes, TimePoint::origin(), Duration::millis(10),
+                                     std::move(policy), 7);
+    for (ProcessId id = 0; id < kNodes; ++id) {
+      net_->register_endpoint(id, [this, id](ProcessId from, const MessagePtr&) {
+        log_.push_back(Delivery{sim_.now(), from, id});
+      });
+    }
+  }
+
+  void send(ProcessId from, ProcessId to) { net_->send(from, to, std::make_shared<PingMsg>(1)); }
+
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  std::vector<Delivery> log_;
+};
+
+TEST_F(FaultScheduleTest, PartitionParksCrossCutTrafficUntilHeal) {
+  build(std::make_shared<FixedDelay>(Duration(100)));
+  net_->set_partition({{0, 1, 2}, {3, 4}});
+  EXPECT_TRUE(net_->partition_active());
+
+  send(0, 3);  // cross-cut: parks
+  send(0, 1);  // in-group: flows
+  sim_.run_until(TimePoint(1'000));
+  ASSERT_EQ(log_.size(), 1U);
+  EXPECT_EQ(log_[0].to, 1U);
+  EXPECT_EQ(net_->parked_count(), 1U);
+
+  net_->heal();
+  sim_.run_until_idle();
+  ASSERT_EQ(log_.size(), 2U);
+  EXPECT_EQ(log_[1].to, 3U);
+  // Released as if sent at the heal instant: delivery = heal + delay.
+  EXPECT_EQ(log_[1].at, TimePoint(1'000) + Duration(100));
+  EXPECT_EQ(net_->parked_count(), 0U);
+}
+
+TEST_F(FaultScheduleTest, UngroupedNodesKeepAllLinks) {
+  build(std::make_shared<FixedDelay>(Duration(100)));
+  net_->set_partition({{0, 1}, {2, 3}});  // node 4 in no group
+  send(4, 0);
+  send(4, 2);
+  send(0, 4);
+  sim_.run_until_idle();
+  EXPECT_EQ(log_.size(), 3U) << "a node in no group is cut from nobody";
+}
+
+TEST_F(FaultScheduleTest, HealWithoutPartitionIsNoOp) {
+  build(std::make_shared<FixedDelay>(Duration(100)));
+  net_->heal();
+  EXPECT_FALSE(net_->partition_active());
+  send(0, 1);
+  sim_.run_until_idle();
+  EXPECT_EQ(log_.size(), 1U);
+}
+
+TEST_F(FaultScheduleTest, CrashLosesTrafficBothWaysAndRecoverReadmits) {
+  build(std::make_shared<FixedDelay>(Duration(100)));
+  net_->set_down(2, true);
+  send(0, 2);  // arrives while 2 is down: lost
+  send(2, 0);  // from a down node: never emitted
+  sim_.run_until_idle();
+  EXPECT_TRUE(log_.empty());
+
+  net_->set_down(2, false);
+  send(0, 2);
+  sim_.run_until_idle();
+  ASSERT_EQ(log_.size(), 1U);
+  EXPECT_EQ(log_[0].to, 2U);
+}
+
+TEST_F(FaultScheduleTest, CrashWindowEndingBeforeArrivalDoesNotLoseMail) {
+  // Down-ness is checked at arrival, like any in-flight message: a crash
+  // window that ends before delivery must not destroy traffic (an epoch
+  // certificate is never retransmitted).
+  build(std::make_shared<FixedDelay>(Duration(100)));
+  send(0, 2);              // in flight, arrives at t = 100
+  net_->set_down(2, true);
+  net_->set_down(2, false);  // recovered before arrival
+  sim_.run_until_idle();
+  ASSERT_EQ(log_.size(), 1U);
+  EXPECT_EQ(log_[0].to, 2U);
+}
+
+TEST_F(FaultScheduleTest, ParkedMailSurvivesACrashWindowThatEndsBeforeHeal) {
+  build(std::make_shared<FixedDelay>(Duration(100)));
+  net_->set_partition({{0, 1, 2}, {3, 4}});
+  send(0, 3);  // parks
+  send(3, 1);  // parks
+  EXPECT_EQ(net_->parked_count(), 2U);
+  net_->set_down(3, true);   // churned away mid-partition ...
+  net_->set_down(3, false);  // ... and back before the heal
+  EXPECT_EQ(net_->parked_count(), 2U) << "parked mail outlives a closed crash window";
+  net_->heal();
+  sim_.run_until_idle();
+  EXPECT_EQ(log_.size(), 2U) << "both endpoints were up at arrival; nothing may be lost";
+}
+
+TEST_F(FaultScheduleTest, ParkedMailToAStillDownNodeIsLostAtArrival) {
+  build(std::make_shared<FixedDelay>(Duration(100)));
+  net_->set_partition({{0, 1, 2}, {3, 4}});
+  send(0, 3);  // parks
+  send(3, 1);  // parks
+  net_->set_down(3, true);  // still down when the parked mail arrives
+  net_->heal();
+  sim_.run_until_idle();
+  ASSERT_EQ(log_.size(), 1U) << "mail to the down node dies at arrival; its old sends deliver";
+  EXPECT_EQ(log_[0].to, 1U);
+}
+
+TEST_F(FaultScheduleTest, DelayPolicySwapsMidRun) {
+  build(std::make_shared<FixedDelay>(Duration(100)));
+  send(0, 1);
+  net_->set_delay_policy(std::make_shared<FixedDelay>(Duration(2'000)));
+  send(0, 1);
+  sim_.run_until_idle();
+  ASSERT_EQ(log_.size(), 2U);
+  EXPECT_EQ(log_[0].at, TimePoint(100));
+  EXPECT_EQ(log_[1].at, TimePoint(2'000));
+}
+
+TEST_F(FaultScheduleTest, LinkDelayOverridesOneDirectedLink) {
+  build(std::make_shared<FixedDelay>(Duration(100)));
+  net_->set_link_delay(0, 1, std::make_shared<FixedDelay>(Duration(5'000)));
+  send(0, 1);  // overridden link
+  send(1, 0);  // reverse direction: global policy
+  sim_.run_until_idle();
+  ASSERT_EQ(log_.size(), 2U);  // delivered in time order: 1->0 first
+  EXPECT_EQ(log_[0].at, TimePoint(100));
+  EXPECT_EQ(log_[0].to, 0U);
+  EXPECT_EQ(log_[1].at, TimePoint(5'000));
+  EXPECT_EQ(log_[1].to, 1U);
+
+  log_.clear();
+  net_->set_link_delay(0, 1, nullptr);  // restore the global policy
+  send(0, 1);                           // sent at now = 5000 (last delivery)
+  sim_.run_until_idle();
+  ASSERT_EQ(log_.size(), 1U);
+  EXPECT_EQ(log_[0].at, TimePoint(5'000) + Duration(100));
+}
+
+TEST_F(FaultScheduleTest, ApplyDispatchesEveryKind) {
+  build(std::make_shared<FixedDelay>(Duration(100)));
+  FaultEvent cut;
+  cut.kind = FaultKind::kPartition;
+  cut.groups = {{0, 1, 2}, {3, 4}};
+  net_->apply(cut);
+  EXPECT_TRUE(net_->partition_active());
+
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrash;
+  crash.node = 4;
+  net_->apply(crash);
+  EXPECT_TRUE(net_->disconnected(4));
+
+  FaultEvent rejoin;
+  rejoin.kind = FaultKind::kRejoin;
+  rejoin.node = 4;
+  net_->apply(rejoin);
+  EXPECT_FALSE(net_->disconnected(4));
+
+  FaultEvent heal_event;
+  heal_event.kind = FaultKind::kHeal;
+  net_->apply(heal_event);
+  EXPECT_FALSE(net_->partition_active());
+}
+
+TEST(FaultScheduleDescribeTest, DescribesEventsForTracesAndErrors) {
+  FaultEvent event;
+  event.at = TimePoint(2'000'000);
+  event.kind = FaultKind::kPartition;
+  event.groups = {{0, 1}, {2, 3}};
+  EXPECT_EQ(FaultSchedule::describe(event), "partition{0 1|2 3} @2000000us");
+
+  FaultEvent crash;
+  crash.at = TimePoint::origin();
+  crash.kind = FaultKind::kCrash;
+  crash.node = 3;
+  EXPECT_EQ(FaultSchedule::describe(crash), "crash p3 @0us");
+
+  FaultEvent link;
+  link.at = TimePoint(5);
+  link.kind = FaultKind::kLinkDelay;
+  link.node = 1;
+  link.peer = 2;
+  EXPECT_EQ(FaultSchedule::describe(link), "link-delay p1->p2 @5us");
+}
+
+TEST(TopologyPresetTest, KnownPresetsResolveAndUnknownNamesExplain) {
+  EXPECT_TRUE(has_topology_preset("lan"));
+  EXPECT_TRUE(has_topology_preset("wan3"));
+  EXPECT_TRUE(has_topology_preset("wan5"));
+  EXPECT_FALSE(has_topology_preset("wan9"));
+  const std::string msg = unknown_topology_message("wan9");
+  EXPECT_NE(msg.find("wan9"), std::string::npos);
+  EXPECT_NE(msg.find("wan3"), std::string::npos) << "error must list the registered presets";
+}
+
+TEST(TopologyPresetTest, RegionDelaysAreIntraOrInterBand) {
+  const TopologyPreset& preset = topology_preset("wan3");
+  RegionDelay policy(preset, 7);
+  // Round-robin regions: 0 and 3 share region 0; 0 and 1 differ.
+  EXPECT_EQ(policy.region_of(0), policy.region_of(3));
+  EXPECT_NE(policy.region_of(0), policy.region_of(1));
+
+  Rng rng(11);
+  PingMsg msg(0);
+  for (int i = 0; i < 64; ++i) {
+    const Duration intra = policy.propose_delay(0, 3, msg, TimePoint::origin(), rng);
+    EXPECT_GE(intra, preset.intra_lo);
+    EXPECT_LE(intra, preset.intra_hi);
+    const Duration inter = policy.propose_delay(0, 1, msg, TimePoint::origin(), rng);
+    EXPECT_GE(inter, preset.inter[0][1]);
+    EXPECT_LE(inter, preset.inter[0][1] + preset.jitter);
+  }
+  EXPECT_GT(preset.max_delay(), preset.intra_hi);
+}
+
+}  // namespace
+}  // namespace lumiere::sim

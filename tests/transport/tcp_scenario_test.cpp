@@ -56,5 +56,28 @@ TEST(TcpScenarioTest, HeterogeneousClusterSmokesOverTcp) {
   EXPECT_EQ(cluster.node(3).protocol().pacemaker, "round-robin");
 }
 
+TEST(TcpScenarioTest, ScheduledCrashHasBestEffortTcpAnalogue) {
+  // A scripted crash/recover window on the TCP transport: node 3's frames
+  // are dropped for the middle of the run, then it rejoins and catches
+  // up. Smoke-level — the assertion is only that the cut node fell
+  // behind-or-equal and the cluster survived.
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4))
+      .pacemaker("lumiere")
+      .seed(73)
+      .transport_tcp(25600);
+  builder.crash(3, TimePoint(Duration::millis(200).ticks()));
+  builder.recover(3, TimePoint(Duration::millis(500).ticks()));
+  Cluster cluster(builder);
+  cluster.run_for(Duration::millis(900));  // wall-clock
+  // The three always-connected nodes — exactly 2f+1 — kept advancing.
+  for (ProcessId id = 0; id < 3; ++id) {
+    EXPECT_GE(cluster.node(id).current_view(), 3)
+        << "node " << id << " stalled while node 3 was scripted away";
+  }
+  EXPECT_LE(cluster.node(3).current_view(), cluster.node(0).current_view() + 1)
+      << "a node cut for a third of the run cannot lead the cluster";
+}
+
 }  // namespace
 }  // namespace lumiere::runtime
