@@ -1,0 +1,26 @@
+// Small shared statistics helpers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+
+namespace lumiere {
+
+/// Nearest-rank percentile over duration samples, p in (0, 1]; nullopt on
+/// an empty sample set. Takes the samples by value (it must sort them).
+/// The single definition shared by runtime::MetricsCollector and
+/// workload::Report so the two latency surfaces cannot round differently.
+inline std::optional<Duration> nearest_rank_percentile(std::vector<Duration> samples,
+                                                       double p) {
+  if (samples.empty()) return std::nullopt;
+  std::sort(samples.begin(), samples.end());
+  const double rank = std::ceil(p * static_cast<double>(samples.size()));
+  const auto index = static_cast<std::size_t>(std::max(1.0, rank)) - 1;
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+}  // namespace lumiere

@@ -27,8 +27,18 @@ std::vector<std::uint8_t> KvStore::del_command(std::string_view key) {
   return std::move(w).take();
 }
 
+bool KvStore::apply_command(std::span<const std::uint8_t> command) {
+  if (!apply_one_span(command)) return false;
+  ++applied_;
+  return true;
+}
+
 bool KvStore::apply_one(const std::vector<std::uint8_t>& command) {
-  ser::Reader r(std::span<const std::uint8_t>(command.data(), command.size()));
+  return apply_one_span(std::span<const std::uint8_t>(command.data(), command.size()));
+}
+
+bool KvStore::apply_one_span(std::span<const std::uint8_t> command) {
+  ser::Reader r(command);
   std::uint8_t op = 0;
   std::string key;
   if (!r.u8(op) || !r.str(key)) return false;

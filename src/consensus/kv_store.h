@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,6 +30,11 @@ class KvStore {
   /// ones); returns the number of commands applied.
   std::size_t apply(const std::vector<std::uint8_t>& payload);
 
+  /// Executes a single command (the body of a workload request, already
+  /// unwrapped from the batch framing). Returns false on a malformed
+  /// command — skipped, deterministically, on every replica.
+  bool apply_command(std::span<const std::uint8_t> command);
+
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
   [[nodiscard]] std::uint64_t applied_commands() const noexcept { return applied_; }
@@ -40,6 +46,7 @@ class KvStore {
 
  private:
   bool apply_one(const std::vector<std::uint8_t>& command);
+  bool apply_one_span(std::span<const std::uint8_t> command);
 
   std::map<std::string, std::string> data_;
   std::uint64_t applied_ = 0;

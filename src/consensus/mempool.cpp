@@ -1,29 +1,166 @@
 #include "consensus/mempool.h"
 
+#include <algorithm>
 #include <string_view>
 
+#include "common/assert.h"
 #include "ser/serializer.h"
 
 namespace lumiere::consensus {
 
-void Mempool::add(std::vector<std::uint8_t> command) { queue_.push_back(std::move(command)); }
+const char* to_string(Admission admission) {
+  switch (admission) {
+    case Admission::kAccepted:
+      return "accepted";
+    case Admission::kFull:
+      return "full";
+    case Admission::kOversized:
+      return "oversized";
+    case Admission::kDuplicate:
+      return "duplicate";
+  }
+  return "?";
+}
 
-void Mempool::add(std::string_view command) {
-  queue_.emplace_back(command.begin(), command.end());
+Mempool::Mempool(MempoolLimits limits) : limits_(limits) {
+  LUMIERE_ASSERT_MSG(limits_.max_batch_bytes > 4, "max_batch_bytes cannot fit any command");
+  LUMIERE_ASSERT_MSG(limits_.max_batch_count > 0, "max_batch_count must be positive");
+}
+
+bool Mempool::has_capacity(std::size_t command_bytes) const noexcept {
+  return queue_.size() < limits_.max_pending_count &&
+         pending_bytes_ + command_bytes <= limits_.max_pending_bytes;
+}
+
+Admission Mempool::add(std::vector<std::uint8_t> command) {
+  if (batch_cost(command) > limits_.max_batch_bytes) {
+    ++rejected_oversized_;
+    return Admission::kOversized;
+  }
+  if (!has_capacity(command.size())) {
+    ++rejected_full_;
+    starving_ = true;
+    return Admission::kFull;
+  }
+  if (limits_.suppress_duplicates) {
+    const crypto::Digest digest = crypto::Sha256::hash(
+        std::span<const std::uint8_t>(command.data(), command.size()));
+    if (!live_.insert(digest).second) {
+      ++rejected_duplicate_;
+      return Admission::kDuplicate;
+    }
+  }
+  pending_bytes_ += command.size();
+  queue_.push_back(std::move(command));
+  ++admitted_;
+  return Admission::kAccepted;
+}
+
+Admission Mempool::add(std::string_view command) {
+  return add(std::vector<std::uint8_t>(command.begin(), command.end()));
+}
+
+std::vector<std::vector<std::uint8_t>> Mempool::drain_batch(std::vector<std::uint8_t>& payload) {
+  ser::Writer w;
+  std::size_t used = 0;
+  std::vector<std::vector<std::uint8_t>> drained;
+  while (!queue_.empty() && drained.size() < limits_.max_batch_count) {
+    auto& cmd = queue_.front();
+    const std::size_t cost = batch_cost(cmd);
+    if (used + cost > limits_.max_batch_bytes) break;
+    w.bytes(std::span<const std::uint8_t>(cmd.data(), cmd.size()));
+    used += cost;
+    pending_bytes_ -= cmd.size();
+    drained.push_back(std::move(cmd));
+    queue_.pop_front();
+  }
+  payload = std::move(w).take();
+  return drained;
 }
 
 std::vector<std::uint8_t> Mempool::next_batch() {
-  ser::Writer w;
-  std::size_t used = 0;
-  while (!queue_.empty()) {
-    const auto& cmd = queue_.front();
-    const std::size_t cost = cmd.size() + 4;
-    if (used > 0 && used + cost > max_batch_bytes_) break;
-    w.bytes(std::span<const std::uint8_t>(cmd.data(), cmd.size()));
-    used += cost;
-    queue_.pop_front();
+  std::vector<std::uint8_t> payload;
+  for (const auto& cmd : drain_batch(payload)) {
+    // Drained for good: release the duplicate-suppression hold.
+    if (limits_.suppress_duplicates) {
+      live_.erase(crypto::Sha256::hash(std::span<const std::uint8_t>(cmd.data(), cmd.size())));
+    }
   }
-  return std::move(w).take();
+  maybe_signal_space();
+  return payload;
+}
+
+std::vector<std::uint8_t> Mempool::next_batch(View view) {
+  std::vector<std::uint8_t> payload;
+  std::vector<std::vector<std::uint8_t>> drained = drain_batch(payload);
+  if (!drained.empty()) {
+    in_flight_count_ += drained.size();
+    auto& slot = leases_[view];
+    for (auto& cmd : drained) {
+      const crypto::Digest digest =
+          crypto::Sha256::hash(std::span<const std::uint8_t>(cmd.data(), cmd.size()));
+      slot.push_back(LeasedCommand{digest, std::move(cmd)});
+    }
+  }
+  maybe_signal_space();
+  return payload;
+}
+
+void Mempool::on_commit(View view, const std::vector<std::uint8_t>& payload) {
+  if (leases_.empty()) return;
+  // Ack: a leased command can only ever appear in the block of the view
+  // it was drained into (no other node holds our commands), so the match
+  // runs against that one lease — commits of other leaders' blocks skip
+  // the payload hashing entirely. Counted, not set-membership: with
+  // duplicate suppression off, byte-identical copies may sit in several
+  // leases, and one committed instance must ack exactly one of them —
+  // the rest stay leased (and requeue if abandoned) so no admitted copy
+  // is lost.
+  const auto slot = leases_.find(view);
+  if (slot != leases_.end()) {
+    std::map<crypto::Digest, std::size_t> committed;
+    for (const auto& cmd : split_batch(payload)) {
+      ++committed[crypto::Sha256::hash(std::span<const std::uint8_t>(cmd.data(), cmd.size()))];
+    }
+    auto& batch = slot->second;
+    const std::size_t before = batch.size();
+    batch.erase(std::remove_if(batch.begin(), batch.end(),
+                               [&](const LeasedCommand& leased) {
+                                 const auto hit = committed.find(leased.digest);
+                                 if (hit == committed.end() || hit->second == 0) return false;
+                                 --hit->second;
+                                 live_.erase(leased.digest);
+                                 return true;
+                               }),
+                batch.end());
+    acked_ += before - batch.size();
+    in_flight_count_ -= before - batch.size();
+    if (batch.empty()) leases_.erase(slot);
+  }
+  // Requeue: commits arrive in view order, so a lease at a view at or
+  // below the committed one whose commands were not in the chain belongs
+  // to a forever-abandoned proposal. Back to the front, oldest first —
+  // requeued commands bypass the capacity check (they were admitted).
+  std::vector<std::vector<std::uint8_t>> back;
+  for (auto it = leases_.begin(); it != leases_.end() && it->first <= view;) {
+    for (auto& leased : it->second) back.push_back(std::move(leased.command));
+    it = leases_.erase(it);
+  }
+  if (!back.empty()) {
+    requeued_ += back.size();
+    in_flight_count_ -= back.size();
+    for (auto rit = back.rbegin(); rit != back.rend(); ++rit) {
+      pending_bytes_ += rit->size();
+      queue_.push_front(std::move(*rit));
+    }
+  }
+  maybe_signal_space();
+}
+
+void Mempool::maybe_signal_space() {
+  if (!starving_ || !has_capacity(0)) return;
+  starving_ = false;
+  if (space_available_) space_available_();
 }
 
 std::vector<std::vector<std::uint8_t>> Mempool::split_batch(

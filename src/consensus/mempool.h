@@ -1,35 +1,152 @@
-// A minimal client-command pool feeding block payloads.
+// The client-command pool feeding block payloads.
+//
+// Upgraded for the workload engine (src/workload/): the pool is bounded
+// (bytes and count), admission-controlled, duplicate-suppressing, and —
+// via view-tagged leases — loss-free for admitted commands: a command
+// drained into a proposal that never commits is requeued the moment a
+// commit proves the proposal abandoned, so "admitted" means "will commit
+// (exactly once) as long as this node keeps proposing".
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <set>
 #include <string_view>
 #include <vector>
 
+#include "common/types.h"
+#include "crypto/sha256.h"
+
 namespace lumiere::consensus {
 
+/// Outcome of Mempool::add — the admission/backpressure signal clients
+/// react to.
+enum class Admission : std::uint8_t {
+  kAccepted,
+  kFull,       ///< pending capacity (bytes or count) exhausted; retry after
+               ///< the pool signals space (see set_space_available)
+  kOversized,  ///< the command can never fit in one batch — a permanent
+               ///< rejection, not a backpressure condition
+  kDuplicate,  ///< a byte-identical command is already pending or in flight
+};
+
+[[nodiscard]] const char* to_string(Admission admission);
+
+/// Capacity and batching knobs. The defaults keep the pre-workload
+/// behavior (4 KiB batches, effectively unbounded pool).
+struct MempoolLimits {
+  static constexpr std::size_t kUnlimited = std::numeric_limits<std::size_t>::max();
+
+  /// Per-batch byte budget (command bytes + 4-byte length prefix each).
+  std::size_t max_batch_bytes = 4096;
+  /// Per-batch command-count budget.
+  std::size_t max_batch_count = kUnlimited;
+  /// Pending-queue byte bound; add() returns kFull beyond it. Leased
+  /// (in-flight) commands do not count — they are bounded by the batch
+  /// size times the commit pipeline depth.
+  std::size_t max_pending_bytes = kUnlimited;
+  /// Pending-queue count bound.
+  std::size_t max_pending_count = kUnlimited;
+  /// Reject byte-identical commands while the original is pending or in
+  /// flight (a client retry must not commit twice). Off by default so
+  /// legacy callers keep add-anything semantics (and pay no hashing at
+  /// admission); the workload engine opts in (workload/spec.h).
+  bool suppress_duplicates = false;
+};
+
 /// FIFO command pool. Commands are opaque byte strings; `next_batch`
-/// drains up to `max_batch_bytes` worth into one payload (length-prefixed
-/// concatenation so the examples can split them back out).
+/// drains up to the batch limits into one payload (length-prefixed
+/// concatenation so applications can split them back out).
 class Mempool {
  public:
-  explicit Mempool(std::size_t max_batch_bytes = 4096) : max_batch_bytes_(max_batch_bytes) {}
+  explicit Mempool(std::size_t max_batch_bytes = 4096)
+      : Mempool(MempoolLimits{.max_batch_bytes = max_batch_bytes}) {}
+  explicit Mempool(MempoolLimits limits);
 
-  void add(std::vector<std::uint8_t> command);
-  void add(std::string_view command);
+  /// Admits a command, or explains why not. An accepted command is owned
+  /// by the pool until it is drained (legacy next_batch) or committed
+  /// (leased next_batch + on_commit).
+  Admission add(std::vector<std::uint8_t> command);
+  Admission add(std::string_view command);
 
-  /// Builds the next payload, removing the included commands.
+  /// Legacy drain: builds the next payload, removing the included
+  /// commands for good (no lease — callers that never observe commits).
   [[nodiscard]] std::vector<std::uint8_t> next_batch();
+
+  /// Leased drain for a proposal at `view`: the included commands move to
+  /// an in-flight ledger until a commit acks them (on_commit) or proves
+  /// the proposal abandoned, which requeues them at the front.
+  [[nodiscard]] std::vector<std::uint8_t> next_batch(View view);
+
+  /// Observes a committed payload at `view` (every replica commit, any
+  /// leader). Commands of ours inside the payload are acked; leases at
+  /// views <= `view` still holding unacked commands are requeued — the
+  /// chain commits views in order, so a proposal below an already
+  /// committed view can never commit.
+  void on_commit(View view, const std::vector<std::uint8_t>& payload);
 
   /// Splits a payload built by next_batch back into commands.
   [[nodiscard]] static std::vector<std::vector<std::uint8_t>> split_batch(
       const std::vector<std::uint8_t>& payload);
 
+  /// Invoked whenever capacity frees up after an add() was rejected with
+  /// kFull — the backpressure release edge closed-loop clients wait on.
+  void set_space_available(std::function<void()> fn) { space_available_ = std::move(fn); }
+
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t pending_bytes() const noexcept { return pending_bytes_; }
+  [[nodiscard]] std::size_t in_flight() const noexcept { return in_flight_count_; }
+  [[nodiscard]] bool has_capacity(std::size_t command_bytes) const noexcept;
+  [[nodiscard]] const MempoolLimits& limits() const noexcept { return limits_; }
+
+  // Lifetime counters (admission accounting for the workload report).
+  [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
+  [[nodiscard]] std::uint64_t rejected_full() const noexcept { return rejected_full_; }
+  [[nodiscard]] std::uint64_t rejected_oversized() const noexcept { return rejected_oversized_; }
+  [[nodiscard]] std::uint64_t rejected_duplicate() const noexcept { return rejected_duplicate_; }
+  [[nodiscard]] std::uint64_t acked() const noexcept { return acked_; }
+  [[nodiscard]] std::uint64_t requeued() const noexcept { return requeued_; }
 
  private:
-  std::size_t max_batch_bytes_;
+  /// One leased command: digest cached at lease time so observing a
+  /// commit never re-hashes the in-flight set.
+  struct LeasedCommand {
+    crypto::Digest digest;
+    std::vector<std::uint8_t> command;
+  };
+
+  [[nodiscard]] static std::size_t batch_cost(const std::vector<std::uint8_t>& cmd) noexcept {
+    return cmd.size() + 4;  // u32 length prefix
+  }
+  /// The one drain loop both next_batch overloads share: moves up to the
+  /// batch limits (bytes and count) of commands off the queue front and
+  /// serializes them into `payload`.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> drain_batch(
+      std::vector<std::uint8_t>& payload);
+  void maybe_signal_space();
+
+  MempoolLimits limits_;
   std::deque<std::vector<std::uint8_t>> queue_;
+  std::size_t pending_bytes_ = 0;
+  /// Digests of every live (pending or in-flight) command, for duplicate
+  /// suppression. std::set for deterministic behavior everywhere.
+  std::set<crypto::Digest> live_;
+  /// Leased batches by proposing view (a view can lease at most once per
+  /// proposal, but the map tolerates several).
+  std::map<View, std::vector<LeasedCommand>> leases_;
+  std::size_t in_flight_count_ = 0;
+  std::function<void()> space_available_;
+  bool starving_ = false;  ///< an add() bounced with kFull since the last signal
+
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_full_ = 0;
+  std::uint64_t rejected_oversized_ = 0;
+  std::uint64_t rejected_duplicate_ = 0;
+  std::uint64_t acked_ = 0;
+  std::uint64_t requeued_ = 0;
 };
 
 }  // namespace lumiere::consensus

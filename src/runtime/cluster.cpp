@@ -33,13 +33,35 @@ Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
   }
 }
 
-NodeConfig Cluster::config_for(const NodeSpec& spec) const {
+NodeConfig Cluster::config_for(ProcessId id) const {
+  const NodeSpec& spec = scenario_.nodes[id];
   NodeConfig config;
   config.protocol = spec.protocol;
   config.join_time = spec.join_time;
   config.clock_drift_ppm = spec.clock_drift_ppm;
   config.payload_provider = spec.payload_provider;
+  if (workloads_[id] != nullptr) {
+    // The workload engine supplies the proposals: leased batches from the
+    // node's bounded mempool, fed by this node's client drivers.
+    config.payload_provider = [w = workloads_[id].get()](View v) { return w->make_batch(v); };
+  }
   return config;
+}
+
+void Cluster::build_workload(ProcessId id, sim::Simulator* sim, bool feed_metrics) {
+  const NodeSpec& spec = scenario_.nodes[id];
+  if (!spec.workload) return;
+  workload::NodeWorkload::Hooks hooks;
+  if (feed_metrics) {
+    hooks.on_request_committed = [this](TimePoint at, Duration latency) {
+      metrics_->record_request_committed(at, latency);
+    };
+    hooks.on_queue_depth = [this, id](TimePoint at, std::size_t depth) {
+      metrics_->record_queue_depth(at, id, depth);
+    };
+  }
+  workloads_[id] = std::make_unique<workload::NodeWorkload>(sim, id, *spec.workload,
+                                                            scenario_.seed, std::move(hooks));
 }
 
 void Cluster::build_sim_cluster(std::vector<std::unique_ptr<adversary::Behavior>> behaviors) {
@@ -58,13 +80,18 @@ void Cluster::build_sim_cluster(std::vector<std::unique_ptr<adversary::Behavior>
   };
   observers.on_commit = [this](TimePoint at, const consensus::Block& block, ProcessId node) {
     trace_.record(at, sim::TraceKind::kCommitted, node, block.view());
+    if (workloads_[node] != nullptr) {
+      workloads_[node]->on_commit(at, block.view(), block.payload());
+    }
   };
 
   nodes_.reserve(n);
+  workloads_.resize(n);
+  for (ProcessId id = 0; id < n; ++id) build_workload(id, &sim_, /*feed_metrics=*/true);
   for (ProcessId id = 0; id < n; ++id) {
     nodes_.push_back(std::make_unique<Node>(scenario_.params, id, &sim_, network_.get(),
-                                            pki_.get(), config_for(scenario_.nodes[id]),
-                                            observers, std::move(behaviors[id])));
+                                            pki_.get(), config_for(id), observers,
+                                            std::move(behaviors[id])));
   }
   schedule_faults_sim();
 }
@@ -140,6 +167,7 @@ void Cluster::build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>
   node_sims_.reserve(n);
   adapters_.reserve(n);
   drivers_.reserve(n);
+  workloads_.resize(n);
   for (ProcessId id = 0; id < n; ++id) {
     MessageCodec codec;
     consensus::register_consensus_messages(codec);
@@ -147,14 +175,23 @@ void Cluster::build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>
     node_sims_.push_back(std::make_unique<sim::Simulator>());
     adapters_.push_back(std::make_unique<transport::TcpTransportAdapter>(
         id, n, scenario_.tcp_base_port, std::move(codec)));
+    // The workload engine lives on the node's private simulator — every
+    // touch (submission, drain, commit) happens on the node's own driver
+    // thread, so no locking is needed and no metrics are shared.
+    build_workload(id, node_sims_.back().get(), /*feed_metrics=*/false);
     // No shared observers: nodes run on separate threads here, and the
     // metrics/trace collectors are single-threaded simulator
-    // instrumentation. Per-node state (ledger, views) remains inspectable
-    // after run_for joins the threads.
+    // instrumentation. Per-node state (ledger, views, workload recorders)
+    // remains inspectable after run_for joins the threads.
+    NodeObservers observers;
+    if (workloads_[id] != nullptr) {
+      observers.on_commit = [this, id](TimePoint at, const consensus::Block& block, ProcessId) {
+        workloads_[id]->on_commit(at, block.view(), block.payload());
+      };
+    }
     nodes_.push_back(std::make_unique<Node>(scenario_.params, id, node_sims_.back().get(),
-                                            adapters_.back().get(), pki_.get(),
-                                            config_for(scenario_.nodes[id]), NodeObservers{},
-                                            std::move(behaviors[id])));
+                                            adapters_.back().get(), pki_.get(), config_for(id),
+                                            std::move(observers), std::move(behaviors[id])));
     drivers_.push_back(std::make_unique<transport::RealtimeDriver>(
         node_sims_.back().get(), &adapters_.back()->endpoint()));
   }
@@ -164,7 +201,18 @@ void Cluster::build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>
 void Cluster::start() {
   if (started_) return;
   started_ = true;
+  for (auto& workload : workloads_) {
+    if (workload) workload->start();
+  }
   for (auto& node : nodes_) node->start();
+}
+
+workload::Report Cluster::workload_report() const {
+  workload::Report report;
+  for (const auto& workload : workloads_) {
+    if (workload) report.merge(*workload);
+  }
+  return report;
 }
 
 void Cluster::run_for(Duration d) {

@@ -27,6 +27,8 @@
 #include "sim/simulator.h"
 #include "sim/trace.h"
 #include "transport/realtime.h"
+#include "workload/engine.h"
+#include "workload/report.h"
 
 namespace lumiere::runtime {
 
@@ -81,6 +83,19 @@ class Cluster {
   /// Largest current view among honest processors.
   [[nodiscard]] View max_honest_view() const;
 
+  /// One node's workload engine (nullptr when that node runs no
+  /// client-driven workload). Works on both transports.
+  [[nodiscard]] workload::NodeWorkload* node_workload(ProcessId id) {
+    return workloads_.at(id).get();
+  }
+  [[nodiscard]] const workload::NodeWorkload* node_workload(ProcessId id) const {
+    return workloads_.at(id).get();
+  }
+  /// Merged client-side accounting across every node. TCP transport:
+  /// call between run_for slices (driver threads are joined), never
+  /// concurrently with one.
+  [[nodiscard]] workload::Report workload_report() const;
+
  private:
   void build_sim_cluster(std::vector<std::unique_ptr<adversary::Behavior>> behaviors);
   void build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>> behaviors);
@@ -90,7 +105,11 @@ class Cluster {
   /// transitions on every node's private simulator (TCP transport).
   void schedule_faults_tcp();
   void apply_fault_tcp(ProcessId id, const sim::FaultEvent& event);
-  [[nodiscard]] NodeConfig config_for(const NodeSpec& spec) const;
+  [[nodiscard]] NodeConfig config_for(ProcessId id) const;
+  /// Instantiates node `id`'s workload engine on `sim` (the shared
+  /// simulator, or the node's private one on TCP). `feed_metrics` wires
+  /// the engine into the shared MetricsCollector — sim transport only.
+  void build_workload(ProcessId id, sim::Simulator* sim, bool feed_metrics);
 
   Scenario scenario_;
   sim::Simulator sim_;  ///< shared simulator (sim transport).
@@ -98,6 +117,8 @@ class Cluster {
   std::unique_ptr<sim::Network> network_;
   std::unique_ptr<MetricsCollector> metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  /// One engine per workload-driven node (index = node id, else null).
+  std::vector<std::unique_ptr<workload::NodeWorkload>> workloads_;
   sim::TraceLog trace_;
   bool started_ = false;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/stats.h"
+
 namespace lumiere::runtime {
 
 void MetricsCollector::on_send(TimePoint at, ProcessId from, ProcessId to, const Message& msg) {
@@ -84,6 +86,39 @@ std::optional<Duration> MetricsCollector::max_decision_gap_between(TimePoint fro
     worst = std::max(worst, decisions_[i].at - decisions_[i - 1].at);
   }
   return worst;
+}
+
+void MetricsCollector::record_request_committed(TimePoint at, Duration latency) {
+  request_log_.emplace_back(at, latency);
+}
+
+void MetricsCollector::record_queue_depth(TimePoint at, ProcessId node, std::size_t depth) {
+  queue_depth_log_.push_back(QueueDepthSample{at, node, depth});
+  max_queue_depth_ = std::max(max_queue_depth_, depth);
+}
+
+std::uint64_t MetricsCollector::requests_between(TimePoint from, TimePoint to) const {
+  // Commit callbacks fire in simulated-time order, so the log is sorted.
+  const auto lo = std::lower_bound(
+      request_log_.begin(), request_log_.end(), from,
+      [](const std::pair<TimePoint, Duration>& e, TimePoint t) { return e.first < t; });
+  const auto hi = std::lower_bound(
+      request_log_.begin(), request_log_.end(), to,
+      [](const std::pair<TimePoint, Duration>& e, TimePoint t) { return e.first < t; });
+  return static_cast<std::uint64_t>(hi - lo);
+}
+
+std::optional<Duration> MetricsCollector::request_latency_percentile(double p) const {
+  return request_latency_percentile_between(p, TimePoint::origin(), TimePoint::max());
+}
+
+std::optional<Duration> MetricsCollector::request_latency_percentile_between(
+    double p, TimePoint from, TimePoint to) const {
+  std::vector<Duration> samples;
+  for (const auto& [at, latency] : request_log_) {
+    if (at >= from && at < to) samples.push_back(latency);
+  }
+  return nearest_rank_percentile(std::move(samples), p);
 }
 
 std::uint64_t MetricsCollector::msgs_between(TimePoint from, TimePoint to) const {

@@ -103,6 +103,39 @@ class MetricsCollector final : public sim::NetworkObserver {
   [[nodiscard]] std::optional<Duration> max_decision_gap_between(TimePoint from,
                                                                  TimePoint to) const;
 
+  // -- client workload -----------------------------------------------------
+  // End-to-end request accounting (src/workload/), fed by the Cluster on
+  // the sim transport so request throughput and client latency attribute
+  // to the same regime windows as the protocol measures. The TCP
+  // transport aggregates per node instead (Cluster::workload_report).
+
+  /// A tagged client request committed at `at`, `latency` after submit.
+  void record_request_committed(TimePoint at, Duration latency);
+  /// A proposer drained its mempool at depth `depth` (requests waiting).
+  void record_queue_depth(TimePoint at, ProcessId node, std::size_t depth);
+
+  [[nodiscard]] std::uint64_t requests_committed() const noexcept {
+    return request_log_.size();
+  }
+  /// Committed requests with `from <= at < to`.
+  [[nodiscard]] std::uint64_t requests_between(TimePoint from, TimePoint to) const;
+  /// Nearest-rank submit -> commit latency percentile, p in (0, 1];
+  /// nullopt when no request committed (in the window).
+  [[nodiscard]] std::optional<Duration> request_latency_percentile(double p) const;
+  [[nodiscard]] std::optional<Duration> request_latency_percentile_between(double p,
+                                                                           TimePoint from,
+                                                                           TimePoint to) const;
+  [[nodiscard]] std::size_t max_queue_depth() const noexcept { return max_queue_depth_; }
+  /// (instant, proposer, pending depth) per batch drain, in time order.
+  struct QueueDepthSample {
+    TimePoint at;
+    ProcessId node = kNoProcess;
+    std::size_t depth = 0;
+  };
+  [[nodiscard]] const std::vector<QueueDepthSample>& queue_depth_log() const noexcept {
+    return queue_depth_log_;
+  }
+
  private:
   std::uint32_t n_;
   std::vector<bool> byzantine_;
@@ -116,6 +149,10 @@ class MetricsCollector final : public sim::NetworkObserver {
   /// send keeps memory bounded via coarse bucketing.
   std::vector<std::pair<TimePoint, std::uint64_t>> send_log_;
   std::vector<std::pair<TimePoint, std::string>> regime_marks_;
+  /// (commit instant, submit -> commit latency) per committed request.
+  std::vector<std::pair<TimePoint, Duration>> request_log_;
+  std::vector<QueueDepthSample> queue_depth_log_;
+  std::size_t max_queue_depth_ = 0;
 };
 
 }  // namespace lumiere::runtime

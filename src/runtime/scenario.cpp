@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "runtime/cluster.h"
+#include "workload/request.h"
 
 namespace lumiere::runtime {
 
@@ -71,6 +72,11 @@ ScenarioBuilder::NodeTweak& ScenarioBuilder::NodeTweak::payload(PayloadProvider 
   return *this;
 }
 
+ScenarioBuilder::NodeTweak& ScenarioBuilder::NodeTweak::workload(workload::WorkloadSpec spec) {
+  workload_ = std::move(spec);
+  return *this;
+}
+
 // ----------------------------------------------------------- ScenarioBuilder
 
 ScenarioBuilder& ScenarioBuilder::params(ProtocolParams params) {
@@ -120,6 +126,11 @@ ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t seed) {
 
 ScenarioBuilder& ScenarioBuilder::workload(PayloadProvider provider) {
   workload_ = std::move(provider);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::workload(workload::WorkloadSpec spec) {
+  workload_spec_ = std::move(spec);
   return *this;
 }
 
@@ -297,6 +308,76 @@ std::vector<std::string> ScenarioBuilder::validate() const {
     }
   }
 
+  // ---- workload ---------------------------------------------------------
+  const auto check_workload = [&](const std::string& where, const workload::WorkloadSpec& spec,
+                                  const std::string& core_name) {
+    if (spec.clients_per_node >= workload::kClientsPerNodeStride) {
+      errors.push_back(where + ": workload clients_per_node must be below " +
+                       std::to_string(workload::kClientsPerNodeStride) +
+                       " (client ids encode the node in the high bits)");
+    }
+    if (spec.clients_per_node == 0) return;  // workload disabled on this node
+    const bool open_loop = spec.arrival != workload::Arrival::kClosedLoop;
+    if (open_loop && !(spec.rate_per_client > 0)) {
+      errors.push_back(where + ": open-loop workload needs rate_per_client > 0");
+    }
+    if (!open_loop && spec.in_flight == 0) {
+      errors.push_back(where + ": closed-loop workload needs in_flight >= 1");
+    }
+    if (spec.arrival == workload::Arrival::kBursty) {
+      if (spec.burst_factor < 1.0) {
+        errors.push_back(where + ": bursty workload needs burst_factor >= 1");
+      }
+      if (spec.burst_period <= Duration::zero()) {
+        errors.push_back(where + ": bursty workload needs burst_period > 0");
+      }
+      if (!(spec.burst_duty > 0.0 && spec.burst_duty <= 1.0)) {
+        errors.push_back(where + ": bursty workload needs burst_duty in (0, 1]");
+      }
+    }
+    if (spec.stop <= spec.start) {
+      errors.push_back(where + ": workload stop must be after start");
+    }
+    if (!spec.body && spec.request_bytes < workload::kRequestHeaderBytes) {
+      errors.push_back(where + ": workload request_bytes must be at least the " +
+                       std::to_string(workload::kRequestHeaderBytes) + "-byte request header");
+    }
+    if (spec.mempool.max_batch_count == 0) {
+      errors.push_back(where + ": workload mempool max_batch_count must be >= 1");
+    }
+    if (!spec.body && spec.request_bytes + 4 > spec.mempool.max_batch_bytes) {
+      errors.push_back(where +
+                       ": workload request_bytes + 4 (framing) exceeds the mempool's "
+                       "max_batch_bytes — every request would be rejected as oversized");
+    }
+    if (core_name == "simple-view") {
+      errors.push_back(where +
+                       ": a workload needs a committing core (chained-hotstuff or "
+                       "hotstuff-2); simple-view never commits, so no request would ever "
+                       "complete");
+    }
+  };
+  if (workload_spec_ && workload_) {
+    errors.push_back(
+        "workload: a WorkloadSpec and a raw PayloadProvider are mutually exclusive at the "
+        "cluster level (per-node payload overrides still win over the cluster workload)");
+  }
+  if (workload_spec_) check_workload("defaults", *workload_spec_, protocol_.core);
+  for (const auto& [id, tweak] : tweaks_) {
+    if (id >= params_.n) continue;  // reported above
+    const std::string where = "node " + std::to_string(id);
+    if (tweak.workload_ && tweak.payload_) {
+      errors.push_back(where + ": workload and payload overrides are mutually exclusive");
+      continue;
+    }
+    if (tweak.workload_) {
+      check_workload(where, *tweak.workload_, tweak.core_.value_or(protocol_.core));
+    } else if (workload_spec_ && !tweak.payload_ && tweak.core_) {
+      // The cluster workload lands on this node with an overridden core.
+      check_workload(where, *workload_spec_, *tweak.core_);
+    }
+  }
+
   // ---- fault schedule ---------------------------------------------------
   const auto check_node_id = [&](const std::string& where, ProcessId id) {
     if (id >= params_.n) {
@@ -457,6 +538,7 @@ Scenario ScenarioBuilder::scenario() const {
     spec.protocol = protocol_;
     spec.protocol.shared_seed = seed_;
     spec.payload_provider = workload_;
+    spec.workload = workload_spec_;
     // The random draws are consumed for every node, override or not, so
     // an override on node k never shifts the other nodes' draws.
     const TimePoint drawn_join = join_stagger_ > Duration::zero()
@@ -484,8 +566,13 @@ Scenario ScenarioBuilder::scenario() const {
       if (tweak.join_time_) spec.join_time = *tweak.join_time_;
       if (tweak.drift_ppm_) spec.clock_drift_ppm = *tweak.drift_ppm_;
       if (tweak.behavior_) spec.behavior = tweak.behavior_;
-      if (tweak.payload_) spec.payload_provider = tweak.payload_;
+      if (tweak.payload_) {
+        spec.payload_provider = tweak.payload_;
+        spec.workload.reset();  // a raw payload override displaces the workload
+      }
+      if (tweak.workload_) spec.workload = tweak.workload_;
     }
+    if (spec.workload && spec.workload->clients_per_node == 0) spec.workload.reset();
     scenario.nodes.push_back(std::move(spec));
   }
   return scenario;

@@ -30,6 +30,7 @@
 #include "sim/delay_policy.h"
 #include "sim/fault_schedule.h"
 #include "sim/topology.h"
+#include "workload/spec.h"
 
 namespace lumiere::runtime {
 
@@ -53,6 +54,9 @@ struct NodeSpec {
   TimePoint join_time = TimePoint::origin();
   std::int64_t clock_drift_ppm = 0;
   PayloadProvider payload_provider;
+  /// Client-driven workload for this node (cluster default unless
+  /// overridden); a per-node payload override disables it instead.
+  std::optional<workload::WorkloadSpec> workload;
   BehaviorThunk behavior;  ///< never null after ScenarioBuilder::scenario().
 };
 
@@ -104,6 +108,7 @@ class ScenarioBuilder {
     NodeTweak& drift_ppm(std::int64_t ppm);
     NodeTweak& behavior(BehaviorThunk make);
     NodeTweak& payload(PayloadProvider provider);
+    NodeTweak& workload(workload::WorkloadSpec spec);
 
    private:
     friend class ScenarioBuilder;
@@ -117,6 +122,7 @@ class ScenarioBuilder {
     std::optional<std::int64_t> drift_ppm_;
     BehaviorThunk behavior_;
     PayloadProvider payload_;
+    std::optional<workload::WorkloadSpec> workload_;
   };
 
   ScenarioBuilder() = default;
@@ -132,6 +138,10 @@ class ScenarioBuilder {
   ScenarioBuilder& relay_timeout(Duration timeout);
   ScenarioBuilder& seed(std::uint64_t seed);
   ScenarioBuilder& workload(PayloadProvider provider);
+  /// Client-driven workload (src/workload/): drivers, bounded mempools
+  /// and end-to-end latency accounting on every node. Mutually exclusive
+  /// with the raw PayloadProvider form above.
+  ScenarioBuilder& workload(workload::WorkloadSpec spec);
   /// Behavior assignment; default all-honest.
   ScenarioBuilder& behaviors(adversary::BehaviorFactory factory);
 
@@ -206,6 +216,7 @@ class ScenarioBuilder {
   std::int64_t drift_ppm_max_ = 0;
   adversary::BehaviorFactory behavior_for_;
   PayloadProvider workload_;
+  std::optional<workload::WorkloadSpec> workload_spec_;
   TransportKind transport_ = TransportKind::kSim;
   std::uint16_t tcp_base_port_ = 0;
   std::map<ProcessId, NodeTweak> tweaks_;

@@ -1,0 +1,237 @@
+#include "workload/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lumiere::workload {
+
+const char* to_string(Arrival arrival) {
+  switch (arrival) {
+    case Arrival::kClosedLoop:
+      return "closed-loop";
+    case Arrival::kConstant:
+      return "constant";
+    case Arrival::kPoisson:
+      return "poisson";
+    case Arrival::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------ ClientDriver
+
+ClientDriver::ClientDriver(NodeWorkload* owner, std::uint32_t client, Rng rng)
+    : owner_(owner), client_(client), rng_(rng) {}
+
+void ClientDriver::start() {
+  const WorkloadSpec& spec = owner_->spec_;
+  if (spec.arrival == Arrival::kClosedLoop) {
+    owner_->sim_->schedule_at(spec.start, [this] {
+      want_ = owner_->spec_.in_flight;
+      closed_loop_pump();
+    });
+    return;
+  }
+  // Open loop: phase-spread the clients so n clients at rate r behave as
+  // one arrival stream at n*r, not as lockstep herds; Poisson draws its
+  // first gap (memorylessness makes the phase irrelevant).
+  Duration first = Duration::zero();
+  if (spec.arrival == Arrival::kPoisson) {
+    first = open_loop_interval(spec.start);
+  } else {
+    const double rate = std::max(spec.rate_per_client, 1e-9);
+    const auto interval = static_cast<std::int64_t>(1e6 / rate);
+    const std::uint32_t k = client_ % kClientsPerNodeStride;
+    first = Duration(std::max<std::int64_t>(
+        1, interval * (k + 1) / std::max(1u, owner_->spec_.clients_per_node)));
+  }
+  owner_->sim_->schedule_at(spec.start + first, [this] { open_loop_arrival(); });
+}
+
+Duration ClientDriver::open_loop_interval(TimePoint now) {
+  const WorkloadSpec& spec = owner_->spec_;
+  double rate = std::max(spec.rate_per_client, 1e-9);
+  switch (spec.arrival) {
+    case Arrival::kConstant:
+      break;
+    case Arrival::kPoisson: {
+      const double u = rng_.next_double();
+      return Duration(std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(std::llround(-std::log1p(-u) * 1e6 / rate))));
+    }
+    case Arrival::kBursty: {
+      const std::int64_t period = std::max<std::int64_t>(1, spec.burst_period.ticks());
+      const std::int64_t phase = (now - spec.start).ticks() % period;
+      const auto burst_ticks = static_cast<std::int64_t>(spec.burst_duty * period);
+      if (phase < burst_ticks) rate *= spec.burst_factor;
+      break;
+    }
+    case Arrival::kClosedLoop:
+      LUMIERE_ASSERT_MSG(false, "closed loop has no arrival interval");
+  }
+  return Duration(std::max<std::int64_t>(1, static_cast<std::int64_t>(std::llround(1e6 / rate))));
+}
+
+void ClientDriver::open_loop_arrival() {
+  const TimePoint now = owner_->sim_->now();
+  if (now >= owner_->spec_.stop) return;
+  (void)submit_one(/*shed_on_full=*/true);
+  owner_->sim_->schedule_after(open_loop_interval(now), [this] { open_loop_arrival(); });
+}
+
+void ClientDriver::closed_loop_pump() {
+  // Bounded attempts so a degenerate body fn (every request a duplicate
+  // or oversized) stalls visibly in the counters instead of spinning the
+  // event loop. A kSkipped request never commits, so it must not consume
+  // a window slot — only admitted requests do.
+  for (std::uint32_t attempts = 0; want_ > 0 && attempts < 64 + want_; ++attempts) {
+    switch (submit_one(/*shed_on_full=*/false)) {
+      case Submit::kAdmitted:
+        --want_;
+        break;
+      case Submit::kRetryLater:
+        owner_->note_starved();
+        return;
+      case Submit::kSkipped:
+        break;  // try the next seq; the attempt bound caps the spin
+    }
+  }
+}
+
+void ClientDriver::on_own_commit() {
+  if (owner_->spec_.arrival != Arrival::kClosedLoop) return;
+  if (owner_->sim_->now() >= owner_->spec_.stop) return;
+  ++want_;
+  closed_loop_pump();
+}
+
+void ClientDriver::on_space_available() {
+  if (owner_->spec_.arrival == Arrival::kClosedLoop && want_ > 0) closed_loop_pump();
+}
+
+ClientDriver::Submit ClientDriver::submit_one(bool shed_on_full) {
+  const WorkloadSpec& spec = owner_->spec_;
+  const std::uint64_t seq = next_seq_;
+  std::vector<std::uint8_t> body =
+      spec.body ? spec.body(client_, seq)
+                : padding_body(client_, seq,
+                               spec.request_bytes > kRequestHeaderBytes
+                                   ? spec.request_bytes - kRequestHeaderBytes
+                                   : 0);
+  std::vector<std::uint8_t> request =
+      Request::encode(client_, seq, std::span<const std::uint8_t>(body.data(), body.size()));
+  owner_->record_generated(request);
+  const TimePoint now = owner_->sim_->now();
+  switch (owner_->mempool_.add(std::move(request))) {
+    case consensus::Admission::kAccepted:
+      ++next_seq_;
+      owner_->record_admitted(client_, seq, now);
+      return Submit::kAdmitted;
+    case consensus::Admission::kFull:
+      if (shed_on_full) {
+        ++next_seq_;  // the open-loop request is gone; offered != admitted
+        ++owner_->stats_.shed;
+        return Submit::kSkipped;
+      }
+      return Submit::kRetryLater;  // closed loop retries this very seq on release
+    case consensus::Admission::kOversized:
+    case consensus::Admission::kDuplicate:
+      ++next_seq_;  // never admissible; skip it (counted by the mempool)
+      return Submit::kSkipped;
+  }
+  return Submit::kSkipped;
+}
+
+// ------------------------------------------------------------ NodeWorkload
+
+NodeWorkload::NodeWorkload(sim::Simulator* sim, ProcessId node, WorkloadSpec spec,
+                           std::uint64_t seed, Hooks hooks)
+    : sim_(sim),
+      node_(node),
+      spec_(std::move(spec)),
+      hooks_(std::move(hooks)),
+      mempool_(spec_.mempool) {
+  LUMIERE_ASSERT(sim_ != nullptr);
+  LUMIERE_ASSERT_MSG(spec_.clients_per_node < kClientsPerNodeStride,
+                     "client ids encode the node in the high bits");
+  trace_hasher_.update("lumiere.workload.trace");
+  // One independent stream per client, all derived from the scenario seed
+  // and stable under per-node spec overrides elsewhere in the cluster.
+  Rng root(seed ^ (0x574b4c44ULL + node));
+  drivers_.reserve(spec_.clients_per_node);
+  for (std::uint32_t k = 0; k < spec_.clients_per_node; ++k) {
+    drivers_.push_back(std::make_unique<ClientDriver>(this, client_id(node_, k), root.fork()));
+  }
+  mempool_.set_space_available([this] { note_starved_release(); });
+}
+
+void NodeWorkload::start() {
+  LUMIERE_ASSERT_MSG(!started_, "NodeWorkload::start called twice");
+  started_ = true;
+  for (auto& driver : drivers_) driver->start();
+}
+
+std::vector<std::uint8_t> NodeWorkload::make_batch(View view) {
+  const std::size_t depth = mempool_.pending();
+  stats_.queue_depth.emplace_back(sim_->now(), depth);
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
+  if (hooks_.on_queue_depth) hooks_.on_queue_depth(sim_->now(), depth);
+  return mempool_.next_batch(view);
+}
+
+void NodeWorkload::on_commit(TimePoint at, View view,
+                             const std::vector<std::uint8_t>& payload) {
+  mempool_.on_commit(view, payload);
+  for (const auto& command : consensus::Mempool::split_batch(payload)) {
+    const auto request =
+        Request::decode(std::span<const std::uint8_t>(command.data(), command.size()));
+    if (!request || client_node(request->client) != node_) continue;
+    const auto it = outstanding_.find({request->client, request->seq});
+    if (it == outstanding_.end()) {
+      ++stats_.commit_misses;  // committed twice, or never submitted here
+      continue;
+    }
+    const Duration latency = at - it->second;
+    outstanding_.erase(it);
+    ++stats_.committed;
+    stats_.latencies.emplace_back(at, latency);
+    if (hooks_.on_request_committed) hooks_.on_request_committed(at, latency);
+    const std::uint32_t k = request->client % kClientsPerNodeStride;
+    if (k < drivers_.size()) drivers_[k]->on_own_commit();
+  }
+}
+
+crypto::Digest NodeWorkload::trace_digest() const {
+  crypto::Sha256 copy = trace_hasher_;  // finish() consumes; hash a copy
+  return copy.finish();
+}
+
+void NodeWorkload::record_generated(const std::vector<std::uint8_t>& request) {
+  ++stats_.submitted;
+  trace_hasher_.update(std::span<const std::uint8_t>(request.data(), request.size()));
+}
+
+void NodeWorkload::record_admitted(std::uint32_t client, std::uint64_t seq, TimePoint at) {
+  outstanding_.emplace(std::make_pair(client, seq), at);
+}
+
+void NodeWorkload::note_starved() {
+  // Nothing to do eagerly: the mempool remembers it bounced someone and
+  // fires the space-available callback on the release edge.
+}
+
+void NodeWorkload::note_starved_release() {
+  if (retry_scheduled_) return;
+  retry_scheduled_ = true;
+  // Deferred one event so the retry runs outside the drain/commit path
+  // that freed the space (same instant, FIFO order — still deterministic).
+  sim_->schedule_after(Duration::zero(), [this] {
+    retry_scheduled_ = false;
+    for (auto& driver : drivers_) driver->on_space_available();
+  });
+}
+
+}  // namespace lumiere::workload

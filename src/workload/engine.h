@@ -1,0 +1,153 @@
+// The workload engine: client drivers feeding one node's bounded mempool,
+// with per-request submit -> commit latency accounting.
+//
+//    ClientDriver --add()--> Mempool --next_batch(view)--> proposals
+//         ^                     |                             |
+//         | backpressure        | on_commit (ack/requeue)     v
+//         +---- release --------+<------- committed blocks ---+
+//
+// One NodeWorkload per node, living entirely on that node's simulator
+// (the shared deterministic one, or the node's private wall-clock-paced
+// one on the TCP transport) — submissions, batch drains and commit
+// observations all happen on one logical thread, so the engine needs no
+// locks and behaves identically on both transports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "common/types.h"
+#include "consensus/mempool.h"
+#include "crypto/sha256.h"
+#include "sim/simulator.h"
+#include "workload/request.h"
+#include "workload/spec.h"
+
+namespace lumiere::workload {
+
+class NodeWorkload;
+
+/// One client: an arrival process generating tagged requests against its
+/// node's mempool. Owned by NodeWorkload; not constructed directly.
+class ClientDriver {
+ public:
+  ClientDriver(NodeWorkload* owner, std::uint32_t client, Rng rng);
+
+  /// Schedules this client's first activity at spec.start.
+  void start();
+  /// A request of this client committed (closed loop refills its window).
+  void on_own_commit();
+  /// The mempool freed capacity after rejecting us (closed loop retries).
+  void on_space_available();
+
+  [[nodiscard]] std::uint32_t client() const noexcept { return client_; }
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+
+ private:
+  enum class Submit {
+    kAdmitted,    ///< request accepted; it will eventually commit
+    kRetryLater,  ///< pool full and not shedding — same seq retried on release
+    kSkipped,     ///< consumed the seq without admitting (shed / oversized /
+                  ///< duplicate) — no commit will ever arrive for it
+  };
+
+  void open_loop_arrival();
+  void closed_loop_pump();
+  /// Builds and submits request `next_seq_`. Consumes the sequence number
+  /// unless the pool is full and `shed_on_full` is false (closed loop
+  /// retries the same request later).
+  Submit submit_one(bool shed_on_full);
+  [[nodiscard]] Duration open_loop_interval(TimePoint now);
+
+  NodeWorkload* owner_;
+  std::uint32_t client_;
+  std::uint64_t next_seq_ = 0;
+  std::uint32_t want_ = 0;  ///< closed loop: window slots awaiting a submission
+  Rng rng_;
+};
+
+/// Client-side accounting for one node (admission counters live on the
+/// node's Mempool; this adds the per-request latency view).
+struct NodeWorkloadStats {
+  std::uint64_t submitted = 0;       ///< requests generated (attempts)
+  std::uint64_t shed = 0;            ///< open-loop requests dropped on kFull
+  std::uint64_t committed = 0;       ///< own requests observed committing
+  std::uint64_t commit_misses = 0;   ///< own client id committed with no
+                                     ///< outstanding record (duplicate commit)
+  std::size_t max_queue_depth = 0;
+  /// (commit instant, submit -> commit latency), in commit order.
+  std::vector<std::pair<TimePoint, Duration>> latencies;
+  /// (drain instant, pending depth just before the drain), per proposal.
+  std::vector<std::pair<TimePoint, std::size_t>> queue_depth;
+};
+
+class NodeWorkload {
+ public:
+  /// Events forwarded to harness-level collectors (the sim transport
+  /// feeds runtime::MetricsCollector through these; TCP leaves them null
+  /// and aggregates per node after the run).
+  struct Hooks {
+    std::function<void(TimePoint at, Duration latency)> on_request_committed;
+    std::function<void(TimePoint at, std::size_t depth)> on_queue_depth;
+  };
+
+  NodeWorkload(sim::Simulator* sim, ProcessId node, WorkloadSpec spec, std::uint64_t seed,
+               Hooks hooks = {});
+
+  NodeWorkload(const NodeWorkload&) = delete;
+  NodeWorkload& operator=(const NodeWorkload&) = delete;
+
+  /// Schedules every client's first activity. Call exactly once, before
+  /// the run starts.
+  void start();
+
+  /// The node's PayloadProvider: drains the next leased batch for a
+  /// proposal at `view` and samples the queue depth.
+  [[nodiscard]] std::vector<std::uint8_t> make_batch(View view);
+
+  /// This node committed a block: ack/requeue the mempool leases and
+  /// close the latency loop for our own requests inside the payload.
+  void on_commit(TimePoint at, View view, const std::vector<std::uint8_t>& payload);
+
+  [[nodiscard]] const WorkloadSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] ProcessId node() const noexcept { return node_; }
+  [[nodiscard]] consensus::Mempool& mempool() noexcept { return mempool_; }
+  [[nodiscard]] const consensus::Mempool& mempool() const noexcept { return mempool_; }
+  [[nodiscard]] const NodeWorkloadStats& stats() const noexcept { return stats_; }
+  /// Requests admitted but not yet committed (pending + in flight).
+  [[nodiscard]] std::size_t outstanding() const noexcept { return outstanding_.size(); }
+
+  /// Rolling digest over every generated request, in generation order —
+  /// two runs produced byte-identical request traces iff these agree.
+  [[nodiscard]] crypto::Digest trace_digest() const;
+
+ private:
+  friend class ClientDriver;
+
+  void record_generated(const std::vector<std::uint8_t>& request);
+  void record_admitted(std::uint32_t client, std::uint64_t seq, TimePoint at);
+  void note_starved();
+  /// The mempool's space-available edge: schedules one deferred retry
+  /// round across all drivers.
+  void note_starved_release();
+
+  sim::Simulator* sim_;
+  ProcessId node_;
+  WorkloadSpec spec_;
+  Hooks hooks_;
+  consensus::Mempool mempool_;
+  std::vector<std::unique_ptr<ClientDriver>> drivers_;
+  /// (client, seq) -> submission instant, for requests awaiting commit.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, TimePoint> outstanding_;
+  NodeWorkloadStats stats_;
+  crypto::Sha256 trace_hasher_;
+  bool retry_scheduled_ = false;  ///< a backpressure-release retry event is queued
+  bool started_ = false;
+};
+
+}  // namespace lumiere::workload

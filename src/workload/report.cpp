@@ -1,0 +1,62 @@
+#include "workload/report.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "workload/engine.h"
+
+namespace lumiere::workload {
+
+void Report::merge(const NodeWorkload& node) {
+  const NodeWorkloadStats& stats = node.stats();
+  const consensus::Mempool& pool = node.mempool();
+  submitted += stats.submitted;
+  shed += stats.shed;
+  committed += stats.committed;
+  commit_misses += stats.commit_misses;
+  admitted += pool.admitted();
+  rejected_full += pool.rejected_full();
+  rejected_oversized += pool.rejected_oversized();
+  rejected_duplicate += pool.rejected_duplicate();
+  requeued += pool.requeued();
+  outstanding += node.outstanding();
+  max_queue_depth = std::max(max_queue_depth, stats.max_queue_depth);
+  // Each node's samples arrive in commit order; merging sorted runs keeps
+  // the whole vector time-ordered without re-sorting it per node.
+  const auto mid = latencies.insert(latencies.end(), stats.latencies.begin(),
+                                    stats.latencies.end());
+  std::inplace_merge(latencies.begin(), mid, latencies.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+std::optional<Duration> Report::latency_percentile(double p) const {
+  std::vector<Duration> samples;
+  samples.reserve(latencies.size());
+  for (const auto& [at, latency] : latencies) samples.push_back(latency);
+  return nearest_rank_percentile(std::move(samples), p);
+}
+
+std::optional<Duration> Report::latency_percentile_between(double p, TimePoint from,
+                                                           TimePoint to) const {
+  std::vector<Duration> samples;
+  for (const auto& [at, latency] : latencies) {
+    if (at >= from && at < to) samples.push_back(latency);
+  }
+  return nearest_rank_percentile(std::move(samples), p);
+}
+
+std::uint64_t Report::committed_between(TimePoint from, TimePoint to) const {
+  std::uint64_t count = 0;
+  for (const auto& [at, latency] : latencies) {
+    if (at >= from && at < to) ++count;
+  }
+  return count;
+}
+
+double Report::committed_per_sec(TimePoint from, TimePoint to) const {
+  const double seconds = (to - from).to_seconds();
+  if (seconds <= 0) return 0.0;
+  return static_cast<double>(committed_between(from, to)) / seconds;
+}
+
+}  // namespace lumiere::workload

@@ -1,0 +1,69 @@
+// WorkloadSpec: how clients drive a node — the construction-time half of
+// the workload engine (src/workload/engine.h is the runtime half).
+//
+// Open-loop drivers submit on an arrival process regardless of what the
+// system absorbs (constant spacing, Poisson, or bursty on/off pacing) —
+// the saturation probe. The closed-loop driver keeps a fixed window of
+// requests in flight and only replaces committed ones — the
+// coordination-bound probe that can never overload the pool. Both react
+// to the mempool's admission signal: open-loop counts and sheds rejected
+// requests (offered load is not admitted load), closed-loop waits for the
+// backpressure release and retries, so an admitted request is never lost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/time.h"
+#include "consensus/mempool.h"
+
+namespace lumiere::workload {
+
+enum class Arrival : std::uint8_t {
+  kClosedLoop,  ///< fixed in-flight window per client
+  kConstant,    ///< open loop, evenly spaced arrivals
+  kPoisson,     ///< open loop, exponential inter-arrival times
+  kBursty,      ///< open loop, on/off: burst_factor x rate for burst_duty
+                ///< of every burst_period, base rate otherwise
+};
+
+[[nodiscard]] const char* to_string(Arrival arrival);
+
+/// Deterministic request-body generator (the application payload; e.g.
+/// KV commands in examples/kv_client_demo). Must depend only on its
+/// arguments — it runs on every transport and in replayed runs.
+using BodyFn = std::function<std::vector<std::uint8_t>(std::uint32_t client, std::uint64_t seq)>;
+
+struct WorkloadSpec {
+  Arrival arrival = Arrival::kConstant;
+  /// Clients attached to the node (0 disables the workload on that node).
+  std::uint32_t clients_per_node = 1;
+  /// Open-loop arrival rate per client, requests/second.
+  double rate_per_client = 100.0;
+  /// Closed-loop in-flight window per client.
+  std::uint32_t in_flight = 4;
+  /// Total request size (header + padding body) when `body` is unset.
+  std::size_t request_bytes = 64;
+
+  // Bursty shape (kBursty only).
+  double burst_factor = 4.0;
+  Duration burst_period = Duration::millis(500);
+  double burst_duty = 0.25;
+
+  /// Clients start submitting at `start` and stop at `stop` (closed-loop
+  /// windows drain but are not refilled after `stop`).
+  TimePoint start = TimePoint::origin();
+  TimePoint stop = TimePoint::max();
+
+  /// The node's mempool shape (capacity, batch limits, duplicate policy).
+  /// Duplicate suppression defaults ON for workloads — a client retry of
+  /// byte-identical bytes must not commit twice.
+  consensus::MempoolLimits mempool{.suppress_duplicates = true};
+
+  /// Application body per request; null = deterministic padding filling
+  /// `request_bytes`.
+  BodyFn body;
+};
+
+}  // namespace lumiere::workload

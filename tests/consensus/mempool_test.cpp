@@ -9,8 +9,8 @@ namespace {
 
 TEST(MempoolTest, BatchRoundTrip) {
   Mempool pool;
-  pool.add("set x 1");
-  pool.add("set y 2");
+  EXPECT_EQ(pool.add("set x 1"), Admission::kAccepted);
+  EXPECT_EQ(pool.add("set y 2"), Admission::kAccepted);
   const auto batch = pool.next_batch();
   EXPECT_EQ(pool.pending(), 0U);
   const auto cmds = Mempool::split_batch(batch);
@@ -25,7 +25,7 @@ TEST(MempoolTest, EmptyBatch) {
   EXPECT_TRUE(Mempool::split_batch({}).empty());
 }
 
-TEST(MempoolTest, RespectsBatchLimit) {
+TEST(MempoolTest, RespectsBatchByteLimit) {
   Mempool pool(32);
   pool.add(std::string(20, 'a'));
   pool.add(std::string(20, 'b'));
@@ -36,12 +36,26 @@ TEST(MempoolTest, RespectsBatchLimit) {
   EXPECT_EQ(Mempool::split_batch(second).size(), 1U);
 }
 
-TEST(MempoolTest, OversizedCommandStillShipsAlone) {
+TEST(MempoolTest, RespectsBatchCountLimit) {
+  Mempool pool(MempoolLimits{.max_batch_count = 3});
+  for (int i = 0; i < 5; ++i) pool.add("cmd" + std::to_string(i));
+  EXPECT_EQ(Mempool::split_batch(pool.next_batch()).size(), 3U);
+  EXPECT_EQ(Mempool::split_batch(pool.next_batch()).size(), 2U);
+}
+
+TEST(MempoolTest, OversizedCommandRejectedAtAdd) {
+  // The explicit policy (a command that can never fit a batch is a
+  // client error, not a payload): rejected at add(), never silently
+  // emitted oversize as the earlier drain loop did.
   Mempool pool(8);
-  pool.add(std::string(100, 'z'));
-  const auto batch = pool.next_batch();
-  EXPECT_EQ(Mempool::split_batch(batch).size(), 1U)
-      << "a command larger than the limit goes out alone rather than starving";
+  EXPECT_EQ(pool.add(std::string(100, 'z')), Admission::kOversized);
+  EXPECT_EQ(pool.pending(), 0U);
+  EXPECT_EQ(pool.rejected_oversized(), 1U);
+  EXPECT_TRUE(pool.next_batch().empty());
+  // Exactly at the budget (command + 4-byte frame) is still admissible.
+  Mempool exact(8);
+  EXPECT_EQ(exact.add(std::string(4, 'y')), Admission::kAccepted);
+  EXPECT_EQ(Mempool::split_batch(exact.next_batch()).size(), 1U);
 }
 
 TEST(MempoolTest, Fifo) {
@@ -50,6 +64,151 @@ TEST(MempoolTest, Fifo) {
   const auto cmds = Mempool::split_batch(pool.next_batch());
   ASSERT_EQ(cmds.size(), 10U);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(cmds[i][0], static_cast<std::uint8_t>('a' + i));
+}
+
+TEST(MempoolTest, BoundedCapacityByCount) {
+  Mempool pool(MempoolLimits{.max_pending_count = 2});
+  EXPECT_EQ(pool.add("a"), Admission::kAccepted);
+  EXPECT_EQ(pool.add("b"), Admission::kAccepted);
+  EXPECT_EQ(pool.add("c"), Admission::kFull);
+  EXPECT_EQ(pool.pending(), 2U);
+  EXPECT_EQ(pool.rejected_full(), 1U);
+  (void)pool.next_batch();
+  EXPECT_EQ(pool.add("c"), Admission::kAccepted);
+}
+
+TEST(MempoolTest, BoundedCapacityByBytes) {
+  Mempool pool(MempoolLimits{.max_pending_bytes = 10});
+  EXPECT_EQ(pool.add(std::string(6, 'a')), Admission::kAccepted);
+  EXPECT_EQ(pool.add(std::string(6, 'b')), Admission::kFull) << "6 + 6 > 10";
+  EXPECT_EQ(pool.add(std::string(4, 'c')), Admission::kAccepted) << "6 + 4 fits";
+  EXPECT_EQ(pool.pending_bytes(), 10U);
+}
+
+TEST(MempoolTest, DuplicateSuppression) {
+  Mempool pool(MempoolLimits{.suppress_duplicates = true});
+  EXPECT_EQ(pool.add("same"), Admission::kAccepted);
+  EXPECT_EQ(pool.add("same"), Admission::kDuplicate);
+  EXPECT_EQ(pool.pending(), 1U);
+  // Once drained-for-good (legacy drain), the bytes may be admitted anew.
+  (void)pool.next_batch();
+  EXPECT_EQ(pool.add("same"), Admission::kAccepted);
+  // The default keeps the legacy add-anything semantics.
+  Mempool dups;
+  EXPECT_EQ(dups.add("same"), Admission::kAccepted);
+  EXPECT_EQ(dups.add("same"), Admission::kAccepted);
+}
+
+TEST(MempoolTest, DuplicateSuppressedWhileInFlight) {
+  Mempool pool(MempoolLimits{.suppress_duplicates = true});
+  pool.add("cmd");
+  const auto batch = pool.next_batch(/*view=*/5);
+  EXPECT_EQ(pool.in_flight(), 1U);
+  EXPECT_EQ(pool.add("cmd"), Admission::kDuplicate) << "leased commands are still live";
+  // The commit acks the lease and releases the digest.
+  pool.on_commit(5, batch);
+  EXPECT_EQ(pool.in_flight(), 0U);
+  EXPECT_EQ(pool.acked(), 1U);
+  EXPECT_EQ(pool.add("cmd"), Admission::kAccepted);
+}
+
+TEST(MempoolTest, AbandonedLeaseRequeuesInOrder) {
+  Mempool pool;
+  pool.add("first");
+  pool.add("second");
+  const auto lost = pool.next_batch(/*view=*/3);
+  EXPECT_EQ(Mempool::split_batch(lost).size(), 2U);
+  pool.add("third");
+  // A commit at view 7 whose payload does not contain the leased
+  // commands proves the view-3 proposal abandoned: both requeue at the
+  // front, ahead of "third", preserving their order.
+  Mempool other;
+  other.add("unrelated");
+  pool.on_commit(7, other.next_batch());
+  EXPECT_EQ(pool.requeued(), 2U);
+  EXPECT_EQ(pool.in_flight(), 0U);
+  const auto cmds = Mempool::split_batch(pool.next_batch());
+  ASSERT_EQ(cmds.size(), 3U);
+  EXPECT_EQ(std::string(cmds[0].begin(), cmds[0].end()), "first");
+  EXPECT_EQ(std::string(cmds[1].begin(), cmds[1].end()), "second");
+  EXPECT_EQ(std::string(cmds[2].begin(), cmds[2].end()), "third");
+}
+
+TEST(MempoolTest, LeaseAboveCommittedViewSurvives) {
+  Mempool pool;
+  pool.add("late");
+  (void)pool.next_batch(/*view=*/9);
+  Mempool other;
+  other.add("unrelated");
+  pool.on_commit(/*view=*/7, other.next_batch());
+  EXPECT_EQ(pool.in_flight(), 1U) << "a lease above the committed view may still commit";
+  EXPECT_EQ(pool.requeued(), 0U);
+}
+
+TEST(MempoolTest, OneCommittedInstanceAcksOneLeasedCopy) {
+  // Without duplicate suppression (the default), byte-identical commands
+  // may be admitted and leased independently; a payload carrying the
+  // bytes once must ack exactly one copy, and the other still requeues
+  // when its own proposal is proven abandoned.
+  Mempool pool;
+  pool.add("twin");
+  pool.add("twin");
+  EXPECT_EQ(Mempool::split_batch(pool.next_batch(/*view=*/1)).size(), 2U);
+  // A commit at view 1 carrying "twin" once: exactly one leased copy is
+  // acked; the other belonged to the same dead proposal and requeues.
+  Mempool one;
+  one.add("twin");
+  pool.on_commit(1, one.next_batch());
+  EXPECT_EQ(pool.acked(), 1U);
+  EXPECT_EQ(pool.requeued(), 1U);
+  EXPECT_EQ(pool.pending(), 1U) << "the un-acked admitted copy must survive";
+}
+
+TEST(MempoolTest, PartialAckRequeuesOnlyTheRest) {
+  Mempool pool;
+  pool.add("kept");
+  pool.add("dropped");
+  (void)pool.next_batch(/*view=*/2);
+  // A commit carrying only "kept" (e.g. an equivocating leader shipped a
+  // different batch) acks it and requeues "dropped".
+  Mempool partial;
+  partial.add("kept");
+  pool.on_commit(2, partial.next_batch());
+  EXPECT_EQ(pool.acked(), 1U);
+  EXPECT_EQ(pool.requeued(), 1U);
+  const auto cmds = Mempool::split_batch(pool.next_batch());
+  ASSERT_EQ(cmds.size(), 1U);
+  EXPECT_EQ(std::string(cmds[0].begin(), cmds[0].end()), "dropped");
+}
+
+TEST(MempoolTest, SpaceAvailableSignalFiresOnReleaseEdge) {
+  Mempool pool(MempoolLimits{.max_pending_count = 1});
+  int signals = 0;
+  pool.set_space_available([&] { ++signals; });
+  pool.add("a");
+  // Draining without a prior rejection is not a release edge.
+  (void)pool.next_batch();
+  EXPECT_EQ(signals, 0);
+  pool.add("a2");
+  EXPECT_EQ(pool.add("b"), Admission::kFull);
+  (void)pool.next_batch();
+  EXPECT_EQ(signals, 1) << "capacity freed after a kFull rejection";
+  (void)pool.next_batch();
+  EXPECT_EQ(signals, 1) << "one signal per starvation episode";
+}
+
+TEST(MempoolTest, CountersAccumulate) {
+  Mempool pool(MempoolLimits{
+      .max_batch_bytes = 64, .max_pending_count = 2, .suppress_duplicates = true});
+  pool.add("a");
+  pool.add("a");                  // duplicate
+  pool.add("b");
+  pool.add("c");                  // full
+  pool.add(std::string(80, 'x'));  // oversized
+  EXPECT_EQ(pool.admitted(), 2U);
+  EXPECT_EQ(pool.rejected_duplicate(), 1U);
+  EXPECT_EQ(pool.rejected_full(), 1U);
+  EXPECT_EQ(pool.rejected_oversized(), 1U);
 }
 
 }  // namespace

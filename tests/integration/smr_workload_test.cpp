@@ -17,11 +17,16 @@ std::function<std::vector<std::uint8_t>(View)> kv_workload(int commands_per_bloc
     consensus::Mempool pool(1 << 20);
     for (int i = 0; i < commands_per_block; ++i) {
       const auto serial = static_cast<long long>(v) * commands_per_block + i;
+      // append-built strings: GCC 12's -Wrestrict false-positives on
+      // operator+ chains under -O2 (PR105651), and CI builds -Werror.
+      std::string key = "k";
+      key.append(std::to_string(serial % 50));
       if (serial % 7 == 3) {
-        pool.add(consensus::KvStore::del_command("k" + std::to_string(serial % 50)));
+        pool.add(consensus::KvStore::del_command(key));
       } else {
-        pool.add(consensus::KvStore::set_command("k" + std::to_string(serial % 50),
-                                                 "v" + std::to_string(serial)));
+        std::string value = "v";
+        value.append(std::to_string(serial));
+        pool.add(consensus::KvStore::set_command(key, value));
       }
     }
     return pool.next_batch();

@@ -1,0 +1,103 @@
+// Workload determinism: the same seed + scenario must produce
+// byte-identical request traces (per-node rolling digests over every
+// generated request) and identical committed ledgers across two sim runs
+// — including when a scripted partition stalls and recovers the cluster
+// mid-workload.
+#include <gtest/gtest.h>
+
+#include "runtime/cluster.h"
+#include "workload/engine.h"
+#include "workload/report.h"
+
+namespace lumiere::workload {
+namespace {
+
+using runtime::Cluster;
+using runtime::ScenarioBuilder;
+
+ScenarioBuilder workload_options(std::uint64_t seed, bool with_partition) {
+  WorkloadSpec spec;
+  spec.arrival = Arrival::kPoisson;  // exercises the per-client rng streams
+  spec.clients_per_node = 2;
+  spec.rate_per_client = 150.0;
+  spec.mempool.max_pending_count = 64;
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4));
+  builder.pacemaker("lumiere");
+  builder.core("chained-hotstuff");
+  builder.seed(seed);
+  builder.delay(std::make_shared<sim::FixedDelay>(Duration::micros(500)));
+  builder.workload(spec);
+  if (with_partition) {
+    builder.partition({{0, 1}, {2, 3}}, TimePoint(Duration::seconds(2).ticks()));
+    builder.heal(TimePoint(Duration::seconds(4).ticks()));
+  }
+  return builder;
+}
+
+void expect_identical_runs(const ScenarioBuilder& options) {
+  Cluster first(options);
+  first.run_for(Duration::seconds(8));
+  Cluster second(options);
+  second.run_for(Duration::seconds(8));
+
+  for (ProcessId id = 0; id < 4; ++id) {
+    const NodeWorkload* a = first.node_workload(id);
+    const NodeWorkload* b = second.node_workload(id);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->trace_digest(), b->trace_digest())
+        << "node " << id << " generated a different request byte-stream";
+    EXPECT_EQ(a->stats().submitted, b->stats().submitted);
+    EXPECT_EQ(a->stats().committed, b->stats().committed);
+
+    // Ledgers agree entry by entry, payload bytes included.
+    const auto& la = first.node(id).ledger().entries();
+    const auto& lb = second.node(id).ledger().entries();
+    ASSERT_EQ(la.size(), lb.size()) << "node " << id << " committed a different chain length";
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      EXPECT_EQ(la[i].view, lb[i].view);
+      EXPECT_EQ(la[i].hash, lb[i].hash);
+      EXPECT_EQ(la[i].payload, lb[i].payload)
+          << "node " << id << " entry " << i << " carries different bytes";
+    }
+  }
+  const Report ra = first.workload_report();
+  const Report rb = second.workload_report();
+  EXPECT_EQ(ra.submitted, rb.submitted);
+  EXPECT_EQ(ra.admitted, rb.admitted);
+  EXPECT_EQ(ra.committed, rb.committed);
+  EXPECT_EQ(ra.shed, rb.shed);
+  EXPECT_EQ(ra.requeued, rb.requeued);
+}
+
+TEST(WorkloadDeterminismTest, IdenticalRunsByteForByte) {
+  expect_identical_runs(workload_options(808, /*with_partition=*/false));
+}
+
+TEST(WorkloadDeterminismTest, IdenticalRunsUnderScriptedPartition) {
+  const ScenarioBuilder options = workload_options(809, /*with_partition=*/true);
+  // The partition actually bites: no side holds a quorum, so the cut
+  // window must commit nothing — and the runs still replay identically.
+  Cluster probe(options);
+  probe.run_for(Duration::seconds(8));
+  EXPECT_EQ(probe.metrics().requests_between(
+                TimePoint(Duration::seconds(2).ticks()) + Duration::millis(10),
+                TimePoint(Duration::seconds(4).ticks())),
+            0U)
+      << "requests committed inside a quorumless partition";
+  EXPECT_GT(probe.workload_report().committed, 0U) << "no progress before/after the cut";
+  expect_identical_runs(options);
+}
+
+TEST(WorkloadDeterminismTest, DifferentSeedsDiverge) {
+  Cluster first(workload_options(1, false));
+  first.run_for(Duration::seconds(3));
+  Cluster second(workload_options(2, false));
+  second.run_for(Duration::seconds(3));
+  // Poisson draws differ => the request byte-streams differ.
+  EXPECT_NE(first.node_workload(0)->trace_digest(), second.node_workload(0)->trace_digest());
+}
+
+}  // namespace
+}  // namespace lumiere::workload
