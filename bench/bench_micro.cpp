@@ -68,6 +68,57 @@ void BM_ThresholdVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_ThresholdVerify)->Arg(4)->Arg(16)->Arg(64);
 
+void BM_QcVerify(benchmark::State& state) {
+  // Full verification of one QC per iteration: statement recompute plus
+  // 2f+1 share-MAC checks. The baseline the memo competes against.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const ProtocolParams params = ProtocolParams::for_n(n, Duration::millis(10));
+  crypto::Pki pki(n, 1);
+  const auto hash = crypto::Sha256::hash("block");
+  const auto statement = consensus::QuorumCert::statement(7, hash);
+  crypto::ThresholdAggregator agg(&pki, statement, params.quorum(), n);
+  for (ProcessId id = 0; id < params.quorum(); ++id) {
+    agg.add(crypto::threshold_share(pki.signer_for(id), statement));
+  }
+  const consensus::QuorumCert qc(7, hash, agg.aggregate());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qc.verify(pki, params));
+  }
+}
+BENCHMARK(BM_QcVerify)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_QcVerifyCached(benchmark::State& state) {
+  // Re-verifying a known-good QC through the memo: one serialize + one
+  // SHA-256, independent of the quorum size.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const ProtocolParams params = ProtocolParams::for_n(n, Duration::millis(10));
+  crypto::Pki pki(n, 1);
+  const auto hash = crypto::Sha256::hash("block");
+  const auto statement = consensus::QuorumCert::statement(7, hash);
+  crypto::ThresholdAggregator agg(&pki, statement, params.quorum(), n);
+  for (ProcessId id = 0; id < params.quorum(); ++id) {
+    agg.add(crypto::threshold_share(pki.signer_for(id), statement));
+  }
+  const consensus::QuorumCert qc(7, hash, agg.aggregate());
+  consensus::QcVerifyCache cache;
+  benchmark::DoNotOptimize(qc.verify(pki, params, &cache));  // warm the memo
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qc.verify(pki, params, &cache));
+  }
+}
+BENCHMARK(BM_QcVerifyCached)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_StatementCached(benchmark::State& state) {
+  // The n-votes-for-one-block shape a leader aggregates every view.
+  consensus::StatementCache cache;
+  const auto hash = crypto::Sha256::hash("block");
+  View view = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(view, hash));
+  }
+}
+BENCHMARK(BM_StatementCached);
+
 void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   for (auto _ : state) {
     sim::EventQueue queue;

@@ -207,14 +207,15 @@ struct WorstCaseSample {
 };
 
 inline WorstCaseSample worst_case_sample(const std::string& pacemaker, std::uint32_t n,
-                                         std::uint64_t seed, std::size_t windows = 10) {
+                                         std::uint64_t seed, std::size_t windows = 10,
+                                         Duration run = Duration::seconds(240)) {
   const std::uint32_t f = (n - 1) / 3;
   ScenarioBuilder builder = base_scenario(pacemaker, n, seed);
   builder.gst(TimePoint::origin());
   builder.delay(nullptr);  // worst permitted: max(GST, t) + Delta
   with_silent_leaders(builder, f);
   Cluster cluster(builder);
-  cluster.run_for(Duration::seconds(240));
+  cluster.run_for(run);
   const auto& decisions = cluster.metrics().decisions();
   WorstCaseSample sample;
   if (decisions.empty()) return sample;

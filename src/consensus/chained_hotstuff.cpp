@@ -35,7 +35,7 @@ void ChainedHotStuff::handle_new_view(ProcessId from, const NewViewMsg& msg) {
   const View v = msg.view();
   if (hooks_.leader_of(v) != signer_.id()) return;
   if (v < cur_view_) return;  // stale
-  if (msg.high_qc().verify(*pki_, params_)) {
+  if (msg.high_qc().verify(*pki_, params_, &verified_)) {
     process_qc(msg.high_qc());
   }
   auto [it, inserted] = new_view_senders_.try_emplace(v, SignerSet(params_.n));
@@ -79,7 +79,7 @@ void ChainedHotStuff::maybe_vote() {
   const Block& block = it->second;
   if (!safe_to_vote(block)) return;
   last_voted_view_ = block.view();
-  const crypto::Digest statement = QuorumCert::statement(block.view(), block.hash());
+  const crypto::Digest statement = statements_.get(block.view(), block.hash());
   cb_.send(hooks_.leader_of(block.view()),
            std::make_shared<VoteMsg>(block.view(), block.hash(),
                                      crypto::threshold_share(signer_, statement)));
@@ -93,7 +93,7 @@ void ChainedHotStuff::handle_proposal(ProcessId from, const ProposalMsg& msg) {
   // block, so blocks at or under it are dead weight — and dropping them
   // bounds what a past leader can stuff into the store.
   if (v <= last_committed_view_) return;
-  if (!block.justify().verify(*pki_, params_)) return;
+  if (!block.justify().verify(*pki_, params_, &verified_)) return;
   // Store even when the view has passed: commit_chain refuses to commit
   // across a missing ancestor, so a verified block that arrives late
   // (real networks reorder across senders) must still enter the store or
@@ -117,7 +117,7 @@ void ChainedHotStuff::handle_vote(ProcessId /*from*/, const VoteMsg& msg) {
   const auto proposed = my_proposal_hash_.find(v);
   if (proposed == my_proposal_hash_.end() || proposed->second != msg.block_hash()) return;
   auto [it, inserted] = aggregators_.try_emplace(
-      v, pki_, QuorumCert::statement(v, msg.block_hash()), params_.quorum(), params_.n);
+      v, pki_, statements_.get(v, msg.block_hash()), params_.quorum(), params_.n);
   (void)inserted;
   if (!it->second.add(msg.share())) return;
   if (!it->second.complete()) return;
@@ -134,7 +134,7 @@ void ChainedHotStuff::handle_vote(ProcessId /*from*/, const VoteMsg& msg) {
 }
 
 void ChainedHotStuff::handle_qc_msg(const QcMsg& msg) {
-  if (!msg.qc().verify(*pki_, params_)) return;
+  if (!msg.qc().verify(*pki_, params_, &verified_)) return;
   process_qc(msg.qc());
 }
 

@@ -45,7 +45,7 @@ void HotStuff2::handle_new_view(ProcessId from, const NewViewMsg& msg) {
   if (hooks_.leader_of(v) != signer_.id()) return;
   if (v < cur_view_) return;  // stale
   (void)from;
-  if (msg.high_qc().verify(*pki_, params_)) {
+  if (msg.high_qc().verify(*pki_, params_, &verified_)) {
     process_qc(msg.high_qc());
     maybe_propose();
   }
@@ -96,7 +96,7 @@ void HotStuff2::maybe_vote() {
   const Block& block = it->second;
   if (!safe_to_vote(block)) return;
   last_voted_view_ = block.view();
-  const crypto::Digest statement = QuorumCert::statement(block.view(), block.hash());
+  const crypto::Digest statement = statements_.get(block.view(), block.hash());
   cb_.send(hooks_.leader_of(block.view()),
            std::make_shared<VoteMsg>(block.view(), block.hash(),
                                      crypto::threshold_share(signer_, statement)));
@@ -110,7 +110,7 @@ void HotStuff2::handle_proposal(ProcessId from, const ProposalMsg& msg) {
   // block, so blocks at or under it are dead weight — and dropping them
   // bounds what a past leader can stuff into the store.
   if (v <= last_committed_view_) return;
-  if (!block.justify().verify(*pki_, params_)) return;
+  if (!block.justify().verify(*pki_, params_, &verified_)) return;
   // Store even when the view has passed: the commit walk refuses to cross
   // a missing ancestor, so a verified block that arrives late (real
   // networks reorder across senders) must still enter the store or this
@@ -134,7 +134,7 @@ void HotStuff2::handle_vote(ProcessId /*from*/, const VoteMsg& msg) {
   const auto proposed = my_proposal_hash_.find(v);
   if (proposed == my_proposal_hash_.end() || proposed->second != msg.block_hash()) return;
   auto [it, inserted] = aggregators_.try_emplace(
-      v, pki_, QuorumCert::statement(v, msg.block_hash()), params_.quorum(), params_.n);
+      v, pki_, statements_.get(v, msg.block_hash()), params_.quorum(), params_.n);
   (void)inserted;
   if (!it->second.add(msg.share())) return;
   if (!it->second.complete()) return;
@@ -151,7 +151,7 @@ void HotStuff2::handle_vote(ProcessId /*from*/, const VoteMsg& msg) {
 }
 
 void HotStuff2::handle_qc_msg(const QcMsg& msg) {
-  if (!msg.qc().verify(*pki_, params_)) return;
+  if (!msg.qc().verify(*pki_, params_, &verified_)) return;
   process_qc(msg.qc());
   // The QC may have just unlocked the responsive path for a view this
   // node already entered (QC(v-1) arriving after the view change).

@@ -3,11 +3,21 @@
 namespace lumiere::consensus {
 
 crypto::Digest QuorumCert::statement(View view, const crypto::Digest& block_hash) {
-  ser::Writer w;
-  w.str("lumiere.qc");
-  w.view(view);
-  w.digest(block_hash);
-  return crypto::Sha256::hash(std::span<const std::uint8_t>(w.data().data(), w.size()));
+  // Byte-identical to the ser::Writer encoding this replaced
+  // (u32-length-prefixed "lumiere.qc", LE i64 view, raw digest) but built
+  // in a stack buffer: this runs once per vote on the leader's hot path
+  // and must not allocate.
+  constexpr std::string_view kDomain = "lumiere.qc";
+  std::array<std::uint8_t, 4 + kDomain.size() + 8 + crypto::Digest::kSize> buf{};
+  std::size_t pos = 0;
+  const auto le = [&](std::uint64_t v, std::size_t bytes) {
+    for (std::size_t i = 0; i < bytes; ++i) buf[pos++] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  le(kDomain.size(), 4);
+  for (const char c : kDomain) buf[pos++] = static_cast<std::uint8_t>(c);
+  le(static_cast<std::uint64_t>(view), 8);
+  for (const std::uint8_t b : block_hash.bytes()) buf[pos++] = b;
+  return crypto::Sha256::hash(std::span<const std::uint8_t>(buf.data(), buf.size()));
 }
 
 QuorumCert QuorumCert::genesis(const crypto::Digest& genesis_hash) {
@@ -17,10 +27,18 @@ QuorumCert QuorumCert::genesis(const crypto::Digest& genesis_hash) {
   return qc;
 }
 
-bool QuorumCert::verify(const crypto::Pki& pki, const ProtocolParams& params) const {
+bool QuorumCert::verify(const crypto::Pki& pki, const ProtocolParams& params,
+                        QcVerifyCache* cache) const {
   if (is_genesis()) return true;
+  crypto::Digest key;
+  if (cache != nullptr) {
+    key = cache->fingerprint(*this);
+    if (cache->known_good(key)) return true;
+  }
   if (sig_.message != statement(view_, block_hash_)) return false;
-  return crypto::verify_threshold(pki, sig_, params.quorum());
+  if (!crypto::verify_threshold(pki, sig_, params.quorum())) return false;
+  if (cache != nullptr) cache->remember(key);
+  return true;
 }
 
 void QuorumCert::serialize(ser::Writer& w) const {

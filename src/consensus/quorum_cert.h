@@ -5,8 +5,10 @@
 // block. Its wire size is O(kappa), independent of n.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
+#include <unordered_set>
 
 #include "common/params.h"
 #include "common/types.h"
@@ -15,6 +17,8 @@
 #include "ser/serializer.h"
 
 namespace lumiere::consensus {
+
+class QcVerifyCache;
 
 class QuorumCert {
  public:
@@ -36,8 +40,11 @@ class QuorumCert {
   [[nodiscard]] bool is_genesis() const noexcept { return view_ == -1; }
 
   /// Full verification: 2f+1 distinct valid signers over the right
-  /// statement. Genesis QCs verify trivially.
-  [[nodiscard]] bool verify(const crypto::Pki& pki, const ProtocolParams& params) const;
+  /// statement. Genesis QCs verify trivially. With a cache, a QC whose
+  /// exact bytes already verified is accepted by fingerprint lookup
+  /// (one SHA-256) instead of re-checking 2f+1 share MACs.
+  [[nodiscard]] bool verify(const crypto::Pki& pki, const ProtocolParams& params,
+                            QcVerifyCache* cache = nullptr) const;
 
   void serialize(ser::Writer& w) const;
   [[nodiscard]] static std::optional<QuorumCert> deserialize(ser::Reader& r);
@@ -48,6 +55,69 @@ class QuorumCert {
   View view_ = -1;
   crypto::Digest block_hash_;
   crypto::ThresholdSig sig_;
+};
+
+/// Memo for QuorumCert::statement. A leader aggregating n votes — and a
+/// replica checking n QC-bearing messages — keeps asking for the digest
+/// of the same (view, block_hash) pair; this answers repeats without
+/// re-running SHA-256. Direct-mapped by view (votes for view v and
+/// proposals for v+1 land in different slots), so lookups are O(1) with
+/// no allocation ever.
+class StatementCache {
+ public:
+  // By value on purpose: a reference into a direct-mapped slot would be
+  // silently invalidated by the next colliding get().
+  [[nodiscard]] crypto::Digest get(View view, const crypto::Digest& block_hash) {
+    Entry& entry = entries_[static_cast<std::size_t>(static_cast<std::uint64_t>(view) %
+                                                     entries_.size())];
+    if (!entry.valid || entry.view != view || entry.block_hash != block_hash) {
+      entry.view = view;
+      entry.block_hash = block_hash;
+      entry.statement = QuorumCert::statement(view, block_hash);
+      entry.valid = true;
+    }
+    return entry.statement;
+  }
+
+ private:
+  struct Entry {
+    View view = -1;
+    crypto::Digest block_hash;
+    crypto::Digest statement;
+    bool valid = false;
+  };
+  std::array<Entry, 8> entries_{};
+};
+
+/// Remembers the fingerprints (SHA-256 over the full serialized form, so
+/// no two distinct QCs share a key) of QCs that passed full
+/// verification. Re-verifying one costs a single hash instead of 2f+1
+/// MAC checks — the common case, since every proposal re-carries its
+/// justify QC and every replica reports its high QC each view.
+class QcVerifyCache {
+ public:
+  [[nodiscard]] crypto::Digest fingerprint(const QuorumCert& qc) {
+    scratch_.clear();
+    ser::Writer w(std::move(scratch_));
+    qc.serialize(w);
+    scratch_ = std::move(w).take();
+    return crypto::Sha256::hash(
+        std::span<const std::uint8_t>(scratch_.data(), scratch_.size()));
+  }
+  [[nodiscard]] bool known_good(const crypto::Digest& key) const {
+    return good_.contains(key);
+  }
+  void remember(const crypto::Digest& key) {
+    // Entries accrue one per distinct QC (≈ one per view); cap so an
+    // adversary spraying junk certificates cannot grow this unboundedly.
+    if (good_.size() >= kMaxEntries) good_.clear();
+    good_.insert(key);
+  }
+
+ private:
+  static constexpr std::size_t kMaxEntries = 4096;
+  std::unordered_set<crypto::Digest> good_;
+  std::vector<std::uint8_t> scratch_;
 };
 
 }  // namespace lumiere::consensus

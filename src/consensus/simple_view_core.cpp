@@ -50,7 +50,7 @@ void SimpleViewCore::maybe_vote(View v) {
   if (it == proposals_.end()) return;
   const Block& block = it->second;
   last_voted_view_ = v;
-  const crypto::Digest statement = QuorumCert::statement(v, block.hash());
+  const crypto::Digest statement = statements_.get(v, block.hash());
   cb_.send(hooks_.leader_of(v),
            std::make_shared<VoteMsg>(v, block.hash(), crypto::threshold_share(signer_, statement)));
 }
@@ -94,7 +94,7 @@ void SimpleViewCore::handle_vote(ProcessId /*from*/, const VoteMsg& msg) {
   if (proposed == my_proposal_hash_.end()) return;       // haven't proposed yet
   if (proposed->second != msg.block_hash()) return;      // vote for foreign block
   auto [it, inserted] = aggregators_.try_emplace(
-      v, pki_, QuorumCert::statement(v, msg.block_hash()), params_.quorum(), params_.n);
+      v, pki_, statements_.get(v, msg.block_hash()), params_.quorum(), params_.n);
   (void)inserted;
   if (!it->second.add(msg.share())) return;
   if (!it->second.complete()) return;
@@ -116,7 +116,7 @@ void SimpleViewCore::handle_vote(ProcessId /*from*/, const VoteMsg& msg) {
 void SimpleViewCore::handle_qc(const QcMsg& msg) {
   const QuorumCert& qc = msg.qc();
   if (seen_qc_views_.contains(qc.view())) return;
-  if (!qc.verify(*pki_, params_)) return;
+  if (!qc.verify(*pki_, params_, &verified_)) return;
   seen_qc_views_.insert(qc.view());
   if (qc.view() > high_qc_.view()) high_qc_ = qc;
   if (cb_.qc_seen) cb_.qc_seen(qc);

@@ -6,18 +6,32 @@
 
 namespace lumiere::runtime {
 
+void MetricsCollector::charge_sends(TimePoint at, const Message& msg, std::uint64_t copies) {
+  total_msgs_ += copies;
+  total_bytes_ += copies * msg.wire_size();
+  by_type_[msg.type_id()] += copies;
+  if (msg.msg_class() == MsgClass::kPacemaker) {
+    pacemaker_msgs_ += copies;
+  } else {
+    consensus_msgs_ += copies;
+  }
+  // One checkpoint carrying the post-charge total: copies of a broadcast
+  // share one instant, so msgs_between() reads identically to per-copy
+  // entries (only the last entry at a given time matters).
+  send_log_.emplace_back(at, total_msgs_);
+}
+
 void MetricsCollector::on_send(TimePoint at, ProcessId from, ProcessId to, const Message& msg) {
   if (from >= n_ || byzantine_[from]) return;  // paper counts correct senders only
   if (from == to) return;                      // self-delivery is not network traffic
-  ++total_msgs_;
-  total_bytes_ += msg.wire_size();
-  ++by_type_[msg.type_id()];
-  if (msg.msg_class() == MsgClass::kPacemaker) {
-    ++pacemaker_msgs_;
-  } else {
-    ++consensus_msgs_;
-  }
-  send_log_.emplace_back(at, total_msgs_);
+  charge_sends(at, msg, 1);
+}
+
+void MetricsCollector::on_broadcast(TimePoint at, ProcessId from, const Message& msg,
+                                    std::uint32_t n) {
+  if (from >= n_ || byzantine_[from]) return;  // paper counts correct senders only
+  if (n <= 1) return;                          // self-delivery is not network traffic
+  charge_sends(at, msg, n - 1);
 }
 
 void MetricsCollector::record_qc_formed(TimePoint at, View view, ProcessId leader) {

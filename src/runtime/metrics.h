@@ -34,6 +34,10 @@ class MetricsCollector final : public sim::NetworkObserver {
   // -- NetworkObserver -------------------------------------------------
   void on_send(TimePoint at, ProcessId from, ProcessId to, const Message& msg) override;
   void on_deliver(TimePoint, ProcessId, ProcessId, const Message&) override {}
+  /// Bulk variant: one wire-size/type computation and one send-log
+  /// checkpoint for all n-1 copies of a broadcast payload. Totals are
+  /// identical to n-1 on_send calls.
+  void on_broadcast(TimePoint at, ProcessId from, const Message& msg, std::uint32_t n) override;
 
   // -- decision log ------------------------------------------------------
   /// Called when node `leader` (as leader) produced a QC for `view`.
@@ -137,6 +141,10 @@ class MetricsCollector final : public sim::NetworkObserver {
   }
 
  private:
+  /// The shared accounting body of on_send / on_broadcast: charges
+  /// `copies` identical sends of `msg` at `at`.
+  void charge_sends(TimePoint at, const Message& msg, std::uint64_t copies);
+
   std::uint32_t n_;
   std::vector<bool> byzantine_;
   std::uint64_t total_msgs_ = 0;

@@ -7,11 +7,13 @@
 // protocol that owns them (consensus/ and pacemaker/ / core/).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 #include "ser/serializer.h"
@@ -51,10 +53,19 @@ class MessageCodec {
 
   /// Frames `msg` as [u32 type_id || body].
   [[nodiscard]] static std::vector<std::uint8_t> encode(const Message& msg) {
-    ser::Writer w;
+    std::vector<std::uint8_t> out;
+    encode_into(msg, out);
+    return out;
+  }
+
+  /// encode() into a caller-owned buffer, reusing its capacity — the
+  /// allocation-free form for per-connection scratch buffers and
+  /// broadcast fan-out (encode once, write n frames).
+  static void encode_into(const Message& msg, std::vector<std::uint8_t>& out) {
+    ser::Writer w(std::move(out));
     w.u32(msg.type_id());
     msg.serialize(w);
-    return std::move(w).take();
+    out = std::move(w).take();
   }
 
   /// Decodes one frame; nullptr on unknown type or malformed body.
@@ -65,6 +76,16 @@ class MessageCodec {
     const auto it = decoders_.find(type_id);
     if (it == decoders_.end()) return nullptr;
     return it->second(r);
+  }
+
+  /// All registered type ids, sorted — lets tests sweep every decodable
+  /// type (e.g. the wire-size drift check) without a parallel list.
+  [[nodiscard]] std::vector<std::uint32_t> registered_types() const {
+    std::vector<std::uint32_t> ids;
+    ids.reserve(decoders_.size());
+    for (const auto& [id, fn] : decoders_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
   }
 
  private:

@@ -37,6 +37,12 @@ class Writer {
  public:
   Writer() = default;
   explicit Writer(std::size_t reserve) { bytes_.reserve(reserve); }
+  /// Reusable-buffer mode: adopts `reuse`'s storage (cleared, capacity
+  /// kept) so hot encode loops amortize to zero allocations. Recover the
+  /// buffer afterwards with std::move(w).take().
+  explicit Writer(std::vector<std::uint8_t>&& reuse) noexcept : bytes_(std::move(reuse)) {
+    bytes_.clear();
+  }
 
   void u8(std::uint8_t v) { bytes_.push_back(v); }
   void u16(std::uint16_t v) { append_le(v); }

@@ -1,18 +1,93 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/assert.h"
 
 namespace lumiere::sim {
 
-EventHandle EventQueue::schedule(TimePoint at, EventFn fn) {
-  auto cancelled = std::make_shared<bool>(false);
-  EventHandle handle{std::weak_ptr<bool>(cancelled)};
-  heap_.push(Entry{at, seq_++, std::move(fn), std::move(cancelled)});
-  return handle;
+// 4-ary layout: children of i are 4i+1 .. 4i+4, parent is (i-1)/4. The
+// wider fan-out halves the tree depth of the binary heap it replaces and
+// keeps the four children on one cache line pair — a measurable win when
+// every simulated message is two heap operations.
+
+void EventQueue::sift_up(std::size_t i) const {
+  HeapEntry entry = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
 }
 
+void EventQueue::sift_down(std::size_t i) const {
+  const std::size_t size = heap_.size();
+  HeapEntry entry = heap_[i];
+  while (true) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= size) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + 4, size);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], entry)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = entry;
+}
+
+void EventQueue::remove_top() const {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::release_slot(std::uint32_t index) const {
+  detail::EventSlot& slot = slab_->slots[index];
+  slot.fn.reset();
+  ++slot.generation;  // outstanding handles to this slot go inert
+  if (slot.cancelled) {
+    slot.cancelled = false;
+    --slab_->cancelled_count;
+  }
+  slab_->free_list.push_back(index);
+}
+
+std::uint32_t EventQueue::emplace_slot(TimePoint at, EventFn&& fn) {
+  std::uint32_t index = 0;
+  if (!slab_->free_list.empty()) {
+    index = slab_->free_list.back();
+    slab_->free_list.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slab_->slots.size());
+    slab_->slots.emplace_back();
+  }
+  slab_->slots[index].fn = std::move(fn);
+  heap_.push_back(HeapEntry{at, seq_++, index});
+  sift_up(heap_.size() - 1);
+  return index;
+}
+
+EventHandle EventQueue::schedule(TimePoint at, EventFn fn) {
+  const std::uint32_t index = emplace_slot(at, std::move(fn));
+  return EventHandle{std::weak_ptr<detail::EventSlab>(slab_), index,
+                     slab_->slots[index].generation};
+}
+
+void EventQueue::post(TimePoint at, EventFn fn) { emplace_slot(at, std::move(fn)); }
+
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+  if (slab_->cancelled_count == 0) return;  // the hot-path common case
+  while (!heap_.empty() && slab_->slots[heap_.front().slot].cancelled) {
+    const std::uint32_t slot = heap_.front().slot;
+    remove_top();
+    release_slot(slot);
+  }
 }
 
 bool EventQueue::empty() const {
@@ -22,24 +97,23 @@ bool EventQueue::empty() const {
 
 bool EventQueue::empty_at_or_before(TimePoint t) const {
   drop_cancelled();
-  return heap_.empty() || heap_.top().at > t;
+  return heap_.empty() || heap_.front().at > t;
 }
 
 TimePoint EventQueue::next_time() const {
   drop_cancelled();
   LUMIERE_ASSERT_MSG(!heap_.empty(), "next_time() on empty queue");
-  return heap_.top().at;
+  return heap_.front().at;
 }
 
 bool EventQueue::pop(TimePoint& at_out, EventFn& fn_out) {
   drop_cancelled();
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; moving the callback out requires a
-  // copy-free pop, so copy the (cheap, shared-state) entry then pop.
-  Entry entry = heap_.top();
-  heap_.pop();
-  at_out = entry.at;
-  fn_out = std::move(entry.fn);
+  const HeapEntry top = heap_.front();
+  remove_top();
+  at_out = top.at;
+  fn_out = std::move(slab_->slots[top.slot].fn);  // move, never copy
+  release_slot(top.slot);
   return true;
 }
 

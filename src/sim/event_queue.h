@@ -1,17 +1,42 @@
 // Discrete-event priority queue with stable ordering and O(1) cancellation.
+//
+// Allocation-free in steady state: events live in a recycled slot slab
+// (generation-counted, so stale handles are inert), the ordering heap is
+// a flat 4-ary heap of POD entries, and callables use InlineFn's small
+// buffer instead of std::function's heap capture. Popping MOVES the
+// callable out of its slot — nothing on this path copies a callable.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/time.h"
+#include "sim/inline_fn.h"
 
 namespace lumiere::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = InlineFn;
+
+namespace detail {
+
+struct EventSlot {
+  InlineFn fn;
+  std::uint32_t generation = 0;  ///< bumped on every recycle; stales handles
+  bool cancelled = false;
+};
+
+/// The slot slab, shared (via one shared_ptr per queue, not per event) so
+/// handles that outlive the queue stay safe no-ops.
+struct EventSlab {
+  std::vector<EventSlot> slots;
+  std::vector<std::uint32_t> free_list;
+  /// Scheduled-but-cancelled events still in the heap. Zero on the hot
+  /// path, letting lazy-drop scans skip the slab lookup entirely.
+  std::uint32_t cancelled_count = 0;
+};
+
+}  // namespace detail
 
 /// Cancellation handle for a scheduled event. Default-constructed handles
 /// are inert. Cancelling an already-fired or already-cancelled event is a
@@ -21,28 +46,50 @@ class EventHandle {
   EventHandle() = default;
 
   void cancel() noexcept {
-    if (auto flag = cancelled_.lock()) *flag = true;
+    if (const auto slab = slab_.lock()) {
+      detail::EventSlot& slot = slab->slots[slot_];
+      if (slot.generation == generation_ && !slot.cancelled) {
+        slot.cancelled = true;
+        ++slab->cancelled_count;
+      }
+    }
   }
   [[nodiscard]] bool active() const noexcept {
-    const auto flag = cancelled_.lock();
-    return flag != nullptr && !*flag;
+    const auto slab = slab_.lock();
+    if (slab == nullptr) return false;
+    const detail::EventSlot& slot = slab->slots[slot_];
+    return slot.generation == generation_ && !slot.cancelled;
   }
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::weak_ptr<bool> cancelled) noexcept
-      : cancelled_(std::move(cancelled)) {}
+  EventHandle(std::weak_ptr<detail::EventSlab> slab, std::uint32_t slot,
+              std::uint32_t generation) noexcept
+      : slab_(std::move(slab)), slot_(slot), generation_(generation) {}
 
-  std::weak_ptr<bool> cancelled_;
+  std::weak_ptr<detail::EventSlab> slab_;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 /// Time-ordered event queue. Events at the same instant fire in
 /// scheduling order (FIFO), which keeps simulations deterministic.
 class EventQueue {
  public:
-  EventQueue() = default;
+  EventQueue() : slab_(std::make_shared<detail::EventSlab>()) {}
+
+  // Non-copyable (a copy would share the slot slab while owning its own
+  // heap, letting two queues pop and recycle the same slots) and
+  // non-movable (a defaulted move would leave the source with a null
+  // slab, crashing on the next call). The Simulator owns one for life.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   EventHandle schedule(TimePoint at, EventFn fn);
+  /// schedule() without materializing a cancellation handle — the
+  /// message-delivery fast path (a weak_ptr handle costs two atomic
+  /// ref-count ops that a fire-and-forget event never uses).
+  void post(TimePoint at, EventFn fn);
 
   [[nodiscard]] bool empty_at_or_before(TimePoint t) const;
   [[nodiscard]] bool empty() const;
@@ -57,22 +104,34 @@ class EventQueue {
   [[nodiscard]] std::uint64_t scheduled_count() const noexcept { return seq_; }
 
  private:
-  struct Entry {
+  /// Heap key + slot reference; ordering is (at, seq) lexicographic so
+  /// same-instant events keep FIFO order.
+  struct HeapEntry {
     TimePoint at;
     std::uint64_t seq = 0;
-    EventFn fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot = 0;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  static bool before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
 
+  /// Acquires a slot for `fn` and pushes its heap entry; returns the slot.
+  std::uint32_t emplace_slot(TimePoint at, EventFn&& fn);
+  void sift_up(std::size_t i) const;
+  void sift_down(std::size_t i) const;
+  /// Removes heap_[0] (the heap entry only; the slot is released
+  /// separately so pop can move the callable out first).
+  void remove_top() const;
+  /// Recycles a slot: clears its callable, bumps the generation (staling
+  /// outstanding handles) and returns it to the free list.
+  void release_slot(std::uint32_t index) const;
   void drop_cancelled() const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // mutable: empty()/next_time() lazily drop cancelled events, as the
+  // previous priority_queue implementation did.
+  mutable std::vector<HeapEntry> heap_;  ///< flat 4-ary min-heap
+  std::shared_ptr<detail::EventSlab> slab_;
   std::uint64_t seq_ = 0;
 };
 

@@ -43,7 +43,7 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
     // immediately. Scheduled at the current instant (not called inline) so
     // handlers never re-enter protocol code.
     if (observer_ != nullptr) observer_->on_send(now, from, to, *msg);
-    sim_->schedule_at(now, [this, from, to, msg] { deliver(from, to, msg); });
+    schedule_pooled(now, from, to, std::move(msg));
     return;
   }
 
@@ -54,6 +54,10 @@ void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
   ++total_messages_;
   if (observer_ != nullptr) observer_->on_send(now, from, to, *msg);
 
+  route(from, to, std::move(msg));
+}
+
+void Network::route(ProcessId from, ProcessId to, MessagePtr msg) {
   if (cut(from, to)) {
     // The adversary may delay but never destroy: cross-partition traffic
     // parks and is released by heal(). (Dropping instead would violate
@@ -70,20 +74,65 @@ void Network::schedule_delivery(ProcessId from, ProcessId to, MessagePtr msg) {
   // The adversary proposes; the model clamps. `latest` is the hard bound
   // max(GST, t) + Delta from Section 2.
   const TimePoint latest = std::max(gst_, now) + delta_cap_;
-  const auto link = link_policy_.find({from, to});
-  DelayPolicy* policy = link != link_policy_.end() ? link->second.get() : policy_.get();
+  DelayPolicy* policy = policy_.get();
+  if (!link_policy_.empty()) {  // per-link overrides are rare; skip the map when none
+    const auto link = link_policy_.find({from, to});
+    if (link != link_policy_.end()) policy = link->second.get();
+  }
   Duration proposed =
       policy != nullptr ? policy->propose_delay(from, to, *msg, now, rng_) : Duration::max();
   if (proposed < Duration::zero()) proposed = Duration::zero();
   TimePoint delivery = (proposed == Duration::max()) ? latest : now + proposed;
   if (delivery > latest) delivery = latest;
 
-  sim_->schedule_at(delivery, [this, from, to, msg = std::move(msg)] { deliver(from, to, msg); });
+  schedule_pooled(delivery, from, to, std::move(msg));
+}
+
+void Network::schedule_pooled(TimePoint at, ProcessId from, ProcessId to, MessagePtr msg) {
+  Delivery* record = nullptr;
+  if (!delivery_free_.empty()) {
+    record = delivery_free_.back();
+    delivery_free_.pop_back();
+  } else {
+    record = &delivery_slab_.emplace_back();
+    record->net = this;
+  }
+  record->from = from;
+  record->to = to;
+  record->msg = std::move(msg);
+  sim_->post_at(at, [record] { record->net->run_delivery(record); });
+}
+
+void Network::run_delivery(Delivery* record) {
+  const ProcessId from = record->from;
+  const ProcessId to = record->to;
+  MessagePtr msg = std::move(record->msg);
+  // Recycle before delivering: the handler may send again and reuse the
+  // record immediately (the fields are already copied out).
+  delivery_free_.push_back(record);
+  deliver(from, to, msg);
 }
 
 void Network::broadcast(ProcessId from, const MessagePtr& msg) {
+  LUMIERE_ASSERT(from < endpoints_.size());
+  LUMIERE_ASSERT(msg != nullptr);
+  if (down_[from]) return;
+
+  const TimePoint now = sim_->now();
+  // One observer charge for the whole fan-out: every copy has the same
+  // sender, instant, and payload, so accounting observers can multiply
+  // instead of re-deriving wire size and type n-1 times.
+  if (observer_ != nullptr) observer_->on_broadcast(now, from, *msg, n());
+  total_messages_ += endpoints_.size() - 1;
+
+  // Destination order (and hence RNG draw and event seq order) matches a
+  // send() loop exactly — determinism across the two formulations.
   for (ProcessId to = 0; to < endpoints_.size(); ++to) {
-    send(from, to, msg);
+    if (to == from) {
+      schedule_pooled(now, from, to, msg);
+    } else {
+      route(from, to, msg);
+    }
   }
 }
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -40,6 +41,15 @@ class NetworkObserver {
   virtual ~NetworkObserver() = default;
   virtual void on_send(TimePoint at, ProcessId from, ProcessId to, const Message& msg) = 0;
   virtual void on_deliver(TimePoint at, ProcessId from, ProcessId to, const Message& msg) = 0;
+  /// One broadcast = n sends of one payload (self included, per the
+  /// paper's broadcast convention). The default expands to per-peer
+  /// on_send calls, matching the legacy behavior exactly; accounting
+  /// observers override it to charge the payload once instead of n-1
+  /// times (wire size, type lookup and log append are identical per
+  /// copy).
+  virtual void on_broadcast(TimePoint at, ProcessId from, const Message& msg, std::uint32_t n) {
+    for (ProcessId to = 0; to < n; ++to) on_send(at, from, to, msg);
+  }
 };
 
 class Network final : public MessageTransport {
@@ -116,11 +126,29 @@ class Network final : public MessageTransport {
     MessagePtr msg;
   };
 
+  /// A pooled in-flight delivery. Scheduling one send captures only this
+  /// record's pointer (8 bytes, always inline in EventFn) and fires one
+  /// shared trampoline; the record recycles through delivery_free_ so the
+  /// steady-state send path performs no allocation.
+  struct Delivery {
+    Network* net = nullptr;
+    ProcessId from = kNoProcess;
+    ProcessId to = kNoProcess;
+    MessagePtr msg;
+  };
+
   /// True when an active partition separates `from` and `to`.
   [[nodiscard]] bool cut(ProcessId from, ProcessId to) const;
+  /// Parks (under an active cut) or schedules a non-self message already
+  /// charged to the observer/counters.
+  void route(ProcessId from, ProcessId to, MessagePtr msg);
   /// Computes the clamped delivery instant for a message sent now and
   /// schedules it.
   void schedule_delivery(ProcessId from, ProcessId to, MessagePtr msg);
+  /// Schedules a pooled delivery of `msg` firing at `at`.
+  void schedule_pooled(TimePoint at, ProcessId from, ProcessId to, MessagePtr msg);
+  /// The shared trampoline: delivers, then recycles the record.
+  void run_delivery(Delivery* record);
   void deliver(ProcessId from, ProcessId to, const MessagePtr& msg);
 
   Simulator* sim_;
@@ -139,6 +167,10 @@ class Network final : public MessageTransport {
   std::map<std::pair<ProcessId, ProcessId>, std::shared_ptr<DelayPolicy>> link_policy_;
   NetworkObserver* observer_ = nullptr;
   std::uint64_t total_messages_ = 0;
+  /// Delivery-record pool. Deque: records are referenced by scheduled
+  /// events, so growth must not move existing records.
+  std::deque<Delivery> delivery_slab_;
+  std::vector<Delivery*> delivery_free_;
 };
 
 }  // namespace lumiere::sim

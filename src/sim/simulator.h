@@ -25,6 +25,12 @@ class Simulator {
     LUMIERE_ASSERT_MSG(at >= now_, "scheduling into the past");
     return queue_.schedule(at, std::move(fn));
   }
+  /// Fire-and-forget variant: no cancellation handle (cheaper; the
+  /// network's per-message path).
+  void post_at(TimePoint at, EventFn fn) {
+    LUMIERE_ASSERT_MSG(at >= now_, "scheduling into the past");
+    queue_.post(at, std::move(fn));
+  }
   EventHandle schedule_after(Duration d, EventFn fn) {
     LUMIERE_ASSERT(d >= Duration::zero());
     return queue_.schedule(now_ + d, std::move(fn));

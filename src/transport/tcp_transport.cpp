@@ -101,34 +101,67 @@ TcpEndpoint::Conn* TcpEndpoint::connection_to(ProcessId to) {
   return &(outgoing_[to] = std::move(conn));
 }
 
-void TcpEndpoint::enqueue_frame(Conn& conn, const Message& msg) {
-  const std::vector<std::uint8_t> payload = MessageCodec::encode(msg);
+std::vector<std::uint8_t> TcpEndpoint::acquire_buffer() {
+  if (buffer_pool_.empty()) return {};
+  std::vector<std::uint8_t> buffer = std::move(buffer_pool_.back());
+  buffer_pool_.pop_back();
+  return buffer;
+}
+
+void TcpEndpoint::release_buffer(std::vector<std::uint8_t> buffer) {
+  if (buffer_pool_.size() < 8) buffer_pool_.push_back(std::move(buffer));
+}
+
+void TcpEndpoint::enqueue_frame(Conn& conn, std::span<const std::uint8_t> payload) {
   append_u32(conn.outbox, static_cast<std::uint32_t>(payload.size()));
   append_u32(conn.outbox, self_);
   conn.outbox.insert(conn.outbox.end(), payload.begin(), payload.end());
   ++frames_sent_;
 }
 
-void TcpEndpoint::send(ProcessId to, const Message& msg) {
-  if (to == self_) {
-    // Self-delivery mirrors the simulator's convention: immediate.
-    const std::vector<std::uint8_t> payload = MessageCodec::encode(msg);
-    const MessagePtr decoded = codec_.decode(payload);
-    if (decoded != nullptr) {
-      ++frames_sent_;
-      ++frames_received_;
-      on_receive_(self_, decoded);
-    }
-    return;
+void TcpEndpoint::dispatch_self(std::span<const std::uint8_t> payload) {
+  // Self-delivery mirrors the simulator's convention: immediate.
+  const MessagePtr decoded = codec_.decode(payload);
+  if (decoded != nullptr) {
+    ++frames_sent_;
+    ++frames_received_;
+    on_receive_(self_, decoded);
   }
-  Conn* conn = connection_to(to);
-  if (conn == nullptr) return;  // peer unreachable — drop (network loss)
-  enqueue_frame(*conn, msg);
-  flush(*conn);
+}
+
+void TcpEndpoint::send(ProcessId to, const Message& msg) {
+  Conn* conn = nullptr;
+  if (to != self_) {
+    conn = connection_to(to);
+    if (conn == nullptr) return;  // peer unreachable — drop before paying the encode
+  }
+  std::vector<std::uint8_t> payload = acquire_buffer();
+  MessageCodec::encode_into(msg, payload);
+  if (to == self_) {
+    dispatch_self(payload);
+  } else {
+    enqueue_frame(*conn, payload);
+    flush(*conn);
+  }
+  release_buffer(std::move(payload));
 }
 
 void TcpEndpoint::broadcast(const Message& msg) {
-  for (ProcessId to = 0; to < n_; ++to) send(to, msg);
+  // One encode for the whole fan-out; every peer's frame shares the
+  // payload bytes (the per-peer header is 8 bytes into each outbox).
+  std::vector<std::uint8_t> payload = acquire_buffer();
+  MessageCodec::encode_into(msg, payload);
+  for (ProcessId to = 0; to < n_; ++to) {
+    if (to == self_) {
+      // dispatch_self may reenter send()/broadcast(); those acquire
+      // their own scratch buffers, so `payload` stays intact.
+      dispatch_self(payload);
+    } else if (Conn* conn = connection_to(to); conn != nullptr) {
+      enqueue_frame(*conn, payload);
+      flush(*conn);
+    }
+  }
+  release_buffer(std::move(payload));
 }
 
 void TcpEndpoint::flush(Conn& conn) {

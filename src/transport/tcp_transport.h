@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -65,7 +66,15 @@ class TcpEndpoint {
   void flush(Conn& conn);
   void read_and_dispatch(Conn& conn);
   void close_conn(Conn& conn);
-  void enqueue_frame(Conn& conn, const Message& msg);
+  void enqueue_frame(Conn& conn, std::span<const std::uint8_t> payload);
+  /// Decodes `payload` and dispatches it as a frame from this endpoint
+  /// to itself (the simulator's immediate self-delivery convention).
+  void dispatch_self(std::span<const std::uint8_t> payload);
+  /// Scratch-buffer pool for encoded payloads. Reentrancy-safe (an
+  /// on_receive_ handler may send again mid-broadcast) and
+  /// allocation-free once warm.
+  [[nodiscard]] std::vector<std::uint8_t> acquire_buffer();
+  void release_buffer(std::vector<std::uint8_t> buffer);
 
   ProcessId self_;
   std::uint32_t n_;
@@ -77,6 +86,7 @@ class TcpEndpoint {
   // deque, not vector: poll_once holds Conn* across an accept_pending()
   // push_back, which must not invalidate references to existing elements.
   std::deque<Conn> incoming_;           // accepted connections
+  std::vector<std::vector<std::uint8_t>> buffer_pool_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;
 };

@@ -74,5 +74,39 @@ TEST_F(QuorumCertTest, DiamondTwoQuorumRequired) {
   EXPECT_FALSE(thin.verify(pki_, params_)) << "f+1 signatures are not a quorum";
 }
 
+TEST_F(QuorumCertTest, StatementCacheMatchesDirectComputation) {
+  StatementCache cache;
+  const crypto::Digest h1 = crypto::Sha256::hash("a");
+  const crypto::Digest h2 = crypto::Sha256::hash("b");
+  // Repeats (the n-votes-for-one-block shape), alternating views (the
+  // leader-aggregates-v-while-voting-v+1 shape), and a same-slot
+  // collision (views 1 and 9 map to one direct-mapped entry).
+  for (const View v : {1, 2, 1, 2, 9, 1}) {
+    for (const crypto::Digest& h : {h1, h2}) {
+      EXPECT_EQ(cache.get(v, h), QuorumCert::statement(v, h)) << "view " << v;
+    }
+  }
+}
+
+TEST_F(QuorumCertTest, VerifyCacheAcceptsOnlyTheExactVerifiedBytes) {
+  const crypto::Digest h = crypto::Sha256::hash("block");
+  const QuorumCert qc = make_qc(3, h, params_.quorum());
+  QcVerifyCache cache;
+  EXPECT_TRUE(qc.verify(pki_, params_, &cache));
+  EXPECT_TRUE(cache.known_good(cache.fingerprint(qc)));
+  EXPECT_TRUE(qc.verify(pki_, params_, &cache)) << "memo hit must still accept";
+
+  // A *different* QC for the same (view, block) — here a thin one with
+  // fewer signers — must not ride the memo: its fingerprint differs.
+  crypto::ThresholdAggregator agg(&pki_, QuorumCert::statement(3, h), params_.small_quorum(),
+                                  params_.n);
+  for (ProcessId id = 0; id < params_.small_quorum(); ++id) {
+    agg.add(crypto::threshold_share(pki_.signer_for(id), QuorumCert::statement(3, h)));
+  }
+  const QuorumCert thin(3, h, agg.aggregate());
+  EXPECT_FALSE(thin.verify(pki_, params_, &cache));
+  EXPECT_FALSE(cache.known_good(cache.fingerprint(thin)));
+}
+
 }  // namespace
 }  // namespace lumiere::consensus

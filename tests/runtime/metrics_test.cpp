@@ -33,6 +33,27 @@ TEST_F(MetricsTest, CountsHonestSendsOnly) {
   EXPECT_GT(metrics_.total_honest_bytes(), 0U);
 }
 
+TEST_F(MetricsTest, BroadcastChargeEqualsPerSendExpansion) {
+  // The bulk on_broadcast path must account exactly like n-1 on_send
+  // calls — totals, per-type, per-class, and window queries.
+  MetricsCollector bulk(4, {false, false, false, true});
+  const pacemaker::ViewMsg msg(
+      1, crypto::threshold_share(pki_.signer_for(0), pacemaker::view_msg_statement(1)));
+  for (ProcessId to = 0; to < 4; ++to) metrics_.on_send(TimePoint(10), 0, to, msg);
+  bulk.on_broadcast(TimePoint(10), 0, msg, 4);
+  EXPECT_EQ(bulk.total_honest_msgs(), metrics_.total_honest_msgs());
+  EXPECT_EQ(bulk.total_honest_bytes(), metrics_.total_honest_bytes());
+  EXPECT_EQ(bulk.pacemaker_msgs(), metrics_.pacemaker_msgs());
+  EXPECT_EQ(bulk.count_for_type(pacemaker::kViewMsg), 3U);
+  EXPECT_EQ(bulk.msgs_between(TimePoint(10), TimePoint(11)),
+            metrics_.msgs_between(TimePoint(10), TimePoint(11)));
+  EXPECT_EQ(bulk.msgs_between(TimePoint(0), TimePoint(10)), 0U);
+
+  // Byzantine broadcasters stay uncounted, as with per-send charging.
+  bulk.on_broadcast(TimePoint(12), 3, msg, 4);
+  EXPECT_EQ(bulk.total_honest_msgs(), 3U);
+}
+
 TEST_F(MetricsTest, DecisionLogAndWindows) {
   send(TimePoint(5), 0, 1);
   send(TimePoint(6), 0, 2);

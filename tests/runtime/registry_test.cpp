@@ -132,6 +132,54 @@ TEST_P(ProtocolMatrix, FourNodeClusterMakesViewProgress) {
       << c.pacemaker << " x " << c.core << " produced no decisions";
 }
 
+// ---------------------------------------------------------------------
+// Large-n coverage (the matrix used to stop at n = 4): after the
+// hot-path overhaul, one representative pacemaker per core family must
+// boot and decide at n = 64 inside a unit-test budget, and a bounded
+// n = 100 run proves the sweep scale end-to-end.
+class LargeClusterMatrix : public ::testing::TestWithParam<PairCase> {};
+
+TEST_P(LargeClusterMatrix, SixtyFourNodeClusterDecides) {
+  const PairCase c = GetParam();
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(64, Duration::millis(10), /*x=*/4))
+      .pacemaker(c.pacemaker)
+      .core(c.core)
+      .seed(23)
+      .delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  Cluster cluster(builder);
+  cluster.run_for(Duration::seconds(3));
+  EXPECT_GT(cluster.min_honest_view(), 0)
+      << c.pacemaker << " x " << c.core << " made no view progress at n=64";
+  EXPECT_GE(cluster.metrics().decisions().size(), 3U)
+      << c.pacemaker << " x " << c.core << " produced no decisions at n=64";
+}
+
+INSTANTIATE_TEST_SUITE_P(N64, LargeClusterMatrix,
+                         ::testing::Values(PairCase{"lumiere", "chained-hotstuff"},
+                                           PairCase{"lp22", "simple-view"},
+                                           PairCase{"cogsworth", "hotstuff-2"}),
+                         [](const ::testing::TestParamInfo<PairCase>& info) {
+                           std::string name = info.param.pacemaker + "_" + info.param.core;
+                           for (auto& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ProtocolRegistryTest, HundredNodeBoundedSmoke) {
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(100, Duration::millis(10), /*x=*/4))
+      .pacemaker("lumiere")
+      .core("chained-hotstuff")
+      .seed(29)
+      .delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  Cluster cluster(builder);
+  cluster.run_for(Duration::seconds(2));
+  EXPECT_GT(cluster.min_honest_view(), 0) << "no view progress at n=100";
+  EXPECT_GE(cluster.metrics().decisions().size(), 1U) << "no decision at n=100";
+}
+
 std::vector<PairCase> all_pairs() {
   std::vector<PairCase> pairs;
   const auto& registry = ProtocolRegistry::instance();

@@ -90,6 +90,62 @@ TEST(WorkloadDeterminismTest, IdenticalRunsUnderScriptedPartition) {
   expect_identical_runs(options);
 }
 
+// ---------------------------------------------------------------------
+// Cross-refactor golden: the digest below was captured from the
+// implementation as of PR 3 (std::function event queue, per-send
+// delivery lambdas, uncached QC statements). Any substrate change that
+// alters event ordering, RNG draw order, or message bytes shifts this
+// value — rerunning the fold and comparing pins "the hot-path overhaul
+// changed nothing observable" as a regression test. Constant arrival
+// (not Poisson) keeps the fold free of libm transcendentals, so the
+// constant is portable across toolchains.
+crypto::Digest golden_fold_digest() {
+  struct Proto {
+    const char* pacemaker;
+    const char* core;
+  };
+  // One run per protocol family exercises all three cores and three
+  // pacemaker shapes over the same scripted partition.
+  constexpr Proto kProtos[] = {{"lumiere", "chained-hotstuff"},
+                               {"cogsworth", "chained-hotstuff"},
+                               {"lp22", "hotstuff-2"}};
+  crypto::Sha256 fold;
+  for (const Proto& proto : kProtos) {
+    WorkloadSpec spec;
+    spec.arrival = Arrival::kConstant;
+    spec.clients_per_node = 2;
+    spec.rate_per_client = 120.0;
+    spec.mempool.max_pending_count = 64;
+    ScenarioBuilder builder;
+    builder.params(ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4));
+    builder.pacemaker(proto.pacemaker);
+    builder.core(proto.core);
+    builder.seed(20260730);
+    builder.delay(std::make_shared<sim::FixedDelay>(Duration::micros(500)));
+    builder.workload(spec);
+    builder.partition({{0, 1}, {2, 3}}, TimePoint(Duration::seconds(2).ticks()));
+    builder.heal(TimePoint(Duration::seconds(4).ticks()));
+    Cluster cluster(builder);
+    cluster.run_for(Duration::seconds(6));
+    for (ProcessId id = 0; id < 4; ++id) {
+      fold.update(cluster.node_workload(id)->trace_digest().as_span());
+      for (const auto& entry : cluster.node(id).ledger().entries()) {
+        ser::Writer w;
+        w.view(entry.view);
+        w.digest(entry.hash);
+        w.bytes(std::span<const std::uint8_t>(entry.payload.data(), entry.payload.size()));
+        fold.update(std::span<const std::uint8_t>(w.data().data(), w.size()));
+      }
+    }
+  }
+  return fold.finish();
+}
+
+TEST(WorkloadDeterminismTest, GoldenLedgersSurviveRefactors) {
+  EXPECT_EQ(golden_fold_digest().hex(),
+            "2a1b9d02b926f706f51905544c71134cab00fcbbf2336b5caaf809f129b78a4e");
+}
+
 TEST(WorkloadDeterminismTest, DifferentSeedsDiverge) {
   Cluster first(workload_options(1, false));
   first.run_for(Duration::seconds(3));
