@@ -64,6 +64,21 @@ void EpochStormBehavior::on_view_entered(TimePoint /*now*/, View v, const Toolki
   for (ProcessId to = 0; to < toolkit.params->n; ++to) toolkit.raw_send(to, msg);
 }
 
+std::unique_ptr<Behavior> make_behavior(const std::string& name) {
+  if (name == "honest") return std::make_unique<HonestBehavior>();
+  if (name == "mute") return std::make_unique<MuteBehavior>();
+  if (name == "silent-leader") return std::make_unique<SilentLeaderBehavior>();
+  if (name == "qc-withholder") return std::make_unique<QcWithholderBehavior>();
+  if (name == "equivocator") return std::make_unique<EquivocatorBehavior>();
+  return nullptr;
+}
+
+bool has_behavior(const std::string& name) { return make_behavior(name) != nullptr; }
+
+std::vector<std::string> behavior_names() {
+  return {"equivocator", "honest", "mute", "qc-withholder", "silent-leader"};
+}
+
 BehaviorFactory honest_cluster() {
   return [](ProcessId) { return std::make_unique<HonestBehavior>(); };
 }

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "common/params.h"
 #include "common/time.h"
@@ -148,6 +150,19 @@ class EpochStormBehavior final : public Behavior {
   std::int64_t views_per_epoch_;
   View last_stormed_ = -1;
 };
+
+/// Builds a behavior from its registry name — the serializable form used
+/// by scripted behavior-change events and the scenario fuzzer. Covers the
+/// parameterless behaviors: "honest", "mute", "silent-leader",
+/// "qc-withholder", "equivocator". Returns nullptr for unknown names
+/// (ScenarioBuilder::validate() reports them with the event).
+[[nodiscard]] std::unique_ptr<Behavior> make_behavior(const std::string& name);
+
+/// True when `name` resolves through make_behavior.
+[[nodiscard]] bool has_behavior(const std::string& name);
+
+/// The make_behavior names, sorted — for error messages and fuzz sampling.
+[[nodiscard]] std::vector<std::string> behavior_names();
 
 /// Convenience factory type used by the cluster builder.
 using BehaviorFactory = std::function<std::unique_ptr<Behavior>(ProcessId)>;

@@ -1,0 +1,70 @@
+// Correctness oracles: reusable pass/fail checks over a finished Cluster
+// run.
+//
+// Hand-written scenarios and the scenario fuzzer (fuzz/engine.h) assert
+// the same properties; this library is the single home of those checks so
+// the two cannot drift apart:
+//   * safety           — no two honest ledgers conflict (pairwise prefix
+//                        consistency by block hash);
+//   * view monotonicity — condition (1) of the view-synchronization task,
+//                        checked event-wise over the structured trace;
+//   * liveness         — honest decision/commit progress resumes within a
+//                        bound of a given instant (GST, or the last
+//                        scripted disruption);
+//   * exactly-once     — an admitted workload request commits at most
+//                        once, and every observed commit matches a
+//                        submission.
+//
+// Every oracle returns std::nullopt when satisfied and a self-contained
+// violation description otherwise (what failed, where, and the observed
+// numbers) — the string a fuzz repro or a test failure message prints
+// verbatim.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/time.h"
+
+namespace lumiere::runtime {
+class Cluster;
+}
+
+namespace lumiere::fuzz {
+
+/// SAFETY: every pair of honest ledgers is prefix-consistent (one is a
+/// hash-prefix of the other). Byzantine nodes — including nodes scheduled
+/// to turn Byzantine mid-run — are excluded; their ledgers carry no
+/// guarantee. Works on both transports.
+[[nodiscard]] std::optional<std::string> check_safety(const runtime::Cluster& cluster);
+
+/// VIEW MONOTONICITY: per node, the trace's view-entered events never
+/// decrease. Sim transport only (the TCP trace is empty and passes
+/// vacuously).
+[[nodiscard]] std::optional<std::string> check_view_monotonicity(
+    const runtime::Cluster& cluster);
+
+/// DECISION LIVENESS: at least `min_decisions` decisions (honest-leader QC
+/// formations, the paper's decision points) happened in
+/// (from, from + bound]. The cluster must already have run past
+/// from + bound. Works for every core, including the never-committing
+/// simple-view.
+[[nodiscard]] std::optional<std::string> check_decision_liveness(
+    const runtime::Cluster& cluster, TimePoint from, Duration bound,
+    std::size_t min_decisions = 1);
+
+/// COMMIT LIVENESS: some honest ledger committed at least `min_commits`
+/// blocks in (from, from + bound] — the SMR-output form of progress
+/// (chained cores only; simple-view never commits). Works on both
+/// transports (it reads ledgers, not the metrics collector).
+[[nodiscard]] std::optional<std::string> check_commit_liveness(
+    const runtime::Cluster& cluster, TimePoint from, Duration bound,
+    std::size_t min_commits = 1);
+
+/// EXACTLY-ONCE: no honest ledger commits the same workload request
+/// (client, seq) twice, and the merged client-side accounting observed no
+/// commit without a matching submission. Vacuously true for runs without
+/// a client workload.
+[[nodiscard]] std::optional<std::string> check_exactly_once(const runtime::Cluster& cluster);
+
+}  // namespace lumiere::fuzz

@@ -24,6 +24,16 @@ Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
     behaviors.push_back(make ? make() : std::make_unique<adversary::HonestBehavior>());
     byz[id] = std::strcmp(behaviors.back()->name(), "honest") != 0;
   }
+  // A node scheduled to turn Byzantine mid-run counts Byzantine for the
+  // whole run: its QCs are never decisions and the honest accounting
+  // never includes it (conservative, and fixed before the run starts).
+  for (const sim::FaultEvent& event : scenario_.schedule.events) {
+    if (event.kind == sim::FaultKind::kBehaviorChange && event.node < n &&
+        event.behavior != "honest") {
+      byz[event.node] = true;
+    }
+  }
+  ever_byzantine_ = byz;
   metrics_ = std::make_unique<MetricsCollector>(n, byz);
 
   if (scenario_.transport == TransportKind::kSim) {
@@ -102,7 +112,17 @@ void Cluster::schedule_faults_sim() {
   // activity (the event queue is FIFO within one timestamp).
   for (const sim::FaultEvent& event : scenario_.schedule.events) {
     sim_.schedule_at(event.at, [this, event] {
-      network_->apply(event);
+      if (event.kind == sim::FaultKind::kBehaviorChange) {
+        // Behavior lives on the node, not the network. validate()
+        // rejected unknown names and out-of-range nodes; a hand-built
+        // Scenario that skipped it fails loudly here.
+        auto behavior = adversary::make_behavior(event.behavior);
+        LUMIERE_ASSERT_MSG(event.node < nodes_.size() && behavior != nullptr,
+                           "behavior-change event references an unknown node or behavior");
+        nodes_[event.node]->set_behavior(std::move(behavior));
+      } else {
+        network_->apply(event);
+      }
       const std::string note = sim::FaultSchedule::describe(event);
       trace_.record(event.at, sim::TraceKind::kCustom, event.node, -1, note);
       metrics_->mark_regime(event.at, note);
@@ -140,6 +160,30 @@ void Cluster::apply_fault_tcp(ProcessId id, const sim::FaultEvent& event) {
         adapter.set_self_down(false);
       } else {
         adapter.set_peer_down(event.node, false);
+      }
+      break;
+    case sim::FaultKind::kAsymPartition: {
+      // Receiver-side gate: nodes in the to-group drop frames arriving
+      // from the from-group (the senders' outbound half keeps flowing the
+      // other way, matching the sim's one-way semantics). Set for every
+      // peer so a new asym cut replaces the previous one.
+      const std::uint32_t n = scenario_.params.n;
+      std::vector<bool> in_from(n, false);
+      for (const ProcessId sender : event.groups[0]) {
+        if (sender < n) in_from[sender] = true;
+      }
+      bool receiver = false;
+      for (const ProcessId target : event.groups[1]) receiver = receiver || target == id;
+      for (ProcessId peer = 0; peer < n; ++peer) {
+        adapter.set_inbound_cut(peer, receiver && in_from[peer]);
+      }
+      break;
+    }
+    case sim::FaultKind::kBehaviorChange:
+      // Only the target node swaps, on its own driver thread (its private
+      // simulator runs this callback) — the Node is thread-confined there.
+      if (id == event.node) {
+        nodes_[id]->set_behavior(adversary::make_behavior(event.behavior));
       }
       break;
     case sim::FaultKind::kDelayChange:
@@ -246,21 +290,17 @@ void Cluster::run_until(TimePoint t) {
 std::vector<ProcessId> Cluster::honest_ids() const {
   std::vector<ProcessId> out;
   for (const auto& node : nodes_) {
-    if (!node->is_byzantine()) out.push_back(node->id());
+    if (!ever_byzantine_[node->id()]) out.push_back(node->id());
   }
   return out;
 }
 
-std::vector<bool> Cluster::byzantine_mask() const {
-  std::vector<bool> mask(nodes_.size(), false);
-  for (const auto& node : nodes_) mask[node->id()] = node->is_byzantine();
-  return mask;
-}
+std::vector<bool> Cluster::byzantine_mask() const { return ever_byzantine_; }
 
 core::HonestGapTracker Cluster::honest_gap_tracker() const {
   std::vector<const sim::LocalClock*> clocks;
   for (const auto& node : nodes_) {
-    if (!node->is_byzantine()) clocks.push_back(&node->local_clock());
+    if (!ever_byzantine_[node->id()]) clocks.push_back(&node->local_clock());
   }
   return core::HonestGapTracker(std::move(clocks));
 }
@@ -268,7 +308,7 @@ core::HonestGapTracker Cluster::honest_gap_tracker() const {
 View Cluster::min_honest_view() const {
   View lo = std::numeric_limits<View>::max();
   for (const auto& node : nodes_) {
-    if (!node->is_byzantine()) lo = std::min(lo, node->current_view());
+    if (!ever_byzantine_[node->id()]) lo = std::min(lo, node->current_view());
   }
   return lo;
 }
@@ -276,7 +316,7 @@ View Cluster::min_honest_view() const {
 View Cluster::max_honest_view() const {
   View hi = -1;
   for (const auto& node : nodes_) {
-    if (!node->is_byzantine()) hi = std::max(hi, node->current_view());
+    if (!ever_byzantine_[node->id()]) hi = std::max(hi, node->current_view());
   }
   return hi;
 }

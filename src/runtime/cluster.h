@@ -117,6 +117,10 @@ class Cluster {
   std::unique_ptr<sim::Network> network_;
   std::unique_ptr<MetricsCollector> metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  /// Byzantine-for-accounting mask: initially non-honest nodes plus every
+  /// target of a scheduled non-honest behavior change (fixed pre-run, so
+  /// honest_ids() is stable whenever it is queried).
+  std::vector<bool> ever_byzantine_;
   /// One engine per workload-driven node (index = node id, else null).
   std::vector<std::unique_ptr<workload::NodeWorkload>> workloads_;
   sim::TraceLog trace_;

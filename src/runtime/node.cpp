@@ -19,13 +19,18 @@ Node::Node(const ProtocolParams& params, ProcessId id, sim::Simulator* sim,
       protocol_(config.protocol) {
   LUMIERE_ASSERT(sim != nullptr && network != nullptr && pki != nullptr);
   LUMIERE_ASSERT(behavior_ != nullptr);
+  ever_byzantine_ = std::strcmp(behavior_->name(), "honest") != 0;
   clock_ = std::make_unique<sim::LocalClock>(sim_, config.join_time, config.clock_drift_ppm);
   build_pacemaker(config);
   build_core(config);
 }
 
-bool Node::is_byzantine() const noexcept {
-  return std::strcmp(behavior_->name(), "honest") != 0;
+bool Node::is_byzantine() const noexcept { return ever_byzantine_; }
+
+void Node::set_behavior(std::unique_ptr<adversary::Behavior> behavior) {
+  LUMIERE_ASSERT(behavior != nullptr);
+  behavior_ = std::move(behavior);
+  ever_byzantine_ = ever_byzantine_ || std::strcmp(behavior_->name(), "honest") != 0;
 }
 
 adversary::Toolkit Node::toolkit() {

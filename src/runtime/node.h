@@ -72,7 +72,14 @@ class Node {
   void start();
 
   [[nodiscard]] ProcessId id() const noexcept { return id_; }
+  /// True if this node ever ran a non-honest behavior (sticky: a
+  /// scripted behavior change back to "honest" does not clear it — the
+  /// node's earlier deviations remain in the execution).
   [[nodiscard]] bool is_byzantine() const noexcept;
+
+  /// Swaps the node's outbound behavior from now on (the fault-schedule
+  /// kBehaviorChange executor). The Byzantine flag is sticky.
+  void set_behavior(std::unique_ptr<adversary::Behavior> behavior);
   [[nodiscard]] const sim::LocalClock& local_clock() const noexcept { return *clock_; }
   [[nodiscard]] sim::LocalClock& local_clock() noexcept { return *clock_; }
   [[nodiscard]] pacemaker::Pacemaker& pacemaker() noexcept { return *pacemaker_; }
@@ -107,6 +114,7 @@ class Node {
   std::unique_ptr<pacemaker::Pacemaker> pacemaker_;
   std::unique_ptr<consensus::ConsensusCore> core_;
   consensus::Ledger ledger_;
+  bool ever_byzantine_ = false;
   bool started_ = false;
   bool protocol_running_ = false;
   std::vector<std::pair<ProcessId, MessagePtr>> pre_join_inbox_;

@@ -174,6 +174,27 @@ ScenarioBuilder& ScenarioBuilder::partition(std::vector<std::vector<ProcessId>> 
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::asym_partition(std::vector<ProcessId> from,
+                                                 std::vector<ProcessId> to, TimePoint at) {
+  sim::FaultEvent event;
+  event.at = at;
+  event.kind = sim::FaultKind::kAsymPartition;
+  event.groups = {std::move(from), std::move(to)};
+  push_event(std::move(event), at);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::behavior_change(ProcessId node, std::string behavior,
+                                                  TimePoint at) {
+  sim::FaultEvent event;
+  event.at = at;
+  event.kind = sim::FaultKind::kBehaviorChange;
+  event.node = node;
+  event.behavior = std::move(behavior);
+  push_event(std::move(event), at);
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::heal(TimePoint at) {
   sim::FaultEvent event;
   event.at = at;
@@ -417,6 +438,38 @@ std::vector<std::string> ScenarioBuilder::validate() const {
         }
         break;
       }
+      case sim::FaultKind::kAsymPartition: {
+        if (event.groups.size() != 2) {
+          errors.push_back(where + ": an asymmetric partition needs exactly two groups "
+                           "(senders, then receivers of the one-way cut)");
+          break;
+        }
+        for (std::size_t side = 0; side < 2; ++side) {
+          const char* const label = side == 0 ? "sender" : "receiver";
+          if (event.groups[side].empty()) {
+            errors.push_back(where + ": the " + label + " group must be non-empty");
+          }
+          std::vector<bool> seen(params_.n, false);
+          for (const ProcessId id : event.groups[side]) {
+            if (!check_node_id(where, id)) continue;
+            if (seen[id]) {
+              errors.push_back(where + ": node " + std::to_string(id) +
+                               " appears twice in the " + label + " group");
+            }
+            seen[id] = true;
+          }
+        }
+        break;
+      }
+      case sim::FaultKind::kBehaviorChange:
+        check_node_id(where, event.node);
+        if (!adversary::has_behavior(event.behavior)) {
+          std::string known;
+          for (const auto& name : adversary::behavior_names()) known += " " + name;
+          errors.push_back(where + ": unknown behavior \"" + event.behavior +
+                           "\"; known behaviors:" + known);
+        }
+        break;
       case sim::FaultKind::kCrash:
       case sim::FaultKind::kRecover:
       case sim::FaultKind::kLeave:
@@ -430,6 +483,37 @@ std::vector<std::string> ScenarioBuilder::validate() const {
       case sim::FaultKind::kHeal:
       case sim::FaultKind::kDelayChange:
         break;
+    }
+  }
+  // A behavior change targets the node's running protocol stack: swapping
+  // the behavior of a processor that is down at that instant is a scripted
+  // contradiction (the process isn't executing anything to deviate from).
+  {
+    std::vector<sim::FaultEvent> timeline = schedule_.events;
+    std::stable_sort(timeline.begin(), timeline.end(),
+                     [](const sim::FaultEvent& a, const sim::FaultEvent& b) { return a.at < b.at; });
+    std::vector<bool> down(params_.n, false);
+    for (const sim::FaultEvent& event : timeline) {
+      if (event.node >= params_.n) continue;  // out-of-range: reported above
+      switch (event.kind) {
+        case sim::FaultKind::kCrash:
+        case sim::FaultKind::kLeave:
+          down[event.node] = true;
+          break;
+        case sim::FaultKind::kRecover:
+        case sim::FaultKind::kRejoin:
+          down[event.node] = false;
+          break;
+        case sim::FaultKind::kBehaviorChange:
+          if (down[event.node]) {
+            errors.push_back("fault schedule: " + sim::FaultSchedule::describe(event) +
+                             ": targets a node that is crashed at that instant; recover it "
+                             "first (or move the change)");
+          }
+          break;
+        default:
+          break;
+      }
     }
   }
   // Churn windows: each rejoin must follow its leave. Leave/rejoin events

@@ -165,9 +165,21 @@ class ScenarioBuilder {
   /// From `at`, links between distinct `groups` are cut; cross-cut
   /// traffic parks until heal(). Nodes in no group keep all their links.
   ScenarioBuilder& partition(std::vector<std::vector<ProcessId>> groups, TimePoint at);
-  /// Removes the active partition at `at` and releases parked traffic.
-  /// Healing with no active partition is a deterministic no-op.
+  /// From `at`, the directed links from any node in `from` to any node in
+  /// `to` are cut ONE-WAY (that traffic parks until heal(); the reverse
+  /// direction flows). Independent of the symmetric partition layer; a
+  /// node may appear on both sides (isolating its outbound half).
+  ScenarioBuilder& asym_partition(std::vector<ProcessId> from, std::vector<ProcessId> to,
+                                  TimePoint at);
+  /// Removes the active partitions (symmetric and asymmetric) at `at` and
+  /// releases parked traffic. Healing with no active partition is a
+  /// deterministic no-op.
   ScenarioBuilder& heal(TimePoint at);
+  /// From `at`, `node` runs the behavior named `behavior`
+  /// (adversary::make_behavior; "honest" scripts a repentant node). The
+  /// node counts against the Byzantine budget for the whole run — metrics
+  /// and honest_ids() treat ever-Byzantine as Byzantine.
+  ScenarioBuilder& behavior_change(ProcessId node, std::string behavior, TimePoint at);
   /// From `at`, `node`'s traffic is cut both ways and lost (the process
   /// is down; local state persists — see sim/fault_schedule.h).
   ScenarioBuilder& crash(ProcessId node, TimePoint at);

@@ -22,6 +22,10 @@ const char* to_string(FaultKind kind) {
       return "delay-change";
     case FaultKind::kLinkDelay:
       return "link-delay";
+    case FaultKind::kAsymPartition:
+      return "asym-partition";
+    case FaultKind::kBehaviorChange:
+      return "behavior-change";
   }
   return "?";
 }
@@ -41,10 +45,12 @@ std::string FaultSchedule::describe(const FaultEvent& event) {
   std::ostringstream out;
   out << to_string(event.kind);
   switch (event.kind) {
-    case FaultKind::kPartition: {
+    case FaultKind::kPartition:
+    case FaultKind::kAsymPartition: {
+      const char* const join = event.kind == FaultKind::kAsymPartition ? "->" : "|";
       out << "{";
       for (std::size_t g = 0; g < event.groups.size(); ++g) {
-        if (g > 0) out << "|";
+        if (g > 0) out << join;
         for (std::size_t i = 0; i < event.groups[g].size(); ++i) {
           if (i > 0) out << " ";
           out << event.groups[g][i];
@@ -53,6 +59,9 @@ std::string FaultSchedule::describe(const FaultEvent& event) {
       out << "}";
       break;
     }
+    case FaultKind::kBehaviorChange:
+      out << " p" << event.node << " -> " << event.behavior;
+      break;
     case FaultKind::kCrash:
     case FaultKind::kRecover:
     case FaultKind::kLeave:

@@ -14,9 +14,13 @@
 //     parked traffic is delivered when the partition heals (at the heal
 //     instant, in deterministic send order). Links inside one group — and
 //     links touching nodes listed in no group — are unaffected.
-//   * heal               — removes the active partition and releases every
-//     parked message. Healing with no active partition is a no-op (a
-//     schedule may heal defensively).
+//   * asym_partition(from, to) — a ONE-WAY cut: messages from any node in
+//     `from` to any node in `to` park; the reverse direction flows. The
+//     asymmetric layer is independent of the symmetric partition (both may
+//     be active at once); a new asym cut replaces the previous one.
+//   * heal               — removes the active partition (symmetric AND
+//     asymmetric) and releases every parked message. Healing with no
+//     active partition is a no-op (a schedule may heal defensively).
 //   * crash(node)        — the processor is down: it emits nothing, and
 //     messages ARRIVING while it is down are LOST, not parked (its
 //     inbound mail dies with it; in-flight or parked traffic whose
@@ -28,6 +32,10 @@
 //   * delay changes      — replace the adversary's global DelayPolicy, or
 //     override one directed link, from the event instant onward. The
 //     network still clamps every delivery to max(GST, t) + Delta.
+//   * behavior changes   — swap the named adversary::Behavior a node runs
+//     from the event instant onward (scripted mid-run Byzantine flips;
+//     executed by the Cluster, not the network — the network treats the
+//     event as a regime mark only).
 //
 // Schedules are validated by ScenarioBuilder::validate() (ids in range,
 // monotone times, well-formed partitions) and executed deterministically:
@@ -46,14 +54,16 @@
 namespace lumiere::sim {
 
 enum class FaultKind : std::uint8_t {
-  kPartition,    ///< cut links between `groups`; park cross-cut traffic
-  kHeal,         ///< remove the active partition, release parked traffic
-  kCrash,        ///< cut `node` both ways; its traffic is lost
-  kRecover,      ///< readmit `node`
-  kLeave,        ///< churn: `node` leaves (crash semantics, distinct trace)
-  kRejoin,       ///< churn: `node` rejoins
-  kDelayChange,  ///< swap the global delay policy for `delay`
-  kLinkDelay,    ///< override the directed link `node` -> `peer` with `delay`
+  kPartition,       ///< cut links between `groups`; park cross-cut traffic
+  kHeal,            ///< remove active partitions, release parked traffic
+  kCrash,           ///< cut `node` both ways; its traffic is lost
+  kRecover,         ///< readmit `node`
+  kLeave,           ///< churn: `node` leaves (crash semantics, distinct trace)
+  kRejoin,          ///< churn: `node` rejoins
+  kDelayChange,     ///< swap the global delay policy for `delay`
+  kLinkDelay,       ///< override the directed link `node` -> `peer` with `delay`
+  kAsymPartition,   ///< one-way cut groups[0] -> groups[1]; park that direction
+  kBehaviorChange,  ///< `node` switches to the behavior named `behavior`
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -63,15 +73,20 @@ struct FaultEvent {
   TimePoint at;
   FaultKind kind = FaultKind::kHeal;
   /// kPartition: the disjoint groups that stay internally connected.
+  /// kAsymPartition: exactly two groups — senders, then receivers, of the
+  /// one-way cut (a node may appear on both sides).
   std::vector<std::vector<ProcessId>> groups;
-  /// kCrash/kRecover/kLeave/kRejoin: the affected processor.
-  /// kLinkDelay: the sender.
+  /// kCrash/kRecover/kLeave/kRejoin/kBehaviorChange: the affected
+  /// processor. kLinkDelay: the sender.
   ProcessId node = kNoProcess;
   /// kLinkDelay: the receiver.
   ProcessId peer = kNoProcess;
   /// kDelayChange/kLinkDelay: the policy applying from `at` onward
   /// (nullptr = the worst permitted: every message at max(GST, t) + Delta).
   std::shared_ptr<DelayPolicy> delay;
+  /// kBehaviorChange: the adversary::make_behavior name the node switches
+  /// to ("honest" scripts a repentant node).
+  std::string behavior;
 };
 
 /// The script: events in non-decreasing time order (ScenarioBuilder

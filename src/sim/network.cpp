@@ -15,7 +15,9 @@ Network::Network(Simulator* sim, std::uint32_t n, TimePoint gst, Duration delta_
       rng_(seed ^ 0x6e657477726b2121ULL),
       endpoints_(n),
       down_(n, false),
-      group_(n, kUngrouped) {
+      group_(n, kUngrouped),
+      asym_from_(n, false),
+      asym_to_(n, false) {
   LUMIERE_ASSERT(sim != nullptr);
   LUMIERE_ASSERT(n > 0);
   LUMIERE_ASSERT(delta_cap > Duration::zero());
@@ -28,7 +30,8 @@ void Network::register_endpoint(ProcessId id, DeliverFn fn) {
 }
 
 bool Network::cut(ProcessId from, ProcessId to) const {
-  return partition_active_ && partition_cuts(group_, from, to);
+  if (partition_active_ && partition_cuts(group_, from, to)) return true;
+  return asym_active_ && asym_from_[from] && asym_to_[to];
 }
 
 void Network::send(ProcessId from, ProcessId to, MessagePtr msg) {
@@ -158,6 +161,13 @@ void Network::apply(const FaultEvent& event) {
     case FaultKind::kLinkDelay:
       set_link_delay(event.node, event.peer, event.delay);
       break;
+    case FaultKind::kAsymPartition:
+      LUMIERE_ASSERT_MSG(event.groups.size() == 2,
+                         "asym partition needs {senders, receivers} (validate first)");
+      set_asym_partition(event.groups[0], event.groups[1]);
+      break;
+    case FaultKind::kBehaviorChange:
+      break;  // executed by the Cluster (the network has no behaviors)
   }
 }
 
@@ -168,10 +178,29 @@ void Network::set_partition(const std::vector<std::vector<ProcessId>>& groups) {
   partition_active_ = true;
 }
 
+void Network::set_asym_partition(const std::vector<ProcessId>& from,
+                                 const std::vector<ProcessId>& to) {
+  // A new one-way cut replaces the active one; traffic parked under the
+  // old cut stays parked until heal() (the links are still down).
+  const auto n = endpoints_.size();
+  std::fill(asym_from_.begin(), asym_from_.end(), false);
+  std::fill(asym_to_.begin(), asym_to_.end(), false);
+  for (const ProcessId id : from) {
+    if (id < n) asym_from_[id] = true;
+  }
+  for (const ProcessId id : to) {
+    if (id < n) asym_to_[id] = true;
+  }
+  asym_active_ = true;
+}
+
 void Network::heal() {
-  if (!partition_active_) return;  // healing a healthy network is a no-op
+  if (!partition_active_ && !asym_active_) return;  // healing a healthy network is a no-op
   partition_active_ = false;
+  asym_active_ = false;
   std::fill(group_.begin(), group_.end(), kUngrouped);
+  std::fill(asym_from_.begin(), asym_from_.end(), false);
+  std::fill(asym_to_.begin(), asym_to_.end(), false);
   // Release ALL parked traffic in send order, as if sent at the heal
   // instant (the adversary delayed each message exactly until the cut
   // lifted). Down endpoints are not special-cased here: deliver() drops a

@@ -83,9 +83,14 @@ class Network final : public MessageTransport {
   /// Cuts links between distinct groups; cross-cut sends park until
   /// heal(). Nodes appearing in no group keep all their links.
   void set_partition(const std::vector<std::vector<ProcessId>>& groups);
-  /// Removes the active partition and releases parked traffic (delivered
-  /// from the current instant under the usual delay computation). No-op
-  /// when no partition is active.
+  /// One-way cut: sends from any node in `from` to any node in `to` park
+  /// until heal(); the reverse direction flows. Independent of the
+  /// symmetric partition layer; a new call replaces the active asym cut.
+  void set_asym_partition(const std::vector<ProcessId>& from,
+                          const std::vector<ProcessId>& to);
+  /// Removes the active partition (symmetric and asymmetric) and releases
+  /// parked traffic (delivered from the current instant under the usual
+  /// delay computation). No-op when no partition is active.
   void heal();
   /// `down = true` takes `id` down (crash / churn-leave): it emits
   /// nothing, and anything arriving while it is down is lost. `false`
@@ -106,6 +111,7 @@ class Network final : public MessageTransport {
   [[nodiscard]] bool disconnected(ProcessId id) const { return down_[id]; }
 
   [[nodiscard]] bool partition_active() const noexcept { return partition_active_; }
+  [[nodiscard]] bool asym_partition_active() const noexcept { return asym_active_; }
   /// Cross-partition messages currently parked awaiting heal().
   [[nodiscard]] std::size_t parked_count() const noexcept { return parked_.size(); }
 
@@ -161,6 +167,10 @@ class Network final : public MessageTransport {
   /// Partition group per node; kUngrouped = in no group (fully connected).
   bool partition_active_ = false;
   std::vector<std::uint32_t> group_;
+  /// One-way cut membership (asym_from_[a] && asym_to_[b] => a->b parks).
+  bool asym_active_ = false;
+  std::vector<bool> asym_from_;
+  std::vector<bool> asym_to_;
   /// Cross-partition traffic awaiting heal, in send order.
   std::vector<Parked> parked_;
   /// Directed per-link delay overrides (win over policy_).

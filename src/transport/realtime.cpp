@@ -8,11 +8,11 @@ namespace lumiere::transport {
 
 TcpTransportAdapter::TcpTransportAdapter(ProcessId self, std::uint32_t n,
                                          std::uint16_t base_port, MessageCodec codec)
-    : self_(self), n_(n), partition_cut_(n, false), peer_down_(n, false) {
+    : self_(self), n_(n), partition_cut_(n, false), inbound_cut_(n, false), peer_down_(n, false) {
   endpoint_ = std::make_unique<TcpEndpoint>(
       self, n, base_port, std::move(codec),
       [this](ProcessId from, const MessagePtr& msg) {
-        if (from < n_ && from != self_ && blocked(from)) return;
+        if (from < n_ && from != self_ && (blocked(from) || inbound_cut_[from])) return;
         if (deliver_) deliver_(from, msg);
       });
 }
@@ -41,8 +41,14 @@ void TcpTransportAdapter::set_partition_cut(ProcessId peer, bool cut) {
   partition_cut_[peer] = cut;
 }
 
+void TcpTransportAdapter::set_inbound_cut(ProcessId peer, bool cut) {
+  LUMIERE_ASSERT(peer < n_);
+  inbound_cut_[peer] = cut;
+}
+
 void TcpTransportAdapter::clear_partition() {
   std::fill(partition_cut_.begin(), partition_cut_.end(), false);
+  std::fill(inbound_cut_.begin(), inbound_cut_.end(), false);
 }
 
 void TcpTransportAdapter::set_peer_down(ProcessId peer, bool down) {

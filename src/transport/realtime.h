@@ -44,7 +44,11 @@ class TcpTransportAdapter final : public MessageTransport {
   // LOST, not parked — a real network drops partitioned traffic.
   /// Cuts (or restores) the link to `peer` for an active partition.
   void set_partition_cut(ProcessId peer, bool cut);
-  /// Restores every link cut by set_partition_cut (heal).
+  /// Drops (or accepts) inbound frames from `peer` only — the receiving
+  /// half of an asymmetric one-way cut (this node's sends still flow).
+  void set_inbound_cut(ProcessId peer, bool cut);
+  /// Restores every link cut by set_partition_cut / set_inbound_cut
+  /// (heal).
   void clear_partition();
   /// Marks a remote peer down (its frames are dropped both ways).
   void set_peer_down(ProcessId peer, bool down);
@@ -62,6 +66,7 @@ class TcpTransportAdapter final : public MessageTransport {
   std::uint32_t n_;
   DeliverFn deliver_;
   std::vector<bool> partition_cut_;
+  std::vector<bool> inbound_cut_;
   std::vector<bool> peer_down_;
   bool self_down_ = false;
   std::unique_ptr<TcpEndpoint> endpoint_;

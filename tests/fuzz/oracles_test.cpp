@@ -1,0 +1,120 @@
+// The oracle library itself: satisfied on a healthy run, and each
+// liveness oracle fires with a self-contained description when its
+// window demonstrably lacks progress.
+#include "fuzz/oracles.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "adversary/behaviors.h"
+#include "runtime/cluster.h"
+
+namespace lumiere::fuzz {
+namespace {
+
+runtime::ScenarioBuilder healthy_options() {
+  runtime::ScenarioBuilder options;
+  options.params(ProtocolParams::for_n(4, Duration::millis(10)));
+  options.pacemaker("lumiere");
+  options.core("chained-hotstuff");
+  options.seed(11);
+  options.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  return options;
+}
+
+TEST(OracleTest, HealthyRunSatisfiesEveryOracle) {
+  runtime::ScenarioBuilder options = healthy_options();
+  workload::WorkloadSpec spec;
+  spec.arrival = workload::Arrival::kClosedLoop;
+  spec.in_flight = 2;
+  spec.stop = TimePoint(Duration::seconds(5).ticks());
+  options.workload(spec);
+  runtime::Cluster cluster(options);
+  cluster.run_for(Duration::seconds(10));
+
+  EXPECT_EQ(check_safety(cluster), std::nullopt);
+  EXPECT_EQ(check_view_monotonicity(cluster), std::nullopt);
+  EXPECT_EQ(check_decision_liveness(cluster, TimePoint::origin(), Duration::seconds(10), 5),
+            std::nullopt);
+  EXPECT_EQ(check_commit_liveness(cluster, TimePoint::origin(), Duration::seconds(10), 5),
+            std::nullopt);
+  EXPECT_EQ(check_exactly_once(cluster), std::nullopt);
+}
+
+TEST(OracleTest, LivenessOraclesFireOnAnEmptyWindow) {
+  runtime::Cluster cluster(healthy_options());
+  cluster.run_for(Duration::seconds(5));
+
+  // A window the run never reached cannot contain progress: both forms
+  // must fire and name the window and the observed count.
+  const TimePoint late(Duration::seconds(60).ticks());
+  const auto decisions = check_decision_liveness(cluster, late, Duration::seconds(1), 1);
+  ASSERT_TRUE(decisions.has_value());
+  EXPECT_NE(decisions->find("liveness"), std::string::npos);
+  EXPECT_NE(decisions->find("0 decisions"), std::string::npos);
+
+  const auto commits = check_commit_liveness(cluster, late, Duration::seconds(1), 1);
+  ASSERT_TRUE(commits.has_value());
+  EXPECT_NE(commits->find("0 blocks"), std::string::npos);
+}
+
+TEST(OracleTest, LivenessCountsOnlyTheWindow) {
+  runtime::Cluster cluster(healthy_options());
+  cluster.run_for(Duration::seconds(5));
+  // Everything the run produced lies in [0, 5s): demanding it inside
+  // (4s, 5s] succeeds, demanding the full total there fails.
+  const std::size_t total = cluster.metrics().decisions().size();
+  ASSERT_GT(total, 10U);
+  EXPECT_EQ(check_decision_liveness(cluster, TimePoint(Duration::seconds(4).ticks()),
+                                    Duration::seconds(1), 1),
+            std::nullopt);
+  EXPECT_TRUE(check_decision_liveness(cluster, TimePoint(Duration::seconds(4).ticks()),
+                                      Duration::seconds(1), total)
+                  .has_value());
+}
+
+TEST(OracleTest, SafetyHoldsUnderEquivocationAcrossChainedCores) {
+  // The safety oracle is exercised end-to-end by the byzantine suites;
+  // here: an equivocating leader plus a QC withholder on both chained
+  // cores must leave honest ledgers prefix-consistent.
+  for (const std::string core : {"chained-hotstuff", "hotstuff-2"}) {
+    runtime::ScenarioBuilder options = healthy_options();
+    options.core(core);
+    options.behaviors(adversary::byzantine_set({0}, [](ProcessId) {
+      return std::make_unique<adversary::EquivocatorBehavior>();
+    }));
+    runtime::Cluster cluster(options);
+    cluster.run_for(Duration::seconds(20));
+    const auto violation = check_safety(cluster);
+    EXPECT_EQ(violation, std::nullopt) << core << ": " << *violation;
+    EXPECT_EQ(check_view_monotonicity(cluster), std::nullopt);
+  }
+}
+
+TEST(OracleTest, ExactlyOnceSeesThroughScriptedDisruption) {
+  // A partition window plus a scheduled behavior change while a
+  // closed-loop workload runs: every admitted request still commits at
+  // most once on every honest ledger.
+  runtime::ScenarioBuilder options = healthy_options();
+  options.seed(23);
+  workload::WorkloadSpec spec;
+  spec.arrival = workload::Arrival::kClosedLoop;
+  spec.in_flight = 2;
+  spec.stop = TimePoint(Duration::seconds(4).ticks());
+  options.workload(spec);
+  options.partition({{0, 1}, {2, 3}}, TimePoint(Duration::seconds(1).ticks()));
+  options.heal(TimePoint(Duration::seconds(2).ticks()));
+  options.behavior_change(3, "mute", TimePoint(Duration::millis(2500).ticks()));
+  runtime::Cluster cluster(options);
+  cluster.run_for(Duration::seconds(12));
+
+  EXPECT_EQ(check_exactly_once(cluster), std::nullopt);
+  EXPECT_EQ(check_safety(cluster), std::nullopt);
+  const auto honest = cluster.honest_ids();
+  EXPECT_EQ(honest.size(), 3U) << "the scheduled mute flip counts against the honest set";
+  EXPECT_EQ(std::count(honest.begin(), honest.end(), 3), 0);
+}
+
+}  // namespace
+}  // namespace lumiere::fuzz

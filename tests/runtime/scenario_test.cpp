@@ -304,5 +304,103 @@ TEST(ClusterOptionsShimTest, ShimRunMatchesDirectBuilderRun) {
 }
 #pragma GCC diagnostic pop
 
+// ---- asymmetric partitions and scheduled behavior changes ----------------
+
+TEST(ScenarioBuilderTest, AsymPartitionValidatesGroupsAndNodeIds) {
+  ScenarioBuilder builder;
+  builder.asym_partition({0, 9}, {1, 1}, TimePoint::origin());
+  const auto errors = builder.validate();
+  ASSERT_EQ(errors.size(), 2U) << "out-of-range sender and duplicated receiver both reported";
+  EXPECT_NE(errors[0].find("node id 9"), std::string::npos) << errors[0];
+  EXPECT_NE(errors[1].find("twice in the receiver group"), std::string::npos) << errors[1];
+
+  ScenarioBuilder empty_side;
+  empty_side.asym_partition({0}, {}, TimePoint::origin());
+  const auto empty_errors = empty_side.validate();
+  ASSERT_EQ(empty_errors.size(), 1U);
+  EXPECT_NE(empty_errors[0].find("receiver group must be non-empty"), std::string::npos)
+      << empty_errors[0];
+
+  // A node may sit on both sides (one-way self-isolation of its sends).
+  ScenarioBuilder both_sides;
+  both_sides.asym_partition({3}, {0, 1, 2, 3}, TimePoint::origin());
+  EXPECT_TRUE(both_sides.validate().empty());
+}
+
+TEST(ScenarioBuilderTest, AsymPartitionKeepsTimelineOrderRule) {
+  ScenarioBuilder builder;
+  builder.asym_partition({0}, {1}, TimePoint(2'000));
+  builder.heal(TimePoint(1'000));  // declared later, happens earlier
+  const auto errors = builder.validate();
+  ASSERT_EQ(errors.size(), 1U);
+  EXPECT_NE(errors[0].find("timeline order"), std::string::npos) << errors[0];
+}
+
+TEST(ScenarioBuilderTest, BehaviorChangeValidatesNameAndNode) {
+  ScenarioBuilder builder;
+  builder.behavior_change(9, "mute", TimePoint::origin());
+  builder.behavior_change(1, "gremlin", TimePoint(5));
+  const auto errors = builder.validate();
+  ASSERT_EQ(errors.size(), 2U);
+  EXPECT_NE(errors[0].find("node id 9"), std::string::npos) << errors[0];
+  EXPECT_NE(errors[1].find("unknown behavior \"gremlin\""), std::string::npos) << errors[1];
+  EXPECT_NE(errors[1].find("silent-leader"), std::string::npos)
+      << "the error must list the known behaviors: " << errors[1];
+}
+
+TEST(ScenarioBuilderTest, BehaviorChangeCannotTargetACrashedNode) {
+  ScenarioBuilder builder;
+  builder.crash(2, TimePoint(1'000));
+  builder.behavior_change(2, "mute", TimePoint(2'000));  // still down
+  builder.recover(2, TimePoint(3'000));
+  const auto errors = builder.validate();
+  ASSERT_EQ(errors.size(), 1U);
+  EXPECT_NE(errors[0].find("crashed at that instant"), std::string::npos) << errors[0];
+
+  // After the recover (and for churn windows alike) the change is legal.
+  ScenarioBuilder after;
+  after.crash(2, TimePoint(1'000));
+  after.recover(2, TimePoint(3'000));
+  after.behavior_change(2, "mute", TimePoint(4'000));
+  EXPECT_TRUE(after.validate().empty());
+
+  ScenarioBuilder churned;
+  churned.churn(1, TimePoint(1'000), TimePoint(5'000));
+  churned.behavior_change(1, "equivocator", TimePoint(2'000));  // inside the window
+  const auto churn_errors = churned.validate();
+  ASSERT_EQ(churn_errors.size(), 1U);
+  EXPECT_NE(churn_errors[0].find("crashed at that instant"), std::string::npos)
+      << churn_errors[0];
+}
+
+TEST(ScenarioBuilderTest, ScheduledBehaviorChangeCountsAgainstHonestAccounting) {
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(4, Duration::millis(10)));
+  builder.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  builder.behavior_change(2, "silent-leader", TimePoint(Duration::seconds(1).ticks()));
+  Cluster cluster(builder);
+  // Ever-Byzantine is fixed pre-run: node 2 is excluded from the honest
+  // set even before the flip fires (conservative, and stable wherever the
+  // mask is queried).
+  EXPECT_EQ(cluster.honest_ids().size(), 3U);
+  EXPECT_TRUE(cluster.byzantine_mask()[2]);
+  EXPECT_FALSE(cluster.node(2).is_byzantine()) << "the node itself flips only when the event fires";
+  cluster.run_for(Duration::seconds(2));
+  EXPECT_TRUE(cluster.node(2).is_byzantine());
+}
+
+TEST(ScenarioBuilderTest, ChangeBackToHonestKeepsTheNodeByzantineForAccounting) {
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(4, Duration::millis(10)));
+  builder.delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)));
+  builder.behavior_change(1, "mute", TimePoint(Duration::millis(500).ticks()));
+  builder.behavior_change(1, "honest", TimePoint(Duration::seconds(1).ticks()));
+  Cluster cluster(builder);
+  cluster.run_for(Duration::seconds(2));
+  EXPECT_TRUE(cluster.node(1).is_byzantine())
+      << "a repentant node deviated earlier; accounting stays sticky";
+  EXPECT_EQ(cluster.honest_ids().size(), 3U);
+}
+
 }  // namespace
 }  // namespace lumiere::runtime

@@ -148,6 +148,76 @@ TEST_F(FaultScheduleTest, ParkedMailToAStillDownNodeIsLostAtArrival) {
   EXPECT_EQ(log_[0].to, 1U);
 }
 
+TEST_F(FaultScheduleTest, AsymPartitionCutsOneDirectionOnly) {
+  build(std::make_shared<FixedDelay>(Duration(100)));
+  net_->set_asym_partition({0, 1}, {3});
+  EXPECT_TRUE(net_->asym_partition_active());
+  EXPECT_FALSE(net_->partition_active()) << "the layers are independent";
+
+  send(0, 3);  // cut direction: parks
+  send(1, 3);  // cut direction: parks
+  send(3, 0);  // reverse direction: flows
+  send(0, 2);  // uninvolved receiver: flows
+  sim_.run_until(TimePoint(1'000));
+  ASSERT_EQ(log_.size(), 2U);
+  EXPECT_EQ(log_[0].to, 0U);
+  EXPECT_EQ(log_[1].to, 2U);
+  EXPECT_EQ(net_->parked_count(), 2U);
+
+  // heal releases the parked one-way traffic like any partition.
+  net_->heal();
+  sim_.run_until_idle();
+  EXPECT_FALSE(net_->asym_partition_active());
+  ASSERT_EQ(log_.size(), 4U);
+  EXPECT_EQ(log_[2].at, TimePoint(1'000) + Duration(100));
+  EXPECT_EQ(log_[2].to, 3U);
+  EXPECT_EQ(log_[3].to, 3U);
+}
+
+TEST_F(FaultScheduleTest, AsymPartitionComposesWithSymmetricCut) {
+  build(std::make_shared<FixedDelay>(Duration(100)));
+  net_->set_partition({{0, 1}, {2, 3}});
+  net_->set_asym_partition({2}, {3});
+  send(2, 3);  // same symmetric side, but the one-way cut parks it
+  send(3, 2);  // reverse direction of the asym cut: flows
+  send(0, 2);  // symmetric cut: parks
+  sim_.run_until_idle();
+  ASSERT_EQ(log_.size(), 1U);
+  EXPECT_EQ(log_[0].to, 2U);
+  EXPECT_EQ(net_->parked_count(), 2U);
+  net_->heal();  // clears BOTH layers
+  sim_.run_until_idle();
+  EXPECT_FALSE(net_->partition_active());
+  EXPECT_FALSE(net_->asym_partition_active());
+  EXPECT_EQ(log_.size(), 3U);
+}
+
+TEST_F(FaultScheduleTest, NewAsymCutReplacesTheActiveOne) {
+  build(std::make_shared<FixedDelay>(Duration(100)));
+  net_->set_asym_partition({0}, {1});
+  net_->set_asym_partition({2}, {3});  // replaces 0 -> 1
+  send(0, 1);  // no longer cut
+  send(2, 3);  // cut by the replacement
+  sim_.run_until_idle();
+  ASSERT_EQ(log_.size(), 1U);
+  EXPECT_EQ(log_[0].to, 1U);
+  EXPECT_EQ(net_->parked_count(), 1U);
+}
+
+TEST_F(FaultScheduleTest, ApplyDispatchesAsymPartition) {
+  build(std::make_shared<FixedDelay>(Duration(100)));
+  FaultEvent cut;
+  cut.kind = FaultKind::kAsymPartition;
+  cut.groups = {{4}, {0, 1}};
+  net_->apply(cut);
+  EXPECT_TRUE(net_->asym_partition_active());
+  send(4, 0);
+  send(0, 4);
+  sim_.run_until_idle();
+  ASSERT_EQ(log_.size(), 1U);
+  EXPECT_EQ(log_[0].to, 4U);
+}
+
 TEST_F(FaultScheduleTest, DelayPolicySwapsMidRun) {
   build(std::make_shared<FixedDelay>(Duration(100)));
   send(0, 1);
@@ -224,6 +294,19 @@ TEST(FaultScheduleDescribeTest, DescribesEventsForTracesAndErrors) {
   link.node = 1;
   link.peer = 2;
   EXPECT_EQ(FaultSchedule::describe(link), "link-delay p1->p2 @5us");
+
+  FaultEvent asym;
+  asym.at = TimePoint(7);
+  asym.kind = FaultKind::kAsymPartition;
+  asym.groups = {{0, 1}, {2}};
+  EXPECT_EQ(FaultSchedule::describe(asym), "asym-partition{0 1->2} @7us");
+
+  FaultEvent flip;
+  flip.at = TimePoint(9);
+  flip.kind = FaultKind::kBehaviorChange;
+  flip.node = 3;
+  flip.behavior = "mute";
+  EXPECT_EQ(FaultSchedule::describe(flip), "behavior-change p3 -> mute @9us");
 }
 
 TEST(TopologyPresetTest, KnownPresetsResolveAndUnknownNamesExplain) {

@@ -1,0 +1,28 @@
+// GTest adapter for the shared correctness oracles (fuzz/oracles.h).
+//
+// The integration suites and the scenario fuzzer check the same
+// properties through the same library; tests wrap a verdict in
+// oracle_ok() so a violation prints its self-contained description:
+//
+//   EXPECT_TRUE(testutil::oracle_ok(fuzz::check_safety(cluster)));
+//   EXPECT_TRUE(testutil::oracle_ok(
+//       fuzz::check_decision_liveness(cluster, gst, Duration::seconds(60), 10)));
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "fuzz/oracles.h"
+
+namespace lumiere::testutil {
+
+/// Success when the oracle was satisfied; otherwise a failure carrying
+/// the oracle's violation description.
+inline ::testing::AssertionResult oracle_ok(const std::optional<std::string>& violation) {
+  if (!violation.has_value()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << *violation;
+}
+
+}  // namespace lumiere::testutil
