@@ -29,9 +29,14 @@ using runtime::ScenarioBuilder;
 /// Common bench flags. Every bench still runs argument-free; CI passes
 ///   --quick          bound the iteration count / sweep size
 ///   --json <path>    additionally write the measured rows as JSON
+///   --dissem={on,off}  ablate the data-dissemination layer (src/dissem/):
+///                    on = proposals order certified batch references,
+///                    off = legacy inline batches. Unset = each bench's
+///                    default (off, matching the historical numbers).
 struct BenchArgs {
   bool quick = false;
   std::string json_path;  ///< empty = no JSON artifact
+  std::optional<bool> dissem;
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
@@ -41,8 +46,14 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
       args.quick = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--dissem=on") == 0) {
+      args.dissem = true;
+    } else if (std::strcmp(argv[i], "--dissem=off") == 0) {
+      args.dissem = false;
     } else {
-      std::fprintf(stderr, "%s: unknown argument \"%s\" (supported: --quick, --json <path>)\n",
+      std::fprintf(stderr,
+                   "%s: unknown argument \"%s\" (supported: --quick, --json <path>, "
+                   "--dissem={on,off})\n",
                    argv[0], argv[i]);
     }
   }

@@ -49,12 +49,13 @@ workload::WorkloadSpec spec_for(double rate_per_client) {
 }
 
 WorkloadRow measure_sim(const std::string& pacemaker, double rate_per_client,
-                        Duration run_for) {
+                        Duration run_for, bool dissem) {
   ScenarioBuilder builder = base_scenario(pacemaker, kN, 7001);
   builder.params(ProtocolParams::for_n(kN, bench_delta_cap(), /*x=*/4));
   builder.core("chained-hotstuff");
   builder.delay(std::make_shared<lumiere::sim::FixedDelay>(Duration::micros(500)));
   builder.workload(spec_for(rate_per_client));
+  if (dissem) builder.dissemination();
   Cluster cluster(builder);
   cluster.run_for(run_for);
 
@@ -77,7 +78,7 @@ WorkloadRow measure_sim(const std::string& pacemaker, double rate_per_client,
 }
 
 WorkloadRow measure_tcp(const std::string& pacemaker, double rate_per_client,
-                        Duration run_for, std::uint16_t base_port) {
+                        Duration run_for, std::uint16_t base_port, bool dissem) {
   ScenarioBuilder builder;
   builder.params(ProtocolParams::for_n(kN, bench_delta_cap(), /*x=*/4))
       .pacemaker(pacemaker)
@@ -85,6 +86,7 @@ WorkloadRow measure_tcp(const std::string& pacemaker, double rate_per_client,
       .seed(7001)
       .workload(spec_for(rate_per_client))
       .transport_tcp(base_port);
+  if (dissem) builder.dissemination();
   Cluster cluster(builder);
   cluster.run_for(run_for);  // wall-clock: 1 simulated us = 1 us
 
@@ -113,6 +115,7 @@ void print_row(const WorkloadRow& row) {
 }
 
 void run(const BenchArgs& args) {
+  const bool dissem = args.dissem.value_or(false);
   const std::vector<std::string> protocols =
       args.quick ? std::vector<std::string>{"lumiere", "cogsworth"}
                  : table1_protocols();
@@ -133,11 +136,11 @@ void run(const BenchArgs& args) {
   std::vector<WorkloadRow> rows;
   for (const std::string& pacemaker : protocols) {
     for (const double rate : rates) {
-      rows.push_back(measure_sim(pacemaker, rate, sim_run));
+      rows.push_back(measure_sim(pacemaker, rate, sim_run, dissem));
       print_row(rows.back());
     }
     for (const double rate : rates) {
-      rows.push_back(measure_tcp(pacemaker, rate, tcp_run, next_port));
+      rows.push_back(measure_tcp(pacemaker, rate, tcp_run, next_port, dissem));
       next_port = static_cast<std::uint16_t>(next_port + kN);
       print_row(rows.back());
     }
@@ -161,6 +164,7 @@ void run(const BenchArgs& args) {
     json.add_row()
         .set("transport", row.transport)
         .set("protocol", row.pacemaker)
+        .set("dissem", dissem ? "on" : "off")
         .set("n", static_cast<std::uint64_t>(kN))
         .set("offered_rps", row.offered_rps)
         .set("committed_rps", row.committed_rps)
@@ -189,7 +193,10 @@ void run(const BenchArgs& args) {
 int main(int argc, char** argv) {
   const lumiere::bench::BenchArgs args = lumiere::bench::parse_bench_args(argc, argv);
   std::printf("bench_workload: client request throughput and latency vs arrival rate\n"
-              "(open-loop Poisson, n = 4, 2 clients/node, 64B requests, bounded mempools)\n");
+              "(open-loop Poisson, n = 4, 2 clients/node, 64B requests, bounded mempools,\n"
+              "dissemination %s)\n",
+              args.dissem.value_or(false) ? "on: proposals order certified batch references"
+                                          : "off: legacy inline batches");
   lumiere::bench::run(args);
   return 0;
 }

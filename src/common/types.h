@@ -29,14 +29,24 @@ using Epoch = std::int64_t;
 inline constexpr std::size_t kKappaBytes = 32;
 
 /// The role a message plays, used by the metrics layer to attribute
-/// communication cost to the pacemaker vs. the underlying protocol.
+/// communication cost to the pacemaker vs. the underlying protocol vs.
+/// the data-dissemination layer beneath it.
 enum class MsgClass : std::uint8_t {
   kPacemaker,  ///< view/epoch-view messages, VC/EC/TC dissemination
   kConsensus,  ///< proposals, votes, QC dissemination
+  kDissem,     ///< batch pushes, availability acks, batch certs, fetches
 };
 
 inline std::ostream& operator<<(std::ostream& os, MsgClass c) {
-  return os << (c == MsgClass::kPacemaker ? "pacemaker" : "consensus");
+  switch (c) {
+    case MsgClass::kPacemaker:
+      return os << "pacemaker";
+    case MsgClass::kConsensus:
+      return os << "consensus";
+    case MsgClass::kDissem:
+      return os << "dissem";
+  }
+  return os << "unknown";
 }
 
 }  // namespace lumiere

@@ -39,6 +39,12 @@ struct CoreCallbacks {
   std::function<void(const QuorumCert& qc)> qc_seen;
   /// SMR commit (chained HotStuff / HotStuff-2).
   std::function<void(const Block& block)> decided;
+  /// Vote gate over a proposal's payload. Null means every payload is
+  /// acceptable (the legacy inline-batch mode); with the dissemination
+  /// layer active it verifies that the payload is a well-formed list of
+  /// certified batch references, so a Byzantine leader proposing bogus
+  /// references collects no honest votes.
+  std::function<bool(const Block& block)> payload_ok;
   /// Runs `fn` after `delay` of real (simulated) time. Cores that need
   /// timers (HotStuff-2's Delta-wait before a non-responsive proposal)
   /// use this; may be null for cores that never schedule.

@@ -95,6 +95,7 @@ void HotStuff2::maybe_vote() {
   if (it == pending_proposals_.end()) return;
   const Block& block = it->second;
   if (!safe_to_vote(block)) return;
+  if (cb_.payload_ok && !cb_.payload_ok(block)) return;
   last_voted_view_ = block.view();
   const crypto::Digest statement = statements_.get(block.view(), block.hash());
   cb_.send(hooks_.leader_of(block.view()),

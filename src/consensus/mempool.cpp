@@ -106,6 +106,46 @@ std::vector<std::uint8_t> Mempool::next_batch(View view) {
   return payload;
 }
 
+std::uint64_t Mempool::lease_batch(std::vector<std::uint8_t>& payload) {
+  payload.clear();
+  std::vector<std::vector<std::uint8_t>> drained = drain_batch(payload);
+  if (drained.empty()) return 0;
+  in_flight_count_ += drained.size();
+  const std::uint64_t token = ++next_token_;
+  auto& slot = token_leases_[token];
+  slot.reserve(drained.size());
+  for (auto& cmd : drained) {
+    const crypto::Digest digest =
+        crypto::Sha256::hash(std::span<const std::uint8_t>(cmd.data(), cmd.size()));
+    slot.push_back(LeasedCommand{digest, std::move(cmd)});
+  }
+  maybe_signal_space();
+  return token;
+}
+
+void Mempool::ack_batch(std::uint64_t token) {
+  const auto it = token_leases_.find(token);
+  if (it == token_leases_.end()) return;
+  acked_ += it->second.size();
+  in_flight_count_ -= it->second.size();
+  for (const LeasedCommand& leased : it->second) live_.erase(leased.digest);
+  token_leases_.erase(it);
+  maybe_signal_space();
+}
+
+void Mempool::requeue_batch(std::uint64_t token) {
+  const auto it = token_leases_.find(token);
+  if (it == token_leases_.end()) return;
+  requeued_ += it->second.size();
+  in_flight_count_ -= it->second.size();
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    pending_bytes_ += rit->command.size();
+    queue_.push_front(std::move(rit->command));
+  }
+  token_leases_.erase(it);
+  maybe_signal_space();
+}
+
 void Mempool::on_commit(View view, const std::vector<std::uint8_t>& payload) {
   if (leases_.empty()) return;
   // Ack: a leased command can only ever appear in the block of the view
@@ -164,9 +204,9 @@ void Mempool::maybe_signal_space() {
 }
 
 std::vector<std::vector<std::uint8_t>> Mempool::split_batch(
-    const std::vector<std::uint8_t>& payload) {
+    std::span<const std::uint8_t> payload) {
   std::vector<std::vector<std::uint8_t>> out;
-  ser::Reader r(std::span<const std::uint8_t>(payload.data(), payload.size()));
+  ser::Reader r(payload);
   std::vector<std::uint8_t> cmd;
   while (!r.exhausted() && r.bytes(cmd)) {
     out.push_back(cmd);

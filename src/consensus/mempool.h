@@ -14,6 +14,7 @@
 #include <limits>
 #include <map>
 #include <set>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -88,9 +89,22 @@ class Mempool {
   /// committed view can never commit.
   void on_commit(View view, const std::vector<std::uint8_t>& payload);
 
+  /// Token-keyed lease for the dissemination layer: drains the next batch
+  /// into `payload` and returns an opaque token (0 when nothing pending).
+  /// Certification and ordering of disseminated batches are not
+  /// view-monotone, so the view-keyed requeue logic above cannot apply;
+  /// a token lease stays out until it is explicitly acked (the batch was
+  /// ordered and delivered) or requeued.
+  [[nodiscard]] std::uint64_t lease_batch(std::vector<std::uint8_t>& payload);
+  /// Acks a token lease: its commands committed exactly once.
+  void ack_batch(std::uint64_t token);
+  /// Returns a token lease's commands to the queue front (admitted
+  /// commands bypass the capacity check).
+  void requeue_batch(std::uint64_t token);
+
   /// Splits a payload built by next_batch back into commands.
   [[nodiscard]] static std::vector<std::vector<std::uint8_t>> split_batch(
-      const std::vector<std::uint8_t>& payload);
+      std::span<const std::uint8_t> payload);
 
   /// Invoked whenever capacity frees up after an add() was rejected with
   /// kFull — the backpressure release edge closed-loop clients wait on.
@@ -137,6 +151,9 @@ class Mempool {
   /// Leased batches by proposing view (a view can lease at most once per
   /// proposal, but the map tolerates several).
   std::map<View, std::vector<LeasedCommand>> leases_;
+  /// Token-keyed leases (dissemination path); tokens are never reused.
+  std::map<std::uint64_t, std::vector<LeasedCommand>> token_leases_;
+  std::uint64_t next_token_ = 0;
   std::size_t in_flight_count_ = 0;
   std::function<void()> space_available_;
   bool starving_ = false;  ///< an add() bounced with kFull since the last signal

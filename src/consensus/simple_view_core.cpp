@@ -49,6 +49,7 @@ void SimpleViewCore::maybe_vote(View v) {
   const auto it = proposals_.find(v);
   if (it == proposals_.end()) return;
   const Block& block = it->second;
+  if (cb_.payload_ok && !cb_.payload_ok(block)) return;
   last_voted_view_ = v;
   const crypto::Digest statement = statements_.get(v, block.hash());
   cb_.send(hooks_.leader_of(v),

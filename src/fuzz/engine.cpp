@@ -127,6 +127,8 @@ std::vector<std::vector<std::size_t>> event_episodes(const FuzzCase& c) {
 FuzzCase apply_deltas(const FuzzCase& base, const CaseDeltas& deltas) {
   FuzzCase c = base;
   if (deltas.drop_workload) c.workload = WorkloadChoice{};
+  // Dissemination rides on the workload: dropping either switches it off.
+  if (deltas.drop_dissem || deltas.drop_workload) c.dissem = false;
 
   std::vector<bool> drop_event(c.schedule.events.size(), false);
   for (const std::size_t index : deltas.drop_events) {
@@ -260,6 +262,17 @@ ShrinkResult shrink(std::uint64_t seed,
   bool changed = true;
   while (changed && result.attempts < max_attempts) {
     changed = false;
+    // Dissemination first: a failure that survives without the dissem
+    // layer is a plain consensus/workload bug, and the smaller repro
+    // should say so before the workload itself is attacked.
+    if (base.dissem && !deltas.drop_dissem && !deltas.drop_workload) {
+      CaseDeltas candidate = deltas;
+      candidate.drop_dissem = true;
+      if (fails_with(candidate)) {
+        deltas = candidate;
+        changed = true;
+      }
+    }
     if (base.workload.clients > 0 && !deltas.drop_workload) {
       CaseDeltas candidate = deltas;
       candidate.drop_workload = true;
@@ -325,6 +338,7 @@ std::string repro_line(std::uint64_t seed, const CaseDeltas& deltas) {
   list("--drop-behaviors", deltas.drop_behaviors);
   if (deltas.n != 0) out << " --n " << deltas.n;
   if (deltas.drop_workload) out << " --no-workload";
+  if (deltas.drop_dissem) out << " --no-dissem";
   return out.str();
 }
 

@@ -58,9 +58,12 @@ struct CaseDeltas {
   std::uint32_t n = 0;
   /// Disable the sampled client workload.
   bool drop_workload = false;
+  /// Disable the sampled dissemination layer (keeping the workload).
+  bool drop_dissem = false;
 
   [[nodiscard]] bool empty() const {
-    return drop_events.empty() && drop_behaviors.empty() && n == 0 && !drop_workload;
+    return drop_events.empty() && drop_behaviors.empty() && n == 0 && !drop_workload &&
+           !drop_dissem;
   }
 };
 

@@ -301,6 +301,9 @@ FuzzCase sample_case(std::uint64_t seed) {
   sample_network(s);
   sample_faults_and_behaviors(s);
   sample_workload(s);
+  // Sampled last so earlier seeds' draw sequences (and thus their
+  // replayed cases) are unchanged by the dissemination dimension.
+  if (c.workload.clients > 0) c.dissem = s.rng.next_bool(0.5);
   return c;
 }
 
@@ -339,6 +342,7 @@ runtime::ScenarioBuilder to_builder(const FuzzCase& c) {
     spec.request_bytes = c.workload.request_bytes;
     spec.stop = TimePoint(c.disruption_end_us);
     builder.workload(spec);
+    if (c.dissem) builder.dissemination();
   }
 
   // Replay the schedule through the builder API. Leave/rejoin pairs are
@@ -406,6 +410,7 @@ std::string describe(const FuzzCase& c) {
   if (c.workload.clients > 0) {
     out << " workload=" << workload::to_string(c.workload.arrival) << "x" << c.workload.clients;
   }
+  out << " dissem=" << (c.dissem ? "on" : "off");
   out << " behaviors=[";
   for (std::size_t i = 0; i < c.behaviors.size(); ++i) {
     if (i > 0) out << ", ";

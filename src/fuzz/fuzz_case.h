@@ -65,6 +65,9 @@ struct FuzzCase {
   /// kBehaviorChange compositions).
   sim::FaultSchedule schedule;
   WorkloadChoice workload;
+  /// Run the data-dissemination layer (src/dissem/): proposals order
+  /// certified batch references. Only sampled when a workload is on.
+  bool dissem = false;
 
   /// Every partition is healed and every crashed processor recovered by
   /// this instant; the liveness oracle's window starts here.

@@ -1,11 +1,13 @@
 #include "fuzz/oracles.h"
 
 #include <map>
+#include <set>
 #include <sstream>
 #include <utility>
 #include <vector>
 
 #include "consensus/mempool.h"
+#include "dissem/batch.h"
 #include "runtime/cluster.h"
 #include "workload/request.h"
 
@@ -80,24 +82,59 @@ std::optional<std::string> check_commit_liveness(const runtime::Cluster& cluster
 }
 
 std::optional<std::string> check_exactly_once(const runtime::Cluster& cluster) {
-  // (1) No honest ledger carries the same tagged request twice — the
+  // (1) No honest node delivers the same tagged request twice — the
   // mempool's duplicate suppression and view-leased batches must hold
-  // under every composition of faults.
+  // under every composition of faults. With dissemination, a ledger
+  // entry carries certified references: each BatchId delivers once per
+  // node (re-ordering the same reference in a later block is legal and
+  // deduplicated), its bytes resolved through the node's disseminator —
+  // an unresolved committed reference at run end is itself a violation.
   for (const ProcessId id : cluster.honest_ids()) {
     std::map<std::pair<std::uint32_t, std::uint64_t>, std::size_t> seen;
+    std::set<dissem::BatchId> delivered;
     std::size_t block_index = 0;
     for (const auto& entry : cluster.node(id).ledger().entries()) {
-      for (const auto& command : consensus::Mempool::split_batch(entry.payload)) {
-        const auto request = workload::Request::decode(command);
-        if (!request) continue;  // not a tagged workload request
-        const auto key = std::make_pair(request->client, request->seq);
-        const auto [it, inserted] = seen.emplace(key, block_index);
-        if (!inserted) {
+      std::vector<std::span<const std::uint8_t>> batches;
+      const auto payload_span =
+          std::span<const std::uint8_t>(entry.payload.data(), entry.payload.size());
+      if (dissem::is_refs_payload(payload_span)) {
+        const auto refs = dissem::decode_refs(payload_span);
+        if (!refs) {
           std::ostringstream out;
-          out << "exactly-once: node " << id << " committed request (client "
-              << request->client << ", seq " << request->seq << ") twice (blocks "
-              << it->second << " and " << block_index << ")";
+          out << "exactly-once: node " << id << " committed a malformed refs payload (block "
+              << block_index << ")";
           return out.str();
+        }
+        const dissem::Disseminator* engine = cluster.node(id).disseminator();
+        for (const dissem::BatchCert& cert : *refs) {
+          if (!delivered.insert(cert.id()).second) continue;  // delivers once
+          const std::vector<std::uint8_t>* bytes =
+              engine == nullptr ? nullptr : engine->payload_of(cert.id());
+          if (bytes == nullptr) {
+            std::ostringstream out;
+            out << "exactly-once: node " << id << " committed a batch reference (origin "
+                << cert.id().origin << ", seq " << cert.id().seq
+                << ") it never resolved (block " << block_index << ")";
+            return out.str();
+          }
+          batches.emplace_back(bytes->data(), bytes->size());
+        }
+      } else {
+        batches.push_back(payload_span);
+      }
+      for (const auto& batch : batches) {
+        for (const auto& command : consensus::Mempool::split_batch(batch)) {
+          const auto request = workload::Request::decode(command);
+          if (!request) continue;  // not a tagged workload request
+          const auto key = std::make_pair(request->client, request->seq);
+          const auto [it, inserted] = seen.emplace(key, block_index);
+          if (!inserted) {
+            std::ostringstream out;
+            out << "exactly-once: node " << id << " committed request (client "
+                << request->client << ", seq " << request->seq << ") twice (blocks "
+                << it->second << " and " << block_index << ")";
+            return out.str();
+          }
         }
       }
       ++block_index;

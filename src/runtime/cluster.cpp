@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "consensus/messages.h"
+#include "dissem/messages.h"
 #include "pacemaker/messages.h"
 
 namespace lumiere::runtime {
@@ -43,14 +44,36 @@ Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
   }
 }
 
-NodeConfig Cluster::config_for(ProcessId id) const {
+NodeConfig Cluster::config_for(ProcessId id, bool feed_metrics) const {
   const NodeSpec& spec = scenario_.nodes[id];
   NodeConfig config;
   config.protocol = spec.protocol;
   config.join_time = spec.join_time;
   config.clock_drift_ppm = spec.clock_drift_ppm;
   config.payload_provider = spec.payload_provider;
-  if (workloads_[id] != nullptr) {
+  if (workloads_[id] != nullptr && scenario_.dissem.has_value()) {
+    // Dissemination interposes between mempool and consensus: batches
+    // lease to the disseminator (which certifies availability and hands
+    // consensus fixed-size references) and committed references deliver
+    // back into the workload's client accounting.
+    workload::NodeWorkload* w = workloads_[id].get();
+    config.dissem = scenario_.dissem;
+    config.dissem_hooks.lease_batch = [w](std::vector<std::uint8_t>& payload) {
+      return w->lease_dissem_batch(payload);
+    };
+    config.dissem_hooks.ack_batch = [w](std::uint64_t token) { w->ack_dissem_batch(token); };
+    config.dissem_hooks.deliver = [w](TimePoint at, const std::vector<std::uint8_t>& payload) {
+      w->on_dissem_delivery(at, payload);
+    };
+    if (feed_metrics) {
+      config.dissem_hooks.on_batch_certified = [this](TimePoint at, Duration latency) {
+        metrics_->record_batch_certified(at, latency);
+      };
+      config.dissem_hooks.on_certified_depth = [this, id](TimePoint at, std::size_t depth) {
+        metrics_->record_certified_depth(at, id, depth);
+      };
+    }
+  } else if (workloads_[id] != nullptr) {
     // The workload engine supplies the proposals: leased batches from the
     // node's bounded mempool, fed by this node's client drivers.
     config.payload_provider = [w = workloads_[id].get()](View v) { return w->make_batch(v); };
@@ -90,7 +113,10 @@ void Cluster::build_sim_cluster(std::vector<std::unique_ptr<adversary::Behavior>
   };
   observers.on_commit = [this](TimePoint at, const consensus::Block& block, ProcessId node) {
     trace_.record(at, sim::TraceKind::kCommitted, node, block.view());
-    if (workloads_[node] != nullptr) {
+    // With dissemination on, the Node's commit path routes the payload
+    // through its disseminator, which invokes the workload `deliver`
+    // hook itself — feeding on_commit here too would double-count.
+    if (workloads_[node] != nullptr && !scenario_.dissem.has_value()) {
       workloads_[node]->on_commit(at, block.view(), block.payload());
     }
   };
@@ -100,8 +126,8 @@ void Cluster::build_sim_cluster(std::vector<std::unique_ptr<adversary::Behavior>
   for (ProcessId id = 0; id < n; ++id) build_workload(id, &sim_, /*feed_metrics=*/true);
   for (ProcessId id = 0; id < n; ++id) {
     nodes_.push_back(std::make_unique<Node>(scenario_.params, id, &sim_, network_.get(),
-                                            pki_.get(), config_for(id), observers,
-                                            std::move(behaviors[id])));
+                                            pki_.get(), config_for(id, /*feed_metrics=*/true),
+                                            observers, std::move(behaviors[id])));
   }
   schedule_faults_sim();
 }
@@ -216,6 +242,7 @@ void Cluster::build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>
     MessageCodec codec;
     consensus::register_consensus_messages(codec);
     pacemaker::register_pacemaker_messages(codec);
+    dissem::register_dissem_messages(codec);
     node_sims_.push_back(std::make_unique<sim::Simulator>());
     adapters_.push_back(std::make_unique<transport::TcpTransportAdapter>(
         id, n, scenario_.tcp_base_port, std::move(codec)));
@@ -228,14 +255,14 @@ void Cluster::build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>
     // instrumentation. Per-node state (ledger, views, workload recorders)
     // remains inspectable after run_for joins the threads.
     NodeObservers observers;
-    if (workloads_[id] != nullptr) {
+    if (workloads_[id] != nullptr && !scenario_.dissem.has_value()) {
       observers.on_commit = [this, id](TimePoint at, const consensus::Block& block, ProcessId) {
         workloads_[id]->on_commit(at, block.view(), block.payload());
       };
     }
-    nodes_.push_back(std::make_unique<Node>(scenario_.params, id, node_sims_.back().get(),
-                                            adapters_.back().get(), pki_.get(), config_for(id),
-                                            std::move(observers), std::move(behaviors[id])));
+    nodes_.push_back(std::make_unique<Node>(
+        scenario_.params, id, node_sims_.back().get(), adapters_.back().get(), pki_.get(),
+        config_for(id, /*feed_metrics=*/false), std::move(observers), std::move(behaviors[id])));
     drivers_.push_back(std::make_unique<transport::RealtimeDriver>(
         node_sims_.back().get(), &adapters_.back()->endpoint()));
   }

@@ -105,7 +105,11 @@ class Cluster {
   /// transitions on every node's private simulator (TCP transport).
   void schedule_faults_tcp();
   void apply_fault_tcp(ProcessId id, const sim::FaultEvent& event);
-  [[nodiscard]] NodeConfig config_for(ProcessId id) const;
+  /// Resolves node `id`'s NodeConfig, including the dissemination layer's
+  /// mempool/delivery hooks when the scenario enables it. `feed_metrics`
+  /// additionally wires the disseminator's cert-latency / certified-depth
+  /// samples into the shared MetricsCollector — sim transport only.
+  [[nodiscard]] NodeConfig config_for(ProcessId id, bool feed_metrics) const;
   /// Instantiates node `id`'s workload engine on `sim` (the shared
   /// simulator, or the node's private one on TCP). `feed_metrics` wires
   /// the engine into the shared MetricsCollector — sim transport only.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/stats.h"
+#include "dissem/messages.h"
 
 namespace lumiere::runtime {
 
@@ -10,10 +11,19 @@ void MetricsCollector::charge_sends(TimePoint at, const Message& msg, std::uint6
   total_msgs_ += copies;
   total_bytes_ += copies * msg.wire_size();
   by_type_[msg.type_id()] += copies;
-  if (msg.msg_class() == MsgClass::kPacemaker) {
-    pacemaker_msgs_ += copies;
-  } else {
-    consensus_msgs_ += copies;
+  switch (msg.msg_class()) {
+    case MsgClass::kPacemaker:
+      pacemaker_msgs_ += copies;
+      break;
+    case MsgClass::kDissem:
+      dissem_msgs_ += copies;
+      dissem_bytes_ += copies * msg.wire_size();
+      if (msg.type_id() == dissem::kBatchAck) batch_acks_ += copies;
+      dissem_send_log_.emplace_back(at, dissem_bytes_);
+      break;
+    case MsgClass::kConsensus:
+      consensus_msgs_ += copies;
+      break;
   }
   // One checkpoint carrying the post-charge total: copies of a broadcast
   // share one instant, so msgs_between() reads identically to per-copy
@@ -133,6 +143,50 @@ std::optional<Duration> MetricsCollector::request_latency_percentile_between(
     if (at >= from && at < to) samples.push_back(latency);
   }
   return nearest_rank_percentile(std::move(samples), p);
+}
+
+void MetricsCollector::record_batch_certified(TimePoint at, Duration latency) {
+  cert_log_.emplace_back(at, latency);
+}
+
+void MetricsCollector::record_certified_depth(TimePoint at, ProcessId node, std::size_t depth) {
+  certified_depth_log_.push_back(QueueDepthSample{at, node, depth});
+  max_certified_depth_ = std::max(max_certified_depth_, depth);
+}
+
+std::uint64_t MetricsCollector::batches_certified_between(TimePoint from, TimePoint to) const {
+  // Certification callbacks fire in simulated-time order; the log sorts.
+  const auto lo = std::lower_bound(
+      cert_log_.begin(), cert_log_.end(), from,
+      [](const std::pair<TimePoint, Duration>& e, TimePoint t) { return e.first < t; });
+  const auto hi = std::lower_bound(
+      cert_log_.begin(), cert_log_.end(), to,
+      [](const std::pair<TimePoint, Duration>& e, TimePoint t) { return e.first < t; });
+  return static_cast<std::uint64_t>(hi - lo);
+}
+
+std::optional<Duration> MetricsCollector::batch_cert_latency_percentile(double p) const {
+  return batch_cert_latency_percentile_between(p, TimePoint::origin(), TimePoint::max());
+}
+
+std::optional<Duration> MetricsCollector::batch_cert_latency_percentile_between(
+    double p, TimePoint from, TimePoint to) const {
+  std::vector<Duration> samples;
+  for (const auto& [at, latency] : cert_log_) {
+    if (at >= from && at < to) samples.push_back(latency);
+  }
+  return nearest_rank_percentile(std::move(samples), p);
+}
+
+std::uint64_t MetricsCollector::dissem_bytes_between(TimePoint from, TimePoint to) const {
+  const auto count_until = [this](TimePoint t) -> std::uint64_t {
+    const auto it = std::lower_bound(
+        dissem_send_log_.begin(), dissem_send_log_.end(), t,
+        [](const std::pair<TimePoint, std::uint64_t>& e, TimePoint tp) { return e.first < tp; });
+    if (it == dissem_send_log_.begin()) return 0;
+    return std::prev(it)->second;
+  };
+  return count_until(to) - count_until(from);
 }
 
 std::uint64_t MetricsCollector::msgs_between(TimePoint from, TimePoint to) const {

@@ -60,6 +60,13 @@ class MetricsCollector final : public sim::NetworkObserver {
   }
   [[nodiscard]] std::uint64_t pacemaker_msgs() const noexcept { return pacemaker_msgs_; }
   [[nodiscard]] std::uint64_t consensus_msgs() const noexcept { return consensus_msgs_; }
+  [[nodiscard]] std::uint64_t dissem_msgs() const noexcept { return dissem_msgs_; }
+  [[nodiscard]] std::uint64_t dissem_bytes() const noexcept { return dissem_bytes_; }
+  /// Honest availability acks sent (BatchAck copies).
+  [[nodiscard]] std::uint64_t batch_acks() const noexcept { return batch_acks_; }
+  /// Honest dissemination-layer bytes sent in [from, to) — attributable
+  /// per regime window like msgs_between.
+  [[nodiscard]] std::uint64_t dissem_bytes_between(TimePoint from, TimePoint to) const;
 
   // -- derived measures ----------------------------------------------------
   /// Decisions at or after `from` (index into decisions()).
@@ -140,6 +147,31 @@ class MetricsCollector final : public sim::NetworkObserver {
     return queue_depth_log_;
   }
 
+  // -- data dissemination --------------------------------------------------
+  // Batch-availability accounting (src/dissem/), fed by the Cluster on
+  // the sim transport: proof-of-availability latency at each origin plus
+  // the certified-but-unordered backlog alongside queue_depth_log.
+
+  /// A batch gathered its availability cert at `at`, `latency` after its
+  /// first push.
+  void record_batch_certified(TimePoint at, Duration latency);
+  /// One node's certified-but-unordered reference depth sample.
+  void record_certified_depth(TimePoint at, ProcessId node, std::size_t depth);
+
+  [[nodiscard]] std::uint64_t batches_certified() const noexcept { return cert_log_.size(); }
+  /// Certified batches with `from <= at < to`.
+  [[nodiscard]] std::uint64_t batches_certified_between(TimePoint from, TimePoint to) const;
+  /// Nearest-rank push -> cert latency percentile, p in (0, 1]; nullopt
+  /// when no batch certified (in the window).
+  [[nodiscard]] std::optional<Duration> batch_cert_latency_percentile(double p) const;
+  [[nodiscard]] std::optional<Duration> batch_cert_latency_percentile_between(
+      double p, TimePoint from, TimePoint to) const;
+  /// (instant, node, certified-unordered depth) samples, in time order.
+  [[nodiscard]] const std::vector<QueueDepthSample>& certified_depth_log() const noexcept {
+    return certified_depth_log_;
+  }
+  [[nodiscard]] std::size_t max_certified_depth() const noexcept { return max_certified_depth_; }
+
  private:
   /// The shared accounting body of on_send / on_broadcast: charges
   /// `copies` identical sends of `msg` at `at`.
@@ -151,6 +183,9 @@ class MetricsCollector final : public sim::NetworkObserver {
   std::uint64_t total_bytes_ = 0;
   std::uint64_t pacemaker_msgs_ = 0;
   std::uint64_t consensus_msgs_ = 0;
+  std::uint64_t dissem_msgs_ = 0;
+  std::uint64_t dissem_bytes_ = 0;
+  std::uint64_t batch_acks_ = 0;
   std::map<std::uint32_t, std::uint64_t> by_type_;
   std::vector<Decision> decisions_;
   /// (time, cumulative count) checkpoints for msgs_between; one entry per
@@ -161,6 +196,12 @@ class MetricsCollector final : public sim::NetworkObserver {
   std::vector<std::pair<TimePoint, Duration>> request_log_;
   std::vector<QueueDepthSample> queue_depth_log_;
   std::size_t max_queue_depth_ = 0;
+  /// (time, cumulative dissemination bytes) checkpoints, one per charge.
+  std::vector<std::pair<TimePoint, std::uint64_t>> dissem_send_log_;
+  /// (cert instant, push -> cert latency) per certified batch.
+  std::vector<std::pair<TimePoint, Duration>> cert_log_;
+  std::vector<QueueDepthSample> certified_depth_log_;
+  std::size_t max_certified_depth_ = 0;
 };
 
 }  // namespace lumiere::runtime

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "consensus/messages.h"
+
 namespace lumiere::runtime {
 
 Node::Node(const ProtocolParams& params, ProcessId id, sim::Simulator* sim,
@@ -22,6 +24,7 @@ Node::Node(const ProtocolParams& params, ProcessId id, sim::Simulator* sim,
   ever_byzantine_ = std::strcmp(behavior_->name(), "honest") != 0;
   clock_ = std::make_unique<sim::LocalClock>(sim_, config.join_time, config.clock_drift_ppm);
   build_pacemaker(config);
+  build_dissem(config);
   build_core(config);
 }
 
@@ -66,6 +69,23 @@ void Node::build_pacemaker(const NodeConfig& config) {
       PacemakerContext{params_, id_, signer_, std::move(wiring), config.protocol});
 }
 
+void Node::build_dissem(const NodeConfig& config) {
+  if (!config.dissem.has_value()) return;
+  // Harness hooks (mempool lease/ack, delivery, metrics) come from the
+  // config; the transport-facing quartet is this node's own plumbing so
+  // dissemination traffic obeys the same Behavior filter and simulated
+  // clock as consensus traffic.
+  dissem::DisseminatorCallbacks cb = config.dissem_hooks;
+  cb.send = [this](ProcessId to, MessagePtr msg) { outbound(to, std::move(msg)); };
+  cb.broadcast = [this](MessagePtr msg) { outbound_broadcast(msg); };
+  cb.schedule = [this](Duration delay, std::function<void()> fn) {
+    sim_->schedule_after(delay, std::move(fn));
+  };
+  cb.now = [this] { return sim_->now(); };
+  dissem_ = std::make_unique<dissem::Disseminator>(params_, pki_, signer_, *config.dissem,
+                                                   std::move(cb));
+}
+
 void Node::build_core(const NodeConfig& config) {
   consensus::CoreCallbacks callbacks;
   callbacks.send = [this](ProcessId to, MessagePtr msg) { outbound(to, std::move(msg)); };
@@ -77,11 +97,27 @@ void Node::build_core(const NodeConfig& config) {
   callbacks.qc_seen = [this](const consensus::QuorumCert& qc) { pacemaker_->on_qc(qc); };
   callbacks.decided = [this](const consensus::Block& block) {
     ledger_.commit(block, sim_->now());
+    // Resolve committed references into delivered batches (the dissem
+    // layer invokes the harness `deliver` hook, exactly once per batch).
+    if (dissem_) {
+      dissem_->on_committed_payload(
+          std::span<const std::uint8_t>(block.payload().data(), block.payload().size()));
+    }
     if (observers_.on_commit) observers_.on_commit(sim_->now(), block, id_);
   };
   callbacks.schedule = [this](Duration delay, std::function<void()> fn) {
     sim_->schedule_after(delay, std::move(fn));
   };
+
+  PayloadProvider provider = config.payload_provider;
+  if (dissem_) {
+    // Proposals order certified references, not payload bytes.
+    provider = [this](View v) { return dissem_->make_proposal_payload(v); };
+    callbacks.payload_ok = [this](const consensus::Block& block) {
+      return dissem_->refs_payload_ok(
+          std::span<const std::uint8_t>(block.payload().data(), block.payload().size()));
+    };
+  }
 
   consensus::PacemakerHooks hooks;
   hooks.leader_of = [this](View v) { return pacemaker_->leader_of(v); };
@@ -91,7 +127,7 @@ void Node::build_core(const NodeConfig& config) {
   core_ = ProtocolRegistry::instance().make_core(
       config.protocol.core,
       CoreContext{params_, id_, pki_, signer_, std::move(callbacks), std::move(hooks),
-                  config.payload_provider, config.protocol});
+                  std::move(provider), config.protocol});
 }
 
 void Node::start() {
@@ -104,6 +140,7 @@ void Node::start() {
   sim_->schedule_at(join_time_, [this] {
     protocol_running_ = true;
     pacemaker_->start();
+    if (dissem_) dissem_->start();
     for (auto& [from, msg] : pre_join_inbox_) route_inbound(from, msg);
     pre_join_inbox_.clear();
   });
@@ -115,7 +152,16 @@ void Node::route_inbound(ProcessId from, const MessagePtr& msg) {
     return;
   }
   if (msg->msg_class() == MsgClass::kConsensus) {
+    // Every received proposal's references are in flight somewhere: note
+    // them so this node's own next proposal doesn't re-order duplicates
+    // (a reinsert timer restores any reference whose proposal dies).
+    if (dissem_ && msg->type_id() == consensus::kProposal) {
+      const auto& payload = static_cast<const consensus::ProposalMsg&>(*msg).block().payload();
+      dissem_->on_refs_proposed(std::span<const std::uint8_t>(payload.data(), payload.size()));
+    }
     core_->on_message(from, msg);
+  } else if (msg->msg_class() == MsgClass::kDissem) {
+    if (dissem_) dissem_->on_message(from, msg);
   } else {
     pacemaker_->on_message(from, msg);
   }

@@ -18,11 +18,14 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "adversary/behaviors.h"
 #include "common/params.h"
 #include "consensus/core.h"
 #include "consensus/ledger.h"
+#include "dissem/disseminator.h"
+#include "dissem/spec.h"
 #include "pacemaker/pacemaker.h"
 #include "runtime/registry.h"
 #include "sim/local_clock.h"
@@ -40,8 +43,17 @@ struct NodeConfig {
   /// paper's bounded-drift remark); 0 = perfect rate.
   std::int64_t clock_drift_ppm = 0;
   /// Block payload source consulted when this node proposes (the client
-  /// workload); null = empty payloads.
+  /// workload); null = empty payloads. Ignored when `dissem` is set — the
+  /// disseminator becomes the payload source (certified references).
   PayloadProvider payload_provider;
+  /// Data-dissemination layer: when set, the node runs a Disseminator
+  /// wired between its mempool (via `dissem_hooks`) and its consensus
+  /// core (payload provider, vote gate, commit resolution).
+  std::optional<dissem::DissemSpec> dissem;
+  /// Harness-side disseminator callbacks (lease_batch/ack_batch/deliver
+  /// plus optional metrics hooks). The transport-side callbacks (send,
+  /// broadcast, schedule, now) are filled in by the Node itself.
+  dissem::DisseminatorCallbacks dissem_hooks;
 };
 
 /// Events the node reports to the harness (metrics, tests).
@@ -90,9 +102,16 @@ class Node {
   [[nodiscard]] View current_view() const { return pacemaker_->current_view(); }
   /// The registry names this node was built from.
   [[nodiscard]] const ProtocolConfig& protocol() const noexcept { return protocol_; }
+  /// The node's dissemination engine; nullptr unless NodeConfig::dissem
+  /// was set.
+  [[nodiscard]] const dissem::Disseminator* disseminator() const noexcept {
+    return dissem_.get();
+  }
+  [[nodiscard]] dissem::Disseminator* disseminator() noexcept { return dissem_.get(); }
 
  private:
   void build_pacemaker(const NodeConfig& config);
+  void build_dissem(const NodeConfig& config);
   void build_core(const NodeConfig& config);
   void route_inbound(ProcessId from, const MessagePtr& msg);
   void outbound(ProcessId to, MessagePtr msg);
@@ -112,6 +131,7 @@ class Node {
 
   std::unique_ptr<sim::LocalClock> clock_;
   std::unique_ptr<pacemaker::Pacemaker> pacemaker_;
+  std::unique_ptr<dissem::Disseminator> dissem_;
   std::unique_ptr<consensus::ConsensusCore> core_;
   consensus::Ledger ledger_;
   bool ever_byzantine_ = false;

@@ -134,6 +134,11 @@ ScenarioBuilder& ScenarioBuilder::workload(workload::WorkloadSpec spec) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::dissemination(dissem::DissemSpec spec) {
+  dissem_ = spec;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::behaviors(adversary::BehaviorFactory factory) {
   behavior_for_ = std::move(factory);
   return *this;
@@ -383,6 +388,34 @@ std::vector<std::string> ScenarioBuilder::validate() const {
         "workload: a WorkloadSpec and a raw PayloadProvider are mutually exclusive at the "
         "cluster level (per-node payload overrides still win over the cluster workload)");
   }
+  if (dissem_) {
+    if (!workload_spec_) {
+      errors.push_back(
+          "dissemination: requires the client-driven workload (WorkloadSpec form) — batches "
+          "to certify come from the per-node mempools");
+    }
+    if (workload_) {
+      errors.push_back(
+          "dissemination: incompatible with a raw PayloadProvider (proposals must carry "
+          "certified batch references, not arbitrary bytes)");
+    }
+    if (dissem_->push_interval <= Duration::zero() ||
+        dissem_->retry_interval <= Duration::zero() ||
+        dissem_->reinsert_timeout <= Duration::zero()) {
+      errors.push_back("dissemination: push/retry/reinsert intervals must be positive");
+    }
+    if (dissem_->max_refs_per_proposal == 0 || dissem_->max_batches_per_tick == 0 ||
+        dissem_->max_uncertified == 0) {
+      errors.push_back("dissemination: max_refs_per_proposal, max_batches_per_tick and "
+                       "max_uncertified must be >= 1");
+    }
+    for (const auto& [id, tweak] : tweaks_) {
+      if (tweak.payload_) {
+        errors.push_back("node " + std::to_string(id) +
+                         ": a raw payload override is incompatible with dissemination");
+      }
+    }
+  }
   if (workload_spec_) check_workload("defaults", *workload_spec_, protocol_.core);
   for (const auto& [id, tweak] : tweaks_) {
     if (id >= params_.n) continue;  // reported above
@@ -606,6 +639,7 @@ Scenario ScenarioBuilder::scenario() const {
   scenario.tcp_base_port = tcp_base_port_;
   scenario.schedule = schedule_;
   scenario.topology = topology_;
+  scenario.dissem = dissem_;
   if (!topology_.empty()) {
     scenario.delay = sim::make_topology_delay(topology_, params_.n);
   }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "adversary/behaviors.h"
+#include "dissem/spec.h"
 #include "runtime/registry.h"
 #include "sim/delay_policy.h"
 #include "sim/fault_schedule.h"
@@ -89,6 +90,13 @@ struct Scenario {
   /// for display.
   std::string topology;
 
+  /// Data-dissemination layer (src/dissem/): when set, every workload
+  /// node runs a Disseminator and proposals order certified batch
+  /// references instead of inline payloads. Requires the client-driven
+  /// workload. Absent = legacy inline batches (the default; all goldens
+  /// pin this mode).
+  std::optional<dissem::DissemSpec> dissem;
+
   std::vector<NodeSpec> nodes;
 };
 
@@ -142,6 +150,11 @@ class ScenarioBuilder {
   /// and end-to-end latency accounting on every node. Mutually exclusive
   /// with the raw PayloadProvider form above.
   ScenarioBuilder& workload(workload::WorkloadSpec spec);
+  /// Enables the data-dissemination layer (src/dissem/): batches stream
+  /// and certify beneath consensus, proposals carry (batch_id, cert)
+  /// references, committed references resolve (fetch-on-miss) before
+  /// delivery. Requires the client-driven workload form above.
+  ScenarioBuilder& dissemination(dissem::DissemSpec spec = {});
   /// Behavior assignment; default all-honest.
   ScenarioBuilder& behaviors(adversary::BehaviorFactory factory);
 
@@ -229,6 +242,7 @@ class ScenarioBuilder {
   adversary::BehaviorFactory behavior_for_;
   PayloadProvider workload_;
   std::optional<workload::WorkloadSpec> workload_spec_;
+  std::optional<dissem::DissemSpec> dissem_;
   TransportKind transport_ = TransportKind::kSim;
   std::uint16_t tcp_base_port_ = 0;
   std::map<ProcessId, NodeTweak> tweaks_;

@@ -185,6 +185,24 @@ std::vector<std::uint8_t> NodeWorkload::make_batch(View view) {
 void NodeWorkload::on_commit(TimePoint at, View view,
                              const std::vector<std::uint8_t>& payload) {
   mempool_.on_commit(view, payload);
+  account_commands(at, payload);
+}
+
+std::uint64_t NodeWorkload::lease_dissem_batch(std::vector<std::uint8_t>& payload) {
+  const std::size_t depth = mempool_.pending();
+  stats_.queue_depth.emplace_back(sim_->now(), depth);
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
+  if (hooks_.on_queue_depth) hooks_.on_queue_depth(sim_->now(), depth);
+  return mempool_.lease_batch(payload);
+}
+
+void NodeWorkload::ack_dissem_batch(std::uint64_t token) { mempool_.ack_batch(token); }
+
+void NodeWorkload::on_dissem_delivery(TimePoint at, const std::vector<std::uint8_t>& payload) {
+  account_commands(at, payload);
+}
+
+void NodeWorkload::account_commands(TimePoint at, const std::vector<std::uint8_t>& payload) {
   for (const auto& command : consensus::Mempool::split_batch(payload)) {
     const auto request =
         Request::decode(std::span<const std::uint8_t>(command.data(), command.size()));

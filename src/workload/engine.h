@@ -114,6 +114,21 @@ class NodeWorkload {
   /// close the latency loop for our own requests inside the payload.
   void on_commit(TimePoint at, View view, const std::vector<std::uint8_t>& payload);
 
+  // ---- dissemination-layer wiring (runtime::Cluster, dissem on) -------
+  // Under dissemination the mempool's consumer is the disseminator, not
+  // the proposer: batches lease by token (certification/ordering is not
+  // view-monotone), and committed payloads arrive via delivery instead of
+  // this node's own commit observation.
+
+  /// Leases the next mempool batch into `payload`, sampling the queue
+  /// depth; returns the lease token (0 = nothing pending).
+  [[nodiscard]] std::uint64_t lease_dissem_batch(std::vector<std::uint8_t>& payload);
+  /// A leased batch was ordered and delivered: release its requests.
+  void ack_dissem_batch(std::uint64_t token);
+  /// A committed batch's bytes (ours or another origin's): close the
+  /// latency loop for our own requests inside it.
+  void on_dissem_delivery(TimePoint at, const std::vector<std::uint8_t>& payload);
+
   [[nodiscard]] const WorkloadSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] ProcessId node() const noexcept { return node_; }
   [[nodiscard]] consensus::Mempool& mempool() noexcept { return mempool_; }
@@ -131,6 +146,9 @@ class NodeWorkload {
 
   void record_generated(const std::vector<std::uint8_t>& request);
   void record_admitted(std::uint32_t client, std::uint64_t seq, TimePoint at);
+  /// The commit-side accounting shared by on_commit and
+  /// on_dissem_delivery: latency close-out for own requests in `payload`.
+  void account_commands(TimePoint at, const std::vector<std::uint8_t>& payload);
   void note_starved();
   /// The mempool's space-available edge: schedules one deferred retry
   /// round across all drivers.

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "consensus/messages.h"
+#include "dissem/messages.h"
 #include "pacemaker/messages.h"
 
 namespace lumiere {
@@ -51,6 +52,7 @@ TEST(WireDriftTest, EveryRegisteredTypeMatchesItsModeledSizePlusDeclaredFold) {
   MessageCodec codec;
   consensus::register_consensus_messages(codec);
   pacemaker::register_pacemaker_messages(codec);
+  dissem::register_dissem_messages(codec);
 
   const crypto::Digest block_hash = crypto::Sha256::hash("drift-block");
   const crypto::Digest qc_statement = consensus::QuorumCert::statement(5, block_hash);
@@ -101,6 +103,22 @@ TEST(WireDriftTest, EveryRegisteredTypeMatchesItsModeledSizePlusDeclaredFold) {
   add(std::make_shared<pacemaker::WishCertMsg>(
           cert_of(&pacemaker::wish_statement, 9, kSmallQuorum)),
       signer_set_bytes(kSmallQuorum));
+
+  // Dissemination (0x4000 range): the push is the only payload-bearing
+  // message (its model already counts the payload bytes, so only the
+  // length prefix folds); ack/fetch are exact; the cert's O(kappa)
+  // envelope covers its statement and tag, folding just the signer set.
+  const dissem::BatchId batch_id{
+      2, 7, crypto::Sha256::hash(std::span<const std::uint8_t>(payload.data(), payload.size()))};
+  const dissem::BatchCert batch_cert(
+      batch_id, make_aggregate(pki, kSmallQuorum, dissem::batch_statement(batch_id)));
+  add(std::make_shared<dissem::BatchPushMsg>(batch_id, payload), /*payload length prefix*/ 4);
+  add(std::make_shared<dissem::BatchAckMsg>(
+          batch_id, crypto::threshold_share(pki.signer_for(0),
+                                            dissem::batch_statement(batch_id))),
+      0);
+  add(std::make_shared<dissem::BatchCertMsg>(batch_cert), signer_set_bytes(kSmallQuorum));
+  add(std::make_shared<dissem::BatchFetchMsg>(batch_id), 0);
 
   for (const std::uint32_t type_id : codec.registered_types()) {
     const auto it = exemplars.find(type_id);

@@ -15,7 +15,8 @@ namespace {
 using runtime::Cluster;
 using runtime::ScenarioBuilder;
 
-ScenarioBuilder workload_options(std::uint64_t seed, bool with_partition) {
+ScenarioBuilder workload_options(std::uint64_t seed, bool with_partition,
+                                 bool with_dissem = false) {
   WorkloadSpec spec;
   spec.arrival = Arrival::kPoisson;  // exercises the per-client rng streams
   spec.clients_per_node = 2;
@@ -28,6 +29,7 @@ ScenarioBuilder workload_options(std::uint64_t seed, bool with_partition) {
   builder.seed(seed);
   builder.delay(std::make_shared<sim::FixedDelay>(Duration::micros(500)));
   builder.workload(spec);
+  if (with_dissem) builder.dissemination();
   if (with_partition) {
     builder.partition({{0, 1}, {2, 3}}, TimePoint(Duration::seconds(2).ticks()));
     builder.heal(TimePoint(Duration::seconds(4).ticks()));
@@ -73,6 +75,14 @@ void expect_identical_runs(const ScenarioBuilder& options) {
 
 TEST(WorkloadDeterminismTest, IdenticalRunsByteForByte) {
   expect_identical_runs(workload_options(808, /*with_partition=*/false));
+}
+
+TEST(WorkloadDeterminismTest, IdenticalRunsWithDissemination) {
+  // The dissemination layer adds push/ack/cert/fetch traffic and its own
+  // timers; the runs must still replay byte for byte — refs payloads,
+  // ledgers and request streams included.
+  expect_identical_runs(
+      workload_options(810, /*with_partition=*/true, /*with_dissem=*/true));
 }
 
 TEST(WorkloadDeterminismTest, IdenticalRunsUnderScriptedPartition) {
@@ -144,6 +154,51 @@ crypto::Digest golden_fold_digest() {
 TEST(WorkloadDeterminismTest, GoldenLedgersSurviveRefactors) {
   EXPECT_EQ(golden_fold_digest().hex(),
             "2a1b9d02b926f706f51905544c71134cab00fcbbf2336b5caaf809f129b78a4e");
+}
+
+// Dissemination-enabled golden: same fold, lumiere + chained-hotstuff
+// with the dissemination layer on — the ledgers now carry refs payloads
+// (magic + certified batch references), so this digest additionally pins
+// cert encoding, cert aggregation order and the disseminator's timer
+// interleaving. Captured when the layer landed; a change here means the
+// dissemination substrate's observable behavior moved.
+constexpr const char* kGoldenDissemHex =
+    "5902a29bb83da889ad6b7e9aed5cf19d306b36cc91baae74de1ee29e86bd6d76";
+
+crypto::Digest golden_dissem_fold_digest() {
+  WorkloadSpec spec;
+  spec.arrival = Arrival::kConstant;
+  spec.clients_per_node = 2;
+  spec.rate_per_client = 120.0;
+  spec.mempool.max_pending_count = 64;
+  ScenarioBuilder builder;
+  builder.params(ProtocolParams::for_n(4, Duration::millis(10), /*x=*/4));
+  builder.pacemaker("lumiere");
+  builder.core("chained-hotstuff");
+  builder.seed(20260730);
+  builder.delay(std::make_shared<sim::FixedDelay>(Duration::micros(500)));
+  builder.workload(spec);
+  builder.dissemination();
+  builder.partition({{0, 1}, {2, 3}}, TimePoint(Duration::seconds(2).ticks()));
+  builder.heal(TimePoint(Duration::seconds(4).ticks()));
+  Cluster cluster(builder);
+  cluster.run_for(Duration::seconds(6));
+  crypto::Sha256 fold;
+  for (ProcessId id = 0; id < 4; ++id) {
+    fold.update(cluster.node_workload(id)->trace_digest().as_span());
+    for (const auto& entry : cluster.node(id).ledger().entries()) {
+      ser::Writer w;
+      w.view(entry.view);
+      w.digest(entry.hash);
+      w.bytes(std::span<const std::uint8_t>(entry.payload.data(), entry.payload.size()));
+      fold.update(std::span<const std::uint8_t>(w.data().data(), w.size()));
+    }
+  }
+  return fold.finish();
+}
+
+TEST(WorkloadDeterminismTest, GoldenDissemLedgersSurviveRefactors) {
+  EXPECT_EQ(golden_dissem_fold_digest().hex(), kGoldenDissemHex);
 }
 
 TEST(WorkloadDeterminismTest, DifferentSeedsDiverge) {

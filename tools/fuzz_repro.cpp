@@ -39,7 +39,7 @@ std::vector<std::size_t> parse_index_list(const std::string& arg) {
 
 int usage() {
   std::cerr << "usage: fuzz_repro --seed N [--drop-events i,j] [--drop-behaviors k]\n"
-               "                  [--n M] [--no-workload] [--shrink]\n";
+               "                  [--n M] [--no-workload] [--no-dissem] [--shrink]\n";
   return 2;
 }
 
@@ -71,6 +71,8 @@ int main(int argc, char** argv) {
       deltas.n = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 0));
     } else if (arg == "--no-workload") {
       deltas.drop_workload = true;
+    } else if (arg == "--no-dissem") {
+      deltas.drop_dissem = true;
     } else if (arg == "--shrink") {
       do_shrink = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -86,6 +88,8 @@ int main(int argc, char** argv) {
   const FuzzCase base = lumiere::fuzz::sample_case(seed);
   const FuzzCase replayed = deltas.empty() ? base : lumiere::fuzz::apply_deltas(base, deltas);
   std::cout << "case:   " << lumiere::fuzz::describe(replayed) << "\n";
+  std::cout << "dissem: " << (replayed.dissem ? "enabled" : "disabled")
+            << " (data-dissemination layer; --no-dissem is a shrink dimension)\n";
 
   const RunResult result = lumiere::fuzz::run_case(replayed);
   std::cout << "digest: " << result.digest.hex() << "\n";
