@@ -4,9 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "consensus/quorum_cert.h"
-#include "crypto/hmac.h"
 #include "crypto/sha256.h"
-#include "crypto/threshold.h"
+#include "crypto/authenticator.h"
 #include "pacemaker/messages.h"
 #include "ser/serializer.h"
 #include "sim/event_queue.h"
@@ -25,27 +24,27 @@ void BM_Sha256(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
 
-void BM_HmacSign(benchmark::State& state) {
-  crypto::Pki pki(4, 1);
-  const auto signer = pki.signer_for(0);
+void BM_DefaultSchemeSign(benchmark::State& state) {
+  const auto auth = crypto::make_authenticator(crypto::kDefaultScheme, 4, 1);
+  const auto signer = auth->signer_for(0);
   const auto digest = crypto::Sha256::hash("message");
   for (auto _ : state) {
     benchmark::DoNotOptimize(signer.sign(digest));
   }
 }
-BENCHMARK(BM_HmacSign);
+BENCHMARK(BM_DefaultSchemeSign);
 
 void BM_ThresholdAggregate(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const std::uint32_t m = 2 * ((n - 1) / 3) + 1;
-  crypto::Pki pki(n, 1);
+  const auto auth = crypto::make_authenticator(crypto::kDefaultScheme, n, 1);
   const auto digest = crypto::Sha256::hash("statement");
   std::vector<crypto::PartialSig> shares;
   for (ProcessId id = 0; id < m; ++id) {
-    shares.push_back(crypto::threshold_share(pki.signer_for(id), digest));
+    shares.push_back(crypto::threshold_share(auth->signer_for(id), digest));
   }
   for (auto _ : state) {
-    crypto::ThresholdAggregator agg(&pki, digest, m, n);
+    crypto::QuorumAggregator agg(crypto::AuthView(auth.get()), digest, m);
     for (const auto& share : shares) agg.add(share);
     benchmark::DoNotOptimize(agg.aggregate());
   }
@@ -55,15 +54,15 @@ BENCHMARK(BM_ThresholdAggregate)->Arg(4)->Arg(16)->Arg(64);
 void BM_ThresholdVerify(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const std::uint32_t m = 2 * ((n - 1) / 3) + 1;
-  crypto::Pki pki(n, 1);
+  const auto auth = crypto::make_authenticator(crypto::kDefaultScheme, n, 1);
   const auto digest = crypto::Sha256::hash("statement");
-  crypto::ThresholdAggregator agg(&pki, digest, m, n);
+  crypto::QuorumAggregator agg(crypto::AuthView(auth.get()), digest, m);
   for (ProcessId id = 0; id < m; ++id) {
-    agg.add(crypto::threshold_share(pki.signer_for(id), digest));
+    agg.add(crypto::threshold_share(auth->signer_for(id), digest));
   }
   const auto sig = agg.aggregate();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(crypto::verify_threshold(pki, sig, m));
+    benchmark::DoNotOptimize(crypto::AuthView(auth.get()).verify_aggregate(sig, m));
   }
 }
 BENCHMARK(BM_ThresholdVerify)->Arg(4)->Arg(16)->Arg(64);
@@ -73,16 +72,16 @@ void BM_QcVerify(benchmark::State& state) {
   // 2f+1 share-MAC checks. The baseline the memo competes against.
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const ProtocolParams params = ProtocolParams::for_n(n, Duration::millis(10));
-  crypto::Pki pki(n, 1);
+  const auto auth = crypto::make_authenticator(crypto::kDefaultScheme, n, 1);
   const auto hash = crypto::Sha256::hash("block");
   const auto statement = consensus::QuorumCert::statement(7, hash);
-  crypto::ThresholdAggregator agg(&pki, statement, params.quorum(), n);
+  crypto::QuorumAggregator agg(crypto::AuthView(auth.get()), statement, params.quorum());
   for (ProcessId id = 0; id < params.quorum(); ++id) {
-    agg.add(crypto::threshold_share(pki.signer_for(id), statement));
+    agg.add(crypto::threshold_share(auth->signer_for(id), statement));
   }
   const consensus::QuorumCert qc(7, hash, agg.aggregate());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(qc.verify(pki, params));
+    benchmark::DoNotOptimize(qc.verify(crypto::AuthView(auth.get()), params));
   }
 }
 BENCHMARK(BM_QcVerify)->Arg(4)->Arg(16)->Arg(64);
@@ -92,18 +91,18 @@ void BM_QcVerifyCached(benchmark::State& state) {
   // SHA-256, independent of the quorum size.
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const ProtocolParams params = ProtocolParams::for_n(n, Duration::millis(10));
-  crypto::Pki pki(n, 1);
+  const auto auth = crypto::make_authenticator(crypto::kDefaultScheme, n, 1);
   const auto hash = crypto::Sha256::hash("block");
   const auto statement = consensus::QuorumCert::statement(7, hash);
-  crypto::ThresholdAggregator agg(&pki, statement, params.quorum(), n);
+  crypto::QuorumAggregator agg(crypto::AuthView(auth.get()), statement, params.quorum());
   for (ProcessId id = 0; id < params.quorum(); ++id) {
-    agg.add(crypto::threshold_share(pki.signer_for(id), statement));
+    agg.add(crypto::threshold_share(auth->signer_for(id), statement));
   }
   const consensus::QuorumCert qc(7, hash, agg.aggregate());
   consensus::QcVerifyCache cache;
-  benchmark::DoNotOptimize(qc.verify(pki, params, &cache));  // warm the memo
+  benchmark::DoNotOptimize(qc.verify(crypto::AuthView(auth.get()), params, &cache));  // warm the memo
   for (auto _ : state) {
-    benchmark::DoNotOptimize(qc.verify(pki, params, &cache));
+    benchmark::DoNotOptimize(qc.verify(crypto::AuthView(auth.get()), params, &cache));
   }
 }
 BENCHMARK(BM_QcVerifyCached)->Arg(4)->Arg(16)->Arg(64);
@@ -135,9 +134,9 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
 BENCHMARK(BM_EventQueueScheduleAndPop);
 
 void BM_MessageRoundTrip(benchmark::State& state) {
-  crypto::Pki pki(4, 1);
+  const auto auth = crypto::make_authenticator(crypto::kDefaultScheme, 4, 1);
   const pacemaker::ViewMsg msg(
-      42, crypto::threshold_share(pki.signer_for(0), pacemaker::view_msg_statement(42)));
+      42, crypto::threshold_share(auth->signer_for(0), pacemaker::view_msg_statement(42)));
   MessageCodec codec;
   pacemaker::register_pacemaker_messages(codec);
   for (auto _ : state) {
@@ -155,9 +154,9 @@ void BM_NetworkBroadcast(benchmark::State& state) {
   for (ProcessId id = 0; id < n; ++id) {
     network.register_endpoint(id, [](ProcessId, const MessagePtr&) {});
   }
-  crypto::Pki pki(n, 1);
+  const auto auth = crypto::make_authenticator(crypto::kDefaultScheme, n, 1);
   const auto msg = std::make_shared<pacemaker::ViewMsg>(
-      1, crypto::threshold_share(pki.signer_for(0), pacemaker::view_msg_statement(1)));
+      1, crypto::threshold_share(auth->signer_for(0), pacemaker::view_msg_statement(1)));
   for (auto _ : state) {
     network.broadcast(0, msg);
     sim.run_until_idle();

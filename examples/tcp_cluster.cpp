@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "consensus/messages.h"
-#include "crypto/pki.h"
+#include "crypto/authenticator.h"
 #include "pacemaker/certificates.h"
 #include "pacemaker/messages.h"
 #include "transport/tcp_transport.h"
@@ -19,7 +19,9 @@ using namespace lumiere;
 int main() {
   constexpr std::uint32_t kN = 4;
   constexpr std::uint16_t kBasePort = 24240;
-  const crypto::Pki pki(kN, 42);
+  const auto auth_owner = crypto::make_authenticator(crypto::kDefaultScheme, kN, 42);
+  const crypto::Authenticator& auth = *auth_owner;
+  const crypto::AuthView auth_view(&auth);
   const ProtocolParams params = ProtocolParams::for_n(kN, Duration::millis(10));
 
   MessageCodec codec;
@@ -27,15 +29,15 @@ int main() {
   pacemaker::register_pacemaker_messages(codec);
 
   // Leader state for processor 0 (the leader of view 0 in this demo).
-  crypto::ThresholdAggregator view_agg(&pki, pacemaker::view_msg_statement(0),
-                                       params.small_quorum(), kN);
+  crypto::QuorumAggregator view_agg(auth_view, pacemaker::view_msg_statement(0),
+                                    params.small_quorum());
   std::map<ProcessId, std::uint64_t> received_counts;
   bool vc_broadcast = false;
   bool qc_formed = false;
 
   std::vector<std::unique_ptr<transport::TcpEndpoint>> endpoints;
   std::vector<crypto::Digest> proposal_hash(kN);
-  std::unique_ptr<crypto::ThresholdAggregator> vote_agg;
+  std::unique_ptr<crypto::QuorumAggregator> vote_agg;
 
   for (ProcessId id = 0; id < kN; ++id) {
     endpoints.push_back(std::make_unique<transport::TcpEndpoint>(
@@ -68,16 +70,16 @@ int main() {
                   consensus::QuorumCert::statement(0, proposal.block().hash());
               endpoints[id]->send(
                   0, consensus::VoteMsg(0, proposal.block().hash(),
-                                        crypto::threshold_share(pki.signer_for(id), statement)));
+                                        crypto::threshold_share(auth.signer_for(id), statement)));
               break;
             }
             case consensus::kVote: {
               if (id != 0) break;
               const auto& vote = static_cast<const consensus::VoteMsg&>(*msg);
               if (!vote_agg) {
-                vote_agg = std::make_unique<crypto::ThresholdAggregator>(
-                    &pki, consensus::QuorumCert::statement(0, vote.block_hash()),
-                    params.quorum(), kN);
+                vote_agg = std::make_unique<crypto::QuorumAggregator>(
+                    auth_view, consensus::QuorumCert::statement(0, vote.block_hash()),
+                    params.quorum());
               }
               vote_agg->add(vote.share());
               if (vote_agg->complete() && !qc_formed) {
@@ -91,7 +93,7 @@ int main() {
             }
             case consensus::kQcAnnounce: {
               const auto& qc_msg = static_cast<const consensus::QcMsg&>(*msg);
-              const bool valid = qc_msg.qc().verify(pki, params);
+              const bool valid = qc_msg.qc().verify(auth_view, params);
               std::printf("p%u: received QC for view 0 from p%u — verify: %s\n", id, from,
                           valid ? "ok" : "FAILED");
               break;
@@ -108,7 +110,7 @@ int main() {
   // Every processor "enters view 0" and sends its view message to lead(0).
   for (ProcessId id = 0; id < kN; ++id) {
     endpoints[id]->send(0, pacemaker::ViewMsg(0, crypto::threshold_share(
-                                                     pki.signer_for(id),
+                                                     auth.signer_for(id),
                                                      pacemaker::view_msg_statement(0))));
   }
 

@@ -20,7 +20,7 @@
 #include "common/time.h"
 #include "common/types.h"
 #include "consensus/quorum_cert.h"
-#include "crypto/pki.h"
+#include "crypto/authenticator.h"
 #include "ser/message.h"
 
 namespace lumiere::adversary {
@@ -29,7 +29,7 @@ namespace lumiere::adversary {
 struct Toolkit {
   ProcessId self = kNoProcess;
   const ProtocolParams* params = nullptr;
-  const crypto::Pki* pki = nullptr;
+  crypto::AuthView auth;
   const crypto::Signer* signer = nullptr;
   std::function<ProcessId(View)> leader_of;
   std::function<const consensus::QuorumCert&()> high_qc;

@@ -4,11 +4,11 @@
 
 namespace lumiere::consensus {
 
-ChainedHotStuff::ChainedHotStuff(const ProtocolParams& params, const crypto::Pki* pki,
+ChainedHotStuff::ChainedHotStuff(const ProtocolParams& params, crypto::AuthView auth,
                                  crypto::Signer signer, CoreCallbacks callbacks,
                                  PacemakerHooks hooks, PayloadProvider payload_provider)
     : params_(params),
-      pki_(pki),
+      auth_(auth),
       signer_(signer),
       cb_(std::move(callbacks)),
       hooks_(std::move(hooks)),
@@ -16,7 +16,7 @@ ChainedHotStuff::ChainedHotStuff(const ProtocolParams& params, const crypto::Pki
       high_qc_(QuorumCert::genesis(Block::genesis().hash())),
       locked_qc_(high_qc_),
       last_committed_hash_(Block::genesis().hash()) {
-  LUMIERE_ASSERT(pki != nullptr);
+  LUMIERE_ASSERT(auth);
   params_.validate();
 }
 
@@ -35,7 +35,7 @@ void ChainedHotStuff::handle_new_view(ProcessId from, const NewViewMsg& msg) {
   const View v = msg.view();
   if (hooks_.leader_of(v) != signer_.id()) return;
   if (v < cur_view_) return;  // stale
-  if (msg.high_qc().verify(*pki_, params_, &verified_)) {
+  if (msg.high_qc().verify(auth_, params_, &verified_)) {
     process_qc(msg.high_qc());
   }
   auto [it, inserted] = new_view_senders_.try_emplace(v, SignerSet(params_.n));
@@ -94,7 +94,7 @@ void ChainedHotStuff::handle_proposal(ProcessId from, const ProposalMsg& msg) {
   // block, so blocks at or under it are dead weight — and dropping them
   // bounds what a past leader can stuff into the store.
   if (v <= last_committed_view_) return;
-  if (!block.justify().verify(*pki_, params_, &verified_)) return;
+  if (!block.justify().verify(auth_, params_, &verified_)) return;
   // Store even when the view has passed: commit_chain refuses to commit
   // across a missing ancestor, so a verified block that arrives late
   // (real networks reorder across senders) must still enter the store or
@@ -118,7 +118,7 @@ void ChainedHotStuff::handle_vote(ProcessId /*from*/, const VoteMsg& msg) {
   const auto proposed = my_proposal_hash_.find(v);
   if (proposed == my_proposal_hash_.end() || proposed->second != msg.block_hash()) return;
   auto [it, inserted] = aggregators_.try_emplace(
-      v, pki_, statements_.get(v, msg.block_hash()), params_.quorum(), params_.n);
+      v, auth_, statements_.get(v, msg.block_hash()), params_.quorum());
   (void)inserted;
   if (!it->second.add(msg.share())) return;
   if (!it->second.complete()) return;
@@ -135,7 +135,7 @@ void ChainedHotStuff::handle_vote(ProcessId /*from*/, const VoteMsg& msg) {
 }
 
 void ChainedHotStuff::handle_qc_msg(const QcMsg& msg) {
-  if (!msg.qc().verify(*pki_, params_, &verified_)) return;
+  if (!msg.qc().verify(auth_, params_, &verified_)) return;
   process_qc(msg.qc());
 }
 

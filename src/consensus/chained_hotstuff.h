@@ -24,8 +24,7 @@
 #include "consensus/block.h"
 #include "consensus/core.h"
 #include "consensus/messages.h"
-#include "crypto/pki.h"
-#include "crypto/threshold.h"
+#include "crypto/authenticator.h"
 
 namespace lumiere::consensus {
 
@@ -33,7 +32,7 @@ class ChainedHotStuff final : public ConsensusCore {
  public:
   using PayloadProvider = std::function<std::vector<std::uint8_t>(View)>;
 
-  ChainedHotStuff(const ProtocolParams& params, const crypto::Pki* pki, crypto::Signer signer,
+  ChainedHotStuff(const ProtocolParams& params, crypto::AuthView auth, crypto::Signer signer,
                   CoreCallbacks callbacks, PacemakerHooks hooks,
                   PayloadProvider payload_provider = nullptr);
 
@@ -62,7 +61,7 @@ class ChainedHotStuff final : public ConsensusCore {
   [[nodiscard]] bool safe_to_vote(const Block& block) const;
 
   ProtocolParams params_;
-  const crypto::Pki* pki_;
+  crypto::AuthView auth_;
   crypto::Signer signer_;
   CoreCallbacks cb_;
   PacemakerHooks hooks_;
@@ -84,7 +83,7 @@ class ChainedHotStuff final : public ConsensusCore {
   std::set<View> stale_stored_;
   std::set<View> proposed_;
   std::map<View, crypto::Digest> my_proposal_hash_;
-  std::map<View, crypto::ThresholdAggregator> aggregators_;
+  std::map<View, crypto::QuorumAggregator> aggregators_;
   std::set<View> closed_views_;
   std::map<View, Block> pending_proposals_;
   std::set<View> seen_qc_views_;

@@ -4,11 +4,11 @@
 
 namespace lumiere::consensus {
 
-HotStuff2::HotStuff2(const ProtocolParams& params, const crypto::Pki* pki, crypto::Signer signer,
+HotStuff2::HotStuff2(const ProtocolParams& params, crypto::AuthView auth, crypto::Signer signer,
                      CoreCallbacks callbacks, PacemakerHooks hooks,
                      PayloadProvider payload_provider)
     : params_(params),
-      pki_(pki),
+      auth_(auth),
       signer_(signer),
       cb_(std::move(callbacks)),
       hooks_(std::move(hooks)),
@@ -16,7 +16,7 @@ HotStuff2::HotStuff2(const ProtocolParams& params, const crypto::Pki* pki, crypt
       high_qc_(QuorumCert::genesis(Block::genesis().hash())),
       locked_qc_(high_qc_),
       last_committed_hash_(Block::genesis().hash()) {
-  LUMIERE_ASSERT(pki != nullptr);
+  LUMIERE_ASSERT(auth);
   params_.validate();
 }
 
@@ -45,7 +45,7 @@ void HotStuff2::handle_new_view(ProcessId from, const NewViewMsg& msg) {
   if (hooks_.leader_of(v) != signer_.id()) return;
   if (v < cur_view_) return;  // stale
   (void)from;
-  if (msg.high_qc().verify(*pki_, params_, &verified_)) {
+  if (msg.high_qc().verify(auth_, params_, &verified_)) {
     process_qc(msg.high_qc());
     maybe_propose();
   }
@@ -111,7 +111,7 @@ void HotStuff2::handle_proposal(ProcessId from, const ProposalMsg& msg) {
   // block, so blocks at or under it are dead weight — and dropping them
   // bounds what a past leader can stuff into the store.
   if (v <= last_committed_view_) return;
-  if (!block.justify().verify(*pki_, params_, &verified_)) return;
+  if (!block.justify().verify(auth_, params_, &verified_)) return;
   // Store even when the view has passed: the commit walk refuses to cross
   // a missing ancestor, so a verified block that arrives late (real
   // networks reorder across senders) must still enter the store or this
@@ -135,7 +135,7 @@ void HotStuff2::handle_vote(ProcessId /*from*/, const VoteMsg& msg) {
   const auto proposed = my_proposal_hash_.find(v);
   if (proposed == my_proposal_hash_.end() || proposed->second != msg.block_hash()) return;
   auto [it, inserted] = aggregators_.try_emplace(
-      v, pki_, statements_.get(v, msg.block_hash()), params_.quorum(), params_.n);
+      v, auth_, statements_.get(v, msg.block_hash()), params_.quorum());
   (void)inserted;
   if (!it->second.add(msg.share())) return;
   if (!it->second.complete()) return;
@@ -152,7 +152,7 @@ void HotStuff2::handle_vote(ProcessId /*from*/, const VoteMsg& msg) {
 }
 
 void HotStuff2::handle_qc_msg(const QcMsg& msg) {
-  if (!msg.qc().verify(*pki_, params_, &verified_)) return;
+  if (!msg.qc().verify(auth_, params_, &verified_)) return;
   process_qc(msg.qc());
   // The QC may have just unlocked the responsive path for a view this
   // node already entered (QC(v-1) arriving after the view change).

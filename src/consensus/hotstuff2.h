@@ -38,8 +38,7 @@
 #include "consensus/block.h"
 #include "consensus/core.h"
 #include "consensus/messages.h"
-#include "crypto/pki.h"
-#include "crypto/threshold.h"
+#include "crypto/authenticator.h"
 
 namespace lumiere::consensus {
 
@@ -47,7 +46,7 @@ class HotStuff2 final : public ConsensusCore {
  public:
   using PayloadProvider = std::function<std::vector<std::uint8_t>(View)>;
 
-  HotStuff2(const ProtocolParams& params, const crypto::Pki* pki, crypto::Signer signer,
+  HotStuff2(const ProtocolParams& params, crypto::AuthView auth, crypto::Signer signer,
             CoreCallbacks callbacks, PacemakerHooks hooks,
             PayloadProvider payload_provider = nullptr);
 
@@ -81,7 +80,7 @@ class HotStuff2 final : public ConsensusCore {
   [[nodiscard]] bool safe_to_vote(const Block& block) const;
 
   ProtocolParams params_;
-  const crypto::Pki* pki_;
+  crypto::AuthView auth_;
   crypto::Signer signer_;
   CoreCallbacks cb_;
   PacemakerHooks hooks_;
@@ -102,7 +101,7 @@ class HotStuff2 final : public ConsensusCore {
   std::set<View> stale_stored_;
   std::set<View> proposed_;
   std::map<View, crypto::Digest> my_proposal_hash_;
-  std::map<View, crypto::ThresholdAggregator> aggregators_;
+  std::map<View, crypto::QuorumAggregator> aggregators_;
   std::set<View> closed_views_;
   std::map<View, Block> pending_proposals_;
   std::set<View> seen_qc_views_;

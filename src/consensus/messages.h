@@ -32,9 +32,12 @@ class ProposalMsg final : public Message {
   std::size_t wire_size() const override {
     // parent digest + view + payload + justify QC envelope.
     return crypto::Digest::kSize + 8 + block_.payload().size() +
-           crypto::ThresholdSig::wire_size();
+           block_.justify().sig().wire_size();
   }
   void serialize(ser::Writer& w) const override { block_.serialize(w); }
+  void collect_auth(AuthClaimSink& sink) const override {
+    if (!block_.justify().is_genesis()) sink.aggregate(block_.justify().sig());
+  }
   static MessagePtr deserialize(ser::Reader& r) {
     auto block = Block::deserialize(r);
     if (!block) return nullptr;
@@ -60,19 +63,21 @@ class VoteMsg final : public Message {
   const char* type_name() const override { return "vote"; }
   MsgClass msg_class() const override { return MsgClass::kConsensus; }
   std::size_t wire_size() const override {
-    return 8 + crypto::Digest::kSize + crypto::PartialSig::wire_size();
+    return 8 + crypto::Digest::kSize + share_.wire_size();
   }
   void serialize(ser::Writer& w) const override {
     w.view(view_);
     w.digest(block_hash_);
-    w.process(share_.signer);
-    w.digest(share_.mac);
+    w.partial_sig(share_);
+  }
+  void collect_auth(AuthClaimSink& sink) const override {
+    sink.share(QuorumCert::statement(view_, block_hash_), share_);
   }
   static MessagePtr deserialize(ser::Reader& r) {
     View view = -1;
     crypto::Digest hash;
     crypto::PartialSig share;
-    if (!r.view(view) || !r.digest(hash) || !r.process(share.signer) || !r.digest(share.mac)) {
+    if (!r.view(view) || !r.digest(hash) || !r.partial_sig(share)) {
       return nullptr;
     }
     return std::make_shared<VoteMsg>(view, hash, share);
@@ -95,8 +100,11 @@ class QcMsg final : public Message {
   std::uint32_t type_id() const override { return kQcAnnounce; }
   const char* type_name() const override { return "qc"; }
   MsgClass msg_class() const override { return MsgClass::kConsensus; }
-  std::size_t wire_size() const override { return 8 + crypto::ThresholdSig::wire_size(); }
+  std::size_t wire_size() const override { return 8 + qc_.sig().wire_size(); }
   void serialize(ser::Writer& w) const override { qc_.serialize(w); }
+  void collect_auth(AuthClaimSink& sink) const override {
+    if (!qc_.is_genesis()) sink.aggregate(qc_.sig());
+  }
   static MessagePtr deserialize(ser::Reader& r) {
     auto qc = QuorumCert::deserialize(r);
     if (!qc) return nullptr;
@@ -118,10 +126,13 @@ class NewViewMsg final : public Message {
   std::uint32_t type_id() const override { return kNewView; }
   const char* type_name() const override { return "new-view"; }
   MsgClass msg_class() const override { return MsgClass::kConsensus; }
-  std::size_t wire_size() const override { return 8 + crypto::ThresholdSig::wire_size(); }
+  std::size_t wire_size() const override { return 8 + high_qc_.sig().wire_size(); }
   void serialize(ser::Writer& w) const override {
     w.view(view_);
     high_qc_.serialize(w);
+  }
+  void collect_auth(AuthClaimSink& sink) const override {
+    if (!high_qc_.is_genesis()) sink.aggregate(high_qc_.sig());
   }
   static MessagePtr deserialize(ser::Reader& r) {
     View view = -1;

@@ -27,7 +27,7 @@ QuorumCert QuorumCert::genesis(const crypto::Digest& genesis_hash) {
   return qc;
 }
 
-bool QuorumCert::verify(const crypto::Pki& pki, const ProtocolParams& params,
+bool QuorumCert::verify(crypto::AuthView auth, const ProtocolParams& params,
                         QcVerifyCache* cache) const {
   if (is_genesis()) return true;
   crypto::Digest key;
@@ -36,7 +36,7 @@ bool QuorumCert::verify(const crypto::Pki& pki, const ProtocolParams& params,
     if (cache->known_good(key)) return true;
   }
   if (sig_.message != statement(view_, block_hash_)) return false;
-  if (!crypto::verify_threshold(pki, sig_, params.quorum())) return false;
+  if (!auth.verify_aggregate(sig_, params.quorum())) return false;
   if (cache != nullptr) cache->remember(key);
   return true;
 }
@@ -44,18 +44,14 @@ bool QuorumCert::verify(const crypto::Pki& pki, const ProtocolParams& params,
 void QuorumCert::serialize(ser::Writer& w) const {
   w.view(view_);
   w.digest(block_hash_);
-  w.digest(sig_.message);
-  w.signer_set(sig_.signers);
-  w.digest(sig_.tag);
+  w.threshold_sig(sig_);
 }
 
 std::optional<QuorumCert> QuorumCert::deserialize(ser::Reader& r) {
   QuorumCert qc;
   if (!r.view(qc.view_)) return std::nullopt;
   if (!r.digest(qc.block_hash_)) return std::nullopt;
-  if (!r.digest(qc.sig_.message)) return std::nullopt;
-  if (!r.signer_set(qc.sig_.signers)) return std::nullopt;
-  if (!r.digest(qc.sig_.tag)) return std::nullopt;
+  if (!r.threshold_sig(qc.sig_)) return std::nullopt;
   return qc;
 }
 

@@ -12,8 +12,8 @@
 
 #include "common/params.h"
 #include "common/types.h"
+#include "crypto/authenticator.h"
 #include "crypto/sha256.h"
-#include "crypto/threshold.h"
 #include "ser/serializer.h"
 
 namespace lumiere::consensus {
@@ -42,8 +42,8 @@ class QuorumCert {
   /// Full verification: 2f+1 distinct valid signers over the right
   /// statement. Genesis QCs verify trivially. With a cache, a QC whose
   /// exact bytes already verified is accepted by fingerprint lookup
-  /// (one SHA-256) instead of re-checking 2f+1 share MACs.
-  [[nodiscard]] bool verify(const crypto::Pki& pki, const ProtocolParams& params,
+  /// (one SHA-256) instead of re-checking the aggregate.
+  [[nodiscard]] bool verify(crypto::AuthView auth, const ProtocolParams& params,
                             QcVerifyCache* cache = nullptr) const;
 
   void serialize(ser::Writer& w) const;

@@ -4,17 +4,17 @@
 
 namespace lumiere::consensus {
 
-SimpleViewCore::SimpleViewCore(const ProtocolParams& params, const crypto::Pki* pki,
+SimpleViewCore::SimpleViewCore(const ProtocolParams& params, crypto::AuthView auth,
                                crypto::Signer signer, CoreCallbacks callbacks,
                                PacemakerHooks hooks, PayloadProvider payload_provider)
     : params_(params),
-      pki_(pki),
+      auth_(auth),
       signer_(signer),
       cb_(std::move(callbacks)),
       hooks_(std::move(hooks)),
       payload_provider_(std::move(payload_provider)),
       high_qc_(QuorumCert::genesis(Block::genesis().hash())) {
-  LUMIERE_ASSERT(pki != nullptr);
+  LUMIERE_ASSERT(auth);
   params_.validate();
 }
 
@@ -95,7 +95,7 @@ void SimpleViewCore::handle_vote(ProcessId /*from*/, const VoteMsg& msg) {
   if (proposed == my_proposal_hash_.end()) return;       // haven't proposed yet
   if (proposed->second != msg.block_hash()) return;      // vote for foreign block
   auto [it, inserted] = aggregators_.try_emplace(
-      v, pki_, statements_.get(v, msg.block_hash()), params_.quorum(), params_.n);
+      v, auth_, statements_.get(v, msg.block_hash()), params_.quorum());
   (void)inserted;
   if (!it->second.add(msg.share())) return;
   if (!it->second.complete()) return;
@@ -117,7 +117,7 @@ void SimpleViewCore::handle_vote(ProcessId /*from*/, const VoteMsg& msg) {
 void SimpleViewCore::handle_qc(const QcMsg& msg) {
   const QuorumCert& qc = msg.qc();
   if (seen_qc_views_.contains(qc.view())) return;
-  if (!qc.verify(*pki_, params_, &verified_)) return;
+  if (!qc.verify(auth_, params_, &verified_)) return;
   seen_qc_views_.insert(qc.view());
   if (qc.view() > high_qc_.view()) high_qc_ = qc;
   if (cb_.qc_seen) cb_.qc_seen(qc);

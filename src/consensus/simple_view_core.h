@@ -19,8 +19,7 @@
 
 #include "consensus/core.h"
 #include "consensus/messages.h"
-#include "crypto/pki.h"
-#include "crypto/threshold.h"
+#include "crypto/authenticator.h"
 
 namespace lumiere::consensus {
 
@@ -29,7 +28,7 @@ class SimpleViewCore final : public ConsensusCore {
   /// Optional payload source consulted when this node proposes.
   using PayloadProvider = std::function<std::vector<std::uint8_t>(View)>;
 
-  SimpleViewCore(const ProtocolParams& params, const crypto::Pki* pki, crypto::Signer signer,
+  SimpleViewCore(const ProtocolParams& params, crypto::AuthView auth, crypto::Signer signer,
                  CoreCallbacks callbacks, PacemakerHooks hooks,
                  PayloadProvider payload_provider = nullptr);
 
@@ -50,7 +49,7 @@ class SimpleViewCore final : public ConsensusCore {
   void handle_qc(const QcMsg& msg);
 
   ProtocolParams params_;
-  const crypto::Pki* pki_;
+  crypto::AuthView auth_;
   crypto::Signer signer_;
   CoreCallbacks cb_;
   PacemakerHooks hooks_;
@@ -67,7 +66,7 @@ class SimpleViewCore final : public ConsensusCore {
   /// Hash this node proposed per view (votes must match it).
   std::map<View, crypto::Digest> my_proposal_hash_;
   /// Vote aggregation for views this node leads.
-  std::map<View, crypto::ThresholdAggregator> aggregators_;
+  std::map<View, crypto::QuorumAggregator> aggregators_;
   /// Views for which this node's QC formation is finished (formed) or
   /// forfeited (missed the pacemaker's production deadline).
   std::set<View> closed_views_;

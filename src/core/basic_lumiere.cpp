@@ -72,8 +72,8 @@ void BasicLumierePacemaker::handle_view_share(const ViewMsg& msg) {
   // VCs exist only for initial non-epoch views (Section 3.4).
   if (!is_initial(v) || is_epoch_view(v) || leader_of(v) != self_) return;
   if (vc_sent_.contains(v) || v < view_) return;
-  auto [it, inserted] = view_aggs_.try_emplace(v, &pki(), pacemaker::view_msg_statement(v),
-                                               params_.small_quorum(), params_.n);
+  auto [it, inserted] = view_aggs_.try_emplace(v, auth(), pacemaker::view_msg_statement(v),
+                                               params_.small_quorum());
   (void)inserted;
   if (!it->second.add(msg.share())) return;
   if (it->second.complete()) {
@@ -86,7 +86,7 @@ void BasicLumierePacemaker::handle_vc(const VcMsg& msg) {
   const SyncCert& cert = msg.cert();
   const View v = cert.view();
   if (!is_initial(v) || is_epoch_view(v) || v <= view_) return;
-  if (!cert.verify(pki(), params_.small_quorum(), &pacemaker::view_msg_statement)) return;
+  if (!cert.verify(auth(), params_.small_quorum(), &pacemaker::view_msg_statement)) return;
   if (clock().reading() < view_time(v)) {
     clock().bump_to(view_time(v));
     process_clock();  // exact landing enters the view
@@ -97,8 +97,8 @@ void BasicLumierePacemaker::handle_epoch_share(const EpochViewMsg& msg) {
   const View v = msg.view();
   if (!is_epoch_view(v)) return;
   if (v <= view_ || ec_sent_.contains(v)) return;
-  auto [it, inserted] = epoch_aggs_.try_emplace(v, &pki(), pacemaker::epoch_msg_statement(v),
-                                                params_.quorum(), params_.n);
+  auto [it, inserted] = epoch_aggs_.try_emplace(v, auth(), pacemaker::epoch_msg_statement(v),
+                                                params_.quorum());
   (void)inserted;
   if (!it->second.add(msg.share())) return;
   if (it->second.complete()) {
@@ -111,7 +111,7 @@ void BasicLumierePacemaker::handle_ec(const EcMsg& msg) {
   const SyncCert& cert = msg.cert();
   const View v = cert.view();
   if (!is_epoch_view(v) || v <= view_) return;
-  if (!cert.verify(pki(), params_.quorum(), &pacemaker::epoch_msg_statement)) return;
+  if (!cert.verify(auth(), params_.quorum(), &pacemaker::epoch_msg_statement)) return;
   clock().bump_to(view_time(v));
   clock().unpause();
   enter_view(v);

@@ -17,7 +17,7 @@
 #include <map>
 #include <set>
 
-#include "crypto/threshold.h"
+#include "crypto/authenticator.h"
 #include "pacemaker/leader_schedule.h"
 #include "pacemaker/messages.h"
 #include "pacemaker/pacemaker.h"
@@ -69,11 +69,11 @@ class BasicLumierePacemaker final : public pacemaker::Pacemaker {
   sim::AlarmId boundary_alarm_ = 0;
 
   std::set<View> view_msg_sent_;
-  std::map<View, crypto::ThresholdAggregator> view_aggs_;
+  std::map<View, crypto::QuorumAggregator> view_aggs_;
   std::set<View> vc_sent_;
 
   std::set<View> epoch_msg_sent_;
-  std::map<View, crypto::ThresholdAggregator> epoch_aggs_;
+  std::map<View, crypto::QuorumAggregator> epoch_aggs_;
   std::set<View> ec_sent_;
 };
 

@@ -160,8 +160,8 @@ void LumierePacemaker::handle_view_share(ProcessId /*from*/, const ViewMsg& msg)
   // view v and send to all."
   if (!EpochMath::is_initial(v) || leader_of(v) != self_) return;
   if (vc_sent_at_.contains(v) || v < view_) return;
-  auto [it, inserted] = view_aggs_.try_emplace(v, &pki(), pacemaker::view_msg_statement(v),
-                                               params_.small_quorum(), params_.n);
+  auto [it, inserted] = view_aggs_.try_emplace(v, auth(), pacemaker::view_msg_statement(v),
+                                               params_.small_quorum());
   (void)inserted;
   if (!it->second.add(msg.share())) return;
   if (it->second.complete() && v >= view_) {
@@ -178,7 +178,7 @@ void LumierePacemaker::handle_vc(const VcMsg& msg) {
   const View v = cert.view();
   // Line 36: "Upon first seeing a VC for initial view v > view(p)".
   if (!EpochMath::is_initial(v) || v <= view_) return;
-  if (!cert.verify(pki(), params_.small_quorum(), &pacemaker::view_msg_statement)) return;
+  if (!cert.verify(auth(), params_.small_quorum(), &pacemaker::view_msg_statement)) return;
   // A VC for a view above ours releases an epoch-boundary pause
   // (the parked view is <= v here since view(p) < v).
   unpark();
@@ -195,8 +195,8 @@ void LumierePacemaker::handle_epoch_share(const EpochViewMsg& msg) {
   const View v = msg.view();
   if (!math_.is_epoch_view(v)) return;
   if (math_.epoch_of(v) < epoch_) return;  // stale epoch; cannot matter
-  auto [it, inserted] = epoch_aggs_.try_emplace(v, &pki(), pacemaker::epoch_msg_statement(v),
-                                                params_.quorum(), params_.n);
+  auto [it, inserted] = epoch_aggs_.try_emplace(v, auth(), pacemaker::epoch_msg_statement(v),
+                                                params_.quorum());
   (void)inserted;
   if (!it->second.add(msg.share())) return;
   // TC = f+1 epoch-view messages observed; EC = 2f+1 (Section 4). Both

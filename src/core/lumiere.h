@@ -44,7 +44,7 @@
 #include "core/epoch_math.h"
 #include "core/reverse_permutation_schedule.h"
 #include "core/success_tracker.h"
-#include "crypto/threshold.h"
+#include "crypto/authenticator.h"
 #include "pacemaker/messages.h"
 #include "pacemaker/pacemaker.h"
 
@@ -126,12 +126,12 @@ class LumierePacemaker final : public pacemaker::Pacemaker {
 
   // View-message dissemination and VC formation.
   std::set<View> view_msg_sent_;
-  std::map<View, crypto::ThresholdAggregator> view_aggs_;
+  std::map<View, crypto::QuorumAggregator> view_aggs_;
   std::map<View, TimePoint> vc_sent_at_;
 
   // Epoch-view message dissemination; TC/EC are local count crossings.
   std::set<View> epoch_msg_sent_;
-  std::map<View, crypto::ThresholdAggregator> epoch_aggs_;
+  std::map<View, crypto::QuorumAggregator> epoch_aggs_;
   std::set<View> tc_seen_;
   std::set<View> ec_seen_;
 

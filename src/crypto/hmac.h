@@ -1,9 +1,10 @@
 // HMAC-SHA256 (RFC 2104).
 //
-// Used as the MAC underlying the simulation's signature scheme: the paper
-// assumes perfect signatures, and in a closed simulation a keyed MAC whose
-// key is held by the trusted Pki gives exactly that (unforgeable by any
-// process that does not hold the key). Verified against RFC 4231 vectors.
+// Used as the MAC underlying the default "hmac" authenticator scheme: the
+// paper assumes perfect signatures, and in a closed simulation a keyed MAC
+// whose key is held by the trusted key registry gives exactly that
+// (unforgeable by any process that does not hold the key). Verified
+// against RFC 4231 vectors.
 #pragma once
 
 #include <array>

@@ -1,0 +1,68 @@
+#include "crypto/hmac_scheme.h"
+
+#include "common/rng.h"
+
+namespace lumiere::crypto {
+
+HmacAuthenticator::HmacAuthenticator(std::uint32_t n, std::uint64_t seed) : Authenticator(n) {
+  keys_.reserve(n);
+  Rng rng(seed ^ 0x9d2c5680cafef00dULL);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SecretKey key{};
+    for (std::size_t w = 0; w < key.size(); w += 8) {
+      const std::uint64_t word = rng.next();
+      for (std::size_t b = 0; b < 8; ++b) {
+        key[w + b] = static_cast<std::uint8_t>(word >> (8 * b));
+      }
+    }
+    keys_.push_back(key);
+  }
+}
+
+Digest HmacAuthenticator::mac_for(ProcessId id, const Digest& message) const {
+  LUMIERE_ASSERT(id < n());
+  return hmac_sha256(keys_[id], message.as_span());
+}
+
+SigBytes HmacAuthenticator::sign_blob(ProcessId id, const Digest& message) const {
+  return SigBytes(mac_for(id, message).as_span());
+}
+
+bool HmacAuthenticator::check_signature(ProcessId id, const Digest& message,
+                                        const SigBytes& sig) const {
+  const Digest mac = mac_for(id, message);
+  return sig.size() == Digest::kSize && sig == SigBytes(mac.as_span());
+}
+
+/// Aggregation tag: binds the message, the ordered signer set, and the
+/// ordered share MACs. Byte-identical to the pre-redesign construction
+/// (the goldens pin it).
+SigBytes HmacAuthenticator::aggregate_tag(const Digest& message,
+                                          const std::vector<PartialSig>& sorted_shares) const {
+  Sha256 h;
+  h.update("lumiere.agg");
+  h.update(message.as_span());
+  for (const auto& share : sorted_shares) {
+    const std::uint8_t id_bytes[4] = {
+        static_cast<std::uint8_t>(share.signer),
+        static_cast<std::uint8_t>(share.signer >> 8),
+        static_cast<std::uint8_t>(share.signer >> 16),
+        static_cast<std::uint8_t>(share.signer >> 24),
+    };
+    h.update(std::span<const std::uint8_t>(id_bytes, 4));
+    h.update(share.sig.span());
+  }
+  return SigBytes(h.finish().as_span());
+}
+
+bool HmacAuthenticator::check_aggregate_tag(const ThresholdSig& sig) const {
+  const Digest statement = share_statement(sig.message);
+  std::vector<PartialSig> shares;
+  shares.reserve(sig.signers.count());
+  for (const ProcessId id : sig.signers.members()) {
+    shares.push_back(PartialSig{id, sign_blob(id, statement)});
+  }
+  return aggregate_tag(sig.message, shares) == sig.tag;
+}
+
+}  // namespace lumiere::crypto

@@ -1,0 +1,74 @@
+// Scheme-agnostic signature byte container.
+//
+// Signature and aggregation-tag lengths are scheme properties (HMAC macs
+// are 32 bytes, ed25519-style signatures 64, half-aggregated quorum tags
+// grow with the signer count), so the shared structs carry an opaque byte
+// string instead of a fixed Digest. The container keeps up to 64 bytes
+// inline — every per-share signature of every in-tree scheme — so the
+// simulator hot path stays allocation-free; longer values (aggregate
+// tags) spill to the heap off the critical path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace lumiere::crypto {
+
+class SigBytes {
+ public:
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  SigBytes() noexcept = default;
+  explicit SigBytes(std::span<const std::uint8_t> bytes) { assign(bytes); }
+
+  /// A zero-filled value of `count` bytes (e.g. the placeholder tag of a
+  /// default-constructed aggregate, serialized for genesis certificates).
+  [[nodiscard]] static SigBytes zeros(std::size_t count) {
+    SigBytes b;
+    b.resize(count);
+    return b;
+  }
+
+  void assign(std::span<const std::uint8_t> bytes) {
+    resize(bytes.size());
+    if (!bytes.empty()) std::memcpy(data(), bytes.data(), bytes.size());
+  }
+
+  /// Resizes to `count` zero-filled bytes (previous contents discarded).
+  void resize(std::size_t count) {
+    if (count <= kInlineCapacity) {
+      spill_.clear();
+      inline_.fill(0);
+    } else {
+      spill_.assign(count, 0);
+    }
+    size_ = count;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] const std::uint8_t* data() const noexcept {
+    return size_ <= kInlineCapacity ? inline_.data() : spill_.data();
+  }
+  [[nodiscard]] std::uint8_t* data() noexcept {
+    return size_ <= kInlineCapacity ? inline_.data() : spill_.data();
+  }
+  [[nodiscard]] std::span<const std::uint8_t> span() const noexcept {
+    return {data(), size_};
+  }
+
+  bool operator==(const SigBytes& other) const noexcept {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data(), other.data(), size_) == 0);
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::array<std::uint8_t, kInlineCapacity> inline_{};
+  std::vector<std::uint8_t> spill_;
+};
+
+}  // namespace lumiere::crypto

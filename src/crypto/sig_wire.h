@@ -1,0 +1,34 @@
+// Scheme-reported wire geometry.
+//
+// Deserializers need to know how many bytes a signature blob or an
+// aggregation tag occupies before they can cut it out of a frame; that
+// length is a property of the authenticator scheme, not of the message.
+// Every ser::Reader carries a SigWireSpec (defaulting to the HMAC sim
+// scheme, which keeps all legacy byte streams decodable), and the codec
+// of a cluster running another scheme installs that scheme's spec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace lumiere::crypto {
+
+struct SigWireSpec {
+  /// Bytes of one Signature / PartialSig blob (excluding the signer id).
+  std::uint32_t sig_bytes = static_cast<std::uint32_t>(kKappaBytes);
+  /// Aggregate-tag bytes independent of the signer count.
+  std::uint32_t agg_fixed = static_cast<std::uint32_t>(kKappaBytes);
+  /// Additional aggregate-tag bytes per contributing signer.
+  std::uint32_t agg_per_signer = 0;
+
+  /// Tag length of an aggregate carrying `signers` contributions.
+  [[nodiscard]] constexpr std::size_t tag_bytes(std::uint32_t signers) const noexcept {
+    return agg_fixed + static_cast<std::size_t>(agg_per_signer) * signers;
+  }
+
+  bool operator==(const SigWireSpec&) const = default;
+};
+
+}  // namespace lumiere::crypto

@@ -20,16 +20,14 @@ crypto::Digest batch_statement(const BatchId& id) {
   return crypto::Sha256::hash(std::span<const std::uint8_t>(buf.data(), buf.size()));
 }
 
-bool BatchCert::verify(const crypto::Pki& pki, const ProtocolParams& params) const {
+bool BatchCert::verify(crypto::AuthView auth, const ProtocolParams& params) const {
   if (sig_.message != batch_statement(id_)) return false;
-  return crypto::verify_threshold(pki, sig_, params.small_quorum());
+  return auth.verify_aggregate(sig_, params.small_quorum());
 }
 
 void BatchCert::serialize(ser::Writer& w) const {
   id_.serialize(w);
-  w.digest(sig_.message);
-  w.signer_set(sig_.signers);
-  w.digest(sig_.tag);
+  w.threshold_sig(sig_);
 }
 
 std::optional<BatchCert> BatchCert::deserialize(ser::Reader& r) {
@@ -37,9 +35,7 @@ std::optional<BatchCert> BatchCert::deserialize(ser::Reader& r) {
   auto id = BatchId::deserialize(r);
   if (!id) return std::nullopt;
   cert.id_ = *id;
-  if (!r.digest(cert.sig_.message)) return std::nullopt;
-  if (!r.signer_set(cert.sig_.signers)) return std::nullopt;
-  if (!r.digest(cert.sig_.tag)) return std::nullopt;
+  if (!r.threshold_sig(cert.sig_)) return std::nullopt;
   return cert;
 }
 
@@ -58,8 +54,9 @@ bool is_refs_payload(std::span<const std::uint8_t> payload) {
   return r.u32(magic) && magic == kRefsMagic;
 }
 
-std::optional<std::vector<BatchCert>> decode_refs(std::span<const std::uint8_t> payload) {
-  ser::Reader r(payload);
+std::optional<std::vector<BatchCert>> decode_refs(std::span<const std::uint8_t> payload,
+                                                  crypto::SigWireSpec sig_wire) {
+  ser::Reader r(payload, sig_wire);
   std::uint32_t magic = 0;
   if (!r.u32(magic) || magic != kRefsMagic) return std::nullopt;
   std::uint32_t count = 0;

@@ -6,7 +6,7 @@
 // acks into a BatchCert: with at most f Byzantine processes, at least
 // one honest replica stores the payload and will serve a fetch, so a
 // certified reference can be ordered without its bytes (Autobahn's PoA,
-// arXiv 2401.10369; threshold machinery from crypto/threshold.h).
+// arXiv 2401.10369; threshold machinery from crypto/authenticator.h).
 #pragma once
 
 #include <cstdint>
@@ -17,7 +17,7 @@
 #include "common/params.h"
 #include "common/types.h"
 #include "crypto/sha256.h"
-#include "crypto/threshold.h"
+#include "crypto/authenticator.h"
 #include "ser/serializer.h"
 
 namespace lumiere::dissem {
@@ -66,11 +66,11 @@ class BatchCert {
 
   /// Full verification: the aggregate covers this batch's statement with
   /// at least f+1 distinct valid signers.
-  [[nodiscard]] bool verify(const crypto::Pki& pki, const ProtocolParams& params) const;
+  [[nodiscard]] bool verify(crypto::AuthView auth, const ProtocolParams& params) const;
 
-  /// Modeled wire size: identity + the O(kappa) aggregate envelope.
-  [[nodiscard]] static constexpr std::size_t wire_size() noexcept {
-    return BatchId::wire_size() + crypto::ThresholdSig::wire_size();
+  /// Modeled wire size: identity + the scheme's aggregate envelope.
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    return BatchId::wire_size() + sig_.wire_size();
   }
 
   void serialize(ser::Writer& w) const;
@@ -98,7 +98,9 @@ inline constexpr std::uint32_t kRefsMagic = 0xBA7C4EF5;
 [[nodiscard]] bool is_refs_payload(std::span<const std::uint8_t> payload);
 
 /// Decodes a refs payload; nullopt when malformed or not magic-prefixed.
+/// `sig_wire` is the authenticator scheme's wire geometry (the refs
+/// embed threshold aggregates whose tag length is scheme-reported).
 [[nodiscard]] std::optional<std::vector<BatchCert>> decode_refs(
-    std::span<const std::uint8_t> payload);
+    std::span<const std::uint8_t> payload, crypto::SigWireSpec sig_wire = {});
 
 }  // namespace lumiere::dissem

@@ -5,15 +5,15 @@
 
 namespace lumiere::dissem {
 
-Disseminator::Disseminator(const ProtocolParams& params, const crypto::Pki* pki,
+Disseminator::Disseminator(const ProtocolParams& params, crypto::AuthView auth,
                            crypto::Signer signer, DissemSpec spec, DisseminatorCallbacks cb)
     : params_(params),
-      pki_(pki),
+      auth_(auth),
       signer_(signer),
       spec_(spec),
       cb_(std::move(cb)),
       self_(signer_.id()) {
-  LUMIERE_ASSERT(pki != nullptr);
+  LUMIERE_ASSERT(auth);
   LUMIERE_ASSERT(cb_.send && cb_.broadcast && cb_.schedule && cb_.now);
   LUMIERE_ASSERT(cb_.lease_batch && cb_.ack_batch && cb_.deliver);
   LUMIERE_ASSERT(spec_.push_interval > Duration::zero());
@@ -41,8 +41,8 @@ void Disseminator::push_tick() {
     tokens_.emplace(seq, token);
     auto [it, inserted] = pending_.emplace(
         seq, PendingCert{id, cb_.now(),
-                         crypto::ThresholdAggregator(pki_, batch_statement(id),
-                                                     params_.small_quorum(), params_.n)});
+                         crypto::QuorumAggregator(auth_, batch_statement(id),
+                                                  params_.small_quorum())});
     LUMIERE_ASSERT(inserted);
     it->second.agg.add(crypto::threshold_share(signer_, batch_statement(id)));
     ++pushed_;
@@ -164,7 +164,7 @@ bool Disseminator::verify_cert_cached(const BatchCert& cert) {
   const crypto::Digest key =
       crypto::Sha256::hash(std::span<const std::uint8_t>(scratch_.data(), scratch_.size()));
   if (verified_certs_.contains(key)) return true;
-  if (!cert.verify(*pki_, params_)) return false;
+  if (!cert.verify(auth_, params_)) return false;
   // Cap as QcVerifyCache does: junk certs must not grow this unboundedly.
   if (verified_certs_.size() >= 4096) verified_certs_.clear();
   verified_certs_.insert(key);
@@ -187,7 +187,7 @@ std::vector<std::uint8_t> Disseminator::make_proposal_payload(View /*v*/) {
 
 bool Disseminator::refs_payload_ok(std::span<const std::uint8_t> payload) {
   if (payload.empty()) return true;
-  const auto refs = decode_refs(payload);
+  const auto refs = decode_refs(payload, auth_.wire_spec());
   if (!refs) return false;
   for (const BatchCert& cert : *refs) {
     if (!verify_cert_cached(cert)) return false;
@@ -197,7 +197,7 @@ bool Disseminator::refs_payload_ok(std::span<const std::uint8_t> payload) {
 
 void Disseminator::on_refs_proposed(std::span<const std::uint8_t> payload) {
   if (payload.empty() || !is_refs_payload(payload)) return;
-  const auto refs = decode_refs(payload);
+  const auto refs = decode_refs(payload, auth_.wire_spec());
   if (!refs) return;
   bool changed = false;
   for (const BatchCert& cert : *refs) {
@@ -224,7 +224,7 @@ void Disseminator::schedule_reinsert(const BatchCert& cert) {
 
 void Disseminator::on_committed_payload(std::span<const std::uint8_t> payload) {
   if (payload.empty()) return;
-  const auto refs = decode_refs(payload);
+  const auto refs = decode_refs(payload, auth_.wire_spec());
   if (!refs) return;
   for (const BatchCert& cert : *refs) {
     const BatchId& id = cert.id();

@@ -31,8 +31,7 @@
 #include "common/params.h"
 #include "common/time.h"
 #include "common/types.h"
-#include "crypto/pki.h"
-#include "crypto/threshold.h"
+#include "crypto/authenticator.h"
 #include "dissem/batch.h"
 #include "dissem/messages.h"
 #include "dissem/spec.h"
@@ -64,7 +63,7 @@ struct DisseminatorCallbacks {
 
 class Disseminator {
  public:
-  Disseminator(const ProtocolParams& params, const crypto::Pki* pki, crypto::Signer signer,
+  Disseminator(const ProtocolParams& params, crypto::AuthView auth, crypto::Signer signer,
                DissemSpec spec, DisseminatorCallbacks cb);
 
   /// Starts the push/retry timers. Call when the node joins the protocol.
@@ -112,7 +111,7 @@ class Disseminator {
   struct PendingCert {
     BatchId id;
     TimePoint pushed_at;
-    crypto::ThresholdAggregator agg;
+    crypto::QuorumAggregator agg;
   };
 
   void push_tick();
@@ -134,7 +133,7 @@ class Disseminator {
   void sample_depth();
 
   ProtocolParams params_;
-  const crypto::Pki* pki_;
+  crypto::AuthView auth_;
   crypto::Signer signer_;
   DissemSpec spec_;
   DisseminatorCallbacks cb_;

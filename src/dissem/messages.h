@@ -65,17 +65,19 @@ class BatchAckMsg final : public Message {
   const char* type_name() const override { return "batch-ack"; }
   MsgClass msg_class() const override { return MsgClass::kDissem; }
   std::size_t wire_size() const override {
-    return BatchId::wire_size() + crypto::PartialSig::wire_size();
+    return BatchId::wire_size() + share_.wire_size();
   }
   void serialize(ser::Writer& w) const override {
     id_.serialize(w);
-    w.process(share_.signer);
-    w.digest(share_.mac);
+    w.partial_sig(share_);
+  }
+  void collect_auth(AuthClaimSink& sink) const override {
+    sink.share(batch_statement(id_), share_);
   }
   static MessagePtr deserialize(ser::Reader& r) {
     auto id = BatchId::deserialize(r);
     crypto::PartialSig share;
-    if (!id || !r.process(share.signer) || !r.digest(share.mac)) return nullptr;
+    if (!id || !r.partial_sig(share)) return nullptr;
     return std::make_shared<BatchAckMsg>(*id, share);
   }
 
@@ -95,8 +97,9 @@ class BatchCertMsg final : public Message {
   std::uint32_t type_id() const override { return kBatchCertAnnounce; }
   const char* type_name() const override { return "batch-cert"; }
   MsgClass msg_class() const override { return MsgClass::kDissem; }
-  std::size_t wire_size() const override { return BatchCert::wire_size(); }
+  std::size_t wire_size() const override { return cert_.wire_size(); }
   void serialize(ser::Writer& w) const override { cert_.serialize(w); }
+  void collect_auth(AuthClaimSink& sink) const override { sink.aggregate(cert_.sig()); }
   static MessagePtr deserialize(ser::Reader& r) {
     auto cert = BatchCert::deserialize(r);
     if (!cert) return nullptr;

@@ -4,7 +4,7 @@
 #include <optional>
 
 #include "common/params.h"
-#include "crypto/threshold.h"
+#include "crypto/authenticator.h"
 #include "ser/serializer.h"
 
 namespace lumiere::pacemaker {
@@ -34,24 +34,20 @@ class SyncCert {
 
   /// Verifies signer threshold and statement binding. `statement` must be
   /// the statement function the certificate was built over.
-  [[nodiscard]] bool verify(const crypto::Pki& pki, std::uint32_t min_signers,
+  [[nodiscard]] bool verify(crypto::AuthView auth, std::uint32_t min_signers,
                             crypto::Digest (*statement)(View)) const {
     if (sig_.message != statement(view_)) return false;
-    return crypto::verify_threshold(pki, sig_, min_signers);
+    return auth.verify_aggregate(sig_, min_signers);
   }
 
   void serialize(ser::Writer& w) const {
     w.view(view_);
-    w.digest(sig_.message);
-    w.signer_set(sig_.signers);
-    w.digest(sig_.tag);
+    w.threshold_sig(sig_);
   }
   [[nodiscard]] static std::optional<SyncCert> deserialize(ser::Reader& r) {
     SyncCert c;
     if (!r.view(c.view_)) return std::nullopt;
-    if (!r.digest(c.sig_.message)) return std::nullopt;
-    if (!r.signer_set(c.sig_.signers)) return std::nullopt;
-    if (!r.digest(c.sig_.tag)) return std::nullopt;
+    if (!r.threshold_sig(c.sig_)) return std::nullopt;
     return c;
   }
 

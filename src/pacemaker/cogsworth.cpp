@@ -64,8 +64,8 @@ void CogsworthPacemaker::handle_wish(const WishMsg& msg) {
     // circulating.
     return;
   }
-  auto [it, inserted] = wish_aggs_.try_emplace(v, &pki(), wish_statement(v),
-                                               params_.small_quorum(), params_.n);
+  auto [it, inserted] = wish_aggs_.try_emplace(v, auth(), wish_statement(v),
+                                               params_.small_quorum());
   (void)inserted;
   if (!it->second.add(msg.share())) return;
   if (it->second.count() >= params_.small_quorum()) {
@@ -77,7 +77,7 @@ void CogsworthPacemaker::handle_wish(const WishMsg& msg) {
 void CogsworthPacemaker::handle_cert(const WishCertMsg& msg) {
   const SyncCert& cert = msg.cert();
   if (cert.view() <= view_) return;
-  if (!cert.verify(pki(), params_.small_quorum(), &wish_statement)) return;
+  if (!cert.verify(auth(), params_.small_quorum(), &wish_statement)) return;
   enter_view(cert.view());
 }
 

@@ -22,7 +22,7 @@
 #include <memory>
 #include <set>
 
-#include "crypto/threshold.h"
+#include "crypto/authenticator.h"
 #include "pacemaker/leader_schedule.h"
 #include "pacemaker/messages.h"
 #include "pacemaker/pacemaker.h"
@@ -70,7 +70,7 @@ class CogsworthPacemaker : public Pacemaker {
 
   // Relay-side state: wishes received for each view (any processor can be
   // asked to act as a relay).
-  std::map<View, crypto::ThresholdAggregator> wish_aggs_;
+  std::map<View, crypto::QuorumAggregator> wish_aggs_;
   std::set<View> certs_sent_;
 };
 

@@ -62,8 +62,8 @@ void FeverPacemaker::handle_view_share(const ViewMsg& msg) {
   const View v = msg.view();
   if (!is_initial(v) || leader_of(v) != self_) return;
   if (vc_sent_.contains(v) || v < view_) return;
-  auto [it, inserted] = view_aggs_.try_emplace(v, &pki(), view_msg_statement(v),
-                                               params_.small_quorum(), params_.n);
+  auto [it, inserted] = view_aggs_.try_emplace(v, auth(), view_msg_statement(v),
+                                               params_.small_quorum());
   (void)inserted;
   if (!it->second.add(msg.share())) return;
   if (it->second.complete()) {
@@ -76,7 +76,7 @@ void FeverPacemaker::handle_vc(const VcMsg& msg) {
   const SyncCert& cert = msg.cert();
   const View v = cert.view();
   if (!is_initial(v) || v <= view_) return;
-  if (!cert.verify(pki(), params_.small_quorum(), &view_msg_statement)) return;
+  if (!cert.verify(auth(), params_.small_quorum(), &view_msg_statement)) return;
   // "receives ... a VC for view v, and if lc(p) < c_v, then p
   // instantaneously bumps their local clock to c_v" — the exact landing
   // then triggers the initial-view entry rule.

@@ -27,7 +27,7 @@
 #include <map>
 #include <set>
 
-#include "crypto/threshold.h"
+#include "crypto/authenticator.h"
 #include "pacemaker/leader_schedule.h"
 #include "pacemaker/messages.h"
 #include "pacemaker/pacemaker.h"
@@ -79,7 +79,7 @@ class FeverPacemaker final : public Pacemaker {
   View view_ = -1;
   sim::AlarmId boundary_alarm_ = 0;
   std::set<View> view_msg_sent_;
-  std::map<View, crypto::ThresholdAggregator> view_aggs_;
+  std::map<View, crypto::QuorumAggregator> view_aggs_;
   std::set<View> vc_sent_;
 };
 

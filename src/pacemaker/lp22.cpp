@@ -61,7 +61,7 @@ void Lp22Pacemaker::handle_epoch_share(const EpochViewMsg& msg) {
   // and sends the EC to all processors."
   if (v <= view_ || ec_sent_.contains(v)) return;
   auto [it, inserted] =
-      epoch_aggs_.try_emplace(v, &pki(), epoch_msg_statement(v), params_.quorum(), params_.n);
+      epoch_aggs_.try_emplace(v, auth(), epoch_msg_statement(v), params_.quorum());
   (void)inserted;
   if (!it->second.add(msg.share())) return;
   if (it->second.complete()) {
@@ -74,7 +74,7 @@ void Lp22Pacemaker::handle_ec(const EcMsg& msg) {
   const SyncCert& cert = msg.cert();
   const View v = cert.view();
   if (!is_epoch_view(v) || v <= view_) return;
-  if (!cert.verify(pki(), params_.quorum(), &epoch_msg_statement)) return;
+  if (!cert.verify(auth(), params_.quorum(), &epoch_msg_statement)) return;
   // "Upon seeing an EC for view v while in any lower view, any honest
   // processor sets lc(p) := c_v, unpauses its local clock if paused, and
   // then enters epoch e and view v."

@@ -20,7 +20,7 @@
 #include <optional>
 #include <set>
 
-#include "crypto/threshold.h"
+#include "crypto/authenticator.h"
 #include "pacemaker/leader_schedule.h"
 #include "pacemaker/messages.h"
 #include "pacemaker/pacemaker.h"
@@ -71,7 +71,7 @@ class Lp22Pacemaker final : public Pacemaker {
   View view_ = -1;
   sim::AlarmId boundary_alarm_ = 0;
   std::set<View> epoch_msg_sent_;
-  std::map<View, crypto::ThresholdAggregator> epoch_aggs_;
+  std::map<View, crypto::QuorumAggregator> epoch_aggs_;
   std::set<View> ec_sent_;
 };
 

@@ -33,16 +33,18 @@ class ShareMsg final : public Message {
   std::uint32_t type_id() const override { return TypeId; }
   const char* type_name() const override { return Tag::kName; }
   MsgClass msg_class() const override { return MsgClass::kPacemaker; }
-  std::size_t wire_size() const override { return 8 + crypto::PartialSig::wire_size(); }
+  std::size_t wire_size() const override { return 8 + share_.wire_size(); }
   void serialize(ser::Writer& w) const override {
     w.view(view_);
-    w.process(share_.signer);
-    w.digest(share_.mac);
+    w.partial_sig(share_);
+  }
+  void collect_auth(AuthClaimSink& sink) const override {
+    sink.share(Tag::statement(view_), share_);
   }
   static MessagePtr deserialize(ser::Reader& r) {
     View view = -1;
     crypto::PartialSig share;
-    if (!r.view(view) || !r.process(share.signer) || !r.digest(share.mac)) return nullptr;
+    if (!r.view(view) || !r.partial_sig(share)) return nullptr;
     return std::make_shared<ShareMsg>(view, share);
   }
 
@@ -63,8 +65,9 @@ class CertMsg final : public Message {
   std::uint32_t type_id() const override { return TypeId; }
   const char* type_name() const override { return Tag::kName; }
   MsgClass msg_class() const override { return MsgClass::kPacemaker; }
-  std::size_t wire_size() const override { return 8 + crypto::ThresholdSig::wire_size(); }
+  std::size_t wire_size() const override { return 8 + cert_.sig().wire_size(); }
   void serialize(ser::Writer& w) const override { cert_.serialize(w); }
+  void collect_auth(AuthClaimSink& sink) const override { sink.aggregate(cert_.sig()); }
   static MessagePtr deserialize(ser::Reader& r) {
     auto cert = SyncCert::deserialize(r);
     if (!cert) return nullptr;
@@ -78,18 +81,21 @@ class CertMsg final : public Message {
 namespace detail {
 struct ViewTag {
   static constexpr const char* kName = "view";
+  static crypto::Digest statement(View v) { return view_msg_statement(v); }
 };
 struct VcTag {
   static constexpr const char* kName = "vc";
 };
 struct EpochViewTag {
   static constexpr const char* kName = "epoch-view";
+  static crypto::Digest statement(View v) { return epoch_msg_statement(v); }
 };
 struct EcTag {
   static constexpr const char* kName = "ec";
 };
 struct WishTag {
   static constexpr const char* kName = "wish";
+  static crypto::Digest statement(View v) { return wish_statement(v); }
 };
 struct WishCertTag {
   static constexpr const char* kName = "wish-cert";

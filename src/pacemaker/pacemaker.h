@@ -24,7 +24,7 @@
 #include "common/params.h"
 #include "common/types.h"
 #include "consensus/quorum_cert.h"
-#include "crypto/pki.h"
+#include "crypto/authenticator.h"
 #include "ser/message.h"
 #include "sim/local_clock.h"
 #include "sim/simulator.h"
@@ -35,7 +35,7 @@ namespace lumiere::pacemaker {
 struct PacemakerWiring {
   sim::Simulator* sim = nullptr;
   sim::LocalClock* clock = nullptr;
-  const crypto::Pki* pki = nullptr;
+  crypto::AuthView auth;  ///< scheme + per-node verification memo
   /// Point-to-point send of a pacemaker message.
   std::function<void(ProcessId to, MessagePtr msg)> send;
   /// Broadcast to all n processors (including self, per the paper).
@@ -55,7 +55,7 @@ class Pacemaker {
             PacemakerWiring wiring)
       : params_(params), self_(self), signer_(signer), wiring_(std::move(wiring)) {
     params_.validate();
-    LUMIERE_ASSERT(wiring_.sim != nullptr && wiring_.clock != nullptr && wiring_.pki != nullptr);
+    LUMIERE_ASSERT(wiring_.sim != nullptr && wiring_.clock != nullptr && wiring_.auth);
   }
   virtual ~Pacemaker() = default;
 
@@ -99,7 +99,7 @@ class Pacemaker {
  protected:
   [[nodiscard]] sim::Simulator& sim() const noexcept { return *wiring_.sim; }
   [[nodiscard]] sim::LocalClock& clock() const noexcept { return *wiring_.clock; }
-  [[nodiscard]] const crypto::Pki& pki() const noexcept { return *wiring_.pki; }
+  [[nodiscard]] crypto::AuthView auth() const noexcept { return wiring_.auth; }
   [[nodiscard]] const crypto::Signer& signer() const noexcept { return signer_; }
 
   void send_to(ProcessId to, MessagePtr msg) const { wiring_.send(to, std::move(msg)); }

@@ -54,7 +54,7 @@ void RareSyncPacemaker::handle_epoch_share(const EpochViewMsg& msg) {
   if (!is_epoch_view(v)) return;
   if (v <= view_ || ec_sent_.contains(v)) return;
   auto [it, inserted] =
-      epoch_aggs_.try_emplace(v, &pki(), epoch_msg_statement(v), params_.quorum(), params_.n);
+      epoch_aggs_.try_emplace(v, auth(), epoch_msg_statement(v), params_.quorum());
   (void)inserted;
   if (!it->second.add(msg.share())) return;
   if (it->second.complete()) {
@@ -67,7 +67,7 @@ void RareSyncPacemaker::handle_ec(const EcMsg& msg) {
   const SyncCert& cert = msg.cert();
   const View v = cert.view();
   if (!is_epoch_view(v) || v <= view_) return;
-  if (!cert.verify(pki(), params_.quorum(), &epoch_msg_statement)) return;
+  if (!cert.verify(auth(), params_.quorum(), &epoch_msg_statement)) return;
   clock().bump_to(view_time(v));
   clock().unpause();
   enter_view(v);

@@ -16,7 +16,7 @@
 #include <map>
 #include <set>
 
-#include "crypto/threshold.h"
+#include "crypto/authenticator.h"
 #include "pacemaker/leader_schedule.h"
 #include "pacemaker/messages.h"
 #include "pacemaker/pacemaker.h"
@@ -64,7 +64,7 @@ class RareSyncPacemaker final : public Pacemaker {
   View view_ = -1;
   sim::AlarmId boundary_alarm_ = 0;
   std::set<View> epoch_msg_sent_;
-  std::map<View, crypto::ThresholdAggregator> epoch_aggs_;
+  std::map<View, crypto::QuorumAggregator> epoch_aggs_;
   std::set<View> ec_sent_;
 };
 

@@ -43,7 +43,7 @@ void RoundRobinPacemaker::handle_wish(const WishMsg& msg) {
   const View v = msg.view();
   if (v <= view_) return;
   auto [it, inserted] =
-      wish_aggs_.try_emplace(v, &pki(), wish_statement(v), params_.quorum(), params_.n);
+      wish_aggs_.try_emplace(v, auth(), wish_statement(v), params_.quorum());
   (void)inserted;
   if (!it->second.add(msg.share())) return;
   // f+1 wishes prove at least one honest processor timed out: join in

@@ -15,7 +15,7 @@
 #include <map>
 #include <set>
 
-#include "crypto/threshold.h"
+#include "crypto/authenticator.h"
 #include "pacemaker/leader_schedule.h"
 #include "pacemaker/messages.h"
 #include "pacemaker/pacemaker.h"
@@ -56,7 +56,7 @@ class RoundRobinPacemaker final : public Pacemaker {
   std::uint32_t consecutive_timeouts_ = 0;
   sim::EventHandle timer_;
   std::set<View> wished_;
-  std::map<View, crypto::ThresholdAggregator> wish_aggs_;
+  std::map<View, crypto::QuorumAggregator> wish_aggs_;
   std::set<View> amplified_;
 };
 

@@ -14,7 +14,7 @@ Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
   scenario_.params.validate();
   const std::uint32_t n = scenario_.params.n;
   LUMIERE_ASSERT_MSG(scenario_.nodes.size() == n, "Scenario must carry one NodeSpec per node");
-  pki_ = std::make_unique<crypto::Pki>(n, scenario_.seed);
+  auth_ = crypto::make_authenticator(scenario_.auth_scheme, n, scenario_.seed);
 
   // Behaviors first, so the metrics collector knows who is Byzantine.
   std::vector<std::unique_ptr<adversary::Behavior>> behaviors;
@@ -126,7 +126,7 @@ void Cluster::build_sim_cluster(std::vector<std::unique_ptr<adversary::Behavior>
   for (ProcessId id = 0; id < n; ++id) build_workload(id, &sim_, /*feed_metrics=*/true);
   for (ProcessId id = 0; id < n; ++id) {
     nodes_.push_back(std::make_unique<Node>(scenario_.params, id, &sim_, network_.get(),
-                                            pki_.get(), config_for(id, /*feed_metrics=*/true),
+                                            auth_.get(), config_for(id, /*feed_metrics=*/true),
                                             observers, std::move(behaviors[id])));
   }
   schedule_faults_sim();
@@ -176,6 +176,10 @@ void Cluster::apply_fault_tcp(ProcessId id, const sim::FaultEvent& event) {
     case sim::FaultKind::kLeave:
       if (id == event.node) {
         adapter.set_self_down(true);
+        // A crashed process's worker pool dies with it: join the workers
+        // and discard in-flight frames (runs on this node's own driver
+        // thread, so no submit() races the stop).
+        if (pipelines_[id] != nullptr) pipelines_[id]->stop();
       } else {
         adapter.set_peer_down(event.node, true);
       }
@@ -184,6 +188,7 @@ void Cluster::apply_fault_tcp(ProcessId id, const sim::FaultEvent& event) {
     case sim::FaultKind::kRejoin:
       if (id == event.node) {
         adapter.set_self_down(false);
+        if (pipelines_[id] != nullptr) pipelines_[id]->start();
       } else {
         adapter.set_peer_down(event.node, false);
       }
@@ -225,46 +230,87 @@ void Cluster::schedule_faults_tcp() {
   // pacing jitter rather than atomically.
   for (const sim::FaultEvent& event : scenario_.schedule.events) {
     for (ProcessId id = 0; id < scenario_.params.n; ++id) {
-      node_sims_[id]->schedule_at(event.at,
-                                  [this, id, event] { apply_fault_tcp(id, event); });
+      node_sims_[id]->schedule_at(event.at, [this, id, event] {
+        apply_fault_tcp(id, event);
+        // One regime boundary per event, not one per node: node 0's
+        // driver thread stamps it (the collector is in threaded mode).
+        if (id == 0) metrics_->mark_regime(event.at, sim::FaultSchedule::describe(event));
+      });
     }
   }
 }
 
 void Cluster::build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>> behaviors) {
   const std::uint32_t n = scenario_.params.n;
+  // Driver threads record concurrently; queries merge between run_for
+  // slices (runtime/metrics.h). The trace log stays sim-only — it has no
+  // threaded mode, so TCP observers feed metrics but never the trace.
+  metrics_->enable_threaded();
   nodes_.reserve(n);
   node_sims_.reserve(n);
   adapters_.reserve(n);
   drivers_.reserve(n);
+  pipelines_.reserve(n);
   workloads_.resize(n);
-  for (ProcessId id = 0; id < n; ++id) {
+  const auto make_codec = [this] {
     MessageCodec codec;
     consensus::register_consensus_messages(codec);
     pacemaker::register_pacemaker_messages(codec);
     dissem::register_dissem_messages(codec);
+    // Frames carry the selected scheme's signature geometry; decoders
+    // need it to slice signature bytes out of the stream.
+    codec.set_sig_wire(auth_->wire_spec());
+    return codec;
+  };
+  for (ProcessId id = 0; id < n; ++id) {
     node_sims_.push_back(std::make_unique<sim::Simulator>());
     adapters_.push_back(std::make_unique<transport::TcpTransportAdapter>(
-        id, n, scenario_.tcp_base_port, std::move(codec)));
+        id, n, scenario_.tcp_base_port, make_codec()));
+    adapters_.back()->set_observer(metrics_.get(), node_sims_.back().get());
     // The workload engine lives on the node's private simulator — every
     // touch (submission, drain, commit) happens on the node's own driver
-    // thread, so no locking is needed and no metrics are shared.
-    build_workload(id, node_sims_.back().get(), /*feed_metrics=*/false);
-    // No shared observers: nodes run on separate threads here, and the
-    // metrics/trace collectors are single-threaded simulator
-    // instrumentation. Per-node state (ledger, views, workload recorders)
-    // remains inspectable after run_for joins the threads.
+    // thread; the shared MetricsCollector is in threaded mode.
+    build_workload(id, node_sims_.back().get(), /*feed_metrics=*/true);
     NodeObservers observers;
+    observers.on_qc_formed = [this](TimePoint at, View view, ProcessId node) {
+      metrics_->record_qc_formed(at, view, node);
+    };
     if (workloads_[id] != nullptr && !scenario_.dissem.has_value()) {
       observers.on_commit = [this, id](TimePoint at, const consensus::Block& block, ProcessId) {
         workloads_[id]->on_commit(at, block.view(), block.payload());
       };
     }
     nodes_.push_back(std::make_unique<Node>(
-        scenario_.params, id, node_sims_.back().get(), adapters_.back().get(), pki_.get(),
-        config_for(id, /*feed_metrics=*/false), std::move(observers), std::move(behaviors[id])));
+        scenario_.params, id, node_sims_.back().get(), adapters_.back().get(), auth_.get(),
+        config_for(id, /*feed_metrics=*/true), std::move(observers), std::move(behaviors[id])));
     drivers_.push_back(std::make_unique<transport::RealtimeDriver>(
         node_sims_.back().get(), &adapters_.back()->endpoint()));
+    if (scenario_.pipeline.enabled) {
+      // Staged receive path: the endpoint hands raw frames to the worker
+      // pool; the driver drains verified results back on the node's own
+      // thread, seeding the memo before delivery so the consensus core
+      // skips re-verification (runtime/pipeline.h).
+      pipelines_.push_back(
+          std::make_unique<VerifyPipeline>(auth_.get(), make_codec(), scenario_.pipeline));
+      VerifyPipeline* pipeline = pipelines_.back().get();
+      Node* node = nodes_.back().get();
+      transport::TcpTransportAdapter* adapter = adapters_.back().get();
+      adapter->endpoint().set_raw_sink(
+          [pipeline](ProcessId from, std::span<const std::uint8_t> payload) {
+            return pipeline->submit(from, payload);
+          });
+      drivers_.back()->set_pump([pipeline, node, adapter] {
+        pipeline->drain([&](VerifyPipeline::Result&& result) {
+          for (const crypto::Digest& fp : result.fingerprints) {
+            node->verify_memo().remember(fp);
+          }
+          adapter->deliver_decoded(result.from, result.msg);
+        });
+      });
+      pipeline->start();
+    } else {
+      pipelines_.push_back(nullptr);
+    }
   }
   schedule_faults_tcp();
 }

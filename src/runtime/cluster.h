@@ -8,9 +8,11 @@
 //     partial-synchrony envelope all live here);
 //   * TransportKind::kTcp — every node gets a private Simulator paced
 //     against the wall clock on its own thread, exchanging real framed
-//     bytes over localhost TCP. Protocol objects are identical; metrics /
-//     traces / delay adversaries are simulator-only instrumentation and
-//     stay empty.
+//     bytes over localhost TCP. Protocol objects are identical; the
+//     shared MetricsCollector runs in threaded mode (full protocol
+//     metrics on both transports), while traces and delay adversaries
+//     remain simulator-only. With Scenario::pipeline enabled each node
+//     additionally runs a decode+verify worker pool (runtime/pipeline.h).
 #pragma once
 
 #include <memory>
@@ -18,9 +20,10 @@
 
 #include "adversary/behaviors.h"
 #include "core/honest_gap_tracker.h"
-#include "crypto/pki.h"
+#include "crypto/authenticator.h"
 #include "runtime/metrics.h"
 #include "runtime/node.h"
+#include "runtime/pipeline.h"
 #include "runtime/scenario.h"
 #include "sim/delay_policy.h"
 #include "sim/network.h"
@@ -66,7 +69,14 @@ class Cluster {
   [[nodiscard]] const Node& node(ProcessId id) const { return *nodes_.at(id); }
   [[nodiscard]] std::uint32_t n() const noexcept { return scenario_.params.n; }
   [[nodiscard]] const Scenario& scenario() const noexcept { return scenario_; }
-  [[nodiscard]] const crypto::Pki& pki() const noexcept { return *pki_; }
+  /// The cluster's authenticator scheme instance (key registry +
+  /// sign/verify primitives), selected by Scenario::auth_scheme.
+  [[nodiscard]] const crypto::Authenticator& auth() const noexcept { return *auth_; }
+  /// Node `id`'s staged verification pipeline; nullptr unless the
+  /// scenario enabled one (TCP transport).
+  [[nodiscard]] VerifyPipeline* pipeline(ProcessId id) {
+    return id < pipelines_.size() ? pipelines_[id].get() : nullptr;
+  }
 
   [[nodiscard]] std::vector<ProcessId> honest_ids() const;
   [[nodiscard]] std::vector<bool> byzantine_mask() const;
@@ -108,16 +118,16 @@ class Cluster {
   /// Resolves node `id`'s NodeConfig, including the dissemination layer's
   /// mempool/delivery hooks when the scenario enables it. `feed_metrics`
   /// additionally wires the disseminator's cert-latency / certified-depth
-  /// samples into the shared MetricsCollector — sim transport only.
+  /// samples into the shared MetricsCollector.
   [[nodiscard]] NodeConfig config_for(ProcessId id, bool feed_metrics) const;
   /// Instantiates node `id`'s workload engine on `sim` (the shared
   /// simulator, or the node's private one on TCP). `feed_metrics` wires
-  /// the engine into the shared MetricsCollector — sim transport only.
+  /// the engine into the shared MetricsCollector (threaded mode on TCP).
   void build_workload(ProcessId id, sim::Simulator* sim, bool feed_metrics);
 
   Scenario scenario_;
   sim::Simulator sim_;  ///< shared simulator (sim transport).
-  std::unique_ptr<crypto::Pki> pki_;
+  std::unique_ptr<crypto::Authenticator> auth_;
   std::unique_ptr<sim::Network> network_;
   std::unique_ptr<MetricsCollector> metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -135,6 +145,8 @@ class Cluster {
   std::vector<std::unique_ptr<sim::Simulator>> node_sims_;
   std::vector<std::unique_ptr<transport::TcpTransportAdapter>> adapters_;
   std::vector<std::unique_ptr<transport::RealtimeDriver>> drivers_;
+  /// One staged decode+verify worker pool per node (TCP + pipeline(on)).
+  std::vector<std::unique_ptr<VerifyPipeline>> pipelines_;
 };
 
 }  // namespace lumiere::runtime

@@ -9,10 +9,22 @@
 //     message count at that instant, so any inter-decision window's cost
 //     is a subtraction;
 //   * derives the four Table 1 measures over a run.
+//
+// Threading: on the sim transport everything runs on one thread and the
+// collector records directly (byte-identical to before threading
+// existed). The TCP transport calls enable_threaded() — recording then
+// appends raw events to sharded (mutex + vector) logs stamped with a
+// global sequence number, and every query first replays the events,
+// sorted by (time, seq), into an internal plain collector. Record from
+// any driver thread; query between run_for slices.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -30,6 +42,16 @@ class MetricsCollector final : public sim::NetworkObserver {
       : n_(n), byzantine_(std::move(byzantine)) {
     LUMIERE_ASSERT(byzantine_.size() == n_);
   }
+
+  /// Switches to thread-safe capture (sharded event logs, merged on
+  /// read). Call once, before any recording; the TCP Cluster does this at
+  /// construction. Queries afterwards replay the sorted event stream into
+  /// an internal plain collector, so derived measures are computed by
+  /// exactly the same code as the single-threaded path. References
+  /// returned by log accessors (decisions(), queue_depth_log(), ...)
+  /// remain valid until the next event is recorded.
+  void enable_threaded() { threaded_ = true; }
+  [[nodiscard]] bool threaded() const noexcept { return threaded_; }
 
   // -- NetworkObserver -------------------------------------------------
   void on_send(TimePoint at, ProcessId from, ProcessId to, const Message& msg) override;
@@ -51,19 +73,20 @@ class MetricsCollector final : public sim::NetworkObserver {
     std::uint64_t msgs_before = 0;  ///< cumulative honest sends at `at`
   };
 
-  [[nodiscard]] const std::vector<Decision>& decisions() const noexcept { return decisions_; }
-  [[nodiscard]] std::uint64_t total_honest_msgs() const noexcept { return total_msgs_; }
-  [[nodiscard]] std::uint64_t total_honest_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] const std::vector<Decision>& decisions() const { return base().decisions_; }
+  [[nodiscard]] std::uint64_t total_honest_msgs() const { return base().total_msgs_; }
+  [[nodiscard]] std::uint64_t total_honest_bytes() const { return base().total_bytes_; }
   [[nodiscard]] std::uint64_t count_for_type(std::uint32_t type_id) const {
-    const auto it = by_type_.find(type_id);
-    return it == by_type_.end() ? 0 : it->second;
+    const auto& by_type = base().by_type_;
+    const auto it = by_type.find(type_id);
+    return it == by_type.end() ? 0 : it->second;
   }
-  [[nodiscard]] std::uint64_t pacemaker_msgs() const noexcept { return pacemaker_msgs_; }
-  [[nodiscard]] std::uint64_t consensus_msgs() const noexcept { return consensus_msgs_; }
-  [[nodiscard]] std::uint64_t dissem_msgs() const noexcept { return dissem_msgs_; }
-  [[nodiscard]] std::uint64_t dissem_bytes() const noexcept { return dissem_bytes_; }
+  [[nodiscard]] std::uint64_t pacemaker_msgs() const { return base().pacemaker_msgs_; }
+  [[nodiscard]] std::uint64_t consensus_msgs() const { return base().consensus_msgs_; }
+  [[nodiscard]] std::uint64_t dissem_msgs() const { return base().dissem_msgs_; }
+  [[nodiscard]] std::uint64_t dissem_bytes() const { return base().dissem_bytes_; }
   /// Honest availability acks sent (BatchAck copies).
-  [[nodiscard]] std::uint64_t batch_acks() const noexcept { return batch_acks_; }
+  [[nodiscard]] std::uint64_t batch_acks() const { return base().batch_acks_; }
   /// Honest dissemination-layer bytes sent in [from, to) — attributable
   /// per regime window like msgs_between.
   [[nodiscard]] std::uint64_t dissem_bytes_between(TimePoint from, TimePoint to) const;
@@ -102,9 +125,8 @@ class MetricsCollector final : public sim::NetworkObserver {
   /// Records a regime boundary (a fault-schedule event) at `at`.
   void mark_regime(TimePoint at, std::string label);
   /// All boundaries in time order: (instant, event description).
-  [[nodiscard]] const std::vector<std::pair<TimePoint, std::string>>& regime_marks()
-      const noexcept {
-    return regime_marks_;
+  [[nodiscard]] const std::vector<std::pair<TimePoint, std::string>>& regime_marks() const {
+    return base().regime_marks_;
   }
 
   /// Decisions with `from <= at < to`.
@@ -125,8 +147,8 @@ class MetricsCollector final : public sim::NetworkObserver {
   /// A proposer drained its mempool at depth `depth` (requests waiting).
   void record_queue_depth(TimePoint at, ProcessId node, std::size_t depth);
 
-  [[nodiscard]] std::uint64_t requests_committed() const noexcept {
-    return request_log_.size();
+  [[nodiscard]] std::uint64_t requests_committed() const {
+    return base().request_log_.size();
   }
   /// Committed requests with `from <= at < to`.
   [[nodiscard]] std::uint64_t requests_between(TimePoint from, TimePoint to) const;
@@ -136,15 +158,15 @@ class MetricsCollector final : public sim::NetworkObserver {
   [[nodiscard]] std::optional<Duration> request_latency_percentile_between(double p,
                                                                            TimePoint from,
                                                                            TimePoint to) const;
-  [[nodiscard]] std::size_t max_queue_depth() const noexcept { return max_queue_depth_; }
+  [[nodiscard]] std::size_t max_queue_depth() const { return base().max_queue_depth_; }
   /// (instant, proposer, pending depth) per batch drain, in time order.
   struct QueueDepthSample {
     TimePoint at;
     ProcessId node = kNoProcess;
     std::size_t depth = 0;
   };
-  [[nodiscard]] const std::vector<QueueDepthSample>& queue_depth_log() const noexcept {
-    return queue_depth_log_;
+  [[nodiscard]] const std::vector<QueueDepthSample>& queue_depth_log() const {
+    return base().queue_depth_log_;
   }
 
   // -- data dissemination --------------------------------------------------
@@ -158,7 +180,7 @@ class MetricsCollector final : public sim::NetworkObserver {
   /// One node's certified-but-unordered reference depth sample.
   void record_certified_depth(TimePoint at, ProcessId node, std::size_t depth);
 
-  [[nodiscard]] std::uint64_t batches_certified() const noexcept { return cert_log_.size(); }
+  [[nodiscard]] std::uint64_t batches_certified() const { return base().cert_log_.size(); }
   /// Certified batches with `from <= at < to`.
   [[nodiscard]] std::uint64_t batches_certified_between(TimePoint from, TimePoint to) const;
   /// Nearest-rank push -> cert latency percentile, p in (0, 1]; nullopt
@@ -167,18 +189,68 @@ class MetricsCollector final : public sim::NetworkObserver {
   [[nodiscard]] std::optional<Duration> batch_cert_latency_percentile_between(
       double p, TimePoint from, TimePoint to) const;
   /// (instant, node, certified-unordered depth) samples, in time order.
-  [[nodiscard]] const std::vector<QueueDepthSample>& certified_depth_log() const noexcept {
-    return certified_depth_log_;
+  [[nodiscard]] const std::vector<QueueDepthSample>& certified_depth_log() const {
+    return base().certified_depth_log_;
   }
-  [[nodiscard]] std::size_t max_certified_depth() const noexcept { return max_certified_depth_; }
+  [[nodiscard]] std::size_t max_certified_depth() const { return base().max_certified_depth_; }
 
  private:
   /// The shared accounting body of on_send / on_broadcast: charges
   /// `copies` identical sends of `msg` at `at`.
   void charge_sends(TimePoint at, const Message& msg, std::uint64_t copies);
+  /// charge_sends with the message's properties already extracted — the
+  /// form threaded replay uses (events store properties, not Message&).
+  void charge_sends_raw(TimePoint at, std::uint32_t type_id, MsgClass msg_class,
+                        std::uint64_t wire, std::uint64_t copies);
+
+  /// One captured recording call (threaded mode); replayed in (at, seq)
+  /// order to rebuild the exact single-threaded collector state.
+  struct Event {
+    enum class Kind : std::uint8_t {
+      kSend,
+      kQcFormed,
+      kRegime,
+      kRequestCommitted,
+      kQueueDepth,
+      kBatchCertified,
+      kCertifiedDepth,
+    };
+    Kind kind = Kind::kSend;
+    std::uint64_t seq = 0;
+    TimePoint at;
+    std::uint32_t type_id = 0;             // kSend
+    MsgClass msg_class = MsgClass::kConsensus;
+    std::uint64_t wire = 0;                // kSend: bytes per copy
+    std::uint64_t copies = 0;              // kSend
+    View view = -1;                        // kQcFormed
+    ProcessId node = kNoProcess;           // kQcFormed leader / depth node
+    std::size_t depth = 0;                 // k*Depth
+    Duration latency = Duration::zero();   // kRequestCommitted / kBatchCertified
+    std::string label;                     // kRegime
+  };
+
+  /// Appends one event to the calling thread's shard with a fresh global
+  /// sequence number.
+  void capture(Event event);
+  /// The collector queries actually read: *this when single-threaded,
+  /// else the replayed merge (rebuilt only when new events arrived).
+  [[nodiscard]] const MetricsCollector& base() const;
 
   std::uint32_t n_;
   std::vector<bool> byzantine_;
+
+  // -- threaded capture --------------------------------------------------
+  bool threaded_ = false;
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    std::mutex mu;
+    std::vector<Event> events;
+  };
+  mutable std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> seq_{0};
+  mutable std::mutex merge_mu_;
+  mutable std::unique_ptr<MetricsCollector> merged_;
+  mutable std::uint64_t merged_upto_ = 0;
   std::uint64_t total_msgs_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t pacemaker_msgs_ = 0;

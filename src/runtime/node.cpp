@@ -7,19 +7,19 @@
 namespace lumiere::runtime {
 
 Node::Node(const ProtocolParams& params, ProcessId id, sim::Simulator* sim,
-           MessageTransport* network, const crypto::Pki* pki, NodeConfig config,
+           MessageTransport* network, const crypto::Authenticator* auth, NodeConfig config,
            NodeObservers observers, std::unique_ptr<adversary::Behavior> behavior)
     : params_(params),
       id_(id),
       sim_(sim),
       network_(network),
-      pki_(pki),
-      signer_(pki->signer_for(id)),
+      auth_view_(auth, &memo_),
+      signer_(auth->signer_for(id)),
       observers_(std::move(observers)),
       behavior_(std::move(behavior)),
       join_time_(config.join_time),
       protocol_(config.protocol) {
-  LUMIERE_ASSERT(sim != nullptr && network != nullptr && pki != nullptr);
+  LUMIERE_ASSERT(sim != nullptr && network != nullptr && auth != nullptr);
   LUMIERE_ASSERT(behavior_ != nullptr);
   ever_byzantine_ = std::strcmp(behavior_->name(), "honest") != 0;
   clock_ = std::make_unique<sim::LocalClock>(sim_, config.join_time, config.clock_drift_ppm);
@@ -40,7 +40,7 @@ adversary::Toolkit Node::toolkit() {
   adversary::Toolkit tk;
   tk.self = id_;
   tk.params = &params_;
-  tk.pki = pki_;
+  tk.auth = auth_view_;
   tk.signer = &signer_;
   tk.leader_of = [this](View v) { return pacemaker_->leader_of(v); };
   tk.high_qc = [this]() -> const consensus::QuorumCert& { return core_->high_qc(); };
@@ -52,7 +52,7 @@ void Node::build_pacemaker(const NodeConfig& config) {
   pacemaker::PacemakerWiring wiring;
   wiring.sim = sim_;
   wiring.clock = clock_.get();
-  wiring.pki = pki_;
+  wiring.auth = auth_view_;
   wiring.send = [this](ProcessId to, MessagePtr msg) { outbound(to, std::move(msg)); };
   wiring.broadcast = [this](MessagePtr msg) { outbound_broadcast(msg); };
   wiring.enter_view = [this](View v) {
@@ -82,7 +82,7 @@ void Node::build_dissem(const NodeConfig& config) {
     sim_->schedule_after(delay, std::move(fn));
   };
   cb.now = [this] { return sim_->now(); };
-  dissem_ = std::make_unique<dissem::Disseminator>(params_, pki_, signer_, *config.dissem,
+  dissem_ = std::make_unique<dissem::Disseminator>(params_, auth_view_, signer_, *config.dissem,
                                                    std::move(cb));
 }
 
@@ -126,7 +126,7 @@ void Node::build_core(const NodeConfig& config) {
 
   core_ = ProtocolRegistry::instance().make_core(
       config.protocol.core,
-      CoreContext{params_, id_, pki_, signer_, std::move(callbacks), std::move(hooks),
+      CoreContext{params_, id_, auth_view_, signer_, std::move(callbacks), std::move(hooks),
                   std::move(provider), config.protocol});
 }
 

@@ -73,7 +73,7 @@ class Node {
   /// std::invalid_argument on unknown protocol names (ScenarioBuilder
   /// validates earlier and produces friendlier per-node errors).
   Node(const ProtocolParams& params, ProcessId id, sim::Simulator* sim, MessageTransport* network,
-       const crypto::Pki* pki, NodeConfig config, NodeObservers observers,
+       const crypto::Authenticator* auth, NodeConfig config, NodeObservers observers,
        std::unique_ptr<adversary::Behavior> behavior);
 
   Node(const Node&) = delete;
@@ -108,6 +108,11 @@ class Node {
     return dissem_.get();
   }
   [[nodiscard]] dissem::Disseminator* disseminator() noexcept { return dissem_.get(); }
+  /// The memo of signatures the verify pipeline already checked for
+  /// this node. Written only by the node's driver thread (TCP).
+  [[nodiscard]] crypto::VerifyMemo& verify_memo() noexcept { return memo_; }
+  /// The verification facade this node's protocol layers use.
+  [[nodiscard]] crypto::AuthView auth_view() const noexcept { return auth_view_; }
 
  private:
   void build_pacemaker(const NodeConfig& config);
@@ -122,7 +127,8 @@ class Node {
   ProcessId id_;
   sim::Simulator* sim_;
   MessageTransport* network_;
-  const crypto::Pki* pki_;
+  crypto::VerifyMemo memo_;
+  crypto::AuthView auth_view_;
   crypto::Signer signer_;
   NodeObservers observers_;
   std::unique_ptr<adversary::Behavior> behavior_;

@@ -95,19 +95,19 @@ void register_builtin_pacemakers(ProtocolRegistry& registry) {
 
 void register_builtin_cores(ProtocolRegistry& registry) {
   registry.register_core("simple-view", [](CoreContext&& ctx) {
-    return std::make_unique<consensus::SimpleViewCore>(ctx.params, ctx.pki, ctx.signer,
+    return std::make_unique<consensus::SimpleViewCore>(ctx.params, ctx.auth, ctx.signer,
                                                        std::move(ctx.callbacks),
                                                        std::move(ctx.hooks),
                                                        std::move(ctx.payload_provider));
   });
   registry.register_core("chained-hotstuff", [](CoreContext&& ctx) {
-    return std::make_unique<consensus::ChainedHotStuff>(ctx.params, ctx.pki, ctx.signer,
+    return std::make_unique<consensus::ChainedHotStuff>(ctx.params, ctx.auth, ctx.signer,
                                                         std::move(ctx.callbacks),
                                                         std::move(ctx.hooks),
                                                         std::move(ctx.payload_provider));
   });
   registry.register_core("hotstuff-2", [](CoreContext&& ctx) {
-    return std::make_unique<consensus::HotStuff2>(ctx.params, ctx.pki, ctx.signer,
+    return std::make_unique<consensus::HotStuff2>(ctx.params, ctx.auth, ctx.signer,
                                                   std::move(ctx.callbacks), std::move(ctx.hooks),
                                                   std::move(ctx.payload_provider));
   });

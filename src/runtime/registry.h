@@ -24,7 +24,7 @@
 #include "common/time.h"
 #include "common/types.h"
 #include "consensus/core.h"
-#include "crypto/pki.h"
+#include "crypto/authenticator.h"
 #include "pacemaker/pacemaker.h"
 
 namespace lumiere::runtime {
@@ -57,8 +57,7 @@ struct TimeoutOptions {
 };
 
 /// Everything that selects and parameterizes one node's protocol stack —
-/// the single home of the per-protocol knobs (the legacy construction
-/// structs duplicated them per layer; see runtime/compat.h).
+/// the single home of the per-protocol knobs.
 struct ProtocolConfig {
   /// Registry name of the view synchronizer (see ProtocolRegistry).
   std::string pacemaker = "lumiere";
@@ -88,7 +87,7 @@ struct PacemakerContext {
 struct CoreContext {
   const ProtocolParams& params;
   ProcessId self;
-  const crypto::Pki* pki;
+  crypto::AuthView auth;
   crypto::Signer signer;
   consensus::CoreCallbacks callbacks;
   consensus::PacemakerHooks hooks;

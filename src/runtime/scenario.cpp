@@ -124,6 +124,16 @@ ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t seed) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::auth_scheme(std::string name) {
+  auth_scheme_ = std::move(name);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::pipeline(PipelineSpec spec) {
+  pipeline_ = spec;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::workload(PayloadProvider provider) {
   workload_ = std::move(provider);
   return *this;
@@ -307,6 +317,25 @@ std::vector<std::string> ScenarioBuilder::validate() const {
   }
   if (join_stagger_ < Duration::zero()) {
     errors.push_back("join_stagger must be non-negative");
+  }
+  if (!crypto::has_scheme(auth_scheme_)) {
+    std::string known;
+    for (const auto& name : crypto::scheme_names()) known += " " + name;
+    errors.push_back("auth_scheme: unknown scheme \"" + auth_scheme_ +
+                     "\"; known schemes:" + known);
+  }
+  if (pipeline_.enabled) {
+    if (transport_ != TransportKind::kTcp) {
+      errors.push_back(
+          "pipeline: the staged verification pipeline is TCP-transport-only (the "
+          "deterministic simulator is single-threaded by design); use transport_tcp()");
+    }
+    if (pipeline_.workers == 0) {
+      errors.push_back("pipeline: workers must be >= 1");
+    }
+    if (pipeline_.queue_capacity == 0) {
+      errors.push_back("pipeline: queue_capacity must be >= 1");
+    }
   }
 
   auto check_names = [&](const std::string& where, const std::string& pm,
@@ -634,6 +663,8 @@ Scenario ScenarioBuilder::scenario() const {
   scenario.params = params_;
   scenario.seed = seed_;
   scenario.transport = transport_;
+  scenario.auth_scheme = auth_scheme_;
+  scenario.pipeline = pipeline_;
   scenario.gst = gst_;
   scenario.delay = delay_;
   scenario.tcp_base_port = tcp_base_port_;

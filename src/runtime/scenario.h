@@ -27,6 +27,7 @@
 
 #include "adversary/behaviors.h"
 #include "dissem/spec.h"
+#include "runtime/pipeline.h"
 #include "runtime/registry.h"
 #include "sim/delay_policy.h"
 #include "sim/fault_schedule.h"
@@ -68,6 +69,15 @@ struct Scenario {
   /// Everything-determining seed (leader schedules, keys, delay draws).
   std::uint64_t seed = 1;
   TransportKind transport = TransportKind::kSim;
+
+  /// Authenticator scheme registry name (crypto/authenticator.h). The
+  /// default is the zero-cost sim scheme every golden digest pins;
+  /// schemes with real verify cost pair naturally with `pipeline`.
+  std::string auth_scheme = crypto::kDefaultScheme;
+
+  /// Staged decode+verify worker pool per node (TCP transport only;
+  /// default off — the deterministic sim path never runs one).
+  PipelineSpec pipeline;
 
   /// Global Stabilization Time (sim transport only): before it the
   /// adversary's proposed delays apply unclamped up to GST + Delta; after
@@ -145,6 +155,12 @@ class ScenarioBuilder {
   ScenarioBuilder& view_timeout(Duration timeout);
   ScenarioBuilder& relay_timeout(Duration timeout);
   ScenarioBuilder& seed(std::uint64_t seed);
+  /// Selects the authenticator scheme by registry name
+  /// (crypto::scheme_names()); validate() rejects unknown names.
+  ScenarioBuilder& auth_scheme(std::string name);
+  /// Enables the per-node staged verification pipeline (runtime/pipeline.h).
+  /// TCP transport only — the sim transport is single-threaded by design.
+  ScenarioBuilder& pipeline(PipelineSpec spec);
   ScenarioBuilder& workload(PayloadProvider provider);
   /// Client-driven workload (src/workload/): drivers, bounded mempools
   /// and end-to-end latency accounting on every node. Mutually exclusive
@@ -243,6 +259,8 @@ class ScenarioBuilder {
   PayloadProvider workload_;
   std::optional<workload::WorkloadSpec> workload_spec_;
   std::optional<dissem::DissemSpec> dissem_;
+  std::string auth_scheme_ = crypto::kDefaultScheme;
+  PipelineSpec pipeline_;
   TransportKind transport_ = TransportKind::kSim;
   std::uint16_t tcp_base_port_ = 0;
   std::map<ProcessId, NodeTweak> tweaks_;

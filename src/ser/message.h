@@ -20,6 +20,17 @@
 
 namespace lumiere {
 
+/// Collects the authenticator claims a message carries, so a pipeline
+/// worker can pre-verify them off the consensus thread (runtime/pipeline.h).
+/// `message` is the statement digest in the same convention the verify
+/// API uses (shares: the pre-domain-separation statement).
+class AuthClaimSink {
+ public:
+  virtual ~AuthClaimSink() = default;
+  virtual void share(const crypto::Digest& message, const crypto::PartialSig& share) = 0;
+  virtual void aggregate(const crypto::ThresholdSig& sig) = 0;
+};
+
 class Message {
  public:
   virtual ~Message() = default;
@@ -37,6 +48,11 @@ class Message {
 
   /// Writes the body (not the type tag) to `w`.
   virtual void serialize(ser::Writer& w) const = 0;
+
+  /// Reports every signature/aggregate this message carries to `sink`
+  /// (statement + claim), for off-thread batch verification. Default:
+  /// the message carries no authenticator material.
+  virtual void collect_auth(AuthClaimSink& sink) const { (void)sink; }
 };
 
 using MessagePtr = std::shared_ptr<const Message>;
@@ -50,6 +66,11 @@ class MessageCodec {
   void register_type(std::uint32_t type_id, DecodeFn fn) {
     decoders_[type_id] = std::move(fn);
   }
+
+  /// Installs the authenticator scheme's wire geometry; every Reader this
+  /// codec hands to a decoder carries it. Default: the sim default scheme.
+  void set_sig_wire(crypto::SigWireSpec spec) noexcept { sig_wire_ = spec; }
+  [[nodiscard]] const crypto::SigWireSpec& sig_wire() const noexcept { return sig_wire_; }
 
   /// Frames `msg` as [u32 type_id || body].
   [[nodiscard]] static std::vector<std::uint8_t> encode(const Message& msg) {
@@ -70,7 +91,7 @@ class MessageCodec {
 
   /// Decodes one frame; nullptr on unknown type or malformed body.
   [[nodiscard]] MessagePtr decode(std::span<const std::uint8_t> frame) const {
-    ser::Reader r(frame);
+    ser::Reader r(frame, sig_wire_);
     std::uint32_t type_id = 0;
     if (!r.u32(type_id)) return nullptr;
     const auto it = decoders_.find(type_id);
@@ -90,6 +111,7 @@ class MessageCodec {
 
  private:
   std::unordered_map<std::uint32_t, DecodeFn> decoders_;
+  crypto::SigWireSpec sig_wire_;
 };
 
 }  // namespace lumiere

@@ -36,6 +36,35 @@ bool Reader::digest(crypto::Digest& out) {
   return true;
 }
 
+bool Reader::raw(crypto::SigBytes& out, std::size_t count) {
+  if (remaining() < count) return false;
+  out.assign(data_.subspan(pos_, count));
+  pos_ += count;
+  return true;
+}
+
+bool Reader::partial_sig(crypto::PartialSig& out) {
+  ProcessId signer = kNoProcess;
+  if (!process(signer)) return false;
+  crypto::SigBytes sig;
+  if (!raw(sig, sig_wire_.sig_bytes)) return false;
+  out.signer = signer;
+  out.sig = std::move(sig);
+  return true;
+}
+
+bool Reader::threshold_sig(crypto::ThresholdSig& out) {
+  crypto::Digest message;
+  SignerSet signers;
+  if (!digest(message) || !signer_set(signers)) return false;
+  crypto::SigBytes tag;
+  if (!raw(tag, sig_wire_.tag_bytes(signers.count()))) return false;
+  out.message = message;
+  out.signers = std::move(signers);
+  out.tag = std::move(tag);
+  return true;
+}
+
 bool Reader::signer_set(SignerSet& out) {
   std::uint32_t universe = 0;
   std::uint32_t count = 0;

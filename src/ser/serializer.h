@@ -23,7 +23,9 @@
 #include "common/signer_set.h"
 #include "common/time.h"
 #include "common/types.h"
+#include "crypto/authenticator.h"
 #include "crypto/sha256.h"
+#include "crypto/sig_wire.h"
 
 namespace lumiere::ser {
 
@@ -68,7 +70,26 @@ class Writer {
   void digest(const crypto::Digest& d) {
     bytes_.insert(bytes_.end(), d.bytes().begin(), d.bytes().end());
   }
+  /// Length-prefix-free append; the length must be recoverable by the
+  /// reader (fixed by the format or by its SigWireSpec).
+  void raw(std::span<const std::uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
   void signer_set(const SignerSet& set);
+
+  // Signature material ships as raw scheme-length blobs: the reader
+  // recovers the lengths from its SigWireSpec, so no per-signature length
+  // prefix is spent (and the default sim scheme stays byte-identical to the
+  // old fixed-Digest wire format).
+  void partial_sig(const crypto::PartialSig& s) {
+    process(s.signer);
+    raw(s.sig.span());
+  }
+  void threshold_sig(const crypto::ThresholdSig& s) {
+    digest(s.message);
+    signer_set(s.signers);
+    raw(s.tag.span());
+  }
 
   [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept { return bytes_; }
   [[nodiscard]] std::vector<std::uint8_t> take() && noexcept { return std::move(bytes_); }
@@ -85,10 +106,18 @@ class Writer {
   std::vector<std::uint8_t> bytes_;
 };
 
-/// Sequential byte source over a borrowed buffer.
+/// Sequential byte source over a borrowed buffer. Carries the
+/// authenticator scheme's wire geometry (crypto/sig_wire.h) so signature
+/// blobs and aggregation tags can be cut out of the frame; the default
+/// spec is the sim default scheme, keeping all legacy byte streams
+/// decodable without further configuration.
 class Reader {
  public:
-  explicit Reader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+  explicit Reader(std::span<const std::uint8_t> data,
+                  crypto::SigWireSpec sig_wire = {}) noexcept
+      : data_(data), sig_wire_(sig_wire) {}
+
+  [[nodiscard]] const crypto::SigWireSpec& sig_wire() const noexcept { return sig_wire_; }
 
   [[nodiscard]] bool u8(std::uint8_t& out) { return read_le(out); }
   [[nodiscard]] bool u16(std::uint16_t& out) { return read_le(out); }
@@ -127,6 +156,10 @@ class Reader {
   [[nodiscard]] bool str(std::string& out);
   [[nodiscard]] bool digest(crypto::Digest& out);
   [[nodiscard]] bool signer_set(SignerSet& out);
+  /// Reads exactly `count` bytes into `out` (resized).
+  [[nodiscard]] bool raw(crypto::SigBytes& out, std::size_t count);
+  [[nodiscard]] bool partial_sig(crypto::PartialSig& out);
+  [[nodiscard]] bool threshold_sig(crypto::ThresholdSig& out);
 
   [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
   [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
@@ -146,6 +179,7 @@ class Reader {
 
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
+  crypto::SigWireSpec sig_wire_;
 };
 
 }  // namespace lumiere::ser

@@ -25,15 +25,39 @@ void TcpTransportAdapter::register_endpoint(ProcessId id, DeliverFn fn) {
 void TcpTransportAdapter::send(ProcessId from, ProcessId to, MessagePtr msg) {
   LUMIERE_ASSERT(from == self_);
   LUMIERE_ASSERT(to < n_);
+  if (self_down_) return;  // even self-delivery: process is down
+  // Charged before the link-cut filter, matching the sim network: the
+  // send is real traffic by a correct process whether or not the
+  // adversary cuts the wire.
+  if (observer_ != nullptr && to != self_) {
+    observer_->on_send(observer_clock_->now(), from, to, *msg);
+  }
   if (to != self_ && blocked(to)) return;  // cut link: the frame is lost
-  if (self_down_) return;                  // even self-delivery: process is down
   endpoint_->send(to, *msg);
 }
 
 void TcpTransportAdapter::broadcast(ProcessId from, const MessagePtr& msg) {
   LUMIERE_ASSERT(from == self_);
-  // Per-recipient so cut links filter individually.
-  for (ProcessId to = 0; to < n_; ++to) send(from, to, msg);
+  if (self_down_) return;
+  // One bulk charge for the fan-out (identical totals to per-peer
+  // on_send, matching sim::Network::broadcast), then per-recipient
+  // delivery so cut links filter individually.
+  if (observer_ != nullptr) observer_->on_broadcast(observer_clock_->now(), from, *msg, n_);
+  for (ProcessId to = 0; to < n_; ++to) {
+    if (to != self_ && blocked(to)) continue;
+    endpoint_->send(to, *msg);
+  }
+}
+
+void TcpTransportAdapter::set_observer(sim::NetworkObserver* observer, sim::Simulator* clock) {
+  LUMIERE_ASSERT(observer == nullptr || clock != nullptr);
+  observer_ = observer;
+  observer_clock_ = clock;
+}
+
+void TcpTransportAdapter::deliver_decoded(ProcessId from, const MessagePtr& msg) {
+  if (from < n_ && from != self_ && (blocked(from) || inbound_cut_[from])) return;
+  if (deliver_) deliver_(from, msg);
 }
 
 void TcpTransportAdapter::set_partition_cut(ProcessId peer, bool cut) {
@@ -90,6 +114,7 @@ void RealtimeDriver::run_for(std::chrono::milliseconds wall) {
           std::clamp<std::int64_t>(until_next.ticks() / 1000, 0, 1));
     }
     endpoint_->poll_once(timeout_ms);
+    if (pump_) pump_();
   }
 }
 

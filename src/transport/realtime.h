@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/network.h"
 #include "sim/simulator.h"
 #include "sim/transport_iface.h"
 #include "transport/tcp_transport.h"
@@ -37,6 +38,17 @@ class TcpTransportAdapter final : public MessageTransport {
   void register_endpoint(ProcessId id, DeliverFn fn) override;
   void send(ProcessId from, ProcessId to, MessagePtr msg) override;
   void broadcast(ProcessId from, const MessagePtr& msg) override;
+
+  /// Wires send/broadcast accounting into `observer`, timestamped from
+  /// `clock` (the node's private simulator, so charges carry the node's
+  /// own sim instant). The observer must be thread-safe — every node's
+  /// driver thread charges the same collector concurrently.
+  void set_observer(sim::NetworkObserver* observer, sim::Simulator* clock);
+
+  /// Delivers an already-decoded message through the same inbound gate as
+  /// the socket path (partition/down filters). The verification pipeline's
+  /// drain step calls this from the node's driver thread.
+  void deliver_decoded(ProcessId from, const MessagePtr& msg);
 
   // Best-effort fault-schedule analogue (runtime/cluster.cpp schedules
   // these on the node's private simulator, so all calls happen on the
@@ -65,6 +77,8 @@ class TcpTransportAdapter final : public MessageTransport {
   ProcessId self_;
   std::uint32_t n_;
   DeliverFn deliver_;
+  sim::NetworkObserver* observer_ = nullptr;
+  sim::Simulator* observer_clock_ = nullptr;
   std::vector<bool> partition_cut_;
   std::vector<bool> inbound_cut_;
   std::vector<bool> peer_down_;
@@ -82,9 +96,15 @@ class RealtimeDriver {
   /// they arrive.
   void run_for(std::chrono::milliseconds wall);
 
+  /// Installs a hook invoked once per pacing iteration, after the socket
+  /// pump — the verification pipeline drains its egress queue here, on
+  /// this driver's thread.
+  void set_pump(std::function<void()> pump) { pump_ = std::move(pump); }
+
  private:
   sim::Simulator* sim_;
   TcpEndpoint* endpoint_;
+  std::function<void()> pump_;
   TimePoint sim_anchor_;  ///< sim time corresponding to wall_anchor_
   std::chrono::steady_clock::time_point wall_anchor_;
   bool anchored_ = false;

@@ -224,12 +224,17 @@ void TcpEndpoint::read_and_dispatch(Conn& conn) {
     }
     if (conn.inbox.size() - offset - 8 < len) break;
     const ProcessId from = read_u32(conn.inbox.data() + offset + 4);
-    const MessagePtr msg = codec_.decode(
-        std::span<const std::uint8_t>(conn.inbox.data() + offset + 8, len));
+    const std::span<const std::uint8_t> payload(conn.inbox.data() + offset + 8, len);
     offset += 8 + len;
-    if (msg != nullptr && from < n_) {
+    if (from >= n_) continue;
+    conn.peer = from;
+    if (raw_sink_ && raw_sink_(from, payload)) {
       ++frames_received_;
-      conn.peer = from;
+      continue;
+    }
+    const MessagePtr msg = codec_.decode(payload);
+    if (msg != nullptr) {
+      ++frames_received_;
       on_receive_(from, msg);
     }
   }

@@ -30,6 +30,12 @@ namespace lumiere::transport {
 class TcpEndpoint {
  public:
   using ReceiveFn = std::function<void(ProcessId from, const MessagePtr& msg)>;
+  /// Raw-frame intercept for the staged verification pipeline
+  /// (runtime/pipeline.h): gets each complete inbound frame payload
+  /// before decode. Return true to consume it (the pipeline decodes and
+  /// delivers later); false to fall back to the inline decode+dispatch
+  /// path (e.g. the pipeline is stopped).
+  using RawSinkFn = std::function<bool(ProcessId from, std::span<const std::uint8_t> payload)>;
 
   /// Binds and listens on base_port + self. Throws std::runtime_error on
   /// socket failures (configuration errors, not protocol conditions).
@@ -48,6 +54,11 @@ class TcpEndpoint {
   /// Pumps the socket set once: accepts, flushes queued writes, reads and
   /// dispatches complete frames. Returns the number of frames dispatched.
   std::size_t poll_once(int timeout_ms);
+
+  /// Installs (or clears, with nullptr) the raw-frame intercept. Frames a
+  /// processor sends to itself bypass it — self-delivery needs no
+  /// signature pre-verification and stays immediate.
+  void set_raw_sink(RawSinkFn sink) { raw_sink_ = std::move(sink); }
 
   [[nodiscard]] ProcessId self() const noexcept { return self_; }
   [[nodiscard]] std::uint64_t frames_sent() const noexcept { return frames_sent_; }
@@ -81,6 +92,7 @@ class TcpEndpoint {
   std::uint16_t base_port_;
   MessageCodec codec_;
   ReceiveFn on_receive_;
+  RawSinkFn raw_sink_;
   int listen_fd_ = -1;
   std::map<ProcessId, Conn> outgoing_;  // keyed by destination
   // deque, not vector: poll_once holds Conn* across an accept_pending()

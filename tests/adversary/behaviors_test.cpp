@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "consensus/messages.h"
+#include "crypto/authenticator.h"
 #include "core/epoch_math.h"
 #include "core/lumiere.h"
 #include "pacemaker/messages.h"
@@ -11,7 +14,9 @@
 namespace lumiere::adversary {
 namespace {
 
-crypto::Pki test_pki() { return crypto::Pki(4, 1); }
+std::unique_ptr<crypto::Authenticator> test_auth() {
+  return crypto::make_authenticator(crypto::kDefaultScheme, 4, 1);
+}
 
 consensus::ProposalMsg sample_proposal() {
   const auto genesis = consensus::QuorumCert::genesis(consensus::Block::genesis().hash());
@@ -38,16 +43,16 @@ TEST(BehaviorTest, MuteDropsAll) {
 
 TEST(BehaviorTest, SilentLeaderDropsLeaderDutiesOnly) {
   SilentLeaderBehavior silent;
-  const auto pki = test_pki();
+  const auto auth = test_auth();
   EXPECT_FALSE(silent.allow_send(TimePoint(0), 1, sample_proposal()));
 
   const auto vote_share = crypto::threshold_share(
-      pki.signer_for(0), consensus::QuorumCert::statement(1, crypto::Sha256::hash("b")));
+      auth->signer_for(0), consensus::QuorumCert::statement(1, crypto::Sha256::hash("b")));
   const consensus::VoteMsg vote(1, crypto::Sha256::hash("b"), vote_share);
   EXPECT_TRUE(silent.allow_send(TimePoint(0), 1, vote)) << "replica duties continue";
 
   const auto view_share =
-      crypto::threshold_share(pki.signer_for(0), pacemaker::view_msg_statement(2));
+      crypto::threshold_share(auth->signer_for(0), pacemaker::view_msg_statement(2));
   const pacemaker::ViewMsg vm(2, view_share);
   EXPECT_TRUE(silent.allow_send(TimePoint(0), 1, vm));
 }

@@ -2,29 +2,36 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "crypto/authenticator.h"
+
 namespace lumiere::consensus {
 namespace {
 
 class QuorumCertTest : public ::testing::Test {
  protected:
   QuorumCert make_qc(View view, const crypto::Digest& block_hash, std::uint32_t votes) {
-    crypto::ThresholdAggregator agg(&pki_, QuorumCert::statement(view, block_hash),
-                                    params_.quorum(), params_.n);
+    crypto::QuorumAggregator agg(auth(), QuorumCert::statement(view, block_hash),
+                                 params_.quorum());
     for (ProcessId id = 0; id < votes; ++id) {
-      agg.add(crypto::threshold_share(pki_.signer_for(id),
+      agg.add(crypto::threshold_share(auth_->signer_for(id),
                                       QuorumCert::statement(view, block_hash)));
     }
     return QuorumCert(view, block_hash, agg.aggregate());
   }
 
+  [[nodiscard]] crypto::AuthView auth() const { return crypto::AuthView(auth_.get()); }
+
   ProtocolParams params_ = ProtocolParams::for_n(7, Duration::millis(10));
-  crypto::Pki pki_{7, 42};
+  std::unique_ptr<crypto::Authenticator> auth_ =
+      crypto::make_authenticator(crypto::kDefaultScheme, 7, 42);
 };
 
 TEST_F(QuorumCertTest, ValidQcVerifies) {
   const crypto::Digest h = crypto::Sha256::hash("block");
   const QuorumCert qc = make_qc(3, h, params_.quorum());
-  EXPECT_TRUE(qc.verify(pki_, params_));
+  EXPECT_TRUE(qc.verify(auth(), params_));
   EXPECT_EQ(qc.view(), 3);
   EXPECT_FALSE(qc.is_genesis());
 }
@@ -41,13 +48,13 @@ TEST_F(QuorumCertTest, MismatchedStatementRejected) {
   QuorumCert qc = make_qc(3, h, params_.quorum());
   // Tamper: claim it certifies a different view.
   const QuorumCert tampered(4, h, qc.sig());
-  EXPECT_FALSE(tampered.verify(pki_, params_));
+  EXPECT_FALSE(tampered.verify(auth(), params_));
 }
 
 TEST_F(QuorumCertTest, GenesisVerifiesTrivially) {
   const QuorumCert g = QuorumCert::genesis(crypto::Sha256::hash("genesis"));
   EXPECT_TRUE(g.is_genesis());
-  EXPECT_TRUE(g.verify(pki_, params_));
+  EXPECT_TRUE(g.verify(auth(), params_));
 }
 
 TEST_F(QuorumCertTest, SerializeRoundTrip) {
@@ -59,19 +66,18 @@ TEST_F(QuorumCertTest, SerializeRoundTrip) {
   const auto out = QuorumCert::deserialize(r);
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(*out, qc);
-  EXPECT_TRUE(out->verify(pki_, params_));
+  EXPECT_TRUE(out->verify(auth(), params_));
 }
 
 TEST_F(QuorumCertTest, DiamondTwoQuorumRequired) {
   // (diamond-2): a QC must carry 2f+1 distinct signers; fewer fails.
   const crypto::Digest h = crypto::Sha256::hash("block");
-  crypto::ThresholdAggregator agg(&pki_, QuorumCert::statement(1, h), params_.small_quorum(),
-                                  params_.n);
+  crypto::QuorumAggregator agg(auth(), QuorumCert::statement(1, h), params_.small_quorum());
   for (ProcessId id = 0; id < params_.small_quorum(); ++id) {
-    agg.add(crypto::threshold_share(pki_.signer_for(id), QuorumCert::statement(1, h)));
+    agg.add(crypto::threshold_share(auth_->signer_for(id), QuorumCert::statement(1, h)));
   }
   const QuorumCert thin(1, h, agg.aggregate());
-  EXPECT_FALSE(thin.verify(pki_, params_)) << "f+1 signatures are not a quorum";
+  EXPECT_FALSE(thin.verify(auth(), params_)) << "f+1 signatures are not a quorum";
 }
 
 TEST_F(QuorumCertTest, StatementCacheMatchesDirectComputation) {
@@ -92,19 +98,18 @@ TEST_F(QuorumCertTest, VerifyCacheAcceptsOnlyTheExactVerifiedBytes) {
   const crypto::Digest h = crypto::Sha256::hash("block");
   const QuorumCert qc = make_qc(3, h, params_.quorum());
   QcVerifyCache cache;
-  EXPECT_TRUE(qc.verify(pki_, params_, &cache));
+  EXPECT_TRUE(qc.verify(auth(), params_, &cache));
   EXPECT_TRUE(cache.known_good(cache.fingerprint(qc)));
-  EXPECT_TRUE(qc.verify(pki_, params_, &cache)) << "memo hit must still accept";
+  EXPECT_TRUE(qc.verify(auth(), params_, &cache)) << "memo hit must still accept";
 
   // A *different* QC for the same (view, block) — here a thin one with
   // fewer signers — must not ride the memo: its fingerprint differs.
-  crypto::ThresholdAggregator agg(&pki_, QuorumCert::statement(3, h), params_.small_quorum(),
-                                  params_.n);
+  crypto::QuorumAggregator agg(auth(), QuorumCert::statement(3, h), params_.small_quorum());
   for (ProcessId id = 0; id < params_.small_quorum(); ++id) {
-    agg.add(crypto::threshold_share(pki_.signer_for(id), QuorumCert::statement(3, h)));
+    agg.add(crypto::threshold_share(auth_->signer_for(id), QuorumCert::statement(3, h)));
   }
   const QuorumCert thin(3, h, agg.aggregate());
-  EXPECT_FALSE(thin.verify(pki_, params_, &cache));
+  EXPECT_FALSE(thin.verify(auth(), params_, &cache));
   EXPECT_FALSE(cache.known_good(cache.fingerprint(thin)));
 }
 

@@ -31,7 +31,7 @@ TEST(SimpleViewCoreTest, QcCarriesQuorumSignatures) {
   ASSERT_FALSE(h.node(0).qcs_formed.empty());
   const QuorumCert& qc = h.node(0).qcs_formed[0];
   EXPECT_GE(qc.sig().signer_count(), h.params().quorum());
-  EXPECT_TRUE(qc.verify(h.pki(), h.params()));
+  EXPECT_TRUE(qc.verify(h.auth_view(), h.params()));
 }
 
 TEST(SimpleViewCoreTest, LateEntrantVotesFromBufferedProposal) {

@@ -176,11 +176,11 @@ TEST_F(LumiereUnitTest, InvalidSharesRejected) {
   // Shares whose MAC does not verify (signed for a different view) must
   // not count toward TC/EC.
   auto bogus = std::make_shared<pacemaker::EpochViewMsg>(
-      target, crypto::threshold_share(harness_.pki().signer_for(1),
+      target, crypto::threshold_share(harness_.auth().signer_for(1),
                                       pacemaker::epoch_msg_statement(target + 40)));
   pm_->on_message(1, bogus);
   auto bogus2 = std::make_shared<pacemaker::EpochViewMsg>(
-      target, crypto::threshold_share(harness_.pki().signer_for(2),
+      target, crypto::threshold_share(harness_.auth().signer_for(2),
                                       pacemaker::epoch_msg_statement(target + 40)));
   pm_->on_message(2, bogus2);
   harness_.settle();

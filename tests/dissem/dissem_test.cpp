@@ -6,6 +6,10 @@
 // payload size once proposals order references instead of bytes.
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "crypto/authenticator.h"
+
 #include <map>
 #include <set>
 #include <vector>
@@ -31,10 +35,11 @@ BatchId id_for(ProcessId origin, std::uint64_t seq, const std::vector<std::uint8
                      std::span<const std::uint8_t>(payload.data(), payload.size()))};
 }
 
-crypto::ThresholdSig aggregate_for(const crypto::Pki& pki, const BatchId& id, std::uint32_t m) {
-  crypto::ThresholdAggregator agg(&pki, batch_statement(id), m, pki.n());
+crypto::ThresholdSig aggregate_for(const crypto::Authenticator& auth, const BatchId& id,
+                                   std::uint32_t m) {
+  crypto::QuorumAggregator agg(crypto::AuthView(&auth), batch_statement(id), m);
   for (ProcessId signer = 0; signer < m; ++signer) {
-    agg.add(crypto::threshold_share(pki.signer_for(signer), batch_statement(id)));
+    agg.add(crypto::threshold_share(auth.signer_for(signer), batch_statement(id)));
   }
   return agg.aggregate();
 }
@@ -57,30 +62,32 @@ TEST(BatchTest, StatementBindsTheFullIdentity) {
 
 TEST(BatchTest, CertVerifiesAndRejectsForgeries) {
   const ProtocolParams params = ProtocolParams::for_n(4, Duration::millis(10));
-  crypto::Pki pki(4, 17);
+  const auto auth_owner = crypto::make_authenticator(crypto::kDefaultScheme, 4, 17);
+  const crypto::Authenticator& auth = *auth_owner;
   const auto payload = bytes_of(32, 0x22);
   const BatchId id = id_for(0, 1, payload);
-  const BatchCert cert(id, aggregate_for(pki, id, params.small_quorum()));
-  EXPECT_TRUE(cert.verify(pki, params));
+  const BatchCert cert(id, aggregate_for(auth, id, params.small_quorum()));
+  EXPECT_TRUE(cert.verify(crypto::AuthView(&auth), params));
 
   // The aggregate is bound to the identity: the same signature presented
   // for a different batch must not verify.
   BatchId other = id;
   other.seq = 2;
   const BatchCert transplanted(other, cert.sig());
-  EXPECT_FALSE(transplanted.verify(pki, params));
+  EXPECT_FALSE(transplanted.verify(crypto::AuthView(&auth), params));
 
   // Fewer than f+1 signers is no proof of availability.
-  const BatchCert thin(id, aggregate_for(pki, id, 1));
-  EXPECT_FALSE(thin.verify(pki, params));
+  const BatchCert thin(id, aggregate_for(auth, id, 1));
+  EXPECT_FALSE(thin.verify(crypto::AuthView(&auth), params));
 }
 
 TEST(BatchTest, CertSerializationRoundTrips) {
   const ProtocolParams params = ProtocolParams::for_n(4, Duration::millis(10));
-  crypto::Pki pki(4, 18);
+  const auto auth_owner = crypto::make_authenticator(crypto::kDefaultScheme, 4, 18);
+  const crypto::Authenticator& auth = *auth_owner;
   const auto payload = bytes_of(24, 0x33);
   const BatchId id = id_for(3, 9, payload);
-  const BatchCert cert(id, aggregate_for(pki, id, params.small_quorum()));
+  const BatchCert cert(id, aggregate_for(auth, id, params.small_quorum()));
   ser::Writer w;
   cert.serialize(w);
   const std::vector<std::uint8_t> wire = std::move(w).take();
@@ -89,19 +96,20 @@ TEST(BatchTest, CertSerializationRoundTrips) {
   ASSERT_TRUE(back.has_value());
   EXPECT_TRUE(r.exhausted());
   EXPECT_EQ(*back, cert);
-  EXPECT_TRUE(back->verify(pki, params));
+  EXPECT_TRUE(back->verify(crypto::AuthView(&auth), params));
 }
 
 // ---- refs payload encoding -------------------------------------------
 
 TEST(RefsPayloadTest, EncodeDecodeRoundTripAndMalformedRejection) {
   const ProtocolParams params = ProtocolParams::for_n(4, Duration::millis(10));
-  crypto::Pki pki(4, 19);
+  const auto auth_owner = crypto::make_authenticator(crypto::kDefaultScheme, 4, 19);
+  const crypto::Authenticator& auth = *auth_owner;
   std::vector<BatchCert> refs;
   for (std::uint64_t seq = 1; seq <= 3; ++seq) {
     const auto payload = bytes_of(16 * seq, static_cast<std::uint8_t>(seq));
     const BatchId id = id_for(1, seq, payload);
-    refs.emplace_back(id, aggregate_for(pki, id, params.small_quorum()));
+    refs.emplace_back(id, aggregate_for(auth, id, params.small_quorum()));
   }
 
   EXPECT_TRUE(encode_refs({}).empty()) << "an empty proposal stays empty on the wire";
@@ -136,15 +144,16 @@ TEST(RefsPayloadTest, EncodingSizeIndependentOfBatchPayloadSize) {
   // 16-byte batch and a reference to a 16-KiB batch occupy identical
   // wire bytes — the payload never rides in the proposal.
   const ProtocolParams params = ProtocolParams::for_n(4, Duration::millis(10));
-  crypto::Pki pki(4, 20);
+  const auto auth_owner = crypto::make_authenticator(crypto::kDefaultScheme, 4, 20);
+  const crypto::Authenticator& auth = *auth_owner;
   const auto small = bytes_of(16, 0x01);
   const auto large = bytes_of(16 * 1024, 0x02);
   const BatchId small_id = id_for(0, 1, small);
   const BatchId large_id = id_for(0, 2, large);
   const std::vector<BatchCert> small_refs = {
-      BatchCert(small_id, aggregate_for(pki, small_id, params.small_quorum()))};
+      BatchCert(small_id, aggregate_for(auth, small_id, params.small_quorum()))};
   const std::vector<BatchCert> large_refs = {
-      BatchCert(large_id, aggregate_for(pki, large_id, params.small_quorum()))};
+      BatchCert(large_id, aggregate_for(auth, large_id, params.small_quorum()))};
   EXPECT_EQ(encode_refs(small_refs).size(), encode_refs(large_refs).size());
 }
 
@@ -162,7 +171,9 @@ struct Harness {
   };
 
   ProtocolParams params = ProtocolParams::for_n(kN, Duration::millis(10));
-  crypto::Pki pki{kN, 23};
+  std::unique_ptr<crypto::Authenticator> auth_owner =
+      crypto::make_authenticator(crypto::kDefaultScheme, kN, 23);
+  const crypto::Authenticator& auth = *auth_owner;
   std::vector<Sent> sent;
   std::vector<std::function<void()>> timers;
   std::vector<std::vector<std::uint8_t>> delivered;
@@ -171,7 +182,7 @@ struct Harness {
   Disseminator engine;
 
   explicit Harness(ProcessId self, DissemSpec spec = {})
-      : engine(params, &pki, pki.signer_for(self), spec, callbacks()) {}
+      : engine(params, crypto::AuthView(&auth), auth.signer_for(self), spec, callbacks()) {}
 
   DisseminatorCallbacks callbacks() {
     DisseminatorCallbacks cb;
@@ -198,7 +209,7 @@ struct Harness {
   }
 
   [[nodiscard]] BatchCert cert_for(const BatchId& id) const {
-    return BatchCert(id, aggregate_for(pki, id, params.small_quorum()));
+    return BatchCert(id, aggregate_for(auth, id, params.small_quorum()));
   }
 
   /// Fires every currently scheduled timer once (reinsert nets etc.).
@@ -411,11 +422,12 @@ TEST(DissemClusterTest, ProposalWireSizeIndependentOfBatchPayloadSize) {
   EXPECT_EQ(small_sizes, large_sizes);
 
   // And the constant matches the encoding: one serialized f+1 cert.
-  crypto::Pki pki(4, 23);
+  const auto auth_owner = crypto::make_authenticator(crypto::kDefaultScheme, 4, 23);
+  const crypto::Authenticator& auth = *auth_owner;
   const ProtocolParams params = ProtocolParams::for_n(4, Duration::millis(10));
   const BatchId id = id_for(0, 1, bytes_of(8, 0x01));
   ser::Writer w;
-  BatchCert(id, aggregate_for(pki, id, params.small_quorum())).serialize(w);
+  BatchCert(id, aggregate_for(auth, id, params.small_quorum())).serialize(w);
   EXPECT_EQ(*small_sizes.begin(), w.size());
   EXPECT_EQ(small_sizes.size(), 1U) << "references are fixed-size";
 }

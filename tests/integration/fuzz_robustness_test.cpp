@@ -4,6 +4,10 @@
 // reproduce.
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "crypto/authenticator.h"
+
 #include "consensus/messages.h"
 #include "core/lumiere.h"
 #include "pacemaker/messages.h"
@@ -39,12 +43,13 @@ TEST(FuzzTest, DeserializersSurviveGarbage) {
 /// successfully decoded certificate must fail verification unless the
 /// mutation missed the signed bytes.
 TEST(FuzzTest, MutatedFramesNeverVerifyWrongly) {
-  crypto::Pki pki(4, 9);
+  const auto auth = crypto::make_authenticator(crypto::kDefaultScheme, 4, 9);
   MessageCodec codec;
   pacemaker::register_pacemaker_messages(codec);
-  crypto::ThresholdAggregator agg(&pki, pacemaker::view_msg_statement(7), 2, 4);
-  agg.add(crypto::threshold_share(pki.signer_for(0), pacemaker::view_msg_statement(7)));
-  agg.add(crypto::threshold_share(pki.signer_for(1), pacemaker::view_msg_statement(7)));
+  crypto::QuorumAggregator agg(crypto::AuthView(auth.get()), pacemaker::view_msg_statement(7),
+                               2);
+  agg.add(crypto::threshold_share(auth->signer_for(0), pacemaker::view_msg_statement(7)));
+  agg.add(crypto::threshold_share(auth->signer_for(1), pacemaker::view_msg_statement(7)));
   const pacemaker::VcMsg valid(pacemaker::SyncCert(7, agg.aggregate()));
   const auto frame = MessageCodec::encode(valid);
 
@@ -62,7 +67,7 @@ TEST(FuzzTest, MutatedFramesNeverVerifyWrongly) {
     ++decoded_count;
     const auto& vc = static_cast<const pacemaker::VcMsg&>(*msg);
     if (vc.cert() == valid.cert()) continue;  // mutation hit padding only
-    EXPECT_FALSE(vc.cert().verify(pki, 2, &pacemaker::view_msg_statement))
+    EXPECT_FALSE(vc.cert().verify(crypto::AuthView(auth.get()), 2, &pacemaker::view_msg_statement))
         << "a mutated certificate verified (round " << round << ")";
   }
   EXPECT_GT(decoded_count, 0) << "fuzz produced no decodable mutants — loosen the mutation";

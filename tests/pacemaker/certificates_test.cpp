@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "crypto/authenticator.h"
 #include "pacemaker/messages.h"
 
 namespace lumiere::pacemaker {
@@ -10,14 +13,18 @@ namespace {
 class CertificatesTest : public ::testing::Test {
  protected:
   SyncCert make_cert(View v, crypto::Digest (*stmt)(View), std::uint32_t m) {
-    crypto::ThresholdAggregator agg(&pki_, stmt(v), m, 7);
+    crypto::QuorumAggregator agg(auth(), stmt(v), m);
     for (ProcessId id = 0; id < m; ++id) {
-      agg.add(crypto::threshold_share(pki_.signer_for(id), stmt(v)));
+      agg.add(crypto::threshold_share(auth_->signer_for(id), stmt(v)));
     }
     return SyncCert(v, agg.aggregate());
   }
 
-  crypto::Pki pki_{7, 11};  // n = 7, f = 2
+  [[nodiscard]] crypto::AuthView auth() const { return crypto::AuthView(auth_.get()); }
+
+  // n = 7, f = 2
+  std::unique_ptr<crypto::Authenticator> auth_ =
+      crypto::make_authenticator(crypto::kDefaultScheme, 7, 11);
 };
 
 TEST_F(CertificatesTest, StatementsAreDomainSeparated) {
@@ -31,26 +38,26 @@ TEST_F(CertificatesTest, StatementsAreDomainSeparated) {
 
 TEST_F(CertificatesTest, VcVerifies) {
   const SyncCert vc = make_cert(4, &view_msg_statement, 3);  // f+1 = 3
-  EXPECT_TRUE(vc.verify(pki_, 3, &view_msg_statement));
-  EXPECT_FALSE(vc.verify(pki_, 5, &view_msg_statement)) << "threshold enforced";
-  EXPECT_FALSE(vc.verify(pki_, 3, &epoch_msg_statement)) << "wrong statement family";
+  EXPECT_TRUE(vc.verify(auth(), 3, &view_msg_statement));
+  EXPECT_FALSE(vc.verify(auth(), 5, &view_msg_statement)) << "threshold enforced";
+  EXPECT_FALSE(vc.verify(auth(), 3, &epoch_msg_statement)) << "wrong statement family";
 }
 
 TEST_F(CertificatesTest, EcNeedsQuorum) {
   const SyncCert ec = make_cert(10, &epoch_msg_statement, 5);  // 2f+1 = 5
-  EXPECT_TRUE(ec.verify(pki_, 5, &epoch_msg_statement));
+  EXPECT_TRUE(ec.verify(auth(), 5, &epoch_msg_statement));
   const SyncCert thin = make_cert(10, &epoch_msg_statement, 3);
-  EXPECT_FALSE(thin.verify(pki_, 5, &epoch_msg_statement))
+  EXPECT_FALSE(thin.verify(auth(), 5, &epoch_msg_statement))
       << "f Byzantine + f honest cannot fake an EC";
 }
 
 TEST_F(CertificatesTest, FByzantineCannotFormTc) {
   // f = 2 colluding signers cannot reach the f+1 = 3 TC threshold.
-  crypto::ThresholdAggregator agg(&pki_, epoch_msg_statement(20), 3, 7);
-  agg.add(crypto::threshold_share(pki_.signer_for(0), epoch_msg_statement(20)));
-  agg.add(crypto::threshold_share(pki_.signer_for(1), epoch_msg_statement(20)));
+  crypto::QuorumAggregator agg(auth(), epoch_msg_statement(20), 3);
+  agg.add(crypto::threshold_share(auth_->signer_for(0), epoch_msg_statement(20)));
+  agg.add(crypto::threshold_share(auth_->signer_for(1), epoch_msg_statement(20)));
   // Replaying one of their shares does not help.
-  EXPECT_FALSE(agg.add(crypto::threshold_share(pki_.signer_for(1), epoch_msg_statement(20))));
+  EXPECT_FALSE(agg.add(crypto::threshold_share(auth_->signer_for(1), epoch_msg_statement(20))));
   EXPECT_FALSE(agg.complete());
 }
 

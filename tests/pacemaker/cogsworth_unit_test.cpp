@@ -24,16 +24,16 @@ class CogsworthUnitTest : public ::testing::Test {
 
   void inject_wish(ProcessId from, View v) {
     pm_->on_message(from, std::make_shared<WishMsg>(
-                              v, crypto::threshold_share(harness_.pki().signer_for(from),
+                              v, crypto::threshold_share(harness_.auth().signer_for(from),
                                                          wish_statement(v))));
   }
 
   void inject_cert(View v, std::uint32_t signers) {
     // Aggregate with threshold == signers so thin (sub-quorum) certs can
     // be crafted; the pacemaker must reject them at verification.
-    crypto::ThresholdAggregator agg(&harness_.pki(), wish_statement(v), signers, 4);
+    crypto::QuorumAggregator agg(harness_.auth_view(), wish_statement(v), signers);
     for (ProcessId id = 1; id <= signers; ++id) {
-      agg.add(crypto::threshold_share(harness_.pki().signer_for(id), wish_statement(v)));
+      agg.add(crypto::threshold_share(harness_.auth().signer_for(id), wish_statement(v)));
     }
     pm_->on_message(1, std::make_shared<WishCertMsg>(SyncCert(v, agg.aggregate())));
   }

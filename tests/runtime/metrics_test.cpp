@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "crypto/authenticator.h"
+
 #include "pacemaker/messages.h"
 
 namespace lumiere::runtime {
@@ -13,11 +17,12 @@ class MetricsTest : public ::testing::Test {
 
   void send(TimePoint at, ProcessId from, ProcessId to) {
     const pacemaker::ViewMsg msg(
-        1, crypto::threshold_share(pki_.signer_for(from), pacemaker::view_msg_statement(1)));
+        1, crypto::threshold_share(auth_->signer_for(from), pacemaker::view_msg_statement(1)));
     metrics_.on_send(at, from, to, msg);
   }
 
-  crypto::Pki pki_{4, 3};
+  std::unique_ptr<crypto::Authenticator> auth_ =
+      crypto::make_authenticator(crypto::kDefaultScheme, 4, 3);
   MetricsCollector metrics_;
 };
 
@@ -38,7 +43,7 @@ TEST_F(MetricsTest, BroadcastChargeEqualsPerSendExpansion) {
   // calls — totals, per-type, per-class, and window queries.
   MetricsCollector bulk(4, {false, false, false, true});
   const pacemaker::ViewMsg msg(
-      1, crypto::threshold_share(pki_.signer_for(0), pacemaker::view_msg_statement(1)));
+      1, crypto::threshold_share(auth_->signer_for(0), pacemaker::view_msg_statement(1)));
   for (ProcessId to = 0; to < 4; ++to) metrics_.on_send(TimePoint(10), 0, to, msg);
   bulk.on_broadcast(TimePoint(10), 0, msg, 4);
   EXPECT_EQ(bulk.total_honest_msgs(), metrics_.total_honest_msgs());

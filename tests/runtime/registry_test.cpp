@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "crypto/authenticator.h"
+
 #include <set>
 
 #include "pacemaker/round_robin.h"
@@ -77,10 +81,10 @@ TEST(ProtocolRegistryTest, MakePacemakerThrowsOnUnknownName) {
   // Node construction can be reached without a ScenarioBuilder.
   sim::Simulator sim;
   sim::Network network(&sim, 4, TimePoint::origin(), Duration::millis(10), nullptr, 1);
-  crypto::Pki pki(4, 1);
+  const auto auth = crypto::make_authenticator(crypto::kDefaultScheme, 4, 1);
   NodeConfig config;
   config.protocol.pacemaker = "bogus";
-  EXPECT_THROW(Node(ProtocolParams::for_n(4, Duration::millis(10)), 0, &sim, &network, &pki,
+  EXPECT_THROW(Node(ProtocolParams::for_n(4, Duration::millis(10)), 0, &sim, &network, auth.get(),
                     config, {}, std::make_unique<adversary::HonestBehavior>()),
                std::invalid_argument);
 }

@@ -1,12 +1,12 @@
 // ScenarioBuilder semantics: default/override composition, validation,
-// deterministic per-node draws, and the deprecated ClusterOptions shim.
+// deterministic per-node draws.
 #include "runtime/scenario.h"
 
 #include <gtest/gtest.h>
 
 #include "adversary/behaviors.h"
+#include "crypto/authenticator.h"
 #include "runtime/cluster.h"
-#include "runtime/compat.h"
 
 namespace lumiere::runtime {
 namespace {
@@ -189,6 +189,50 @@ TEST(ScenarioBuilderTest, TcpTransportRequiresUsablePortRange) {
   EXPECT_TRUE(builder.validate().empty());
 }
 
+TEST(ScenarioBuilderTest, PipelineIsOffByDefaultAndValidatesKnobs) {
+  // Default scenarios never build worker pools — the deterministic
+  // simulator (and every golden digest) pins the inline verify path.
+  EXPECT_FALSE(ScenarioBuilder().scenario().pipeline.enabled);
+  EXPECT_EQ(ScenarioBuilder().scenario().auth_scheme, crypto::kDefaultScheme);
+
+  PipelineSpec degenerate;
+  degenerate.enabled = true;
+  degenerate.workers = 0;
+  degenerate.queue_capacity = 0;
+  ScenarioBuilder builder;
+  builder.transport_tcp(26000).pipeline(degenerate);
+  const auto errors = builder.validate();
+  ASSERT_EQ(errors.size(), 2U);
+  EXPECT_NE(errors[0].find("workers"), std::string::npos) << errors[0];
+  EXPECT_NE(errors[1].find("queue_capacity"), std::string::npos) << errors[1];
+}
+
+TEST(ScenarioBuilderTest, PipelineRequiresTheTcpTransport) {
+  PipelineSpec pipeline;
+  pipeline.enabled = true;
+  ScenarioBuilder builder;
+  builder.pipeline(pipeline);  // transport defaults to the simulator
+  const auto errors = builder.validate();
+  ASSERT_EQ(errors.size(), 1U);
+  EXPECT_NE(errors[0].find("TCP"), std::string::npos) << errors[0];
+  builder.transport_tcp(26000);
+  EXPECT_TRUE(builder.validate().empty());
+}
+
+TEST(ScenarioBuilderTest, UnknownAuthSchemeIsRejectedListingKnownOnes) {
+  ScenarioBuilder builder;
+  builder.auth_scheme("not-a-scheme");
+  const auto errors = builder.validate();
+  ASSERT_EQ(errors.size(), 1U);
+  EXPECT_NE(errors[0].find("not-a-scheme"), std::string::npos) << errors[0];
+  for (const auto& name : crypto::scheme_names()) {
+    EXPECT_NE(errors[0].find(name), std::string::npos)
+        << "error must list registered scheme " << name << ": " << errors[0];
+  }
+  builder.auth_scheme(crypto::kDefaultScheme);
+  EXPECT_TRUE(builder.validate().empty());
+}
+
 TEST(ScenarioBuilderTest, StaggerAndDriftDrawsAreSeedDeterministic) {
   auto draw = [](std::uint64_t seed) {
     ScenarioBuilder builder;
@@ -247,62 +291,6 @@ TEST(ScenarioBuilderTest, BuilderIsCopyableAndReusable) {
   second.run_for(Duration::seconds(5));
   EXPECT_EQ(first.metrics().total_honest_msgs(), second.metrics().total_honest_msgs());
 }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(ClusterOptionsShimTest, ForwardsEveryLegacyField) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(7, Duration::millis(10), /*x=*/4);
-  options.pacemaker = PacemakerKind::kFever;
-  options.core = CoreKind::kHotStuff2;
-  options.gst = TimePoint(Duration::millis(200).ticks());
-  options.seed = 31;
-  options.gamma = Duration::millis(60);
-  options.join_stagger = Duration::millis(100);
-  options.drift_ppm_max = 500;
-  options.lumiere_enforce_qc_deadline = false;
-  options.lumiere_delta_wait = false;
-  options.view_timeout = Duration::millis(77);
-  options.fever_tenure = 4;
-  const Scenario scenario = to_builder(options).scenario();
-  EXPECT_EQ(scenario.params.n, 7U);
-  EXPECT_EQ(scenario.params.x, 4U);
-  EXPECT_EQ(scenario.gst, TimePoint(Duration::millis(200).ticks()));
-  EXPECT_EQ(scenario.seed, 31U);
-  for (const auto& spec : scenario.nodes) {
-    EXPECT_EQ(spec.protocol.pacemaker, "fever");
-    EXPECT_EQ(spec.protocol.core, "hotstuff-2");
-    EXPECT_EQ(spec.protocol.gamma, Duration::millis(60));
-    EXPECT_EQ(spec.protocol.shared_seed, 31U);
-    EXPECT_FALSE(spec.protocol.lumiere.enforce_qc_deadline);
-    EXPECT_FALSE(spec.protocol.lumiere.delta_wait);
-    EXPECT_EQ(spec.protocol.timeout.view_timeout, Duration::millis(77));
-    EXPECT_EQ(spec.protocol.fever.tenure, 4U);
-  }
-}
-
-TEST(ClusterOptionsShimTest, ShimRunMatchesDirectBuilderRun) {
-  ClusterOptions options;
-  options.params = ProtocolParams::for_n(4, Duration::millis(10));
-  options.pacemaker = PacemakerKind::kLumiere;
-  options.delay = std::make_shared<sim::FixedDelay>(Duration::millis(1));
-  options.seed = 77;
-  Cluster legacy(to_builder(options));
-  legacy.run_for(Duration::seconds(5));
-
-  ScenarioBuilder builder;
-  builder.params(ProtocolParams::for_n(4, Duration::millis(10)))
-      .pacemaker("lumiere")
-      .delay(std::make_shared<sim::FixedDelay>(Duration::millis(1)))
-      .seed(77);
-  Cluster direct(builder);
-  direct.run_for(Duration::seconds(5));
-
-  EXPECT_EQ(legacy.metrics().total_honest_msgs(), direct.metrics().total_honest_msgs());
-  EXPECT_EQ(legacy.metrics().decisions().size(), direct.metrics().decisions().size());
-  EXPECT_EQ(legacy.max_honest_view(), direct.max_honest_view());
-}
-#pragma GCC diagnostic pop
 
 // ---- asymmetric partitions and scheduled behavior changes ----------------
 

@@ -3,7 +3,10 @@
 // dedicated test is needed to keep serialization honest).
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "consensus/messages.h"
+#include "crypto/authenticator.h"
 #include "pacemaker/messages.h"
 #include "ser/message.h"
 
@@ -22,8 +25,11 @@ class MessageRoundTripTest : public ::testing::Test {
     return codec_.decode(frame);
   }
 
-  crypto::Pki pki_{4, 5};
+  std::unique_ptr<crypto::Authenticator> auth_ =
+      crypto::make_authenticator(crypto::kDefaultScheme, 4, 5);
   MessageCodec codec_;
+
+  [[nodiscard]] crypto::AuthView auth() const { return crypto::AuthView(auth_.get()); }
 };
 
 TEST_F(MessageRoundTripTest, Proposal) {
@@ -42,7 +48,7 @@ TEST_F(MessageRoundTripTest, Proposal) {
 TEST_F(MessageRoundTripTest, Vote) {
   const crypto::Digest h = crypto::Sha256::hash("block");
   const auto share =
-      crypto::threshold_share(pki_.signer_for(1), consensus::QuorumCert::statement(5, h));
+      crypto::threshold_share(auth_->signer_for(1), consensus::QuorumCert::statement(5, h));
   const consensus::VoteMsg msg(5, h, share);
   const MessagePtr decoded = reencode(msg);
   ASSERT_NE(decoded, nullptr);
@@ -55,15 +61,15 @@ TEST_F(MessageRoundTripTest, Vote) {
 TEST_F(MessageRoundTripTest, QcAnnounce) {
   const crypto::Digest h = crypto::Sha256::hash("b");
   const crypto::Digest stmt = consensus::QuorumCert::statement(9, h);
-  crypto::ThresholdAggregator agg(&pki_, stmt, 3, 4);
-  for (ProcessId id = 0; id < 3; ++id) agg.add(crypto::threshold_share(pki_.signer_for(id), stmt));
+  crypto::QuorumAggregator agg(auth(), stmt, 3);
+  for (ProcessId id = 0; id < 3; ++id) agg.add(crypto::threshold_share(auth_->signer_for(id), stmt));
   const consensus::QuorumCert qc(9, h, agg.aggregate());
   const consensus::QcMsg msg(qc);
   const MessagePtr decoded = reencode(msg);
   ASSERT_NE(decoded, nullptr);
   const auto& q = static_cast<const consensus::QcMsg&>(*decoded);
   EXPECT_EQ(q.qc(), qc);
-  EXPECT_TRUE(q.qc().verify(pki_, ProtocolParams::for_n(4, Duration::millis(1))));
+  EXPECT_TRUE(q.qc().verify(auth(), ProtocolParams::for_n(4, Duration::millis(1))));
 }
 
 TEST_F(MessageRoundTripTest, NewView) {
@@ -79,7 +85,7 @@ TEST_F(MessageRoundTripTest, NewView) {
 
 TEST_F(MessageRoundTripTest, PacemakerShares) {
   const auto view_share =
-      crypto::threshold_share(pki_.signer_for(2), pacemaker::view_msg_statement(8));
+      crypto::threshold_share(auth_->signer_for(2), pacemaker::view_msg_statement(8));
   const pacemaker::ViewMsg vm(8, view_share);
   auto decoded = reencode(vm);
   ASSERT_NE(decoded, nullptr);
@@ -87,28 +93,28 @@ TEST_F(MessageRoundTripTest, PacemakerShares) {
   EXPECT_EQ(static_cast<const pacemaker::ViewMsg&>(*decoded).share(), view_share);
 
   const auto epoch_share =
-      crypto::threshold_share(pki_.signer_for(0), pacemaker::epoch_msg_statement(40));
+      crypto::threshold_share(auth_->signer_for(0), pacemaker::epoch_msg_statement(40));
   decoded = reencode(pacemaker::EpochViewMsg(40, epoch_share));
   ASSERT_NE(decoded, nullptr);
   EXPECT_EQ(static_cast<const pacemaker::EpochViewMsg&>(*decoded).share(), epoch_share);
 
   const auto wish_share =
-      crypto::threshold_share(pki_.signer_for(3), pacemaker::wish_statement(4));
+      crypto::threshold_share(auth_->signer_for(3), pacemaker::wish_statement(4));
   decoded = reencode(pacemaker::WishMsg(4, wish_share));
   ASSERT_NE(decoded, nullptr);
   EXPECT_EQ(static_cast<const pacemaker::WishMsg&>(*decoded).share(), wish_share);
 }
 
 TEST_F(MessageRoundTripTest, PacemakerCerts) {
-  crypto::ThresholdAggregator agg(&pki_, pacemaker::view_msg_statement(6), 2, 4);
-  agg.add(crypto::threshold_share(pki_.signer_for(0), pacemaker::view_msg_statement(6)));
-  agg.add(crypto::threshold_share(pki_.signer_for(1), pacemaker::view_msg_statement(6)));
+  crypto::QuorumAggregator agg(auth(), pacemaker::view_msg_statement(6), 2);
+  agg.add(crypto::threshold_share(auth_->signer_for(0), pacemaker::view_msg_statement(6)));
+  agg.add(crypto::threshold_share(auth_->signer_for(1), pacemaker::view_msg_statement(6)));
   const pacemaker::SyncCert cert(6, agg.aggregate());
   const MessagePtr decoded = reencode(pacemaker::VcMsg(cert));
   ASSERT_NE(decoded, nullptr);
   const auto& vc = static_cast<const pacemaker::VcMsg&>(*decoded);
   EXPECT_EQ(vc.cert(), cert);
-  EXPECT_TRUE(vc.cert().verify(pki_, 2, &pacemaker::view_msg_statement));
+  EXPECT_TRUE(vc.cert().verify(auth(), 2, &pacemaker::view_msg_statement));
 }
 
 TEST_F(MessageRoundTripTest, UnknownTypeRejected) {
@@ -129,11 +135,11 @@ TEST_F(MessageRoundTripTest, WireSizesAreOrderKappa) {
   // Every BVS message is O(kappa): independent of n. The constants here
   // pin the modeled sizes used by the byte-level metrics.
   const auto share =
-      crypto::threshold_share(pki_.signer_for(0), pacemaker::view_msg_statement(1));
+      crypto::threshold_share(auth_->signer_for(0), pacemaker::view_msg_statement(1));
   EXPECT_EQ(pacemaker::ViewMsg(1, share).wire_size(), 8 + kKappaBytes + 4);
-  crypto::ThresholdAggregator agg(&pki_, pacemaker::view_msg_statement(2), 2, 4);
-  agg.add(crypto::threshold_share(pki_.signer_for(0), pacemaker::view_msg_statement(2)));
-  agg.add(crypto::threshold_share(pki_.signer_for(1), pacemaker::view_msg_statement(2)));
+  crypto::QuorumAggregator agg(auth(), pacemaker::view_msg_statement(2), 2);
+  agg.add(crypto::threshold_share(auth_->signer_for(0), pacemaker::view_msg_statement(2)));
+  agg.add(crypto::threshold_share(auth_->signer_for(1), pacemaker::view_msg_statement(2)));
   EXPECT_EQ(pacemaker::VcMsg(pacemaker::SyncCert(2, agg.aggregate())).wire_size(),
             8 + 2 * kKappaBytes);
 }

@@ -7,16 +7,21 @@
 // statement/block binding digests into the kappa envelope (Section 2;
 // crypto/threshold.h), while the real frame must carry them so the
 // receiver can verify. This test pins the divergence EXACTLY, per
-// registered message type: if either side changes — a field added to a
-// serializer, a wire_size() formula touched, a new message type
-// registered without an exemplar here — a test fails and the complexity
-// accounting has to be re-justified rather than silently drifting.
+// registered message type and per registered authenticator scheme (the
+// blob and tag lengths are scheme-reported via SigWireSpec, so each
+// scheme's instance sizes are checked against its own frames): if either
+// side changes — a field added to a serializer, a wire_size() formula
+// touched, a new message type registered without an exemplar here — a
+// test fails and the complexity accounting has to be re-justified rather
+// than silently drifting.
 #include <gtest/gtest.h>
 
 #include <map>
 #include <memory>
+#include <string>
 
 #include "consensus/messages.h"
+#include "crypto/authenticator.h"
 #include "dissem/messages.h"
 #include "pacemaker/messages.h"
 
@@ -34,29 +39,33 @@ constexpr std::size_t signer_set_bytes(std::uint32_t signers) { return 8 + 4ULL 
 constexpr std::size_t kQcBlockHashBytes = crypto::Digest::kSize;
 constexpr std::size_t kInnerQcViewBytes = 8;
 
-crypto::ThresholdSig make_aggregate(const crypto::Pki& pki, std::uint32_t m,
+crypto::ThresholdSig make_aggregate(const crypto::Authenticator& auth, std::uint32_t m,
                                     const crypto::Digest& statement) {
-  crypto::ThresholdAggregator agg(&pki, statement, m, pki.n());
+  crypto::QuorumAggregator agg(crypto::AuthView(&auth), statement, m);
   for (ProcessId id = 0; id < m; ++id) {
-    agg.add(crypto::threshold_share(pki.signer_for(id), statement));
+    agg.add(crypto::threshold_share(auth.signer_for(id), statement));
   }
   return agg.aggregate();
 }
 
-TEST(WireDriftTest, EveryRegisteredTypeMatchesItsModeledSizePlusDeclaredFold) {
+class WireDriftTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WireDriftTest, EveryRegisteredTypeMatchesItsModeledSizePlusDeclaredFold) {
   constexpr std::uint32_t kN = 7;
   constexpr std::uint32_t kQuorum = 5;       // 2f+1 at n=7
   constexpr std::uint32_t kSmallQuorum = 3;  // f+1
-  crypto::Pki pki(kN, 11);
+  const auto auth_owner = crypto::make_authenticator(GetParam(), kN, 11);
+  const crypto::Authenticator& auth = *auth_owner;
 
   MessageCodec codec;
   consensus::register_consensus_messages(codec);
   pacemaker::register_pacemaker_messages(codec);
   dissem::register_dissem_messages(codec);
+  codec.set_sig_wire(auth.wire_spec());
 
   const crypto::Digest block_hash = crypto::Sha256::hash("drift-block");
   const crypto::Digest qc_statement = consensus::QuorumCert::statement(5, block_hash);
-  const consensus::QuorumCert qc(5, block_hash, make_aggregate(pki, kQuorum, qc_statement));
+  const consensus::QuorumCert qc(5, block_hash, make_aggregate(auth, kQuorum, qc_statement));
   const std::vector<std::uint8_t> payload(37, 0xAB);
 
   struct Exemplar {
@@ -74,15 +83,15 @@ TEST(WireDriftTest, EveryRegisteredTypeMatchesItsModeledSizePlusDeclaredFold) {
       /*payload length prefix*/ 4 + kInnerQcViewBytes + signer_set_bytes(kQuorum) +
           kQcBlockHashBytes);
   add(std::make_shared<consensus::VoteMsg>(
-          5, block_hash, crypto::threshold_share(pki.signer_for(0), qc_statement)),
+          5, block_hash, crypto::threshold_share(auth.signer_for(0), qc_statement)),
       0);
   add(std::make_shared<consensus::QcMsg>(qc),
       signer_set_bytes(kQuorum) + kQcBlockHashBytes);
   add(std::make_shared<consensus::NewViewMsg>(6, qc),
       kInnerQcViewBytes + signer_set_bytes(kQuorum) + kQcBlockHashBytes);
 
-  const auto share_of = [&pki](crypto::Digest (*statement)(View), View v) {
-    return crypto::threshold_share(pki.signer_for(2), statement(v));
+  const auto share_of = [&auth](crypto::Digest (*statement)(View), View v) {
+    return crypto::threshold_share(auth.signer_for(2), statement(v));
   };
   add(std::make_shared<pacemaker::ViewMsg>(9, share_of(&pacemaker::view_msg_statement, 9)), 0);
   add(std::make_shared<pacemaker::EpochViewMsg>(9, share_of(&pacemaker::epoch_msg_statement, 9)),
@@ -90,7 +99,7 @@ TEST(WireDriftTest, EveryRegisteredTypeMatchesItsModeledSizePlusDeclaredFold) {
   add(std::make_shared<pacemaker::WishMsg>(9, share_of(&pacemaker::wish_statement, 9)), 0);
 
   const auto cert_of = [&](crypto::Digest (*statement)(View), View v, std::uint32_t m) {
-    return pacemaker::SyncCert(v, make_aggregate(pki, m, statement(v)));
+    return pacemaker::SyncCert(v, make_aggregate(auth, m, statement(v)));
   };
   // A cert frame carries the statement digest alongside the tag; the
   // model's 2-kappa envelope covers both, so only the signer set folds.
@@ -111,10 +120,10 @@ TEST(WireDriftTest, EveryRegisteredTypeMatchesItsModeledSizePlusDeclaredFold) {
   const dissem::BatchId batch_id{
       2, 7, crypto::Sha256::hash(std::span<const std::uint8_t>(payload.data(), payload.size()))};
   const dissem::BatchCert batch_cert(
-      batch_id, make_aggregate(pki, kSmallQuorum, dissem::batch_statement(batch_id)));
+      batch_id, make_aggregate(auth, kSmallQuorum, dissem::batch_statement(batch_id)));
   add(std::make_shared<dissem::BatchPushMsg>(batch_id, payload), /*payload length prefix*/ 4);
   add(std::make_shared<dissem::BatchAckMsg>(
-          batch_id, crypto::threshold_share(pki.signer_for(0),
+          batch_id, crypto::threshold_share(auth.signer_for(0),
                                             dissem::batch_statement(batch_id))),
       0);
   add(std::make_shared<dissem::BatchCertMsg>(batch_cert), signer_set_bytes(kSmallQuorum));
@@ -136,6 +145,10 @@ TEST(WireDriftTest, EveryRegisteredTypeMatchesItsModeledSizePlusDeclaredFold) {
   EXPECT_EQ(exemplars.size(), codec.registered_types().size())
       << "exemplar list and registry disagree";
 }
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, WireDriftTest,
+                         ::testing::ValuesIn(crypto::scheme_names()),
+                         [](const auto& info) { return info.param; });
 
 }  // namespace
 }  // namespace lumiere

@@ -9,19 +9,22 @@
 // make message size scale with n and still claim the paper's bounds.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "consensus/messages.h"
-#include "crypto/threshold.h"
+#include "crypto/authenticator.h"
 #include "pacemaker/messages.h"
 
 namespace lumiere {
 namespace {
 
 /// Builds a full m-of-n threshold signature over `statement`.
-crypto::ThresholdSig make_aggregate(const crypto::Pki& pki, std::uint32_t m,
+crypto::ThresholdSig make_aggregate(const crypto::Authenticator& auth, std::uint32_t m,
                                     const crypto::Digest& statement) {
-  crypto::ThresholdAggregator agg(&pki, statement, m, pki.n());
+  crypto::QuorumAggregator agg(crypto::AuthView(&auth), statement, m);
   for (ProcessId id = 0; id < m; ++id) {
-    agg.add(crypto::threshold_share(pki.signer_for(id), statement));
+    agg.add(crypto::threshold_share(auth.signer_for(id), statement));
   }
   EXPECT_TRUE(agg.complete());
   return agg.aggregate();
@@ -32,63 +35,83 @@ class WireSizeAcrossN : public ::testing::TestWithParam<std::uint32_t> {};
 TEST_P(WireSizeAcrossN, CertificateMessagesAreKappaSized) {
   const std::uint32_t n = GetParam();
   const std::uint32_t f = (n - 1) / 3;
-  crypto::Pki pki(n, 7);
+  const auto auth_owner = crypto::make_authenticator(crypto::kDefaultScheme, n, 7);
+  const crypto::Authenticator& auth = *auth_owner;
 
   // QC announcement: 2f+1-of-n aggregate.
   const crypto::Digest qc_statement = consensus::QuorumCert::statement(9, crypto::Digest());
   const consensus::QcMsg qc(
-      consensus::QuorumCert(9, crypto::Digest(), make_aggregate(pki, 2 * f + 1, qc_statement)));
+      consensus::QuorumCert(9, crypto::Digest(), make_aggregate(auth, 2 * f + 1, qc_statement)));
 
   // VC: f+1-of-n aggregate.
   const pacemaker::VcMsg vc(pacemaker::SyncCert(
-      8, make_aggregate(pki, f + 1, pacemaker::view_msg_statement(8))));
+      8, make_aggregate(auth, f + 1, pacemaker::view_msg_statement(8))));
 
   // Shares and votes: one signer each.
   const pacemaker::ViewMsg view_msg(
-      8, crypto::threshold_share(pki.signer_for(0), pacemaker::view_msg_statement(8)));
+      8, crypto::threshold_share(auth.signer_for(0), pacemaker::view_msg_statement(8)));
   const pacemaker::EpochViewMsg epoch_msg(
-      0, crypto::threshold_share(pki.signer_for(0), pacemaker::epoch_msg_statement(0)));
+      0, crypto::threshold_share(auth.signer_for(0), pacemaker::epoch_msg_statement(0)));
   const consensus::VoteMsg vote(
-      9, crypto::Digest(), crypto::threshold_share(pki.signer_for(0), qc_statement));
+      9, crypto::Digest(), crypto::threshold_share(auth.signer_for(0), qc_statement));
   const consensus::NewViewMsg new_view(
-      10, consensus::QuorumCert(9, crypto::Digest(), make_aggregate(pki, 2 * f + 1,
+      10, consensus::QuorumCert(9, crypto::Digest(), make_aggregate(auth, 2 * f + 1,
                                                                     qc_statement)));
 
   // The accounted wire sizes must match the n = 4 baseline exactly: any
   // n-dependence here breaks the complexity model.
-  EXPECT_EQ(qc.wire_size(), 8 + crypto::ThresholdSig::wire_size());
-  EXPECT_EQ(vc.wire_size(), 8 + crypto::ThresholdSig::wire_size());
-  EXPECT_EQ(vote.wire_size(), 8 + crypto::Digest::kSize + crypto::PartialSig::wire_size());
-  EXPECT_EQ(new_view.wire_size(), 8 + crypto::ThresholdSig::wire_size());
+  // wire_size() is instance-reported now (the scheme decides blob and tag
+  // lengths); for the default sim scheme an aggregate stays 2*kappa
+  // and a share kappa+4, independent of m and n.
+  EXPECT_EQ(qc.wire_size(), 8 + 2 * kKappaBytes);
+  EXPECT_EQ(vc.wire_size(), 8 + 2 * kKappaBytes);
+  EXPECT_EQ(vote.wire_size(), 8 + crypto::Digest::kSize + kKappaBytes + 4);
+  EXPECT_EQ(new_view.wire_size(), 8 + 2 * kKappaBytes);
   EXPECT_EQ(view_msg.wire_size(), epoch_msg.wire_size());
-  EXPECT_LE(view_msg.wire_size(), 8 + crypto::PartialSig::wire_size() + 8);
+  EXPECT_LE(view_msg.wire_size(), 8 + kKappaBytes + 4 + 8);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, WireSizeAcrossN,
                          ::testing::Values(4U, 7U, 31U, 100U, 301U));
 
 TEST(WireSizeTest, ThresholdAggregateAccountedSizeIsConstant) {
-  // Direct statement of the Section 2 assumption: the modeled size of an
-  // aggregate is 2*kappa regardless of the threshold m or universe n.
-  EXPECT_EQ(crypto::ThresholdSig::wire_size(), 2 * kKappaBytes);
-  crypto::Pki small(4, 1);
-  crypto::Pki large(301, 1);
+  // Direct statement of the Section 2 assumption, for the default sim
+  // scheme: the modeled size of an aggregate is 2*kappa regardless of the
+  // threshold m or universe n.
+  const auto small = crypto::make_authenticator(crypto::kDefaultScheme, 4, 1);
+  const auto large = crypto::make_authenticator(crypto::kDefaultScheme, 301, 1);
   const crypto::Digest statement = crypto::Sha256::hash("statement");
-  const auto a = make_aggregate(small, 3, statement);
-  const auto b = make_aggregate(large, 201, statement);
-  EXPECT_EQ(crypto::ThresholdSig::wire_size(), crypto::ThresholdSig::wire_size());
+  const auto a = make_aggregate(*small, 3, statement);
+  const auto b = make_aggregate(*large, 201, statement);
+  EXPECT_EQ(a.wire_size(), 2 * kKappaBytes);
+  EXPECT_EQ(b.wire_size(), 2 * kKappaBytes);
   EXPECT_EQ(a.message, b.message);  // same statement, same digest
   // The *serialized* form carries the signer bitmap (an n-bit detail real
-  // systems also ship); the accounting model charges O(kappa) for it, as
-  // documented in crypto/threshold.h. This test exists so the distinction
-  // stays explicit: accounted size constant, serialized size n-bit-linear.
+  // systems also ship); the accounting model charges O(kappa) for it. This
+  // test exists so the distinction stays explicit: accounted size
+  // constant, serialized size n-bit-linear.
   EXPECT_GT(b.signer_count(), a.signer_count());
 }
 
+TEST(WireSizeTest, SchemesReportTheirOwnGeometry) {
+  // Every registered scheme's instances report sizes consistent with its
+  // SigWireSpec — the accounting layer never hard-codes a scheme.
+  for (const std::string& name : crypto::scheme_names()) {
+    const auto auth = crypto::make_authenticator(name, 4, 1);
+    const crypto::SigWireSpec spec = auth->wire_spec();
+    const crypto::Digest statement = crypto::Sha256::hash("geometry");
+    const crypto::Signature sig = auth->signer_for(0).sign(statement);
+    EXPECT_EQ(sig.wire_size(), spec.sig_bytes + 4U) << name;
+    const auto agg = make_aggregate(*auth, 3, statement);
+    EXPECT_EQ(agg.wire_size(), kKappaBytes + spec.tag_bytes(3)) << name;
+  }
+}
+
 TEST(WireSizeTest, ProposalSizeScalesOnlyWithPayload) {
-  crypto::Pki pki(4, 7);
+  const auto auth_owner = crypto::make_authenticator(crypto::kDefaultScheme, 4, 7);
+  const crypto::Authenticator& auth = *auth_owner;
   const crypto::Digest statement = consensus::QuorumCert::statement(3, crypto::Digest());
-  consensus::QuorumCert qc(3, crypto::Digest(), make_aggregate(pki, 3, statement));
+  consensus::QuorumCert qc(3, crypto::Digest(), make_aggregate(auth, 3, statement));
   const consensus::ProposalMsg empty(
       consensus::Block(crypto::Digest(), 4, {}, qc));
   const consensus::ProposalMsg loaded(

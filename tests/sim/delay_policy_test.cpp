@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "crypto/authenticator.h"
+
 #include "adversary/delay_adversary.h"
 #include "pacemaker/messages.h"
 
@@ -12,10 +16,11 @@ class DelayPolicyTest : public ::testing::Test {
  protected:
   MessagePtr sample_msg() {
     return std::make_shared<pacemaker::ViewMsg>(
-        1, crypto::threshold_share(pki_.signer_for(0), pacemaker::view_msg_statement(1)));
+        1, crypto::threshold_share(auth_->signer_for(0), pacemaker::view_msg_statement(1)));
   }
 
-  crypto::Pki pki_{4, 1};
+  std::unique_ptr<crypto::Authenticator> auth_ =
+      crypto::make_authenticator(crypto::kDefaultScheme, 4, 1);
   Rng rng_{99};
 };
 

@@ -10,7 +10,7 @@
 #include "consensus/chained_hotstuff.h"
 #include "consensus/hotstuff2.h"
 #include "consensus/simple_view_core.h"
-#include "crypto/pki.h"
+#include "crypto/authenticator.h"
 #include "sim/delay_policy.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -30,7 +30,7 @@ class CoreHarness {
   explicit CoreHarness(std::uint32_t n, Duration delay = Duration::micros(10),
                        std::function<bool(View)> may_form_qc = nullptr)
       : params_(ProtocolParams::for_n(n, Duration::millis(10))),
-        pki_(n, 99),
+        auth_(crypto::make_authenticator(crypto::kDefaultScheme, n, 99)),
         network_(&sim_, n, TimePoint::origin(), params_.delta_cap,
                  std::make_shared<sim::FixedDelay>(delay), 3) {
     nodes_.resize(n);
@@ -57,8 +57,9 @@ class CoreHarness {
         return static_cast<ProcessId>(v >= 0 ? v % n : 0);
       };
       hooks.may_form_qc = may_form_qc;
-      nodes_[id].core = std::make_unique<Core>(params_, &pki_, pki_.signer_for(id),
-                                               std::move(cb), std::move(hooks));
+      nodes_[id].core = std::make_unique<Core>(params_, crypto::AuthView(auth_.get()),
+                                               auth_->signer_for(id), std::move(cb),
+                                               std::move(hooks));
       network_.register_endpoint(id, [this, id](ProcessId from, const MessagePtr& msg) {
         nodes_[id].core->on_message(from, msg);
       });
@@ -80,7 +81,8 @@ class CoreHarness {
   [[nodiscard]] const ProtocolParams& params() const { return params_; }
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   [[nodiscard]] sim::Network& network() { return network_; }
-  [[nodiscard]] crypto::Pki& pki() { return pki_; }
+  [[nodiscard]] const crypto::Authenticator& auth() const { return *auth_; }
+  [[nodiscard]] crypto::AuthView auth_view() const { return crypto::AuthView(auth_.get()); }
   [[nodiscard]] std::uint32_t n() const { return params_.n; }
 
   /// True if every node saw a QC for view v.
@@ -97,7 +99,7 @@ class CoreHarness {
 
  private:
   ProtocolParams params_;
-  crypto::Pki pki_;
+  std::unique_ptr<crypto::Authenticator> auth_;
   sim::Simulator sim_;
   sim::Network network_;
   std::vector<NodeState> nodes_;

@@ -1,13 +1,13 @@
 // Harness wiring a SINGLE pacemaker instance with captured outputs and
 // direct message injection — unit-level testing of the view-sync logic
 // without a full cluster (the other n-1 processors are played by the
-// test via the shared Pki).
+// test via the shared authenticator's signers).
 #pragma once
 
 #include <memory>
 #include <vector>
 
-#include "crypto/pki.h"
+#include "crypto/authenticator.h"
 #include "pacemaker/certificates.h"
 #include "pacemaker/messages.h"
 #include "pacemaker/pacemaker.h"
@@ -25,7 +25,7 @@ class PacemakerHarness {
 
   explicit PacemakerHarness(std::uint32_t n, ProcessId self = 0)
       : params_(ProtocolParams::for_n(n, Duration::millis(10))),
-        pki_(n, 7),
+        auth_(crypto::make_authenticator(crypto::kDefaultScheme, n, 7)),
         self_(self),
         clock_(&sim_, TimePoint::origin()) {}
 
@@ -34,7 +34,7 @@ class PacemakerHarness {
     pacemaker::PacemakerWiring w;
     w.sim = &sim_;
     w.clock = &clock_;
-    w.pki = &pki_;
+    w.auth = crypto::AuthView(auth_.get());
     w.send = [this](ProcessId to, MessagePtr msg) {
       sent_.push_back(Sent{to, std::move(msg)});
     };
@@ -57,7 +57,7 @@ class PacemakerHarness {
   /// Injects a view message for view v signed by processor `from`.
   void inject_view_msg(ProcessId from, View v) {
     pm_->on_message(from, std::make_shared<pacemaker::ViewMsg>(
-                              v, crypto::threshold_share(pki_.signer_for(from),
+                              v, crypto::threshold_share(auth_->signer_for(from),
                                                          pacemaker::view_msg_statement(v))));
   }
 
@@ -65,16 +65,16 @@ class PacemakerHarness {
   void inject_epoch_msg(ProcessId from, View v) {
     pm_->on_message(from,
                     std::make_shared<pacemaker::EpochViewMsg>(
-                        v, crypto::threshold_share(pki_.signer_for(from),
+                        v, crypto::threshold_share(auth_->signer_for(from),
                                                    pacemaker::epoch_msg_statement(v))));
   }
 
   /// Injects a VC for view v aggregated from the first f+1 processors.
   void inject_vc(View v) {
-    crypto::ThresholdAggregator agg(&pki_, pacemaker::view_msg_statement(v),
-                                    params_.small_quorum(), params_.n);
+    crypto::QuorumAggregator agg(crypto::AuthView(auth_.get()),
+                                 pacemaker::view_msg_statement(v), params_.small_quorum());
     for (ProcessId id = 0; id < params_.small_quorum(); ++id) {
-      agg.add(crypto::threshold_share(pki_.signer_for(id), pacemaker::view_msg_statement(v)));
+      agg.add(crypto::threshold_share(auth_->signer_for(id), pacemaker::view_msg_statement(v)));
     }
     pm_->on_message(1, std::make_shared<pacemaker::VcMsg>(
                            pacemaker::SyncCert(v, agg.aggregate())));
@@ -84,9 +84,9 @@ class PacemakerHarness {
   void inject_qc(View v) {
     const crypto::Digest block = crypto::Sha256::hash("block");
     const crypto::Digest statement = consensus::QuorumCert::statement(v, block);
-    crypto::ThresholdAggregator agg(&pki_, statement, params_.quorum(), params_.n);
+    crypto::QuorumAggregator agg(crypto::AuthView(auth_.get()), statement, params_.quorum());
     for (ProcessId id = 0; id < params_.quorum(); ++id) {
-      agg.add(crypto::threshold_share(pki_.signer_for(id), statement));
+      agg.add(crypto::threshold_share(auth_->signer_for(id), statement));
     }
     pm_->on_qc(consensus::QuorumCert(v, block, agg.aggregate()));
   }
@@ -106,8 +106,9 @@ class PacemakerHarness {
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   [[nodiscard]] sim::LocalClock& clock() { return clock_; }
   [[nodiscard]] const ProtocolParams& params() const { return params_; }
-  [[nodiscard]] crypto::Pki& pki() { return pki_; }
-  [[nodiscard]] crypto::Signer signer() const { return pki_.signer_for(self_); }
+  [[nodiscard]] const crypto::Authenticator& auth() const { return *auth_; }
+  [[nodiscard]] crypto::AuthView auth_view() const { return crypto::AuthView(auth_.get()); }
+  [[nodiscard]] crypto::Signer signer() const { return auth_->signer_for(self_); }
   [[nodiscard]] ProcessId self() const { return self_; }
 
   void run_to(TimePoint t) { sim_.run_until(t); }
@@ -115,7 +116,7 @@ class PacemakerHarness {
 
  private:
   ProtocolParams params_;
-  crypto::Pki pki_;
+  std::unique_ptr<crypto::Authenticator> auth_;
   ProcessId self_;
   sim::Simulator sim_;
   sim::LocalClock clock_;

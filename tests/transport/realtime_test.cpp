@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "consensus/messages.h"
+#include "crypto/authenticator.h"
 #include "pacemaker/messages.h"
 #include "runtime/node.h"
 
@@ -34,7 +35,7 @@ struct NodeOutcome {
 std::vector<NodeOutcome> run_cluster(const std::string& pacemaker, const std::string& core,
                                      std::uint16_t base_port, int wall_ms) {
   constexpr std::uint32_t kN = 4;
-  const crypto::Pki pki(kN, 7);
+  const auto auth = crypto::make_authenticator(crypto::kDefaultScheme, kN, 7);
   const ProtocolParams params = ProtocolParams::for_n(kN, Duration::millis(10), /*x=*/4);
   std::vector<NodeOutcome> outcomes(kN);
 
@@ -53,7 +54,7 @@ std::vector<NodeOutcome> run_cluster(const std::string& pacemaker, const std::st
     config.protocol.core = core;
     config.protocol.shared_seed = 7;
     nodes.push_back(std::make_unique<runtime::Node>(params, id, sims[id].get(),
-                                                    transports[id].get(), &pki, config,
+                                                    transports[id].get(), auth.get(), config,
                                                     runtime::NodeObservers{},
                                                     std::make_unique<adversary::HonestBehavior>()));
   }

@@ -12,7 +12,7 @@
 
 #include "common/rng.h"
 #include "consensus/messages.h"
-#include "crypto/pki.h"
+#include "crypto/authenticator.h"
 #include "pacemaker/certificates.h"
 #include "pacemaker/messages.h"
 #include "transport/tcp_transport.h"
@@ -92,9 +92,9 @@ TEST(TcpGarbageTest, RandomBytesNeverCrashAndLegitTrafficFlows) {
   }
 
   // Legitimate traffic still flows both ways.
-  const crypto::Pki pki(2, 1);
+  const auto auth = crypto::make_authenticator(crypto::kDefaultScheme, 2, 1);
   const pacemaker::ViewMsg msg(
-      3, crypto::threshold_share(pki.signer_for(1), pacemaker::view_msg_statement(3)));
+      3, crypto::threshold_share(auth->signer_for(1), pacemaker::view_msg_statement(3)));
   eps[1]->send(0, msg);
   eps[0]->send(1, msg);
   for (int round = 0; round < 50 && delivered < 2; ++round) {
@@ -115,9 +115,9 @@ TEST(TcpGarbageTest, TrickledValidFrameStillDecodes) {
                            static_cast<const pacemaker::ViewMsg&>(*msg).view());
                      });
   // Build the exact frame a peer would send: [len][sender][payload].
-  const crypto::Pki pki(2, 1);
+  const auto auth = crypto::make_authenticator(crypto::kDefaultScheme, 2, 1);
   const pacemaker::ViewMsg msg(
-      5, crypto::threshold_share(pki.signer_for(1), pacemaker::view_msg_statement(5)));
+      5, crypto::threshold_share(auth->signer_for(1), pacemaker::view_msg_statement(5)));
   const auto payload = MessageCodec::encode(msg);
   std::vector<std::uint8_t> frame;
   auto put_u32 = [&frame](std::uint32_t v) {

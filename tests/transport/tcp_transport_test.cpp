@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "consensus/messages.h"
+#include "crypto/authenticator.h"
 #include "pacemaker/messages.h"
 
 namespace lumiere::transport {
@@ -39,9 +40,9 @@ TEST(TcpTransportTest, PointToPointDelivery) {
           received[id].push_back(static_cast<const pacemaker::ViewMsg&>(*msg).view());
         }));
   }
-  const crypto::Pki pki(2, 1);
+  const auto auth = crypto::make_authenticator(crypto::kDefaultScheme, 2, 1);
   const pacemaker::ViewMsg msg(
-      7, crypto::threshold_share(pki.signer_for(0), pacemaker::view_msg_statement(7)));
+      7, crypto::threshold_share(auth->signer_for(0), pacemaker::view_msg_statement(7)));
   eps[0]->send(1, msg);
   pump_all(eps, 20);
   ASSERT_EQ(received[1].size(), 1U);
@@ -57,9 +58,9 @@ TEST(TcpTransportTest, BroadcastIncludesSelf) {
         id, 3, base, full_codec(),
         [&counts, id](ProcessId, const MessagePtr&) { ++counts[id]; }));
   }
-  const crypto::Pki pki(3, 1);
+  const auto auth = crypto::make_authenticator(crypto::kDefaultScheme, 3, 1);
   const pacemaker::EpochViewMsg msg(
-      0, crypto::threshold_share(pki.signer_for(2), pacemaker::epoch_msg_statement(0)));
+      0, crypto::threshold_share(auth->signer_for(2), pacemaker::epoch_msg_statement(0)));
   eps[2]->broadcast(msg);
   pump_all(eps, 20);
   EXPECT_EQ(counts[0], 1);
@@ -100,10 +101,10 @@ TEST(TcpTransportTest, ManyFramesInOrder) {
           if (id == 1) received.push_back(static_cast<const pacemaker::ViewMsg&>(*msg).view());
         }));
   }
-  const crypto::Pki pki(2, 1);
+  const auto auth = crypto::make_authenticator(crypto::kDefaultScheme, 2, 1);
   for (View v = 0; v < 200; ++v) {
     eps[0]->send(1, pacemaker::ViewMsg(
-                        v, crypto::threshold_share(pki.signer_for(0),
+                        v, crypto::threshold_share(auth->signer_for(0),
                                                    pacemaker::view_msg_statement(v))));
   }
   pump_all(eps, 100);

@@ -5,6 +5,9 @@
 // mid-workload.
 #include <gtest/gtest.h>
 
+#include <functional>
+
+#include "crypto/authenticator.h"
 #include "runtime/cluster.h"
 #include "workload/engine.h"
 #include "workload/report.h"
@@ -109,7 +112,8 @@ TEST(WorkloadDeterminismTest, IdenticalRunsUnderScriptedPartition) {
 // changed nothing observable" as a regression test. Constant arrival
 // (not Poisson) keeps the fold free of libm transcendentals, so the
 // constant is portable across toolchains.
-crypto::Digest golden_fold_digest() {
+crypto::Digest golden_fold_digest(
+    const std::function<void(ScenarioBuilder&)>& customize = nullptr) {
   struct Proto {
     const char* pacemaker;
     const char* core;
@@ -135,6 +139,7 @@ crypto::Digest golden_fold_digest() {
     builder.workload(spec);
     builder.partition({{0, 1}, {2, 3}}, TimePoint(Duration::seconds(2).ticks()));
     builder.heal(TimePoint(Duration::seconds(4).ticks()));
+    if (customize) customize(builder);
     Cluster cluster(builder);
     cluster.run_for(Duration::seconds(6));
     for (ProcessId id = 0; id < 4; ++id) {
@@ -153,6 +158,20 @@ crypto::Digest golden_fold_digest() {
 
 TEST(WorkloadDeterminismTest, GoldenLedgersSurviveRefactors) {
   EXPECT_EQ(golden_fold_digest().hex(),
+            "2a1b9d02b926f706f51905544c71134cab00fcbbf2336b5caaf809f129b78a4e");
+}
+
+TEST(WorkloadDeterminismTest, ExplicitAuthAndPipelineOffMatchTheGolden) {
+  // The Authenticator/pipeline API redesign is observably zero: asking
+  // for the default scheme and a disabled pipeline by name reproduces the
+  // pinned pre-redesign digest byte for byte. (An *enabled* pipeline is
+  // TCP-only and can never touch this fold — ScenarioBuilder::validate()
+  // rejects it on the simulator.)
+  const auto explicit_knobs = [](ScenarioBuilder& b) {
+    b.auth_scheme(crypto::kDefaultScheme);
+    b.pipeline(runtime::PipelineSpec{});
+  };
+  EXPECT_EQ(golden_fold_digest(explicit_knobs).hex(),
             "2a1b9d02b926f706f51905544c71134cab00fcbbf2336b5caaf809f129b78a4e");
 }
 
