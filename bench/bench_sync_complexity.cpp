@@ -1,0 +1,206 @@
+// Measures per-view-sync cost growth against n, per pacemaker, from the
+// observability layer's SyncSpans (src/obs/).
+//
+// Setup per (pacemaker, n): GST at the origin, the worst permitted
+// network (every message takes max(GST, t) + Delta) and f silent-leader
+// Byzantine processes — every faulty-leader view forces a view-sync
+// episode, and the span tracer brackets each one per node. The table
+// reports the honest per-sync distributions (messages, bytes,
+// authenticator ops) next to normalized O(n) / O(n^2) theory curves and
+// the fitted log-log growth exponent (obs/ledger.h).
+//
+// Expected shape (paper): Cogsworth/NK20's per-sync communication grows
+// quadratically even in the benign steady state; RareSync/LP22 pay a
+// quadratic all-to-all epoch sync; Fever and (Basic) Lumiere keep the
+// common-case episode linear, with the quadratic reserved for the
+// worst case — the Lewis-Pye lower bound says some quadratic episodes
+// are unavoidable.
+//
+//   --quick              n in {4, 13, 31, 64, 100}; shorter runs (CI)
+//   --json <path>        machine-readable rows (BENCH_sync_complexity.json)
+//   --spans-jsonl <path> raw per-span JSONL export across every config
+//   --chrome-trace <path> Chrome trace-event export of the largest
+//                        lumiere config (chrome://tracing, ui.perfetto.dev)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "bench_util.h"
+#include "obs/ledger.h"
+
+namespace lumiere::bench {
+namespace {
+
+struct SyncArgs {
+  bool quick = false;
+  std::string json_path;
+  std::string spans_jsonl_path;
+  std::string chrome_trace_path;
+};
+
+SyncArgs parse_args(int argc, char** argv) {
+  SyncArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--spans-jsonl") == 0 && i + 1 < argc) {
+      args.spans_jsonl_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--chrome-trace") == 0 && i + 1 < argc) {
+      args.chrome_trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "%s: unknown argument \"%s\" (supported: --quick, --json <path>, "
+                   "--spans-jsonl <path>, --chrome-trace <path>)\n",
+                   argv[0], argv[i]);
+    }
+  }
+  return args;
+}
+
+struct Sample {
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+  obs::LedgerSummary summary;
+  std::vector<obs::SyncSpan> honest_spans;
+};
+
+/// Runs one (pacemaker, n) config until ~`episodes` sync episodes
+/// completed cluster-wide (or the time cap), and aggregates the honest
+/// nodes' spans.
+Sample measure(const std::string& pacemaker, std::uint32_t n, bool quick) {
+  Sample sample;
+  sample.n = n;
+  sample.f = (n - 1) / 3;
+  ScenarioBuilder builder = base_scenario(pacemaker, n, 1700 + n);
+  builder.gst(TimePoint::origin());
+  builder.delay(nullptr);  // worst permitted: max(GST, t) + Delta
+  with_silent_leaders(builder, sample.f);
+  Cluster cluster(builder);
+  // Slice the run and stop once enough episodes landed: one episode
+  // completes ~n spans (one per node), and large n under the worst-case
+  // network is expensive to simulate past the point of diminishing
+  // returns.
+  const std::size_t target_spans = static_cast<std::size_t>(quick ? 4 : 8) * n;
+  const Duration cap = quick ? Duration::seconds(20) : Duration::seconds(60);
+  const obs::SyncTracer* tracer = cluster.sync_tracer();
+  for (Duration ran = Duration::zero(); ran < cap; ran = ran + Duration::seconds(2)) {
+    cluster.run_for(Duration::seconds(2));
+    if (tracer->completed_count() >= target_spans) break;
+  }
+  const std::vector<bool> byz = cluster.byzantine_mask();
+  for (const obs::SyncSpan& span : tracer->completed_spans()) {
+    if (span.node < byz.size() && !byz[span.node]) sample.honest_spans.push_back(span);
+  }
+  sample.summary = obs::ComplexityLedger::summarize(sample.honest_spans);
+  return sample;
+}
+
+std::vector<std::uint32_t> sweep_sizes(bool quick) {
+  if (quick) return {4, 13, 31, 64, 100};
+  return {4, 13, 31, 64, 100, 151, 256};
+}
+
+void run_sweep(const SyncArgs& args, JsonRows* json) {
+  std::ofstream spans_out;
+  if (!args.spans_jsonl_path.empty()) {
+    spans_out.open(args.spans_jsonl_path);
+    if (!spans_out) {
+      std::fprintf(stderr, "bench: cannot open %s for writing\n", args.spans_jsonl_path.c_str());
+    }
+  }
+
+  for (const std::string& pacemaker : table1_protocols()) {
+    std::printf("\n=== per-sync cost vs n: %s (f silent leaders, worst permitted network) ===\n",
+                pacemaker.c_str());
+    std::printf("%5s | %4s | %6s | %10s | %9s | %9s | %10s | %10s | %11s\n", "n", "f", "spans",
+                "msgs/sync", "~O(n)", "~O(n^2)", "bytes/sync", "auth/sync", "dur p50 ms");
+    std::printf("------+------+--------+------------+-----------+-----------+------------+--"
+                "----------+------------\n");
+    std::vector<std::pair<double, double>> n_vs_msgs;
+    std::vector<std::pair<double, double>> n_vs_auth;
+    double base_msgs = 0.0;
+    double base_n = 0.0;
+    for (const std::uint32_t n : sweep_sizes(args.quick)) {
+      const Sample sample = measure(pacemaker, n, args.quick);
+      const obs::LedgerSummary& s = sample.summary;
+      if (base_n == 0.0 && s.msgs.mean > 0.0) {
+        base_n = n;
+        base_msgs = s.msgs.mean;
+      }
+      // Theory curves anchored at the smallest measured size: what the
+      // mean would be if cost grew exactly linearly / quadratically.
+      const double theory_n = base_n > 0 ? base_msgs * n / base_n : 0.0;
+      const double theory_n2 = base_n > 0 ? base_msgs * n * n / (base_n * base_n) : 0.0;
+      std::printf("%5u | %4u | %6llu | %10.1f | %9.1f | %9.1f | %10.1f | %10.1f | %11.2f\n", n,
+                  sample.f, static_cast<unsigned long long>(s.spans), s.msgs.mean, theory_n,
+                  theory_n2, s.bytes.mean, s.auth_ops.mean, s.duration_us.p50 / 1000.0);
+      if (s.spans > 0) {
+        n_vs_msgs.emplace_back(n, s.msgs.mean);
+        n_vs_auth.emplace_back(n, s.auth_ops.mean);
+      }
+      if (json != nullptr) {
+        json->add_row()
+            .set("kind", "sample")
+            .set("protocol", pacemaker)
+            .set("n", static_cast<std::uint64_t>(n))
+            .set("f", static_cast<std::uint64_t>(sample.f))
+            .set("spans", s.spans)
+            .set("msgs_mean", s.msgs.mean)
+            .set("msgs_p95", s.msgs.p95)
+            .set("bytes_mean", s.bytes.mean)
+            .set("auth_mean", s.auth_ops.mean)
+            .set("auth_p95", s.auth_ops.p95)
+            .set("dur_p50_ms", s.duration_us.p50 / 1000.0)
+            .set("theory_n", theory_n)
+            .set("theory_n2", theory_n2);
+      }
+      if (spans_out.is_open()) {
+        obs::ComplexityLedger::write_jsonl(spans_out, pacemaker + "/n=" + std::to_string(n),
+                                           sample.honest_spans);
+      }
+      // The largest lumiere config doubles as the Chrome-trace showcase.
+      if (!args.chrome_trace_path.empty() && pacemaker == "lumiere" &&
+          n == sweep_sizes(args.quick).back()) {
+        std::ofstream trace_out(args.chrome_trace_path);
+        if (trace_out) {
+          obs::ComplexityLedger::write_chrome_trace(trace_out, sample.honest_spans);
+        } else {
+          std::fprintf(stderr, "bench: cannot open %s for writing\n",
+                       args.chrome_trace_path.c_str());
+        }
+      }
+    }
+    const double msgs_exp = obs::ComplexityLedger::fit_exponent(n_vs_msgs);
+    const double auth_exp = obs::ComplexityLedger::fit_exponent(n_vs_auth);
+    std::printf("fitted growth exponent: msgs/sync ~ n^%.2f, auth-ops/sync ~ n^%.2f "
+                "(1.0 = linear, 2.0 = quadratic)\n",
+                msgs_exp, auth_exp);
+    if (json != nullptr) {
+      json->add_row()
+          .set("kind", "fit")
+          .set("protocol", pacemaker)
+          .set("msgs_exponent", msgs_exp)
+          .set("auth_exponent", auth_exp);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lumiere::bench
+
+int main(int argc, char** argv) {
+  using lumiere::bench::JsonRows;
+  const lumiere::bench::SyncArgs args = lumiere::bench::parse_args(argc, argv);
+  std::printf("bench_sync_complexity: per-view-sync cost growth from obs/ spans\n");
+  JsonRows json;
+  lumiere::bench::run_sweep(args, &json);
+  if (!args.json_path.empty() && !json.write(args.json_path, "sync_complexity")) return 1;
+  std::printf(
+      "\nReading guide: the exponent column is the log-log slope of mean\n"
+      "per-sync cost against n. Cogsworth-family episodes trend quadratic;\n"
+      "Lumiere keeps the measured episode near-linear under f silent leaders,\n"
+      "reserving the quadratic for worst-case epochs (the Lewis-Pye bound).\n");
+  return 0;
+}

@@ -47,6 +47,7 @@ void BasicLumierePacemaker::begin_epoch_sync(View epoch_view) {
   clock().pause();
   if (!epoch_msg_sent_.contains(epoch_view)) {
     epoch_msg_sent_.insert(epoch_view);
+    note_sync_started(epoch_view);
     broadcast(std::make_shared<EpochViewMsg>(
         epoch_view,
         crypto::threshold_share(signer_, pacemaker::epoch_msg_statement(epoch_view))));
@@ -62,6 +63,7 @@ void BasicLumierePacemaker::enter_view(View v) {
 void BasicLumierePacemaker::send_view_msg(View v) {
   if (view_msg_sent_.contains(v)) return;
   view_msg_sent_.insert(v);
+  note_sync_started(v);
   send_to(leader_of(v), std::make_shared<ViewMsg>(
                             v, crypto::threshold_share(signer_,
                                                        pacemaker::view_msg_statement(v))));

@@ -71,6 +71,7 @@ void LumierePacemaker::handle_epoch_boundary(View w) {
 void LumierePacemaker::park_at(View w) {
   if (parked_view_ == w) return;
   parked_view_ = w;
+  note_sync_started(w);
   clock().pause();
   delta_wait_.cancel();
   if (options_.delta_wait_before_epoch_msg) {
@@ -127,6 +128,7 @@ void LumierePacemaker::send_view_msg(View v) {
   if (!EpochMath::is_initial(v)) return;
   if (view_msg_sent_.contains(v)) return;
   view_msg_sent_.insert(v);
+  note_sync_started(v);
   send_to(leader_of(v),
           std::make_shared<ViewMsg>(
               v, crypto::threshold_share(signer_, pacemaker::view_msg_statement(v))));

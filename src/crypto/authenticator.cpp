@@ -16,10 +16,12 @@ Digest share_statement(const Digest& message) {
 }
 
 Signature Signer::sign(const Digest& message) const {
+  if (ops_ != nullptr) ops_->count_sign();
   return Signature{id_, auth_->sign_blob(id_, message)};
 }
 
 PartialSig Signer::share(const Digest& message) const {
+  if (ops_ != nullptr) ops_->count_share();
   return PartialSig{id_, auth_->sign_blob(id_, share_statement(message))};
 }
 
@@ -77,11 +79,15 @@ Digest aggregate_fingerprint(const ThresholdSig& sig) {
 }
 
 bool AuthView::verify_share(const Digest& message, const PartialSig& share) const {
+  // Counted before the memo lookup: the count is semantic (one protocol
+  // verification), identical whether the pipeline pre-answered it or not.
+  if (ops_ != nullptr) ops_->count_share_verify();
   if (memo_ != nullptr && memo_->contains(share_fingerprint(message, share))) return true;
   return auth_->check_share(message, share);
 }
 
 bool AuthView::verify_aggregate(const ThresholdSig& sig, std::uint32_t min_signers) const {
+  if (ops_ != nullptr) ops_->count_aggregate_verify();
   if (sig.signers.count() < min_signers) return false;
   if (sig.signers.universe_size() != auth_->n()) return false;
   if (memo_ != nullptr && memo_->contains(aggregate_fingerprint(sig))) return true;
@@ -108,6 +114,7 @@ bool QuorumAggregator::add(const PartialSig& share) {
 
 ThresholdSig QuorumAggregator::aggregate() const {
   LUMIERE_ASSERT_MSG(complete(), "aggregate() before threshold reached");
+  if (auth_.op_counters() != nullptr) auth_.op_counters()->count_aggregate_built();
   return ThresholdSig{message_, signers_, auth_.scheme()->aggregate_tag(message_, shares_)};
 }
 

@@ -34,6 +34,7 @@
 #include "common/assert.h"
 #include "common/signer_set.h"
 #include "common/types.h"
+#include "crypto/auth_counters.h"
 #include "crypto/sha256.h"
 #include "crypto/sig_bytes.h"
 #include "crypto/sig_wire.h"
@@ -101,12 +102,18 @@ class Signer {
   /// Produces this signer's share toward an aggregate over `message`.
   [[nodiscard]] PartialSig share(const Digest& message) const;
 
+  /// Attaches an op counter (observability). Copies of the signer made
+  /// after this call inherit the pointer, which is how the counters reach
+  /// the pacemaker/core without those layers knowing about them.
+  void set_op_counters(AuthOpCounters* ops) noexcept { ops_ = ops; }
+
  private:
   friend class Authenticator;
   Signer(const Authenticator* auth, ProcessId id) noexcept : auth_(auth), id_(id) {}
 
   const Authenticator* auth_;
   ProcessId id_;
+  AuthOpCounters* ops_ = nullptr;
 };
 
 /// Produces a share for `signer` over `message` (= signer.share).
@@ -208,8 +215,9 @@ class VerifyMemo {
 class AuthView {
  public:
   AuthView() = default;
-  explicit AuthView(const Authenticator* auth, const VerifyMemo* memo = nullptr) noexcept
-      : auth_(auth), memo_(memo) {}
+  explicit AuthView(const Authenticator* auth, const VerifyMemo* memo = nullptr,
+                    AuthOpCounters* ops = nullptr) noexcept
+      : auth_(auth), memo_(memo), ops_(ops) {}
 
   [[nodiscard]] const Authenticator* scheme() const noexcept { return auth_; }
   [[nodiscard]] std::uint32_t n() const noexcept { return auth_->n(); }
@@ -218,6 +226,7 @@ class AuthView {
   explicit operator bool() const noexcept { return auth_ != nullptr; }
 
   [[nodiscard]] bool verify(const Digest& message, const Signature& sig) const {
+    if (ops_ != nullptr) ops_->count_verify();
     return auth_->verify(message, sig);
   }
 
@@ -229,9 +238,13 @@ class AuthView {
   /// scheme for the cryptographic tag.
   [[nodiscard]] bool verify_aggregate(const ThresholdSig& sig, std::uint32_t min_signers) const;
 
+  /// The attached op counters (null when observability is off).
+  [[nodiscard]] AuthOpCounters* op_counters() const noexcept { return ops_; }
+
  private:
   const Authenticator* auth_ = nullptr;
   const VerifyMemo* memo_ = nullptr;
+  AuthOpCounters* ops_ = nullptr;
 };
 
 /// Collects shares for one message until a threshold m is reached.

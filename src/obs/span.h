@@ -1,0 +1,37 @@
+// The unit of view-synchronization cost attribution.
+//
+// A span brackets one sync episode on one node: it opens when the node's
+// pacemaker first spends resources trying to leave its current view
+// (wish/view-message/epoch-sync send — reported through
+// PacemakerWiring::sync_started) and closes at the next view entry. The
+// resources attributed to it are deltas of per-node cumulative counters
+// (messages sent, bytes sent, authenticator ops), so attribution is exact
+// regardless of transport: everything the node spent between the two
+// instants belongs to the episode.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "common/types.h"
+#include "crypto/auth_counters.h"
+
+namespace lumiere::obs {
+
+struct SyncSpan {
+  ProcessId node = kNoProcess;
+  View from_view = 0;   ///< the view the node was in when sync started
+  View target_view = 0; ///< the view the pacemaker first aimed for
+  View entered_view = 0;///< the view actually entered (completed spans)
+  TimePoint start;      ///< sync_started instant
+  TimePoint end;        ///< view-entry instant (== start while open)
+  std::uint64_t msgs_sent = 0;   ///< protocol messages sent inside the span
+  std::uint64_t bytes_sent = 0;  ///< wire bytes of those messages
+  crypto::AuthOpSnapshot auth;   ///< authenticator ops inside the span
+  bool completed = false;
+
+  [[nodiscard]] Duration duration() const noexcept { return end - start; }
+  [[nodiscard]] std::uint64_t auth_ops() const noexcept { return auth.total(); }
+};
+
+}  // namespace lumiere::obs

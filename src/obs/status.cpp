@@ -1,0 +1,35 @@
+#include "obs/status.h"
+
+#include <sstream>
+
+namespace lumiere::obs {
+
+namespace {
+
+void render_span(std::ostringstream& out, const char* key, const SyncSpan& span) {
+  out << key << " from=" << span.from_view << " target=" << span.target_view
+      << " entered=" << span.entered_view << " msgs=" << span.msgs_sent
+      << " bytes=" << span.bytes_sent << " auth_ops=" << span.auth_ops()
+      << " dur_us=" << span.duration().ticks() << "\n";
+}
+
+}  // namespace
+
+std::string render_status(const NodeStatus& status) {
+  std::ostringstream out;
+  out << "node " << status.node << "\n";
+  out << "view " << status.view << "\n";
+  out << "height " << status.height << "\n";
+  out << "mempool_depth " << status.mempool_depth << "\n";
+  out << "pipeline_queue_depth " << status.pipeline_queue_depth << "\n";
+  out << "requests_committed " << status.requests_committed << "\n";
+  out << "msgs_sent " << status.msgs_sent << "\n";
+  out << "bytes_sent " << status.bytes_sent << "\n";
+  out << "auth_ops " << status.auth_ops << "\n";
+  if (status.current_sync) render_span(out, "sync_current", *status.current_sync);
+  if (status.last_sync) render_span(out, "sync_last", *status.last_sync);
+  out << "END\n";
+  return out.str();
+}
+
+}  // namespace lumiere::obs

@@ -1,0 +1,89 @@
+// StatusBoard — lock-free per-node live counters feeding the status
+// endpoints (obs/status_server.h).
+//
+// Writers are the node's own driver thread (cluster observers and
+// workload hooks); readers are status-server threads and harness code.
+// Everything is a relaxed atomic: a status reply is a point-in-time
+// sample, not a linearizable snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/span.h"
+
+namespace lumiere::obs {
+
+/// One node's point-in-time status, as served by the endpoint.
+struct NodeStatus {
+  ProcessId node = kNoProcess;
+  View view = 0;
+  std::uint64_t height = 0;             ///< blocks committed
+  std::uint64_t mempool_depth = 0;      ///< pending requests (last sample)
+  std::uint64_t pipeline_queue_depth = 0;///< verify-pipeline frames in flight
+  std::uint64_t requests_committed = 0; ///< workload requests completed
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t auth_ops = 0;
+  std::optional<SyncSpan> current_sync; ///< open span, live costs
+  std::optional<SyncSpan> last_sync;    ///< most recently completed span
+};
+
+/// Renders the line-protocol reply body for one STATUS request: one
+/// "key value" pair per line, terminated by "END". Spans render as one
+/// line each (see README "Observability").
+[[nodiscard]] std::string render_status(const NodeStatus& status);
+
+class StatusBoard {
+ public:
+  explicit StatusBoard(std::uint32_t n) {
+    nodes_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) nodes_.push_back(std::make_unique<PerNode>());
+  }
+
+  [[nodiscard]] std::uint32_t n() const noexcept {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+
+  void set_view(ProcessId id, View v) noexcept {
+    nodes_[id]->view.store(v, std::memory_order_relaxed);
+  }
+  void add_commit(ProcessId id) noexcept {
+    nodes_[id]->commits.fetch_add(1, std::memory_order_relaxed);
+  }
+  void set_mempool_depth(ProcessId id, std::uint64_t depth) noexcept {
+    nodes_[id]->mempool.store(depth, std::memory_order_relaxed);
+  }
+  void add_request_committed(ProcessId id) noexcept {
+    nodes_[id]->requests.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] View view(ProcessId id) const noexcept {
+    return nodes_[id]->view.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t height(ProcessId id) const noexcept {
+    return nodes_[id]->commits.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t mempool_depth(ProcessId id) const noexcept {
+    return nodes_[id]->mempool.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t requests_committed(ProcessId id) const noexcept {
+    return nodes_[id]->requests.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PerNode {
+    std::atomic<View> view{0};
+    std::atomic<std::uint64_t> commits{0};
+    std::atomic<std::uint64_t> mempool{0};
+    std::atomic<std::uint64_t> requests{0};
+  };
+  std::vector<std::unique_ptr<PerNode>> nodes_;
+};
+
+}  // namespace lumiere::obs

@@ -1,0 +1,105 @@
+#include "obs/status_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace lumiere::obs {
+
+StatusServer::StatusServer(std::uint16_t port, SnapshotFn snapshot)
+    : port_(port), snapshot_(std::move(snapshot)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("status endpoint: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("status endpoint: bind() failed on port " + std::to_string(port_) +
+                             " (in use?)");
+  }
+  if (::listen(listen_fd_, 8) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("status endpoint: listen() failed");
+  }
+  thread_ = std::thread([this] { serve(); });
+}
+
+StatusServer::~StatusServer() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void StatusServer::serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;  // timeout (re-check stop) or EINTR
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_client(client);
+    ::close(client);
+  }
+}
+
+namespace {
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void StatusServer::handle_client(int fd) {
+  // One client at a time, blocking reads bounded by a poll: the endpoint
+  // is a diagnostics port, not a data plane.
+  std::string buffer;
+  char chunk[512];
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line == "STATUS") {
+        if (!write_all(fd, render_status(snapshot_()))) return;
+      } else if (line == "PING") {
+        if (!write_all(fd, "PONG\n")) return;
+      } else if (line == "QUIT") {
+        return;
+      } else {
+        if (!write_all(fd, "ERR unknown command\n")) return;
+      }
+      continue;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready < 0) return;
+    if (ready == 0) continue;  // re-check stop
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return;  // peer closed (or error)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > 4096) return;  // a diagnostics client never needs more
+  }
+}
+
+}  // namespace lumiere::obs

@@ -1,0 +1,51 @@
+// StatusServer — one node's live status endpoint (TCP transport only).
+//
+// A tiny line-protocol server on 127.0.0.1:<port>, one background thread
+// per node, deliberately independent of the protocol stack: it calls a
+// snapshot closure and formats the reply, nothing more, so a wedged
+// consensus core still answers STATUS.
+//
+// Protocol (newline-terminated, one command per line):
+//   STATUS  -> "key value" lines (see obs/status.h), terminated by "END"
+//   PING    -> "PONG"
+//   QUIT    -> closes the connection
+//   other   -> "ERR unknown command"
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "obs/status.h"
+
+namespace lumiere::obs {
+
+class StatusServer {
+ public:
+  using SnapshotFn = std::function<NodeStatus()>;
+
+  /// Binds 127.0.0.1:`port` and starts the serving thread. Throws
+  /// std::runtime_error when the port is taken.
+  StatusServer(std::uint16_t port, SnapshotFn snapshot);
+
+  /// Joins the serving thread and closes the socket.
+  ~StatusServer();
+
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void serve();
+  void handle_client(int fd);
+
+  std::uint16_t port_;
+  SnapshotFn snapshot_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace lumiere::obs

@@ -1,0 +1,105 @@
+#include "obs/tracer.h"
+
+namespace lumiere::obs {
+
+SyncTracer::SyncTracer(std::uint32_t n, std::size_t max_spans) : max_spans_(max_spans) {
+  nodes_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) nodes_.push_back(std::make_unique<PerNode>());
+}
+
+void SyncTracer::note_sent(ProcessId id, std::uint64_t bytes) noexcept {
+  PerNode& node = *nodes_[id];
+  node.msgs.fetch_add(1, std::memory_order_relaxed);
+  node.bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t SyncTracer::msgs_sent(ProcessId id) const noexcept {
+  return nodes_[id]->msgs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SyncTracer::bytes_sent(ProcessId id) const noexcept {
+  return nodes_[id]->bytes.load(std::memory_order_relaxed);
+}
+
+void SyncTracer::on_sync_started(ProcessId id, TimePoint at, View current, View target) {
+  PerNode& node = *nodes_[id];
+  std::lock_guard<std::mutex> lock(node.mu);
+  // First start wins: a pacemaker escalating its target mid-episode
+  // (wish for v, then v+1 on timeout) is one episode — the cost of the
+  // whole struggle to leave `current` belongs to one span.
+  if (node.open) return;
+  node.open = true;
+  node.span = SyncSpan{};
+  node.span.node = id;
+  node.span.from_view = current;
+  node.span.target_view = target;
+  node.span.start = at;
+  node.span.end = at;
+  node.base_msgs = node.msgs.load(std::memory_order_relaxed);
+  node.base_bytes = node.bytes.load(std::memory_order_relaxed);
+  node.base_auth = node.auth.snapshot();
+}
+
+std::optional<SyncSpan> SyncTracer::on_view_entered(ProcessId id, TimePoint at, View view) {
+  PerNode& node = *nodes_[id];
+  SyncSpan done;
+  {
+    std::lock_guard<std::mutex> lock(node.mu);
+    if (!node.open) return std::nullopt;
+    node.open = false;
+    done = node.span;
+    done.entered_view = view;
+    done.end = at;
+    done.msgs_sent = node.msgs.load(std::memory_order_relaxed) - node.base_msgs;
+    done.bytes_sent = node.bytes.load(std::memory_order_relaxed) - node.base_bytes;
+    done.auth = node.auth.snapshot() - node.base_auth;
+    done.completed = true;
+    node.last = done;
+  }
+  {
+    std::lock_guard<std::mutex> lock(completed_mu_);
+    completed_.push_back(done);
+    if (max_spans_ != 0 && completed_.size() > max_spans_) {
+      completed_.pop_front();
+      ++dropped_;
+    }
+  }
+  return done;
+}
+
+std::optional<SyncSpan> SyncTracer::open_span(ProcessId id, TimePoint now) const {
+  const PerNode& node = *nodes_[id];
+  std::lock_guard<std::mutex> lock(node.mu);
+  if (!node.open) return std::nullopt;
+  SyncSpan span = node.span;
+  // A caller with no safe clock (a TCP status thread) may pass origin;
+  // clamp so the live span never reads a negative duration.
+  span.end = now < span.start ? span.start : now;
+  span.msgs_sent = node.msgs.load(std::memory_order_relaxed) - node.base_msgs;
+  span.bytes_sent = node.bytes.load(std::memory_order_relaxed) - node.base_bytes;
+  span.auth = node.auth.snapshot() - node.base_auth;
+  return span;
+}
+
+std::optional<SyncSpan> SyncTracer::last_span(ProcessId id) const {
+  const PerNode& node = *nodes_[id];
+  std::lock_guard<std::mutex> lock(node.mu);
+  return node.last;
+}
+
+std::vector<SyncSpan> SyncTracer::completed_spans() const {
+  std::lock_guard<std::mutex> lock(completed_mu_);
+  return std::vector<SyncSpan>(completed_.begin(), completed_.end());
+}
+
+std::size_t SyncTracer::completed_count() const {
+  std::lock_guard<std::mutex> lock(completed_mu_);
+  return completed_.size();
+}
+
+std::uint64_t SyncTracer::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(completed_mu_);
+  return dropped_;
+}
+
+}  // namespace lumiere::obs

@@ -37,6 +37,7 @@ void CogsworthPacemaker::arm_view_timer() {
 
 void CogsworthPacemaker::begin_wishing(View target) {
   if (target <= view_) return;
+  note_sync_started(target);
   wish_target_ = target;
   relay_index_ = 0;
   relay_wish();

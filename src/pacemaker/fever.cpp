@@ -54,6 +54,7 @@ void FeverPacemaker::enter_initial(View v) {
 void FeverPacemaker::send_view_msg(View v) {
   if (view_msg_sent_.contains(v)) return;
   view_msg_sent_.insert(v);
+  note_sync_started(v);
   send_to(leader_of(v),
           std::make_shared<ViewMsg>(v, crypto::threshold_share(signer_, view_msg_statement(v))));
 }

@@ -42,6 +42,7 @@ void Lp22Pacemaker::begin_epoch_sync(View epoch_view) {
   clock().pause();
   if (!epoch_msg_sent_.contains(epoch_view)) {
     epoch_msg_sent_.insert(epoch_view);
+    note_sync_started(epoch_view);
     broadcast(std::make_shared<EpochViewMsg>(
         epoch_view, crypto::threshold_share(signer_, epoch_msg_statement(epoch_view))));
   }

@@ -47,6 +47,12 @@ struct PacemakerWiring {
   /// PacemakerHooks::may_propose gate has lifted (may be null when the
   /// core never defers).
   std::function<void(View v)> propose_poke;
+  /// Observability: the pacemaker has begun spending resources (wish /
+  /// view-message / epoch-sync sends) to leave its current view, aiming
+  /// for `target`. Null when the sync tracer is off. Implementations
+  /// call note_sync_started() right before the episode's first send —
+  /// never for passive view entries (QC ride-alongs cost nothing).
+  std::function<void(View target)> sync_started;
 };
 
 class Pacemaker {
@@ -107,6 +113,9 @@ class Pacemaker {
   void notify_enter_view(View v) const { wiring_.enter_view(v); }
   void poke_propose(View v) const {
     if (wiring_.propose_poke) wiring_.propose_poke(v);
+  }
+  void note_sync_started(View target) const {
+    if (wiring_.sync_started) wiring_.sync_started(target);
   }
 
   ProtocolParams params_;

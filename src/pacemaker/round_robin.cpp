@@ -36,6 +36,7 @@ void RoundRobinPacemaker::on_timeout() { send_wish(view_ + 1); }
 void RoundRobinPacemaker::send_wish(View v) {
   if (wished_.contains(v)) return;
   wished_.insert(v);
+  note_sync_started(v);
   broadcast(std::make_shared<WishMsg>(v, crypto::threshold_share(signer_, wish_statement(v))));
 }
 

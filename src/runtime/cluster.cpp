@@ -10,7 +10,8 @@
 
 namespace lumiere::runtime {
 
-Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
+Cluster::Cluster(Scenario scenario)
+    : scenario_(std::move(scenario)), trace_(scenario_.obs.trace_capacity) {
   scenario_.params.validate();
   const std::uint32_t n = scenario_.params.n;
   LUMIERE_ASSERT_MSG(scenario_.nodes.size() == n, "Scenario must carry one NodeSpec per node");
@@ -37,20 +38,41 @@ Cluster::Cluster(Scenario scenario) : scenario_(std::move(scenario)) {
   ever_byzantine_ = byz;
   metrics_ = std::make_unique<MetricsCollector>(n, byz);
 
+  // Observability first: config_for installs the tracer's op counters
+  // into each node, so the tracer must exist before any node is built.
+  if (scenario_.obs.tracer) {
+    tracer_ = std::make_unique<obs::SyncTracer>(n, scenario_.obs.max_spans);
+  }
+  if (scenario_.obs.status_base_port != 0) {
+    status_board_ = std::make_unique<obs::StatusBoard>(n);
+  }
+
   if (scenario_.transport == TransportKind::kSim) {
     build_sim_cluster(std::move(behaviors));
   } else {
     build_tcp_cluster(std::move(behaviors));
   }
+
+  // Status endpoints last: their serving threads snapshot the nodes and
+  // boards built above (validate() restricted them to the TCP transport).
+  if (status_board_ != nullptr) {
+    status_servers_.reserve(n);
+    for (ProcessId id = 0; id < n; ++id) {
+      status_servers_.push_back(std::make_unique<obs::StatusServer>(
+          static_cast<std::uint16_t>(scenario_.obs.status_base_port + id),
+          [this, id] { return node_status(id); }));
+    }
+  }
 }
 
-NodeConfig Cluster::config_for(ProcessId id, bool feed_metrics) const {
+NodeConfig Cluster::config_for(ProcessId id, bool feed_metrics) {
   const NodeSpec& spec = scenario_.nodes[id];
   NodeConfig config;
   config.protocol = spec.protocol;
   config.join_time = spec.join_time;
   config.clock_drift_ppm = spec.clock_drift_ppm;
   config.payload_provider = spec.payload_provider;
+  if (tracer_ != nullptr) config.auth_ops = &tracer_->auth_counters(id);
   if (workloads_[id] != nullptr && scenario_.dissem.has_value()) {
     // Dissemination interposes between mempool and consensus: batches
     // lease to the disseminator (which certifies availability and hands
@@ -86,11 +108,13 @@ void Cluster::build_workload(ProcessId id, sim::Simulator* sim, bool feed_metric
   if (!spec.workload) return;
   workload::NodeWorkload::Hooks hooks;
   if (feed_metrics) {
-    hooks.on_request_committed = [this](TimePoint at, Duration latency) {
+    hooks.on_request_committed = [this, id](TimePoint at, Duration latency) {
       metrics_->record_request_committed(at, latency);
+      if (status_board_ != nullptr) status_board_->add_request_committed(id);
     };
     hooks.on_queue_depth = [this, id](TimePoint at, std::size_t depth) {
       metrics_->record_queue_depth(at, id, depth);
+      if (status_board_ != nullptr) status_board_->set_mempool_depth(id, depth);
     };
   }
   workloads_[id] = std::make_unique<workload::NodeWorkload>(sim, id, *spec.workload,
@@ -110,7 +134,19 @@ void Cluster::build_sim_cluster(std::vector<std::unique_ptr<adversary::Behavior>
   };
   observers.on_view_entered = [this](TimePoint at, View view, ProcessId node) {
     trace_.record(at, sim::TraceKind::kViewEntered, node, view);
+    if (tracer_ != nullptr && tracer_->on_view_entered(node, at, view).has_value()) {
+      trace_.record(at, sim::TraceKind::kSyncCompleted, node, view);
+    }
   };
+  if (tracer_ != nullptr) {
+    observers.on_sync_started = [this](TimePoint at, View current, View target, ProcessId node) {
+      tracer_->on_sync_started(node, at, current, target);
+      trace_.record(at, sim::TraceKind::kSyncStarted, node, target);
+    };
+    observers.on_sent = [tracer = tracer_.get()](ProcessId node, std::size_t bytes) {
+      tracer->note_sent(node, bytes);
+    };
+  }
   observers.on_commit = [this](TimePoint at, const consensus::Block& block, ProcessId node) {
     trace_.record(at, sim::TraceKind::kCommitted, node, block.view());
     // With dissemination on, the Node's commit path routes the payload
@@ -275,9 +311,30 @@ void Cluster::build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>
     observers.on_qc_formed = [this](TimePoint at, View view, ProcessId node) {
       metrics_->record_qc_formed(at, view, node);
     };
-    if (workloads_[id] != nullptr && !scenario_.dissem.has_value()) {
-      observers.on_commit = [this, id](TimePoint at, const consensus::Block& block, ProcessId) {
-        workloads_[id]->on_commit(at, block.view(), block.payload());
+    // The trace log stays sim-only, but the span tracer and status board
+    // are thread-safe: node id's driver thread is the sole writer of its
+    // slots (obs/tracer.h threading note).
+    if (tracer_ != nullptr || status_board_ != nullptr) {
+      observers.on_view_entered = [this](TimePoint at, View view, ProcessId node) {
+        if (tracer_ != nullptr) tracer_->on_view_entered(node, at, view);
+        if (status_board_ != nullptr) status_board_->set_view(node, view);
+      };
+    }
+    if (tracer_ != nullptr) {
+      observers.on_sync_started = [tracer = tracer_.get()](TimePoint at, View current,
+                                                          View target, ProcessId node) {
+        tracer->on_sync_started(node, at, current, target);
+      };
+      observers.on_sent = [tracer = tracer_.get()](ProcessId node, std::size_t bytes) {
+        tracer->note_sent(node, bytes);
+      };
+    }
+    const bool feed_workload = workloads_[id] != nullptr && !scenario_.dissem.has_value();
+    if (feed_workload || status_board_ != nullptr) {
+      observers.on_commit = [this, id, feed_workload](TimePoint at,
+                                                      const consensus::Block& block, ProcessId) {
+        if (status_board_ != nullptr) status_board_->add_commit(id);
+        if (feed_workload) workloads_[id]->on_commit(at, block.view(), block.payload());
       };
     }
     nodes_.push_back(std::make_unique<Node>(
@@ -324,6 +381,43 @@ void Cluster::start() {
   for (auto& node : nodes_) node->start();
 }
 
+obs::NodeStatus Cluster::node_status(ProcessId id) const {
+  LUMIERE_ASSERT_MSG(id < nodes_.size(), "node_status: unknown node");
+  obs::NodeStatus status;
+  status.node = id;
+  if (status_board_ != nullptr) {
+    // TCP: the node itself is owned by its driver thread — serve the
+    // board's relaxed counters instead of touching protocol state.
+    status.view = status_board_->view(id);
+    status.height = status_board_->height(id);
+    status.mempool_depth = status_board_->mempool_depth(id);
+    status.requests_committed = status_board_->requests_committed(id);
+  } else {
+    status.view = nodes_[id]->current_view();
+    status.height = nodes_[id]->ledger().size();
+    if (workloads_[id] != nullptr) {
+      status.mempool_depth = workloads_[id]->mempool().pending();
+      status.requests_committed = workloads_[id]->stats().committed;
+    }
+  }
+  if (id < pipelines_.size() && pipelines_[id] != nullptr) {
+    const VerifyPipeline::Stats stats = pipelines_[id]->stats();
+    status.pipeline_queue_depth = stats.frames_in - stats.frames_out;
+  }
+  if (tracer_ != nullptr) {
+    status.msgs_sent = tracer_->msgs_sent(id);
+    status.bytes_sent = tracer_->bytes_sent(id);
+    status.auth_ops = tracer_->auth_snapshot(id).total();
+    // Sim runs own the one true clock; a TCP status thread has no safe
+    // clock, so the open span's duration reads 0 there (costs are live).
+    const TimePoint now =
+        scenario_.transport == TransportKind::kSim ? sim_.now() : TimePoint::origin();
+    status.current_sync = tracer_->open_span(id, now);
+    status.last_sync = tracer_->last_span(id);
+  }
+  return status;
+}
+
 workload::Report Cluster::workload_report() const {
   workload::Report report;
   for (const auto& workload : workloads_) {
@@ -342,12 +436,14 @@ void Cluster::run_for(Duration d) {
   // TCP: one wall-clock driver thread per node (1 simulated us = 1 us);
   // sub-millisecond remainders round up rather than silently vanish.
   const auto wall = std::chrono::milliseconds((d.ticks() + 999) / 1000);
+  metrics_->begin_recording_window();
   std::vector<std::thread> threads;
   threads.reserve(drivers_.size());
   for (auto& driver : drivers_) {
     threads.emplace_back([&driver, wall] { driver->run_for(wall); });
   }
   for (auto& thread : threads) thread.join();
+  metrics_->end_recording_window();
 }
 
 void Cluster::run_until(TimePoint t) {

@@ -21,6 +21,9 @@
 #include "adversary/behaviors.h"
 #include "core/honest_gap_tracker.h"
 #include "crypto/authenticator.h"
+#include "obs/status.h"
+#include "obs/status_server.h"
+#include "obs/tracer.h"
 #include "runtime/metrics.h"
 #include "runtime/node.h"
 #include "runtime/pipeline.h"
@@ -88,6 +91,24 @@ class Cluster {
   [[nodiscard]] const sim::TraceLog& trace() const noexcept { return trace_; }
   [[nodiscard]] sim::TraceLog& trace() noexcept { return trace_; }
 
+  /// The view-sync span tracer (obs/tracer.h); nullptr when the scenario
+  /// disabled it via ObsSpec::tracer = false. Works on both transports.
+  /// TCP: query between run_for slices or accept point-in-time reads.
+  [[nodiscard]] obs::SyncTracer* sync_tracer() noexcept { return tracer_.get(); }
+  [[nodiscard]] const obs::SyncTracer* sync_tracer() const noexcept { return tracer_.get(); }
+
+  /// Point-in-time status snapshot for node `id` — the same record the
+  /// TCP status endpoint serves (obs/status.h). Works on both transports.
+  [[nodiscard]] obs::NodeStatus node_status(ProcessId id) const;
+
+  /// The TCP port node `id`'s status endpoint listens on; 0 when status
+  /// endpoints are not enabled (ObsSpec::status_base_port == 0).
+  [[nodiscard]] std::uint16_t status_port(ProcessId id) const noexcept {
+    return id < status_servers_.size() && status_servers_[id] != nullptr
+               ? status_servers_[id]->port()
+               : 0;
+  }
+
   /// Smallest current view among honest processors (progress probe).
   [[nodiscard]] View min_honest_view() const;
   /// Largest current view among honest processors.
@@ -119,7 +140,7 @@ class Cluster {
   /// mempool/delivery hooks when the scenario enables it. `feed_metrics`
   /// additionally wires the disseminator's cert-latency / certified-depth
   /// samples into the shared MetricsCollector.
-  [[nodiscard]] NodeConfig config_for(ProcessId id, bool feed_metrics) const;
+  [[nodiscard]] NodeConfig config_for(ProcessId id, bool feed_metrics);
   /// Instantiates node `id`'s workload engine on `sim` (the shared
   /// simulator, or the node's private one on TCP). `feed_metrics` wires
   /// the engine into the shared MetricsCollector (threaded mode on TCP).
@@ -147,6 +168,13 @@ class Cluster {
   std::vector<std::unique_ptr<transport::RealtimeDriver>> drivers_;
   /// One staged decode+verify worker pool per node (TCP + pipeline(on)).
   std::vector<std::unique_ptr<VerifyPipeline>> pipelines_;
+
+  /// Observability (obs/): span tracer + live status. Declared after the
+  /// nodes/drivers they observe; status_servers_ last so its serving
+  /// threads stop before anything they snapshot is torn down.
+  std::unique_ptr<obs::SyncTracer> tracer_;
+  std::unique_ptr<obs::StatusBoard> status_board_;
+  std::vector<std::unique_ptr<obs::StatusServer>> status_servers_;
 };
 
 }  // namespace lumiere::runtime

@@ -47,6 +47,11 @@ void MetricsCollector::capture(Event event) {
 
 const MetricsCollector& MetricsCollector::base() const {
   if (!threaded_) return *this;
+  // Every query funnels through here: catching a mid-slice query catches
+  // both the data race and the dangling-reference footgun at its source.
+  LUMIERE_ASSERT_MSG(!recording_live_.load(std::memory_order_relaxed),
+                     "MetricsCollector queried during a live TCP run_for slice; "
+                     "query between slices and re-fetch log references after each");
   std::lock_guard<std::mutex> lock(merge_mu_);
   const std::uint64_t upto = seq_.load(std::memory_order_relaxed);
   if (merged_ != nullptr && merged_upto_ == upto) return *merged_;

@@ -47,11 +47,30 @@ class MetricsCollector final : public sim::NetworkObserver {
   /// read). Call once, before any recording; the TCP Cluster does this at
   /// construction. Queries afterwards replay the sorted event stream into
   /// an internal plain collector, so derived measures are computed by
-  /// exactly the same code as the single-threaded path. References
-  /// returned by log accessors (decisions(), queue_depth_log(), ...)
-  /// remain valid until the next event is recorded.
+  /// exactly the same code as the single-threaded path.
+  ///
+  /// Lifetime footgun, by design-and-asserted: references returned by the
+  /// log accessors (decisions(), queue_depth_log(), regime_marks(),
+  /// certified_depth_log(), ...) point into the replayed merge and are
+  /// invalidated by the next query that observes new events — hold them
+  /// only between run_for slices, and re-fetch after each slice. Querying
+  /// *during* a slice is asserted against: the Cluster brackets its TCP
+  /// driver threads with begin/end_recording_window(), and every query
+  /// (they all funnel through base()) aborts while the window is open.
   void enable_threaded() { threaded_ = true; }
   [[nodiscard]] bool threaded() const noexcept { return threaded_; }
+
+  /// Driver threads are live from here to end_recording_window():
+  /// recording is safe, querying is not (asserted in base()).
+  void begin_recording_window() noexcept {
+    recording_live_.store(true, std::memory_order_relaxed);
+  }
+  void end_recording_window() noexcept {
+    recording_live_.store(false, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool recording_window_open() const noexcept {
+    return recording_live_.load(std::memory_order_relaxed);
+  }
 
   // -- NetworkObserver -------------------------------------------------
   void on_send(TimePoint at, ProcessId from, ProcessId to, const Message& msg) override;
@@ -241,6 +260,7 @@ class MetricsCollector final : public sim::NetworkObserver {
 
   // -- threaded capture --------------------------------------------------
   bool threaded_ = false;
+  std::atomic<bool> recording_live_{false};
   static constexpr std::size_t kShards = 16;
   struct Shard {
     std::mutex mu;

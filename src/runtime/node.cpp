@@ -13,7 +13,7 @@ Node::Node(const ProtocolParams& params, ProcessId id, sim::Simulator* sim,
       id_(id),
       sim_(sim),
       network_(network),
-      auth_view_(auth, &memo_),
+      auth_view_(auth, &memo_, config.auth_ops),
       signer_(auth->signer_for(id)),
       observers_(std::move(observers)),
       behavior_(std::move(behavior)),
@@ -22,6 +22,8 @@ Node::Node(const ProtocolParams& params, ProcessId id, sim::Simulator* sim,
   LUMIERE_ASSERT(sim != nullptr && network != nullptr && auth != nullptr);
   LUMIERE_ASSERT(behavior_ != nullptr);
   ever_byzantine_ = std::strcmp(behavior_->name(), "honest") != 0;
+  // Before build_* so the pacemaker/dissem/core Signer copies inherit it.
+  signer_.set_op_counters(config.auth_ops);
   clock_ = std::make_unique<sim::LocalClock>(sim_, config.join_time, config.clock_drift_ppm);
   build_pacemaker(config);
   build_dissem(config);
@@ -63,6 +65,11 @@ void Node::build_pacemaker(const NodeConfig& config) {
   wiring.propose_poke = [this](View v) {
     if (core_) core_->on_propose_allowed(v);
   };
+  if (observers_.on_sync_started) {
+    wiring.sync_started = [this](View target) {
+      observers_.on_sync_started(sim_->now(), pacemaker_->current_view(), target, id_);
+    };
+  }
 
   pacemaker_ = ProtocolRegistry::instance().make_pacemaker(
       config.protocol.pacemaker,
@@ -169,6 +176,7 @@ void Node::route_inbound(ProcessId from, const MessagePtr& msg) {
 
 void Node::outbound(ProcessId to, MessagePtr msg) {
   if (!behavior_->allow_send(sim_->now(), to, *msg)) return;
+  if (observers_.on_sent && to != id_) observers_.on_sent(id_, msg->wire_size());
   network_->send(id_, to, std::move(msg));
 }
 

@@ -54,6 +54,11 @@ struct NodeConfig {
   /// plus optional metrics hooks). The transport-side callbacks (send,
   /// broadcast, schedule, now) are filled in by the Node itself.
   dissem::DisseminatorCallbacks dissem_hooks;
+  /// Observability: when set, the node installs these counters into its
+  /// Signer and AuthView so every authenticator op it performs is
+  /// attributed to it (crypto/auth_counters.h). Owned by the harness
+  /// (the cluster's SyncTracer); null = no counting.
+  crypto::AuthOpCounters* auth_ops = nullptr;
 };
 
 /// Events the node reports to the harness (metrics, tests).
@@ -65,6 +70,13 @@ struct NodeObservers {
   std::function<void(TimePoint at, View view, ProcessId node)> on_view_entered;
   /// This node committed a block (chained HotStuff only).
   std::function<void(TimePoint at, const consensus::Block& block, ProcessId node)> on_commit;
+  /// This node's pacemaker began a view-sync episode: it is in view
+  /// `current` and started spending resources aiming for `target`.
+  std::function<void(TimePoint at, View current, View target, ProcessId node)> on_sync_started;
+  /// This node put one protocol message of `bytes` wire bytes on the
+  /// transport (self-delivery excluded — it costs no network resources).
+  /// Called on the hot send path: keep implementations cheap.
+  std::function<void(ProcessId node, std::size_t bytes)> on_sent;
 };
 
 class Node {

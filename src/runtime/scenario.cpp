@@ -149,6 +149,11 @@ ScenarioBuilder& ScenarioBuilder::dissemination(dissem::DissemSpec spec) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::observability(obs::ObsSpec spec) {
+  obs_ = spec;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::behaviors(adversary::BehaviorFactory factory) {
   behavior_for_ = std::move(factory);
   return *this;
@@ -335,6 +340,30 @@ std::vector<std::string> ScenarioBuilder::validate() const {
     }
     if (pipeline_.queue_capacity == 0) {
       errors.push_back("pipeline: queue_capacity must be >= 1");
+    }
+  }
+
+  if (obs_.status_base_port != 0) {
+    if (transport_ != TransportKind::kTcp) {
+      errors.push_back(
+          "observability: status endpoints are TCP-transport-only (a simulated cluster "
+          "has no live sockets to serve); use transport_tcp()");
+    } else if (static_cast<std::uint32_t>(obs_.status_base_port) + params_.n - 1 > 65535) {
+      errors.push_back("observability: status ports " + std::to_string(obs_.status_base_port) +
+                       ".." + std::to_string(obs_.status_base_port + params_.n - 1) +
+                       " exceed 65535");
+    } else if (transport_ == TransportKind::kTcp && tcp_base_port_ != 0 &&
+               obs_.status_base_port < tcp_base_port_ + params_.n &&
+               tcp_base_port_ < obs_.status_base_port + params_.n) {
+      errors.push_back("observability: status ports " + std::to_string(obs_.status_base_port) +
+                       ".." + std::to_string(obs_.status_base_port + params_.n - 1) +
+                       " overlap the transport ports " + std::to_string(tcp_base_port_) + ".." +
+                       std::to_string(tcp_base_port_ + params_.n - 1));
+    }
+    if (!obs_.tracer) {
+      errors.push_back(
+          "observability: status endpoints report sync spans — enable the tracer "
+          "(ObsSpec::tracer) alongside status_base_port");
     }
   }
 
@@ -671,6 +700,7 @@ Scenario ScenarioBuilder::scenario() const {
   scenario.schedule = schedule_;
   scenario.topology = topology_;
   scenario.dissem = dissem_;
+  scenario.obs = obs_;
   if (!topology_.empty()) {
     scenario.delay = sim::make_topology_delay(topology_, params_.n);
   }

@@ -27,6 +27,7 @@
 
 #include "adversary/behaviors.h"
 #include "dissem/spec.h"
+#include "obs/spec.h"
 #include "runtime/pipeline.h"
 #include "runtime/registry.h"
 #include "sim/delay_policy.h"
@@ -107,6 +108,12 @@ struct Scenario {
   /// pin this mode).
   std::optional<dissem::DissemSpec> dissem;
 
+  /// Observability (src/obs/): the view-sync span tracer (default-on —
+  /// passive, golden digests are byte-identical either way), completed-
+  /// span/trace-log capacities, and the per-node status endpoints
+  /// (status_base_port, TCP transport only).
+  obs::ObsSpec obs;
+
   std::vector<NodeSpec> nodes;
 };
 
@@ -171,6 +178,10 @@ class ScenarioBuilder {
   /// references, committed references resolve (fetch-on-miss) before
   /// delivery. Requires the client-driven workload form above.
   ScenarioBuilder& dissemination(dissem::DissemSpec spec = {});
+  /// Observability knobs (src/obs/): span tracer on/off + capacities and
+  /// the per-node status endpoints. The tracer defaults on even without
+  /// this call; status endpoints need the TCP transport.
+  ScenarioBuilder& observability(obs::ObsSpec spec);
   /// Behavior assignment; default all-honest.
   ScenarioBuilder& behaviors(adversary::BehaviorFactory factory);
 
@@ -259,6 +270,7 @@ class ScenarioBuilder {
   PayloadProvider workload_;
   std::optional<workload::WorkloadSpec> workload_spec_;
   std::optional<dissem::DissemSpec> dissem_;
+  obs::ObsSpec obs_;
   std::string auth_scheme_ = crypto::kDefaultScheme;
   PipelineSpec pipeline_;
   TransportKind transport_ = TransportKind::kSim;

@@ -10,6 +10,10 @@ const char* to_string(TraceKind kind) {
       return "qc-formed";
     case TraceKind::kCommitted:
       return "committed";
+    case TraceKind::kSyncStarted:
+      return "sync-started";
+    case TraceKind::kSyncCompleted:
+      return "sync-completed";
     case TraceKind::kCustom:
       return "custom";
   }

@@ -1,9 +1,16 @@
 // Structured execution traces.
 //
 // A TraceLog collects protocol-level events (view entries, QC formations,
-// commits) with timestamps. Used by tests to assert on event orderings
-// and by examples/benches to print timelines; cheap enough to stay on in
-// every Cluster run.
+// commits, sync-span boundaries) with timestamps. Used by tests to assert
+// on event orderings and by examples/benches to print timelines; cheap
+// enough to stay on in every Cluster run.
+//
+// Capacity: the log is a bounded ring (default 1 << 18 events). When
+// full, the oldest half is discarded in one amortized trim — events()
+// keeps returning a plain contiguous vector, so existing callers and the
+// gtest matchers still work — and dropped() counts what was evicted. A
+// soak-length run therefore holds the most recent window instead of
+// growing without limit.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +28,8 @@ enum class TraceKind : std::uint8_t {
   kViewEntered,
   kQcFormed,
   kCommitted,
+  kSyncStarted,    ///< a pacemaker began a view-sync episode
+  kSyncCompleted,  ///< that episode closed with a view entry
   kCustom,
 };
 
@@ -36,16 +45,32 @@ struct TraceEvent {
 
 class TraceLog {
  public:
-  void record(TraceEvent event) { events_.push_back(std::move(event)); }
+  /// Default capacity: at ~64 bytes/event this bounds the log near 16 MiB.
+  static constexpr std::size_t kDefaultCapacity = 1 << 18;
+
+  explicit TraceLog(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? kDefaultCapacity : capacity) {}
+
+  void record(TraceEvent event) {
+    trim_if_full();
+    events_.push_back(std::move(event));
+  }
   void record(TimePoint at, TraceKind kind, ProcessId node, View view,
               std::string note = {}) {
+    trim_if_full();
     events_.push_back(TraceEvent{at, kind, node, view, std::move(note)});
   }
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
   [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
   [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
-  void clear() { events_.clear(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Events evicted by the capacity bound since construction/clear().
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
 
   /// Events matching a predicate, in order.
   [[nodiscard]] std::vector<TraceEvent> filtered(
@@ -62,6 +87,17 @@ class TraceLog {
   void dump(std::ostream& os, std::size_t max_events = SIZE_MAX) const;
 
  private:
+  void trim_if_full() {
+    if (events_.size() < capacity_) return;
+    // Drop the oldest half in one move: O(1) amortized per record, and
+    // the survivors stay contiguous for events().
+    const std::size_t drop = capacity_ / 2 + 1;
+    events_.erase(events_.begin(), events_.begin() + static_cast<std::ptrdiff_t>(drop));
+    dropped_ += drop;
+  }
+
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
   std::vector<TraceEvent> events_;
 };
 

@@ -1,0 +1,111 @@
+// ComplexityLedger: distribution aggregation, growth-exponent fitting,
+// and the JSONL / Chrome trace-event exports.
+#include "obs/ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lumiere::obs {
+namespace {
+
+SyncSpan make_span(ProcessId node, std::uint64_t msgs, std::uint64_t bytes,
+                   std::uint64_t shares, Duration dur, bool completed = true) {
+  SyncSpan span;
+  span.node = node;
+  span.from_view = 1;
+  span.target_view = 2;
+  span.entered_view = 2;
+  span.start = TimePoint(1000);
+  span.end = TimePoint(1000) + dur;
+  span.msgs_sent = msgs;
+  span.bytes_sent = bytes;
+  span.auth.shares = shares;
+  span.completed = completed;
+  return span;
+}
+
+TEST(ComplexityLedgerTest, SummarizeAggregatesCompletedSpans) {
+  std::vector<SyncSpan> spans;
+  spans.push_back(make_span(0, 10, 440, 2, Duration(100)));
+  spans.push_back(make_span(1, 20, 880, 4, Duration(300)));
+  spans.push_back(make_span(2, 30, 1320, 6, Duration(200)));
+  spans.push_back(make_span(3, 999, 9999, 99, Duration(999), /*completed=*/false));
+
+  const LedgerSummary summary = ComplexityLedger::summarize(spans);
+  EXPECT_EQ(summary.spans, 3U) << "open spans must be skipped";
+  EXPECT_DOUBLE_EQ(summary.msgs.mean, 20.0);
+  EXPECT_DOUBLE_EQ(summary.msgs.p50, 20.0);
+  EXPECT_DOUBLE_EQ(summary.msgs.max, 30.0);
+  EXPECT_DOUBLE_EQ(summary.bytes.mean, 880.0);
+  EXPECT_DOUBLE_EQ(summary.auth_ops.mean, 4.0);
+  EXPECT_DOUBLE_EQ(summary.duration_us.mean, 200.0);
+  EXPECT_DOUBLE_EQ(summary.duration_us.max, 300.0);
+  EXPECT_GE(summary.msgs.p95, 20.0);
+  EXPECT_LE(summary.msgs.p95, 30.0);
+}
+
+TEST(ComplexityLedgerTest, SummarizeOfNothingIsZero) {
+  const LedgerSummary summary = ComplexityLedger::summarize({});
+  EXPECT_EQ(summary.spans, 0U);
+  EXPECT_DOUBLE_EQ(summary.msgs.mean, 0.0);
+  EXPECT_DOUBLE_EQ(summary.duration_us.max, 0.0);
+}
+
+TEST(ComplexityLedgerTest, FitExponentRecoversKnownGrowthOrders) {
+  // cost = 7n: slope 1.
+  std::vector<std::pair<double, double>> linear;
+  // cost = 3n^2: slope 2.
+  std::vector<std::pair<double, double>> quadratic;
+  for (const double n : {4.0, 16.0, 64.0, 256.0}) {
+    linear.emplace_back(n, 7.0 * n);
+    quadratic.emplace_back(n, 3.0 * n * n);
+  }
+  EXPECT_NEAR(ComplexityLedger::fit_exponent(linear), 1.0, 1e-9);
+  EXPECT_NEAR(ComplexityLedger::fit_exponent(quadratic), 2.0, 1e-9);
+
+  // Fewer than two usable points: no fit.
+  EXPECT_DOUBLE_EQ(ComplexityLedger::fit_exponent({}), 0.0);
+  EXPECT_DOUBLE_EQ(ComplexityLedger::fit_exponent({{4.0, 28.0}}), 0.0);
+  // Non-positive points are skipped, not fitted.
+  EXPECT_DOUBLE_EQ(ComplexityLedger::fit_exponent({{4.0, 0.0}, {16.0, 0.0}}), 0.0);
+}
+
+TEST(ComplexityLedgerTest, JsonlExportsOneObjectPerCompletedSpan) {
+  std::vector<SyncSpan> spans;
+  spans.push_back(make_span(0, 10, 440, 2, Duration(100)));
+  spans.push_back(make_span(1, 20, 880, 4, Duration(300)));
+  std::ostringstream out;
+  ComplexityLedger::write_jsonl(out, "lumiere/n=4", spans);
+  const std::string text = out.str();
+
+  std::size_t lines = 0;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"label\":\"lumiere/n=4\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2U);
+  EXPECT_NE(text.find("\"msgs\":10"), std::string::npos);
+  EXPECT_NE(text.find("\"shares\":4"), std::string::npos);
+  EXPECT_NE(text.find("\"auth_ops\":2"), std::string::npos);
+}
+
+TEST(ComplexityLedgerTest, ChromeTraceIsWellFormed) {
+  std::vector<SyncSpan> spans;
+  spans.push_back(make_span(0, 10, 440, 2, Duration(100)));
+  spans.push_back(make_span(1, 20, 880, 4, Duration::zero()));  // dur clamps to >= 1
+  std::ostringstream out;
+  ComplexityLedger::write_chrome_trace(out, spans);
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("{\"traceEvents\":[", 0), 0U);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(text.find("\"dur\":1"), std::string::npos) << "zero-length slice not clamped";
+  EXPECT_EQ(text.find("\"dur\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lumiere::obs

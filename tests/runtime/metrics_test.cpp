@@ -127,5 +127,34 @@ TEST_F(MetricsTest, EmptyCollectorEdgeCases) {
   EXPECT_EQ(metrics_.msgs_between(TimePoint(0), TimePoint(100)), 0U);
 }
 
+TEST_F(MetricsTest, RecordingWindowBracketsThreadedSlices) {
+  metrics_.enable_threaded();
+  EXPECT_FALSE(metrics_.recording_window_open());
+
+  metrics_.begin_recording_window();
+  EXPECT_TRUE(metrics_.recording_window_open());
+  send(TimePoint(10), 0, 1);  // recording during the window is the point
+  metrics_.end_recording_window();
+  EXPECT_FALSE(metrics_.recording_window_open());
+
+  // Between slices, queries replay the captured events.
+  EXPECT_EQ(metrics_.total_honest_msgs(), 1U);
+
+  // A second slice appends to the same stream.
+  metrics_.begin_recording_window();
+  send(TimePoint(20), 2, 0);
+  metrics_.end_recording_window();
+  EXPECT_EQ(metrics_.total_honest_msgs(), 2U);
+  EXPECT_EQ(metrics_.msgs_between(TimePoint(0), TimePoint(15)), 1U);
+}
+
+TEST_F(MetricsTest, QueryDuringLiveWindowAborts) {
+  metrics_.enable_threaded();
+  metrics_.begin_recording_window();
+  // The documented footgun, now fatal instead of a silent data race: log
+  // references returned mid-slice would dangle on the next merge.
+  EXPECT_DEATH((void)metrics_.total_honest_msgs(), "queried during a live TCP run_for slice");
+}
+
 }  // namespace
 }  // namespace lumiere::runtime

@@ -81,7 +81,52 @@ TEST(TraceLogTest, KindNames) {
   EXPECT_STREQ(to_string(TraceKind::kViewEntered), "view-entered");
   EXPECT_STREQ(to_string(TraceKind::kQcFormed), "qc-formed");
   EXPECT_STREQ(to_string(TraceKind::kCommitted), "committed");
+  EXPECT_STREQ(to_string(TraceKind::kSyncStarted), "sync-started");
+  EXPECT_STREQ(to_string(TraceKind::kSyncCompleted), "sync-completed");
   EXPECT_STREQ(to_string(TraceKind::kCustom), "custom");
+}
+
+TEST(TraceLogTest, BoundedRingEvictsOldestHalf) {
+  TraceLog log(8);
+  EXPECT_EQ(log.capacity(), 8U);
+  for (int i = 0; i < 8; ++i) {
+    log.record(TimePoint(i), TraceKind::kViewEntered, 0, i);
+  }
+  EXPECT_EQ(log.size(), 8U);
+  EXPECT_EQ(log.dropped(), 0U);
+
+  // The 9th record trims the oldest capacity/2 + 1 events first.
+  log.record(TimePoint(8), TraceKind::kViewEntered, 0, 8);
+  EXPECT_EQ(log.size(), 4U);
+  EXPECT_EQ(log.dropped(), 5U);
+  EXPECT_EQ(log.events().front().view, 5);  // views 0..4 evicted
+  EXPECT_EQ(log.events().back().view, 8);
+
+  log.clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.dropped(), 0U);
+  EXPECT_EQ(log.capacity(), 8U);
+}
+
+TEST(TraceLogTest, ZeroCapacityMeansDefault) {
+  TraceLog log(0);
+  EXPECT_EQ(log.capacity(), TraceLog::kDefaultCapacity);
+}
+
+TEST(TraceLogTest, SoakRunStaysWithinCapacity) {
+  TraceLog log(16);
+  for (int i = 0; i < 1000; ++i) {
+    log.record(TimePoint(i), TraceKind::kQcFormed, 0, i);
+  }
+  EXPECT_LE(log.size(), 16U);
+  EXPECT_EQ(log.size() + log.dropped(), 1000U);
+  // The survivors are the most recent window, still in order.
+  View last = log.events().front().view - 1;
+  for (const TraceEvent& event : log.events()) {
+    EXPECT_EQ(event.view, last + 1);
+    last = event.view;
+  }
+  EXPECT_EQ(last, 999);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <functional>
 
 #include "crypto/authenticator.h"
+#include "obs/spec.h"
 #include "runtime/cluster.h"
 #include "workload/engine.h"
 #include "workload/report.h"
@@ -172,6 +173,23 @@ TEST(WorkloadDeterminismTest, ExplicitAuthAndPipelineOffMatchTheGolden) {
     b.pipeline(runtime::PipelineSpec{});
   };
   EXPECT_EQ(golden_fold_digest(explicit_knobs).hex(),
+            "2a1b9d02b926f706f51905544c71134cab00fcbbf2336b5caaf809f129b78a4e");
+}
+
+TEST(WorkloadDeterminismTest, ObservabilityOnMatchesTheGolden) {
+  // The view-sync tracer is passive: it draws no randomness, schedules no
+  // events and sends no messages, so running it — with an explicit span
+  // budget and a bounded trace ring — reproduces the pinned pre-obs
+  // digest byte for byte. This is the contract that lets the tracer
+  // default on everywhere.
+  const auto observability = [](ScenarioBuilder& b) {
+    obs::ObsSpec spec;
+    spec.tracer = true;
+    spec.max_spans = 512;
+    spec.trace_capacity = 1 << 12;
+    b.observability(spec);
+  };
+  EXPECT_EQ(golden_fold_digest(observability).hex(),
             "2a1b9d02b926f706f51905544c71134cab00fcbbf2336b5caaf809f129b78a4e");
 }
 

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Per-pacemaker view-sync cost tables from bench_sync_complexity.
+
+Reads BENCH_sync_complexity.json (the --json artifact) and prints one
+GitHub-flavored markdown table per pacemaker — mean per-sync messages,
+bytes and authenticator ops against n, next to the O(n)/O(n^2) curves
+anchored at the smallest n — plus the fitted growth exponent (the
+log-log slope; 1.0 = linear, 2.0 = quadratic, the Lewis-Pye bound's
+anchor). CI appends the output to $GITHUB_STEP_SUMMARY; locally it just
+prints.
+
+Usage: tools/sync_complexity_report.py [BENCH_sync_complexity.json]
+"""
+
+import json
+import sys
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_sync_complexity.json"
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("bench") != "sync_complexity":
+        sys.exit(f"{path}: not a bench_sync_complexity artifact")
+
+    samples = {}  # protocol -> [row, ...] in file order
+    fits = {}  # protocol -> fit row
+    for row in report.get("rows", []):
+        if row.get("kind") == "sample":
+            samples.setdefault(row["protocol"], []).append(row)
+        elif row.get("kind") == "fit":
+            fits[row["protocol"]] = row
+
+    if not samples:
+        sys.exit(f"no sample rows found in {path}")
+
+    print("### View-sync cost vs n (per pacemaker)")
+    print()
+    print("Mean per-sync cost over honest nodes' completed sync spans, under")
+    print("f silent leaders and the worst permitted network. `~O(n)` and")
+    print("`~O(n^2)` are theory curves anchored at the smallest n; the fitted")
+    print("exponent is the log-log slope (1.0 = linear, 2.0 = quadratic).")
+    for protocol, rows in samples.items():
+        print()
+        fit = fits.get(protocol, {})
+        exponent = fit.get("msgs_exponent")
+        auth_exponent = fit.get("auth_exponent")
+        headline = f"#### `{protocol}`"
+        if exponent is not None:
+            headline += f" — msgs/sync ~ n^{exponent:.2f}"
+        if auth_exponent is not None:
+            headline += f", auth-ops/sync ~ n^{auth_exponent:.2f}"
+        print(headline)
+        print()
+        print("| n | f | spans | msgs/sync | ~O(n) | ~O(n^2) | bytes/sync | auth/sync |")
+        print("|---:|---:|---:|---:|---:|---:|---:|---:|")
+        for row in rows:
+            print(
+                f"| {row['n']} | {row['f']} | {row['spans']} "
+                f"| {row['msgs_mean']:.1f} | {row['theory_n']:.1f} "
+                f"| {row['theory_n2']:.1f} | {row['bytes_mean']:.1f} "
+                f"| {row['auth_mean']:.1f} |"
+            )
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
