@@ -47,6 +47,13 @@ class ChainedHotStuff final : public ConsensusCore {
   [[nodiscard]] const BlockStore& block_store() const noexcept { return store_; }
   [[nodiscard]] View last_committed_view() const noexcept { return last_committed_view_; }
 
+  /// Crash recovery (restarted replica processes): allow a core that has
+  /// never committed to adopt a certified block with a missing ancestry
+  /// as its commit checkpoint instead of stalling forever on the
+  /// unfillable pre-restart prefix. Off by default — simulated clusters
+  /// retain full history and must keep full-prefix ledgers.
+  void set_checkpoint_adoption(bool on) noexcept { checkpoint_adoption_ = on; }
+
  private:
   void handle_new_view(ProcessId from, const NewViewMsg& msg);
   void handle_proposal(ProcessId from, const ProposalMsg& msg);
@@ -73,6 +80,7 @@ class ChainedHotStuff final : public ConsensusCore {
   QuorumCert locked_qc_;
   View last_committed_view_ = -1;
   crypto::Digest last_committed_hash_;
+  bool checkpoint_adoption_ = false;
 
   BlockStore store_;
   /// NewView bookkeeping for the view this node currently leads:

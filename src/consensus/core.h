@@ -39,6 +39,12 @@ struct CoreCallbacks {
   std::function<void(const QuorumCert& qc)> qc_seen;
   /// SMR commit (chained HotStuff / HotStuff-2).
   std::function<void(const Block& block)> decided;
+  /// Crash recovery (ProtocolConfig::checkpoint_adoption): the core is
+  /// about to make `base` its first decided block even though base's
+  /// parent is outside this node's history — base is a certified
+  /// checkpoint, the ledger becomes a committed suffix of the chain.
+  /// Fired once, immediately before decided(base).
+  std::function<void(const Block& base)> adopt_base;
   /// Vote gate over a proposal's payload. Null means every payload is
   /// acceptable (the legacy inline-batch mode); with the dissemination
   /// layer active it verifies that the payload is a well-formed list of

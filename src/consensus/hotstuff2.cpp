@@ -188,10 +188,21 @@ void HotStuff2::commit_chain(const Block& tip) {
     chain.push_back(current);
     current = store_.get(current->parent());
   }
-  // The chain must reconnect to the last committed block — a break would
-  // mean a safety violation or missing ancestors; commit nothing rather
-  // than commit a fork.
-  if (current == nullptr || current->hash() != last_committed_hash_) return;
+  // The chain must reconnect to the last committed block. A hash
+  // mismatch means a fork — commit nothing. A missing ancestor normally
+  // means a late block that will still arrive; the exception is a
+  // restarted process, whose pre-crash history is gone for good (peers
+  // only stream new proposals). `tip` satisfies the commit rule, so
+  // every block collected above is already committed cluster-wide: with
+  // checkpoint adoption enabled, a core that has never committed adopts
+  // the deepest block it holds as a certified checkpoint and resumes
+  // from there — its ledger becomes a committed suffix of the chain.
+  if (current == nullptr || current->hash() != last_committed_hash_) {
+    const bool adoptable = checkpoint_adoption_ && current == nullptr && !chain.empty() &&
+                           last_committed_view_ == Block::genesis().view();
+    if (!adoptable) return;
+    if (cb_.adopt_base) cb_.adopt_base(*chain.back());
+  }
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
     last_committed_view_ = (*it)->view();
     last_committed_hash_ = (*it)->hash();

@@ -72,6 +72,57 @@ RunResult run_case(const FuzzCase& c) {
   return result;
 }
 
+RunResult run_case_tcp(const FuzzCase& c, std::uint16_t tcp_base_port) {
+  // Strip what real sockets cannot express; everything else (fault
+  // schedule, behaviors, workload, dissemination, protocol combo) rides
+  // through the same builder path as the sim run.
+  FuzzCase t = c;
+  t.topology.clear();
+  t.delay = nullptr;
+  t.delay_desc = "tcp";
+  t.gst_us = 0;
+  std::erase_if(t.schedule.events, [](const sim::FaultEvent& event) {
+    return event.kind == sim::FaultKind::kDelayChange ||
+           event.kind == sim::FaultKind::kLinkDelay;
+  });
+
+  runtime::ScenarioBuilder builder = to_builder(t);
+  builder.transport_tcp(tcp_base_port);
+  runtime::Cluster cluster(builder.scenario());
+
+  const TimePoint disruption_end(t.disruption_end_us);
+  const Duration bound(t.liveness_bound_us);
+  const TimePoint deadline = disruption_end + bound;
+  const auto liveness = [&]() {
+    return t.committing_core()
+               ? check_commit_liveness(cluster, disruption_end, bound, 1)
+               : check_decision_liveness(cluster, disruption_end, bound, 2);
+  };
+
+  cluster.run_until(disruption_end);
+  // Probe in wall-clock slices (the shared sim clock does not exist on
+  // TCP; ledgers and metrics may only be read between run_for calls).
+  // Coarser slices than the sim run: each one costs real milliseconds.
+  const Duration slice(std::max<std::int64_t>(t.liveness_bound_us / 20, 1000));
+  TimePoint now = disruption_end;
+  while (now < deadline && liveness().has_value()) {
+    const Duration step = std::min(slice, deadline - now);
+    cluster.run_for(step);
+    now = now + step;
+  }
+
+  RunResult result;
+  const auto add = [&result](std::optional<std::string> violation) {
+    if (violation) result.violations.push_back(std::move(*violation));
+  };
+  add(check_safety(cluster));
+  add(check_view_monotonicity(cluster));  // vacuous on TCP (empty trace)
+  add(liveness());
+  if (t.workload.clients > 0) add(check_exactly_once(cluster));
+  result.digest = run_digest(cluster);
+  return result;
+}
+
 std::vector<std::vector<std::size_t>> event_episodes(const FuzzCase& c) {
   const auto& events = c.schedule.events;
   std::vector<bool> grouped(events.size(), false);

@@ -46,6 +46,17 @@ struct RunResult {
 /// a workload ran).
 [[nodiscard]] RunResult run_case(const FuzzCase& c);
 
+/// Builds and runs `c` on the REAL TCP transport (localhost sockets,
+/// wall-clock pacing). Simulator-only elements are stripped first:
+/// topology presets, adversarial delay policies, GST and scripted delay
+/// events cannot exist on real sockets, while partitions, crashes, churn
+/// and behavior changes replay through their best-effort TCP analogues.
+/// The digest is NOT comparable with run_case's (no structured trace,
+/// wall-clock commit stamps, real scheduling); the *verdict* — which
+/// oracles pass — is, and fuzz_repro --transport=tcp asserts exactly
+/// that.
+[[nodiscard]] RunResult run_case_tcp(const FuzzCase& c, std::uint16_t tcp_base_port);
+
 /// A shrunken case, expressed as drops relative to sample_case(seed).
 struct CaseDeltas {
   /// Indices into sample_case(seed).schedule.events to remove.

@@ -1,0 +1,73 @@
+// Data-form correctness oracles: the PR 5 checks (fuzz/oracles.h)
+// recast over *downloaded* ledger dumps instead of a live in-process
+// Cluster. The soak orchestrator (tools/soak) kills and restarts real
+// replica processes, then pulls each survivor's commit log through the
+// status endpoint's LEDGER command — at that point there is no Cluster
+// object to ask, only n parsed dumps.
+//
+// Two consequences shape the checks:
+//   * A restarted replica resumes through checkpoint adoption
+//     (consensus/ledger.h adopt_base), so its dump is a committed
+//     *suffix* of the cluster's chain, not a full prefix. Safety is
+//     therefore checked over the view-overlap of each pair, not by
+//     index-aligned prefixes.
+//   * A restarted replica's workload clients restart their sequence
+//     numbers, legitimately re-submitting (client, seq) tags that
+//     committed before the crash. Exactly-once forgives duplicates whose
+//     client belongs to a node marked `restarted`.
+//
+// Like fuzz/oracles.h, every check returns std::nullopt when satisfied
+// and a self-contained violation string otherwise.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "runtime/spec_io.h"
+
+namespace lumiere::fuzz {
+
+/// One node's downloaded commit log plus what the orchestrator knows
+/// about the process that produced it.
+struct NodeLedgerData {
+  ProcessId node = kNoProcess;
+  /// Reported ever_byzantine (STATUS) or known from the disruption
+  /// schedule — excluded from every guarantee.
+  bool ever_byzantine = false;
+  /// The process was killed and restarted: its dump is a suffix window
+  /// and its workload clients re-use sequence numbers.
+  bool restarted = false;
+  std::vector<runtime::LedgerRecord> records;
+};
+
+/// SAFETY: for every pair of honest dumps, the entries inside the pair's
+/// common view range are identical (same views, same block hashes, in
+/// the same order). Suffix windows with disjoint view ranges have
+/// nothing to compare and pass vacuously.
+[[nodiscard]] std::optional<std::string> check_safety_data(
+    const std::vector<NodeLedgerData>& nodes);
+
+/// VIEW MONOTONICITY (commit-order form): within each honest dump,
+/// committed views strictly increase.
+[[nodiscard]] std::optional<std::string> check_view_monotonicity_data(
+    const std::vector<NodeLedgerData>& nodes);
+
+/// EXACTLY-ONCE: no honest dump carries the same workload request
+/// (client, seq) twice — except tags owned by a restarted node's
+/// clients, which legitimately re-submit after the crash. Dumps whose
+/// payloads are dissemination references (certified batch refs, not
+/// request bytes) are skipped: raw dumps cannot resolve them.
+[[nodiscard]] std::optional<std::string> check_exactly_once_data(
+    const std::vector<NodeLedgerData>& nodes);
+
+/// LIVENESS (progress form): the dump of `node` extends beyond
+/// `min_view` — its newest committed view is strictly greater. The
+/// orchestrator uses this to prove a restarted replica committed *new*
+/// entries after rejoining (min_view = the cluster's max committed view
+/// observed at restart time).
+[[nodiscard]] std::optional<std::string> check_commit_progress_data(
+    const std::vector<NodeLedgerData>& nodes, ProcessId node, View min_view);
+
+}  // namespace lumiere::fuzz

@@ -1,0 +1,127 @@
+#include "obs/admin.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace lumiere::obs {
+
+const char* to_string(AdminKind kind) {
+  switch (kind) {
+    case AdminKind::kBehavior:
+      return "BEHAVIOR";
+    case AdminKind::kDrop:
+      return "DROP";
+    case AdminKind::kDelay:
+      return "DELAY";
+    case AdminKind::kIsolate:
+      return "ISOLATE";
+    case AdminKind::kHeal:
+      return "HEAL";
+    case AdminKind::kCrash:
+      return "CRASH";
+    case AdminKind::kLedger:
+      return "LEDGER";
+  }
+  return "?";
+}
+
+std::optional<AdminCommand> parse_admin(const std::string& line, std::string& error) {
+  std::istringstream in(line);
+  std::string verb;
+  in >> verb;
+  AdminCommand cmd;
+  if (verb == "BEHAVIOR") {
+    cmd.kind = AdminKind::kBehavior;
+    if (!(in >> cmd.behavior)) {
+      error = "BEHAVIOR needs a name";
+      return std::nullopt;
+    }
+  } else if (verb == "DROP") {
+    cmd.kind = AdminKind::kDrop;
+    if (!(in >> cmd.peer >> cmd.probability)) {
+      error = "DROP needs <peer> <probability>";
+      return std::nullopt;
+    }
+    if (cmd.probability < 0.0 || cmd.probability > 1.0) {
+      error = "DROP probability must be in [0, 1]";
+      return std::nullopt;
+    }
+  } else if (verb == "DELAY") {
+    cmd.kind = AdminKind::kDelay;
+    std::int64_t ms = 0;
+    if (!(in >> cmd.peer >> ms) || ms < 0) {
+      error = "DELAY needs <peer> <nonnegative ms>";
+      return std::nullopt;
+    }
+    cmd.delay = Duration::millis(ms);
+  } else if (verb == "ISOLATE") {
+    cmd.kind = AdminKind::kIsolate;
+  } else if (verb == "HEAL") {
+    cmd.kind = AdminKind::kHeal;
+  } else if (verb == "CRASH") {
+    cmd.kind = AdminKind::kCrash;
+  } else if (verb == "LEDGER") {
+    cmd.kind = AdminKind::kLedger;
+  } else {
+    error = "unknown admin command";
+    return std::nullopt;
+  }
+  std::string extra;
+  if (in >> extra) {
+    error = "trailing arguments";
+    return std::nullopt;
+  }
+  return cmd;
+}
+
+std::optional<std::string> AdminGate::submit(const AdminCommand& command, Duration timeout) {
+  Pending pending;
+  pending.command = command;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(&pending);
+    queued_.fetch_add(1, std::memory_order_release);
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool done = cv_.wait_for(lock, std::chrono::microseconds(timeout.ticks()),
+                                 [&] { return pending.done; });
+  if (done) return std::move(pending.reply);
+  // Timed out: `pending` is about to leave scope, so drain() must never
+  // see it again. If it is still queued, unlink it and report the timeout.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (*it == &pending) {
+      queue_.erase(it);
+      queued_.fetch_sub(1, std::memory_order_release);
+      return std::nullopt;
+    }
+  }
+  // Not queued and not done: drain() popped it and is applying right now.
+  // It finishes under the mutex we hold, so completion is guaranteed.
+  cv_.wait(lock, [&] { return pending.done; });
+  return std::move(pending.reply);
+}
+
+void AdminGate::drain(const std::function<std::string(const AdminCommand&)>& apply) {
+  if (queued_.load(std::memory_order_acquire) == applied_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  while (true) {
+    Pending* pending = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (queue_.empty()) return;
+      pending = queue_.front();
+      queue_.pop_front();
+    }
+    std::string reply = apply(pending->command);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      pending->reply = std::move(reply);
+      pending->done = true;
+      applied_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace lumiere::obs

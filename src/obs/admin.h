@@ -1,0 +1,96 @@
+// The runtime adversary control plane: admin commands over the status
+// endpoint (obs/status_server.h), applied on the node's driver thread.
+//
+// A status-server session thread must never touch the Node or its
+// transport adapter — both are thread-confined to the node's driver. The
+// AdminGate is the hand-off: the session thread parses the command,
+// submits it and blocks (bounded) for the reply; the driver drains the
+// gate once per pacing iteration (RealtimeDriver::set_pump) and applies
+// each command with full ownership of the protocol stack.
+//
+// Wire protocol (one line per command, after AUTH <token>):
+//   BEHAVIOR <name>      flip the live node through adversary::make_behavior
+//   DROP <peer> <p>      drop outbound frames to <peer> with probability p
+//   DELAY <peer> <ms>    delay outbound frames to <peer> by ms milliseconds
+//   ISOLATE              cut this node from every peer (it keeps running)
+//   HEAL                 clear isolation, drops, delays and partition cuts
+//   CRASH                abrupt _exit — standalone lumiere_node only
+//   LEDGER               dump the committed ledger (runtime/spec_io.h format)
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/time.h"
+#include "common/types.h"
+
+namespace lumiere::obs {
+
+enum class AdminKind : std::uint8_t {
+  kBehavior,
+  kDrop,
+  kDelay,
+  kIsolate,
+  kHeal,
+  kCrash,
+  kLedger,
+};
+
+[[nodiscard]] const char* to_string(AdminKind kind);
+
+struct AdminCommand {
+  AdminKind kind = AdminKind::kHeal;
+  ProcessId peer = kNoProcess;   ///< kDrop / kDelay target link
+  double probability = 0.0;      ///< kDrop
+  Duration delay = Duration::zero();  ///< kDelay
+  std::string behavior;          ///< kBehavior (adversary::make_behavior name)
+};
+
+/// Parses one admin line ("BEHAVIOR equivocator", "DROP 2 0.25", ...).
+/// Returns nullopt with `error` set on malformed input; validation that
+/// needs runtime state (peer range, known behavior names) happens at
+/// apply time on the driver thread.
+[[nodiscard]] std::optional<AdminCommand> parse_admin(const std::string& line,
+                                                      std::string& error);
+
+/// The session-thread -> driver-thread hand-off queue. Thread-safe.
+class AdminGate {
+ public:
+  /// Submits `command` and blocks until the driver thread replies or
+  /// `timeout` elapses (the node may be crashed or its driver paused
+  /// between run_for slices — the session must not hang forever).
+  /// Returns the reply line(s), or nullopt on timeout.
+  [[nodiscard]] std::optional<std::string> submit(const AdminCommand& command,
+                                                  Duration timeout);
+
+  /// Driver thread: applies every queued command through `apply` (which
+  /// returns the reply text) and wakes the waiting sessions. Cheap when
+  /// the queue is empty (one relaxed load, no lock).
+  void drain(const std::function<std::string(const AdminCommand&)>& apply);
+
+  /// Commands applied so far (diagnostics / tests).
+  [[nodiscard]] std::uint64_t applied() const noexcept {
+    return applied_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Pending {
+    AdminCommand command;
+    std::string reply;
+    bool done = false;
+  };
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending*> queue_;
+  std::atomic<std::uint64_t> queued_{0};
+  std::atomic<std::uint64_t> applied_{0};
+};
+
+}  // namespace lumiere::obs

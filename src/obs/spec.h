@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace lumiere::obs {
 
@@ -25,6 +26,12 @@ struct ObsSpec {
   /// When non-zero (TCP transport only), each node i serves the line
   /// protocol on status_base_port + i. Zero disables the endpoints.
   std::uint16_t status_base_port = 0;
+
+  /// When non-empty, the status endpoints accept runtime admin commands
+  /// (obs/admin.h) from sessions that first send "AUTH <admin_token>".
+  /// Empty disables the admin control plane entirely — STATUS/PING only.
+  /// Requires status_base_port != 0.
+  std::string admin_token;
 };
 
 }  // namespace lumiere::obs

@@ -20,6 +20,8 @@ std::string render_status(const NodeStatus& status) {
   out << "node " << status.node << "\n";
   out << "view " << status.view << "\n";
   out << "height " << status.height << "\n";
+  out << "last_commit_height " << status.last_commit_height << "\n";
+  out << "ever_byzantine " << (status.ever_byzantine ? 1 : 0) << "\n";
   out << "mempool_depth " << status.mempool_depth << "\n";
   out << "pipeline_queue_depth " << status.pipeline_queue_depth << "\n";
   out << "requests_committed " << status.requests_committed << "\n";

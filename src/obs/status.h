@@ -24,6 +24,12 @@ struct NodeStatus {
   ProcessId node = kNoProcess;
   View view = 0;
   std::uint64_t height = 0;             ///< blocks committed
+  /// View of the most recently committed block. Unlike `height` (a
+  /// process-local counter that restarts at zero), this survives a
+  /// crash-restart as a monotone progress proxy — the soak orchestrator
+  /// keys liveness on it.
+  std::uint64_t last_commit_height = 0;
+  bool ever_byzantine = false;          ///< node ever ran a non-honest behavior
   std::uint64_t mempool_depth = 0;      ///< pending requests (last sample)
   std::uint64_t pipeline_queue_depth = 0;///< verify-pipeline frames in flight
   std::uint64_t requests_committed = 0; ///< workload requests completed
@@ -56,6 +62,12 @@ class StatusBoard {
   void add_commit(ProcessId id) noexcept {
     nodes_[id]->commits.fetch_add(1, std::memory_order_relaxed);
   }
+  void set_last_commit(ProcessId id, std::uint64_t view) noexcept {
+    nodes_[id]->last_commit.store(view, std::memory_order_relaxed);
+  }
+  void set_ever_byzantine(ProcessId id) noexcept {
+    nodes_[id]->ever_byzantine.store(true, std::memory_order_relaxed);
+  }
   void set_mempool_depth(ProcessId id, std::uint64_t depth) noexcept {
     nodes_[id]->mempool.store(depth, std::memory_order_relaxed);
   }
@@ -75,11 +87,19 @@ class StatusBoard {
   [[nodiscard]] std::uint64_t requests_committed(ProcessId id) const noexcept {
     return nodes_[id]->requests.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::uint64_t last_commit(ProcessId id) const noexcept {
+    return nodes_[id]->last_commit.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool ever_byzantine(ProcessId id) const noexcept {
+    return nodes_[id]->ever_byzantine.load(std::memory_order_relaxed);
+  }
 
  private:
   struct PerNode {
     std::atomic<View> view{0};
     std::atomic<std::uint64_t> commits{0};
+    std::atomic<std::uint64_t> last_commit{0};
+    std::atomic<bool> ever_byzantine{false};
     std::atomic<std::uint64_t> mempool{0};
     std::atomic<std::uint64_t> requests{0};
   };

@@ -14,7 +14,15 @@
 namespace lumiere::obs {
 
 StatusServer::StatusServer(std::uint16_t port, SnapshotFn snapshot)
-    : port_(port), snapshot_(std::move(snapshot)) {
+    : StatusServer(port, std::move(snapshot), AdminHooks{}) {
+  admin_enabled_ = false;
+}
+
+StatusServer::StatusServer(std::uint16_t port, SnapshotFn snapshot, AdminHooks admin)
+    : port_(port),
+      snapshot_(std::move(snapshot)),
+      admin_(std::move(admin)),
+      admin_enabled_(admin_.submit != nullptr) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("status endpoint: socket() failed");
   const int one = 1;
@@ -40,18 +48,50 @@ StatusServer::StatusServer(std::uint16_t port, SnapshotFn snapshot)
 StatusServer::~StatusServer() {
   stop_.store(true, std::memory_order_relaxed);
   if (thread_.joinable()) thread_.join();
+  reap_sessions(/*all=*/true);
   if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void StatusServer::reap_sessions(bool all) {
+  std::vector<std::unique_ptr<Session>> finished;
+  {
+    std::unique_lock<std::mutex> lock(sessions_mutex_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if (all || (*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Join outside the lock: a session marks itself done as its last act,
+  // so a `done` thread finishes immediately; with `all` set, stop_ is
+  // already true and every session exits within one 50ms poll tick.
+  for (auto& session : finished) {
+    if (session->thread.joinable()) session->thread.join();
+  }
 }
 
 void StatusServer::serve() {
   while (!stop_.load(std::memory_order_relaxed)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    reap_sessions(/*all=*/false);
     if (ready <= 0) continue;  // timeout (re-check stop) or EINTR
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
-    handle_client(client);
-    ::close(client);
+    auto session = std::make_unique<Session>();
+    Session* raw = session.get();
+    {
+      std::unique_lock<std::mutex> lock(sessions_mutex_);
+      sessions_.push_back(std::move(session));
+    }
+    raw->thread = std::thread([this, raw, client] {
+      handle_client(client);
+      ::close(client);
+      raw->done.store(true, std::memory_order_release);
+    });
   }
 }
 
@@ -67,13 +107,17 @@ bool write_all(int fd, const std::string& data) {
   return true;
 }
 
+bool write_line(int fd, std::string data) {
+  if (data.empty() || data.back() != '\n') data.push_back('\n');
+  return write_all(fd, data);
+}
+
 }  // namespace
 
 void StatusServer::handle_client(int fd) {
-  // One client at a time, blocking reads bounded by a poll: the endpoint
-  // is a diagnostics port, not a data plane.
   std::string buffer;
   char chunk[512];
+  bool authed = admin_.token.empty();  // no token configured -> no gate
   while (!stop_.load(std::memory_order_relaxed)) {
     const std::size_t newline = buffer.find('\n');
     if (newline != std::string::npos) {
@@ -86,8 +130,31 @@ void StatusServer::handle_client(int fd) {
         if (!write_all(fd, "PONG\n")) return;
       } else if (line == "QUIT") {
         return;
+      } else if (line.rfind("AUTH", 0) == 0) {
+        if (!admin_enabled_) {
+          if (!write_all(fd, "ERR admin disabled\n")) return;
+        } else if (line == "AUTH " + admin_.token && !admin_.token.empty()) {
+          authed = true;
+          if (!write_all(fd, "OK\n")) return;
+        } else {
+          if (!write_all(fd, "ERR bad token\n")) return;
+        }
       } else {
-        if (!write_all(fd, "ERR unknown command\n")) return;
+        std::string error;
+        const std::optional<AdminCommand> cmd = parse_admin(line, error);
+        if (!cmd.has_value()) {
+          const bool known_verb = error != "unknown admin command";
+          if (!write_all(fd, known_verb ? "ERR " + error + "\n" : "ERR unknown command\n")) {
+            return;
+          }
+        } else if (!admin_enabled_) {
+          if (!write_all(fd, "ERR admin disabled\n")) return;
+        } else if (!authed) {
+          if (!write_all(fd, "ERR auth required\n")) return;
+        } else {
+          const std::optional<std::string> reply = admin_.submit(*cmd);
+          if (!write_line(fd, reply.value_or("ERR timeout"))) return;
+        }
       }
       continue;
     }

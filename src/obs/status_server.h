@@ -1,22 +1,35 @@
-// StatusServer — one node's live status endpoint (TCP transport only).
+// StatusServer — one node's live status + admin endpoint (TCP transport
+// only).
 //
-// A tiny line-protocol server on 127.0.0.1:<port>, one background thread
-// per node, deliberately independent of the protocol stack: it calls a
-// snapshot closure and formats the reply, nothing more, so a wedged
-// consensus core still answers STATUS.
+// A tiny line-protocol server on 127.0.0.1:<port>, deliberately
+// independent of the protocol stack: it calls a snapshot closure and
+// formats the reply, so a wedged consensus core still answers STATUS.
+// Each accepted client gets its own session thread; sessions poll the
+// stop flag, so a client that disconnects mid-line or holds its socket
+// open across shutdown can neither leak a thread nor stall the server's
+// destructor.
 //
 // Protocol (newline-terminated, one command per line):
-//   STATUS  -> "key value" lines (see obs/status.h), terminated by "END"
-//   PING    -> "PONG"
-//   QUIT    -> closes the connection
-//   other   -> "ERR unknown command"
+//   STATUS        -> "key value" lines (see obs/status.h), ending "END"
+//   PING          -> "PONG"
+//   QUIT          -> closes the connection
+//   AUTH <token>  -> "OK" (unlocks admin for this session) or "ERR ..."
+//   admin verbs   -> see obs/admin.h; require AUTH when a token is set,
+//                    answer "ERR admin disabled" when no hooks are wired
+//   other         -> "ERR unknown command"
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "obs/admin.h"
 #include "obs/status.h"
 
 namespace lumiere::obs {
@@ -25,11 +38,21 @@ class StatusServer {
  public:
   using SnapshotFn = std::function<NodeStatus()>;
 
-  /// Binds 127.0.0.1:`port` and starts the serving thread. Throws
+  /// Admin control plane wiring. `submit` hands a parsed command to the
+  /// node's driver thread and blocks for the reply (see AdminGate);
+  /// nullopt means the driver never answered (crashed / wedged) and the
+  /// session reports "ERR timeout".
+  struct AdminHooks {
+    std::string token;  ///< required AUTH token; empty = no auth needed
+    std::function<std::optional<std::string>(const AdminCommand&)> submit;
+  };
+
+  /// Binds 127.0.0.1:`port` and starts the accept thread. Throws
   /// std::runtime_error when the port is taken.
   StatusServer(std::uint16_t port, SnapshotFn snapshot);
+  StatusServer(std::uint16_t port, SnapshotFn snapshot, AdminHooks admin);
 
-  /// Joins the serving thread and closes the socket.
+  /// Joins the accept thread and every session thread, closes all fds.
   ~StatusServer();
 
   StatusServer(const StatusServer&) = delete;
@@ -38,13 +61,25 @@ class StatusServer {
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
  private:
+  struct Session {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
   void serve();
   void handle_client(int fd);
+  /// Joins sessions whose threads have finished. Called from the accept
+  /// loop so a long-lived server does not accumulate dead threads.
+  void reap_sessions(bool all);
 
   std::uint16_t port_;
   SnapshotFn snapshot_;
+  AdminHooks admin_;
+  bool admin_enabled_ = false;
   int listen_fd_ = -1;
   std::atomic<bool> stop_{false};
+  std::mutex sessions_mutex_;
+  std::vector<std::unique_ptr<Session>> sessions_;
   std::thread thread_;
 };
 

@@ -7,6 +7,7 @@
 #include "consensus/messages.h"
 #include "dissem/messages.h"
 #include "pacemaker/messages.h"
+#include "runtime/spec_io.h"
 
 namespace lumiere::runtime {
 
@@ -35,7 +36,7 @@ Cluster::Cluster(Scenario scenario)
       byz[event.node] = true;
     }
   }
-  ever_byzantine_ = byz;
+  ever_byzantine_.assign(byz.begin(), byz.end());
   metrics_ = std::make_unique<MetricsCollector>(n, byz);
 
   // Observability first: config_for installs the tracer's op counters
@@ -45,6 +46,9 @@ Cluster::Cluster(Scenario scenario)
   }
   if (scenario_.obs.status_base_port != 0) {
     status_board_ = std::make_unique<obs::StatusBoard>(n);
+    for (ProcessId id = 0; id < n; ++id) {
+      if (byz[id]) status_board_->set_ever_byzantine(id);
+    }
   }
 
   if (scenario_.transport == TransportKind::kSim) {
@@ -58,9 +62,22 @@ Cluster::Cluster(Scenario scenario)
   if (status_board_ != nullptr) {
     status_servers_.reserve(n);
     for (ProcessId id = 0; id < n; ++id) {
-      status_servers_.push_back(std::make_unique<obs::StatusServer>(
-          static_cast<std::uint16_t>(scenario_.obs.status_base_port + id),
-          [this, id] { return node_status(id); }));
+      const auto port = static_cast<std::uint16_t>(scenario_.obs.status_base_port + id);
+      auto snapshot = [this, id] { return node_status(id); };
+      if (id < admin_gates_.size() && admin_gates_[id] != nullptr) {
+        obs::StatusServer::AdminHooks hooks;
+        hooks.token = scenario_.obs.admin_token;
+        hooks.submit = [gate = admin_gates_[id].get()](const obs::AdminCommand& command) {
+          // Bounded: the driver only drains between run_for slices, so a
+          // session issued while the cluster is paused must time out
+          // rather than pin its server thread.
+          return gate->submit(command, Duration::millis(2000));
+        };
+        status_servers_.push_back(
+            std::make_unique<obs::StatusServer>(port, snapshot, std::move(hooks)));
+      } else {
+        status_servers_.push_back(std::make_unique<obs::StatusServer>(port, snapshot));
+      }
     }
   }
 }
@@ -298,11 +315,24 @@ void Cluster::build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>
     codec.set_sig_wire(auth_->wire_spec());
     return codec;
   };
+  const bool admin_enabled = status_board_ != nullptr && !scenario_.obs.admin_token.empty();
+  if (admin_enabled) {
+    admin_gates_.reserve(n);
+    for (ProcessId id = 0; id < n; ++id) {
+      admin_gates_.push_back(std::make_unique<obs::AdminGate>());
+    }
+  }
   for (ProcessId id = 0; id < n; ++id) {
     node_sims_.push_back(std::make_unique<sim::Simulator>());
     adapters_.push_back(std::make_unique<transport::TcpTransportAdapter>(
         id, n, scenario_.tcp_base_port, make_codec()));
     adapters_.back()->set_observer(metrics_.get(), node_sims_.back().get());
+    // Deterministic per-node jitter/drop streams: both derive from the
+    // scenario seed, so a replayed scenario shapes traffic identically.
+    adapters_.back()->endpoint().set_reconnect_backoff(
+        transport::BackoffPolicy{}, scenario_.seed ^ (0x9e3779b97f4a7c15ULL * (id + 1)));
+    adapters_.back()->set_shaping(node_sims_.back().get(),
+                                  scenario_.seed ^ (0xd3833e804f4c574bULL * (id + 1)));
     // The workload engine lives on the node's private simulator — every
     // touch (submission, drain, commit) happens on the node's own driver
     // thread; the shared MetricsCollector is in threaded mode.
@@ -333,7 +363,10 @@ void Cluster::build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>
     if (feed_workload || status_board_ != nullptr) {
       observers.on_commit = [this, id, feed_workload](TimePoint at,
                                                       const consensus::Block& block, ProcessId) {
-        if (status_board_ != nullptr) status_board_->add_commit(id);
+        if (status_board_ != nullptr) {
+          status_board_->add_commit(id);
+          status_board_->set_last_commit(id, static_cast<std::uint64_t>(block.view()));
+        }
         if (feed_workload) workloads_[id]->on_commit(at, block.view(), block.payload());
       };
     }
@@ -342,6 +375,7 @@ void Cluster::build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>
         config_for(id, /*feed_metrics=*/true), std::move(observers), std::move(behaviors[id])));
     drivers_.push_back(std::make_unique<transport::RealtimeDriver>(
         node_sims_.back().get(), &adapters_.back()->endpoint()));
+    obs::AdminGate* gate = admin_enabled ? admin_gates_[id].get() : nullptr;
     if (scenario_.pipeline.enabled) {
       // Staged receive path: the endpoint hands raw frames to the worker
       // pool; the driver drains verified results back on the node's own
@@ -356,20 +390,71 @@ void Cluster::build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>
           [pipeline](ProcessId from, std::span<const std::uint8_t> payload) {
             return pipeline->submit(from, payload);
           });
-      drivers_.back()->set_pump([pipeline, node, adapter] {
+      drivers_.back()->set_pump([this, id, pipeline, node, adapter, gate] {
         pipeline->drain([&](VerifyPipeline::Result&& result) {
           for (const crypto::Digest& fp : result.fingerprints) {
             node->verify_memo().remember(fp);
           }
           adapter->deliver_decoded(result.from, result.msg);
         });
+        if (gate != nullptr) {
+          gate->drain(
+              [this, id](const obs::AdminCommand& command) { return apply_admin(id, command); });
+        }
       });
       pipeline->start();
     } else {
       pipelines_.push_back(nullptr);
+      if (gate != nullptr) {
+        // Admin commands apply on the node's driver thread: the pump is
+        // the only place that thread surfaces between simulator slices.
+        drivers_.back()->set_pump([this, id, gate] {
+          gate->drain(
+              [this, id](const obs::AdminCommand& command) { return apply_admin(id, command); });
+        });
+      }
     }
   }
   schedule_faults_tcp();
+}
+
+std::string Cluster::apply_admin(ProcessId id, const obs::AdminCommand& command) {
+  transport::TcpTransportAdapter& adapter = *adapters_[id];
+  switch (command.kind) {
+    case obs::AdminKind::kBehavior: {
+      auto behavior = adversary::make_behavior(command.behavior);
+      if (behavior == nullptr) return "ERR unknown behavior '" + command.behavior + "'";
+      const bool byzantine = command.behavior != "honest";
+      nodes_[id]->set_behavior(std::move(behavior));
+      if (byzantine) {
+        // Sticky, like scheduled behavior changes: an ever-Byzantine node
+        // never re-enters the honest accounting.
+        ever_byzantine_[id] = 1;
+        if (status_board_ != nullptr) status_board_->set_ever_byzantine(id);
+      }
+      return "OK";
+    }
+    case obs::AdminKind::kDrop:
+      if (command.peer >= scenario_.params.n) return "ERR peer out of range";
+      adapter.set_link_drop(command.peer, command.probability);
+      return "OK";
+    case obs::AdminKind::kDelay:
+      if (command.peer >= scenario_.params.n) return "ERR peer out of range";
+      adapter.set_link_delay(command.peer, command.delay);
+      return "OK";
+    case obs::AdminKind::kIsolate:
+      adapter.set_isolated(true);
+      return "OK";
+    case obs::AdminKind::kHeal:
+      adapter.clear_shaping();
+      adapter.clear_partition();
+      return "OK";
+    case obs::AdminKind::kCrash:
+      return "ERR crash disabled";
+    case obs::AdminKind::kLedger:
+      return render_ledger(nodes_[id]->ledger());
+  }
+  return "ERR unhandled";
 }
 
 void Cluster::start() {
@@ -390,11 +475,18 @@ obs::NodeStatus Cluster::node_status(ProcessId id) const {
     // board's relaxed counters instead of touching protocol state.
     status.view = status_board_->view(id);
     status.height = status_board_->height(id);
+    status.last_commit_height = status_board_->last_commit(id);
+    status.ever_byzantine = status_board_->ever_byzantine(id);
     status.mempool_depth = status_board_->mempool_depth(id);
     status.requests_committed = status_board_->requests_committed(id);
   } else {
     status.view = nodes_[id]->current_view();
     status.height = nodes_[id]->ledger().size();
+    if (!nodes_[id]->ledger().empty()) {
+      status.last_commit_height =
+          static_cast<std::uint64_t>(nodes_[id]->ledger().entries().back().view);
+    }
+    status.ever_byzantine = ever_byzantine_[id] != 0;
     if (workloads_[id] != nullptr) {
       status.mempool_depth = workloads_[id]->mempool().pending();
       status.requests_committed = workloads_[id]->stats().committed;
@@ -464,7 +556,9 @@ std::vector<ProcessId> Cluster::honest_ids() const {
   return out;
 }
 
-std::vector<bool> Cluster::byzantine_mask() const { return ever_byzantine_; }
+std::vector<bool> Cluster::byzantine_mask() const {
+  return {ever_byzantine_.begin(), ever_byzantine_.end()};
+}
 
 core::HonestGapTracker Cluster::honest_gap_tracker() const {
   std::vector<const sim::LocalClock*> clocks;

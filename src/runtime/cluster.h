@@ -21,6 +21,7 @@
 #include "adversary/behaviors.h"
 #include "core/honest_gap_tracker.h"
 #include "crypto/authenticator.h"
+#include "obs/admin.h"
 #include "obs/status.h"
 #include "obs/status_server.h"
 #include "obs/tracer.h"
@@ -136,6 +137,12 @@ class Cluster {
   /// transitions on every node's private simulator (TCP transport).
   void schedule_faults_tcp();
   void apply_fault_tcp(ProcessId id, const sim::FaultEvent& event);
+  /// Applies one admin command (obs/admin.h) to node `id`. Runs on the
+  /// node's own driver thread — the AdminGate pump drains into this.
+  /// Returns the reply line(s) for the status session. CRASH always
+  /// answers "ERR crash disabled" here: an in-process cluster must never
+  /// _exit the harness (the standalone lumiere_node enables it).
+  [[nodiscard]] std::string apply_admin(ProcessId id, const obs::AdminCommand& command);
   /// Resolves node `id`'s NodeConfig, including the dissemination layer's
   /// mempool/delivery hooks when the scenario enables it. `feed_metrics`
   /// additionally wires the disseminator's cert-latency / certified-depth
@@ -153,9 +160,12 @@ class Cluster {
   std::unique_ptr<MetricsCollector> metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
   /// Byzantine-for-accounting mask: initially non-honest nodes plus every
-  /// target of a scheduled non-honest behavior change (fixed pre-run, so
-  /// honest_ids() is stable whenever it is queried).
-  std::vector<bool> ever_byzantine_;
+  /// target of a scheduled non-honest behavior change, plus runtime admin
+  /// BEHAVIOR flips. uint8_t, not vector<bool>: admin flips write one
+  /// node's slot from that node's driver thread while others run — packed
+  /// bits would make adjacent slots a data race. Harness reads happen
+  /// between run_for slices (driver threads joined).
+  std::vector<std::uint8_t> ever_byzantine_;
   /// One engine per workload-driven node (index = node id, else null).
   std::vector<std::unique_ptr<workload::NodeWorkload>> workloads_;
   sim::TraceLog trace_;
@@ -174,6 +184,9 @@ class Cluster {
   /// threads stop before anything they snapshot is torn down.
   std::unique_ptr<obs::SyncTracer> tracer_;
   std::unique_ptr<obs::StatusBoard> status_board_;
+  /// One admin hand-off gate per node (TCP + admin_token only): status
+  /// sessions submit, the node's driver pump drains into apply_admin.
+  std::vector<std::unique_ptr<obs::AdminGate>> admin_gates_;
   std::vector<std::unique_ptr<obs::StatusServer>> status_servers_;
 };
 

@@ -101,15 +101,20 @@ void register_builtin_cores(ProtocolRegistry& registry) {
                                                        std::move(ctx.payload_provider));
   });
   registry.register_core("chained-hotstuff", [](CoreContext&& ctx) {
-    return std::make_unique<consensus::ChainedHotStuff>(ctx.params, ctx.auth, ctx.signer,
-                                                        std::move(ctx.callbacks),
-                                                        std::move(ctx.hooks),
-                                                        std::move(ctx.payload_provider));
+    auto core = std::make_unique<consensus::ChainedHotStuff>(ctx.params, ctx.auth, ctx.signer,
+                                                             std::move(ctx.callbacks),
+                                                             std::move(ctx.hooks),
+                                                             std::move(ctx.payload_provider));
+    core->set_checkpoint_adoption(ctx.config.checkpoint_adoption);
+    return core;
   });
   registry.register_core("hotstuff-2", [](CoreContext&& ctx) {
-    return std::make_unique<consensus::HotStuff2>(ctx.params, ctx.auth, ctx.signer,
-                                                  std::move(ctx.callbacks), std::move(ctx.hooks),
-                                                  std::move(ctx.payload_provider));
+    auto core = std::make_unique<consensus::HotStuff2>(ctx.params, ctx.auth, ctx.signer,
+                                                       std::move(ctx.callbacks),
+                                                       std::move(ctx.hooks),
+                                                       std::move(ctx.payload_provider));
+    core->set_checkpoint_adoption(ctx.config.checkpoint_adoption);
+    return core;
   });
 }
 

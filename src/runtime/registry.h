@@ -69,6 +69,13 @@ struct ProtocolConfig {
   /// Leader-schedule / randomness seed. Must be identical cluster-wide or
   /// honest nodes will disagree on lead(v).
   std::uint64_t shared_seed = 1;
+  /// Crash recovery for standalone replica processes: a committing core
+  /// that has never committed may adopt a certified block with missing
+  /// ancestry as its commit checkpoint (ledger becomes a committed
+  /// suffix) instead of stalling on the unfillable pre-restart prefix.
+  /// Keep off for simulated clusters — they retain full history and the
+  /// harness asserts full-prefix ledgers.
+  bool checkpoint_adoption = false;
   LumiereOptions lumiere;
   FeverOptions fever;
   TimeoutOptions timeout;

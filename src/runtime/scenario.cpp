@@ -304,9 +304,9 @@ std::vector<std::string> ScenarioBuilder::validate() const {
   std::vector<std::string> errors;
   const auto& registry = ProtocolRegistry::instance();
 
-  if (params_.n != 3 * params_.f + 1) {
-    errors.push_back("params: n must equal 3f + 1 (n = " + std::to_string(params_.n) +
-                     ", f = " + std::to_string(params_.f) + ")");
+  if (params_.n < 3 * params_.f + 1 || params_.f < 1) {
+    errors.push_back("params: n must be at least 3f + 1 with f >= 1 (n = " +
+                     std::to_string(params_.n) + ", f = " + std::to_string(params_.f) + ")");
   }
   if (params_.delta_cap <= Duration::zero()) {
     errors.push_back("params: delta_cap (Delta) must be positive");
@@ -365,6 +365,11 @@ std::vector<std::string> ScenarioBuilder::validate() const {
           "observability: status endpoints report sync spans — enable the tracer "
           "(ObsSpec::tracer) alongside status_base_port");
     }
+  }
+  if (!obs_.admin_token.empty() && obs_.status_base_port == 0) {
+    errors.push_back(
+        "observability: admin_token requires status endpoints (set "
+        "ObsSpec::status_base_port)");
   }
 
   auto check_names = [&](const std::string& where, const std::string& pm,

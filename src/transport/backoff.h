@@ -1,0 +1,71 @@
+// ReconnectBackoff — the pure policy behind TcpEndpoint's peer reconnect
+// gating.
+//
+// A restarted peer's port stays dead for an unknown stretch; hammering
+// connect() on every send burns syscalls and (on a real network) traffic.
+// The endpoint instead spaces attempts exponentially: after the k-th
+// consecutive failure the next attempt waits
+//
+//   min(base * 2^(k-1), cap) + jitter,   jitter uniform in [0, d/4)
+//
+// where d is the pre-jitter delay. Jitter draws come from the library's
+// deterministic Rng, so two endpoints seeded identically produce the same
+// delay sequence — unit-testable without a clock (tests/transport).
+// The policy is plain data + arithmetic; the endpoint owns the deadline
+// bookkeeping (steady_clock) and calls on_failure()/on_success().
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace lumiere::transport {
+
+struct BackoffPolicy {
+  /// Delay after the first failure. Zero disables backoff entirely (every
+  /// send retries connect() — the pre-soak behavior).
+  Duration base = Duration::millis(2);
+  /// Upper bound on the pre-jitter delay, however many failures accrue.
+  Duration cap = Duration::millis(200);
+};
+
+class ReconnectBackoff {
+ public:
+  ReconnectBackoff() : ReconnectBackoff(BackoffPolicy{}, 0) {}
+  ReconnectBackoff(BackoffPolicy policy, std::uint64_t jitter_seed)
+      : policy_(policy), rng_(jitter_seed) {}
+
+  /// Records one failed connect attempt and returns how long to wait
+  /// before the next one.
+  [[nodiscard]] Duration on_failure() {
+    ++failures_;
+    if (policy_.base <= Duration::zero()) return Duration::zero();
+    // Doubling with a shift, saturated well below overflow: past the cap
+    // every delay is the cap, so the exponent never needs to exceed ~40.
+    const std::uint32_t exponent = std::min<std::uint64_t>(failures_ - 1, 40);
+    const std::int64_t raw = policy_.base.ticks() << exponent;
+    const std::int64_t capped =
+        std::min<std::int64_t>(raw > 0 ? raw : policy_.cap.ticks(), policy_.cap.ticks());
+    const std::int64_t jitter_bound = capped / 4;
+    const std::int64_t jitter =
+        jitter_bound > 0
+            ? static_cast<std::int64_t>(rng_.next_below(static_cast<std::uint64_t>(jitter_bound)))
+            : 0;
+    return Duration(capped + jitter);
+  }
+
+  /// A connect succeeded: the next failure starts the schedule over.
+  void on_success() { failures_ = 0; }
+
+  [[nodiscard]] std::uint64_t failures() const noexcept { return failures_; }
+  [[nodiscard]] const BackoffPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace lumiere::transport

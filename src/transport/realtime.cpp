@@ -8,7 +8,13 @@ namespace lumiere::transport {
 
 TcpTransportAdapter::TcpTransportAdapter(ProcessId self, std::uint32_t n,
                                          std::uint16_t base_port, MessageCodec codec)
-    : self_(self), n_(n), partition_cut_(n, false), inbound_cut_(n, false), peer_down_(n, false) {
+    : self_(self),
+      n_(n),
+      partition_cut_(n, false),
+      inbound_cut_(n, false),
+      peer_down_(n, false),
+      link_drop_(n, 0.0),
+      link_delay_(n, Duration::zero()) {
   endpoint_ = std::make_unique<TcpEndpoint>(
       self, n, base_port, std::move(codec),
       [this](ProcessId from, const MessagePtr& msg) {
@@ -33,7 +39,7 @@ void TcpTransportAdapter::send(ProcessId from, ProcessId to, MessagePtr msg) {
     observer_->on_send(observer_clock_->now(), from, to, *msg);
   }
   if (to != self_ && blocked(to)) return;  // cut link: the frame is lost
-  endpoint_->send(to, *msg);
+  shaped_send(to, msg);
 }
 
 void TcpTransportAdapter::broadcast(ProcessId from, const MessagePtr& msg) {
@@ -45,8 +51,27 @@ void TcpTransportAdapter::broadcast(ProcessId from, const MessagePtr& msg) {
   if (observer_ != nullptr) observer_->on_broadcast(observer_clock_->now(), from, *msg, n_);
   for (ProcessId to = 0; to < n_; ++to) {
     if (to != self_ && blocked(to)) continue;
-    endpoint_->send(to, *msg);
+    shaped_send(to, msg);
   }
+}
+
+void TcpTransportAdapter::shaped_send(ProcessId to, const MessagePtr& msg) {
+  if (to != self_) {
+    if (link_drop_[to] > 0.0 && shaping_rng_ != nullptr &&
+        shaping_rng_->next_bool(link_drop_[to])) {
+      return;  // shaped away — indistinguishable from a lossy wire
+    }
+    if (link_delay_[to] > Duration::zero() && shaping_sim_ != nullptr) {
+      // Park the frame on the node's private simulator; the driver fires
+      // it once the wall clock passes the delayed instant. The MessagePtr
+      // copy keeps the payload alive until then.
+      shaping_sim_->schedule_after(link_delay_[to], [this, to, msg] {
+        if (!blocked(to)) endpoint_->send(to, *msg);
+      });
+      return;
+    }
+  }
+  endpoint_->send(to, *msg);
 }
 
 void TcpTransportAdapter::set_observer(sim::NetworkObserver* observer, sim::Simulator* clock) {
@@ -81,6 +106,29 @@ void TcpTransportAdapter::set_peer_down(ProcessId peer, bool down) {
 }
 
 void TcpTransportAdapter::set_self_down(bool down) { self_down_ = down; }
+
+void TcpTransportAdapter::set_shaping(sim::Simulator* sim, std::uint64_t seed) {
+  shaping_sim_ = sim;
+  shaping_rng_ = std::make_unique<Rng>(seed);
+}
+
+void TcpTransportAdapter::set_link_drop(ProcessId peer, double probability) {
+  LUMIERE_ASSERT(peer < n_);
+  link_drop_[peer] = probability;
+}
+
+void TcpTransportAdapter::set_link_delay(ProcessId peer, Duration delay) {
+  LUMIERE_ASSERT(peer < n_);
+  link_delay_[peer] = delay;
+}
+
+void TcpTransportAdapter::set_isolated(bool isolated) { isolated_ = isolated; }
+
+void TcpTransportAdapter::clear_shaping() {
+  isolated_ = false;
+  std::fill(link_drop_.begin(), link_drop_.end(), 0.0);
+  std::fill(link_delay_.begin(), link_delay_.end(), Duration::zero());
+}
 
 RealtimeDriver::RealtimeDriver(sim::Simulator* sim, TcpEndpoint* endpoint)
     : sim_(sim), endpoint_(endpoint) {

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/rng.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 #include "sim/transport_iface.h"
@@ -67,12 +68,34 @@ class TcpTransportAdapter final : public MessageTransport {
   /// Takes this node itself down (every frame dropped) / back up.
   void set_self_down(bool down);
 
+  // Runtime traffic shaping — the TCP analogue of the sim adversary's
+  // per-link delays, driven by admin commands (obs/admin.h). All calls
+  // happen on the node's own driver thread, like the fault methods above.
+  /// Enables shaping: `sim` (the node's private simulator) schedules
+  /// delayed sends; `seed` feeds the drop-decision RNG.
+  void set_shaping(sim::Simulator* sim, std::uint64_t seed);
+  /// Drops outbound frames to `peer` with the given probability.
+  void set_link_drop(ProcessId peer, double probability);
+  /// Delays outbound frames to `peer` by `delay` (zero = undelayed).
+  void set_link_delay(ProcessId peer, Duration delay);
+  /// Cuts this node off from every peer, both directions, while its own
+  /// protocol loop (and self-delivery) keeps running — unlike
+  /// set_self_down, an isolated node still times out, syncs and serves
+  /// its status endpoint meaningfully.
+  void set_isolated(bool isolated);
+  /// Clears isolation and every per-link drop/delay (admin HEAL; the
+  /// caller typically also clear_partition()s).
+  void clear_shaping();
+
   [[nodiscard]] TcpEndpoint& endpoint() noexcept { return *endpoint_; }
 
  private:
   [[nodiscard]] bool blocked(ProcessId peer) const {
-    return self_down_ || partition_cut_[peer] || peer_down_[peer];
+    return self_down_ || isolated_ || partition_cut_[peer] || peer_down_[peer];
   }
+  /// Applies drop/delay shaping and forwards to the endpoint. Returns
+  /// immediately when the frame is shaped away.
+  void shaped_send(ProcessId to, const MessagePtr& msg);
 
   ProcessId self_;
   std::uint32_t n_;
@@ -83,6 +106,11 @@ class TcpTransportAdapter final : public MessageTransport {
   std::vector<bool> inbound_cut_;
   std::vector<bool> peer_down_;
   bool self_down_ = false;
+  bool isolated_ = false;
+  sim::Simulator* shaping_sim_ = nullptr;
+  std::unique_ptr<Rng> shaping_rng_;
+  std::vector<double> link_drop_;
+  std::vector<Duration> link_delay_;
   std::unique_ptr<TcpEndpoint> endpoint_;
 };
 

@@ -77,9 +77,34 @@ TcpEndpoint::~TcpEndpoint() {
   }
 }
 
+void TcpEndpoint::set_reconnect_backoff(BackoffPolicy policy, std::uint64_t jitter_seed) {
+  backoff_policy_ = policy;
+  backoff_seed_ = jitter_seed;
+  reconnect_.clear();  // existing per-peer schedules restart under the new policy
+}
+
+std::uint64_t TcpEndpoint::connect_failures(ProcessId to) const {
+  const auto it = reconnect_.find(to);
+  return it == reconnect_.end() ? 0 : it->second.backoff.failures();
+}
+
 TcpEndpoint::Conn* TcpEndpoint::connection_to(ProcessId to) {
   auto it = outgoing_.find(to);
   if (it != outgoing_.end() && it->second.fd >= 0) return &it->second;
+
+  // Reconnect gate: a peer that refused recently is not retried until its
+  // backoff delay elapses — a dead process's port would fail every send,
+  // and a restarting one needs breathing room to rebind.
+  auto state_it = reconnect_.find(to);
+  if (state_it == reconnect_.end()) {
+    state_it = reconnect_
+                   .emplace(to, ReconnectState{ReconnectBackoff(backoff_policy_,
+                                                                backoff_seed_ ^ to),
+                                               std::chrono::steady_clock::time_point::min()})
+                   .first;
+  }
+  ReconnectState& state = state_it->second;
+  if (std::chrono::steady_clock::now() < state.next_attempt) return nullptr;
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return nullptr;
@@ -89,11 +114,17 @@ TcpEndpoint::Conn* TcpEndpoint::connection_to(ProcessId to) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<std::uint16_t>(base_port_ + to));
-  // Blocking connect keeps the demo simple; peers are local and listening.
+  // Blocking connect keeps the demo simple; peers are local, so a dead
+  // port answers ECONNREFUSED immediately rather than hanging.
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
+    const Duration delay = state.backoff.on_failure();
+    state.next_attempt =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(delay.ticks());
     return nullptr;
   }
+  state.backoff.on_success();
+  state.next_attempt = std::chrono::steady_clock::time_point::min();
   set_nonblocking(fd);
   Conn conn;
   conn.fd = fd;

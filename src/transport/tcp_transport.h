@@ -12,6 +12,7 @@
 // payload = MessageCodec::encode(msg) = [u32 type_id][body].
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -22,6 +23,7 @@
 
 #include "common/types.h"
 #include "ser/message.h"
+#include "transport/backoff.h"
 
 namespace lumiere::transport {
 
@@ -60,6 +62,16 @@ class TcpEndpoint {
   /// signature pre-verification and stays immediate.
   void set_raw_sink(RawSinkFn sink) { raw_sink_ = std::move(sink); }
 
+  /// Replaces the per-peer reconnect backoff policy (transport/backoff.h).
+  /// Jitter streams derive from `jitter_seed ^ peer`, so two endpoints
+  /// seeded identically draw identical delay sequences. A zero-base
+  /// policy disables the gating (every send retries connect()).
+  void set_reconnect_backoff(BackoffPolicy policy, std::uint64_t jitter_seed);
+
+  /// Consecutive failed connect attempts toward `to` since the last
+  /// success (diagnostics / tests).
+  [[nodiscard]] std::uint64_t connect_failures(ProcessId to) const;
+
   [[nodiscard]] ProcessId self() const noexcept { return self_; }
   [[nodiscard]] std::uint64_t frames_sent() const noexcept { return frames_sent_; }
   [[nodiscard]] std::uint64_t frames_received() const noexcept { return frames_received_; }
@@ -70,6 +82,14 @@ class TcpEndpoint {
     std::vector<std::uint8_t> inbox;   // partial frame reassembly
     std::vector<std::uint8_t> outbox;  // unflushed bytes
     ProcessId peer = kNoProcess;       // known after hello / connect
+  };
+
+  /// Per-peer reconnect gate: while the wall clock sits before
+  /// `next_attempt`, sends to that peer drop without a connect() try.
+  struct ReconnectState {
+    ReconnectBackoff backoff;
+    std::chrono::steady_clock::time_point next_attempt =
+        std::chrono::steady_clock::time_point::min();
   };
 
   void accept_pending();
@@ -94,7 +114,10 @@ class TcpEndpoint {
   ReceiveFn on_receive_;
   RawSinkFn raw_sink_;
   int listen_fd_ = -1;
+  BackoffPolicy backoff_policy_;
+  std::uint64_t backoff_seed_ = 0;
   std::map<ProcessId, Conn> outgoing_;  // keyed by destination
+  std::map<ProcessId, ReconnectState> reconnect_;
   // deque, not vector: poll_once holds Conn* across an accept_pending()
   // push_back, which must not invalidate references to existing elements.
   std::deque<Conn> incoming_;           // accepted connections

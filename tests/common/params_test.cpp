@@ -19,14 +19,33 @@ TEST(ProtocolParamsTest, ForNComputesF) {
 
 TEST(ProtocolParamsTest, QuorumsOverlapInHonestProcess) {
   // 2 * quorum() - n >= f + 1: two quorums share an honest processor.
-  for (std::uint32_t n : {4U, 7U, 10U, 31U, 64U}) {
+  // Includes the non-3f+1 sizes (5, 6, 8) the soak cluster runs.
+  for (std::uint32_t n : {4U, 5U, 6U, 7U, 8U, 10U, 31U, 64U}) {
     const auto p = ProtocolParams::for_n(n, Duration::millis(1));
     EXPECT_GE(2 * p.quorum(), p.n + p.f + 1);
   }
 }
 
+TEST(ProtocolParamsTest, GeneralizedQuorumMatchesClassicAtOptimalResilience) {
+  // At n = 3f + 1 the generalized quorum is exactly the paper's 2f + 1 —
+  // the formula change is byte-invisible to every existing configuration.
+  for (std::uint32_t f : {1U, 2U, 3U, 10U, 21U}) {
+    const auto p = ProtocolParams::for_n(3 * f + 1, Duration::millis(1));
+    EXPECT_EQ(p.quorum(), 2 * f + 1);
+  }
+  // n = 5 (the soak topology): f = 1, quorum 4 — any two quorums of 4
+  // among 5 intersect in >= 3 >= f + 1 processors.
+  const auto p5 = ProtocolParams::for_n(5, Duration::millis(1));
+  EXPECT_EQ(p5.f, 1U);
+  EXPECT_EQ(p5.quorum(), 4U);
+}
+
 TEST(ProtocolParamsDeathTest, RejectsBadN) {
-  EXPECT_DEATH(ProtocolParams::for_n(5, Duration::millis(1)).validate(), "3f");
+  // n below 3f + 1 (too few processors for the declared fault budget).
+  ProtocolParams p;
+  p.n = 3;
+  p.f = 1;
+  EXPECT_DEATH(p.validate(), "3f");
 }
 
 TEST(ProtocolParamsDeathTest, RejectsZeroDelta) {

@@ -9,6 +9,7 @@
 
 #include <cstring>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -48,10 +49,11 @@ class StatusClient {
   StatusClient(const StatusClient&) = delete;
   StatusClient& operator=(const StatusClient&) = delete;
 
-  void send_line(const std::string& line) {
-    const std::string framed = line + "\n";
-    ASSERT_EQ(::send(fd_, framed.data(), framed.size(), 0),
-              static_cast<ssize_t>(framed.size()));
+  void send_line(const std::string& line) { send_raw(line + "\n"); }
+
+  /// Raw bytes, no newline appended — for mid-line disconnect tests.
+  void send_raw(const std::string& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), 0), static_cast<ssize_t>(bytes.size()));
   }
 
   /// Reads until `terminator` appears at the start of a line (or the peer
@@ -173,6 +175,89 @@ TEST(StatusEndpointTest, StandaloneServerLifecycle) {
     EXPECT_NE(reply.find("view 42\n"), std::string::npos);
   }
   // Rebind after shutdown must succeed (no lingering listener).
+  StatusServer again(kPort, [] { return NodeStatus{}; });
+  EXPECT_EQ(again.port(), kPort);
+}
+
+TEST(StatusEndpointTest, ServesAdminFieldsAndAuthFlow) {
+  // The soak orchestrator's view of a replica: the PR 9 STATUS fields and
+  // the AUTH gate in front of the admin verbs, against a fake submit hook
+  // (no protocol stack needed).
+  constexpr std::uint16_t kPort = kStatusBase + 24;
+  StatusServer::AdminHooks hooks;
+  hooks.token = "sekrit";
+  hooks.submit = [](const AdminCommand& command) -> std::optional<std::string> {
+    return std::string("applied ") + to_string(command.kind);
+  };
+  StatusServer server(
+      kPort,
+      [] {
+        NodeStatus status;
+        status.node = 3;
+        status.last_commit_height = 41;
+        status.ever_byzantine = true;
+        return status;
+      },
+      std::move(hooks));
+
+  StatusClient client(kPort);
+  client.send_line("STATUS");
+  const auto fields = parse_status(client.read_until("END"));
+  EXPECT_EQ(fields.at("last_commit_height"), "41");
+  EXPECT_EQ(fields.at("ever_byzantine"), "1");
+
+  // Admin verbs are locked until this session authenticates.
+  client.send_line("ISOLATE");
+  EXPECT_EQ(client.read_until("ERR auth required"), "ERR auth required\n");
+  client.send_line("AUTH wrong");
+  EXPECT_EQ(client.read_until("ERR bad token"), "ERR bad token\n");
+  client.send_line("AUTH sekrit");
+  EXPECT_EQ(client.read_until("OK"), "OK\n");
+  client.send_line("DROP 1 0.5");
+  EXPECT_EQ(client.read_until("applied DROP"), "applied DROP\n");
+  client.send_line("DROP 1 nonsense");
+  EXPECT_EQ(client.read_until("ERR DROP needs <peer> <probability>"),
+            "ERR DROP needs <peer> <probability>\n");
+
+  // A second session does not inherit the first one's authentication.
+  StatusClient second(kPort);
+  second.send_line("HEAL");
+  EXPECT_EQ(second.read_until("ERR auth required"), "ERR auth required\n");
+}
+
+TEST(StatusEndpointTest, AdminDisabledWithoutHooks) {
+  constexpr std::uint16_t kPort = kStatusBase + 26;
+  StatusServer server(kPort, [] { return NodeStatus{}; });
+  StatusClient client(kPort);
+  client.send_line("AUTH anything");
+  EXPECT_EQ(client.read_until("ERR admin disabled"), "ERR admin disabled\n");
+  client.send_line("LEDGER");
+  EXPECT_EQ(client.read_until("ERR admin disabled"), "ERR admin disabled\n");
+}
+
+TEST(StatusEndpointTest, SurvivesMidLineDisconnectAndHeldSockets) {
+  constexpr std::uint16_t kPort = kStatusBase + 28;
+  std::unique_ptr<StatusClient> holder;  // outlives the server below
+  {
+    StatusServer server(kPort, [] { return NodeStatus{}; });
+    {
+      // Client dies mid-line: no newline ever arrives. The session must
+      // notice the hangup rather than wait for a terminator.
+      StatusClient partial(kPort);
+      partial.send_raw("STATU");  // no newline, then close
+    }
+    // The server still serves fresh sessions afterwards.
+    StatusClient healthy(kPort);
+    healthy.send_line("PING");
+    EXPECT_EQ(healthy.read_until("PONG"), "PONG\n");
+
+    // This session holds its socket open across server shutdown; the
+    // destructor must close it out rather than hang (the gtest timeout is
+    // the failure mode).
+    holder = std::make_unique<StatusClient>(kPort);
+  }
+  EXPECT_TRUE(holder->peer_closed()) << "shutdown must hang up held sessions";
+  // Port frees even though a client never hung up on its own.
   StatusServer again(kPort, [] { return NodeStatus{}; });
   EXPECT_EQ(again.port(), kPort);
 }

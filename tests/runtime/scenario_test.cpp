@@ -50,8 +50,8 @@ TEST(ScenarioBuilderTest, PerNodeOverridesComposeWithDefaults) {
 TEST(ScenarioBuilderTest, ValidateAggregatesEveryError) {
   ScenarioBuilder builder;
   ProtocolParams params;
-  params.n = 5;  // not 3f+1
-  params.f = 1;
+  params.n = 5;  // below 3f + 1 (n >= 3f+1 is the rule since quorum() generalized)
+  params.f = 2;
   builder.params(params).pacemaker("whoops").core("nope");
   builder.node(9).core("also-bad");
   const auto errors = builder.validate();

@@ -1,0 +1,94 @@
+// The runtime adversary control plane's parsing and thread hand-off
+// (obs/admin.h): session threads parse and submit, the driver thread
+// drains and applies.
+#include "obs/admin.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lumiere::obs {
+namespace {
+
+std::optional<AdminCommand> parse(const std::string& line) {
+  std::string error;
+  return parse_admin(line, error);
+}
+
+TEST(AdminParseTest, ParsesEveryVerb) {
+  auto behavior = parse("BEHAVIOR equivocator");
+  ASSERT_TRUE(behavior.has_value());
+  EXPECT_EQ(behavior->kind, AdminKind::kBehavior);
+  EXPECT_EQ(behavior->behavior, "equivocator");
+
+  auto drop = parse("DROP 2 0.25");
+  ASSERT_TRUE(drop.has_value());
+  EXPECT_EQ(drop->kind, AdminKind::kDrop);
+  EXPECT_EQ(drop->peer, 2U);
+  EXPECT_DOUBLE_EQ(drop->probability, 0.25);
+
+  auto delay = parse("DELAY 1 5");
+  ASSERT_TRUE(delay.has_value());
+  EXPECT_EQ(delay->kind, AdminKind::kDelay);
+  EXPECT_EQ(delay->peer, 1U);
+  EXPECT_EQ(delay->delay.ticks(), Duration::millis(5).ticks());
+
+  EXPECT_EQ(parse("ISOLATE")->kind, AdminKind::kIsolate);
+  EXPECT_EQ(parse("HEAL")->kind, AdminKind::kHeal);
+  EXPECT_EQ(parse("CRASH")->kind, AdminKind::kCrash);
+  EXPECT_EQ(parse("LEDGER")->kind, AdminKind::kLedger);
+}
+
+TEST(AdminParseTest, RejectsMalformedLines) {
+  std::string error;
+  EXPECT_FALSE(parse_admin("BEHAVIOR", error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(parse_admin("DROP 2", error).has_value());
+  EXPECT_FALSE(parse_admin("DROP x 0.5", error).has_value());
+  EXPECT_FALSE(parse_admin("DROP 2 1.5", error).has_value()) << "probability out of [0,1]";
+  EXPECT_FALSE(parse_admin("DELAY 2 -5", error).has_value());
+  EXPECT_FALSE(parse_admin("HEAL now", error).has_value()) << "trailing arguments";
+  EXPECT_FALSE(parse_admin("FROBNICATE", error).has_value());
+}
+
+TEST(AdminGateTest, SubmitTimesOutWhenNobodyDrains) {
+  AdminGate gate;
+  AdminCommand command;
+  command.kind = AdminKind::kHeal;
+  EXPECT_EQ(gate.submit(command, Duration::millis(30)), std::nullopt);
+  EXPECT_EQ(gate.applied(), 0U);
+  // The timed-out entry was unlinked: a later drain sees an empty queue
+  // and must not touch the dead stack frame.
+  gate.drain([](const AdminCommand&) { return std::string("OK"); });
+  EXPECT_EQ(gate.applied(), 0U);
+}
+
+TEST(AdminGateTest, DrainAppliesAndWakesSubmitters) {
+  AdminGate gate;
+  std::optional<std::string> reply;
+  std::thread session([&] {
+    AdminCommand command;
+    command.kind = AdminKind::kIsolate;
+    reply = gate.submit(command, Duration::millis(5000));
+  });
+  // Driver side: drain until the command comes through.
+  std::vector<AdminKind> applied;
+  while (gate.applied() == 0) {
+    gate.drain([&](const AdminCommand& command) {
+      applied.push_back(command.kind);
+      return std::string("OK");
+    });
+    std::this_thread::yield();
+  }
+  session.join();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "OK");
+  ASSERT_EQ(applied.size(), 1U);
+  EXPECT_EQ(applied[0], AdminKind::kIsolate);
+  EXPECT_EQ(gate.applied(), 1U);
+}
+
+}  // namespace
+}  // namespace lumiere::obs

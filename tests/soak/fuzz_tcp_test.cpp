@@ -1,0 +1,26 @@
+// Cross-transport replay parity: one sampled fuzz case replays on real
+// TCP sockets to the same oracle verdict as the deterministic simulator
+// (the contract behind `fuzz_repro --transport=tcp`). Digests are NOT
+// comparable across transports (empty trace, wall-clock stamps) — the
+// verdict is.
+#include <gtest/gtest.h>
+
+#include "fuzz/engine.h"
+
+namespace lumiere::fuzz {
+namespace {
+
+TEST(FuzzTcpParityTest, SimPassingSeedPassesOverTcp) {
+  // Seed 42: n=4, simple-view core, a crash + recover episode. Small
+  // enough to replay in wall-clock time, rich enough to cross the fault
+  // scheduling path on both transports.
+  const FuzzCase c = sample_case(42);
+  const RunResult sim = run_case(c);
+  EXPECT_TRUE(sim.ok()) << sim.violations.front();
+  const RunResult tcp = run_case_tcp(c, /*tcp_base_port=*/28900);
+  EXPECT_TRUE(tcp.ok()) << tcp.violations.front();
+  EXPECT_EQ(sim.ok(), tcp.ok()) << "transports disagree on the verdict";
+}
+
+}  // namespace
+}  // namespace lumiere::fuzz

@@ -1,0 +1,128 @@
+// Data-form oracles (fuzz/ledger_oracles.h): the checks tools/soak runs
+// over ledgers downloaded from separate replica processes. Honest dumps
+// are contiguous windows of one committed chain (full prefixes, or
+// checkpoint-adopted suffixes), so the oracles compare view-overlap
+// windows — exercised here on synthetic dumps with known defects.
+#include "fuzz/ledger_oracles.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "ser/serializer.h"
+#include "workload/request.h"
+
+namespace lumiere::fuzz {
+namespace {
+
+crypto::Digest block_hash(View v) {
+  const auto bytes = std::to_string(v);
+  return crypto::Sha256::hash(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()));
+}
+
+/// A window [from, to] of the canonical synthetic chain.
+NodeLedgerData window(ProcessId node, View from, View to) {
+  NodeLedgerData data;
+  data.node = node;
+  for (View v = from; v <= to; ++v) {
+    data.records.push_back({v, block_hash(v), {}});
+  }
+  return data;
+}
+
+/// One mempool batch holding a single workload request.
+std::vector<std::uint8_t> request_batch(std::uint32_t client, std::uint64_t seq) {
+  const auto command = workload::Request::encode(client, seq, {});
+  ser::Writer w;
+  w.bytes(std::span<const std::uint8_t>(command.data(), command.size()));
+  return std::move(w).take();
+}
+
+TEST(LedgerOraclesTest, SafetyPassesOnPrefixAndSuffixWindows) {
+  // Node 0 holds the full prefix; node 1 restarted and holds an adopted
+  // suffix. Their overlap agrees — the expected healthy soak shape.
+  const std::vector<NodeLedgerData> nodes = {window(0, 0, 9), window(1, 4, 12)};
+  EXPECT_EQ(check_safety_data(nodes), std::nullopt);
+}
+
+TEST(LedgerOraclesTest, SafetyIsVacuousOnDisjointWindows) {
+  const std::vector<NodeLedgerData> nodes = {window(0, 0, 3), window(1, 6, 9)};
+  EXPECT_EQ(check_safety_data(nodes), std::nullopt);
+}
+
+TEST(LedgerOraclesTest, SafetyCatchesAFork) {
+  auto a = window(0, 0, 9);
+  auto b = window(1, 0, 9);
+  b.records[5].hash = block_hash(999);  // same view, different block
+  const auto violation = check_safety_data({a, b});
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("safety"), std::string::npos);
+}
+
+TEST(LedgerOraclesTest, SafetyCatchesAMissingEntryInTheOverlap) {
+  auto a = window(0, 0, 6);
+  auto b = window(1, 0, 6);
+  b.records.erase(b.records.begin() + 3);  // interior gap: not a window
+  const auto violation = check_safety_data({a, b});
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("different block counts"), std::string::npos);
+}
+
+TEST(LedgerOraclesTest, SafetyIgnoresByzantineDumps) {
+  auto a = window(0, 0, 9);
+  auto b = window(1, 0, 9);
+  b.records[5].hash = block_hash(999);
+  b.ever_byzantine = true;  // its dump is untrusted, not evidence
+  EXPECT_EQ(check_safety_data({a, b}), std::nullopt);
+}
+
+TEST(LedgerOraclesTest, ViewMonotonicityCatchesRegression) {
+  auto a = window(0, 0, 5);
+  a.records.push_back({3, block_hash(3), {}});  // commits view 3 after 5
+  const auto violation = check_view_monotonicity_data({a});
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("monotonicity"), std::string::npos);
+  a.ever_byzantine = true;
+  EXPECT_EQ(check_view_monotonicity_data({a}), std::nullopt);
+}
+
+TEST(LedgerOraclesTest, ExactlyOnceCatchesDuplicateWithinOneDump) {
+  NodeLedgerData node = window(0, 0, 2);
+  node.records[0].payload = request_batch(workload::client_id(2, 0), 7);
+  node.records[2].payload = request_batch(workload::client_id(2, 0), 7);  // same (client, seq)
+  const auto violation = check_exactly_once_data({node});
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("exactly-once"), std::string::npos);
+}
+
+TEST(LedgerOraclesTest, ExactlyOnceForgivesRestartedNodesClients) {
+  // Node 2 restarted: its clients restart their sequence numbers, so
+  // their pre-crash tags legitimately commit a second time.
+  NodeLedgerData observer = window(0, 0, 2);
+  observer.records[0].payload = request_batch(workload::client_id(2, 0), 7);
+  observer.records[2].payload = request_batch(workload::client_id(2, 0), 7);
+  NodeLedgerData restarted = window(2, 0, 0);
+  restarted.restarted = true;
+  EXPECT_EQ(check_exactly_once_data({observer, restarted}), std::nullopt);
+}
+
+TEST(LedgerOraclesTest, ExactlyOnceIgnoresUntaggedPayloads) {
+  NodeLedgerData node = window(0, 0, 1);
+  node.records[0].payload = {0xDE, 0xAD};  // not a workload batch
+  node.records[1].payload = {0xDE, 0xAD};
+  EXPECT_EQ(check_exactly_once_data({node}), std::nullopt);
+}
+
+TEST(LedgerOraclesTest, CommitProgressRequiresGrowthBeyondWatermark) {
+  const std::vector<NodeLedgerData> nodes = {window(1, 0, 10)};
+  EXPECT_EQ(check_commit_progress_data(nodes, 1, 5), std::nullopt);
+  EXPECT_TRUE(check_commit_progress_data(nodes, 1, 10).has_value());
+  EXPECT_TRUE(check_commit_progress_data(nodes, 1, 15).has_value());
+  EXPECT_TRUE(check_commit_progress_data(nodes, 3, 0).has_value()) << "no dump for node 3";
+}
+
+}  // namespace
+}  // namespace lumiere::fuzz

@@ -39,7 +39,11 @@ std::vector<std::size_t> parse_index_list(const std::string& arg) {
 
 int usage() {
   std::cerr << "usage: fuzz_repro --seed N [--drop-events i,j] [--drop-behaviors k]\n"
-               "                  [--n M] [--no-workload] [--no-dissem] [--shrink]\n";
+               "                  [--n M] [--no-workload] [--no-dissem] [--shrink]\n"
+               "                  [--transport=sim|tcp] [--tcp-base-port P]\n"
+               "  --transport=tcp replays the case on real localhost sockets\n"
+               "  (sim-only delay/topology elements stripped; the digest is not\n"
+               "  comparable with the sim run — the oracle verdict is)\n";
   return 2;
 }
 
@@ -49,6 +53,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0;
   bool have_seed = false;
   bool do_shrink = false;
+  bool tcp = false;
+  std::uint16_t tcp_base_port = 23500;
   CaseDeltas deltas;
 
   for (int i = 1; i < argc; ++i) {
@@ -75,6 +81,22 @@ int main(int argc, char** argv) {
       deltas.drop_dissem = true;
     } else if (arg == "--shrink") {
       do_shrink = true;
+    } else if (arg == "--transport=tcp" || arg == "--transport-tcp") {
+      tcp = true;
+    } else if (arg == "--transport=sim") {
+      tcp = false;
+    } else if (arg == "--transport") {
+      const std::string value = next();
+      if (value == "tcp") {
+        tcp = true;
+      } else if (value == "sim") {
+        tcp = false;
+      } else {
+        std::cerr << "unknown transport: " << value << "\n";
+        return usage();
+      }
+    } else if (arg == "--tcp-base-port") {
+      tcp_base_port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 0));
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -91,7 +113,9 @@ int main(int argc, char** argv) {
   std::cout << "dissem: " << (replayed.dissem ? "enabled" : "disabled")
             << " (data-dissemination layer; --no-dissem is a shrink dimension)\n";
 
-  const RunResult result = lumiere::fuzz::run_case(replayed);
+  const RunResult result = tcp ? lumiere::fuzz::run_case_tcp(replayed, tcp_base_port)
+                               : lumiere::fuzz::run_case(replayed);
+  if (tcp) std::cout << "transport: tcp (base port " << tcp_base_port << ")\n";
   std::cout << "digest: " << result.digest.hex() << "\n";
   if (result.ok()) {
     std::cout << "result: every oracle passed\n";
