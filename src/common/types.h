@@ -35,6 +35,7 @@ enum class MsgClass : std::uint8_t {
   kPacemaker,  ///< view/epoch-view messages, VC/EC/TC dissemination
   kConsensus,  ///< proposals, votes, QC dissemination
   kDissem,     ///< batch pushes, availability acks, batch certs, fetches
+  kSync,       ///< block-sync fetches and chain responses (state transfer)
 };
 
 inline std::ostream& operator<<(std::ostream& os, MsgClass c) {
@@ -45,6 +46,8 @@ inline std::ostream& operator<<(std::ostream& os, MsgClass c) {
       return os << "consensus";
     case MsgClass::kDissem:
       return os << "dissem";
+    case MsgClass::kSync:
+      return os << "sync";
   }
   return os << "unknown";
 }

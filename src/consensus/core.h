@@ -55,6 +55,13 @@ struct CoreCallbacks {
   /// timers (HotStuff-2's Delta-wait before a non-responsive proposal)
   /// use this; may be null for cores that never schedule.
   std::function<void(Duration delay, std::function<void()> fn)> schedule;
+  /// Block sync (ProtocolConfig::block_sync): the commit walk hit an
+  /// ancestor missing from the local store that no peer will re-send on
+  /// its own — an equivocation victim's dropped winner, or a restarted
+  /// replica's pre-crash history. The sync subsystem fetches the block
+  /// by hash from peers and feeds it back via
+  /// ConsensusCore::on_synced_block. Null when block sync is off.
+  std::function<void(const crypto::Digest& hash)> fetch_missing;
 };
 
 /// The pacemaker-side hooks consulted by cores.
@@ -90,6 +97,20 @@ class ConsensusCore {
 
   /// Highest QC this node knows (for proposals and new-view reporting).
   [[nodiscard]] virtual const QuorumCert& high_qc() const = 0;
+
+  /// Block sync delivered a verified block (content-addressed and
+  /// parent-linked to a hash this core reported via
+  /// CoreCallbacks::fetch_missing). Committing cores store it and resume
+  /// the stalled commit walk; the default no-op suits cores that never
+  /// commit (simple-view).
+  virtual void on_synced_block(const Block& block) { (void)block; }
+
+  /// Serve a block-sync fetch from this core's store (nullptr = unknown).
+  [[nodiscard]] virtual std::shared_ptr<const Block> block_for_sync(
+      const crypto::Digest& hash) const {
+    (void)hash;
+    return nullptr;
+  }
 };
 
 }  // namespace lumiere::consensus

@@ -116,7 +116,15 @@ void HotStuff2::handle_proposal(ProcessId from, const ProposalMsg& msg) {
   // a missing ancestor, so a verified block that arrives late (real
   // networks reorder across senders) must still enter the store or this
   // node's ledger stalls forever. Voting stays view-gated below.
-  if (v < cur_view_ && !stale_stored_.insert(v).second) return;  // one late block per view
+  // The late-admission cap counts DISTINCT blocks per view (re-delivery
+  // of a stored block is free): an equivocating ex-leader has two
+  // variants in flight, and the certified winner must not be dropped
+  // because the losing variant claimed the view's only slot first.
+  if (v < cur_view_ && !store_.contains(block.hash())) {
+    std::uint32_t& admitted = stale_stored_[v];
+    if (admitted >= kMaxStaleBlocksPerView) return;
+    ++admitted;
+  }
   store_.insert(block);
   process_qc(block.justify());  // a proposal piggybacks the QC it extends
   if (v < cur_view_) return;    // too late to vote
@@ -189,20 +197,31 @@ void HotStuff2::commit_chain(const Block& tip) {
     current = store_.get(current->parent());
   }
   // The chain must reconnect to the last committed block. A hash
-  // mismatch means a fork — commit nothing. A missing ancestor normally
-  // means a late block that will still arrive; the exception is a
-  // restarted process, whose pre-crash history is gone for good (peers
-  // only stream new proposals). `tip` satisfies the commit rule, so
-  // every block collected above is already committed cluster-wide: with
-  // checkpoint adoption enabled, a core that has never committed adopts
-  // the deepest block it holds as a certified checkpoint and resumes
-  // from there — its ledger becomes a committed suffix of the chain.
+  // mismatch means a fork — commit nothing. A missing ancestor used to
+  // mean either a late block that will still arrive or a permanent wedge
+  // (an equivocation victim holding the losing variant, or a restarted
+  // process whose pre-crash history is gone — peers only stream new
+  // proposals). `tip` satisfies the commit rule, so every block
+  // collected above is already committed cluster-wide. With block sync
+  // wired (cb_.fetch_missing), the missing ancestor is fetched from
+  // peers and the walk resumes in on_synced_block — full-history
+  // backfill, preferred over checkpoint adoption's suffix-only recovery.
+  // Without it, checkpoint adoption lets a never-committed core adopt
+  // the deepest block it holds as a certified checkpoint.
   if (current == nullptr || current->hash() != last_committed_hash_) {
+    if (current == nullptr && !chain.empty() && cb_.fetch_missing) {
+      sync_pending_ = true;
+      sync_tip_ = tip.hash();
+      sync_missing_ = chain.back()->parent();
+      cb_.fetch_missing(sync_missing_);
+      return;
+    }
     const bool adoptable = checkpoint_adoption_ && current == nullptr && !chain.empty() &&
                            last_committed_view_ == Block::genesis().view();
     if (!adoptable) return;
     if (cb_.adopt_base) cb_.adopt_base(*chain.back());
   }
+  sync_pending_ = false;
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
     last_committed_view_ = (*it)->view();
     last_committed_hash_ = (*it)->hash();
@@ -210,6 +229,18 @@ void HotStuff2::commit_chain(const Block& tip) {
                         stale_stored_.upper_bound(last_committed_view_));
     if (cb_.decided) cb_.decided(**it);
   }
+}
+
+void HotStuff2::on_synced_block(const Block& block) {
+  store_.insert(block);
+  // Resume only when the exact gap the walk reported is filled: the sync
+  // layer delivers a response segment deepest-first, so the requested
+  // block lands last and the walk crosses the whole segment in one pass
+  // (re-wedging on the next gap re-arms sync_pending_ and fetches on).
+  if (!sync_pending_ || block.hash() != sync_missing_) return;
+  sync_pending_ = false;
+  const auto tip = store_.get(sync_tip_);
+  if (tip != nullptr && tip->view() > last_committed_view_) commit_chain(*tip);
 }
 
 void HotStuff2::on_message(ProcessId from, const MessagePtr& msg) {

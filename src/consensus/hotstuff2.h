@@ -55,6 +55,11 @@ class HotStuff2 final : public ConsensusCore {
   void on_message(ProcessId from, const MessagePtr& msg) override;
   void on_propose_allowed(View v) override;
   [[nodiscard]] const QuorumCert& high_qc() const override { return high_qc_; }
+  void on_synced_block(const Block& block) override;
+  [[nodiscard]] std::shared_ptr<const Block> block_for_sync(
+      const crypto::Digest& hash) const override {
+    return store_.get(hash);
+  }
 
   [[nodiscard]] View current_view() const noexcept { return cur_view_; }
   [[nodiscard]] const QuorumCert& locked_qc() const noexcept { return locked_qc_; }
@@ -100,13 +105,22 @@ class HotStuff2 final : public ConsensusCore {
   View last_committed_view_ = -1;
   crypto::Digest last_committed_hash_;
   bool checkpoint_adoption_ = false;
+  /// Block-sync state: the commit-walk tip that wedged on a missing
+  /// ancestor and the hash handed to CoreCallbacks::fetch_missing; the
+  /// walk resumes from the tip when that exact block is synced in.
+  bool sync_pending_ = false;
+  crypto::Digest sync_tip_;
+  crypto::Digest sync_missing_;
 
   BlockStore store_;
   /// Views whose Delta fallback timer has expired while this node led them.
   std::set<View> fallback_elapsed_;
-  /// Stale views whose late proposal was already stored (one block per
-  /// past view — bounds what an ex-leader can stuff into the store).
-  std::set<View> stale_stored_;
+  /// Distinct late blocks admitted per stale view, capped — bounds what
+  /// an ex-leader can stuff into the store while still admitting both
+  /// variants of an equivocated view (keying on view alone let the
+  /// losing variant occupy the slot and dropped the certified winner).
+  static constexpr std::uint32_t kMaxStaleBlocksPerView = 4;
+  std::map<View, std::uint32_t> stale_stored_;
   std::set<View> proposed_;
   std::map<View, crypto::Digest> my_proposal_hash_;
   std::map<View, crypto::QuorumAggregator> aggregators_;

@@ -180,6 +180,7 @@ FuzzCase apply_deltas(const FuzzCase& base, const CaseDeltas& deltas) {
   if (deltas.drop_workload) c.workload = WorkloadChoice{};
   // Dissemination rides on the workload: dropping either switches it off.
   if (deltas.drop_dissem || deltas.drop_workload) c.dissem = false;
+  if (deltas.drop_block_sync) c.block_sync = false;
 
   std::vector<bool> drop_event(c.schedule.events.size(), false);
   for (const std::size_t index : deltas.drop_events) {
@@ -324,6 +325,16 @@ ShrinkResult shrink(std::uint64_t seed,
         changed = true;
       }
     }
+    // Block sync next, for the same reason: a failure that survives
+    // without it is not a sync bug, and the repro should say so.
+    if (base.block_sync && !deltas.drop_block_sync) {
+      CaseDeltas candidate = deltas;
+      candidate.drop_block_sync = true;
+      if (fails_with(candidate)) {
+        deltas = candidate;
+        changed = true;
+      }
+    }
     if (base.workload.clients > 0 && !deltas.drop_workload) {
       CaseDeltas candidate = deltas;
       candidate.drop_workload = true;
@@ -390,6 +401,7 @@ std::string repro_line(std::uint64_t seed, const CaseDeltas& deltas) {
   if (deltas.n != 0) out << " --n " << deltas.n;
   if (deltas.drop_workload) out << " --no-workload";
   if (deltas.drop_dissem) out << " --no-dissem";
+  if (deltas.drop_block_sync) out << " --no-sync";
   return out.str();
 }
 

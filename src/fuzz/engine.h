@@ -71,10 +71,12 @@ struct CaseDeltas {
   bool drop_workload = false;
   /// Disable the sampled dissemination layer (keeping the workload).
   bool drop_dissem = false;
+  /// Disable the sampled block-sync subsystem.
+  bool drop_block_sync = false;
 
   [[nodiscard]] bool empty() const {
     return drop_events.empty() && drop_behaviors.empty() && n == 0 && !drop_workload &&
-           !drop_dissem;
+           !drop_dissem && !drop_block_sync;
   }
 };
 

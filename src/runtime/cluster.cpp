@@ -8,6 +8,7 @@
 #include "dissem/messages.h"
 #include "pacemaker/messages.h"
 #include "runtime/spec_io.h"
+#include "sync/messages.h"
 
 namespace lumiere::runtime {
 
@@ -310,6 +311,7 @@ void Cluster::build_tcp_cluster(std::vector<std::unique_ptr<adversary::Behavior>
     consensus::register_consensus_messages(codec);
     pacemaker::register_pacemaker_messages(codec);
     dissem::register_dissem_messages(codec);
+    sync::register_sync_messages(codec);
     // Frames carry the selected scheme's signature geometry; decoders
     // need it to slice signature bytes out of the stream.
     codec.set_sig_wire(auth_->wire_spec());

@@ -30,6 +30,9 @@ void MetricsCollector::charge_sends_raw(TimePoint at, std::uint32_t type_id, Msg
     case MsgClass::kConsensus:
       consensus_msgs_ += copies;
       break;
+    case MsgClass::kSync:
+      sync_msgs_ += copies;
+      break;
   }
   // One checkpoint carrying the post-charge total: copies of a broadcast
   // share one instant, so msgs_between() reads identically to per-copy

@@ -104,6 +104,8 @@ class MetricsCollector final : public sim::NetworkObserver {
   [[nodiscard]] std::uint64_t consensus_msgs() const { return base().consensus_msgs_; }
   [[nodiscard]] std::uint64_t dissem_msgs() const { return base().dissem_msgs_; }
   [[nodiscard]] std::uint64_t dissem_bytes() const { return base().dissem_bytes_; }
+  /// Honest block-sync messages sent (fetches + chain responses).
+  [[nodiscard]] std::uint64_t sync_msgs() const { return base().sync_msgs_; }
   /// Honest availability acks sent (BatchAck copies).
   [[nodiscard]] std::uint64_t batch_acks() const { return base().batch_acks_; }
   /// Honest dissemination-layer bytes sent in [from, to) — attributable
@@ -277,6 +279,7 @@ class MetricsCollector final : public sim::NetworkObserver {
   std::uint64_t consensus_msgs_ = 0;
   std::uint64_t dissem_msgs_ = 0;
   std::uint64_t dissem_bytes_ = 0;
+  std::uint64_t sync_msgs_ = 0;
   std::uint64_t batch_acks_ = 0;
   std::map<std::uint32_t, std::uint64_t> by_type_;
   std::vector<Decision> decisions_;

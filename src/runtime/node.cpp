@@ -28,6 +28,7 @@ Node::Node(const ProtocolParams& params, ProcessId id, sim::Simulator* sim,
   build_pacemaker(config);
   build_dissem(config);
   build_core(config);
+  build_sync(config);
 }
 
 bool Node::is_byzantine() const noexcept { return ever_byzantine_; }
@@ -120,6 +121,13 @@ void Node::build_core(const NodeConfig& config) {
   callbacks.schedule = [this](Duration delay, std::function<void()> fn) {
     sim_->schedule_after(delay, std::move(fn));
   };
+  if (config.protocol.block_sync) {
+    // The commit walk hit a never-arriving missing ancestor: hand the
+    // hash to the synchronizer (built right after the core).
+    callbacks.fetch_missing = [this](const crypto::Digest& hash) {
+      if (sync_) sync_->on_missing(hash);
+    };
+  }
 
   PayloadProvider provider = config.payload_provider;
   if (dissem_) {
@@ -140,6 +148,25 @@ void Node::build_core(const NodeConfig& config) {
       config.protocol.core,
       CoreContext{params_, id_, auth_view_, signer_, std::move(callbacks), std::move(hooks),
                   std::move(provider), config.protocol});
+}
+
+void Node::build_sync(const NodeConfig& config) {
+  if (!config.protocol.block_sync) return;
+  // Serve and verify against the core's content-addressed store. Fetched
+  // blocks re-enter through ConsensusCore::on_synced_block, whose commit
+  // path runs the same `decided` callback as live blocks — so a fetched
+  // block's dissem batch refs still resolve via on_committed_payload.
+  sync::SyncCallbacks cb;
+  cb.send = [this](ProcessId to, MessagePtr msg) { outbound(to, std::move(msg)); };
+  cb.schedule = [this](Duration delay, std::function<void()> fn) {
+    sim_->schedule_after(delay, std::move(fn));
+  };
+  cb.lookup = [this](const crypto::Digest& hash) { return core_->block_for_sync(hash); };
+  cb.accept = [this](const consensus::Block& block) { core_->on_synced_block(block); };
+  // Retry cadence: a fetch plus its response fit in 2*Delta post-GST, so
+  // rotate peers no faster than that.
+  sync_ = std::make_unique<sync::BlockSynchronizer>(
+      id_, params_.n, Duration(params_.delta_cap.ticks() * 2), std::move(cb));
 }
 
 void Node::start() {
@@ -174,6 +201,8 @@ void Node::route_inbound(ProcessId from, const MessagePtr& msg) {
     core_->on_message(from, msg);
   } else if (msg->msg_class() == MsgClass::kDissem) {
     if (dissem_) dissem_->on_message(from, msg);
+  } else if (msg->msg_class() == MsgClass::kSync) {
+    if (sync_) sync_->on_message(from, msg);
   } else {
     pacemaker_->on_message(from, msg);
   }

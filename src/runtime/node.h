@@ -30,6 +30,7 @@
 #include "runtime/registry.h"
 #include "sim/local_clock.h"
 #include "sim/transport_iface.h"
+#include "sync/block_sync.h"
 
 namespace lumiere::runtime {
 
@@ -120,6 +121,11 @@ class Node {
     return dissem_.get();
   }
   [[nodiscard]] dissem::Disseminator* disseminator() noexcept { return dissem_.get(); }
+  /// The node's block-sync engine; nullptr unless
+  /// ProtocolConfig::block_sync was set.
+  [[nodiscard]] const sync::BlockSynchronizer* synchronizer() const noexcept {
+    return sync_.get();
+  }
   /// The memo of signatures the verify pipeline already checked for
   /// this node. Written only by the node's driver thread (TCP).
   [[nodiscard]] crypto::VerifyMemo& verify_memo() noexcept { return memo_; }
@@ -130,6 +136,7 @@ class Node {
   void build_pacemaker(const NodeConfig& config);
   void build_dissem(const NodeConfig& config);
   void build_core(const NodeConfig& config);
+  void build_sync(const NodeConfig& config);
   void route_inbound(ProcessId from, const MessagePtr& msg);
   void outbound(ProcessId to, MessagePtr msg);
   void outbound_broadcast(const MessagePtr& msg);
@@ -151,6 +158,7 @@ class Node {
   std::unique_ptr<pacemaker::Pacemaker> pacemaker_;
   std::unique_ptr<dissem::Disseminator> dissem_;
   std::unique_ptr<consensus::ConsensusCore> core_;
+  std::unique_ptr<sync::BlockSynchronizer> sync_;
   consensus::Ledger ledger_;
   bool ever_byzantine_ = false;
   bool started_ = false;

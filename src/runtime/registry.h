@@ -76,6 +76,14 @@ struct ProtocolConfig {
   /// Keep off for simulated clusters — they retain full history and the
   /// harness asserts full-prefix ledgers.
   bool checkpoint_adoption = false;
+  /// Block sync (src/sync/): when the commit walk hits a missing
+  /// ancestor that will never arrive on its own — an equivocation
+  /// victim's dropped winner, or a restarted replica's pre-crash
+  /// history — fetch it from peers by hash and resume the walk instead
+  /// of wedging. Preferred over checkpoint_adoption when both are on
+  /// (full-history backfill instead of a committed suffix). Default off:
+  /// golden-digest runs stay byte-identical.
+  bool block_sync = false;
   LumiereOptions lumiere;
   FeverOptions fever;
   TimeoutOptions timeout;

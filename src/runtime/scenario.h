@@ -178,6 +178,11 @@ class ScenarioBuilder {
   /// references, committed references resolve (fetch-on-miss) before
   /// delivery. Requires the client-driven workload form above.
   ScenarioBuilder& dissemination(dissem::DissemSpec spec = {});
+  /// Enables block sync (src/sync/): a commit walk that wedges on a
+  /// missing ancestor fetches it from peers by hash and resumes instead
+  /// of stalling (equivocation victims, restarted replicas). Default
+  /// off — goldens pin the no-sync execution byte-identically.
+  ScenarioBuilder& block_sync(bool on = true);
   /// Observability knobs (src/obs/): span tracer on/off + capacities and
   /// the per-node status endpoints. The tracer defaults on even without
   /// this call; status endpoints need the TCP transport.

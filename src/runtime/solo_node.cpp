@@ -8,6 +8,7 @@
 #include "consensus/messages.h"
 #include "dissem/messages.h"
 #include "pacemaker/messages.h"
+#include "sync/messages.h"
 
 namespace lumiere::runtime {
 
@@ -31,6 +32,7 @@ SoloNodeRuntime::SoloNodeRuntime(const ClusterSpec& spec, ProcessId id, Options 
     consensus::register_consensus_messages(codec);
     pacemaker::register_pacemaker_messages(codec);
     dissem::register_dissem_messages(codec);
+    sync::register_sync_messages(codec);
     codec.set_sig_wire(auth_->wire_spec());
     return codec;
   };

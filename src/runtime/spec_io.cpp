@@ -72,6 +72,7 @@ std::string serialize(const ClusterSpec& spec) {
   out << "pipeline_workers " << spec.pipeline_workers << "\n";
   out << "pipeline_queue " << spec.pipeline_queue << "\n";
   out << "dissem " << (spec.dissem ? 1 : 0) << "\n";
+  out << "block_sync " << (spec.block_sync ? 1 : 0) << "\n";
   out << "arrival " << spec.arrival << "\n";
   out << "clients_per_node " << spec.clients_per_node << "\n";
   out << "rate_per_client " << spec.rate_per_client << "\n";
@@ -135,6 +136,10 @@ std::optional<ClusterSpec> parse_cluster_spec(const std::string& text, std::stri
       int v = 0;
       ok = static_cast<bool>(fields >> v);
       spec.dissem = v != 0;
+    } else if (key == "block_sync") {
+      int v = 0;
+      ok = static_cast<bool>(fields >> v);
+      spec.block_sync = v != 0;
     } else if (key == "arrival") {
       ok = static_cast<bool>(fields >> spec.arrival) &&
            parse_arrival(spec.arrival).has_value();
@@ -196,6 +201,7 @@ ScenarioBuilder to_builder(const ClusterSpec& spec) {
   workload.request_bytes = spec.request_bytes;
   builder.workload(workload);
   if (spec.dissem) builder.dissemination();
+  if (spec.block_sync) builder.block_sync();
   if (spec.status_base_port != 0) {
     obs::ObsSpec obs;
     obs.status_base_port = spec.status_base_port;

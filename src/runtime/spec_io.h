@@ -51,6 +51,10 @@ struct ClusterSpec {
 
   bool dissem = false;
 
+  /// Block-sync subsystem (src/sync/): wedged commit walks fetch missing
+  /// ancestors from peers instead of stalling forever.
+  bool block_sync = false;
+
   /// Client-driven workload on every node (the soak cluster always runs
   /// one — liveness oracles need committed requests to count).
   std::string arrival = "closed-loop";

@@ -37,7 +37,8 @@ class Message {
 
   /// Globally unique wire tag. Ranges: 0x1000 consensus, 0x2000 generic
   /// pacemaker, 0x2100 Cogsworth/NK20, 0x2200 LP22, 0x2300 Fever,
-  /// 0x2400 Lumiere, 0x3000 adversary/test, 0x4000 dissemination.
+  /// 0x2400 Lumiere, 0x3000 adversary/test, 0x4000 dissemination,
+  /// 0x5000 block sync.
   [[nodiscard]] virtual std::uint32_t type_id() const = 0;
   [[nodiscard]] virtual const char* type_name() const = 0;
   [[nodiscard]] virtual MsgClass msg_class() const = 0;

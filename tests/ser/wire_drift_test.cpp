@@ -24,6 +24,7 @@
 #include "crypto/authenticator.h"
 #include "dissem/messages.h"
 #include "pacemaker/messages.h"
+#include "sync/messages.h"
 
 namespace lumiere {
 namespace {
@@ -61,6 +62,7 @@ TEST_P(WireDriftTest, EveryRegisteredTypeMatchesItsModeledSizePlusDeclaredFold) 
   consensus::register_consensus_messages(codec);
   pacemaker::register_pacemaker_messages(codec);
   dissem::register_dissem_messages(codec);
+  sync::register_sync_messages(codec);
   codec.set_sig_wire(auth.wire_spec());
 
   const crypto::Digest block_hash = crypto::Sha256::hash("drift-block");
@@ -128,6 +130,20 @@ TEST_P(WireDriftTest, EveryRegisteredTypeMatchesItsModeledSizePlusDeclaredFold) 
       0);
   add(std::make_shared<dissem::BatchCertMsg>(batch_cert), signer_set_bytes(kSmallQuorum));
   add(std::make_shared<dissem::BatchFetchMsg>(batch_id), 0);
+
+  // Block sync (0x5000 range): the fetch is exact; a response ships a
+  // u32 block count plus, per block, exactly what a proposal ships — so
+  // each block folds the same bytes as the ProposalMsg exemplar above.
+  const consensus::Block sync_block(block_hash, 6, payload, qc);
+  const consensus::Block sync_parent(qc.block_hash(), 5, payload, qc);
+  add(std::make_shared<sync::BlockFetchMsg>(block_hash,
+                                            sync::BlockRespMsg::kMaxBlocksPerResponse),
+      0);
+  add(std::make_shared<sync::BlockRespMsg>(
+          sync_block.hash(), std::vector<consensus::Block>{sync_block, sync_parent}),
+      /*count prefix*/ 4 +
+          2 * (/*payload length prefix*/ 4 + kInnerQcViewBytes + signer_set_bytes(kQuorum) +
+               kQcBlockHashBytes));
 
   for (const std::uint32_t type_id : codec.registered_types()) {
     const auto it = exemplars.find(type_id);

@@ -214,8 +214,11 @@ int usage() {
       << "usage: soak [--n N] [--duration-s S] [--seed K] [--core NAME] [--pacemaker NAME]\n"
          "            [--node-bin PATH] [--tcp-base-port P] [--status-base-port P]\n"
          "            [--work-dir DIR] [--out verdict.json] [--pipeline]\n"
+         "            [--second-equivocation]\n"
          "  Scripted disruption schedule: DROP/DELAY shaping, kill -9 + restart,\n"
-         "  live BEHAVIOR equivocator flip, HEAL — then ledger download + oracles.\n";
+         "  live BEHAVIOR equivocator flip, HEAL — then ledger download + oracles.\n"
+         "  --second-equivocation repents node 2 and re-flips it, so the cluster\n"
+         "  weathers two equivocation rounds (block sync must empty \"stalled\").\n";
   return 2;
 }
 
@@ -233,6 +236,7 @@ int main(int argc, char** argv) {
   std::string work_dir = "soak-out";
   std::string out_path;
   bool pipeline = false;
+  bool second_equivocation = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -265,6 +269,8 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--pipeline") {
       pipeline = true;
+    } else if (arg == "--second-equivocation") {
+      second_equivocation = true;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -297,6 +303,10 @@ int main(int argc, char** argv) {
   spec.status_base_port = status_base_port;
   spec.admin_token = kAdminToken;
   spec.pipeline = pipeline;
+  // Block sync on: equivocation victims and the restarted replica must
+  // backfill their ancestry gaps and keep committing, so the stalled
+  // list below is held to empty rather than merely reported.
+  spec.block_sync = true;
   const std::string spec_path = work_dir + "/cluster.spec";
   {
     std::ofstream out(spec_path);
@@ -415,6 +425,24 @@ int main(int argc, char** argv) {
   }
   std::cout << "soak: [0.55] node 2 flipped to equivocator\n";
 
+  if (second_equivocation) {
+    // A second round from the SAME node (the ever-faulty budget at n=5 is
+    // f=1): repent, then flip again. Each round can wedge fresh victims
+    // on the losing variant; block sync must un-wedge all of them.
+    sleep_until(at_fraction(0.60));
+    check_children(lumiere::kNoProcess);
+    if (!admin(replicas[flip_target].status_port, "BEHAVIOR honest", false).has_value()) {
+      violation("BEHAVIOR honest repentance on node 2 failed");
+    }
+    std::cout << "soak: [0.60] node 2 repented (honest)\n";
+    sleep_until(at_fraction(0.65));
+    check_children(lumiere::kNoProcess);
+    if (!admin(replicas[flip_target].status_port, "BEHAVIOR equivocator", false).has_value()) {
+      violation("second BEHAVIOR equivocator flip on node 2 failed");
+    }
+    std::cout << "soak: [0.65] node 2 flipped to equivocator again (round two)\n";
+  }
+
   sleep_until(at_fraction(0.70));
   check_children(lumiere::kNoProcess);
   if (!admin(replicas[shape_target].status_port, "HEAL", false).has_value()) {
@@ -434,16 +462,22 @@ int main(int argc, char** argv) {
 
   sleep_until(at_fraction(1.0));
   check_children(lumiere::kNoProcess);
-  // Commit liveness, PR 5 oracle semantics: SOME honest ledger must have
-  // grown after the last disruption. Deliberately not per-node: an
-  // equivocation victim that stored the losing variant of a block has a
-  // permanent ancestry gap (there is no block-sync subsystem), so it
-  // stalls honestly — reported, but only a cluster-wide stall is a
-  // violation. The restarted replica is held to the strict bar: it must
-  // commit beyond the cluster's height at its restart.
+  // Commit liveness. SOME honest ledger growing after the last disruption
+  // is the hard cluster-wide bar (PR 5 oracle semantics). Per node, the
+  // block-sync subsystem (src/sync/) means an equivocation victim's
+  // ancestry gap is no longer permanent — it must fetch the winning
+  // variant and catch back up. A node is "stalled" only when it BOTH
+  // committed nothing since the baseline snapshot AND fell more than a
+  // grace window behind its best honest peer: a node that is merely
+  // behind at snapshot time tracks its peers, a wedged one flatlines
+  // while they pull away. The restarted replica is additionally held to
+  // the strict bar: it must commit beyond the cluster's height at its
+  // restart.
+  constexpr std::uint64_t kStallGraceViews = 8;
   std::size_t honest_checked = 0;
   std::size_t honest_progressed = 0;
   std::vector<ProcessId> stalled;
+  std::map<ProcessId, std::uint64_t> final_height;
   for (const Replica& replica : replicas) {
     if (replica.flipped_byzantine) continue;
     const auto status = query_status(replica.status_port);
@@ -452,18 +486,7 @@ int main(int argc, char** argv) {
       continue;
     }
     const std::uint64_t now_height = field_u64(*status, "last_commit_height");
-    const auto it = baseline.find(replica.id);
-    if (it != baseline.end()) {
-      ++honest_checked;
-      if (now_height > it->second) {
-        ++honest_progressed;
-      } else {
-        stalled.push_back(replica.id);
-        std::cout << "soak: note: node " << replica.id
-                  << " committed nothing after the last disruption (view " << it->second
-                  << " -> " << now_height << ") — possible equivocation victim\n";
-      }
-    }
+    final_height[replica.id] = now_height;
     if (replica.restarted && now_height <= watermark) {
       std::ostringstream out;
       out << "recovery: restarted node " << replica.id << " never committed beyond the "
@@ -471,8 +494,37 @@ int main(int argc, char** argv) {
       violation(out.str());
     }
   }
+  std::uint64_t best_honest_height = 0;
+  for (const auto& [id, height] : final_height) {
+    best_honest_height = std::max(best_honest_height, height);
+  }
+  for (const auto& [id, now_height] : final_height) {
+    const auto it = baseline.find(id);
+    if (it == baseline.end()) continue;
+    ++honest_checked;
+    if (now_height > it->second) {
+      ++honest_progressed;
+      continue;
+    }
+    if (now_height + kStallGraceViews >= best_honest_height) {
+      std::cout << "soak: note: node " << id << " committed nothing since the baseline but "
+                << "is within " << kStallGraceViews << " views of its best peer ("
+                << now_height << " vs " << best_honest_height << ") — behind, not wedged\n";
+      continue;
+    }
+    stalled.push_back(id);
+    std::cout << "soak: note: node " << id << " is wedged: no commit since the baseline (view "
+              << it->second << " -> " << now_height << ") and " << best_honest_height - now_height
+              << " views behind its best peer — block sync failed to un-wedge it\n";
+  }
   if (honest_checked > 0 && honest_progressed == 0) {
     violation("liveness: no honest node committed anything after the last disruption");
+  }
+  if (!stalled.empty()) {
+    std::ostringstream out;
+    out << "block sync: " << stalled.size() << " honest node(s) wedged on a missing ancestor "
+        << "despite block sync (see \"stalled\" in the verdict)";
+    violation(out.str());
   }
 
   // ---- ledger download + data-form oracles -------------------------
